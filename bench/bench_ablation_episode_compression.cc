@@ -1,0 +1,76 @@
+// Ablation — episode-level annotation versus per-GPS-point annotation:
+// the storage/semantic-tuple savings behind the paper's design
+// principle "context persistence supports annotating trajectory
+// episodes rather than each individual GPS point" (§3.2) and the 99.7 %
+// compression of §5.2.
+
+#include <cstdio>
+
+#include "analytics/trajectory_stats.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+
+using namespace semitri;
+
+int main() {
+  benchutil::PrintHeader(
+      "Ablation: per-episode vs per-point region annotation",
+      "paper Sec 3.2 design principle + Sec 5.2 compression");
+
+  datagen::World world = benchutil::MakeCity(/*seed=*/151);
+  datagen::DatasetFactory factory(&world, /*seed=*/152);
+  datagen::Dataset taxis = factory.LausanneTaxis(
+      /*num_taxis=*/2, /*num_days=*/4, /*shift_hours=*/4.0);
+
+  core::SemiTriPipeline pipeline(nullptr, nullptr, nullptr);
+  region::RegionAnnotator annotator(&world.regions);
+
+  size_t raw_records = 0;
+  size_t per_point_tuples = 0;
+  size_t per_episode_tuples = 0;
+  double per_point_seconds = 0.0;
+  double per_episode_seconds = 0.0;
+  analytics::LatencyProfiler profiler;
+
+  for (const datagen::SimulatedTrack& track : taxis.tracks) {
+    auto results = pipeline.ProcessStream(
+        track.object_id, track.points,
+        static_cast<core::TrajectoryId>(track.object_id) * 1000);
+    if (!results.ok()) return 1;
+    for (const core::PipelineResult& day : *results) {
+      raw_records += day.cleaned.size();
+      {
+        analytics::LatencyProfiler::Scope scope(&profiler, "per_point");
+        per_point_tuples +=
+            annotator.AnnotateTrajectory(day.cleaned).episodes.size();
+      }
+      {
+        analytics::LatencyProfiler::Scope scope(&profiler, "per_episode");
+        per_episode_tuples +=
+            annotator.AnnotateEpisodes(day.cleaned, day.episodes)
+                .episodes.size();
+      }
+    }
+  }
+  per_point_seconds = profiler.Total("per_point");
+  per_episode_seconds = profiler.Total("per_episode");
+
+  std::printf("raw GPS records:            %zu\n", raw_records);
+  std::printf("per-point region tuples:    %zu  (%.2f%% compression, "
+              "%.3f s)\n",
+              per_point_tuples,
+              100.0 * (1.0 - static_cast<double>(per_point_tuples) /
+                                 static_cast<double>(raw_records)),
+              per_point_seconds);
+  std::printf("per-episode region tuples:  %zu  (%.2f%% compression, "
+              "%.3f s)\n",
+              per_episode_tuples,
+              100.0 * (1.0 - static_cast<double>(per_episode_tuples) /
+                                 static_cast<double>(raw_records)),
+              per_episode_seconds);
+  std::printf("\npaper: 3M records -> 8,385 annotated cells (99.7%%); "
+              "episode-level annotation is\nthe coarser, cheaper "
+              "representation the layered design feeds to applications.\n");
+  return 0;
+}

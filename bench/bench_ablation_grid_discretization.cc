@@ -1,0 +1,91 @@
+// Ablation — grid discretization + neighbor pruning of the POI
+// observation model (paper §4.3 "discretization and neighboring
+// techniques") versus exact evaluation over all POIs.
+//
+// Measures (a) emission-evaluation throughput for both variants via
+// google-benchmark and (b) decoded-category agreement.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "datagen/world.h"
+#include "poi/observation_model.h"
+
+using namespace semitri;
+
+namespace {
+
+datagen::World& TestWorld() {
+  static datagen::World* world = [] {
+    datagen::WorldConfig config;
+    config.seed = 141;
+    config.extent_meters = 6000.0;
+    config.num_pois = 8000;
+    return new datagen::World(datagen::WorldGenerator(config).Generate());
+  }();
+  return *world;
+}
+
+void BM_EmissionsDiscretized(benchmark::State& state) {
+  datagen::World& world = TestWorld();
+  poi::PoiObservationModel model(&world.pois);
+  common::Rng rng(7);
+  for (auto _ : state) {
+    geo::Point p{rng.Uniform(500, 5500), rng.Uniform(500, 5500)};
+    benchmark::DoNotOptimize(model.EmissionsAt(p));
+  }
+}
+
+void BM_EmissionsExact(benchmark::State& state) {
+  datagen::World& world = TestWorld();
+  poi::PoiObservationModel model(&world.pois);
+  common::Rng rng(7);
+  for (auto _ : state) {
+    geo::Point p{rng.Uniform(500, 5500), rng.Uniform(500, 5500)};
+    benchmark::DoNotOptimize(model.EmissionsExact(p));
+  }
+}
+
+void BM_ModelConstruction(benchmark::State& state) {
+  datagen::World& world = TestWorld();
+  for (auto _ : state) {
+    poi::PoiObservationModel model(&world.pois);
+    benchmark::DoNotOptimize(model.grid().cols());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_EmissionsDiscretized);
+BENCHMARK(BM_EmissionsExact);
+BENCHMARK(BM_ModelConstruction)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  // Agreement report before the timing run.
+  datagen::World& world = TestWorld();
+  poi::PoiObservationModel model(&world.pois);
+  common::Rng rng(11);
+  size_t agree = 0;
+  const size_t kQueries = 2000;
+  for (size_t q = 0; q < kQueries; ++q) {
+    geo::Point p{rng.Uniform(500, 5500), rng.Uniform(500, 5500)};
+    auto grid = model.EmissionsAt(p);
+    auto exact = model.EmissionsExact(p);
+    size_t grid_best = static_cast<size_t>(
+        std::max_element(grid.begin(), grid.end()) - grid.begin());
+    size_t exact_best = static_cast<size_t>(
+        std::max_element(exact.begin(), exact.end()) - exact.begin());
+    if (grid_best == exact_best) ++agree;
+  }
+  std::printf("argmax-category agreement (grid vs exact): %.2f%% over %zu "
+              "queries, %zu POIs\n\n",
+              100.0 * static_cast<double>(agree) /
+                  static_cast<double>(kQueries),
+              kQueries, world.pois.size());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

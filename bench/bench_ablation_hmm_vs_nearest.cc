@@ -1,0 +1,77 @@
+// Ablation — HMM point annotation (Algorithm 3) versus the traditional
+// one-to-one nearest-POI matching ([28]), as a function of stop-location
+// uncertainty.
+//
+// Expected shape (the paper's §4.3 motivation): with precise stops the
+// nearest POI is simply the visited POI and one-to-one matching wins;
+// as stop positions blur (indoor loss, low sampling rates, parking
+// offsets — exactly the "heterogeneous trajectories" regime), the
+// density-summing HMM degrades more slowly and crosses over.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "poi/point_annotator.h"
+
+using namespace semitri;
+
+int main() {
+  benchutil::PrintHeader("Ablation: HMM (Alg. 3) vs nearest-POI baseline",
+                         "design choice behind paper Sec 4.3");
+
+  datagen::World world = benchutil::MakeCity(/*seed=*/131, 4000.0, 1200);
+  common::Rng rng(132);
+
+  poi::PointAnnotatorConfig config;
+  config.default_self_transition = 0.25;
+  poi::PointAnnotator hmm(&world.pois, config);
+  poi::NearestPoiAnnotator nearest(&world.pois);
+
+  std::printf("%-18s %10s %10s %10s\n", "stop noise (m)", "HMM",
+              "nearest", "prior-max");
+  auto priors = world.pois.CategoryPriors();
+  size_t prior_best = static_cast<size_t>(
+      std::max_element(priors.begin(), priors.end()) - priors.begin());
+
+  for (double noise : {5.0, 15.0, 30.0, 60.0, 100.0, 150.0}) {
+    size_t hmm_correct = 0, nearest_correct = 0, prior_correct = 0, n = 0;
+    for (int seq = 0; seq < 80; ++seq) {
+      std::vector<core::Episode> stops;
+      std::vector<int> truth;
+      for (int s = 0; s < 5; ++s) {
+        auto poi_id = static_cast<core::PlaceId>(
+            rng.UniformInt(0, static_cast<int64_t>(world.pois.size()) - 1));
+        const poi::Poi& poi = world.pois.Get(poi_id);
+        core::Episode ep;
+        ep.kind = core::EpisodeKind::kStop;
+        ep.time_in = s * 4000.0;
+        ep.time_out = s * 4000.0 + 3000.0;
+        ep.center = poi.position + geo::Point{rng.Gaussian(0, noise),
+                                              rng.Gaussian(0, noise)};
+        ep.bounds = geo::BoundingBox::FromPoint(ep.center).Inflated(20.0);
+        stops.push_back(ep);
+        truth.push_back(poi.category);
+      }
+      auto hmm_result = hmm.InferStopCategories(stops);
+      if (!hmm_result.ok()) {
+        std::fprintf(stderr, "HMM failed: %s\n",
+                     hmm_result.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<int> nearest_result = nearest.InferStopCategories(stops);
+      for (size_t i = 0; i < truth.size(); ++i) {
+        ++n;
+        if ((*hmm_result)[i] == truth[i]) ++hmm_correct;
+        if (nearest_result[i] == truth[i]) ++nearest_correct;
+        if (static_cast<int>(prior_best) == truth[i]) ++prior_correct;
+      }
+    }
+    std::printf("%-18.0f %9.1f%% %9.1f%% %9.1f%%\n", noise,
+                100.0 * hmm_correct / n, 100.0 * nearest_correct / n,
+                100.0 * prior_correct / n);
+  }
+  std::printf("\nexpected: nearest wins at low noise; HMM crosses over as "
+              "stop uncertainty grows.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ablation — personalized transition matrices (Baum-Welch-learned A,
+// the paper's §4.3 extension) versus the Fig. 6 default, for users with
+// strong daily routines.
+//
+// Expected shape: for a routine-heavy user (the same
+// feedings -> item sale -> person life loop every day), the learned A
+// encodes the routine and lifts decoding accuracy over the generic
+// diagonal-dominant default, especially under large stop-location
+// noise where emissions alone are ambiguous.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "poi/point_annotator.h"
+
+using namespace semitri;
+
+namespace {
+
+struct DayTruth {
+  std::vector<core::Episode> stops;
+  std::vector<int> categories;
+};
+
+// A routine day: lunch (feedings) -> shopping (item sale) -> gym
+// (person life), each at a fixed POI of that category, observed with
+// positional noise.
+DayTruth MakeRoutineDay(const datagen::World& world, int day,
+                        double noise, common::Rng& rng,
+                        const std::vector<core::PlaceId>& anchors) {
+  DayTruth out;
+  double base = day * 86400.0 + 11.0 * 3600.0;
+  for (size_t s = 0; s < anchors.size(); ++s) {
+    const poi::Poi& poi = world.pois.Get(anchors[s]);
+    core::Episode ep;
+    ep.kind = core::EpisodeKind::kStop;
+    ep.time_in = base + s * 2.5 * 3600.0;
+    ep.time_out = ep.time_in + 3600.0;
+    ep.center = poi.position + geo::Point{rng.Gaussian(0, noise),
+                                          rng.Gaussian(0, noise)};
+    ep.bounds = geo::BoundingBox::FromPoint(ep.center).Inflated(20.0);
+    out.stops.push_back(ep);
+    out.categories.push_back(poi.category);
+  }
+  return out;
+}
+
+double Accuracy(const poi::PointAnnotator& annotator,
+                const std::vector<DayTruth>& days) {
+  size_t correct = 0, total = 0;
+  for (const DayTruth& day : days) {
+    auto decoded = annotator.InferStopCategories(day.stops);
+    if (!decoded.ok()) continue;
+    for (size_t i = 0; i < day.categories.size(); ++i) {
+      ++total;
+      if ((*decoded)[i] == day.categories[i]) ++correct;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::PrintHeader(
+      "Ablation: learned (Baum-Welch) vs default transition matrix",
+      "paper Sec 4.3 extension: personalized transition matrix A");
+
+  datagen::World world = benchutil::MakeCity(/*seed=*/161, 4000.0, 1500);
+  common::Rng rng(162);
+
+  // Routine anchors: one *identifiable* POI per category 1, 2, 3 — a
+  // POI whose category wins the local density argmax, so the emission
+  // carries signal at low noise (a routine at an unidentifiable POI is
+  // unlearnable from location data alone).
+  poi::PointAnnotator probe(&world.pois);
+  std::vector<core::PlaceId> anchors;
+  for (int category : {1, 2, 3}) {
+    core::PlaceId chosen = core::kInvalidPlaceId;
+    for (const poi::Poi& p : world.pois.pois()) {
+      if (p.category != category) continue;
+      auto emissions = probe.observation_model().EmissionsAt(p.position);
+      size_t best = static_cast<size_t>(
+          std::max_element(emissions.begin(), emissions.end()) -
+          emissions.begin());
+      if (static_cast<int>(best) == category) {
+        chosen = p.id;
+        break;
+      }
+    }
+    if (chosen == core::kInvalidPlaceId) {
+      chosen = world.pois.NearestOfCategory(world.Center(), category);
+    }
+    anchors.push_back(chosen);
+  }
+
+  std::printf("%-14s %14s %14s %10s\n", "stop noise", "default A",
+              "learned A", "gain");
+  for (double noise : {40.0, 80.0, 120.0}) {
+    // Training and evaluation days (disjoint noise draws).
+    std::vector<DayTruth> train_days, eval_days;
+    for (int d = 0; d < 30; ++d) {
+      train_days.push_back(MakeRoutineDay(world, d, noise, rng, anchors));
+    }
+    for (int d = 30; d < 60; ++d) {
+      eval_days.push_back(MakeRoutineDay(world, d, noise, rng, anchors));
+    }
+
+    poi::PointAnnotator default_annotator(&world.pois);
+    double default_accuracy = Accuracy(default_annotator, eval_days);
+
+    poi::PointAnnotator learned_annotator(&world.pois);
+    std::vector<std::vector<core::Episode>> history;
+    for (const DayTruth& day : train_days) history.push_back(day.stops);
+    auto fitted = learned_annotator.FitTransitions(history);
+    if (!fitted.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n",
+                   fitted.status().ToString().c_str());
+      return 1;
+    }
+    double learned_accuracy = Accuracy(learned_annotator, eval_days);
+    std::printf("%-14.0f %13.1f%% %13.1f%% %+9.1f\n", noise,
+                default_accuracy * 100.0, learned_accuracy * 100.0,
+                (learned_accuracy - default_accuracy) * 100.0);
+  }
+  std::printf("\nexpected: the learned matrix encodes the routine and "
+              "wins, most at high noise.\n");
+  return 0;
+}

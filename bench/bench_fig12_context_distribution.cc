@@ -1,0 +1,67 @@
+// Fig. 12 — log–log distribution of the number of GPS records per
+// trajectory / move / stop for the people dataset.
+//
+// Paper shape to reproduce: trajectories and moves carry most of the
+// records and stretch into long tails; stop sizes concentrate in a
+// mid range (the indoor-throttled dwell regime) and fall off for very
+// large sizes.
+
+#include <cstdio>
+
+#include "analytics/trajectory_stats.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+
+using namespace semitri;
+
+int main() {
+  benchutil::PrintHeader(
+      "Fig. 12: #GPS records per trajectory/move/stop (log-log)",
+      "paper Fig. 12 + Table 2 context computation totals");
+
+  datagen::World world = benchutil::MakeCity(/*seed=*/501);
+  datagen::DatasetFactory factory(&world, /*seed=*/502);
+  datagen::Dataset people =
+      factory.NokiaPeople(/*num_users=*/12, /*num_days=*/14);
+
+  core::SemiTriPipeline pipeline(nullptr, nullptr, nullptr);
+  analytics::ContextCounts counts;
+  for (const datagen::SimulatedTrack& track : people.tracks) {
+    auto results = pipeline.ProcessStream(
+        track.object_id, track.points,
+        static_cast<core::TrajectoryId>(track.object_id) * 1000);
+    if (!results.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    for (const core::PipelineResult& day : *results) {
+      counts.Accumulate(day.cleaned, day.episodes);
+    }
+  }
+
+  std::printf("people data: %zu GPS records -> %zu daily trajectories, "
+              "%zu moves, %zu stops\n",
+              counts.num_gps_records, counts.num_trajectories,
+              counts.num_moves, counts.num_stops);
+  std::printf("paper:       7.3M GPS records -> 23,188 daily trajectories, "
+              "46,958 moves, 52,497 stops\n\n");
+
+  auto print_hist = [](const char* name,
+                       const analytics::LogHistogram& hist) {
+    std::printf("%s (size bin -> count):\n", name);
+    for (const auto& bin : hist.bins()) {
+      std::printf("  [%7.0f, %7.0f)  %6lu  ",
+                  bin.lo, bin.hi, static_cast<unsigned long>(bin.count));
+      // Log-scaled bar.
+      int stars = static_cast<int>(std::log10(bin.count + 1) * 12);
+      for (int i = 0; i < stars; ++i) std::printf("*");
+      std::printf("\n");
+    }
+  };
+  print_hist("trajectory sizes", counts.trajectory_sizes);
+  print_hist("move sizes", counts.move_sizes);
+  print_hist("stop sizes", counts.stop_sizes);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 17 — per-user latency distribution of SeMiTri's stages for
+// processing phone trajectories: compute episodes, store episodes, map
+// matching, store matched results, landuse join.
+//
+// Paper shape to reproduce: computing episodes is the cheapest stage by
+// orders of magnitude; storing results dominates (the paper's
+// PostgreSQL writes; here CSV write-through); map matching costs more
+// than the landuse join. Paper means (s/daily trajectory): compute
+// 0.008, store episodes 3.959, map match 0.162, store match 0.292,
+// landuse 0.088.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "analytics/latency_profiler.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+
+using namespace semitri;
+
+int main() {
+  benchutil::PrintHeader("Fig. 17: per-layer latency per daily trajectory",
+                         "paper Fig. 17 + the Sec 5.4 stage means");
+
+  datagen::World world = benchutil::MakeCity(/*seed=*/901);
+  datagen::DatasetFactory factory(&world, /*seed=*/902);
+  const int kNumUsers = 6;
+  datagen::Dataset people = factory.NokiaPeople(kNumUsers, /*num_days=*/14);
+
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "semitri_fig17").string();
+  std::filesystem::remove_all(dir);
+
+  const char* stages[] = {core::kStageComputeEpisode,
+                          core::kStageStoreEpisode, core::kStageMapMatch,
+                          core::kStageStoreMatch, core::kStageLanduseJoin,
+                          core::kStagePointAnnotation};
+
+  std::printf("%-6s %14s %14s %14s %14s %14s %14s\n", "user",
+              "compute_ep", "store_ep", "map_match", "store_match",
+              "landuse", "point_annot");
+  for (const datagen::SimulatedTrack& track : people.tracks) {
+    store::StoreConfig store_config;
+    store_config.write_through_dir =
+        dir + "/user" + std::to_string(track.object_id);
+    store::SemanticTrajectoryStore store(store_config);
+    analytics::LatencyProfiler profiler;
+    core::SemiTriPipeline pipeline(&world.regions, &world.roads,
+                                   &world.pois, core::PipelineConfig{},
+                                   &store, &profiler);
+    auto results = pipeline.ProcessStream(
+        track.object_id, track.points,
+        static_cast<core::TrajectoryId>(track.object_id) * 1000);
+    if (!results.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6lld", static_cast<long long>(track.object_id + 1));
+    for (const char* stage : stages) {
+      std::printf(" %12.6fs", profiler.Mean(stage));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper means (s/daily trajectory, PostgreSQL store): "
+              "compute 0.008, store episodes 3.959,\nmap match 0.162, "
+              "store match 0.292, landuse join 0.088 — storing dominates "
+              "computing,\nas it does above (CSV write-through store).\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef SEMITRI_BENCH_BENCH_UTIL_H_
+#define SEMITRI_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the figure/table reproduction benches. Every
+// bench prints the paper's rows/series next to the measured values;
+// absolute sizes are scaled down (synthetic corpora regenerate per run)
+// but distribution shapes are the reproduction target (see
+// EXPERIMENTS.md).
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/world.h"
+
+namespace semitri::benchutil {
+
+// The standard synthetic city used by the benches.
+inline datagen::World MakeCity(uint64_t seed, double extent_meters = 6000.0,
+                               int num_pois = 3000) {
+  datagen::WorldConfig config;
+  config.seed = seed;
+  config.extent_meters = extent_meters;
+  config.num_pois = num_pois;
+  return datagen::WorldGenerator(config).Generate();
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace semitri::benchutil
+
+#endif  // SEMITRI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,97 @@
+// Fleet-tracking scenario (paper §5.2): a taxi fleet's 1 Hz GPS feeds
+// flow through the pipeline; the operator dashboard shows per-vehicle
+// daily summaries, the landuse footprint of the fleet, and the storage
+// compression from episode-level annotation. Results persist as CSV
+// tables (the Semantic Trajectory Store).
+//
+//   $ ./fleet_tracking [store_dir]
+
+#include <cstdio>
+
+#include "analytics/trajectory_stats.h"
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+
+using namespace semitri;
+
+int main(int argc, char** argv) {
+  datagen::WorldConfig world_config;
+  world_config.seed = 99;
+  world_config.extent_meters = 6000.0;
+  datagen::World world = datagen::WorldGenerator(world_config).Generate();
+
+  datagen::DatasetFactory factory(&world, /*seed=*/3);
+  datagen::Dataset fleet = factory.LausanneTaxis(/*num_taxis=*/3,
+                                                 /*num_days=*/3,
+                                                 /*shift_hours=*/5.0);
+
+  store::SemanticTrajectoryStore store;
+  analytics::LatencyProfiler profiler;
+  core::PipelineConfig config;
+  core::SemiTriPipeline pipeline(&world.regions, &world.roads, nullptr,
+                                 config, &store, &profiler);
+  region::RegionAnnotator annotator(&world.regions);
+
+  analytics::LabeledDistribution fleet_landuse;
+  analytics::CompressionStats compression;
+
+  std::printf("%-8s %-6s %8s %7s %7s %10s %10s\n", "taxi", "day", "#GPS",
+              "#stops", "#moves", "km driven", "top cell");
+  for (const datagen::SimulatedTrack& track : fleet.tracks) {
+    auto results = pipeline.ProcessStream(
+        track.object_id, track.points,
+        static_cast<core::TrajectoryId>(track.object_id) * 100);
+    if (!results.ok()) {
+      std::fprintf(stderr, "pipeline failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t day = 0; day < results->size(); ++day) {
+      const core::PipelineResult& result = (*results)[day];
+      double km = 0.0;
+      for (size_t i = 1; i < result.cleaned.size(); ++i) {
+        km += result.cleaned.points[i].position.DistanceTo(
+                  result.cleaned.points[i - 1].position) /
+              1000.0;
+      }
+      analytics::LanduseBreakdown breakdown =
+          analytics::ComputeLanduseBreakdown(result.cleaned, result.episodes,
+                                             annotator, world.regions);
+      auto top = breakdown.trajectory.TopK(1);
+      for (const auto& [code, count] : breakdown.trajectory.counts()) {
+        fleet_landuse.Add(code, count);
+      }
+      compression.raw_records += result.cleaned.size();
+      compression.semantic_tuples +=
+          result.region_layer.has_value()
+              ? result.region_layer->episodes.size()
+              : 0;
+      std::printf("%-8lld %-6zu %8zu %7zu %7zu %9.1f %10s\n",
+                  static_cast<long long>(track.object_id), day + 1,
+                  result.cleaned.size(), result.NumStops(),
+                  result.NumMoves(), km,
+                  top.empty() ? "-" : top[0].first.c_str());
+    }
+  }
+
+  std::printf("\nfleet landuse footprint (top 5):\n");
+  for (const auto& [code, share] : fleet_landuse.TopK(5)) {
+    std::printf("  %-5s %5.1f%%\n", code.c_str(), share * 100.0);
+  }
+  std::printf("\nepisode-level annotation: %zu raw records -> %zu semantic "
+              "tuples (%.2f%% compression)\n",
+              compression.raw_records, compression.semantic_tuples,
+              compression.CompressionRatio() * 100.0);
+
+  std::string dir = argc > 1 ? argv[1] : "/tmp/semitri_fleet_store";
+  common::Status status = store.SaveCsv(dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "store save failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("semantic trajectory store saved to %s "
+              "(gps.csv, episodes.csv, semantic_episodes.csv)\n",
+              dir.c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "analytics/distribution.h"
+
+#include <algorithm>
+
+namespace semitri::analytics {
+
+std::vector<std::pair<std::string, double>> LabeledDistribution::TopK(
+    size_t k) const {
+  std::vector<std::pair<std::string, uint64_t>> sorted(counts_.begin(),
+                                                       counts_.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t i = 0; i < sorted.size() && i < k; ++i) {
+    out.emplace_back(sorted[i].first, Fraction(sorted[i].first));
+  }
+  return out;
+}
+
+}  // namespace semitri::analytics

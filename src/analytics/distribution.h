@@ -1,0 +1,92 @@
+#ifndef SEMITRI_ANALYTICS_DISTRIBUTION_H_
+#define SEMITRI_ANALYTICS_DISTRIBUTION_H_
+
+// Distribution helpers behind the Semantic Trajectory Analytics Layer:
+// labeled count distributions (landuse / POI category shares of Figs. 9,
+// 11, 14) and logarithmic histograms (the log–log episode-size plot of
+// Fig. 12).
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace semitri::analytics {
+
+// Counts per label with percentage and top-k views.
+class LabeledDistribution {
+ public:
+  void Add(const std::string& label, uint64_t count = 1) {
+    counts_[label] += count;
+    total_ += count;
+  }
+
+  uint64_t CountOf(const std::string& label) const {
+    auto it = counts_.find(label);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  // Share of `label` in [0, 1]; 0 when empty.
+  double Fraction(const std::string& label) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(CountOf(label)) /
+                             static_cast<double>(total_);
+  }
+
+  uint64_t total() const { return total_; }
+  const std::map<std::string, uint64_t>& counts() const { return counts_; }
+
+  // Labels with the k largest counts, descending (ties: label order).
+  std::vector<std::pair<std::string, double>> TopK(size_t k) const;
+
+ private:
+  std::map<std::string, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Histogram over logarithmic bins (fixed bins per decade), for heavy-
+// tailed size distributions.
+class LogHistogram {
+ public:
+  explicit LogHistogram(size_t bins_per_decade = 4)
+      : bins_per_decade_(bins_per_decade) {}
+
+  void Add(double value) {
+    if (value < 1.0) value = 1.0;
+    int bin = static_cast<int>(
+        std::floor(std::log10(value) * static_cast<double>(bins_per_decade_)));
+    ++bins_[bin];
+    ++total_;
+  }
+
+  struct Bin {
+    double lo;
+    double hi;
+    uint64_t count;
+  };
+
+  // Non-empty bins, ascending by range.
+  std::vector<Bin> bins() const {
+    std::vector<Bin> out;
+    for (const auto& [bin, count] : bins_) {
+      double lo = std::pow(10.0, static_cast<double>(bin) /
+                                     static_cast<double>(bins_per_decade_));
+      double hi = std::pow(10.0, static_cast<double>(bin + 1) /
+                                     static_cast<double>(bins_per_decade_));
+      out.push_back({lo, hi, count});
+    }
+    return out;
+  }
+
+  uint64_t total() const { return total_; }
+
+ private:
+  size_t bins_per_decade_;
+  std::map<int, uint64_t> bins_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace semitri::analytics
+
+#endif  // SEMITRI_ANALYTICS_DISTRIBUTION_H_

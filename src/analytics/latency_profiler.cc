@@ -1,0 +1,20 @@
+#include "analytics/latency_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semitri::analytics {
+
+double LatencyProfiler::Percentile(const std::string& stage, double q) const {
+  auto it = samples_.find(stage);
+  if (it == samples_.end() || it->second.empty()) return 0.0;
+  std::vector<double> sorted = it->second;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+}  // namespace semitri::analytics

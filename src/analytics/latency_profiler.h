@@ -1,0 +1,78 @@
+#ifndef SEMITRI_ANALYTICS_LATENCY_PROFILER_H_
+#define SEMITRI_ANALYTICS_LATENCY_PROFILER_H_
+
+// Per-stage latency accounting behind paper Fig. 17 (compute episodes /
+// store episodes / map match / store match / landuse join, per daily
+// trajectory).
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace semitri::analytics {
+
+class LatencyProfiler {
+ public:
+  // RAII timer: records the elapsed wall time under `stage` at scope
+  // exit.
+  class Scope {
+   public:
+    Scope(LatencyProfiler* profiler, std::string stage)
+        : profiler_(profiler),
+          stage_(std::move(stage)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      profiler_->Record(stage_, elapsed.count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    LatencyProfiler* profiler_;
+    std::string stage_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  void Record(const std::string& stage, double seconds) {
+    samples_[stage].push_back(seconds);
+  }
+
+  size_t Count(const std::string& stage) const {
+    auto it = samples_.find(stage);
+    return it == samples_.end() ? 0 : it->second.size();
+  }
+
+  double Total(const std::string& stage) const {
+    auto it = samples_.find(stage);
+    if (it == samples_.end()) return 0.0;
+    double total = 0.0;
+    for (double s : it->second) total += s;
+    return total;
+  }
+
+  double Mean(const std::string& stage) const {
+    size_t n = Count(stage);
+    return n == 0 ? 0.0 : Total(stage) / static_cast<double>(n);
+  }
+
+  // q in [0, 1]; nearest-rank percentile.
+  double Percentile(const std::string& stage, double q) const;
+
+  std::vector<std::string> Stages() const {
+    std::vector<std::string> out;
+    for (const auto& [stage, s] : samples_) out.push_back(stage);
+    return out;
+  }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+}  // namespace semitri::analytics
+
+#endif  // SEMITRI_ANALYTICS_LATENCY_PROFILER_H_

@@ -1,0 +1,158 @@
+#include "analytics/personal_places.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace semitri::analytics {
+
+std::vector<StopVisit> CollectStopVisits(
+    const std::vector<core::Episode>& episodes) {
+  std::vector<StopVisit> out;
+  for (const core::Episode& ep : episodes) {
+    if (ep.kind != core::EpisodeKind::kStop) continue;
+    out.push_back({ep.center, ep.time_in, ep.time_out});
+  }
+  return out;
+}
+
+double PersonalPlaceDetector::WindowOverlap(const StopVisit& visit,
+                                            double window_begin_h,
+                                            double window_end_h,
+                                            bool weekdays_only) const {
+  const double day = config_.day_seconds;
+  double overlap = 0.0;
+  // Walk the days the visit spans and intersect with the daily window.
+  int64_t first_day = static_cast<int64_t>(std::floor(visit.time_in / day));
+  int64_t last_day = static_cast<int64_t>(std::floor(visit.time_out / day));
+  for (int64_t d = first_day; d <= last_day; ++d) {
+    if (weekdays_only && (d % 7 == 5 || d % 7 == 6)) continue;
+    auto intersect = [&](double w_begin, double w_end) {
+      double lo = std::max(visit.time_in, d * day + w_begin * 3600.0);
+      double hi = std::min(visit.time_out, d * day + w_end * 3600.0);
+      if (hi > lo) overlap += hi - lo;
+    };
+    if (window_begin_h <= window_end_h) {
+      intersect(window_begin_h, window_end_h);
+    } else {
+      // Wraps midnight: [begin, 24) plus [0, end).
+      intersect(window_begin_h, 24.0);
+      intersect(0.0, window_end_h);
+    }
+  }
+  return overlap;
+}
+
+std::vector<PersonalPlace> PersonalPlaceDetector::Detect(
+    const std::vector<StopVisit>& visits) const {
+  // Greedy agglomerative clustering: assign each visit to the nearest
+  // existing cluster within the merge radius (center = running mean),
+  // else open a new cluster.
+  struct Cluster {
+    geo::Point center;
+    std::vector<size_t> members;
+  };
+  std::vector<Cluster> clusters;
+  for (size_t v = 0; v < visits.size(); ++v) {
+    const geo::Point& p = visits[v].center;
+    Cluster* best = nullptr;
+    double best_dist = config_.merge_radius_meters;
+    for (Cluster& c : clusters) {
+      double d = c.center.DistanceTo(p);
+      if (d <= best_dist) {
+        best_dist = d;
+        best = &c;
+      }
+    }
+    if (best == nullptr) {
+      clusters.push_back({p, {v}});
+    } else {
+      size_t n = best->members.size();
+      best->center = (best->center * static_cast<double>(n) + p) /
+                     static_cast<double>(n + 1);
+      best->members.push_back(v);
+    }
+  }
+
+  std::vector<PersonalPlace> places;
+  double total_overnight = 0.0;
+  double total_workhours = 0.0;
+  for (const Cluster& c : clusters) {
+    if (c.members.size() < config_.min_visits) continue;
+    PersonalPlace place;
+    place.center = c.center;
+    place.num_visits = c.members.size();
+    for (size_t v : c.members) {
+      const StopVisit& visit = visits[v];
+      place.total_dwell_seconds += visit.time_out - visit.time_in;
+      place.overnight_dwell_seconds +=
+          WindowOverlap(visit, 22.0, 6.0, /*weekdays_only=*/false);
+      place.workhour_dwell_seconds +=
+          WindowOverlap(visit, 9.0, 17.0, /*weekdays_only=*/true);
+    }
+    total_overnight += place.overnight_dwell_seconds;
+    total_workhours += place.workhour_dwell_seconds;
+    places.push_back(std::move(place));
+  }
+  std::stable_sort(places.begin(), places.end(),
+                   [](const PersonalPlace& a, const PersonalPlace& b) {
+                     return a.total_dwell_seconds > b.total_dwell_seconds;
+                   });
+
+  // Label: the place holding most of the overnight dwell is home; the
+  // non-home place holding most weekday work-hour dwell is work.
+  size_t home = SIZE_MAX, work = SIZE_MAX;
+  double best_overnight = 0.0, best_workhours = 0.0;
+  for (size_t i = 0; i < places.size(); ++i) {
+    if (places[i].overnight_dwell_seconds > best_overnight) {
+      best_overnight = places[i].overnight_dwell_seconds;
+      home = i;
+    }
+  }
+  if (home != SIZE_MAX && total_overnight > 0.0 &&
+      places[home].overnight_dwell_seconds <
+          config_.home_share_threshold * total_overnight) {
+    home = SIZE_MAX;  // no dominant overnight place
+  }
+  for (size_t i = 0; i < places.size(); ++i) {
+    if (i == home) continue;
+    if (places[i].workhour_dwell_seconds > best_workhours) {
+      best_workhours = places[i].workhour_dwell_seconds;
+      work = i;
+    }
+  }
+  if (work != SIZE_MAX && total_workhours > 0.0 &&
+      places[work].workhour_dwell_seconds <
+          config_.work_share_threshold * total_workhours) {
+    work = SIZE_MAX;
+  }
+  size_t generic = 1;
+  for (size_t i = 0; i < places.size(); ++i) {
+    if (i == home) {
+      places[i].label = "home";
+    } else if (i == work) {
+      places[i].label = "work";
+    } else {
+      places[i].label = common::StrFormat("place-%zu", generic++);
+    }
+  }
+  return places;
+}
+
+size_t PersonalPlaceDetector::PlaceFor(
+    const std::vector<PersonalPlace>& places, const geo::Point& p,
+    double radius) {
+  size_t best = SIZE_MAX;
+  double best_dist = radius;
+  for (size_t i = 0; i < places.size(); ++i) {
+    double d = places[i].center.DistanceTo(p);
+    if (d <= best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace semitri::analytics

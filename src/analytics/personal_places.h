@@ -1,0 +1,87 @@
+#ifndef SEMITRI_ANALYTICS_PERSONAL_PLACES_H_
+#define SEMITRI_ANALYTICS_PERSONAL_PLACES_H_
+
+// Personal-place discovery: clusters a moving object's stop episodes
+// across days into recurrent places and labels them by their temporal
+// signature (overnight dwells -> home, long weekday-daytime dwells ->
+// work). This realizes the paper's "semantic places computed from the
+// trajectory geometric features" (§4.1) and supplies the `home`/`office`
+// labels of the §1.1 example trajectory — which no 3rd-party source can
+// provide.
+//
+// Clustering is agglomerative over stop centers with a distance
+// threshold (stops of the same place land within GPS-noise distance of
+// each other night after night).
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace semitri::analytics {
+
+struct PersonalPlace {
+  geo::Point center;
+  // Stop visits merged into this place.
+  size_t num_visits = 0;
+  double total_dwell_seconds = 0.0;
+  double overnight_dwell_seconds = 0.0;  // dwell during 22:00-06:00
+  double workhour_dwell_seconds = 0.0;   // weekday dwell during 09:00-17:00
+  // "home", "work", or "place-N".
+  std::string label;
+};
+
+struct PersonalPlacesConfig {
+  // Stops whose centers are within this distance merge into one place.
+  double merge_radius_meters = 120.0;
+  // Minimum visits for a cluster to count as a recurrent place.
+  size_t min_visits = 2;
+  // Fraction of the total overnight dwell a place must hold to be home.
+  double home_share_threshold = 0.5;
+  double work_share_threshold = 0.4;
+  double day_seconds = 86400.0;
+};
+
+// One stop observation: where and when the object dwelled.
+struct StopVisit {
+  geo::Point center;
+  core::Timestamp time_in = 0.0;
+  core::Timestamp time_out = 0.0;
+};
+
+class PersonalPlaceDetector {
+ public:
+  explicit PersonalPlaceDetector(PersonalPlacesConfig config = {})
+      : config_(config) {}
+
+  // Clusters the visits (typically all stop episodes of one object over
+  // many days) and labels home/work. Places are ordered by total dwell,
+  // descending.
+  std::vector<PersonalPlace> Detect(
+      const std::vector<StopVisit>& visits) const;
+
+  // Index of the detected place containing p (within merge radius of
+  // its center), or SIZE_MAX.
+  static size_t PlaceFor(const std::vector<PersonalPlace>& places,
+                         const geo::Point& p, double radius);
+
+  const PersonalPlacesConfig& config() const { return config_; }
+
+ private:
+  // Seconds of [time_in, time_out] that fall into the recurring daily
+  // window [window_begin_h, window_end_h) (hours; window may wrap
+  // midnight). Weekday-only when requested (day 0 = Monday).
+  double WindowOverlap(const StopVisit& visit, double window_begin_h,
+                       double window_end_h, bool weekdays_only) const;
+
+  PersonalPlacesConfig config_;
+};
+
+// Convenience: extracts StopVisits from the stop episodes of processed
+// daily trajectories.
+std::vector<StopVisit> CollectStopVisits(
+    const std::vector<core::Episode>& episodes);
+
+}  // namespace semitri::analytics
+
+#endif  // SEMITRI_ANALYTICS_PERSONAL_PLACES_H_

@@ -1,0 +1,52 @@
+#include "analytics/sequence_mining.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace semitri::analytics {
+
+std::string SequencePattern::ToString() const {
+  return common::Join(labels, " -> ");
+}
+
+std::vector<SequencePattern> SequenceMiner::Mine(
+    const std::vector<std::vector<std::string>>& sequences) const {
+  // Support = number of distinct sequences containing the n-gram, so a
+  // pattern repeated within one day counts once.
+  std::map<std::vector<std::string>, std::set<size_t>> occurrences;
+  for (size_t s = 0; s < sequences.size(); ++s) {
+    std::vector<std::string> seq = sequences[s];
+    if (config_.collapse_repeats) {
+      seq.erase(std::unique(seq.begin(), seq.end()), seq.end());
+    }
+    for (size_t len = config_.min_length;
+         len <= config_.max_length && len <= seq.size(); ++len) {
+      for (size_t i = 0; i + len <= seq.size(); ++i) {
+        std::vector<std::string> gram(seq.begin() + i,
+                                      seq.begin() + i + len);
+        occurrences[std::move(gram)].insert(s);
+      }
+    }
+  }
+  std::vector<SequencePattern> out;
+  for (auto& [labels, support_set] : occurrences) {
+    if (support_set.size() < config_.min_support) continue;
+    SequencePattern pattern;
+    pattern.labels = labels;
+    pattern.support = support_set.size();
+    out.push_back(std::move(pattern));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SequencePattern& a, const SequencePattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.labels.size() != b.labels.size()) {
+                return a.labels.size() > b.labels.size();
+              }
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+}  // namespace semitri::analytics

@@ -1,0 +1,55 @@
+#ifndef SEMITRI_ANALYTICS_SEQUENCE_MINING_H_
+#define SEMITRI_ANALYTICS_SEQUENCE_MINING_H_
+
+// Sequential pattern mining over semantic trajectories — the "frequent
+// stops, trajectory patterns" the paper's Semantic Trajectory Analytics
+// Layer computes (§3.3). Mines frequent contiguous label sequences
+// (n-grams) from per-trajectory sequences of place/activity labels,
+// e.g. home -> work -> market -> home.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace semitri::analytics {
+
+struct SequencePattern {
+  std::vector<std::string> labels;
+  uint64_t support = 0;  // number of trajectories containing the pattern
+
+  std::string ToString() const;
+};
+
+struct SequenceMinerConfig {
+  // Pattern length bounds (contiguous subsequences).
+  size_t min_length = 2;
+  size_t max_length = 5;
+  // Minimum number of distinct input sequences a pattern must occur in.
+  uint64_t min_support = 2;
+  // Collapse immediate repeats (home, home, work -> home, work) before
+  // mining; repeated identical stops usually mean a split dwell.
+  bool collapse_repeats = true;
+};
+
+class SequenceMiner {
+ public:
+  explicit SequenceMiner(SequenceMinerConfig config = {})
+      : config_(config) {}
+
+  // Mines frequent patterns. `sequences` holds one label sequence per
+  // trajectory (e.g. the stop labels of each day). Patterns are
+  // returned sorted by support (descending), then by length
+  // (descending), then lexicographically.
+  std::vector<SequencePattern> Mine(
+      const std::vector<std::vector<std::string>>& sequences) const;
+
+  const SequenceMinerConfig& config() const { return config_; }
+
+ private:
+  SequenceMinerConfig config_;
+};
+
+}  // namespace semitri::analytics
+
+#endif  // SEMITRI_ANALYTICS_SEQUENCE_MINING_H_

@@ -1,0 +1,70 @@
+#include "analytics/similarity.h"
+
+#include <algorithm>
+
+namespace semitri::analytics {
+
+size_t SequenceEditDistance(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1), current(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t substitution = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[j] = std::min({prev[j] + 1, current[j - 1] + 1, substitution});
+    }
+    prev.swap(current);
+  }
+  return prev[m];
+}
+
+double EditSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(SequenceEditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+size_t LongestCommonSubsequence(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1, 0), current(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      current[j] = a[i - 1] == b[j - 1]
+                       ? prev[j - 1] + 1
+                       : std::max(prev[j], current[j - 1]);
+    }
+    prev = current;
+  }
+  return prev[m];
+}
+
+double LcsSimilarity(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return static_cast<double>(LongestCommonSubsequence(a, b)) /
+         static_cast<double>(longest);
+}
+
+std::vector<std::vector<double>> SimilarityMatrix(
+    const std::vector<std::vector<std::string>>& sequences) {
+  const size_t n = sequences.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 1.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = EditSimilarity(sequences[i], sequences[j]);
+      matrix[i][j] = s;
+      matrix[j][i] = s;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace semitri::analytics

@@ -1,0 +1,40 @@
+#ifndef SEMITRI_ANALYTICS_SIMILARITY_H_
+#define SEMITRI_ANALYTICS_SIMILARITY_H_
+
+// Semantic trajectory similarity — one of the applications the paper's
+// introduction says semantic trajectories enable ("semantic similarity,
+// semantic pattern mining"). Trajectories compare by their label
+// sequences (stop activities, place labels, or landuse codes), not by
+// geometry, so a Tuesday and a Thursday with the same routine are
+// similar even when the geometry differs.
+
+#include <string>
+#include <vector>
+
+namespace semitri::analytics {
+
+// Levenshtein distance between two label sequences.
+size_t SequenceEditDistance(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+// 1 - editDistance / max(len); 1.0 for identical, 0.0 for disjoint.
+// Two empty sequences are identical (1.0).
+double EditSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+// Length of the longest common subsequence.
+size_t LongestCommonSubsequence(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b);
+
+// LCS length / max(len).
+double LcsSimilarity(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+// Pairwise similarity matrix (EditSimilarity) over many trajectories;
+// result[i][j] symmetric with unit diagonal.
+std::vector<std::vector<double>> SimilarityMatrix(
+    const std::vector<std::vector<std::string>>& sequences);
+
+}  // namespace semitri::analytics
+
+#endif  // SEMITRI_ANALYTICS_SIMILARITY_H_

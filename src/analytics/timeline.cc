@@ -1,0 +1,121 @@
+#include "analytics/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace semitri::analytics {
+
+namespace {
+
+// The semantic episode (if any) of `layer` whose source is episode
+// index `e`.
+const core::SemanticEpisode* FindLayerEpisode(
+    const std::optional<core::StructuredSemanticTrajectory>& layer,
+    size_t e) {
+  if (!layer.has_value()) return nullptr;
+  for (const core::SemanticEpisode& ep : layer->episodes) {
+    if (ep.source_episode == e) return &ep;
+  }
+  return nullptr;
+}
+
+// Mode annotation of a move: the modes of its line-layer sub-episodes,
+// ordered by total time share, joined with '+', minor shares dropped.
+std::string DominantModes(
+    const std::optional<core::StructuredSemanticTrajectory>& line_layer,
+    size_t e) {
+  if (!line_layer.has_value()) return "";
+  std::map<std::string, double> mode_time;
+  double total = 0.0;
+  for (const core::SemanticEpisode& ep : line_layer->episodes) {
+    if (ep.source_episode != e) continue;
+    const std::string& mode = ep.FindAnnotation("transport_mode");
+    if (mode.empty()) continue;
+    mode_time[mode] += ep.DurationSeconds();
+    total += ep.DurationSeconds();
+  }
+  if (mode_time.empty()) return "";
+  std::vector<std::pair<std::string, double>> ordered(mode_time.begin(),
+                                                      mode_time.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> kept;
+  for (const auto& [mode, time] : ordered) {
+    if (time >= 0.12 * total) kept.push_back(mode);
+  }
+  return common::Join(kept, "+");
+}
+
+}  // namespace
+
+std::string FormatClock(core::Timestamp t) {
+  double day_seconds = std::fmod(t, 86400.0);
+  int hh = static_cast<int>(day_seconds) / 3600;
+  int mm = (static_cast<int>(day_seconds) % 3600) / 60;
+  return common::StrFormat("%02d:%02d", hh, mm);
+}
+
+std::vector<TimelineEntry> BuildTimeline(
+    const core::PipelineResult& result, const region::RegionSet* regions,
+    const poi::PoiSet* pois,
+    const std::vector<PersonalPlace>* personal_places) {
+  std::vector<TimelineEntry> timeline;
+  for (size_t e = 0; e < result.episodes.size(); ++e) {
+    const core::Episode& episode = result.episodes[e];
+    TimelineEntry entry;
+    entry.kind = episode.kind;
+    entry.time_in = episode.time_in;
+    entry.time_out = episode.time_out;
+
+    if (episode.kind == core::EpisodeKind::kMove) {
+      entry.place = "road";
+      entry.annotation = DominantModes(result.line_layer, e);
+    } else {
+      // Stop label priority: personal place > named region > POI link >
+      // landuse class.
+      const core::SemanticEpisode* region_ep =
+          FindLayerEpisode(result.region_layer, e);
+      const core::SemanticEpisode* point_ep =
+          FindLayerEpisode(result.point_layer, e);
+      bool at_personal_place = false;
+      if (personal_places != nullptr) {
+        size_t place = PersonalPlaceDetector::PlaceFor(
+            *personal_places, episode.center, /*radius=*/150.0);
+        if (place != SIZE_MAX) {
+          entry.place = (*personal_places)[place].label;
+          at_personal_place = true;
+          // At home/work the decoded POI activity is noise from nearby
+          // businesses; annotate "work" at the workplace, else nothing
+          // (the §1.1 example's "(home, -, -)" / "(office, -, work)").
+          if (entry.place == "work") entry.annotation = "work";
+        }
+      }
+      if (entry.place.empty() && region_ep != nullptr) {
+        entry.place = region_ep->FindAnnotation("region_name");
+        if (entry.place.empty()) {
+          entry.place = region_ep->FindAnnotation("landuse_name");
+        }
+      }
+      if (entry.place.empty() && point_ep != nullptr && pois != nullptr &&
+          point_ep->place.valid()) {
+        entry.place = pois->Get(point_ep->place.id).name;
+      }
+      if (entry.place.empty()) entry.place = "unknown place";
+      // Only claim an activity when the stop actually linked to a POI;
+      // a dwell with no nearby POI (home, office) keeps "-" like the
+      // §1.1 example.
+      if (!at_personal_place && point_ep != nullptr &&
+          point_ep->place.valid()) {
+        entry.annotation = point_ep->FindAnnotation("poi_category");
+      }
+    }
+    timeline.push_back(std::move(entry));
+  }
+  (void)regions;
+  return timeline;
+}
+
+}  // namespace semitri::analytics

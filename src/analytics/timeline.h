@@ -1,0 +1,53 @@
+#ifndef SEMITRI_ANALYTICS_TIMELINE_H_
+#define SEMITRI_ANALYTICS_TIMELINE_H_
+
+// Composes the three annotation layers into the application-facing
+// semantic view of paper §1.1:
+//
+//   (home, -9am, -) -> (road, 9am-10am, on-bus) -> (office, 10am-5pm,
+//   work) -> (market, 5:30-6pm, shopping) -> ...
+//
+// Each stop becomes one entry labeled with (in priority order) the
+// named free-form region, the linked POI, or the landuse class; its
+// annotation is the decoded activity (POI category). Each move becomes
+// one entry labeled "road" annotated with its dominant transportation
+// mode(s) by time share.
+
+#include <string>
+#include <vector>
+
+#include "analytics/personal_places.h"
+#include "core/pipeline.h"
+#include "core/types.h"
+#include "poi/poi_set.h"
+#include "region/region_set.h"
+
+namespace semitri::analytics {
+
+struct TimelineEntry {
+  core::EpisodeKind kind = core::EpisodeKind::kStop;
+  core::Timestamp time_in = 0.0;
+  core::Timestamp time_out = 0.0;
+  // Semantic place label ("EPFL campus", "feedings #17", "road",
+  // "building areas").
+  std::string place;
+  // Additional-value annotation ("item sale", "metro+walk", "").
+  std::string annotation;
+};
+
+// Builds the timeline for one processed trajectory. `regions` / `pois`
+// may be null when the corresponding layer was skipped. When
+// `personal_places` is given (from PersonalPlaceDetector over the
+// object's history), stops at a detected place take its label
+// ("home"/"work"/"place-N") — the §1.1 `home`/`office` labels.
+std::vector<TimelineEntry> BuildTimeline(
+    const core::PipelineResult& result, const region::RegionSet* regions,
+    const poi::PoiSet* pois,
+    const std::vector<PersonalPlace>* personal_places = nullptr);
+
+// Formats seconds-since-day-start as HH:MM.
+std::string FormatClock(core::Timestamp t);
+
+}  // namespace semitri::analytics
+
+#endif  // SEMITRI_ANALYTICS_TIMELINE_H_

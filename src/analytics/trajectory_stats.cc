@@ -1,0 +1,77 @@
+#include "analytics/trajectory_stats.h"
+
+namespace semitri::analytics {
+
+LanduseBreakdown ComputeLanduseBreakdown(
+    const core::RawTrajectory& trajectory,
+    const std::vector<core::Episode>& episodes,
+    const region::RegionAnnotator& annotator,
+    const region::RegionSet& regions) {
+  LanduseBreakdown out;
+  std::vector<core::PlaceId> point_regions =
+      annotator.ClassifyPoints(trajectory);
+
+  // Motion context of each point.
+  std::vector<core::EpisodeKind> kind(trajectory.points.size(),
+                                      core::EpisodeKind::kMove);
+  for (const core::Episode& ep : episodes) {
+    for (size_t i = ep.begin; i < ep.end && i < kind.size(); ++i) {
+      kind[i] = ep.kind;
+    }
+  }
+
+  for (size_t i = 0; i < point_regions.size(); ++i) {
+    if (point_regions[i] == core::kInvalidPlaceId) {
+      ++out.uncovered_points;
+      continue;
+    }
+    const char* code =
+        region::LanduseCategoryCode(regions.Get(point_regions[i]).category);
+    out.trajectory.Add(code);
+    if (kind[i] == core::EpisodeKind::kStop) {
+      out.stop.Add(code);
+    } else if (kind[i] == core::EpisodeKind::kMove) {
+      out.move.Add(code);
+    }
+  }
+  return out;
+}
+
+int TrajectoryCategory(const core::StructuredSemanticTrajectory& point_layer,
+                       size_t num_categories) {
+  std::vector<double> stop_time(num_categories, 0.0);
+  bool any = false;
+  for (const core::SemanticEpisode& ep : point_layer.episodes) {
+    if (ep.kind != core::EpisodeKind::kStop) continue;
+    const std::string& id = ep.FindAnnotation("poi_category_id");
+    if (id.empty()) continue;
+    size_t c = static_cast<size_t>(std::stoi(id));
+    if (c >= num_categories) continue;
+    stop_time[c] += ep.DurationSeconds();
+    any = true;
+  }
+  if (!any) return -1;
+  size_t best = 0;
+  for (size_t c = 1; c < num_categories; ++c) {
+    if (stop_time[c] > stop_time[best]) best = c;
+  }
+  return static_cast<int>(best);
+}
+
+void ContextCounts::Accumulate(const core::RawTrajectory& trajectory,
+                               const std::vector<core::Episode>& episodes) {
+  ++num_trajectories;
+  num_gps_records += trajectory.points.size();
+  trajectory_sizes.Add(static_cast<double>(trajectory.points.size()));
+  for (const core::Episode& ep : episodes) {
+    if (ep.kind == core::EpisodeKind::kStop) {
+      ++num_stops;
+      stop_sizes.Add(static_cast<double>(ep.num_points()));
+    } else if (ep.kind == core::EpisodeKind::kMove) {
+      ++num_moves;
+      move_sizes.Add(static_cast<double>(ep.num_points()));
+    }
+  }
+}
+
+}  // namespace semitri::analytics

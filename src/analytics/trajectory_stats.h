@@ -1,0 +1,72 @@
+#ifndef SEMITRI_ANALYTICS_TRAJECTORY_STATS_H_
+#define SEMITRI_ANALYTICS_TRAJECTORY_STATS_H_
+
+// Semantic Trajectory Analytics Layer statistics:
+//   * landuse category breakdowns over whole trajectories / moves /
+//     stops (Figs. 9 and 14);
+//   * trajectory categorization by dominant stop category (Eq. 8);
+//   * episode/GPS-count context summaries (Figs. 12 and 13);
+//   * storage-compression accounting (the 99.7 % claim of §5.2).
+
+#include <array>
+#include <vector>
+
+#include "analytics/distribution.h"
+#include "core/types.h"
+#include "region/region_annotator.h"
+
+namespace semitri::analytics {
+
+// Per-landuse-category point counts for a trajectory, split by motion
+// context (the three columns of Fig. 9).
+struct LanduseBreakdown {
+  LabeledDistribution trajectory;  // every GPS point
+  LabeledDistribution move;        // points inside move episodes
+  LabeledDistribution stop;        // points inside stop episodes
+  uint64_t uncovered_points = 0;   // points outside every region
+};
+
+LanduseBreakdown ComputeLanduseBreakdown(
+    const core::RawTrajectory& trajectory,
+    const std::vector<core::Episode>& episodes,
+    const region::RegionAnnotator& annotator,
+    const region::RegionSet& regions);
+
+// Eq. 8: the trajectory category is the POI category with the maximum
+// total stop time in the "point" interpretation. Returns -1 when the
+// interpretation holds no stops.
+int TrajectoryCategory(const core::StructuredSemanticTrajectory& point_layer,
+                       size_t num_categories);
+
+// Counts behind Fig. 12 / Fig. 13: sizes of trajectories and their
+// stop/move episodes.
+struct ContextCounts {
+  size_t num_trajectories = 0;
+  size_t num_gps_records = 0;
+  size_t num_stops = 0;
+  size_t num_moves = 0;
+  LogHistogram trajectory_sizes{4};
+  LogHistogram stop_sizes{4};
+  LogHistogram move_sizes{4};
+
+  void Accumulate(const core::RawTrajectory& trajectory,
+                  const std::vector<core::Episode>& episodes);
+};
+
+// Storage compression of episode-level annotation versus per-record
+// annotation (§5.2: 3M GPS records -> 8,385 region tuples, 99.7 %).
+struct CompressionStats {
+  size_t raw_records = 0;
+  size_t semantic_tuples = 0;
+
+  double CompressionRatio() const {
+    return raw_records == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(semantic_tuples) /
+                           static_cast<double>(raw_records);
+  }
+};
+
+}  // namespace semitri::analytics
+
+#endif  // SEMITRI_ANALYTICS_TRAJECTORY_STATS_H_

@@ -1,0 +1,35 @@
+#ifndef SEMITRI_COMMON_STRINGS_H_
+#define SEMITRI_COMMON_STRINGS_H_
+
+// Small string utilities shared across the library: printf-style
+// formatting into std::string, splitting/joining, and CSV field escaping.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semitri::common {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Splits on a single-character delimiter. Keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Escapes a CSV field (quotes when it contains comma/quote/newline).
+std::string CsvEscape(std::string_view field);
+
+// Parses one CSV line honoring double-quoted fields.
+std::vector<std::string> CsvParseLine(std::string_view line);
+
+}  // namespace semitri::common
+
+#endif  // SEMITRI_COMMON_STRINGS_H_

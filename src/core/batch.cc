@@ -1,0 +1,86 @@
+#include "core/batch.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace semitri::core {
+
+common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
+    const std::map<ObjectId, std::vector<GpsPoint>>& streams,
+    TrajectoryId ids_per_object) const {
+  // Snapshot the work items so workers can index them.
+  struct WorkItem {
+    ObjectId object_id;
+    const std::vector<GpsPoint>* stream;
+    TrajectoryId first_id;
+  };
+  std::vector<WorkItem> work;
+  work.reserve(streams.size());
+  TrajectoryId block = 0;
+  for (const auto& [object_id, stream] : streams) {
+    work.push_back({object_id, &stream, block * ids_per_object});
+    ++block;
+  }
+
+  size_t num_threads = options_.num_threads > 0
+                           ? options_.num_threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+  num_threads = std::min(num_threads, std::max<size_t>(1, work.size()));
+
+  std::vector<ObjectResults> out(work.size());
+  std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  common::Status first_error;
+
+  auto worker = [&]() {
+    while (true) {
+      size_t index = next.fetch_add(1);
+      if (index >= work.size()) return;
+      const WorkItem& item = work[index];
+      common::Result<std::vector<PipelineResult>> results =
+          pipeline_->ProcessStream(item.object_id, *item.stream,
+                                   item.first_id);
+      if (!results.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = results.status();
+        return;
+      }
+      out[index].object_id = item.object_id;
+      out[index].results = std::move(*results);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  if (!first_error.ok()) return first_error;
+  return out;
+}
+
+common::Status BatchProcessor::StoreResults(
+    const std::vector<ObjectResults>& all,
+    store::SemanticTrajectoryStore* store) {
+  for (const ObjectResults& object : all) {
+    for (const PipelineResult& result : object.results) {
+      SEMITRI_RETURN_IF_ERROR(store->PutRawTrajectory(result.cleaned));
+      SEMITRI_RETURN_IF_ERROR(
+          store->PutEpisodes(result.cleaned.id, result.episodes));
+      if (result.region_layer.has_value()) {
+        SEMITRI_RETURN_IF_ERROR(
+            store->PutInterpretation(*result.region_layer));
+      }
+      if (result.line_layer.has_value()) {
+        SEMITRI_RETURN_IF_ERROR(store->PutInterpretation(*result.line_layer));
+      }
+      if (result.point_layer.has_value()) {
+        SEMITRI_RETURN_IF_ERROR(
+            store->PutInterpretation(*result.point_layer));
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace semitri::core

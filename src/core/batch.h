@@ -1,0 +1,60 @@
+#ifndef SEMITRI_CORE_BATCH_H_
+#define SEMITRI_CORE_BATCH_H_
+
+// Multi-threaded batch annotation. The paper's efficiency requirement
+// ("the available datasets are large and quickly growing, and
+// annotation data is even required in real-time", §1.2) maps naturally
+// onto per-object parallelism: objects are independent, the semantic
+// sources are immutable during annotation, and SemiTriPipeline's
+// processing methods are const and thread-safe.
+//
+// Store writes are not thread-safe, so the batch processor runs the
+// pipeline without a store sink and lets the caller persist results
+// (or use StoreResults below, which writes serially).
+
+#include <map>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace semitri::core {
+
+struct BatchOptions {
+  // 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+struct ObjectResults {
+  ObjectId object_id = 0;
+  std::vector<PipelineResult> results;
+};
+
+class BatchProcessor {
+ public:
+  // `pipeline` must outlive the processor and must have been built
+  // without a store/profiler sink (those are not thread-safe); pass
+  // results to StoreResults afterwards instead.
+  explicit BatchProcessor(const SemiTriPipeline* pipeline,
+                          BatchOptions options = {})
+      : pipeline_(pipeline), options_(options) {}
+
+  // Processes every object's stream in parallel. Results are returned
+  // ordered by object id regardless of scheduling; trajectory ids are
+  // assigned deterministically (per-object blocks of `ids_per_object`).
+  common::Result<std::vector<ObjectResults>> Process(
+      const std::map<ObjectId, std::vector<GpsPoint>>& streams,
+      TrajectoryId ids_per_object = 1000) const;
+
+  // Serially persists batch results into a store.
+  static common::Status StoreResults(
+      const std::vector<ObjectResults>& all,
+      store::SemanticTrajectoryStore* store);
+
+ private:
+  const SemiTriPipeline* pipeline_;
+  BatchOptions options_;
+};
+
+}  // namespace semitri::core
+
+#endif  // SEMITRI_CORE_BATCH_H_

@@ -1,0 +1,57 @@
+#include "core/ingest.h"
+
+#include <cmath>
+
+namespace semitri::core {
+
+namespace {
+
+bool IsValidFix(const LatLonFix& fix) {
+  return std::isfinite(fix.position.lat) && std::isfinite(fix.position.lon) &&
+         std::isfinite(fix.time) && fix.position.lat >= -90.0 &&
+         fix.position.lat <= 90.0 && fix.position.lon >= -180.0 &&
+         fix.position.lon <= 180.0;
+}
+
+}  // namespace
+
+common::Result<GpsIngestor> GpsIngestor::AroundCentroid(
+    const std::vector<LatLonFix>& fixes) {
+  double lat_sum = 0.0, lon_sum = 0.0;
+  size_t count = 0;
+  for (const LatLonFix& fix : fixes) {
+    if (!IsValidFix(fix)) continue;
+    lat_sum += fix.position.lat;
+    lon_sum += fix.position.lon;
+    ++count;
+  }
+  if (count == 0) {
+    return common::Status::InvalidArgument(
+        "no valid fixes to derive a reference from");
+  }
+  return GpsIngestor(geo::LatLon{lat_sum / static_cast<double>(count),
+                                 lon_sum / static_cast<double>(count)});
+}
+
+std::vector<GpsPoint> GpsIngestor::ToLocal(
+    const std::vector<LatLonFix>& fixes) const {
+  std::vector<GpsPoint> out;
+  out.reserve(fixes.size());
+  for (const LatLonFix& fix : fixes) {
+    if (!IsValidFix(fix)) continue;
+    out.push_back({projection_.ToLocal(fix.position), fix.time});
+  }
+  return out;
+}
+
+std::vector<LatLonFix> GpsIngestor::ToLatLon(
+    const std::vector<GpsPoint>& points) const {
+  std::vector<LatLonFix> out;
+  out.reserve(points.size());
+  for (const GpsPoint& p : points) {
+    out.push_back({projection_.ToLatLon(p.position), p.time});
+  }
+  return out;
+}
+
+}  // namespace semitri::core

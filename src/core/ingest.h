@@ -1,0 +1,46 @@
+#ifndef SEMITRI_CORE_INGEST_H_
+#define SEMITRI_CORE_INGEST_H_
+
+// WGS-84 ingestion boundary: real GPS feeds arrive as (longitude,
+// latitude, timestamp) triples (Def. 1); the pipeline runs in a local
+// metric frame. GpsIngestor projects a stream around a reference
+// coordinate (by default the stream's own centroid) and back.
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "geo/latlon.h"
+
+namespace semitri::core {
+
+struct LatLonFix {
+  geo::LatLon position;
+  Timestamp time = 0.0;
+};
+
+class GpsIngestor {
+ public:
+  explicit GpsIngestor(geo::LatLon reference) : projection_(reference) {}
+
+  // Reference chosen as the centroid of the fixes (convenient for
+  // single-city corpora). Fails on an empty stream.
+  static common::Result<GpsIngestor> AroundCentroid(
+      const std::vector<LatLonFix>& fixes);
+
+  // Projects a WGS-84 stream into the local metric frame, dropping
+  // non-finite coordinates and fixes outside valid WGS-84 ranges.
+  std::vector<GpsPoint> ToLocal(const std::vector<LatLonFix>& fixes) const;
+
+  // Back-projects (for export).
+  std::vector<LatLonFix> ToLatLon(const std::vector<GpsPoint>& points) const;
+
+  const geo::LocalProjection& projection() const { return projection_; }
+
+ private:
+  geo::LocalProjection projection_;
+};
+
+}  // namespace semitri::core
+
+#endif  // SEMITRI_CORE_INGEST_H_

@@ -1,0 +1,138 @@
+#include "core/pipeline.h"
+
+namespace semitri::core {
+
+namespace {
+
+// Times a stage only when a profiler is attached.
+class StageTimer {
+ public:
+  StageTimer(analytics::LatencyProfiler* profiler, const char* stage) {
+    if (profiler != nullptr) {
+      scope_.emplace(profiler, stage);
+    }
+  }
+
+ private:
+  std::optional<analytics::LatencyProfiler::Scope> scope_;
+};
+
+}  // namespace
+
+size_t PipelineResult::NumStops() const {
+  size_t n = 0;
+  for (const Episode& e : episodes) {
+    if (e.kind == EpisodeKind::kStop) ++n;
+  }
+  return n;
+}
+
+size_t PipelineResult::NumMoves() const {
+  size_t n = 0;
+  for (const Episode& e : episodes) {
+    if (e.kind == EpisodeKind::kMove) ++n;
+  }
+  return n;
+}
+
+SemiTriPipeline::SemiTriPipeline(const region::RegionSet* regions,
+                                 const road::RoadNetwork* roads,
+                                 const poi::PoiSet* pois,
+                                 PipelineConfig config,
+                                 store::SemanticTrajectoryStore* store,
+                                 analytics::LatencyProfiler* profiler)
+    : config_(std::move(config)),
+      preprocessor_(config_.preprocess),
+      identifier_(config_.identification),
+      segmenter_(config_.segmentation),
+      store_(store),
+      profiler_(profiler) {
+  if (regions != nullptr) {
+    region_annotator_ =
+        std::make_unique<region::RegionAnnotator>(regions, config_.region);
+  }
+  if (roads != nullptr) {
+    line_annotator_ =
+        std::make_unique<road::LineAnnotator>(roads, config_.line);
+  }
+  if (pois != nullptr && !pois->empty()) {
+    point_annotator_ =
+        std::make_unique<poi::PointAnnotator>(pois, config_.point);
+  }
+}
+
+common::Result<PipelineResult> SemiTriPipeline::ProcessTrajectory(
+    const RawTrajectory& raw) const {
+  PipelineResult result;
+
+  // --- Trajectory Computation Layer ----------------------------------
+  {
+    StageTimer timer(profiler_, kStageComputeEpisode);
+    result.cleaned = preprocessor_.Clean(raw);
+    result.episodes = segmenter_.Segment(result.cleaned);
+  }
+  if (store_ != nullptr) {
+    StageTimer timer(profiler_, kStageStoreEpisode);
+    SEMITRI_RETURN_IF_ERROR(store_->PutRawTrajectory(result.cleaned));
+    SEMITRI_RETURN_IF_ERROR(
+        store_->PutEpisodes(result.cleaned.id, result.episodes));
+  }
+
+  // --- Semantic Region Annotation Layer -------------------------------
+  if (region_annotator_ != nullptr) {
+    StageTimer timer(profiler_, kStageLanduseJoin);
+    result.region_layer =
+        config_.region_per_point
+            ? region_annotator_->AnnotateTrajectory(result.cleaned)
+            : region_annotator_->AnnotateEpisodes(result.cleaned,
+                                                  result.episodes);
+  }
+  // --- Semantic Line Annotation Layer ---------------------------------
+  if (line_annotator_ != nullptr) {
+    {
+      StageTimer timer(profiler_, kStageMapMatch);
+      result.line_layer =
+          line_annotator_->Annotate(result.cleaned, result.episodes);
+    }
+    if (store_ != nullptr) {
+      StageTimer timer(profiler_, kStageStoreMatch);
+      SEMITRI_RETURN_IF_ERROR(store_->PutInterpretation(*result.line_layer));
+    }
+  }
+  // --- Semantic Point Annotation Layer --------------------------------
+  if (point_annotator_ != nullptr) {
+    StageTimer timer(profiler_, kStagePointAnnotation);
+    common::Result<StructuredSemanticTrajectory> point_layer =
+        point_annotator_->Annotate(result.cleaned, result.episodes);
+    if (!point_layer.ok()) return point_layer.status();
+    result.point_layer = std::move(*point_layer);
+  }
+  // Store the remaining interpretations.
+  if (store_ != nullptr) {
+    if (result.region_layer.has_value()) {
+      SEMITRI_RETURN_IF_ERROR(
+          store_->PutInterpretation(*result.region_layer));
+    }
+    if (result.point_layer.has_value()) {
+      SEMITRI_RETURN_IF_ERROR(store_->PutInterpretation(*result.point_layer));
+    }
+  }
+  return result;
+}
+
+common::Result<std::vector<PipelineResult>> SemiTriPipeline::ProcessStream(
+    ObjectId object_id, const std::vector<GpsPoint>& stream,
+    TrajectoryId first_id) const {
+  std::vector<PipelineResult> out;
+  std::vector<RawTrajectory> trajectories =
+      identifier_.Identify(object_id, stream, first_id);
+  out.reserve(trajectories.size());
+  for (const RawTrajectory& t : trajectories) {
+    common::Result<PipelineResult> result = ProcessTrajectory(t);
+    if (!result.ok()) return result.status();
+    out.push_back(std::move(*result));
+  }
+  return out;
+}
+
+}  // namespace semitri::core

@@ -1,0 +1,101 @@
+#ifndef SEMITRI_CORE_PIPELINE_H_
+#define SEMITRI_CORE_PIPELINE_H_
+
+// SeMiTri end-to-end pipeline (paper Fig. 2): Trajectory Computation
+// Layer (cleaning, identification, stop/move episodes), then the three
+// annotation layers (region / line / point), writing products into the
+// Semantic Trajectory Store and accounting per-stage latency with the
+// stage names of Fig. 17.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analytics/latency_profiler.h"
+#include "common/status.h"
+#include "core/types.h"
+#include "poi/point_annotator.h"
+#include "region/region_annotator.h"
+#include "road/line_annotator.h"
+#include "store/semantic_trajectory_store.h"
+#include "traj/identification.h"
+#include "traj/preprocess.h"
+#include "traj/segmentation.h"
+
+namespace semitri::core {
+
+struct PipelineConfig {
+  traj::PreprocessConfig preprocess;
+  traj::IdentificationConfig identification;
+  traj::SegmentationConfig segmentation;
+  region::RegionAnnotatorConfig region;
+  road::LineAnnotatorConfig line;
+  poi::PointAnnotatorConfig point;
+  // Region layer granularity: per-GPS-point Algorithm 1 (true) or
+  // per-episode join (false).
+  bool region_per_point = false;
+};
+
+// Everything the pipeline derives from one raw trajectory.
+struct PipelineResult {
+  RawTrajectory cleaned;
+  std::vector<Episode> episodes;
+  // Layers are present when the corresponding source was supplied.
+  std::optional<StructuredSemanticTrajectory> region_layer;
+  std::optional<StructuredSemanticTrajectory> line_layer;
+  std::optional<StructuredSemanticTrajectory> point_layer;
+
+  size_t NumStops() const;
+  size_t NumMoves() const;
+};
+
+// Fig. 17 stage names.
+inline constexpr char kStageComputeEpisode[] = "compute_episode";
+inline constexpr char kStageStoreEpisode[] = "store_episode";
+inline constexpr char kStageMapMatch[] = "map_match";
+inline constexpr char kStageStoreMatch[] = "store_match_result";
+inline constexpr char kStageLanduseJoin[] = "landuse_join";
+inline constexpr char kStagePointAnnotation[] = "point_annotation";
+
+class SemiTriPipeline {
+ public:
+  // Any of `regions` / `roads` / `pois` may be null: the corresponding
+  // layer is skipped (the paper notes SeMiTri produces partial
+  // annotations when 3rd-party sources are missing). `store` and
+  // `profiler` are optional sinks; all pointers must outlive the
+  // pipeline.
+  SemiTriPipeline(const region::RegionSet* regions,
+                  const road::RoadNetwork* roads, const poi::PoiSet* pois,
+                  PipelineConfig config = {},
+                  store::SemanticTrajectoryStore* store = nullptr,
+                  analytics::LatencyProfiler* profiler = nullptr);
+
+  // Full per-trajectory processing: clean -> episodes -> annotate ->
+  // store.
+  common::Result<PipelineResult> ProcessTrajectory(
+      const RawTrajectory& raw) const;
+
+  // Splits a continuous GPS stream into raw trajectories and processes
+  // each.
+  common::Result<std::vector<PipelineResult>> ProcessStream(
+      ObjectId object_id, const std::vector<GpsPoint>& stream,
+      TrajectoryId first_id = 0) const;
+
+  const traj::TrajectoryIdentifier& identifier() const { return identifier_; }
+  const traj::StopMoveSegmenter& segmenter() const { return segmenter_; }
+
+ private:
+  PipelineConfig config_;
+  traj::Preprocessor preprocessor_;
+  traj::TrajectoryIdentifier identifier_;
+  traj::StopMoveSegmenter segmenter_;
+  std::unique_ptr<region::RegionAnnotator> region_annotator_;
+  std::unique_ptr<road::LineAnnotator> line_annotator_;
+  std::unique_ptr<poi::PointAnnotator> point_annotator_;
+  store::SemanticTrajectoryStore* store_;
+  analytics::LatencyProfiler* profiler_;
+};
+
+}  // namespace semitri::core
+
+#endif  // SEMITRI_CORE_PIPELINE_H_

@@ -1,0 +1,40 @@
+#include "core/types.h"
+
+namespace semitri::core {
+
+const char* EpisodeKindName(EpisodeKind kind) {
+  switch (kind) {
+    case EpisodeKind::kStop:
+      return "stop";
+    case EpisodeKind::kMove:
+      return "move";
+    case EpisodeKind::kBegin:
+      return "begin";
+    case EpisodeKind::kEnd:
+      return "end";
+  }
+  return "unknown";
+}
+
+const char* PlaceKindName(PlaceKind kind) {
+  switch (kind) {
+    case PlaceKind::kRegion:
+      return "region";
+    case PlaceKind::kLine:
+      return "line";
+    case PlaceKind::kPoint:
+      return "point";
+  }
+  return "unknown";
+}
+
+const std::string& SemanticEpisode::FindAnnotation(
+    const std::string& key) const {
+  static const std::string kEmpty;
+  for (const Annotation& a : annotations) {
+    if (a.key == key) return a.value;
+  }
+  return kEmpty;
+}
+
+}  // namespace semitri::core

@@ -1,0 +1,140 @@
+#ifndef SEMITRI_CORE_TYPES_H_
+#define SEMITRI_CORE_TYPES_H_
+
+// The semantic trajectory data model (paper §3.1, Definitions 1–4):
+//
+//   Def. 1  Raw trajectory  T  = sequence of (x, y, t) points.
+//   Def. 2  Semantic places P  = regions ∪ lines ∪ points (ROI/LOI/POI).
+//   Def. 3  Semantic trajectory     = points + annotations.
+//   Def. 4  Structured semantic trajectory = sequence of episodes
+//           ep = (semantic place, time_in, time_out, annotations).
+//
+// Positions are kept in a local planar metric frame (see geo/latlon.h for
+// the WGS-84 conversion used at the ingestion boundary).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/box.h"
+#include "geo/point.h"
+
+namespace semitri::core {
+
+using ObjectId = int64_t;
+using TrajectoryId = int64_t;
+using PlaceId = int64_t;
+// Seconds since the epoch of the dataset (generators start at 0).
+using Timestamp = double;
+
+inline constexpr PlaceId kInvalidPlaceId = -1;
+
+// One GPS fix (Def. 1 triple) in the local metric frame.
+struct GpsPoint {
+  geo::Point position;
+  Timestamp time = 0.0;
+};
+
+// Def. 1 — a finite, application-meaningful subsequence of the raw stream.
+struct RawTrajectory {
+  TrajectoryId id = 0;
+  ObjectId object_id = 0;
+  std::vector<GpsPoint> points;
+
+  bool empty() const { return points.empty(); }
+  size_t size() const { return points.size(); }
+
+  Timestamp StartTime() const { return points.empty() ? 0.0 : points.front().time; }
+  Timestamp EndTime() const { return points.empty() ? 0.0 : points.back().time; }
+  double DurationSeconds() const { return EndTime() - StartTime(); }
+
+  geo::BoundingBox Bounds() const {
+    geo::BoundingBox box;
+    for (const GpsPoint& p : points) box.ExpandToInclude(p.position);
+    return box;
+  }
+};
+
+// Motion-context episode kinds produced by the Trajectory Computation
+// Layer. Begin/End mark the delimiting first/last positions (§1.1).
+enum class EpisodeKind { kStop, kMove, kBegin, kEnd };
+
+const char* EpisodeKindName(EpisodeKind kind);
+
+// A maximal sub-sequence of a raw trajectory satisfying a segmentation
+// predicate (stop: speed < δ with dwell, move: otherwise).
+struct Episode {
+  EpisodeKind kind = EpisodeKind::kMove;
+  // Point range [begin, end) into the owning RawTrajectory.
+  size_t begin = 0;
+  size_t end = 0;
+  Timestamp time_in = 0.0;
+  Timestamp time_out = 0.0;
+  geo::Point center;        // mean position of the covered points
+  geo::BoundingBox bounds;  // spatial extent used for the spatial join
+
+  size_t num_points() const { return end - begin; }
+  double DurationSeconds() const { return time_out - time_in; }
+};
+
+// Def. 2 — the geometric kind of a semantic place.
+enum class PlaceKind { kRegion, kLine, kPoint };
+
+const char* PlaceKindName(PlaceKind kind);
+
+// A geographic-reference annotation: a link into one of the semantic
+// place repositories (regions / road segments / POIs).
+struct PlaceLink {
+  PlaceKind kind = PlaceKind::kRegion;
+  PlaceId id = kInvalidPlaceId;
+
+  bool valid() const { return id != kInvalidPlaceId; }
+  bool operator==(const PlaceLink&) const = default;
+};
+
+// An additional-value annotation (e.g. activity = "shopping",
+// transport_mode = "metro").
+struct Annotation {
+  std::string key;
+  std::string value;
+
+  bool operator==(const Annotation&) const = default;
+};
+
+// Def. 4 episode tuple: (semantic place, time_in, time_out, annotations).
+struct SemanticEpisode {
+  EpisodeKind kind = EpisodeKind::kMove;
+  PlaceLink place;
+  Timestamp time_in = 0.0;
+  Timestamp time_out = 0.0;
+  std::vector<Annotation> annotations;
+  // Index of the source Episode in the stop/move segmentation, when this
+  // episode was derived from one (SIZE_MAX otherwise — e.g. per-segment
+  // sub-episodes created by the line annotator).
+  size_t source_episode = SIZE_MAX;
+
+  double DurationSeconds() const { return time_out - time_in; }
+
+  // First value for `key`, or empty string.
+  const std::string& FindAnnotation(const std::string& key) const;
+  void AddAnnotation(std::string key, std::string value) {
+    annotations.push_back({std::move(key), std::move(value)});
+  }
+};
+
+// Def. 4 — one *interpretation* of a trajectory as a list of semantic
+// episodes (the region / line / point layers each produce one).
+struct StructuredSemanticTrajectory {
+  TrajectoryId trajectory_id = 0;
+  ObjectId object_id = 0;
+  // Which layer produced this interpretation ("region", "line", "point").
+  std::string interpretation;
+  std::vector<SemanticEpisode> episodes;
+
+  bool empty() const { return episodes.empty(); }
+  size_t size() const { return episodes.size(); }
+};
+
+}  // namespace semitri::core
+
+#endif  // SEMITRI_CORE_TYPES_H_

@@ -1,0 +1,294 @@
+#include "datagen/movement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semitri::datagen {
+
+using road::TransportMode;
+
+SensorProfile VehicleSensor() {
+  SensorProfile s;
+  s.sample_interval_seconds = 1.0;
+  s.gps_sigma_meters = 4.0;
+  s.p_gap_start = 0.0003;
+  s.mean_gap_seconds = 30.0;
+  s.p_drop_indoor = 0.05;  // vehicles park outdoors
+  s.indoor_noise_factor = 1.2;
+  return s;
+}
+
+SensorProfile SmartphoneSensor() {
+  SensorProfile s;
+  s.sample_interval_seconds = 10.0;
+  s.gps_sigma_meters = 8.0;
+  s.p_gap_start = 0.004;
+  s.mean_gap_seconds = 120.0;
+  s.p_drop_indoor = 0.7;   // heavy indoor loss
+  s.indoor_noise_factor = 2.0;
+  return s;
+}
+
+SpeedProfile SpeedProfileFor(TransportMode mode) {
+  SpeedProfile p;
+  switch (mode) {
+    case TransportMode::kWalk:
+      p.cruise_mps = 1.35;
+      p.jitter_mps = 0.2;
+      break;
+    case TransportMode::kBicycle:
+      p.cruise_mps = 4.3;
+      p.jitter_mps = 0.6;
+      break;
+    case TransportMode::kBus:
+      p.cruise_mps = 8.5;
+      p.jitter_mps = 1.6;
+      p.stop_spacing_m = 320.0;
+      p.stop_dwell_s = 18.0;
+      break;
+    case TransportMode::kMetro:
+      p.cruise_mps = 13.0;
+      p.jitter_mps = 1.0;
+      p.stop_spacing_m = 600.0;
+      p.stop_dwell_s = 22.0;
+      break;
+    case TransportMode::kCar:
+      p.cruise_mps = 10.5;
+      p.jitter_mps = 2.2;
+      break;
+    case TransportMode::kUnknown:
+      break;
+  }
+  return p;
+}
+
+MovementSimulator::MovementSimulator(const World* world, uint64_t seed)
+    : world_(world), router_(&world->roads), rng_(seed) {}
+
+void MovementSimulator::AppendStop(SimulatedTrack* track,
+                                   const geo::Point& location,
+                                   core::Timestamp start, double duration,
+                                   const SensorProfile& sensor,
+                                   core::PlaceId poi, int poi_category,
+                                   std::string label) {
+  TruthStop stop;
+  stop.time_in = start;
+  stop.time_out = start + duration;
+  stop.location = location;
+  stop.poi = poi;
+  stop.poi_category = poi_category;
+  stop.label = std::move(label);
+  track->stops.push_back(stop);
+
+  double sigma = sensor.gps_sigma_meters * sensor.indoor_noise_factor;
+  double interval =
+      sensor.sample_interval_seconds * sensor.indoor_interval_factor;
+  for (double t = start; t < start + duration; t += interval) {
+    if (rng_.Bernoulli(sensor.p_drop_indoor)) continue;
+    core::GpsPoint p;
+    p.position = {location.x + rng_.Gaussian(0.0, sigma),
+                  location.y + rng_.Gaussian(0.0, sigma)};
+    p.time = t;
+    track->points.push_back(p);
+    track->truth.push_back(TruthSample{});  // dwelling: no segment, no mode
+  }
+}
+
+core::Timestamp MovementSimulator::AppendTravel(SimulatedTrack* track,
+                                                const road::RoutePath& path,
+                                                TransportMode mode,
+                                                core::Timestamp start,
+                                                const SensorProfile& sensor) {
+  if (path.nodes.size() < 2) return start;
+  const SpeedProfile profile = SpeedProfileFor(mode);
+  const road::RoadNetwork& roads = world_->roads;
+
+  // Cumulative arc lengths over the node polyline.
+  std::vector<double> cum(path.nodes.size(), 0.0);
+  for (size_t i = 1; i < path.nodes.size(); ++i) {
+    cum[i] = cum[i - 1] +
+             roads.node(path.nodes[i - 1]).DistanceTo(roads.node(path.nodes[i]));
+  }
+  const double total = cum.back();
+
+  double s = 0.0;
+  double v = profile.cruise_mps;
+  double t = start;
+  double next_emit = start;
+  double gap_until = -1.0;
+  double halt_until = -1.0;
+  double dist_since_halt = rng_.Uniform(0.0, profile.stop_spacing_m);
+  size_t edge = 0;
+  size_t last_crossed_edge = 0;
+  const double dt = 1.0;
+  const bool road_vehicle =
+      mode == TransportMode::kBus || mode == TransportMode::kCar;
+
+  while (s < total) {
+    // Kinematics: OU-style wobble around cruise speed.
+    if (t < halt_until) {
+      v = 0.0;
+    } else {
+      if (v <= 0.0) v = 0.5 * profile.cruise_mps;  // pull away
+      v += 0.25 * (profile.cruise_mps - v) * dt +
+           profile.jitter_mps * rng_.Gaussian(0.0, 1.0) * std::sqrt(dt) * 0.5;
+      v = std::clamp(v, 0.25 * profile.cruise_mps, 1.9 * profile.cruise_mps);
+    }
+    double ds = v * dt;
+    s = std::min(total, s + ds);
+    dist_since_halt += ds;
+    t += dt;
+
+    // Advance the current edge; handle node crossings.
+    while (edge + 1 < cum.size() - 1 && s > cum[edge + 1]) ++edge;
+    if (edge != last_crossed_edge) {
+      last_crossed_edge = edge;
+      // Traffic lights for road vehicles at crossings.
+      if (road_vehicle && rng_.Bernoulli(0.15)) {
+        halt_until = t + rng_.Uniform(4.0, 25.0);
+      }
+    }
+    // Scheduled halts (bus stops / metro stations).
+    if (profile.stop_spacing_m > 0.0 &&
+        dist_since_halt >= profile.stop_spacing_m && t >= halt_until) {
+      halt_until = t + profile.stop_dwell_s;
+      dist_since_halt = 0.0;
+    }
+
+    // Emission.
+    if (t + 1e-9 < next_emit) continue;
+    next_emit += sensor.sample_interval_seconds;
+    if (gap_until > t) continue;
+    if (rng_.Bernoulli(sensor.p_gap_start)) {
+      gap_until = t + rng_.Exponential(sensor.mean_gap_seconds);
+      continue;
+    }
+    // True position: interpolate along the current edge.
+    double edge_len = cum[edge + 1] - cum[edge];
+    double frac = edge_len > 0.0 ? (s - cum[edge]) / edge_len : 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    geo::Point a = roads.node(path.nodes[edge]);
+    geo::Point b = roads.node(path.nodes[edge + 1]);
+    geo::Point true_pos = a + (b - a) * frac;
+
+    core::GpsPoint p;
+    p.position = {true_pos.x + rng_.Gaussian(0.0, sensor.gps_sigma_meters),
+                  true_pos.y + rng_.Gaussian(0.0, sensor.gps_sigma_meters)};
+    p.time = t;
+    track->points.push_back(p);
+    TruthSample truth;
+    truth.segment = path.segments[edge];
+    truth.mode = mode;
+    track->truth.push_back(truth);
+  }
+  return t;
+}
+
+core::Timestamp MovementSimulator::AppendRamble(SimulatedTrack* track,
+                                                const geo::Point& anchor,
+                                                double radius,
+                                                core::Timestamp start,
+                                                double duration,
+                                                const SensorProfile& sensor) {
+  const SpeedProfile profile = SpeedProfileFor(TransportMode::kWalk);
+  double t = start;
+  double next_emit = start;
+  geo::Point pos = anchor;
+  geo::Point waypoint{anchor.x + rng_.Uniform(-radius, radius),
+                      anchor.y + rng_.Uniform(-radius, radius)};
+  const double dt = 1.0;
+  while (t < start + duration) {
+    t += dt;
+    double v = std::max(
+        0.4, profile.cruise_mps + rng_.Gaussian(0.0, profile.jitter_mps));
+    geo::Point dir = waypoint - pos;
+    double dist = dir.Norm();
+    if (dist < v * dt) {
+      pos = waypoint;
+      waypoint = {anchor.x + rng_.Uniform(-radius, radius),
+                  anchor.y + rng_.Uniform(-radius, radius)};
+    } else {
+      pos = pos + dir * (v * dt / dist);
+    }
+    if (t + 1e-9 < next_emit) continue;
+    next_emit += sensor.sample_interval_seconds;
+    core::GpsPoint p;
+    p.position = {pos.x + rng_.Gaussian(0.0, sensor.gps_sigma_meters),
+                  pos.y + rng_.Gaussian(0.0, sensor.gps_sigma_meters)};
+    p.time = t;
+    track->points.push_back(p);
+    TruthSample truth;
+    truth.mode = TransportMode::kWalk;  // off-network: no segment
+    track->truth.push_back(truth);
+  }
+  return t;
+}
+
+common::Result<core::Timestamp> MovementSimulator::AppendTrip(
+    SimulatedTrack* track, const geo::Point& from, const geo::Point& to,
+    TransportMode mode, core::Timestamp start, const SensorProfile& sensor) {
+  const road::SegmentFilter walk = road::WalkFilter();
+  auto filter_for = [&](TransportMode m) -> road::SegmentFilter {
+    switch (m) {
+      case TransportMode::kWalk: return road::WalkFilter();
+      case TransportMode::kBicycle: return road::BicycleFilter();
+      case TransportMode::kBus: return road::BusFilter();
+      case TransportMode::kMetro: return road::MetroFilter();
+      case TransportMode::kCar: return road::CarFilter();
+      case TransportMode::kUnknown: return nullptr;
+    }
+    return nullptr;
+  };
+
+  if (mode == TransportMode::kWalk || mode == TransportMode::kBicycle ||
+      mode == TransportMode::kCar) {
+    road::SegmentFilter filter = filter_for(mode);
+    road::NodeId a = router_.NearestNode(from, filter);
+    road::NodeId b = router_.NearestNode(to, filter);
+    if (a < 0 || b < 0) return common::Status::NotFound("no access node");
+    common::Result<road::RoutePath> path = router_.ShortestPath(a, b, filter);
+    if (!path.ok()) return path.status();
+    return AppendTravel(track, *path, mode, start, sensor);
+  }
+
+  // Bus / metro: walk – ride – walk.
+  road::SegmentFilter ride_filter = filter_for(mode);
+  road::NodeId origin = router_.NearestNode(from, walk);
+  road::NodeId dest = router_.NearestNode(to, walk);
+  road::NodeId access = router_.NearestNode(from, ride_filter);
+  road::NodeId egress = router_.NearestNode(to, ride_filter);
+  if (origin < 0 || dest < 0 || access < 0 || egress < 0) {
+    return common::Status::NotFound("no access node");
+  }
+  if (access == egress) {
+    // Ride would be empty: walk the whole way.
+    common::Result<road::RoutePath> path =
+        router_.ShortestPath(origin, dest, walk);
+    if (!path.ok()) return path.status();
+    return AppendTravel(track, *path, TransportMode::kWalk, start, sensor);
+  }
+  // Resolve the ride before emitting anything; if the transit network
+  // cannot serve this pair, fall back to walking the whole way.
+  common::Result<road::RoutePath> ride =
+      router_.ShortestPath(access, egress, ride_filter);
+  if (!ride.ok()) {
+    common::Result<road::RoutePath> path =
+        router_.ShortestPath(origin, dest, walk);
+    if (!path.ok()) return path.status();
+    return AppendTravel(track, *path, TransportMode::kWalk, start, sensor);
+  }
+  core::Timestamp t = start;
+  common::Result<road::RoutePath> walk_in =
+      router_.ShortestPath(origin, access, walk);
+  if (!walk_in.ok()) return walk_in.status();
+  t = AppendTravel(track, *walk_in, TransportMode::kWalk, t, sensor);
+  t = AppendTravel(track, *ride, mode, t, sensor);
+
+  common::Result<road::RoutePath> walk_out =
+      router_.ShortestPath(egress, dest, walk);
+  if (!walk_out.ok()) return walk_out.status();
+  t = AppendTravel(track, *walk_out, TransportMode::kWalk, t, sensor);
+  return t;
+}
+
+}  // namespace semitri::datagen

@@ -1,0 +1,137 @@
+#ifndef SEMITRI_DATAGEN_MOVEMENT_H_
+#define SEMITRI_DATAGEN_MOVEMENT_H_
+
+// Movement simulation with ground truth — the stand-in for the paper's
+// GPS corpora (Lausanne taxis, Milan private cars, Krumm's Seattle
+// drive, Nokia smartphone users).
+//
+// Agents travel the synthetic road network between activity anchors
+// using mode-specific speed/acceleration profiles (walk, bicycle, bus
+// with stop-and-go, metro station-to-station, car), dwell at stops, and
+// emit noisy GPS fixes at a configurable sampling rate with signal-loss
+// gaps and degraded indoor reception. Every emitted fix carries its
+// ground truth (true road segment, true transportation mode), and every
+// dwell records the true POI and category — enabling the accuracy
+// evaluations of Figs. 10/11 that the paper could only run on Krumm's
+// benchmark.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/types.h"
+#include "datagen/world.h"
+#include "road/router.h"
+#include "road/transport_mode.h"
+
+namespace semitri::datagen {
+
+// Ground truth attached to each emitted GPS fix.
+struct TruthSample {
+  // Road segment the agent was on (kInvalidPlaceId while dwelling).
+  core::PlaceId segment = core::kInvalidPlaceId;
+  // True mode while moving; nullopt while dwelling.
+  std::optional<road::TransportMode> mode;
+};
+
+// Ground truth for one dwell.
+struct TruthStop {
+  core::Timestamp time_in = 0.0;
+  core::Timestamp time_out = 0.0;
+  geo::Point location;
+  core::PlaceId poi = core::kInvalidPlaceId;  // POI visited, if any
+  int poi_category = -1;                      // category of that POI
+  std::string label;                          // "home", "work", "shop", ...
+};
+
+struct SimulatedTrack {
+  core::ObjectId object_id = 0;
+  std::vector<core::GpsPoint> points;
+  std::vector<TruthSample> truth;  // parallel to points
+  std::vector<TruthStop> stops;
+};
+
+// GPS sensor characteristics (per device class).
+struct SensorProfile {
+  double sample_interval_seconds = 1.0;
+  double gps_sigma_meters = 4.0;
+  // Probability, per emitted sample while moving, that a signal gap
+  // begins; gap length is exponential with the given mean.
+  double p_gap_start = 0.0005;
+  double mean_gap_seconds = 45.0;
+  // Probability that a sample during a dwell is lost (indoor loss).
+  double p_drop_indoor = 0.3;
+  // Extra position noise factor while indoors.
+  double indoor_noise_factor = 1.8;
+  // Dwell sampling slows down by this factor (power-saving modules
+  // throttle the sensor when stationary — §5.3 point (2)).
+  double indoor_interval_factor = 6.0;
+};
+
+SensorProfile VehicleSensor();
+SensorProfile SmartphoneSensor();
+
+// Mode kinematics.
+struct SpeedProfile {
+  double cruise_mps = 1.4;
+  double jitter_mps = 0.25;   // OU-style speed wobble
+  double stop_spacing_m = 0;  // bus/metro halts every this many meters
+  double stop_dwell_s = 0;    // halt duration
+};
+
+SpeedProfile SpeedProfileFor(road::TransportMode mode);
+
+class MovementSimulator {
+ public:
+  // `world` must outlive the simulator.
+  MovementSimulator(const World* world, uint64_t seed);
+
+  // --- low-level building blocks --------------------------------------
+
+  // Appends a dwell at `location` from the track's current end time (or
+  // `start` for an empty track) lasting `duration` seconds.
+  void AppendStop(SimulatedTrack* track, const geo::Point& location,
+                  core::Timestamp start, double duration,
+                  const SensorProfile& sensor, core::PlaceId poi = -1,
+                  int poi_category = -1, std::string label = "");
+
+  // Appends travel along `path` using `mode` kinematics; returns arrival
+  // time.
+  core::Timestamp AppendTravel(SimulatedTrack* track,
+                               const road::RoutePath& path,
+                               road::TransportMode mode,
+                               core::Timestamp start,
+                               const SensorProfile& sensor);
+
+  // Plans and appends a full (possibly multimodal) trip from `from` to
+  // `to`: direct path for walk/bicycle/car, walk–ride–walk for bus and
+  // metro. Returns arrival time; NotFound when no route exists.
+  common::Result<core::Timestamp> AppendTrip(SimulatedTrack* track,
+                                             const geo::Point& from,
+                                             const geo::Point& to,
+                                             road::TransportMode mode,
+                                             core::Timestamp start,
+                                             const SensorProfile& sensor);
+
+  // Off-network walking between random waypoints around `anchor`
+  // (hiking, park strolls — "walking follows unplanned paths through
+  // places such as parks", §1.2). Truth carries walk mode but no road
+  // segment. Returns the end time.
+  core::Timestamp AppendRamble(SimulatedTrack* track,
+                               const geo::Point& anchor, double radius,
+                               core::Timestamp start, double duration,
+                               const SensorProfile& sensor);
+
+  const road::Router& router() const { return router_; }
+  common::Rng& rng() { return rng_; }
+
+ private:
+  const World* world_;
+  road::Router router_;
+  common::Rng rng_;
+};
+
+}  // namespace semitri::datagen
+
+#endif  // SEMITRI_DATAGEN_MOVEMENT_H_

@@ -1,0 +1,450 @@
+#include "datagen/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semitri::datagen {
+
+using road::TransportMode;
+
+namespace {
+
+constexpr double kDay = 86400.0;
+constexpr double kHour = 3600.0;
+
+bool IsWeekend(int day) { return day % 7 >= 5; }
+
+// Milan-car activity weights over the five POI categories: shopping
+// (item sale) dominates, then person life — the ground truth behind the
+// stop distribution of Fig. 11.
+const std::vector<double> kCarActivityWeights = {0.08, 0.10, 0.55, 0.25,
+                                                 0.02};
+// People run more errands: feeding at lunch is handled separately.
+const std::vector<double> kEveningActivityWeights = {0.08, 0.17, 0.45, 0.28,
+                                                     0.02};
+
+}  // namespace
+
+size_t Dataset::TotalRecords() const {
+  size_t n = 0;
+  for (const SimulatedTrack& t : tracks) n += t.points.size();
+  return n;
+}
+
+size_t Dataset::TotalStops() const {
+  size_t n = 0;
+  for (const SimulatedTrack& t : tracks) n += t.stops.size();
+  return n;
+}
+
+DatasetFactory::DatasetFactory(const World* world, uint64_t seed)
+    : world_(world), sim_(world, seed ^ 0xabcdef12345ULL), rng_(seed) {}
+
+geo::Point DatasetFactory::FindCategoryAnchor(
+    region::LanduseCategory category) {
+  // Scan cells of the wanted category; pick one at random. Cells lying
+  // under a named free-form region (campus, pool) are skipped — an
+  // anchor there would be re-labeled by the named region during
+  // annotation.
+  std::vector<geo::Point> candidates;
+  for (size_t i = 0; i < world_->regions.size(); ++i) {
+    const region::SemanticRegion& r =
+        world_->regions.Get(static_cast<core::PlaceId>(i));
+    if (r.category != category || r.polygon.has_value()) continue;
+    geo::Point center = r.bounds.Center();
+    bool under_named = false;
+    for (core::PlaceId id : world_->regions.FindContaining(center)) {
+      if (!world_->regions.Get(id).name.empty()) {
+        under_named = true;
+        break;
+      }
+    }
+    if (!under_named) candidates.push_back(center);
+  }
+  if (candidates.empty()) return world_->Center();
+  return candidates[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+}
+
+geo::Point DatasetFactory::FindNamedRegionAnchor(const std::string& name) {
+  for (size_t i = 0; i < world_->regions.size(); ++i) {
+    const region::SemanticRegion& r =
+        world_->regions.Get(static_cast<core::PlaceId>(i));
+    if (r.name == name) return r.bounds.Center();
+  }
+  return world_->Center();
+}
+
+TransportMode DatasetFactory::SampleCommuteMode(const PersonSpec& spec) {
+  static const TransportMode kModes[] = {TransportMode::kWalk,
+                                         TransportMode::kBicycle,
+                                         TransportMode::kBus,
+                                         TransportMode::kMetro};
+  return kModes[rng_.Discrete(spec.mode_weights)];
+}
+
+core::PlaceId DatasetFactory::SampleActivityPoi(
+    const geo::Point& near, double radius,
+    const std::vector<double>& weights) {
+  int category = static_cast<int>(rng_.Discrete(weights));
+  std::vector<core::PlaceId> nearby = world_->pois.WithinRadius(near, radius);
+  std::vector<core::PlaceId> of_category;
+  for (core::PlaceId id : nearby) {
+    if (world_->pois.Get(id).category == category) of_category.push_back(id);
+  }
+  if (of_category.empty()) {
+    // Fall back to the nearest POI of that category anywhere.
+    return world_->pois.NearestOfCategory(near, category);
+  }
+  return of_category[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(of_category.size()) - 1))];
+}
+
+Dataset DatasetFactory::LausanneTaxis(int num_taxis, int num_days,
+                                      double shift_hours) {
+  Dataset out;
+  out.name = "lausanne_taxis";
+  SensorProfile sensor = VehicleSensor();
+  for (int taxi = 0; taxi < num_taxis; ++taxi) {
+    SimulatedTrack track;
+    track.object_id = taxi;
+    for (int day = 0; day < num_days; ++day) {
+      double shift_start = day * kDay + 7.0 * kHour +
+                           rng_.Uniform(0.0, 2.0 * kHour);
+      double shift_end = shift_start + shift_hours * kHour;
+      // Taxi business concentrates in the inner city (the paper's taxi
+      // GPS is 83 % building + transportation areas).
+      auto random_inner_point = [&]() {
+        geo::Point c = world_->Center();
+        double inner = 0.58 * world_->config.urban_core_fraction *
+                       world_->config.extent_meters * 0.5;
+        return geo::Point{c.x + rng_.Uniform(-inner, inner),
+                          c.y + rng_.Uniform(-inner, inner)};
+      };
+      geo::Point pos = random_inner_point();
+      double t = shift_start;
+      while (t < shift_end) {
+        geo::Point dest = random_inner_point();
+        common::Result<core::Timestamp> arrival =
+            sim_.AppendTrip(&track, pos, dest, TransportMode::kCar, t, sensor);
+        if (!arrival.ok()) break;
+        t = *arrival;
+        pos = dest;
+        // Pickup/dropoff dwell; occasionally a longer break at a stand.
+        double dwell = rng_.Bernoulli(0.3) ? rng_.Uniform(600.0, 1500.0)
+                                           : rng_.Uniform(120.0, 360.0);
+        sim_.AppendStop(&track, pos, t, dwell, sensor,
+                        /*poi=*/core::kInvalidPlaceId, /*poi_category=*/-1,
+                        "taxi_stand");
+        t += dwell;
+      }
+    }
+    out.tracks.push_back(std::move(track));
+  }
+  return out;
+}
+
+Dataset DatasetFactory::MilanPrivateCars(int num_cars, int num_days) {
+  Dataset out;
+  out.name = "milan_private_cars";
+  SensorProfile sensor = VehicleSensor();
+  sensor.sample_interval_seconds = 40.0;
+  sensor.p_drop_indoor = 0.25;
+  sensor.indoor_interval_factor = 3.0;
+  for (int car = 0; car < num_cars; ++car) {
+    SimulatedTrack track;
+    track.object_id = car;
+    geo::Point home = world_->RandomCorePoint(rng_);
+    for (int day = 0; day < num_days; ++day) {
+      // 1–3 errand trips per day (the paper's Milan data averages 1.7
+      // stops per daily trajectory).
+      int num_errands = static_cast<int>(rng_.UniformInt(1, 3));
+      double t = day * kDay + 9.0 * kHour + rng_.Uniform(0.0, 3.0 * kHour);
+      geo::Point pos = home;
+      for (int e = 0; e < num_errands; ++e) {
+        core::PlaceId poi_id =
+            SampleActivityPoi(world_->Center(),
+                              world_->config.extent_meters * 0.4,
+                              kCarActivityWeights);
+        if (poi_id == core::kInvalidPlaceId) break;
+        const poi::Poi& poi = world_->pois.Get(poi_id);
+        // Cars park some way from the POI itself — the location
+        // ambiguity that motivates the density-based HMM annotation.
+        geo::Point parked = poi.position +
+                            geo::Point{rng_.Gaussian(0.0, 45.0),
+                                       rng_.Gaussian(0.0, 45.0)};
+        common::Result<core::Timestamp> arrival = sim_.AppendTrip(
+            &track, pos, parked, TransportMode::kCar, t, sensor);
+        if (!arrival.ok()) break;
+        t = *arrival;
+        pos = parked;
+        double dwell = rng_.Uniform(1800.0, 5400.0);
+        sim_.AppendStop(&track, pos, t, dwell, sensor, poi_id, poi.category,
+                        "errand");
+        t += dwell;
+      }
+      // Return home.
+      common::Result<core::Timestamp> arrival = sim_.AppendTrip(
+          &track, pos, home, TransportMode::kCar, t, sensor);
+      if (arrival.ok()) t = *arrival;
+    }
+    out.tracks.push_back(std::move(track));
+  }
+  return out;
+}
+
+Dataset DatasetFactory::SeattleDrive(double hours, double gps_sigma_meters) {
+  Dataset out;
+  out.name = "seattle_drive";
+  SensorProfile sensor = VehicleSensor();
+  sensor.p_gap_start = 0.0;  // the benchmark trace is continuous
+  sensor.gps_sigma_meters = gps_sigma_meters;
+  SimulatedTrack track;
+  track.object_id = 0;
+  geo::Point pos = world_->RandomCorePoint(rng_);
+  double t = 10.0 * kHour;
+  double end = t + hours * kHour;
+  while (t < end) {
+    geo::Point dest = world_->RandomCorePoint(rng_);
+    common::Result<core::Timestamp> arrival =
+        sim_.AppendTrip(&track, pos, dest, TransportMode::kCar, t, sensor);
+    if (!arrival.ok()) break;
+    if (*arrival == t) {  // degenerate (same node); retry elsewhere
+      t += 1.0;
+      continue;
+    }
+    t = *arrival;
+    pos = dest;
+  }
+  out.tracks.push_back(std::move(track));
+  return out;
+}
+
+PersonSpec DatasetFactory::MakePersonSpec(int index) {
+  PersonSpec spec;
+  spec.work = world_->Center() +
+              geo::Point{rng_.Uniform(-600.0, 600.0),
+                         rng_.Uniform(-600.0, 600.0)};
+  // People live in building areas by default (Fig. 14: 1.2 leads).
+  spec.home = FindCategoryAnchor(region::LanduseCategory::kBuilding);
+  switch (index) {
+    case 0:  // user1: ordinary mixed commuter.
+      spec.mode_weights = {0.25, 0.15, 0.35, 0.25};
+      break;
+    case 1:  // user2: weekend hiker in wooded areas (Fig. 14: 3.10).
+      spec.mode_weights = {0.3, 0.1, 0.4, 0.2};
+      spec.hiker = true;
+      spec.hike_anchor =
+          FindCategoryAnchor(region::LanduseCategory::kForest);
+      break;
+    case 2:  // user3: lives next to the lake (Fig. 14: water categories
+             // enter the top-5 through dwell scatter).
+      spec.home = FindCategoryAnchor(region::LanduseCategory::kLakes) +
+                  geo::Point{95.0, 95.0};
+      spec.mode_weights = {0.2, 0.2, 0.4, 0.2};
+      break;
+    case 3:  // user4: commercial-center home, metro commuter (Fig. 15).
+      spec.home =
+          FindCategoryAnchor(region::LanduseCategory::kIndustrialCommercial);
+      spec.mode_weights = {0.1, 0.1, 0.1, 0.7};
+      break;
+    case 4:  // user5: bus commuter.
+      spec.mode_weights = {0.15, 0.05, 0.65, 0.15};
+      break;
+    case 5:  // user6: cyclist, weekends at the pool (Fig. 14: 1.5).
+      spec.mode_weights = {0.15, 0.6, 0.15, 0.1};
+      spec.has_leisure_anchor = true;
+      spec.leisure_anchor = FindNamedRegionAnchor("swimming pool");
+      break;
+    default:
+      spec.mode_weights = {rng_.Uniform(0.1, 0.4), rng_.Uniform(0.05, 0.3),
+                           rng_.Uniform(0.1, 0.5), rng_.Uniform(0.1, 0.5)};
+      spec.hiker = rng_.Bernoulli(0.15);
+      if (spec.hiker) {
+        spec.hike_anchor =
+            FindCategoryAnchor(region::LanduseCategory::kForest);
+      }
+      break;
+  }
+  return spec;
+}
+
+SimulatedTrack DatasetFactory::SimulatePersonDays(core::ObjectId id,
+                                                  const PersonSpec& spec,
+                                                  int num_days) {
+  SimulatedTrack track;
+  track.object_id = id;
+  SensorProfile sensor = SmartphoneSensor();
+
+  for (int day = 0; day < num_days; ++day) {
+    double day_start = day * kDay;
+    double wake = day_start + 7.2 * kHour + rng_.Uniform(0.0, 1.5 * kHour);
+    // Night/morning at home.
+    sim_.AppendStop(&track, spec.home, day_start + 0.5 * kHour,
+                    wake - day_start - 0.5 * kHour, sensor,
+                    core::kInvalidPlaceId, -1, "home");
+    double t = wake;
+    geo::Point pos = spec.home;
+
+    if (!IsWeekend(day)) {
+      // Commute to work.
+      TransportMode mode = SampleCommuteMode(spec);
+      common::Result<core::Timestamp> arrival =
+          sim_.AppendTrip(&track, pos, spec.work, mode, t, sensor);
+      if (arrival.ok()) {
+        t = *arrival;
+        pos = spec.work;
+      }
+      // Work until lunch.
+      double lunch = day_start + 12.0 * kHour + rng_.Uniform(0.0, 0.7 * kHour);
+      if (lunch > t) {
+        sim_.AppendStop(&track, pos, t, lunch - t, sensor,
+                        core::kInvalidPlaceId, -1, "work");
+        t = lunch;
+      }
+      // Lunch at a nearby feeding POI.
+      if (rng_.Bernoulli(0.7)) {
+        core::PlaceId poi_id = world_->pois.NearestOfCategory(
+            pos, static_cast<int>(poi::MilanCategory::kFeedings));
+        if (poi_id != core::kInvalidPlaceId &&
+            world_->pois.Get(poi_id).position.DistanceTo(pos) < 900.0) {
+          const poi::Poi& poi = world_->pois.Get(poi_id);
+          common::Result<core::Timestamp> there = sim_.AppendTrip(
+              &track, pos, poi.position, TransportMode::kWalk, t, sensor);
+          if (there.ok()) {
+            t = *there;
+            double dwell = rng_.Uniform(1800.0, 3000.0);
+            sim_.AppendStop(&track, poi.position, t, dwell, sensor, poi_id,
+                            poi.category, "lunch");
+            t += dwell;
+            common::Result<core::Timestamp> back = sim_.AppendTrip(
+                &track, poi.position, pos, TransportMode::kWalk, t, sensor);
+            if (back.ok()) t = *back;
+          }
+        }
+      }
+      // Afternoon work.
+      double leave = day_start + 17.3 * kHour + rng_.Uniform(0.0, kHour);
+      if (leave > t) {
+        sim_.AppendStop(&track, pos, t, leave - t, sensor,
+                        core::kInvalidPlaceId, -1, "work");
+        t = leave;
+      }
+      // Evening activity.
+      if (rng_.Bernoulli(spec.evening_activity_prob)) {
+        core::PlaceId poi_id =
+            SampleActivityPoi(spec.home, 2000.0, kEveningActivityWeights);
+        if (poi_id != core::kInvalidPlaceId) {
+          const poi::Poi& poi = world_->pois.Get(poi_id);
+          TransportMode mode = SampleCommuteMode(spec);
+          common::Result<core::Timestamp> there =
+              sim_.AppendTrip(&track, pos, poi.position, mode, t, sensor);
+          if (there.ok()) {
+            t = *there;
+            pos = poi.position;
+            double dwell = rng_.Uniform(2400.0, 5400.0);
+            sim_.AppendStop(&track, pos, t, dwell, sensor, poi_id,
+                            poi.category, "evening");
+            t += dwell;
+          }
+        }
+      }
+      // Home.
+      TransportMode home_mode = SampleCommuteMode(spec);
+      common::Result<core::Timestamp> back =
+          sim_.AppendTrip(&track, pos, spec.home, home_mode, t, sensor);
+      if (back.ok()) {
+        t = *back;
+        pos = spec.home;
+      }
+    } else {
+      // Weekend.
+      if (spec.hiker && day % 7 == 5) {
+        common::Result<core::Timestamp> there = sim_.AppendTrip(
+            &track, pos, spec.hike_anchor, TransportMode::kBus, t, sensor);
+        if (there.ok()) {
+          t = *there;
+          t = sim_.AppendRamble(&track, spec.hike_anchor, 700.0, t,
+                                rng_.Uniform(2.0, 4.0) * kHour, sensor);
+          common::Result<core::Timestamp> back = sim_.AppendTrip(
+              &track, spec.hike_anchor, spec.home, TransportMode::kBus, t,
+              sensor);
+          if (back.ok()) t = *back;
+          pos = spec.home;
+        }
+      } else if (spec.has_leisure_anchor && rng_.Bernoulli(0.7)) {
+        TransportMode mode = SampleCommuteMode(spec);
+        common::Result<core::Timestamp> there = sim_.AppendTrip(
+            &track, pos, spec.leisure_anchor, mode, t, sensor);
+        if (there.ok()) {
+          t = *there;
+          double dwell = rng_.Uniform(1.5, 3.5) * kHour;
+          sim_.AppendStop(&track, spec.leisure_anchor, t, dwell, sensor,
+                          core::kInvalidPlaceId, -1, "leisure");
+          t += dwell;
+          common::Result<core::Timestamp> back = sim_.AppendTrip(
+              &track, spec.leisure_anchor, spec.home, mode, t, sensor);
+          if (back.ok()) t = *back;
+          pos = spec.home;
+        }
+      } else if (rng_.Bernoulli(0.45)) {
+        // Weekend stroll in a park / green area (off-network ramble —
+        // the "more variation in areas covered" of §5.3).
+        geo::Point park =
+            FindCategoryAnchor(region::LanduseCategory::kRecreational);
+        TransportMode mode = SampleCommuteMode(spec);
+        common::Result<core::Timestamp> there =
+            sim_.AppendTrip(&track, pos, park, mode, t, sensor);
+        if (there.ok()) {
+          t = *there;
+          t = sim_.AppendRamble(&track, park, 350.0, t,
+                                rng_.Uniform(1.0, 2.5) * kHour, sensor);
+          common::Result<core::Timestamp> back =
+              sim_.AppendTrip(&track, park, spec.home, mode, t, sensor);
+          if (back.ok()) t = *back;
+          pos = spec.home;
+        }
+      } else if (rng_.Bernoulli(0.6)) {
+        // Weekend shopping.
+        core::PlaceId poi_id =
+            SampleActivityPoi(spec.home, 2500.0, kEveningActivityWeights);
+        if (poi_id != core::kInvalidPlaceId) {
+          const poi::Poi& poi = world_->pois.Get(poi_id);
+          TransportMode mode = SampleCommuteMode(spec);
+          common::Result<core::Timestamp> there =
+              sim_.AppendTrip(&track, pos, poi.position, mode, t, sensor);
+          if (there.ok()) {
+            t = *there;
+            double dwell = rng_.Uniform(1.0, 2.5) * kHour;
+            sim_.AppendStop(&track, poi.position, t, dwell, sensor, poi_id,
+                            poi.category, "weekend_shopping");
+            t += dwell;
+            common::Result<core::Timestamp> back = sim_.AppendTrip(
+                &track, poi.position, spec.home, mode, t, sensor);
+            if (back.ok()) t = *back;
+            pos = spec.home;
+          }
+        }
+      }
+    }
+    // Evening at home until midnight.
+    double day_end = day_start + kDay - 0.2 * kHour;
+    if (day_end > t) {
+      sim_.AppendStop(&track, spec.home, t, day_end - t, sensor,
+                      core::kInvalidPlaceId, -1, "home");
+    }
+  }
+  return track;
+}
+
+Dataset DatasetFactory::NokiaPeople(int num_users, int num_days) {
+  Dataset out;
+  out.name = "nokia_people";
+  for (int u = 0; u < num_users; ++u) {
+    PersonSpec spec = MakePersonSpec(u);
+    out.tracks.push_back(SimulatePersonDays(u, spec, num_days));
+  }
+  return out;
+}
+
+}  // namespace semitri::datagen

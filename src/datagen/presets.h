@@ -1,0 +1,103 @@
+#ifndef SEMITRI_DATAGEN_PRESETS_H_
+#define SEMITRI_DATAGEN_PRESETS_H_
+
+// Dataset presets mirroring the paper's evaluation corpora (Tables 1
+// and 2):
+//
+//   (1) Lausanne taxis    — few vehicles, 1 s sampling, long tracking;
+//   (2) Milan private cars — many vehicles, ~40 s sampling, one week,
+//       activity stops at POIs (shopping-heavy);
+//   (3) Seattle drive     — a single continuous 2 h drive with ground
+//       truth (Krumm's map-matching benchmark);
+//   (4) Nokia people      — smartphone users with heterogeneous modes,
+//       indoor loss, distinct per-user behaviour (the 6 profiled users
+//       of Table 2 / Fig. 14).
+//
+// Sizes are scaled relative to the paper (multi-million-point corpora
+// would dominate bench runtime without changing any distribution shape);
+// each preset accepts explicit counts so callers can scale up.
+
+#include <string>
+#include <vector>
+
+#include "datagen/movement.h"
+#include "datagen/world.h"
+#include "road/transport_mode.h"
+
+namespace semitri::datagen {
+
+struct Dataset {
+  std::string name;
+  // One track per object: a continuous multi-day GPS stream with truth.
+  std::vector<SimulatedTrack> tracks;
+
+  size_t TotalRecords() const;
+  size_t TotalStops() const;
+};
+
+// Distinct behaviour profile for a simulated person (Table 2 users).
+struct PersonSpec {
+  geo::Point home;
+  geo::Point work;
+  // Commute mode preference weights: walk, bicycle, bus, metro.
+  std::vector<double> mode_weights = {0.2, 0.2, 0.3, 0.3};
+  // Probability of an evening activity on a weekday.
+  double evening_activity_prob = 0.6;
+  // Weekend hiking anchor (off-network ramble); unset if not a hiker.
+  bool hiker = false;
+  geo::Point hike_anchor;
+  // Weekend leisure anchor (e.g. the swimming pool).
+  bool has_leisure_anchor = false;
+  geo::Point leisure_anchor;
+};
+
+class DatasetFactory {
+ public:
+  // `world` must outlive the factory.
+  DatasetFactory(const World* world, uint64_t seed);
+
+  // Table 1 row (1): taxis on 1 s sampling doing pickup/dropoff cycles.
+  Dataset LausanneTaxis(int num_taxis = 2, int num_days = 10,
+                        double shift_hours = 6.0);
+
+  // Table 1 row (2): private cars, ~40 s sampling, POI activity stops
+  // with the shopping-heavy weights behind Fig. 11.
+  Dataset MilanPrivateCars(int num_cars = 120, int num_days = 7);
+
+  // Table 1 row (3): one continuous drive with ground-truth path.
+  // `gps_sigma_meters` controls trace noise (Fig. 10 sensitivity).
+  Dataset SeattleDrive(double hours = 2.0, double gps_sigma_meters = 4.0);
+
+  // Table 2: smartphone users. The first six users receive the
+  // hand-crafted specs of Fig. 14 (lake-side home, hiker, commercial-
+  // center home with metro commute, ...); further users get randomized
+  // specs.
+  Dataset NokiaPeople(int num_users = 6, int num_days = 14);
+
+  // The behaviour spec used for user `index` (0-based).
+  PersonSpec MakePersonSpec(int index);
+
+  // One person's multi-day stream.
+  SimulatedTrack SimulatePersonDays(core::ObjectId id, const PersonSpec& spec,
+                                    int num_days);
+
+  // A cell center of the wanted landuse category (not shadowed by a
+  // named region; falls back to the world center when absent).
+  geo::Point FindCategoryAnchor(region::LanduseCategory category);
+
+  // Center of the named free-form region (e.g. "swimming pool").
+  geo::Point FindNamedRegionAnchor(const std::string& name);
+
+ private:
+  road::TransportMode SampleCommuteMode(const PersonSpec& spec);
+  core::PlaceId SampleActivityPoi(const geo::Point& near, double radius,
+                                  const std::vector<double>& weights);
+
+  const World* world_;
+  MovementSimulator sim_;
+  common::Rng rng_;
+};
+
+}  // namespace semitri::datagen
+
+#endif  // SEMITRI_DATAGEN_PRESETS_H_

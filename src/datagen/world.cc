@@ -1,0 +1,427 @@
+#include "datagen/world.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace semitri::datagen {
+
+namespace {
+
+using region::LanduseCategory;
+using road::RoadType;
+
+// Street-name fragments in the spirit of the paper's Lausanne examples
+// (Fig. 15 lists "Ch. Veilloud", "Rt. du Boi", ...).
+constexpr const char* kStreetPrefixes[] = {"Ch.", "Rt. de", "Av.", "Rue"};
+constexpr const char* kStreetStems[] = {
+    "Veilloud",  "Boi",     "Villar",   "Sorge",   "Barrage", "Diagonale",
+    "Lac",       "Gare",    "Moulin",   "Crochy",  "Epenex",  "Bassenges",
+    "Tir-Federal", "Colline", "Praz",   "Renges",  "Jura",    "Valmont",
+    "Mont",      "Planche", "Cedres",   "Marronniers", "Bourg", "Midi",
+    "Source",    "Fontaine", "Vernay",  "Chamberonne", "Dorigny", "Ecublens"};
+
+std::string StreetName(size_t index) {
+  size_t num_stems = std::size(kStreetStems);
+  size_t num_prefixes = std::size(kStreetPrefixes);
+  return common::StrFormat(
+      "%s %s", kStreetPrefixes[(index / num_stems) % num_prefixes],
+      kStreetStems[index % num_stems]);
+}
+
+// A landuse patch overriding the radial zoning.
+struct Patch {
+  geo::Point center;
+  double radius;
+  LanduseCategory category;
+};
+
+}  // namespace
+
+geo::Point World::RandomCorePoint(common::Rng& rng) const {
+  geo::Point c = Center();
+  double core = config.urban_core_fraction * config.extent_meters * 0.5;
+  return {c.x + rng.Uniform(-core, core), c.y + rng.Uniform(-core, core)};
+}
+
+World WorldGenerator::Generate() const {
+  World world;
+  world.config = config_;
+  world.extent = geo::BoundingBox(
+      {0.0, 0.0}, {config_.extent_meters, config_.extent_meters});
+  common::Rng rng(config_.seed);
+  BuildRoads(&world, rng);
+  BuildLanduse(&world, rng);
+  BuildPois(&world, rng);
+  return world;
+}
+
+void WorldGenerator::BuildRoads(World* world, common::Rng& rng) const {
+  const double extent = config_.extent_meters;
+  const double spacing = config_.street_spacing_meters;
+  const int lines = static_cast<int>(std::floor(extent / spacing)) + 1;
+  const geo::Point center = world->Center();
+  const double core_radius = config_.urban_core_fraction * extent * 0.5;
+
+  auto is_arterial_line = [&](int line) {
+    return line % config_.arterial_every == 0;
+  };
+  auto in_core = [&](const geo::Point& p) {
+    return std::abs(p.x - center.x) <= core_radius &&
+           std::abs(p.y - center.y) <= core_radius;
+  };
+
+  // Grid nodes with positional jitter (so segments are not perfectly
+  // axis-aligned — the "arbitrary crossings" stress case).
+  std::vector<std::vector<road::NodeId>> grid(
+      static_cast<size_t>(lines),
+      std::vector<road::NodeId>(static_cast<size_t>(lines), -1));
+  for (int gy = 0; gy < lines; ++gy) {
+    for (int gx = 0; gx < lines; ++gx) {
+      geo::Point p{gx * spacing + rng.Gaussian(0.0, spacing * 0.06),
+                   gy * spacing + rng.Gaussian(0.0, spacing * 0.06)};
+      geo::Point node_pos{std::clamp(p.x, 0.0, extent),
+                          std::clamp(p.y, 0.0, extent)};
+      grid[static_cast<size_t>(gy)][static_cast<size_t>(gx)] =
+          world->roads.AddNode(node_pos);
+    }
+  }
+
+  // Street segments. Residential streets exist only inside the core;
+  // arterial lines cross the whole world. The outermost arterial square
+  // around the core is typed highway (the ring road).
+  size_t name_counter = 0;
+  std::map<int, std::string> horizontal_names, vertical_names;
+  auto name_of = [&](std::map<int, std::string>& names, int line) {
+    auto it = names.find(line);
+    if (it == names.end()) {
+      it = names.emplace(line, StreetName(name_counter++)).first;
+    }
+    return it->second;
+  };
+
+  int ring_lo = -1, ring_hi = -1;
+  {
+    // Arterial lines closest to the core boundary form the ring.
+    double lo_coord = center.x - core_radius;
+    double hi_coord = center.x + core_radius;
+    ring_lo = static_cast<int>(std::round(lo_coord / spacing));
+    ring_hi = static_cast<int>(std::round(hi_coord / spacing));
+    ring_lo -= ring_lo % config_.arterial_every;
+    ring_hi -= ring_hi % config_.arterial_every;
+  }
+
+  auto segment_type = [&](int line, const geo::Point& a,
+                          const geo::Point& b) -> std::optional<RoadType> {
+    bool arterial = is_arterial_line(line);
+    bool core_seg = in_core(a) || in_core(b);
+    if (line == ring_lo || line == ring_hi) return RoadType::kHighway;
+    if (arterial) return RoadType::kArterial;
+    if (core_seg) return RoadType::kResidential;
+    return std::nullopt;  // no minor streets in the countryside
+  };
+
+  for (int gy = 0; gy < lines; ++gy) {
+    for (int gx = 0; gx + 1 < lines; ++gx) {
+      road::NodeId a = grid[static_cast<size_t>(gy)][static_cast<size_t>(gx)];
+      road::NodeId b =
+          grid[static_cast<size_t>(gy)][static_cast<size_t>(gx + 1)];
+      auto type = segment_type(gy, world->roads.node(a), world->roads.node(b));
+      if (type) {
+        world->roads.AddSegment(a, b, *type, name_of(horizontal_names, gy));
+      }
+    }
+  }
+  for (int gx = 0; gx < lines; ++gx) {
+    for (int gy = 0; gy + 1 < lines; ++gy) {
+      road::NodeId a = grid[static_cast<size_t>(gy)][static_cast<size_t>(gx)];
+      road::NodeId b =
+          grid[static_cast<size_t>(gy + 1)][static_cast<size_t>(gx)];
+      auto type = segment_type(gx, world->roads.node(a), world->roads.node(b));
+      if (type) {
+        world->roads.AddSegment(a, b, *type, name_of(vertical_names, gx));
+      }
+    }
+  }
+
+  // Metro lines through the center. Tracks run on their own
+  // right-of-way, offset ~30 m from the street row/column (real metros
+  // are not collinear with streets — and collinear rail would make
+  // street-vs-rail matching a coin flip). Each station node connects to
+  // the street grid through a short footway "station entrance".
+  int station_step = std::max(
+      1, static_cast<int>(std::round(config_.metro_station_spacing_meters /
+                                     spacing)));
+  // All metro lines sit on grid indices that are multiples of the
+  // station step, so crossing lines stop at the same intersection and
+  // stay interconnected through their entrances and the street grid.
+  int center_line = (lines / 2) / station_step * station_step;
+  const double rail_offset = 30.0;
+  for (int m = 0; m < config_.num_metro_lines; ++m) {
+    bool horizontal = (m % 2 == 0);
+    int line = center_line +
+               (m / 2) * station_step * 2 * (m % 4 < 2 ? 1 : -1);
+    line = std::clamp(line / station_step * station_step, 0, lines - 1);
+    std::string metro_name = common::StrFormat("M%d", m + 1);
+    road::NodeId prev = -1;
+    for (int i = 0; i < lines; i += station_step) {
+      road::NodeId street_node =
+          horizontal ? grid[static_cast<size_t>(line)][static_cast<size_t>(i)]
+                     : grid[static_cast<size_t>(i)][static_cast<size_t>(line)];
+      geo::Point pos = world->roads.node(street_node);
+      geo::Point rail_pos = horizontal
+                                ? geo::Point{pos.x, pos.y + rail_offset}
+                                : geo::Point{pos.x + rail_offset, pos.y};
+      road::NodeId station = world->roads.AddNode(rail_pos);
+      world->roads.AddSegment(station, street_node, RoadType::kFootway,
+                              metro_name + " entrance");
+      if (prev >= 0) {
+        world->roads.AddSegment(prev, station, RoadType::kRailMetro,
+                                metro_name);
+      }
+      prev = station;
+    }
+  }
+
+  // Cycleways parallel to selected core arterials, offset a few meters —
+  // the dense-parallel-roads case the point-segment distance handles.
+  int added_cycleways = 0;
+  for (int gy = config_.arterial_every;
+       gy < lines && added_cycleways < config_.num_cycleway_lines;
+       gy += 2 * config_.arterial_every, ++added_cycleways) {
+    road::NodeId prev = -1;
+    std::string cycle_name =
+        common::StrFormat("Piste %d", added_cycleways + 1);
+    for (int gx = 0; gx < lines; ++gx) {
+      geo::Point base =
+          world->roads.node(grid[static_cast<size_t>(gy)][static_cast<size_t>(gx)]);
+      if (!in_core(base)) {
+        prev = -1;
+        continue;
+      }
+      road::NodeId n = world->roads.AddNode({base.x, base.y + 6.0});
+      if (prev >= 0) {
+        world->roads.AddSegment(prev, n, RoadType::kCycleway, cycle_name);
+      }
+      // Short connector to the street grid so the cycleway is reachable
+      // (otherwise it would be a disconnected walkable component).
+      world->roads.AddSegment(
+          n, grid[static_cast<size_t>(gy)][static_cast<size_t>(gx)],
+          RoadType::kCycleway, cycle_name);
+      prev = n;
+    }
+  }
+
+  // Footpath shortcuts between nearby core nodes (diagonals through
+  // blocks, park paths).
+  for (int f = 0; f < config_.num_footpath_shortcuts; ++f) {
+    int gx = static_cast<int>(rng.UniformInt(0, lines - 2));
+    int gy = static_cast<int>(rng.UniformInt(0, lines - 2));
+    road::NodeId a = grid[static_cast<size_t>(gy)][static_cast<size_t>(gx)];
+    road::NodeId b =
+        grid[static_cast<size_t>(gy + 1)][static_cast<size_t>(gx + 1)];
+    if (!in_core(world->roads.node(a)) || !in_core(world->roads.node(b))) {
+      continue;
+    }
+    world->roads.AddSegment(a, b, RoadType::kFootway,
+                            common::StrFormat("Sentier %d", f + 1));
+  }
+}
+
+void WorldGenerator::BuildLanduse(World* world, common::Rng& rng) const {
+  const double extent = config_.extent_meters;
+  const double cell = config_.landuse_cell_meters;
+  const geo::Point center = world->Center();
+  const double half = extent * 0.5;
+
+  // Patches override radial zoning: lakes, parks, forests, industrial.
+  std::vector<Patch> patches;
+  const LanduseCategory patch_categories[] = {
+      LanduseCategory::kLakes,        LanduseCategory::kRecreational,
+      LanduseCategory::kForest,       LanduseCategory::kIndustrialCommercial,
+      LanduseCategory::kWoods,        LanduseCategory::kOrchard,
+      LanduseCategory::kSpecialUrban, LanduseCategory::kRivers};
+  for (int p = 0; p < config_.num_patches; ++p) {
+    Patch patch;
+    patch.category =
+        patch_categories[rng.UniformInt(0, std::size(patch_categories) - 1)];
+    // Lakes/forests sit away from the center (a city core is built-up);
+    // industry at mid radius, parks anywhere.
+    double r_lo = 0.55, r_hi = 0.95;
+    if (patch.category == LanduseCategory::kIndustrialCommercial ||
+        patch.category == LanduseCategory::kSpecialUrban) {
+      r_lo = 0.25;
+      r_hi = 0.6;
+    } else if (patch.category == LanduseCategory::kRecreational) {
+      r_lo = 0.15;
+      r_hi = 0.7;
+    }
+    double r = rng.Uniform(r_lo, r_hi) * half;
+    double theta = rng.Uniform(0.0, 2.0 * M_PI);
+    patch.center = {center.x + r * std::cos(theta),
+                    center.y + r * std::sin(theta)};
+    // Urban patches (parks, industrial estates) are compact; nature
+    // patches on the outskirts can sprawl.
+    bool urban_patch =
+        patch.category == LanduseCategory::kRecreational ||
+        patch.category == LanduseCategory::kIndustrialCommercial ||
+        patch.category == LanduseCategory::kSpecialUrban;
+    patch.radius = urban_patch ? rng.Uniform(100.0, 280.0)
+                               : rng.Uniform(200.0, 600.0);
+    patches.push_back(patch);
+  }
+
+  const int cells = static_cast<int>(std::floor(extent / cell));
+  for (int cy = 0; cy < cells; ++cy) {
+    for (int cx = 0; cx < cells; ++cx) {
+      geo::BoundingBox box({cx * cell, cy * cell},
+                           {(cx + 1) * cell, (cy + 1) * cell});
+      geo::Point c = box.Center();
+
+      LanduseCategory category;
+      // 1) transportation cells along major roads and rail — corridors
+      // cut through everything else, as in the Swisstopo data. Highways
+      // and rail carve wide corridors; ordinary arterial streets sit
+      // within building blocks and only claim the cells they cross.
+      bool transport = false;
+      for (core::PlaceId id : world->roads.CandidateSegments(c, 60.0)) {
+        const road::RoadSegment& seg = world->roads.segment(id);
+        double d = seg.shape.DistanceTo(c);
+        if ((seg.type == RoadType::kHighway ||
+             seg.type == RoadType::kRailMetro) &&
+            d <= 60.0) {
+          transport = true;
+          break;
+        }
+        if (seg.type == RoadType::kArterial && d <= 22.0) {
+          transport = true;
+          break;
+        }
+      }
+      // 2) patch override (nearest covering patch wins).
+      const Patch* covering = nullptr;
+      double best = std::numeric_limits<double>::infinity();
+      for (const Patch& p : patches) {
+        double d = c.DistanceTo(p.center);
+        if (d <= p.radius && d < best) {
+          best = d;
+          covering = &p;
+        }
+      }
+      if (transport) {
+        category = LanduseCategory::kTransportation;
+      } else if (covering != nullptr) {
+        category = covering->category;
+      } else {
+        {
+          // 3) radial zoning with noise.
+          double r_norm = c.DistanceTo(center) / half;
+          double u = rng.Uniform(0.0, 1.0);
+          if (r_norm < config_.urban_core_fraction) {
+            category = u < 0.80 ? LanduseCategory::kBuilding
+                       : u < 0.90 ? LanduseCategory::kIndustrialCommercial
+                       : u < 0.96 ? LanduseCategory::kRecreational
+                                  : LanduseCategory::kSpecialUrban;
+          } else if (r_norm < 0.8) {
+            category = u < 0.35 ? LanduseCategory::kArable
+                       : u < 0.70 ? LanduseCategory::kMeadows
+                       : u < 0.80 ? LanduseCategory::kBuilding
+                       : u < 0.90 ? LanduseCategory::kOrchard
+                                  : LanduseCategory::kForest;
+          } else {
+            category = u < 0.35 ? LanduseCategory::kForest
+                       : u < 0.55 ? LanduseCategory::kMeadows
+                       : u < 0.70 ? LanduseCategory::kWoods
+                       : u < 0.80 ? LanduseCategory::kAlpineAgricultural
+                       : u < 0.88 ? LanduseCategory::kUnproductiveVegetation
+                       : u < 0.94 ? LanduseCategory::kBrushForest
+                       : u < 0.98 ? LanduseCategory::kBareLand
+                                  : LanduseCategory::kGlaciers;
+          }
+        }
+      }
+      world->regions.AddCell(box, category);
+    }
+  }
+
+  // Named free-form regions (the paper's OpenStreetMap examples).
+  double campus = 320.0;
+  geo::Point campus_center{center.x - half * 0.3, center.y - half * 0.2};
+  world->regions.AddPolygon(
+      geo::Polygon::FromBox(geo::BoundingBox(
+          {campus_center.x - campus, campus_center.y - campus},
+          {campus_center.x + campus, campus_center.y + campus})),
+      LanduseCategory::kSpecialUrban, "EPFL campus");
+  geo::Point pool_center{center.x + half * 0.25, center.y + half * 0.3};
+  world->regions.AddPolygon(
+      geo::Polygon::FromBox(
+          geo::BoundingBox({pool_center.x - 120, pool_center.y - 120},
+                           {pool_center.x + 120, pool_center.y + 120})),
+      LanduseCategory::kRecreational, "swimming pool");
+}
+
+void WorldGenerator::BuildPois(World* world, common::Rng& rng) const {
+  const geo::Point center = world->Center();
+  const double half = config_.extent_meters * 0.5;
+
+  // Cluster centers concentrated in the urban core (hot spots). Real
+  // POI clusters are themed — restaurant streets, shopping malls — so
+  // each cluster gets a dominant category that most of its POIs share.
+  struct PoiCluster {
+    geo::Point center;
+    int dominant_category;
+  };
+  std::vector<PoiCluster> clusters;
+  for (int k = 0; k < config_.num_poi_clusters; ++k) {
+    double r = std::abs(rng.Gaussian(0.0, 0.35)) * half;
+    r = std::min(r, 0.9 * half);
+    double theta = rng.Uniform(0.0, 2.0 * M_PI);
+    clusters.push_back(
+        {{center.x + r * std::cos(theta), center.y + r * std::sin(theta)},
+         static_cast<int>(rng.Discrete(config_.poi_category_weights))});
+  }
+
+  // Index clusters by dominant category so theming preserves the global
+  // category shares: the category is drawn from the Milan weights first,
+  // then the POI lands preferentially in a matching themed cluster.
+  std::vector<std::vector<size_t>> clusters_by_category(
+      config_.poi_category_weights.size());
+  for (size_t k = 0; k < clusters.size(); ++k) {
+    clusters_by_category[static_cast<size_t>(clusters[k].dominant_category)]
+        .push_back(k);
+  }
+
+  for (int i = 0; i < config_.num_pois; ++i) {
+    int category =
+        static_cast<int>(rng.Discrete(config_.poi_category_weights));
+    geo::Point pos;
+    if (rng.Bernoulli(0.9)) {
+      const auto& matching =
+          clusters_by_category[static_cast<size_t>(category)];
+      size_t cluster_index;
+      if (!matching.empty() && rng.Bernoulli(0.75)) {
+        cluster_index = matching[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(matching.size()) - 1))];
+      } else {
+        cluster_index = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(clusters.size()) - 1));
+      }
+      const geo::Point& c = clusters[cluster_index].center;
+      pos = {c.x + rng.Gaussian(0.0, 90.0), c.y + rng.Gaussian(0.0, 90.0)};
+    } else {
+      pos = {center.x + rng.Uniform(-half, half),
+             center.y + rng.Uniform(-half, half)};
+    }
+    pos.x = std::clamp(pos.x, world->extent.min.x, world->extent.max.x);
+    pos.y = std::clamp(pos.y, world->extent.min.y, world->extent.max.y);
+    world->pois.Add(pos, category,
+                    common::StrFormat(
+                        "%s #%d",
+                        world->pois.category_names()[static_cast<size_t>(
+                            category)].c_str(),
+                        i));
+  }
+}
+
+}  // namespace semitri::datagen

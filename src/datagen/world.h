@@ -1,0 +1,89 @@
+#ifndef SEMITRI_DATAGEN_WORLD_H_
+#define SEMITRI_DATAGEN_WORLD_H_
+
+// Synthetic geographic world — the stand-in for the paper's 3rd-party
+// sources (Swisstopo landuse, OpenStreetMap, Milan POI repository,
+// Seattle road network). One deterministic generator produces, from a
+// seed:
+//
+//   * a typed road network: urban grid (arterials + residential
+//     streets), a highway ring, metro lines with stations, cycleways
+//     running parallel to selected arterials (the "parallel road-ways"
+//     stress case of §4.2), and footpath shortcuts;
+//   * a 100 m landuse grid in the 17-category Swisstopo ontology with
+//     coherent zoning (dense building/transportation core, agricultural
+//     belt, wooded/lake outskirts) plus a few named free-form regions
+//     (campus, park, pool);
+//   * a clustered POI repository in the paper's five Milan categories
+//     with the paper's category proportions.
+//
+// DESIGN.md §2 documents why these substitutions preserve the paper's
+// evaluation behaviour.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/box.h"
+#include "poi/poi_set.h"
+#include "region/region_set.h"
+#include "road/road_network.h"
+
+namespace semitri::datagen {
+
+struct WorldConfig {
+  uint64_t seed = 42;
+  // Side of the square world, meters.
+  double extent_meters = 8000.0;
+  double landuse_cell_meters = 100.0;
+  // Street grid spacing in the urban core / arterial spacing.
+  double street_spacing_meters = 200.0;
+  int arterial_every = 4;  // every N-th grid line is an arterial
+  // Radius of the dense urban core as a fraction of the half extent.
+  double urban_core_fraction = 0.55;
+  int num_metro_lines = 2;
+  double metro_station_spacing_meters = 600.0;
+  int num_cycleway_lines = 3;
+  int num_footpath_shortcuts = 120;
+  // Landuse patches (lakes, parks, forests, industrial zones).
+  int num_patches = 30;
+  // POI repository.
+  int num_pois = 4000;
+  int num_poi_clusters = 25;
+  // Category weights in Milan proportions (services, feedings, item
+  // sale, person life, unknown).
+  std::vector<double> poi_category_weights = {4339.0, 7036.0, 12510.0,
+                                              15371.0, 516.0};
+};
+
+struct World {
+  WorldConfig config;
+  geo::BoundingBox extent;
+  road::RoadNetwork roads;
+  region::RegionSet regions;
+  poi::PoiSet pois = poi::PoiSet::MilanCategories();
+
+  geo::Point Center() const { return extent.Center(); }
+
+  // Uniform random point within the urban core.
+  geo::Point RandomCorePoint(common::Rng& rng) const;
+};
+
+class WorldGenerator {
+ public:
+  explicit WorldGenerator(WorldConfig config = {}) : config_(config) {}
+
+  // Deterministic for a given config (including seed).
+  World Generate() const;
+
+ private:
+  void BuildRoads(World* world, common::Rng& rng) const;
+  void BuildLanduse(World* world, common::Rng& rng) const;
+  void BuildPois(World* world, common::Rng& rng) const;
+
+  WorldConfig config_;
+};
+
+}  // namespace semitri::datagen
+
+#endif  // SEMITRI_DATAGEN_WORLD_H_

@@ -1,0 +1,197 @@
+#include "export/html_report.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace semitri::export_ {
+
+namespace {
+
+constexpr double kMapWidth = 760.0;
+constexpr double kMapHeight = 520.0;
+constexpr double kMapPadding = 20.0;
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Maps world coordinates into the SVG viewport (y flipped).
+class MapScale {
+ public:
+  explicit MapScale(const geo::BoundingBox& bounds) : bounds_(bounds) {
+    double w = std::max(bounds.Width(), 1.0);
+    double h = std::max(bounds.Height(), 1.0);
+    scale_ = std::min((kMapWidth - 2 * kMapPadding) / w,
+                      (kMapHeight - 2 * kMapPadding) / h);
+  }
+
+  double X(double x) const {
+    return kMapPadding + (x - bounds_.min.x) * scale_;
+  }
+  double Y(double y) const {
+    return kMapHeight - kMapPadding - (y - bounds_.min.y) * scale_;
+  }
+
+ private:
+  geo::BoundingBox bounds_;
+  double scale_;
+};
+
+// Transport mode of the line-layer episode covering time t, or "".
+std::string ModeAt(const core::PipelineResult& result, double t) {
+  if (!result.line_layer.has_value()) return "";
+  for (const core::SemanticEpisode& ep : result.line_layer->episodes) {
+    if (t >= ep.time_in - 1e-9 && t <= ep.time_out + 1e-9) {
+      return ep.FindAnnotation("transport_mode");
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* ModeColor(const std::string& mode) {
+  if (mode == "walk") return "#2e7d32";
+  if (mode == "bicycle") return "#f9a825";
+  if (mode == "bus") return "#c62828";
+  if (mode == "metro") return "#6a1b9a";
+  if (mode == "car") return "#1565c0";
+  return "#78909c";
+}
+
+void HtmlReportWriter::AddTrajectoryMap(const core::PipelineResult& result,
+                                        const std::string& caption) {
+  const auto& points = result.cleaned.points;
+  std::string svg = common::StrFormat(
+      "<svg width=\"%.0f\" height=\"%.0f\" "
+      "style=\"background:#fafafa;border:1px solid #ddd\">\n",
+      kMapWidth, kMapHeight);
+  if (!points.empty()) {
+    MapScale scale(result.cleaned.Bounds());
+    // Mode-colored polyline: one <polyline> per run of equal color.
+    size_t run_start = 0;
+    std::string run_color = ModeColor(ModeAt(result, points[0].time));
+    auto flush_run = [&](size_t end) {
+      if (end <= run_start) return;
+      std::string coords;
+      for (size_t i = run_start; i <= end && i < points.size(); ++i) {
+        coords += common::StrFormat("%.1f,%.1f ", scale.X(points[i].position.x),
+                                    scale.Y(points[i].position.y));
+      }
+      svg += common::StrFormat(
+          "  <polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+          "stroke-width=\"1.5\"/>\n",
+          coords.c_str(), run_color.c_str());
+    };
+    for (size_t i = 1; i < points.size(); ++i) {
+      std::string color = ModeColor(ModeAt(result, points[i].time));
+      if (color != run_color) {
+        flush_run(i);
+        run_start = i;
+        run_color = color;
+      }
+    }
+    flush_run(points.size() - 1);
+    // Stops as circles.
+    size_t stop_index = 0;
+    for (const core::Episode& ep : result.episodes) {
+      if (ep.kind != core::EpisodeKind::kStop) continue;
+      svg += common::StrFormat(
+          "  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"5\" fill=\"#e53935\" "
+          "fill-opacity=\"0.8\"><title>stop %zu: %.0f s</title></circle>\n",
+          scale.X(ep.center.x), scale.Y(ep.center.y), stop_index,
+          ep.DurationSeconds());
+      ++stop_index;
+    }
+  }
+  svg += "</svg>";
+  panels_.push_back(common::StrFormat(
+      "<div class=\"panel\"><h2>%s</h2>%s</div>",
+      HtmlEscape(caption).c_str(), svg.c_str()));
+}
+
+void HtmlReportWriter::AddTimelineTable(
+    const std::vector<analytics::TimelineEntry>& timeline,
+    const std::string& caption) {
+  std::string rows;
+  for (const auto& entry : timeline) {
+    rows += common::StrFormat(
+        "<tr><td>%s</td><td>%s - %s</td><td>%s</td><td>%s</td></tr>\n",
+        core::EpisodeKindName(entry.kind),
+        analytics::FormatClock(entry.time_in).c_str(),
+        analytics::FormatClock(entry.time_out).c_str(),
+        HtmlEscape(entry.place).c_str(),
+        HtmlEscape(entry.annotation.empty() ? "-" : entry.annotation)
+            .c_str());
+  }
+  panels_.push_back(common::StrFormat(
+      "<div class=\"panel\"><h2>%s</h2><table>"
+      "<tr><th>kind</th><th>time</th><th>place</th><th>annotation</th></tr>"
+      "%s</table></div>",
+      HtmlEscape(caption).c_str(), rows.c_str()));
+}
+
+void HtmlReportWriter::AddDistributionChart(
+    const analytics::LabeledDistribution& dist, const std::string& caption) {
+  std::string bars;
+  for (const auto& [label, count] : dist.counts()) {
+    double fraction = dist.Fraction(label);
+    bars += common::StrFormat(
+        "<div class=\"bar-row\"><span class=\"bar-label\">%s</span>"
+        "<span class=\"bar\" style=\"width:%.1fpx\"></span>"
+        "<span class=\"bar-value\">%.1f%%</span></div>\n",
+        HtmlEscape(label).c_str(), fraction * 400.0, fraction * 100.0);
+  }
+  panels_.push_back(common::StrFormat(
+      "<div class=\"panel\"><h2>%s</h2>%s</div>",
+      HtmlEscape(caption).c_str(), bars.c_str()));
+}
+
+std::string HtmlReportWriter::ToString() const {
+  std::string out = common::StrFormat(
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+      "<title>%s</title>\n<style>\n"
+      "body{font-family:sans-serif;margin:24px;background:#fff;}\n"
+      ".panel{margin-bottom:28px;}\n"
+      "h1{font-size:22px;} h2{font-size:16px;color:#333;}\n"
+      "table{border-collapse:collapse;} td,th{border:1px solid #ccc;"
+      "padding:4px 10px;font-size:13px;text-align:left;}\n"
+      ".bar-row{display:flex;align-items:center;margin:2px 0;}\n"
+      ".bar-label{width:160px;font-size:13px;}\n"
+      ".bar{background:#1565c0;height:12px;display:inline-block;}\n"
+      ".bar-value{margin-left:6px;font-size:12px;color:#555;}\n"
+      "</style></head><body>\n<h1>%s</h1>\n",
+      HtmlEscape(title_).c_str(), HtmlEscape(title_).c_str());
+  for (const std::string& panel : panels_) {
+    out += panel;
+    out += '\n';
+  }
+  out +=
+      "<p style=\"color:#888;font-size:12px\">generated by SeMiTri "
+      "(EDBT 2011 reproduction)</p>\n</body></html>\n";
+  return out;
+}
+
+common::Status HtmlReportWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return common::Status::IoError("cannot open " + path);
+  out << ToString();
+  out.flush();
+  if (!out) return common::Status::IoError("write failed for " + path);
+  return common::Status::OK();
+}
+
+}  // namespace semitri::export_

@@ -1,0 +1,52 @@
+#ifndef SEMITRI_EXPORT_HTML_REPORT_H_
+#define SEMITRI_EXPORT_HTML_REPORT_H_
+
+// Self-contained HTML/SVG reports — the stand-in for the paper's Web
+// Interface [31] (trajectory querying & visualization). A report holds
+// any number of panels: SVG trajectory maps with mode-colored moves and
+// stop markers, semantic timeline tables, and distribution bar charts.
+// Everything inlines into a single .html file; no server required.
+
+#include <string>
+#include <vector>
+
+#include "analytics/distribution.h"
+#include "analytics/timeline.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "core/types.h"
+
+namespace semitri::export_ {
+
+class HtmlReportWriter {
+ public:
+  explicit HtmlReportWriter(std::string title) : title_(std::move(title)) {}
+
+  // SVG map of a processed trajectory: the trace polyline (moves colored
+  // by inferred transport mode where the line layer provides one), stop
+  // episodes as labeled circles.
+  void AddTrajectoryMap(const core::PipelineResult& result,
+                        const std::string& caption);
+
+  // The §1.1 triple view as a table.
+  void AddTimelineTable(const std::vector<analytics::TimelineEntry>& timeline,
+                        const std::string& caption);
+
+  // Horizontal bar chart of a labeled distribution.
+  void AddDistributionChart(const analytics::LabeledDistribution& dist,
+                            const std::string& caption);
+
+  std::string ToString() const;
+  common::Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> panels_;
+};
+
+// Display color for a transport mode name ("walk", "metro", ...).
+const char* ModeColor(const std::string& mode);
+
+}  // namespace semitri::export_
+
+#endif  // SEMITRI_EXPORT_HTML_REPORT_H_

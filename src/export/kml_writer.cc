@@ -1,0 +1,127 @@
+#include "export/kml_writer.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+#include "geo/simplify.h"
+
+namespace semitri::export_ {
+
+namespace {
+
+std::string XmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string KmlWriter::CoordinateOf(const geo::Point& p) const {
+  geo::LatLon ll = projection_.ToLatLon(p);
+  return common::StrFormat("%.7f,%.7f,0", ll.lon, ll.lat);
+}
+
+void KmlWriter::AddTrajectory(const core::RawTrajectory& trajectory,
+                              const std::string& name,
+                              double simplify_tolerance_meters) {
+  std::vector<geo::Point> positions;
+  positions.reserve(trajectory.points.size());
+  for (const core::GpsPoint& p : trajectory.points) {
+    positions.push_back(p.position);
+  }
+  std::string coords;
+  if (simplify_tolerance_meters > 0.0) {
+    for (size_t i :
+         geo::DouglasPeuckerIndices(positions, simplify_tolerance_meters)) {
+      coords += CoordinateOf(positions[i]);
+      coords += ' ';
+    }
+  } else {
+    for (const geo::Point& p : positions) {
+      coords += CoordinateOf(p);
+      coords += ' ';
+    }
+  }
+  placemarks_.push_back(common::StrFormat(
+      "  <Placemark>\n"
+      "    <name>%s</name>\n"
+      "    <LineString><tessellate>1</tessellate>"
+      "<coordinates>%s</coordinates></LineString>\n"
+      "  </Placemark>",
+      XmlEscape(name).c_str(), coords.c_str()));
+}
+
+void KmlWriter::AddStops(const core::RawTrajectory& trajectory,
+                         const std::vector<core::Episode>& episodes) {
+  size_t stop_index = 0;
+  for (const core::Episode& ep : episodes) {
+    if (ep.kind != core::EpisodeKind::kStop) continue;
+    placemarks_.push_back(common::StrFormat(
+        "  <Placemark>\n"
+        "    <name>stop %zu</name>\n"
+        "    <description>t=[%.0f, %.0f] points=%zu</description>\n"
+        "    <Point><coordinates>%s</coordinates></Point>\n"
+        "  </Placemark>",
+        stop_index, ep.time_in, ep.time_out, ep.num_points(),
+        CoordinateOf(ep.center).c_str()));
+    ++stop_index;
+  }
+  (void)trajectory;
+}
+
+void KmlWriter::AddSemanticEpisodes(
+    const core::StructuredSemanticTrajectory& t,
+    const std::vector<geo::Point>& episode_anchors) {
+  for (size_t i = 0; i < t.episodes.size(); ++i) {
+    const core::SemanticEpisode& ep = t.episodes[i];
+    std::string description;
+    for (const core::Annotation& a : ep.annotations) {
+      description += XmlEscape(a.key) + "=" + XmlEscape(a.value) + "; ";
+    }
+    geo::Point anchor =
+        i < episode_anchors.size() ? episode_anchors[i] : geo::Point{};
+    placemarks_.push_back(common::StrFormat(
+        "  <Placemark>\n"
+        "    <name>%s/%s %zu</name>\n"
+        "    <description>t=[%.0f, %.0f] %s</description>\n"
+        "    <Point><coordinates>%s</coordinates></Point>\n"
+        "  </Placemark>",
+        XmlEscape(t.interpretation).c_str(),
+        core::EpisodeKindName(ep.kind), i, ep.time_in, ep.time_out,
+        description.c_str(), CoordinateOf(anchor).c_str()));
+  }
+}
+
+std::string KmlWriter::ToString() const {
+  std::string out =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<kml xmlns=\"http://www.opengis.net/kml/2.2\">\n"
+      "<Document>\n";
+  for (const std::string& p : placemarks_) {
+    out += p;
+    out += '\n';
+  }
+  out += "</Document>\n</kml>\n";
+  return out;
+}
+
+common::Status KmlWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return common::Status::IoError("cannot open " + path);
+  out << ToString();
+  out.flush();
+  if (!out) return common::Status::IoError("write failed for " + path);
+  return common::Status::OK();
+}
+
+}  // namespace semitri::export_

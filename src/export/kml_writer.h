@@ -1,0 +1,56 @@
+#ifndef SEMITRI_EXPORT_KML_WRITER_H_
+#define SEMITRI_EXPORT_KML_WRITER_H_
+
+// KML export — the data product behind the paper's Web Interface [31]
+// (trajectory querying & visualization through Google Earth plugins,
+// Figs. 15/16). Raw traces become LineStrings, stop episodes become
+// labeled Point placemarks, and semantic episodes carry their
+// annotations in the placemark description.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "geo/latlon.h"
+
+namespace semitri::export_ {
+
+class KmlWriter {
+ public:
+  // `projection` maps the local metric frame back to WGS-84.
+  explicit KmlWriter(geo::LocalProjection projection)
+      : projection_(projection) {}
+
+  // Adds the raw trace as a LineString placemark. A positive
+  // `simplify_tolerance_meters` thins the geometry with Douglas-Peucker
+  // before export (multi-day exports shrink by an order of magnitude
+  // with no visible change).
+  void AddTrajectory(const core::RawTrajectory& trajectory,
+                     const std::string& name,
+                     double simplify_tolerance_meters = 0.0);
+
+  // Adds stop episodes as Point placemarks named by their index.
+  void AddStops(const core::RawTrajectory& trajectory,
+                const std::vector<core::Episode>& episodes);
+
+  // Adds semantic episodes; annotations render into the description.
+  // Episodes without a time span still appear, holding their metadata.
+  void AddSemanticEpisodes(const core::StructuredSemanticTrajectory& t,
+                           const std::vector<geo::Point>& episode_anchors);
+
+  // Serializes the accumulated document.
+  std::string ToString() const;
+
+  common::Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string CoordinateOf(const geo::Point& p) const;
+
+  geo::LocalProjection projection_;
+  std::vector<std::string> placemarks_;
+};
+
+}  // namespace semitri::export_
+
+#endif  // SEMITRI_EXPORT_KML_WRITER_H_

@@ -1,0 +1,106 @@
+#ifndef SEMITRI_GEO_BOX_H_
+#define SEMITRI_GEO_BOX_H_
+
+// Axis-aligned bounding boxes, the workhorse of the R*-tree and of the
+// spatial-join region annotation (Algorithm 1 uses the episode's bounding
+// rectangle or center as its spatial extent).
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/point.h"
+
+namespace semitri::geo {
+
+struct BoundingBox {
+  Point min{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  Point max{-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+
+  constexpr BoundingBox() = default;
+  constexpr BoundingBox(Point min_in, Point max_in)
+      : min(min_in), max(max_in) {}
+
+  static constexpr BoundingBox FromPoint(const Point& p) { return {p, p}; }
+
+  static BoundingBox FromPoints(const Point& a, const Point& b) {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  // True for a default-constructed (inverted) box that covers nothing.
+  constexpr bool IsEmpty() const { return min.x > max.x || min.y > max.y; }
+
+  constexpr double Width() const { return IsEmpty() ? 0.0 : max.x - min.x; }
+  constexpr double Height() const { return IsEmpty() ? 0.0 : max.y - min.y; }
+  constexpr double Area() const { return Width() * Height(); }
+  // Perimeter / 2; the R*-tree split heuristic minimizes this "margin".
+  constexpr double Margin() const { return Width() + Height(); }
+
+  constexpr Point Center() const {
+    return {(min.x + max.x) * 0.5, (min.y + max.y) * 0.5};
+  }
+
+  constexpr bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  constexpr bool Contains(const BoundingBox& o) const {
+    return !o.IsEmpty() && o.min.x >= min.x && o.max.x <= max.x &&
+           o.min.y >= min.y && o.max.y <= max.y;
+  }
+
+  constexpr bool Intersects(const BoundingBox& o) const {
+    return !IsEmpty() && !o.IsEmpty() && min.x <= o.max.x &&
+           o.min.x <= max.x && min.y <= o.max.y && o.min.y <= max.y;
+  }
+
+  void ExpandToInclude(const Point& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  void ExpandToInclude(const BoundingBox& o) {
+    if (o.IsEmpty()) return;
+    ExpandToInclude(o.min);
+    ExpandToInclude(o.max);
+  }
+
+  // Grows the box by `margin` meters on every side.
+  BoundingBox Inflated(double margin) const {
+    return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+
+  BoundingBox Union(const BoundingBox& o) const {
+    BoundingBox out = *this;
+    out.ExpandToInclude(o);
+    return out;
+  }
+
+  // Area of the intersection (0 when disjoint).
+  double OverlapArea(const BoundingBox& o) const {
+    if (!Intersects(o)) return 0.0;
+    double w = std::min(max.x, o.max.x) - std::max(min.x, o.min.x);
+    double h = std::min(max.y, o.max.y) - std::max(min.y, o.min.y);
+    return w * h;
+  }
+
+  // Area increase caused by extending this box to include `o`.
+  double Enlargement(const BoundingBox& o) const {
+    return Union(o).Area() - Area();
+  }
+
+  // Minimum distance from a point to the box (0 when inside).
+  double DistanceTo(const Point& p) const {
+    double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    return std::hypot(dx, dy);
+  }
+};
+
+}  // namespace semitri::geo
+
+#endif  // SEMITRI_GEO_BOX_H_

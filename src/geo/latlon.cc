@@ -1,0 +1,16 @@
+#include "geo/latlon.h"
+
+namespace semitri::geo {
+
+double HaversineDistance(const LatLon& a, const LatLon& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                 std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+}  // namespace semitri::geo

@@ -1,0 +1,60 @@
+#ifndef SEMITRI_GEO_LATLON_H_
+#define SEMITRI_GEO_LATLON_H_
+
+// WGS-84 coordinates and a local equirectangular projection.
+//
+// The annotation algorithms run in a planar meter frame; raw GPS input is
+// (longitude, latitude). LocalProjection converts between them around a
+// reference point — accurate to well under GPS noise at city scale, which
+// matches how the paper's PostGIS setup treated metric distances.
+
+#include <cmath>
+
+#include "geo/point.h"
+
+namespace semitri::geo {
+
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+inline constexpr double kDegToRad = M_PI / 180.0;
+inline constexpr double kRadToDeg = 180.0 / M_PI;
+
+struct LatLon {
+  double lat = 0.0;  // degrees
+  double lon = 0.0;  // degrees
+};
+
+// Great-circle distance in meters.
+double HaversineDistance(const LatLon& a, const LatLon& b);
+
+// Equirectangular projection centered on a reference coordinate.
+class LocalProjection {
+ public:
+  explicit LocalProjection(LatLon reference)
+      : reference_(reference),
+        cos_lat_(std::cos(reference.lat * kDegToRad)) {}
+
+  Point ToLocal(const LatLon& ll) const {
+    double dx = (ll.lon - reference_.lon) * kDegToRad * cos_lat_ *
+                kEarthRadiusMeters;
+    double dy = (ll.lat - reference_.lat) * kDegToRad * kEarthRadiusMeters;
+    return {dx, dy};
+  }
+
+  LatLon ToLatLon(const Point& p) const {
+    LatLon ll;
+    ll.lat = reference_.lat + (p.y / kEarthRadiusMeters) * kRadToDeg;
+    ll.lon = reference_.lon +
+             (p.x / (kEarthRadiusMeters * cos_lat_)) * kRadToDeg;
+    return ll;
+  }
+
+  const LatLon& reference() const { return reference_; }
+
+ private:
+  LatLon reference_;
+  double cos_lat_;
+};
+
+}  // namespace semitri::geo
+
+#endif  // SEMITRI_GEO_LATLON_H_

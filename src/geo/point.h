@@ -1,0 +1,45 @@
+#ifndef SEMITRI_GEO_POINT_H_
+#define SEMITRI_GEO_POINT_H_
+
+// Planar geometry primitives. SeMiTri's annotation algorithms operate in a
+// local metric frame (meters); `geo/latlon.h` converts to/from WGS-84.
+
+#include <cmath>
+
+namespace semitri::geo {
+
+// A point (or vector) in a local planar metric frame, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+
+  constexpr double Dot(const Point& o) const { return x * o.x + y * o.y; }
+  // z-component of the 3-D cross product; >0 when `o` is counter-clockwise
+  // of *this.
+  constexpr double Cross(const Point& o) const { return x * o.y - y * o.x; }
+
+  double Norm() const { return std::hypot(x, y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+
+  double DistanceTo(const Point& o) const { return (*this - o).Norm(); }
+  constexpr double SquaredDistanceTo(const Point& o) const {
+    return (*this - o).SquaredNorm();
+  }
+};
+
+constexpr Point operator*(double s, const Point& p) { return p * s; }
+
+}  // namespace semitri::geo
+
+#endif  // SEMITRI_GEO_POINT_H_

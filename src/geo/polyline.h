@@ -1,0 +1,71 @@
+#ifndef SEMITRI_GEO_POLYLINE_H_
+#define SEMITRI_GEO_POLYLINE_H_
+
+// Polylines — road geometries and trajectory traces.
+
+#include <vector>
+
+#include "geo/box.h"
+#include "geo/point.h"
+#include "geo/segment.h"
+
+namespace semitri::geo {
+
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> points) : points_(std::move(points)) {}
+
+  const std::vector<Point>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Point& operator[](size_t i) const { return points_[i]; }
+
+  void Append(const Point& p) { points_.push_back(p); }
+
+  double Length() const {
+    double len = 0.0;
+    for (size_t i = 1; i < points_.size(); ++i) {
+      len += points_[i - 1].DistanceTo(points_[i]);
+    }
+    return len;
+  }
+
+  BoundingBox Bounds() const {
+    BoundingBox box;
+    for (const Point& p : points_) box.ExpandToInclude(p);
+    return box;
+  }
+
+  // Minimum distance from q to any constituent segment.
+  double DistanceTo(const Point& q) const {
+    if (points_.empty()) return std::numeric_limits<double>::infinity();
+    if (points_.size() == 1) return points_[0].DistanceTo(q);
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 1; i < points_.size(); ++i) {
+      best = std::min(best, Segment(points_[i - 1], points_[i]).DistanceTo(q));
+    }
+    return best;
+  }
+
+  // Point at arc-length `s` from the start (clamped to the ends).
+  Point AtArcLength(double s) const {
+    if (points_.empty()) return Point();
+    if (s <= 0.0) return points_.front();
+    for (size_t i = 1; i < points_.size(); ++i) {
+      double seg_len = points_[i - 1].DistanceTo(points_[i]);
+      if (s <= seg_len && seg_len > 0.0) {
+        return Segment(points_[i - 1], points_[i]).Interpolate(s / seg_len);
+      }
+      s -= seg_len;
+    }
+    return points_.back();
+  }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace semitri::geo
+
+#endif  // SEMITRI_GEO_POLYLINE_H_

@@ -1,0 +1,100 @@
+#include "geo/relations.h"
+
+#include <algorithm>
+
+namespace semitri::geo {
+
+bool Intersects(const BoundingBox& a, const BoundingBox& b) {
+  return a.Intersects(b);
+}
+
+bool Disjoint(const BoundingBox& a, const BoundingBox& b) {
+  return !a.Intersects(b);
+}
+
+bool Within(const BoundingBox& a, const BoundingBox& b) {
+  return b.Contains(a);
+}
+
+bool Contains(const BoundingBox& a, const BoundingBox& b) {
+  return a.Contains(b);
+}
+
+bool Overlaps(const BoundingBox& a, const BoundingBox& b) {
+  return a.Intersects(b) && !a.Contains(b) && !b.Contains(a);
+}
+
+bool Touches(const BoundingBox& a, const BoundingBox& b) {
+  if (!a.Intersects(b)) return false;
+  // Interiors intersect iff the overlap has positive area.
+  return a.OverlapArea(b) == 0.0;
+}
+
+bool Equals(const BoundingBox& a, const BoundingBox& b) {
+  return a.min == b.min && a.max == b.max;
+}
+
+double MinDistance(const BoundingBox& a, const BoundingBox& b) {
+  if (a.Intersects(b)) return 0.0;
+  double dx = std::max({a.min.x - b.max.x, 0.0, b.min.x - a.max.x});
+  double dy = std::max({a.min.y - b.max.y, 0.0, b.min.y - a.max.y});
+  return std::hypot(dx, dy);
+}
+
+bool WithinDistance(const BoundingBox& a, const BoundingBox& b,
+                    double range) {
+  return MinDistance(a, b) <= range;
+}
+
+bool NorthOf(const BoundingBox& a, const BoundingBox& b) {
+  return a.Center().y > b.Center().y;
+}
+
+bool SouthOf(const BoundingBox& a, const BoundingBox& b) {
+  return a.Center().y < b.Center().y;
+}
+
+bool EastOf(const BoundingBox& a, const BoundingBox& b) {
+  return a.Center().x > b.Center().x;
+}
+
+bool WestOf(const BoundingBox& a, const BoundingBox& b) {
+  return a.Center().x < b.Center().x;
+}
+
+const char* SpatialPredicateName(SpatialPredicate predicate) {
+  switch (predicate) {
+    case SpatialPredicate::kIntersects: return "intersects";
+    case SpatialPredicate::kDisjoint: return "disjoint";
+    case SpatialPredicate::kWithin: return "within";
+    case SpatialPredicate::kContains: return "contains";
+    case SpatialPredicate::kOverlaps: return "overlaps";
+    case SpatialPredicate::kTouches: return "touches";
+    case SpatialPredicate::kEquals: return "equals";
+    case SpatialPredicate::kNorthOf: return "north_of";
+    case SpatialPredicate::kSouthOf: return "south_of";
+    case SpatialPredicate::kEastOf: return "east_of";
+    case SpatialPredicate::kWestOf: return "west_of";
+  }
+  return "unknown";
+}
+
+bool EvaluatePredicate(SpatialPredicate predicate, const BoundingBox& a,
+                       const BoundingBox& b) {
+  switch (predicate) {
+    case SpatialPredicate::kIntersects: return Intersects(a, b);
+    case SpatialPredicate::kDisjoint: return Disjoint(a, b);
+    case SpatialPredicate::kWithin: return Within(a, b);
+    case SpatialPredicate::kContains: return Contains(a, b);
+    case SpatialPredicate::kOverlaps: return Overlaps(a, b);
+    case SpatialPredicate::kTouches: return Touches(a, b);
+    case SpatialPredicate::kEquals: return Equals(a, b);
+    case SpatialPredicate::kNorthOf: return NorthOf(a, b);
+    case SpatialPredicate::kSouthOf: return SouthOf(a, b);
+    case SpatialPredicate::kEastOf: return EastOf(a, b);
+    case SpatialPredicate::kWestOf: return WestOf(a, b);
+  }
+  return false;
+}
+
+}  // namespace semitri::geo

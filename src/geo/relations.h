@@ -1,0 +1,80 @@
+#ifndef SEMITRI_GEO_RELATIONS_H_
+#define SEMITRI_GEO_RELATIONS_H_
+
+// Spatial predicates for the region-annotation joins — the paper's §4.1
+// mentions that the join predicate θ can combine "directional, distance,
+// and topological spatial relations" ([5], Brinkhoff et al.). This
+// header provides the standard vocabulary over bounding boxes (the
+// filter-step geometry of the join) so applications can configure
+// joins beyond plain intersection.
+
+#include "geo/box.h"
+#include "geo/point.h"
+
+namespace semitri::geo {
+
+// --- topological (RCC-style over boxes) --------------------------------
+
+// a and b share at least one point.
+bool Intersects(const BoundingBox& a, const BoundingBox& b);
+
+// a and b share no point.
+bool Disjoint(const BoundingBox& a, const BoundingBox& b);
+
+// a lies entirely inside b (boundary contact allowed).
+bool Within(const BoundingBox& a, const BoundingBox& b);
+
+// b lies entirely inside a (the paper's "spatial subsumption").
+bool Contains(const BoundingBox& a, const BoundingBox& b);
+
+// a and b intersect, but neither contains the other.
+bool Overlaps(const BoundingBox& a, const BoundingBox& b);
+
+// a and b share boundary points only (no interior intersection).
+bool Touches(const BoundingBox& a, const BoundingBox& b);
+
+// Equal extents.
+bool Equals(const BoundingBox& a, const BoundingBox& b);
+
+// --- distance ----------------------------------------------------------
+
+// Minimum distance between the two boxes (0 when intersecting).
+double MinDistance(const BoundingBox& a, const BoundingBox& b);
+
+// True when the boxes lie within `range` meters of each other.
+bool WithinDistance(const BoundingBox& a, const BoundingBox& b,
+                    double range);
+
+// --- directional (center-based, as usual for extended objects) ----------
+
+bool NorthOf(const BoundingBox& a, const BoundingBox& b);
+bool SouthOf(const BoundingBox& a, const BoundingBox& b);
+bool EastOf(const BoundingBox& a, const BoundingBox& b);
+bool WestOf(const BoundingBox& a, const BoundingBox& b);
+
+// --- combinators ---------------------------------------------------------
+
+enum class SpatialPredicate {
+  kIntersects,
+  kDisjoint,
+  kWithin,
+  kContains,
+  kOverlaps,
+  kTouches,
+  kEquals,
+  kNorthOf,
+  kSouthOf,
+  kEastOf,
+  kWestOf,
+};
+
+const char* SpatialPredicateName(SpatialPredicate predicate);
+
+// Evaluates a named predicate (distance predicates take the separate
+// WithinDistance entry point).
+bool EvaluatePredicate(SpatialPredicate predicate, const BoundingBox& a,
+                       const BoundingBox& b);
+
+}  // namespace semitri::geo
+
+#endif  // SEMITRI_GEO_RELATIONS_H_

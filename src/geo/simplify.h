@@ -1,0 +1,27 @@
+#ifndef SEMITRI_GEO_SIMPLIFY_H_
+#define SEMITRI_GEO_SIMPLIFY_H_
+
+// Polyline simplification (Douglas-Peucker). Used to compress move
+// episodes for storage/export: the semantic trajectory store keeps the
+// semantic episodes, and the raw geometry of a move can be thinned to a
+// tolerance without affecting its annotations.
+
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/polyline.h"
+
+namespace semitri::geo {
+
+// Indices (into `points`, ascending, always including first and last)
+// of the Douglas-Peucker simplification with the given tolerance in
+// meters.
+std::vector<size_t> DouglasPeuckerIndices(const std::vector<Point>& points,
+                                          double tolerance_meters);
+
+// Convenience: the simplified polyline itself.
+Polyline SimplifyPolyline(const Polyline& line, double tolerance_meters);
+
+}  // namespace semitri::geo
+
+#endif  // SEMITRI_GEO_SIMPLIFY_H_

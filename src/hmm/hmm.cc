@@ -1,0 +1,353 @@
+#include "hmm/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace semitri::hmm {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double SafeLog(double p) { return p > 0.0 ? std::log(p) : kNegInf; }
+
+// Validates emissions shape against the model; normalizes all-zero rows
+// to uniform in log space.
+common::Status CheckEmissions(
+    const HmmModel& model, const std::vector<std::vector<double>>& emissions) {
+  for (size_t t = 0; t < emissions.size(); ++t) {
+    if (emissions[t].size() != model.num_states()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "emission row %zu has %zu entries, model has %zu states", t,
+          emissions[t].size(), model.num_states()));
+    }
+    for (double e : emissions[t]) {
+      if (e < 0.0 || !std::isfinite(e)) {
+        return common::Status::InvalidArgument(
+            "emission probabilities must be finite and nonnegative");
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+double RowEmission(const std::vector<double>& row, size_t i) {
+  double sum = 0.0;
+  for (double e : row) sum += e;
+  if (sum <= 0.0) return 1.0 / static_cast<double>(row.size());
+  return row[i];
+}
+
+}  // namespace
+
+common::Status ValidateModel(const HmmModel& model) {
+  const size_t n = model.num_states();
+  if (n == 0) {
+    return common::Status::InvalidArgument("model has no states");
+  }
+  if (model.transition.size() != n) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "transition matrix has %zu rows, expected %zu",
+        model.transition.size(), n));
+  }
+  double pi_sum = 0.0;
+  for (double p : model.initial) {
+    if (p < 0.0) {
+      return common::Status::InvalidArgument("negative initial probability");
+    }
+    pi_sum += p;
+  }
+  if (std::abs(pi_sum - 1.0) > 1e-6) {
+    return common::Status::InvalidArgument(
+        common::StrFormat("initial probabilities sum to %f, not 1", pi_sum));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (model.transition[i].size() != n) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "transition row %zu has %zu entries, expected %zu", i,
+          model.transition[i].size(), n));
+    }
+    double row_sum = 0.0;
+    for (double p : model.transition[i]) {
+      if (p < 0.0) {
+        return common::Status::InvalidArgument(
+            "negative transition probability");
+      }
+      row_sum += p;
+    }
+    if (std::abs(row_sum - 1.0) > 1e-6) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "transition row %zu sums to %f, not 1", i, row_sum));
+    }
+  }
+  return common::Status::OK();
+}
+
+std::vector<std::vector<double>> MakeDefaultTransition(size_t num_states,
+                                                       double self_prob) {
+  std::vector<std::vector<double>> a(num_states,
+                                     std::vector<double>(num_states));
+  double off = num_states > 1
+                   ? (1.0 - self_prob) / static_cast<double>(num_states - 1)
+                   : 0.0;
+  for (size_t i = 0; i < num_states; ++i) {
+    for (size_t j = 0; j < num_states; ++j) {
+      a[i][j] = i == j ? (num_states == 1 ? 1.0 : self_prob) : off;
+    }
+  }
+  return a;
+}
+
+common::Result<ViterbiResult> Viterbi(
+    const HmmModel& model,
+    const std::vector<std::vector<double>>& emissions) {
+  SEMITRI_RETURN_IF_ERROR(ValidateModel(model));
+  SEMITRI_RETURN_IF_ERROR(CheckEmissions(model, emissions));
+  ViterbiResult result;
+  if (emissions.empty()) return result;
+
+  const size_t n = model.num_states();
+  const size_t t_max = emissions.size();
+  // delta[t][i] (Eq. 5–6) and backpointers psi[t][i] (Eq. 7).
+  std::vector<std::vector<double>> delta(t_max, std::vector<double>(n));
+  std::vector<std::vector<size_t>> psi(t_max, std::vector<size_t>(n, 0));
+
+  for (size_t i = 0; i < n; ++i) {
+    delta[0][i] =
+        SafeLog(model.initial[i]) + SafeLog(RowEmission(emissions[0], i));
+  }
+  for (size_t t = 1; t < t_max; ++t) {
+    for (size_t j = 0; j < n; ++j) {
+      double best = kNegInf;
+      size_t best_i = 0;
+      for (size_t i = 0; i < n; ++i) {
+        double v = delta[t - 1][i] + SafeLog(model.transition[i][j]);
+        if (v > best) {
+          best = v;
+          best_i = i;
+        }
+      }
+      delta[t][j] = best + SafeLog(RowEmission(emissions[t], j));
+      psi[t][j] = best_i;
+    }
+  }
+  // Termination + backtracking (Algorithm 3 lines 12–16).
+  size_t best_state = 0;
+  double best = kNegInf;
+  for (size_t i = 0; i < n; ++i) {
+    if (delta[t_max - 1][i] > best) {
+      best = delta[t_max - 1][i];
+      best_state = i;
+    }
+  }
+  result.log_probability = best;
+  result.states.resize(t_max);
+  result.states[t_max - 1] = best_state;
+  for (size_t t = t_max - 1; t > 0; --t) {
+    result.states[t - 1] = psi[t][result.states[t]];
+  }
+  return result;
+}
+
+common::Result<double> ForwardLogLikelihood(
+    const HmmModel& model,
+    const std::vector<std::vector<double>>& emissions) {
+  SEMITRI_RETURN_IF_ERROR(ValidateModel(model));
+  SEMITRI_RETURN_IF_ERROR(CheckEmissions(model, emissions));
+  if (emissions.empty()) return 0.0;
+
+  const size_t n = model.num_states();
+  // Scaled forward recursion: alpha is renormalized each step and the
+  // log of the scale factors accumulates into the total likelihood.
+  std::vector<double> alpha(n);
+  double log_likelihood = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    alpha[i] = model.initial[i] * RowEmission(emissions[0], i);
+  }
+  for (size_t t = 0;; ++t) {
+    double scale = 0.0;
+    for (double a : alpha) scale += a;
+    if (scale <= 0.0) {
+      return common::Status::InvalidArgument(
+          "observation sequence has zero likelihood under the model");
+    }
+    for (double& a : alpha) a /= scale;
+    log_likelihood += std::log(scale);
+    if (t + 1 == emissions.size()) break;
+    std::vector<double> next(n, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += alpha[i] * model.transition[i][j];
+      }
+      next[j] = acc * RowEmission(emissions[t + 1], j);
+    }
+    alpha.swap(next);
+  }
+  return log_likelihood;
+}
+
+namespace {
+
+// Per-timestep-normalized forward/backward variables for one sequence.
+// Returns the sequence log-likelihood.
+double ForwardBackward(const HmmModel& model,
+                       const std::vector<std::vector<double>>& emissions,
+                       std::vector<std::vector<double>>* alpha,
+                       std::vector<std::vector<double>>* beta) {
+  const size_t n = model.num_states();
+  const size_t t_max = emissions.size();
+  alpha->assign(t_max, std::vector<double>(n, 0.0));
+  beta->assign(t_max, std::vector<double>(n, 1.0));
+  std::vector<double> scale(t_max, 0.0);
+
+  for (size_t i = 0; i < n; ++i) {
+    (*alpha)[0][i] = model.initial[i] * RowEmission(emissions[0], i);
+  }
+  double log_likelihood = 0.0;
+  for (size_t t = 0; t < t_max; ++t) {
+    if (t > 0) {
+      for (size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          acc += (*alpha)[t - 1][i] * model.transition[i][j];
+        }
+        (*alpha)[t][j] = acc * RowEmission(emissions[t], j);
+      }
+    }
+    double c = 0.0;
+    for (double a : (*alpha)[t]) c += a;
+    if (c <= 0.0) c = 1e-300;
+    for (double& a : (*alpha)[t]) a /= c;
+    scale[t] = c;
+    log_likelihood += std::log(c);
+  }
+  for (size_t t = t_max - 1; t-- > 0;) {
+    for (size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        acc += model.transition[i][j] * RowEmission(emissions[t + 1], j) *
+               (*beta)[t + 1][j];
+      }
+      (*beta)[t][i] = acc / scale[t + 1];
+    }
+  }
+  return log_likelihood;
+}
+
+}  // namespace
+
+common::Result<std::vector<std::vector<double>>> PosteriorDecode(
+    const HmmModel& model,
+    const std::vector<std::vector<double>>& emissions) {
+  SEMITRI_RETURN_IF_ERROR(ValidateModel(model));
+  SEMITRI_RETURN_IF_ERROR(CheckEmissions(model, emissions));
+  std::vector<std::vector<double>> gamma;
+  if (emissions.empty()) return gamma;
+  std::vector<std::vector<double>> alpha, beta;
+  ForwardBackward(model, emissions, &alpha, &beta);
+  const size_t n = model.num_states();
+  gamma.assign(emissions.size(), std::vector<double>(n, 0.0));
+  for (size_t t = 0; t < emissions.size(); ++t) {
+    double norm = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      gamma[t][i] = alpha[t][i] * beta[t][i];
+      norm += gamma[t][i];
+    }
+    if (norm <= 0.0) {
+      // Degenerate; fall back to uniform.
+      for (double& g : gamma[t]) g = 1.0 / static_cast<double>(n);
+      continue;
+    }
+    for (double& g : gamma[t]) g /= norm;
+  }
+  return gamma;
+}
+
+common::Result<BaumWelchResult> BaumWelch(
+    const HmmModel& initial_model,
+    const std::vector<std::vector<std::vector<double>>>& sequences,
+    const BaumWelchOptions& options) {
+  SEMITRI_RETURN_IF_ERROR(ValidateModel(initial_model));
+  for (const auto& seq : sequences) {
+    SEMITRI_RETURN_IF_ERROR(CheckEmissions(initial_model, seq));
+  }
+  const size_t n = initial_model.num_states();
+  BaumWelchResult result;
+  result.model = initial_model;
+  double previous_ll = -std::numeric_limits<double>::infinity();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<double> initial_counts(n, options.smoothing);
+    std::vector<std::vector<double>> transition_counts(
+        n, std::vector<double>(n, options.smoothing));
+    double total_ll = 0.0;
+    size_t used_sequences = 0;
+
+    std::vector<std::vector<double>> alpha, beta;
+    for (const auto& emissions : sequences) {
+      if (emissions.empty()) continue;
+      ++used_sequences;
+      total_ll += ForwardBackward(result.model, emissions, &alpha, &beta);
+      const size_t t_max = emissions.size();
+      // gamma_0 for π.
+      double norm = 0.0;
+      std::vector<double> gamma0(n);
+      for (size_t i = 0; i < n; ++i) {
+        gamma0[i] = alpha[0][i] * beta[0][i];
+        norm += gamma0[i];
+      }
+      if (norm > 0.0) {
+        for (size_t i = 0; i < n; ++i) initial_counts[i] += gamma0[i] / norm;
+      }
+      // xi_t for A.
+      for (size_t t = 0; t + 1 < t_max; ++t) {
+        double xi_norm = 0.0;
+        std::vector<std::vector<double>> xi(n, std::vector<double>(n));
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            xi[i][j] = alpha[t][i] * result.model.transition[i][j] *
+                       RowEmission(emissions[t + 1], j) * beta[t + 1][j];
+            xi_norm += xi[i][j];
+          }
+        }
+        if (xi_norm <= 0.0) continue;
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            transition_counts[i][j] += xi[i][j] / xi_norm;
+          }
+        }
+      }
+    }
+    if (used_sequences == 0) {
+      return common::Status::InvalidArgument(
+          "Baum-Welch needs at least one non-empty sequence");
+    }
+
+    // M step.
+    if (options.learn_initial) {
+      double pi_sum = 0.0;
+      for (double c : initial_counts) pi_sum += c;
+      for (size_t i = 0; i < n; ++i) {
+        result.model.initial[i] = initial_counts[i] / pi_sum;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      double row_sum = 0.0;
+      for (double c : transition_counts[i]) row_sum += c;
+      for (size_t j = 0; j < n; ++j) {
+        result.model.transition[i][j] = transition_counts[i][j] / row_sum;
+      }
+    }
+    result.log_likelihood = total_ll;
+    result.iterations = iter + 1;
+    if (total_ll - previous_ll < options.tolerance && iter > 0) break;
+    previous_ll = total_ll;
+  }
+  return result;
+}
+
+}  // namespace semitri::hmm

@@ -1,0 +1,217 @@
+#include "io/world_io.h"
+
+#include <fstream>
+#include <map>
+
+#include "common/strings.h"
+
+namespace semitri::io {
+
+namespace {
+
+common::Status OpenForWrite(const std::string& path, std::ofstream* out) {
+  out->open(path, std::ios::trunc);
+  if (!*out) return common::Status::IoError("cannot open " + path);
+  return common::Status::OK();
+}
+
+common::Status OpenForRead(const std::string& path, std::ifstream* in) {
+  in->open(path);
+  if (!*in) return common::Status::IoError("cannot open " + path);
+  return common::Status::OK();
+}
+
+std::string EncodeRing(const geo::Polygon& polygon) {
+  std::vector<std::string> parts;
+  for (const geo::Point& p : polygon.ring()) {
+    parts.push_back(common::StrFormat("%.6f %.6f", p.x, p.y));
+  }
+  return common::Join(parts, ";");
+}
+
+common::Result<geo::Polygon> DecodeRing(const std::string& encoded) {
+  std::vector<geo::Point> ring;
+  for (const std::string& pair : common::Split(encoded, ';')) {
+    std::vector<std::string> xy = common::Split(pair, ' ');
+    if (xy.size() != 2) {
+      return common::Status::Corruption("bad ring fragment: " + pair);
+    }
+    ring.push_back({std::stod(xy[0]), std::stod(xy[1])});
+  }
+  return geo::Polygon(std::move(ring));
+}
+
+}  // namespace
+
+common::Status SaveRegions(const region::RegionSet& regions,
+                           const std::string& path) {
+  std::ofstream out;
+  SEMITRI_RETURN_IF_ERROR(OpenForWrite(path, &out));
+  out << "id,category,name,min_x,min_y,max_x,max_y,ring\n";
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const region::SemanticRegion& r =
+        regions.Get(static_cast<core::PlaceId>(i));
+    out << common::StrFormat(
+        "%lld,%d,%s,%.6f,%.6f,%.6f,%.6f,%s\n",
+        static_cast<long long>(r.id), static_cast<int>(r.category),
+        common::CsvEscape(r.name).c_str(), r.bounds.min.x, r.bounds.min.y,
+        r.bounds.max.x, r.bounds.max.y,
+        r.polygon.has_value()
+            ? common::CsvEscape(EncodeRing(*r.polygon)).c_str()
+            : "");
+  }
+  out.flush();
+  if (!out) return common::Status::IoError("write failed for " + path);
+  return common::Status::OK();
+}
+
+common::Result<region::RegionSet> LoadRegions(const std::string& path) {
+  std::ifstream in;
+  SEMITRI_RETURN_IF_ERROR(OpenForRead(path, &in));
+  region::RegionSet regions;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = common::CsvParseLine(line);
+    if (f.size() != 8) {
+      return common::Status::Corruption("bad regions row: " + line);
+    }
+    auto category = static_cast<region::LanduseCategory>(std::stoi(f[1]));
+    if (f[7].empty()) {
+      geo::BoundingBox box({std::stod(f[3]), std::stod(f[4])},
+                           {std::stod(f[5]), std::stod(f[6])});
+      regions.AddCell(box, category, f[2]);
+    } else {
+      common::Result<geo::Polygon> ring = DecodeRing(f[7]);
+      if (!ring.ok()) return ring.status();
+      regions.AddPolygon(std::move(*ring), category, f[2]);
+    }
+  }
+  return regions;
+}
+
+common::Status SaveRoadNetwork(const road::RoadNetwork& roads,
+                               const std::string& path) {
+  std::ofstream out;
+  SEMITRI_RETURN_IF_ERROR(OpenForWrite(path, &out));
+  out << "id,from,to,type,name,ax,ay,bx,by\n";
+  for (const road::RoadSegment& s : roads.segments()) {
+    out << common::StrFormat(
+        "%lld,%lld,%lld,%d,%s,%.6f,%.6f,%.6f,%.6f\n",
+        static_cast<long long>(s.id), static_cast<long long>(s.from),
+        static_cast<long long>(s.to), static_cast<int>(s.type),
+        common::CsvEscape(s.name).c_str(), s.shape.a.x, s.shape.a.y,
+        s.shape.b.x, s.shape.b.y);
+  }
+  out.flush();
+  if (!out) return common::Status::IoError("write failed for " + path);
+  return common::Status::OK();
+}
+
+common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path) {
+  std::ifstream in;
+  SEMITRI_RETURN_IF_ERROR(OpenForRead(path, &in));
+  road::RoadNetwork roads;
+  // Node ids in the file are dense but may appear in any order; map
+  // original id -> created id (positions come with each segment row).
+  std::map<road::NodeId, road::NodeId> node_map;
+  auto intern_node = [&](road::NodeId original,
+                         const geo::Point& position) {
+    auto it = node_map.find(original);
+    if (it != node_map.end()) return it->second;
+    road::NodeId created = roads.AddNode(position);
+    node_map.emplace(original, created);
+    return created;
+  };
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = common::CsvParseLine(line);
+    if (f.size() != 9) {
+      return common::Status::Corruption("bad roads row: " + line);
+    }
+    road::NodeId from = intern_node(std::stoll(f[1]),
+                                    {std::stod(f[5]), std::stod(f[6])});
+    road::NodeId to =
+        intern_node(std::stoll(f[2]), {std::stod(f[7]), std::stod(f[8])});
+    roads.AddSegment(from, to, static_cast<road::RoadType>(std::stoi(f[3])),
+                     f[4]);
+  }
+  return roads;
+}
+
+common::Status SavePois(const poi::PoiSet& pois, const std::string& path,
+                        const std::string& categories_path) {
+  {
+    std::ofstream out;
+    SEMITRI_RETURN_IF_ERROR(OpenForWrite(categories_path, &out));
+    out << "id,name\n";
+    for (size_t c = 0; c < pois.num_categories(); ++c) {
+      out << common::StrFormat(
+          "%zu,%s\n", c, common::CsvEscape(pois.category_names()[c]).c_str());
+    }
+    out.flush();
+    if (!out) {
+      return common::Status::IoError("write failed for " + categories_path);
+    }
+  }
+  std::ofstream out;
+  SEMITRI_RETURN_IF_ERROR(OpenForWrite(path, &out));
+  out << "id,category,name,x,y\n";
+  for (const poi::Poi& p : pois.pois()) {
+    out << common::StrFormat("%lld,%d,%s,%.6f,%.6f\n",
+                             static_cast<long long>(p.id), p.category,
+                             common::CsvEscape(p.name).c_str(),
+                             p.position.x, p.position.y);
+  }
+  out.flush();
+  if (!out) return common::Status::IoError("write failed for " + path);
+  return common::Status::OK();
+}
+
+common::Result<poi::PoiSet> LoadPois(const std::string& path,
+                                     const std::string& categories_path) {
+  std::vector<std::string> names;
+  {
+    std::ifstream in;
+    SEMITRI_RETURN_IF_ERROR(OpenForRead(categories_path, &in));
+    std::string line;
+    std::getline(in, line);
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> f = common::CsvParseLine(line);
+      if (f.size() != 2) {
+        return common::Status::Corruption("bad categories row: " + line);
+      }
+      names.push_back(f[1]);
+    }
+  }
+  if (names.empty()) {
+    return common::Status::Corruption("no POI categories in " +
+                                      categories_path);
+  }
+  poi::PoiSet pois(std::move(names));
+  std::ifstream in;
+  SEMITRI_RETURN_IF_ERROR(OpenForRead(path, &in));
+  std::string line;
+  std::getline(in, line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = common::CsvParseLine(line);
+    if (f.size() != 5) {
+      return common::Status::Corruption("bad pois row: " + line);
+    }
+    int category = std::stoi(f[1]);
+    if (category < 0 ||
+        static_cast<size_t>(category) >= pois.num_categories()) {
+      return common::Status::Corruption("POI category out of range: " +
+                                        line);
+    }
+    pois.Add({std::stod(f[3]), std::stod(f[4])}, category, f[2]);
+  }
+  return pois;
+}
+
+}  // namespace semitri::io

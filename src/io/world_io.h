@@ -1,0 +1,43 @@
+#ifndef SEMITRI_IO_WORLD_IO_H_
+#define SEMITRI_IO_WORLD_IO_H_
+
+// CSV serialization of the semantic place sources (regions, road
+// networks, POIs). This is the ingestion boundary for real 3rd-party
+// data: export a synthetic world to see the schemas, or load your own
+// files in the same format:
+//
+//   regions.csv : id,category,name,min_x,min_y,max_x,max_y,ring
+//                 (ring = "x1 y1;x2 y2;..." for free-form polygons,
+//                 empty for rectangular cells)
+//   roads.csv   : id,from,to,type,name,ax,ay,bx,by
+//                 (node positions embedded; node ids are dense ints)
+//   pois.csv    : id,category,name,x,y
+//   poi_categories.csv : id,name
+
+#include <string>
+
+#include "common/status.h"
+#include "poi/poi_set.h"
+#include "region/region_set.h"
+#include "road/road_network.h"
+
+namespace semitri::io {
+
+common::Status SaveRegions(const region::RegionSet& regions,
+                           const std::string& path);
+common::Result<region::RegionSet> LoadRegions(const std::string& path);
+
+common::Status SaveRoadNetwork(const road::RoadNetwork& roads,
+                               const std::string& path);
+common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path);
+
+// POIs serialize as two files: `path` (the POIs) and the category list
+// at `categories_path`.
+common::Status SavePois(const poi::PoiSet& pois, const std::string& path,
+                        const std::string& categories_path);
+common::Result<poi::PoiSet> LoadPois(const std::string& path,
+                                     const std::string& categories_path);
+
+}  // namespace semitri::io
+
+#endif  // SEMITRI_IO_WORLD_IO_H_

@@ -1,0 +1,106 @@
+#include "poi/observation_model.h"
+
+#include <cmath>
+
+namespace semitri::poi {
+
+namespace {
+
+geo::BoundingBox GridExtent(const PoiSet& pois, double cell) {
+  geo::BoundingBox extent = pois.Bounds();
+  if (extent.IsEmpty()) {
+    extent = geo::BoundingBox({0.0, 0.0}, {cell, cell});
+  }
+  // Pad so stops slightly outside the POI hull still land on the grid.
+  return extent.Inflated(2.0 * cell);
+}
+
+}  // namespace
+
+PoiObservationModel::PoiObservationModel(const PoiSet* pois,
+                                         ObservationModelConfig config)
+    : pois_(pois),
+      config_(std::move(config)),
+      grid_(GridExtent(*pois, config_.grid_cell_meters),
+            config_.grid_cell_meters) {
+  // Register POIs in grid cells.
+  for (const Poi& p : pois_->pois()) {
+    grid_.Insert(p.position, p.id);
+  }
+  // Precompute Pr(grid_jk | Ci) for every cell: sum of Gaussian
+  // influences of the POIs in the neighborhood box of that cell.
+  const size_t cols = grid_.cols();
+  const size_t rows = grid_.rows();
+  cell_densities_.assign(cols * rows,
+                         std::vector<double>(pois_->num_categories(), 0.0));
+  for (size_t cy = 0; cy < rows; ++cy) {
+    for (size_t cx = 0; cx < cols; ++cx) {
+      geo::Point center = grid_.CellCenter(cx, cy);
+      std::vector<double>& densities = cell_densities_[cy * cols + cx];
+      for (core::PlaceId id :
+           grid_.Neighborhood(center, config_.neighbor_ring)) {
+        const Poi& p = pois_->Get(id);
+        densities[static_cast<size_t>(p.category)] +=
+            GaussianInfluence(center, p);
+      }
+    }
+  }
+}
+
+double PoiObservationModel::SigmaFor(int category) const {
+  size_t c = static_cast<size_t>(category);
+  if (c < config_.category_sigma.size() && config_.category_sigma[c] > 0.0) {
+    return config_.category_sigma[c];
+  }
+  return config_.default_sigma_meters;
+}
+
+double PoiObservationModel::GaussianInfluence(const geo::Point& at,
+                                              const Poi& poi) const {
+  double sigma = SigmaFor(poi.category);
+  double d2 = at.SquaredDistanceTo(poi.position);
+  // Isotropic 2-D Gaussian with covariance diag(σ_c², σ_c²).
+  return std::exp(-d2 / (2.0 * sigma * sigma)) /
+         (2.0 * M_PI * sigma * sigma);
+}
+
+const std::vector<double>& PoiObservationModel::CellDensities(
+    size_t cx, size_t cy) const {
+  return cell_densities_[cy * grid_.cols() + cx];
+}
+
+std::vector<double> PoiObservationModel::EmissionsAt(
+    const geo::Point& center) const {
+  auto [cx, cy] = grid_.CellOf(center);
+  return CellDensities(cx, cy);
+}
+
+std::vector<double> PoiObservationModel::EmissionsFor(
+    const geo::BoundingBox& box) const {
+  auto [x0, y0] = grid_.CellOf(box.min);
+  auto [x1, y1] = grid_.CellOf(box.max);
+  std::vector<double> out(pois_->num_categories(), 0.0);
+  size_t count = 0;
+  for (size_t cy = y0; cy <= y1; ++cy) {
+    for (size_t cx = x0; cx <= x1; ++cx) {
+      const std::vector<double>& cell = CellDensities(cx, cy);
+      for (size_t c = 0; c < out.size(); ++c) out[c] += cell[c];
+      ++count;
+    }
+  }
+  if (count > 0) {
+    for (double& v : out) v /= static_cast<double>(count);
+  }
+  return out;
+}
+
+std::vector<double> PoiObservationModel::EmissionsExact(
+    const geo::Point& center) const {
+  std::vector<double> out(pois_->num_categories(), 0.0);
+  for (const Poi& p : pois_->pois()) {
+    out[static_cast<size_t>(p.category)] += GaussianInfluence(center, p);
+  }
+  return out;
+}
+
+}  // namespace semitri::poi

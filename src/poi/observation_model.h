@@ -1,0 +1,70 @@
+#ifndef SEMITRI_POI_OBSERVATION_MODEL_H_
+#define SEMITRI_POI_OBSERVATION_MODEL_H_
+
+// The HMM observation model B of the Semantic Point Annotation Layer
+// (paper §4.3, Lemma 1).
+//
+// The influence of a POI on a stop is a 2-D Gaussian centered on the POI
+// with category-specific bandwidth σ_c; Pr(o | Ci) is proportional to the
+// sum of influences of the category's POIs (Lemma 1). For efficiency the
+// model discretizes space into a grid and precomputes per-cell,
+// per-category densities, summing only POIs in a neighborhood box of
+// cells (the paper's discretization + neighboring pruning). An exact
+// (non-discretized, all-POIs) evaluation is kept for the ablation bench.
+
+#include <vector>
+
+#include "geo/box.h"
+#include "geo/point.h"
+#include "index/grid_index.h"
+#include "poi/poi_set.h"
+
+namespace semitri::poi {
+
+struct ObservationModelConfig {
+  double grid_cell_meters = 30.0;
+  // Neighborhood pruning: POIs within this many cells of the query cell
+  // contribute (a (2·ring+1)² cell box). Defaults cover ~2.5σ.
+  size_t neighbor_ring = 5;
+  // Default Gaussian bandwidth σ_c (meters) applied to every category;
+  // override per category via `category_sigma`.
+  double default_sigma_meters = 60.0;
+  std::vector<double> category_sigma;  // optional, size = num categories
+};
+
+class PoiObservationModel {
+ public:
+  // `pois` must outlive the model. Precomputes the discretized densities.
+  PoiObservationModel(const PoiSet* pois, ObservationModelConfig config = {});
+
+  size_t num_categories() const { return pois_->num_categories(); }
+
+  // Pr(o | Ci) up to a common factor, for a stop observed at `center`
+  // (discretized: reads the precomputed cell). One entry per category.
+  std::vector<double> EmissionsAt(const geo::Point& center) const;
+
+  // Bounding-rectangle form: averages the cells the box covers.
+  std::vector<double> EmissionsFor(const geo::BoundingBox& box) const;
+
+  // Exact evaluation (no grid, no pruning) — ablation reference.
+  std::vector<double> EmissionsExact(const geo::Point& center) const;
+
+  // Per-category density at a grid cell (testing / visualization).
+  const std::vector<double>& CellDensities(size_t cx, size_t cy) const;
+
+  const index::GridIndex<core::PlaceId>& grid() const { return grid_; }
+  double SigmaFor(int category) const;
+
+ private:
+  double GaussianInfluence(const geo::Point& at, const Poi& poi) const;
+
+  const PoiSet* pois_;
+  ObservationModelConfig config_;
+  index::GridIndex<core::PlaceId> grid_;
+  // cell_densities_[cy * cols + cx][category]
+  std::vector<std::vector<double>> cell_densities_;
+};
+
+}  // namespace semitri::poi
+
+#endif  // SEMITRI_POI_OBSERVATION_MODEL_H_

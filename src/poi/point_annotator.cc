@@ -1,0 +1,164 @@
+#include "poi/point_annotator.h"
+
+#include "common/strings.h"
+
+namespace semitri::poi {
+
+std::vector<std::vector<double>> Fig6TransitionMatrix() {
+  return {{0.80, 0.05, 0.05, 0.05, 0.05},
+          {0.05, 0.80, 0.05, 0.05, 0.05},
+          {0.05, 0.05, 0.80, 0.05, 0.05},
+          {0.05, 0.05, 0.05, 0.80, 0.05},
+          {0.15, 0.15, 0.15, 0.15, 0.40}};
+}
+
+PointAnnotator::PointAnnotator(const PoiSet* pois,
+                               PointAnnotatorConfig config)
+    : pois_(pois),
+      config_(std::move(config)),
+      observation_model_(pois, config_.observation) {
+  model_.initial = pois_->CategoryPriors();
+  if (!config_.transition.empty()) {
+    model_.transition = config_.transition;
+  } else if (pois_->num_categories() == kNumMilanCategories &&
+             config_.default_self_transition == 0.8) {
+    // The paper's own default for the Milan category space.
+    model_.transition = Fig6TransitionMatrix();
+  } else {
+    model_.transition = hmm::MakeDefaultTransition(
+        pois_->num_categories(), config_.default_self_transition);
+  }
+}
+
+std::vector<double> PointAnnotator::EmissionsForEpisode(
+    const core::Episode& ep) const {
+  if (!config_.use_discretization) {
+    return observation_model_.EmissionsExact(ep.center);
+  }
+  if (config_.use_bounding_rectangle) {
+    return observation_model_.EmissionsFor(ep.bounds);
+  }
+  return observation_model_.EmissionsAt(ep.center);
+}
+
+common::Result<std::vector<int>> PointAnnotator::InferStopCategories(
+    const std::vector<core::Episode>& episodes) const {
+  std::vector<std::vector<double>> emissions;
+  for (const core::Episode& ep : episodes) {
+    if (ep.kind != core::EpisodeKind::kStop) continue;
+    emissions.push_back(EmissionsForEpisode(ep));
+  }
+  if (emissions.empty()) return std::vector<int>{};
+  common::Result<hmm::ViterbiResult> decoded =
+      hmm::Viterbi(model_, emissions);
+  if (!decoded.ok()) return decoded.status();
+  std::vector<int> categories;
+  categories.reserve(decoded->states.size());
+  for (size_t s : decoded->states) categories.push_back(static_cast<int>(s));
+  return categories;
+}
+
+common::Result<core::StructuredSemanticTrajectory> PointAnnotator::Annotate(
+    const core::RawTrajectory& trajectory,
+    const std::vector<core::Episode>& episodes) const {
+  common::Result<std::vector<int>> categories =
+      InferStopCategories(episodes);
+  if (!categories.ok()) return categories.status();
+
+  // Posterior confidence per stop (the paper's "probabilistic estimates
+  // of the purpose behind that stop").
+  std::vector<std::vector<double>> emissions;
+  for (const core::Episode& ep : episodes) {
+    if (ep.kind != core::EpisodeKind::kStop) continue;
+    emissions.push_back(EmissionsForEpisode(ep));
+  }
+  std::vector<std::vector<double>> posterior;
+  if (!emissions.empty()) {
+    common::Result<std::vector<std::vector<double>>> decoded =
+        hmm::PosteriorDecode(model_, emissions);
+    if (!decoded.ok()) return decoded.status();
+    posterior = std::move(*decoded);
+  }
+
+  core::StructuredSemanticTrajectory out;
+  out.trajectory_id = trajectory.id;
+  out.object_id = trajectory.object_id;
+  out.interpretation = "point";
+
+  size_t stop_index = 0;
+  for (size_t e = 0; e < episodes.size(); ++e) {
+    const core::Episode& episode = episodes[e];
+    if (episode.kind != core::EpisodeKind::kStop) continue;
+    int category = (*categories)[stop_index++];
+
+    core::SemanticEpisode ep;
+    ep.kind = core::EpisodeKind::kStop;
+    ep.time_in = episode.time_in;
+    ep.time_out = episode.time_out;
+    ep.source_episode = e;
+    ep.AddAnnotation("poi_category",
+                     pois_->category_names()[static_cast<size_t>(category)]);
+    ep.AddAnnotation("poi_category_id", common::StrFormat("%d", category));
+    if (stop_index - 1 < posterior.size()) {
+      ep.AddAnnotation(
+          "poi_category_confidence",
+          common::StrFormat(
+              "%.3f",
+              posterior[stop_index - 1][static_cast<size_t>(category)]));
+    }
+
+    ep.place = {core::PlaceKind::kPoint, core::kInvalidPlaceId};
+    if (config_.place_link_radius_meters > 0.0) {
+      core::PlaceId nearest =
+          pois_->NearestOfCategory(episode.center, category);
+      if (nearest != core::kInvalidPlaceId &&
+          pois_->Get(nearest).position.DistanceTo(episode.center) <=
+              config_.place_link_radius_meters) {
+        ep.place.id = nearest;
+        if (!pois_->Get(nearest).name.empty()) {
+          ep.AddAnnotation("poi_name", pois_->Get(nearest).name);
+        }
+      }
+    }
+    out.episodes.push_back(std::move(ep));
+  }
+  return out;
+}
+
+common::Result<hmm::BaumWelchResult> PointAnnotator::FitTransitions(
+    const std::vector<std::vector<core::Episode>>& episode_sequences,
+    const hmm::BaumWelchOptions& options) {
+  std::vector<std::vector<std::vector<double>>> sequences;
+  for (const std::vector<core::Episode>& episodes : episode_sequences) {
+    std::vector<std::vector<double>> emissions;
+    for (const core::Episode& ep : episodes) {
+      if (ep.kind != core::EpisodeKind::kStop) continue;
+      emissions.push_back(EmissionsForEpisode(ep));
+    }
+    if (!emissions.empty()) sequences.push_back(std::move(emissions));
+  }
+  if (sequences.empty()) {
+    return common::Status::InvalidArgument(
+        "no stop episodes to learn from");
+  }
+  common::Result<hmm::BaumWelchResult> fitted =
+      hmm::BaumWelch(model_, sequences, options);
+  if (!fitted.ok()) return fitted.status();
+  model_ = fitted->model;
+  return fitted;
+}
+
+std::vector<int> NearestPoiAnnotator::InferStopCategories(
+    const std::vector<core::Episode>& episodes) const {
+  std::vector<int> out;
+  for (const core::Episode& ep : episodes) {
+    if (ep.kind != core::EpisodeKind::kStop) continue;
+    core::PlaceId nearest = pois_->Nearest(ep.center);
+    out.push_back(nearest == core::kInvalidPlaceId
+                      ? 0
+                      : pois_->Get(nearest).category);
+  }
+  return out;
+}
+
+}  // namespace semitri::poi

@@ -1,0 +1,77 @@
+#include "region/region_set.h"
+
+#include <algorithm>
+
+namespace semitri::region {
+
+core::PlaceId RegionSet::AddCell(const geo::BoundingBox& cell,
+                                 LanduseCategory category, std::string name) {
+  SemanticRegion r;
+  r.id = static_cast<core::PlaceId>(regions_.size());
+  r.category = category;
+  r.name = std::move(name);
+  r.bounds = cell;
+  regions_.push_back(std::move(r));
+  tree_.Insert(cell, regions_.back().id);
+  return regions_.back().id;
+}
+
+core::PlaceId RegionSet::AddPolygon(geo::Polygon polygon,
+                                    LanduseCategory category,
+                                    std::string name) {
+  SemanticRegion r;
+  r.id = static_cast<core::PlaceId>(regions_.size());
+  r.category = category;
+  r.name = std::move(name);
+  r.bounds = polygon.Bounds();
+  r.polygon = std::move(polygon);
+  regions_.push_back(std::move(r));
+  tree_.Insert(regions_.back().bounds, regions_.back().id);
+  return regions_.back().id;
+}
+
+std::vector<core::PlaceId> RegionSet::FindContaining(
+    const geo::Point& p) const {
+  std::vector<core::PlaceId> out;
+  for (core::PlaceId id : tree_.QueryPoint(p)) {
+    if (Get(id).Contains(p)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<core::PlaceId> RegionSet::FindIntersecting(
+    const geo::BoundingBox& box) const {
+  return tree_.Query(box);
+}
+
+std::vector<core::PlaceId> RegionSet::FindByPredicate(
+    geo::SpatialPredicate predicate, const geo::BoundingBox& box) const {
+  std::vector<core::PlaceId> out;
+  switch (predicate) {
+    // Predicates implying intersection: filter through the index.
+    case geo::SpatialPredicate::kIntersects:
+    case geo::SpatialPredicate::kWithin:
+    case geo::SpatialPredicate::kContains:
+    case geo::SpatialPredicate::kOverlaps:
+    case geo::SpatialPredicate::kTouches:
+    case geo::SpatialPredicate::kEquals: {
+      for (core::PlaceId id : tree_.Query(box)) {
+        if (geo::EvaluatePredicate(predicate, Get(id).bounds, box)) {
+          out.push_back(id);
+        }
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+    // Non-local predicates (disjoint, directional): full scan.
+    default:
+      for (const SemanticRegion& r : regions_) {
+        if (geo::EvaluatePredicate(predicate, r.bounds, box)) {
+          out.push_back(r.id);
+        }
+      }
+      return out;
+  }
+}
+
+}  // namespace semitri::region

@@ -1,0 +1,100 @@
+#include "road/line_annotator.h"
+
+#include "common/strings.h"
+
+namespace semitri::road {
+
+std::vector<core::SemanticEpisode> LineAnnotator::AnnotateMove(
+    std::span<const core::GpsPoint> points, size_t source_episode) const {
+  std::vector<core::SemanticEpisode> out;
+  if (points.empty()) return out;
+
+  std::vector<MatchedPoint> matches = matcher_.MatchPoints(points);
+
+  // Build runs of consecutive points matched to the same segment
+  // (Algorithm 2's preSeg grouping). Unmatched points form their own
+  // runs with an invalid place.
+  struct Run {
+    core::PlaceId segment;
+    size_t begin;
+    size_t end;  // exclusive
+  };
+  std::vector<Run> runs;
+  for (size_t i = 0; i < matches.size();) {
+    size_t j = i + 1;
+    while (j < matches.size() && matches[j].segment == matches[i].segment) {
+      ++j;
+    }
+    runs.push_back({matches[i].segment, i, j});
+    i = j;
+  }
+  // Absorb sub-minimum runs into the longer neighbor (match flicker at
+  // crossings produces 1-point runs).
+  if (config_.min_run_points > 1 && runs.size() > 1) {
+    std::vector<Run> filtered;
+    for (const Run& r : runs) {
+      if (r.end - r.begin >= config_.min_run_points || runs.size() == 1) {
+        filtered.push_back(r);
+      } else if (!filtered.empty()) {
+        filtered.back().end = r.end;
+      } else {
+        filtered.push_back(r);
+      }
+    }
+    // Re-merge neighbors that became equal after absorption.
+    std::vector<Run> merged;
+    for (const Run& r : filtered) {
+      if (!merged.empty() && merged.back().segment == r.segment) {
+        merged.back().end = r.end;
+      } else {
+        merged.push_back(r);
+      }
+    }
+    runs.swap(merged);
+  }
+
+  for (const Run& r : runs) {
+    core::SemanticEpisode ep;
+    ep.kind = core::EpisodeKind::kMove;
+    ep.time_in = points[r.begin].time;
+    ep.time_out = points[r.end - 1].time;
+    ep.source_episode = source_episode;
+    ep.place = {core::PlaceKind::kLine, r.segment};
+    if (r.segment != core::kInvalidPlaceId) {
+      const RoadSegment& seg = network_->segment(r.segment);
+      std::span<const core::GpsPoint> run_points =
+          points.subspan(r.begin, r.end - r.begin);
+      TransportMode mode = classifier_.Classify(run_points, seg.type);
+      ep.AddAnnotation("transport_mode", TransportModeName(mode));
+      ep.AddAnnotation("road_type", RoadTypeName(seg.type));
+      if (!seg.name.empty()) ep.AddAnnotation("road_name", seg.name);
+      double mean_score = 0.0;
+      for (size_t i = r.begin; i < r.end; ++i) mean_score += matches[i].score;
+      mean_score /= static_cast<double>(r.end - r.begin);
+      ep.AddAnnotation("match_score",
+                       common::StrFormat("%.3f", mean_score));
+    }
+    out.push_back(std::move(ep));
+  }
+  return out;
+}
+
+core::StructuredSemanticTrajectory LineAnnotator::Annotate(
+    const core::RawTrajectory& trajectory,
+    const std::vector<core::Episode>& episodes) const {
+  core::StructuredSemanticTrajectory out;
+  out.trajectory_id = trajectory.id;
+  out.object_id = trajectory.object_id;
+  out.interpretation = "line";
+  for (size_t e = 0; e < episodes.size(); ++e) {
+    if (episodes[e].kind != core::EpisodeKind::kMove) continue;
+    std::span<const core::GpsPoint> points(
+        trajectory.points.data() + episodes[e].begin,
+        episodes[e].num_points());
+    std::vector<core::SemanticEpisode> annotated = AnnotateMove(points, e);
+    for (auto& ep : annotated) out.episodes.push_back(std::move(ep));
+  }
+  return out;
+}
+
+}  // namespace semitri::road

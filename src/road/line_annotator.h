@@ -1,0 +1,63 @@
+#ifndef SEMITRI_ROAD_LINE_ANNOTATOR_H_
+#define SEMITRI_ROAD_LINE_ANNOTATOR_H_
+
+// Semantic Line Annotation Layer — paper §4.2, Algorithm 2 end-to-end.
+//
+// Runs the global map matcher over the move episodes of a trajectory,
+// groups consecutive points matched to the same road segment into
+// semantic episodes (segmentId, time_in, time_out, mode), and infers
+// the transportation mode of each run from motion features and the
+// matched road type.
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "road/map_matcher.h"
+#include "road/road_network.h"
+#include "road/transport_mode.h"
+
+namespace semitri::road {
+
+struct LineAnnotatorConfig {
+  GlobalMatchConfig match;
+  ModeInferenceConfig mode;
+  // Runs shorter than this many points are merged into their successor
+  // run (suppresses single-point match flicker). 1 keeps all runs.
+  size_t min_run_points = 2;
+};
+
+class LineAnnotator {
+ public:
+  // `network` must outlive the annotator.
+  explicit LineAnnotator(const RoadNetwork* network,
+                         LineAnnotatorConfig config = {})
+      : network_(network),
+        matcher_(network, config.match),
+        classifier_(config.mode),
+        config_(config) {}
+
+  // Annotates one move episode's points. `source_episode` tags the
+  // emitted episodes with their origin. Returns one semantic episode per
+  // matched road-segment run (Algorithm 2 lines 18–24).
+  std::vector<core::SemanticEpisode> AnnotateMove(
+      std::span<const core::GpsPoint> points, size_t source_episode) const;
+
+  // Annotates every kMove episode; interpretation "line".
+  core::StructuredSemanticTrajectory Annotate(
+      const core::RawTrajectory& trajectory,
+      const std::vector<core::Episode>& episodes) const;
+
+  const GlobalMapMatcher& matcher() const { return matcher_; }
+  const TransportModeClassifier& classifier() const { return classifier_; }
+
+ private:
+  const RoadNetwork* network_;
+  GlobalMapMatcher matcher_;
+  TransportModeClassifier classifier_;
+  LineAnnotatorConfig config_;
+};
+
+}  // namespace semitri::road
+
+#endif  // SEMITRI_ROAD_LINE_ANNOTATOR_H_

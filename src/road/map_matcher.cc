@@ -1,0 +1,149 @@
+#include "road/map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace semitri::road {
+
+double GlobalMapMatcher::MedianSpacing(
+    std::span<const core::GpsPoint> points) {
+  if (points.size() < 2) return 1.0;
+  std::vector<double> spacings;
+  spacings.reserve(points.size() - 1);
+  for (size_t i = 1; i < points.size(); ++i) {
+    spacings.push_back(
+        points[i].position.DistanceTo(points[i - 1].position));
+  }
+  size_t mid = spacings.size() / 2;
+  std::nth_element(spacings.begin(), spacings.begin() + mid, spacings.end());
+  double median = spacings[mid];
+  return median > 1e-6 ? median : 1.0;
+}
+
+std::vector<MatchedPoint> GlobalMapMatcher::MatchPoints(
+    std::span<const core::GpsPoint> points) const {
+  const size_t n = points.size();
+  std::vector<MatchedPoint> out(n);
+  if (n == 0) return out;
+
+  const double spacing = MedianSpacing(points);
+  const double radius_m = config_.view_radius * spacing;
+  const double sigma_m = config_.sigma_ratio * radius_m;
+  const double two_sigma2 = 2.0 * sigma_m * sigma_m;
+
+  // Per-point candidate sets and localScores (Eq. 2). localScore is
+  // dmin/d in (0, 1], 1 for the closest candidate.
+  std::vector<std::unordered_map<core::PlaceId, double>> local(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<core::PlaceId> candidates = network_->CandidateSegments(
+        points[i].position, config_.candidate_radius_meters);
+    if (candidates.empty()) continue;
+    double dmin = std::numeric_limits<double>::infinity();
+    std::vector<double> dists(candidates.size());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      // Floor d so a point exactly on a segment still yields the finite
+      // ratio dmin/d = 1 for that segment (Eq. 2 is undefined at d = 0).
+      dists[c] = std::max(
+          network_->segment(candidates[c]).shape.DistanceTo(
+              points[i].position),
+          1e-3);
+      dmin = std::min(dmin, dists[c]);
+    }
+    auto& scores = local[i];
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      scores[candidates[c]] = dmin / dists[c];
+    }
+  }
+
+  // globalScore per point over its candidates (Eq. 3–4).
+  for (size_t i = 0; i < n; ++i) {
+    if (local[i].empty()) {
+      out[i].snapped = points[i].position;
+      continue;
+    }
+    // Context window: neighbors within spatial radius R of Q (bounded).
+    struct Neighbor {
+      size_t index;
+      double weight;
+    };
+    std::vector<Neighbor> window;
+    window.push_back({i, 1.0});  // w0 = exp(0) = 1
+    for (size_t k = 1; k <= config_.max_window_points; ++k) {
+      bool any = false;
+      if (i >= k) {
+        double d = points[i].position.DistanceTo(points[i - k].position);
+        if (d < radius_m) {
+          window.push_back(
+              {i - k, std::exp(-(d * d) / two_sigma2)});
+          any = true;
+        }
+      }
+      if (i + k < n) {
+        double d = points[i].position.DistanceTo(points[i + k].position);
+        if (d < radius_m) {
+          window.push_back({i + k, std::exp(-(d * d) / two_sigma2)});
+          any = true;
+        }
+      }
+      if (!any) break;  // both directions left the view radius
+    }
+
+    core::PlaceId best_seg = core::kInvalidPlaceId;
+    double best_score = -1.0;
+    for (const auto& [seg, local_score] : local[i]) {
+      double num = 0.0;
+      double den = 0.0;
+      for (const Neighbor& nb : window) {
+        den += nb.weight;
+        auto it = local[nb.index].find(seg);
+        if (it != local[nb.index].end()) num += nb.weight * it->second;
+      }
+      double score = den > 0.0 ? num / den : local_score;
+      if (score > best_score ||
+          (score == best_score && seg < best_seg)) {
+        best_score = score;
+        best_seg = seg;
+      }
+    }
+    out[i].segment = best_seg;
+    out[i].score = best_score;
+    out[i].snapped =
+        network_->segment(best_seg).shape.ClosestPoint(points[i].position);
+  }
+  return out;
+}
+
+std::vector<MatchedPoint> GeometricMapMatcher::MatchPoints(
+    std::span<const core::GpsPoint> points) const {
+  std::vector<MatchedPoint> out(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    core::PlaceId seg = network_->NearestSegment(points[i].position);
+    out[i].segment = seg;
+    if (seg != core::kInvalidPlaceId) {
+      out[i].snapped =
+          network_->segment(seg).shape.ClosestPoint(points[i].position);
+      out[i].score = 1.0;
+    } else {
+      out[i].snapped = points[i].position;
+    }
+  }
+  return out;
+}
+
+double MatchingAccuracy(const std::vector<MatchedPoint>& matches,
+                        const std::vector<core::PlaceId>& ground_truth) {
+  size_t considered = 0;
+  size_t correct = 0;
+  size_t n = std::min(matches.size(), ground_truth.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ground_truth[i] == core::kInvalidPlaceId) continue;
+    ++considered;
+    if (matches[i].segment == ground_truth[i]) ++correct;
+  }
+  return considered == 0
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(considered);
+}
+
+}  // namespace semitri::road

@@ -1,0 +1,91 @@
+#ifndef SEMITRI_ROAD_MAP_MATCHER_H_
+#define SEMITRI_ROAD_MAP_MATCHER_H_
+
+// Global map matching — paper §4.2, Algorithm 2.
+//
+// For each GPS point Q of a move episode:
+//   1. select candidate road segments near Q (R*-tree);
+//   2. point–segment distance d(Q, AiAj)   (Eq. 1, geo::Segment);
+//   3. localScore(Q, seg)  = dmin(Q) / d(Q, seg)            (Eq. 2);
+//   4. globalScore(Q, seg) = Σk wk · localScore(Qk, seg)/Σk wk  (Eq. 3)
+//      with Gaussian kernel weights wk over the spatial distance
+//      d(Q0, Qk), cut off at the global view radius R          (Eq. 4);
+//   5. match Q to the highest-scoring segment; optionally snap.
+//
+// R and σ are expressed in units of the trace's median point spacing so
+// the sweep R ∈ {1..5}, σ ∈ {0.5R .. 2R} of paper Fig. 10 transfers
+// across sampling rates (the paper tunes them per input source).
+//
+// GeometricMapMatcher is the classical point-to-curve baseline
+// (Bernstein & Kornhauser, [3]) used in the ablation bench.
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "road/road_network.h"
+
+namespace semitri::road {
+
+struct MatchedPoint {
+  core::PlaceId segment = core::kInvalidPlaceId;
+  double score = 0.0;       // winning globalScore (localScore for baseline)
+  geo::Point snapped;       // corrected position on the matched segment
+};
+
+struct GlobalMatchConfig {
+  // Global view radius R, in units of median point spacing.
+  double view_radius = 2.0;
+  // Kernel bandwidth σ as a fraction of R (σ = sigma_ratio * R).
+  double sigma_ratio = 0.5;
+  // Candidate-segment search radius around each point, meters.
+  double candidate_radius_meters = 60.0;
+  // Hard cap on context-window points on each side.
+  size_t max_window_points = 64;
+};
+
+class GlobalMapMatcher {
+ public:
+  // `network` must outlive the matcher.
+  explicit GlobalMapMatcher(const RoadNetwork* network,
+                            GlobalMatchConfig config = {})
+      : network_(network), config_(config) {}
+
+  // Matches every GPS point (Algorithm 2 steps 1–5). Points with no
+  // candidate segment get segment == kInvalidPlaceId and keep their raw
+  // position.
+  std::vector<MatchedPoint> MatchPoints(
+      std::span<const core::GpsPoint> points) const;
+
+  // Median spacing (m) between consecutive points; the unit behind R/σ.
+  static double MedianSpacing(std::span<const core::GpsPoint> points);
+
+  const GlobalMatchConfig& config() const { return config_; }
+
+ private:
+  const RoadNetwork* network_;
+  GlobalMatchConfig config_;
+};
+
+// Baseline: independently snaps each point to the nearest segment
+// (point-to-curve geometric matching).
+class GeometricMapMatcher {
+ public:
+  explicit GeometricMapMatcher(const RoadNetwork* network)
+      : network_(network) {}
+
+  std::vector<MatchedPoint> MatchPoints(
+      std::span<const core::GpsPoint> points) const;
+
+ private:
+  const RoadNetwork* network_;
+};
+
+// Fraction of points whose matched segment equals the ground truth
+// (points with invalid ground truth are skipped).
+double MatchingAccuracy(const std::vector<MatchedPoint>& matches,
+                        const std::vector<core::PlaceId>& ground_truth);
+
+}  // namespace semitri::road
+
+#endif  // SEMITRI_ROAD_MAP_MATCHER_H_

@@ -1,0 +1,114 @@
+#include "road/router.h"
+
+#include <limits>
+#include <queue>
+
+namespace semitri::road {
+
+common::Result<RoutePath> Router::ShortestPath(
+    NodeId from, NodeId to, const SegmentFilter& filter) const {
+  const size_t n = network_->num_nodes();
+  if (from < 0 || to < 0 || static_cast<size_t>(from) >= n ||
+      static_cast<size_t>(to) >= n) {
+    return common::Status::InvalidArgument("node id out of range");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> prev_node(n, -1);
+  std::vector<core::PlaceId> prev_segment(n, core::kInvalidPlaceId);
+
+  using QueueItem = std::pair<double, NodeId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      frontier;
+  dist[static_cast<size_t>(from)] = 0.0;
+  frontier.push({0.0, from});
+  while (!frontier.empty()) {
+    auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    if (u == to) break;
+    for (core::PlaceId seg_id : network_->SegmentsAtNode(u)) {
+      const RoadSegment& seg = network_->segment(seg_id);
+      if (filter && !filter(seg)) continue;
+      NodeId v = seg.from == u ? seg.to : seg.from;
+      double nd = d + seg.Length();
+      if (nd < dist[static_cast<size_t>(v)]) {
+        dist[static_cast<size_t>(v)] = nd;
+        prev_node[static_cast<size_t>(v)] = u;
+        prev_segment[static_cast<size_t>(v)] = seg_id;
+        frontier.push({nd, v});
+      }
+    }
+  }
+  if (dist[static_cast<size_t>(to)] == kInf) {
+    return common::Status::NotFound("destination unreachable");
+  }
+  RoutePath path;
+  path.length_meters = dist[static_cast<size_t>(to)];
+  for (NodeId v = to; v != from; v = prev_node[static_cast<size_t>(v)]) {
+    path.nodes.push_back(v);
+    path.segments.push_back(prev_segment[static_cast<size_t>(v)]);
+  }
+  path.nodes.push_back(from);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.segments.begin(), path.segments.end());
+  return path;
+}
+
+NodeId Router::NearestNode(const geo::Point& p,
+                           const SegmentFilter& filter) const {
+  NodeId best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < network_->num_nodes(); ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    if (filter) {
+      bool usable = false;
+      for (core::PlaceId seg_id : network_->SegmentsAtNode(id)) {
+        if (filter(network_->segment(seg_id))) {
+          usable = true;
+          break;
+        }
+      }
+      if (!usable) continue;
+    } else if (network_->SegmentsAtNode(id).empty()) {
+      continue;
+    }
+    double d = network_->node(id).SquaredDistanceTo(p);
+    if (d < best_dist) {
+      best_dist = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+SegmentFilter WalkFilter() {
+  return [](const RoadSegment& s) { return IsRoadTypeWalkable(s.type); };
+}
+
+SegmentFilter BicycleFilter() {
+  return [](const RoadSegment& s) {
+    return s.type != RoadType::kHighway && s.type != RoadType::kRailMetro;
+  };
+}
+
+SegmentFilter BusFilter() {
+  return [](const RoadSegment& s) {
+    return s.type == RoadType::kHighway || s.type == RoadType::kArterial ||
+           s.type == RoadType::kResidential;
+  };
+}
+
+SegmentFilter MetroFilter() {
+  return [](const RoadSegment& s) { return s.type == RoadType::kRailMetro; };
+}
+
+SegmentFilter CarFilter() {
+  return [](const RoadSegment& s) {
+    return s.type == RoadType::kHighway || s.type == RoadType::kArterial ||
+           s.type == RoadType::kResidential;
+  };
+}
+
+}  // namespace semitri::road

@@ -1,0 +1,65 @@
+#ifndef SEMITRI_ROAD_ROUTER_H_
+#define SEMITRI_ROAD_ROUTER_H_
+
+// Shortest-path routing over a RoadNetwork (Dijkstra with a per-query
+// segment filter). The movement simulator plans trips with it — walk
+// legs on walkable segments, metro legs on rail, bus legs on the road
+// network — and downstream code uses it for reachability checks.
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "road/road_network.h"
+
+namespace semitri::road {
+
+// Returns true when a segment may be traversed by the current query.
+using SegmentFilter = std::function<bool(const RoadSegment&)>;
+
+struct RoutePath {
+  // Node sequence from origin to destination (inclusive).
+  std::vector<NodeId> nodes;
+  // Segment traversed between nodes[i] and nodes[i+1].
+  std::vector<core::PlaceId> segments;
+  double length_meters = 0.0;
+
+  bool empty() const { return nodes.empty(); }
+};
+
+class Router {
+ public:
+  // `network` must outlive the router.
+  explicit Router(const RoadNetwork* network) : network_(network) {}
+
+  // Dijkstra from `from` to `to` over segments passing `filter`
+  // (nullptr = all). NotFound when unreachable.
+  common::Result<RoutePath> ShortestPath(NodeId from, NodeId to,
+                                         const SegmentFilter& filter) const;
+
+  common::Result<RoutePath> ShortestPath(NodeId from, NodeId to) const {
+    return ShortestPath(from, to, nullptr);
+  }
+
+  // Nearest network node to `p` among nodes incident to at least one
+  // segment passing `filter` (nullptr = all). -1 when none.
+  NodeId NearestNode(const geo::Point& p, const SegmentFilter& filter) const;
+
+  NodeId NearestNode(const geo::Point& p) const {
+    return NearestNode(p, nullptr);
+  }
+
+ private:
+  const RoadNetwork* network_;
+};
+
+// Standard filters for the four paper modes.
+SegmentFilter WalkFilter();
+SegmentFilter BicycleFilter();
+SegmentFilter BusFilter();
+SegmentFilter MetroFilter();
+SegmentFilter CarFilter();
+
+}  // namespace semitri::road
+
+#endif  // SEMITRI_ROAD_ROUTER_H_

@@ -1,0 +1,89 @@
+#include "road/transport_mode.h"
+
+#include <cmath>
+
+namespace semitri::road {
+
+const char* TransportModeName(TransportMode mode) {
+  switch (mode) {
+    case TransportMode::kWalk: return "walk";
+    case TransportMode::kBicycle: return "bicycle";
+    case TransportMode::kBus: return "bus";
+    case TransportMode::kMetro: return "metro";
+    case TransportMode::kCar: return "car";
+    case TransportMode::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+MotionFeatures ComputeMotionFeatures(std::span<const core::GpsPoint> points) {
+  MotionFeatures f;
+  if (points.size() < 2) return f;
+  // Windowed displacement speeds: |p[i+k] - p[i-k]| over the elapsed
+  // time, with k up to 2. GPS noise between *consecutive* fixes inflates
+  // apparent speed (≈ sigma·sqrt(2)/dt) enough to push walking into the
+  // vehicle band; net displacement over a wider window cancels it.
+  const size_t n = points.size();
+  const size_t half = n >= 5 ? 2 : 1;
+  std::vector<double> speeds;
+  std::vector<double> times;
+  speeds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i >= half ? i - half : 0;
+    size_t hi = std::min(n - 1, i + half);
+    double dt = points[hi].time - points[lo].time;
+    if (dt <= 0.0) continue;
+    speeds.push_back(points[hi].position.DistanceTo(points[lo].position) /
+                     dt);
+    times.push_back(points[i].time);
+  }
+  if (speeds.empty()) return f;
+  double sum = 0.0;
+  for (double v : speeds) {
+    sum += v;
+    f.max_speed_mps = std::max(f.max_speed_mps, v);
+  }
+  f.mean_speed_mps = sum / static_cast<double>(speeds.size());
+  double var = 0.0;
+  for (double v : speeds) {
+    var += (v - f.mean_speed_mps) * (v - f.mean_speed_mps);
+  }
+  f.speed_stddev = std::sqrt(var / static_cast<double>(speeds.size()));
+  double acc_sum = 0.0;
+  size_t acc_count = 0;
+  for (size_t i = 1; i < speeds.size(); ++i) {
+    double dt = times[i] - times[i - 1];
+    if (dt <= 0.0) continue;
+    acc_sum += std::abs(speeds[i] - speeds[i - 1]) / dt;
+    ++acc_count;
+  }
+  if (acc_count > 0) {
+    f.mean_abs_acceleration = acc_sum / static_cast<double>(acc_count);
+  }
+  f.duration_seconds = points.back().time - points.front().time;
+  return f;
+}
+
+TransportMode TransportModeClassifier::Classify(const MotionFeatures& f,
+                                                RoadType road_type) const {
+  // Road type is the strongest signal (the paper's "which type of road"):
+  // only metros run on rail.
+  if (road_type == RoadType::kRailMetro) return TransportMode::kMetro;
+  if (f.mean_speed_mps < config_.walk_max_speed_mps) {
+    return TransportMode::kWalk;
+  }
+  if (road_type == RoadType::kCycleway ||
+      (f.mean_speed_mps < config_.bicycle_max_speed_mps &&
+       f.mean_abs_acceleration < config_.bus_min_abs_acceleration)) {
+    return TransportMode::kBicycle;
+  }
+  if (f.mean_speed_mps < config_.bicycle_max_speed_mps &&
+      road_type == RoadType::kFootway) {
+    // Fast on a footpath but not on a cycleway network: running/cycling;
+    // bicycle is the closest of the four paper modes.
+    return TransportMode::kBicycle;
+  }
+  return TransportMode::kBus;
+}
+
+}  // namespace semitri::road

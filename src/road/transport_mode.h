@@ -1,0 +1,74 @@
+#ifndef SEMITRI_ROAD_TRANSPORT_MODE_H_
+#define SEMITRI_ROAD_TRANSPORT_MODE_H_
+
+// Transportation-mode inference (second half of the Semantic Line
+// Annotation Layer, §4.2). The paper infers one of four modes — walking,
+// bicycle, bus, metro — per matched road run, from "average velocity,
+// average acceleration, road type etc.".
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "road/road_network.h"
+
+namespace semitri::road {
+
+// kWalk/kBicycle/kBus/kMetro are the four modes the paper infers for
+// people trajectories; kCar exists for vehicle simulation (the paper
+// treats vehicle mode as trivially known) and is never inferred.
+enum class TransportMode { kWalk, kBicycle, kBus, kMetro, kCar, kUnknown };
+
+const char* TransportModeName(TransportMode mode);
+
+// Motion features of a run of GPS points (the points matched to one road
+// segment, or a whole move episode).
+struct MotionFeatures {
+  double mean_speed_mps = 0.0;
+  double max_speed_mps = 0.0;
+  double speed_stddev = 0.0;
+  // Mean |dv/dt| — buses stop-and-go, metros are smooth.
+  double mean_abs_acceleration = 0.0;
+  double duration_seconds = 0.0;
+};
+
+MotionFeatures ComputeMotionFeatures(std::span<const core::GpsPoint> points);
+
+struct ModeInferenceConfig {
+  // Speed below which a run is walking.
+  double walk_max_speed_mps = 2.2;
+  // Bicycle band (above walking, below motorized).
+  double bicycle_max_speed_mps = 6.5;
+  // Buses show strong stop-and-go: |a| above this separates bus from
+  // metro when both are fast and off-rail is ambiguous.
+  double bus_min_abs_acceleration = 0.35;
+};
+
+// Rule-based classifier combining matched road type with motion features:
+//   rail segment                        -> metro
+//   mean speed < walk threshold         -> walk
+//   cycleway, or speed in bicycle band  -> bicycle
+//   otherwise                           -> bus
+class TransportModeClassifier {
+ public:
+  explicit TransportModeClassifier(ModeInferenceConfig config = {})
+      : config_(config) {}
+
+  TransportMode Classify(const MotionFeatures& features,
+                         RoadType road_type) const;
+
+  // Convenience: features computed from the points.
+  TransportMode Classify(std::span<const core::GpsPoint> points,
+                         RoadType road_type) const {
+    return Classify(ComputeMotionFeatures(points), road_type);
+  }
+
+  const ModeInferenceConfig& config() const { return config_; }
+
+ private:
+  ModeInferenceConfig config_;
+};
+
+}  // namespace semitri::road
+
+#endif  // SEMITRI_ROAD_TRANSPORT_MODE_H_

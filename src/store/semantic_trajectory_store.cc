@@ -1,0 +1,340 @@
+#include "store/semantic_trajectory_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace semitri::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string GpsRow(const core::RawTrajectory& t, const core::GpsPoint& p) {
+  return common::StrFormat("%lld,%lld,%.6f,%.6f,%.3f",
+                           static_cast<long long>(t.object_id),
+                           static_cast<long long>(t.id), p.position.x,
+                           p.position.y, p.time);
+}
+
+std::string EpisodeRow(core::TrajectoryId id, size_t index,
+                       const core::Episode& e) {
+  return common::StrFormat(
+      "%lld,%zu,%s,%zu,%zu,%.3f,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f",
+      static_cast<long long>(id), index, core::EpisodeKindName(e.kind),
+      e.begin, e.end, e.time_in, e.time_out, e.center.x, e.center.y,
+      e.bounds.min.x, e.bounds.min.y, e.bounds.max.x, e.bounds.max.y);
+}
+
+std::string AnnotationsEncoded(const core::SemanticEpisode& ep) {
+  std::vector<std::string> parts;
+  parts.reserve(ep.annotations.size());
+  for (const core::Annotation& a : ep.annotations) {
+    parts.push_back(a.key + "=" + a.value);
+  }
+  return common::Join(parts, ";");
+}
+
+std::string SemanticEpisodeRow(const core::StructuredSemanticTrajectory& t,
+                               size_t index,
+                               const core::SemanticEpisode& ep) {
+  return common::StrFormat(
+      "%lld,%lld,%s,%zu,%s,%s,%lld,%.3f,%.3f,%s",
+      static_cast<long long>(t.object_id),
+      static_cast<long long>(t.trajectory_id), t.interpretation.c_str(),
+      index, core::EpisodeKindName(ep.kind),
+      core::PlaceKindName(ep.place.kind),
+      static_cast<long long>(ep.place.id), ep.time_in, ep.time_out,
+      common::CsvEscape(AnnotationsEncoded(ep)).c_str());
+}
+
+constexpr char kGpsHeader[] = "object_id,trajectory_id,x,y,t";
+constexpr char kEpisodeHeader[] =
+    "trajectory_id,index,kind,begin,end,time_in,time_out,center_x,center_y,"
+    "min_x,min_y,max_x,max_y";
+constexpr char kSemanticHeader[] =
+    "object_id,trajectory_id,interpretation,index,kind,place_kind,place_id,"
+    "time_in,time_out,annotations";
+
+common::Status WriteLines(const std::string& path, const std::string& header,
+                          const std::vector<std::string>& rows,
+                          bool append) {
+  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
+  if (!out) {
+    return common::Status::IoError("cannot open " + path);
+  }
+  if (!append || fs::file_size(path) == 0) out << header << "\n";
+  for (const std::string& row : rows) out << row << "\n";
+  out.flush();
+  if (!out) {
+    return common::Status::IoError("write failed for " + path);
+  }
+  return common::Status::OK();
+}
+
+}  // namespace
+
+SemanticTrajectoryStore::SemanticTrajectoryStore(StoreConfig config)
+    : config_(std::move(config)) {}
+
+common::Status SemanticTrajectoryStore::AppendWriteThrough(
+    const std::string& file, const std::string& header,
+    const std::vector<std::string>& rows) {
+  if (config_.write_through_dir.empty()) return common::Status::OK();
+  std::error_code ec;
+  fs::create_directories(config_.write_through_dir, ec);
+  if (ec) {
+    return common::Status::IoError("cannot create " +
+                                   config_.write_through_dir);
+  }
+  std::string path = config_.write_through_dir + "/" + file;
+  if (!fs::exists(path)) {
+    std::ofstream touch(path);
+  }
+  return WriteLines(path, header, rows, /*append=*/true);
+}
+
+common::Status SemanticTrajectoryStore::PutRawTrajectory(
+    const core::RawTrajectory& trajectory) {
+  auto it = raw_.find(trajectory.id);
+  if (it != raw_.end()) {
+    gps_record_count_ -= it->second.points.size();
+  }
+  gps_record_count_ += trajectory.points.size();
+  raw_[trajectory.id] = trajectory;
+  std::vector<std::string> rows;
+  rows.reserve(trajectory.points.size());
+  for (const core::GpsPoint& p : trajectory.points) {
+    rows.push_back(GpsRow(trajectory, p));
+  }
+  return AppendWriteThrough("gps.csv", kGpsHeader, rows);
+}
+
+common::Status SemanticTrajectoryStore::PutEpisodes(
+    core::TrajectoryId id, const std::vector<core::Episode>& episodes) {
+  auto it = episodes_.find(id);
+  if (it != episodes_.end()) episode_count_ -= it->second.size();
+  episode_count_ += episodes.size();
+  episodes_[id] = episodes;
+  std::vector<std::string> rows;
+  rows.reserve(episodes.size());
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    rows.push_back(EpisodeRow(id, i, episodes[i]));
+  }
+  return AppendWriteThrough("episodes.csv", kEpisodeHeader, rows);
+}
+
+common::Status SemanticTrajectoryStore::PutInterpretation(
+    const core::StructuredSemanticTrajectory& trajectory) {
+  if (trajectory.interpretation.empty()) {
+    return common::Status::InvalidArgument(
+        "interpretation name must be set");
+  }
+  auto key = std::make_pair(trajectory.trajectory_id,
+                            trajectory.interpretation);
+  auto it = interpretations_.find(key);
+  if (it != interpretations_.end()) {
+    semantic_episode_count_ -= it->second.episodes.size();
+  }
+  semantic_episode_count_ += trajectory.episodes.size();
+  interpretations_[key] = trajectory;
+  std::vector<std::string> rows;
+  rows.reserve(trajectory.episodes.size());
+  for (size_t i = 0; i < trajectory.episodes.size(); ++i) {
+    rows.push_back(SemanticEpisodeRow(trajectory, i, trajectory.episodes[i]));
+  }
+  return AppendWriteThrough("semantic_episodes.csv", kSemanticHeader, rows);
+}
+
+common::Result<core::RawTrajectory> SemanticTrajectoryStore::GetRawTrajectory(
+    core::TrajectoryId id) const {
+  auto it = raw_.find(id);
+  if (it == raw_.end()) {
+    return common::Status::NotFound(
+        common::StrFormat("trajectory %lld", static_cast<long long>(id)));
+  }
+  return it->second;
+}
+
+common::Result<std::vector<core::Episode>>
+SemanticTrajectoryStore::GetEpisodes(core::TrajectoryId id) const {
+  auto it = episodes_.find(id);
+  if (it == episodes_.end()) {
+    return common::Status::NotFound(common::StrFormat(
+        "episodes of trajectory %lld", static_cast<long long>(id)));
+  }
+  return it->second;
+}
+
+common::Result<core::StructuredSemanticTrajectory>
+SemanticTrajectoryStore::GetInterpretation(
+    core::TrajectoryId id, const std::string& interpretation) const {
+  auto it = interpretations_.find(std::make_pair(id, interpretation));
+  if (it == interpretations_.end()) {
+    return common::Status::NotFound(common::StrFormat(
+        "interpretation '%s' of trajectory %lld", interpretation.c_str(),
+        static_cast<long long>(id)));
+  }
+  return it->second;
+}
+
+std::vector<core::TrajectoryId> SemanticTrajectoryStore::ListTrajectories()
+    const {
+  std::vector<core::TrajectoryId> out;
+  out.reserve(raw_.size());
+  for (const auto& [id, t] : raw_) out.push_back(id);
+  return out;
+}
+
+std::vector<std::string> SemanticTrajectoryStore::ListInterpretations(
+    core::TrajectoryId id) const {
+  std::vector<std::string> out;
+  for (auto it = interpretations_.lower_bound(std::make_pair(id, std::string()));
+       it != interpretations_.end() && it->first.first == id; ++it) {
+    out.push_back(it->first.second);
+  }
+  return out;
+}
+
+common::Status SemanticTrajectoryStore::SaveCsv(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return common::Status::IoError("cannot create " + dir);
+
+  std::vector<std::string> gps_rows;
+  for (const auto& [id, t] : raw_) {
+    for (const core::GpsPoint& p : t.points) gps_rows.push_back(GpsRow(t, p));
+  }
+  SEMITRI_RETURN_IF_ERROR(
+      WriteLines(dir + "/gps.csv", kGpsHeader, gps_rows, false));
+
+  std::vector<std::string> episode_rows;
+  for (const auto& [id, eps] : episodes_) {
+    for (size_t i = 0; i < eps.size(); ++i) {
+      episode_rows.push_back(EpisodeRow(id, i, eps[i]));
+    }
+  }
+  SEMITRI_RETURN_IF_ERROR(WriteLines(dir + "/episodes.csv", kEpisodeHeader,
+                                     episode_rows, false));
+
+  std::vector<std::string> semantic_rows;
+  for (const auto& [key, t] : interpretations_) {
+    for (size_t i = 0; i < t.episodes.size(); ++i) {
+      semantic_rows.push_back(SemanticEpisodeRow(t, i, t.episodes[i]));
+    }
+  }
+  return WriteLines(dir + "/semantic_episodes.csv", kSemanticHeader,
+                    semantic_rows, false);
+}
+
+common::Status SemanticTrajectoryStore::LoadCsv(const std::string& dir) {
+  raw_.clear();
+  episodes_.clear();
+  interpretations_.clear();
+  gps_record_count_ = episode_count_ = semantic_episode_count_ = 0;
+
+  // gps.csv
+  {
+    std::ifstream in(dir + "/gps.csv");
+    if (!in) return common::Status::IoError("cannot open " + dir + "/gps.csv");
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> f = common::CsvParseLine(line);
+      if (f.size() != 5) {
+        return common::Status::Corruption("bad gps.csv row: " + line);
+      }
+      core::TrajectoryId tid = std::stoll(f[1]);
+      core::RawTrajectory& t = raw_[tid];
+      t.id = tid;
+      t.object_id = std::stoll(f[0]);
+      t.points.push_back(
+          {{std::stod(f[2]), std::stod(f[3])}, std::stod(f[4])});
+      ++gps_record_count_;
+    }
+  }
+  // episodes.csv
+  {
+    std::ifstream in(dir + "/episodes.csv");
+    if (!in) {
+      return common::Status::IoError("cannot open " + dir + "/episodes.csv");
+    }
+    std::string line;
+    std::getline(in, line);
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> f = common::CsvParseLine(line);
+      if (f.size() != 13) {
+        return common::Status::Corruption("bad episodes.csv row: " + line);
+      }
+      core::Episode e;
+      core::TrajectoryId tid = std::stoll(f[0]);
+      std::string kind = f[2];
+      e.kind = kind == "stop"    ? core::EpisodeKind::kStop
+               : kind == "move"  ? core::EpisodeKind::kMove
+               : kind == "begin" ? core::EpisodeKind::kBegin
+                                 : core::EpisodeKind::kEnd;
+      e.begin = std::stoull(f[3]);
+      e.end = std::stoull(f[4]);
+      e.time_in = std::stod(f[5]);
+      e.time_out = std::stod(f[6]);
+      e.center = {std::stod(f[7]), std::stod(f[8])};
+      e.bounds = {{std::stod(f[9]), std::stod(f[10])},
+                  {std::stod(f[11]), std::stod(f[12])}};
+      episodes_[tid].push_back(e);
+      ++episode_count_;
+    }
+  }
+  // semantic_episodes.csv
+  {
+    std::ifstream in(dir + "/semantic_episodes.csv");
+    if (!in) {
+      return common::Status::IoError("cannot open " + dir +
+                                     "/semantic_episodes.csv");
+    }
+    std::string line;
+    std::getline(in, line);
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> f = common::CsvParseLine(line);
+      if (f.size() != 10) {
+        return common::Status::Corruption("bad semantic_episodes.csv row: " +
+                                          line);
+      }
+      auto key = std::make_pair<core::TrajectoryId, std::string>(
+          std::stoll(f[1]), std::string(f[2]));
+      core::StructuredSemanticTrajectory& t = interpretations_[key];
+      t.object_id = std::stoll(f[0]);
+      t.trajectory_id = key.first;
+      t.interpretation = key.second;
+      core::SemanticEpisode ep;
+      std::string kind = f[4];
+      ep.kind = kind == "stop"    ? core::EpisodeKind::kStop
+                : kind == "move"  ? core::EpisodeKind::kMove
+                : kind == "begin" ? core::EpisodeKind::kBegin
+                                  : core::EpisodeKind::kEnd;
+      std::string place_kind = f[5];
+      ep.place.kind = place_kind == "region" ? core::PlaceKind::kRegion
+                      : place_kind == "line" ? core::PlaceKind::kLine
+                                             : core::PlaceKind::kPoint;
+      ep.place.id = std::stoll(f[6]);
+      ep.time_in = std::stod(f[7]);
+      ep.time_out = std::stod(f[8]);
+      if (!f[9].empty()) {
+        for (const std::string& pair : common::Split(f[9], ';')) {
+          size_t eq = pair.find('=');
+          if (eq != std::string::npos) {
+            ep.AddAnnotation(pair.substr(0, eq), pair.substr(eq + 1));
+          }
+        }
+      }
+      t.episodes.push_back(std::move(ep));
+      ++semantic_episode_count_;
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace semitri::store

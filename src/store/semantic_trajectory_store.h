@@ -1,0 +1,95 @@
+#ifndef SEMITRI_STORE_SEMANTIC_TRAJECTORY_STORE_H_
+#define SEMITRI_STORE_SEMANTIC_TRAJECTORY_STORE_H_
+
+// The Semantic Trajectory Store (paper §3.3/§5.1): dedicated tables for
+// GPS records, trajectories, stop/move episodes, and semantic
+// annotations. The paper backs it with PostgreSQL/PostGIS; here the
+// tables are in-memory columns with CSV persistence. An optional
+// write-through mode appends every Put to CSV files on disk, which
+// reproduces the latency profile of Fig. 17 (storing dominates
+// computing).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace semitri::store {
+
+struct StoreConfig {
+  // When nonempty, every Put* call appends to CSV files under this
+  // directory (created on demand) in addition to the in-memory tables.
+  std::string write_through_dir;
+};
+
+class SemanticTrajectoryStore {
+ public:
+  explicit SemanticTrajectoryStore(StoreConfig config = {});
+
+  // --- writes ---------------------------------------------------------
+
+  // Stores a raw trajectory (GPS-record and trajectory tables).
+  // Overwrites an existing trajectory with the same id.
+  common::Status PutRawTrajectory(const core::RawTrajectory& trajectory);
+
+  // Stores the stop/move segmentation of a trajectory.
+  common::Status PutEpisodes(core::TrajectoryId id,
+                             const std::vector<core::Episode>& episodes);
+
+  // Stores one layer's interpretation (keyed by its `interpretation`
+  // name: "region", "line", "point").
+  common::Status PutInterpretation(
+      const core::StructuredSemanticTrajectory& trajectory);
+
+  // --- reads ----------------------------------------------------------
+
+  common::Result<core::RawTrajectory> GetRawTrajectory(
+      core::TrajectoryId id) const;
+  common::Result<std::vector<core::Episode>> GetEpisodes(
+      core::TrajectoryId id) const;
+  common::Result<core::StructuredSemanticTrajectory> GetInterpretation(
+      core::TrajectoryId id, const std::string& interpretation) const;
+
+  std::vector<core::TrajectoryId> ListTrajectories() const;
+
+  // Interpretation names stored for a trajectory ("region", "line", ...).
+  std::vector<std::string> ListInterpretations(core::TrajectoryId id) const;
+
+  // --- stats ----------------------------------------------------------
+
+  size_t num_trajectories() const { return raw_.size(); }
+  size_t num_gps_records() const { return gps_record_count_; }
+  size_t num_episodes() const { return episode_count_; }
+  size_t num_semantic_episodes() const { return semantic_episode_count_; }
+
+  // --- persistence ----------------------------------------------------
+
+  // Writes all tables as CSV files (gps.csv, episodes.csv,
+  // semantic_episodes.csv) under `dir`.
+  common::Status SaveCsv(const std::string& dir) const;
+
+  // Loads tables previously written by SaveCsv, replacing content.
+  common::Status LoadCsv(const std::string& dir);
+
+ private:
+  common::Status AppendWriteThrough(const std::string& file,
+                                    const std::string& header,
+                                    const std::vector<std::string>& rows);
+
+  StoreConfig config_;
+  std::map<core::TrajectoryId, core::RawTrajectory> raw_;
+  std::map<core::TrajectoryId, std::vector<core::Episode>> episodes_;
+  // (trajectory, interpretation) -> structured semantic trajectory
+  std::map<std::pair<core::TrajectoryId, std::string>,
+           core::StructuredSemanticTrajectory>
+      interpretations_;
+  size_t gps_record_count_ = 0;
+  size_t episode_count_ = 0;
+  size_t semantic_episode_count_ = 0;
+};
+
+}  // namespace semitri::store
+
+#endif  // SEMITRI_STORE_SEMANTIC_TRAJECTORY_STORE_H_

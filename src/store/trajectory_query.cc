@@ -1,0 +1,98 @@
+#include "store/trajectory_query.h"
+
+#include <algorithm>
+
+namespace semitri::store {
+
+TrajectoryQueryEngine::TrajectoryQueryEngine(
+    const SemanticTrajectoryStore* store)
+    : store_(store) {
+  for (core::TrajectoryId id : store->ListTrajectories()) {
+    common::Result<core::RawTrajectory> raw = store->GetRawTrajectory(id);
+    if (!raw.ok() || raw->empty()) continue;
+    trajectory_index_.Insert(raw->Bounds(), id);
+    common::Result<std::vector<core::Episode>> episodes =
+        store->GetEpisodes(id);
+    if (!episodes.ok()) continue;
+    for (size_t e = 0; e < episodes->size(); ++e) {
+      const core::Episode& ep = (*episodes)[e];
+      if (ep.kind != core::EpisodeKind::kStop) continue;
+      StopHit hit;
+      hit.trajectory_id = id;
+      hit.episode_index = e;
+      hit.center = ep.center;
+      hit.time_in = ep.time_in;
+      hit.time_out = ep.time_out;
+      stop_index_.Insert(ep.bounds, stops_.size());
+      stops_.push_back(hit);
+    }
+  }
+}
+
+std::vector<core::TrajectoryId> TrajectoryQueryEngine::FindTrajectories(
+    const geo::BoundingBox& window, core::Timestamp t0,
+    core::Timestamp t1) const {
+  std::vector<core::TrajectoryId> out;
+  for (core::TrajectoryId id : trajectory_index_.Query(window)) {
+    common::Result<core::RawTrajectory> raw = store_->GetRawTrajectory(id);
+    if (!raw.ok()) continue;
+    // Temporal overlap filter, then exact spatial refinement: at least
+    // one fix inside the window within the interval.
+    if (raw->EndTime() < t0 || raw->StartTime() > t1) continue;
+    bool hit = false;
+    for (const core::GpsPoint& p : raw->points) {
+      if (p.time < t0 || p.time > t1) continue;
+      if (window.Contains(p.position)) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<StopHit> TrajectoryQueryEngine::FindStopsNear(
+    const geo::Point& center, double radius) const {
+  std::vector<StopHit> out;
+  for (size_t index : stop_index_.QueryRadius(center, radius)) {
+    const StopHit& hit = stops_[index];
+    if (hit.center.DistanceTo(center) <= radius) out.push_back(hit);
+  }
+  std::sort(out.begin(), out.end(), [](const StopHit& a, const StopHit& b) {
+    return a.time_in > b.time_in;
+  });
+  return out;
+}
+
+std::vector<EpisodeHit> TrajectoryQueryEngine::FindEpisodesByAnnotation(
+    const std::string& key, const std::string& value,
+    const std::optional<std::string>& interpretation,
+    std::optional<core::Timestamp> t0,
+    std::optional<core::Timestamp> t1) const {
+  std::vector<EpisodeHit> out;
+  for (core::TrajectoryId id : store_->ListTrajectories()) {
+    for (const std::string& name : store_->ListInterpretations(id)) {
+      if (interpretation.has_value() && name != *interpretation) continue;
+      common::Result<core::StructuredSemanticTrajectory> layer =
+          store_->GetInterpretation(id, name);
+      if (!layer.ok()) continue;
+      for (size_t e = 0; e < layer->episodes.size(); ++e) {
+        const core::SemanticEpisode& ep = layer->episodes[e];
+        if (ep.FindAnnotation(key) != value) continue;
+        if (t0.has_value() && ep.time_out < *t0) continue;
+        if (t1.has_value() && ep.time_in > *t1) continue;
+        EpisodeHit hit;
+        hit.trajectory_id = id;
+        hit.interpretation = name;
+        hit.episode_index = e;
+        hit.episode = ep;
+        out.push_back(std::move(hit));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace semitri::store

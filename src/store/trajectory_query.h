@@ -1,0 +1,84 @@
+#ifndef SEMITRI_STORE_TRAJECTORY_QUERY_H_
+#define SEMITRI_STORE_TRAJECTORY_QUERY_H_
+
+// Query layer over the Semantic Trajectory Store — the paper's store
+// "is expected to be queried by several trajectory applications" and
+// its web interface offers "user-friendly queries" over raw traces,
+// episodes and semantic trajectories [31]. This engine answers:
+//
+//   * spatio-temporal range queries over stored trajectories,
+//   * stop queries near a location,
+//   * semantic queries over episode annotations ("all metro rides",
+//     "all stops annotated item sale between 17:00 and 20:00").
+//
+// Spatial access runs through an R*-tree over per-trajectory bounds and
+// a second one over stop-episode extents, both built from the store
+// snapshot at construction.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "index/rstar_tree.h"
+#include "store/semantic_trajectory_store.h"
+
+namespace semitri::store {
+
+// A stop hit: which trajectory, which episode index, where/when.
+struct StopHit {
+  core::TrajectoryId trajectory_id = 0;
+  size_t episode_index = 0;
+  geo::Point center;
+  core::Timestamp time_in = 0.0;
+  core::Timestamp time_out = 0.0;
+};
+
+// A semantic-episode hit from an annotation query.
+struct EpisodeHit {
+  core::TrajectoryId trajectory_id = 0;
+  std::string interpretation;
+  size_t episode_index = 0;
+  core::SemanticEpisode episode;
+};
+
+class TrajectoryQueryEngine {
+ public:
+  // Snapshots the store's current content; `store` must outlive the
+  // engine. Re-create the engine after bulk updates.
+  explicit TrajectoryQueryEngine(const SemanticTrajectoryStore* store);
+
+  // Trajectories whose trace intersects `window` and overlaps the time
+  // interval [t0, t1] (pass infinite bounds for a purely spatial
+  // query). Exact point-in-window refinement follows the index filter.
+  std::vector<core::TrajectoryId> FindTrajectories(
+      const geo::BoundingBox& window, core::Timestamp t0,
+      core::Timestamp t1) const;
+
+  // Stop episodes within `radius` of `center`, newest first.
+  std::vector<StopHit> FindStopsNear(const geo::Point& center,
+                                     double radius) const;
+
+  // Semantic episodes whose annotation `key` equals `value`, across all
+  // interpretations (or one, when `interpretation` is given), optionally
+  // restricted to a time interval.
+  std::vector<EpisodeHit> FindEpisodesByAnnotation(
+      const std::string& key, const std::string& value,
+      const std::optional<std::string>& interpretation = std::nullopt,
+      std::optional<core::Timestamp> t0 = std::nullopt,
+      std::optional<core::Timestamp> t1 = std::nullopt) const;
+
+  size_t num_indexed_trajectories() const { return trajectory_index_.size(); }
+  size_t num_indexed_stops() const { return stop_index_.size(); }
+
+ private:
+  const SemanticTrajectoryStore* store_;
+  index::RStarTree<core::TrajectoryId> trajectory_index_;
+  // Value = index into stops_.
+  index::RStarTree<size_t> stop_index_;
+  std::vector<StopHit> stops_;
+};
+
+}  // namespace semitri::store
+
+#endif  // SEMITRI_STORE_TRAJECTORY_QUERY_H_

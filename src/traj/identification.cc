@@ -1,0 +1,53 @@
+#include "traj/identification.h"
+
+#include <cmath>
+
+namespace semitri::traj {
+
+namespace {
+
+// Index of the period (e.g. day number) a timestamp falls into.
+int64_t PeriodOf(double time, double period) {
+  return static_cast<int64_t>(std::floor(time / period));
+}
+
+}  // namespace
+
+std::vector<core::RawTrajectory> TrajectoryIdentifier::Identify(
+    core::ObjectId object_id, const std::vector<core::GpsPoint>& stream,
+    core::TrajectoryId first_id) const {
+  std::vector<core::RawTrajectory> out;
+  core::RawTrajectory current;
+  current.object_id = object_id;
+
+  auto flush = [&]() {
+    if (current.points.size() >= config_.min_points &&
+        current.DurationSeconds() >= config_.min_duration_seconds) {
+      current.id = first_id + static_cast<core::TrajectoryId>(out.size());
+      out.push_back(std::move(current));
+    }
+    current = core::RawTrajectory();
+    current.object_id = object_id;
+  };
+
+  for (const core::GpsPoint& p : stream) {
+    if (!current.points.empty()) {
+      const core::GpsPoint& prev = current.points.back();
+      bool gap = config_.max_gap_seconds > 0.0 &&
+                 p.time - prev.time > config_.max_gap_seconds;
+      bool jump = config_.max_spatial_gap_meters > 0.0 &&
+                  p.position.DistanceTo(prev.position) >
+                      config_.max_spatial_gap_meters;
+      bool new_period =
+          config_.period_seconds > 0.0 &&
+          PeriodOf(p.time, config_.period_seconds) !=
+              PeriodOf(prev.time, config_.period_seconds);
+      if (gap || jump || new_period) flush();
+    }
+    current.points.push_back(p);
+  }
+  flush();
+  return out;
+}
+
+}  // namespace semitri::traj

@@ -1,0 +1,50 @@
+#ifndef SEMITRI_TRAJ_IDENTIFICATION_H_
+#define SEMITRI_TRAJ_IDENTIFICATION_H_
+
+// Raw-trajectory identification (Trajectory Computation Layer, step 2):
+// splits an object's GPS stream into finite, application-meaningful raw
+// trajectories. SeMiTri's experiments use *daily* trajectories with
+// additional splitting at long signal gaps.
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace semitri::traj {
+
+struct IdentificationConfig {
+  // A recording gap longer than this starts a new raw trajectory
+  // (Fig. 2 "Temporal Separations"). 0 disables gap splitting.
+  double max_gap_seconds = 30.0 * 60.0;
+  // A spatial jump larger than this between consecutive fixes starts a
+  // new raw trajectory (Fig. 2 "Spatial Separations" — e.g. the
+  // receiver was off during a flight/train leg). 0 disables.
+  double max_spatial_gap_meters = 0.0;
+  // Split at multiples of this period (daily trajectories). 0 disables.
+  double period_seconds = 86400.0;
+  // Trajectories with fewer points are discarded as noise.
+  size_t min_points = 10;
+  // Trajectories shorter than this (seconds) are discarded.
+  double min_duration_seconds = 60.0;
+};
+
+class TrajectoryIdentifier {
+ public:
+  explicit TrajectoryIdentifier(IdentificationConfig config = {})
+      : config_(config) {}
+
+  // Splits a time-ordered stream into raw trajectories. Trajectory ids
+  // are assigned sequentially starting from `first_id`.
+  std::vector<core::RawTrajectory> Identify(
+      core::ObjectId object_id, const std::vector<core::GpsPoint>& stream,
+      core::TrajectoryId first_id = 0) const;
+
+  const IdentificationConfig& config() const { return config_; }
+
+ private:
+  IdentificationConfig config_;
+};
+
+}  // namespace semitri::traj
+
+#endif  // SEMITRI_TRAJ_IDENTIFICATION_H_

@@ -1,0 +1,76 @@
+#include "traj/preprocess.h"
+
+#include <cmath>
+
+namespace semitri::traj {
+
+core::RawTrajectory Preprocessor::Clean(
+    const core::RawTrajectory& input) const {
+  core::RawTrajectory out;
+  out.id = input.id;
+  out.object_id = input.object_id;
+  out.points = Smooth(RemoveOutliers(RemoveDuplicates(input.points)));
+  return out;
+}
+
+std::vector<core::GpsPoint> Preprocessor::RemoveDuplicates(
+    const std::vector<core::GpsPoint>& points) const {
+  std::vector<core::GpsPoint> out;
+  out.reserve(points.size());
+  for (const core::GpsPoint& p : points) {
+    if (!out.empty() &&
+        p.time - out.back().time < config_.min_time_step_seconds) {
+      continue;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<core::GpsPoint> Preprocessor::RemoveOutliers(
+    const std::vector<core::GpsPoint>& points) const {
+  if (config_.max_speed_mps <= 0.0 || points.size() < 2) return points;
+  std::vector<core::GpsPoint> out;
+  out.reserve(points.size());
+  for (const core::GpsPoint& p : points) {
+    if (out.empty()) {
+      out.push_back(p);
+      continue;
+    }
+    const core::GpsPoint& prev = out.back();
+    double dt = p.time - prev.time;
+    if (dt <= 0.0) continue;
+    double speed = p.position.DistanceTo(prev.position) / dt;
+    if (speed <= config_.max_speed_mps) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<core::GpsPoint> Preprocessor::Smooth(
+    const std::vector<core::GpsPoint>& points) const {
+  if (config_.smoothing_bandwidth_seconds <= 0.0 ||
+      config_.smoothing_half_window == 0 || points.size() < 3) {
+    return points;
+  }
+  const double two_sigma2 = 2.0 * config_.smoothing_bandwidth_seconds *
+                            config_.smoothing_bandwidth_seconds;
+  std::vector<core::GpsPoint> out = points;
+  const size_t n = points.size();
+  const size_t half = config_.smoothing_half_window;
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i >= half ? i - half : 0;
+    size_t hi = std::min(n - 1, i + half);
+    geo::Point acc{0.0, 0.0};
+    double weight_sum = 0.0;
+    for (size_t j = lo; j <= hi; ++j) {
+      double dt = points[j].time - points[i].time;
+      double w = std::exp(-(dt * dt) / two_sigma2);
+      acc = acc + points[j].position * w;
+      weight_sum += w;
+    }
+    out[i].position = acc / weight_sum;
+  }
+  return out;
+}
+
+}  // namespace semitri::traj

@@ -1,0 +1,52 @@
+#ifndef SEMITRI_TRAJ_PREPROCESS_H_
+#define SEMITRI_TRAJ_PREPROCESS_H_
+
+// GPS data cleansing (Trajectory Computation Layer, step 1): removal of
+// outlier fixes and kernel smoothing of random errors, following the
+// hybrid spatio-semantic model the paper builds on ([30], Yan et al.
+// ESWC 2010).
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace semitri::traj {
+
+struct PreprocessConfig {
+  // A fix implying a speed above this w.r.t. the last kept fix is an
+  // outlier ("GPS jump") and is dropped. 0 disables the gate.
+  double max_speed_mps = 69.0;  // ~250 km/h
+  // Gaussian kernel smoothing over neighboring samples; the kernel is
+  // evaluated on time offsets with this bandwidth. 0 disables smoothing.
+  double smoothing_bandwidth_seconds = 10.0;
+  // Samples on each side entering the smoothing kernel.
+  size_t smoothing_half_window = 3;
+  // Fixes closer in time than this to their predecessor are duplicates.
+  double min_time_step_seconds = 1e-9;
+};
+
+// Stateless cleaning operator: duplicate removal, speed-gate outlier
+// rejection, Gaussian position smoothing. Timestamps are never modified.
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessConfig config = {}) : config_(config) {}
+
+  core::RawTrajectory Clean(const core::RawTrajectory& input) const;
+
+  // Cleaning stages, exposed for targeted testing.
+  std::vector<core::GpsPoint> RemoveDuplicates(
+      const std::vector<core::GpsPoint>& points) const;
+  std::vector<core::GpsPoint> RemoveOutliers(
+      const std::vector<core::GpsPoint>& points) const;
+  std::vector<core::GpsPoint> Smooth(
+      const std::vector<core::GpsPoint>& points) const;
+
+  const PreprocessConfig& config() const { return config_; }
+
+ private:
+  PreprocessConfig config_;
+};
+
+}  // namespace semitri::traj
+
+#endif  // SEMITRI_TRAJ_PREPROCESS_H_

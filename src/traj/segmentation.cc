@@ -1,0 +1,202 @@
+#include "traj/segmentation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace semitri::traj {
+
+std::vector<double> StopMoveSegmenter::PointSpeeds(
+    const core::RawTrajectory& t) {
+  const auto& pts = t.points;
+  std::vector<double> speeds(pts.size(), 0.0);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    double dt = pts[i].time - pts[i - 1].time;
+    speeds[i] =
+        dt > 0.0 ? pts[i].position.DistanceTo(pts[i - 1].position) / dt : 0.0;
+  }
+  if (pts.size() > 1) speeds[0] = speeds[1];
+  return speeds;
+}
+
+std::vector<bool> StopMoveSegmenter::ClassifyStopsVelocity(
+    const core::RawTrajectory& t) const {
+  const auto& pts = t.points;
+  const size_t n = pts.size();
+  std::vector<bool> is_stop(n, false);
+  const size_t half = config_.speed_smoothing_half_window;
+  std::vector<double> instantaneous;
+  if (half == 0) instantaneous = PointSpeeds(t);
+  for (size_t i = 0; i < n; ++i) {
+    double speed;
+    if (half == 0) {
+      // Instantaneous consecutive-point speed.
+      speed = instantaneous[i];
+    } else {
+      // Windowed displacement speed: net displacement over ±half
+      // samples. Stationary GPS jitter produces near-zero displacement,
+      // so dwells do not fragment into spurious micro-moves.
+      size_t lo = i >= half ? i - half : 0;
+      size_t hi = std::min(n - 1, i + half);
+      double dt = pts[hi].time - pts[lo].time;
+      speed = dt > 0.0
+                  ? pts[hi].position.DistanceTo(pts[lo].position) / dt
+                  : 0.0;
+    }
+    is_stop[i] = speed < config_.velocity_threshold_mps;
+  }
+  return is_stop;
+}
+
+std::vector<bool> StopMoveSegmenter::ClassifyStopsDensity(
+    const core::RawTrajectory& t) const {
+  const auto& pts = t.points;
+  const size_t n = pts.size();
+  std::vector<bool> is_stop(n, false);
+  size_t i = 0;
+  while (i < n) {
+    // Grow a cluster [i, j] while every new point stays within the radius
+    // of the running centroid.
+    geo::Point centroid = pts[i].position;
+    size_t j = i;
+    while (j + 1 < n) {
+      size_t count = j - i + 1;
+      if (pts[j + 1].position.DistanceTo(centroid) >
+          config_.density_radius_meters) {
+        break;
+      }
+      centroid =
+          (centroid * static_cast<double>(count) + pts[j + 1].position) /
+          static_cast<double>(count + 1);
+      ++j;
+    }
+    double dwell = pts[j].time - pts[i].time;
+    if (dwell >= config_.min_stop_duration_seconds) {
+      for (size_t k = i; k <= j; ++k) is_stop[k] = true;
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+  return is_stop;
+}
+
+void FinalizeEpisode(const core::RawTrajectory& trajectory,
+                     core::Episode* episode) {
+  assert(episode->begin < episode->end);
+  assert(episode->end <= trajectory.points.size());
+  const auto& pts = trajectory.points;
+  episode->time_in = pts[episode->begin].time;
+  episode->time_out = pts[episode->end - 1].time;
+  geo::Point acc{0.0, 0.0};
+  geo::BoundingBox bounds;
+  for (size_t i = episode->begin; i < episode->end; ++i) {
+    acc = acc + pts[i].position;
+    bounds.ExpandToInclude(pts[i].position);
+  }
+  episode->center = acc / static_cast<double>(episode->num_points());
+  episode->bounds = bounds;
+}
+
+std::vector<core::Episode> StopMoveSegmenter::Segment(
+    const core::RawTrajectory& trajectory) const {
+  std::vector<core::Episode> episodes;
+  const size_t n = trajectory.points.size();
+  if (n == 0) return episodes;
+
+  std::vector<bool> is_stop = config_.policy == StopPolicy::kVelocity
+                                  ? ClassifyStopsVelocity(trajectory)
+                                  : ClassifyStopsDensity(trajectory);
+
+  // Build maximal runs of identical classification.
+  struct Run {
+    bool stop;
+    size_t begin;
+    size_t end;  // exclusive
+  };
+  std::vector<Run> runs;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && is_stop[j] == is_stop[i]) ++j;
+    runs.push_back({is_stop[i], i, j});
+    i = j;
+  }
+
+  auto run_duration = [&](const Run& r) {
+    return trajectory.points[r.end - 1].time - trajectory.points[r.begin].time;
+  };
+  auto merge_adjacent = [](std::vector<Run>& rs) {
+    std::vector<Run> merged;
+    for (const Run& r : rs) {
+      if (!merged.empty() && merged.back().stop == r.stop) {
+        merged.back().end = r.end;
+      } else {
+        merged.push_back(r);
+      }
+    }
+    rs.swap(merged);
+  };
+
+  // Smooth the run sequence to a fixpoint (bounded passes):
+  //   1. absorb spurious "move" bursts sandwiched between stop runs
+  //      (too short, or going nowhere) so fragmented dwells coalesce;
+  //   2. demote stop runs that still do not dwell long enough
+  //      (velocity policy only; density enforces dwell while clustering).
+  for (int pass = 0; pass < 3; ++pass) {
+    merge_adjacent(runs);
+    bool changed = false;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (runs[i].stop || i == 0 || i + 1 >= runs.size() ||
+          !runs[i - 1].stop || !runs[i + 1].stop) {
+        continue;
+      }
+      double displacement =
+          trajectory.points[runs[i].end - 1].position.DistanceTo(
+              trajectory.points[runs[i].begin].position);
+      if (run_duration(runs[i]) < config_.min_move_duration_seconds ||
+          displacement < config_.min_move_displacement_meters) {
+        runs[i].stop = true;
+        changed = true;
+      }
+    }
+    merge_adjacent(runs);
+    if (config_.policy == StopPolicy::kVelocity) {
+      for (Run& r : runs) {
+        if (r.stop && run_duration(r) < config_.min_stop_duration_seconds) {
+          r.stop = false;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  merge_adjacent(runs);
+  std::vector<Run>& merged = runs;
+
+  if (config_.emit_begin_end) {
+    core::Episode begin;
+    begin.kind = core::EpisodeKind::kBegin;
+    begin.begin = 0;
+    begin.end = 1;
+    FinalizeEpisode(trajectory, &begin);
+    episodes.push_back(begin);
+  }
+  for (const Run& r : merged) {
+    core::Episode ep;
+    ep.kind = r.stop ? core::EpisodeKind::kStop : core::EpisodeKind::kMove;
+    ep.begin = r.begin;
+    ep.end = r.end;
+    FinalizeEpisode(trajectory, &ep);
+    episodes.push_back(ep);
+  }
+  if (config_.emit_begin_end) {
+    core::Episode end;
+    end.kind = core::EpisodeKind::kEnd;
+    end.begin = n - 1;
+    end.end = n;
+    FinalizeEpisode(trajectory, &end);
+    episodes.push_back(end);
+  }
+  return episodes;
+}
+
+}  // namespace semitri::traj

@@ -1,0 +1,82 @@
+#ifndef SEMITRI_TRAJ_SEGMENTATION_H_
+#define SEMITRI_TRAJ_SEGMENTATION_H_
+
+// Stop/move episode computation (Trajectory Computation Layer, step 3).
+//
+// The paper segments raw trajectories into episodes by "computing
+// policies of spatio-temporal co-relations like density, velocity,
+// direction" (§3.3). Two policies are implemented:
+//
+//   * kVelocity — points whose (smoothed) instantaneous speed is below a
+//     threshold δ form stop candidates; a candidate run must dwell for a
+//     minimum duration to become a stop (the §3.1 example predicate).
+//   * kDensity  — a stop is a maximal run of points that stays within a
+//     given radius of the run centroid for a minimum duration (the
+//     clustering-style policy of Palma et al. / [30]).
+//
+// Both produce a partition of the trajectory into stop and move episodes
+// with merged neighbors and per-episode spatial summaries.
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace semitri::traj {
+
+enum class StopPolicy { kVelocity, kDensity };
+
+struct SegmentationConfig {
+  StopPolicy policy = StopPolicy::kVelocity;
+
+  // kVelocity policy: speed threshold δ and minimum dwell.
+  double velocity_threshold_mps = 1.0;
+  double min_stop_duration_seconds = 120.0;
+  // Moving-average half window (samples) applied to speeds before
+  // thresholding; 0 disables.
+  size_t speed_smoothing_half_window = 2;
+
+  // kDensity policy: spatial radius of a stop cluster.
+  double density_radius_meters = 50.0;
+
+  // Moves sandwiched between stops are absorbed into the stop when they
+  // are shorter than this...
+  double min_move_duration_seconds = 30.0;
+  // ...or when their net displacement stays below this (noise bursts
+  // during a dwell look like motion but go nowhere).
+  double min_move_displacement_meters = 30.0;
+
+  // Emit zero-length Begin/End episodes delimiting the trajectory.
+  bool emit_begin_end = false;
+};
+
+class StopMoveSegmenter {
+ public:
+  explicit StopMoveSegmenter(SegmentationConfig config = {})
+      : config_(config) {}
+
+  // Partitions `trajectory` into episodes ordered by time. Every point
+  // index belongs to exactly one stop or move episode.
+  std::vector<core::Episode> Segment(
+      const core::RawTrajectory& trajectory) const;
+
+  // Instantaneous speed (m/s) per point; element 0 copies element 1.
+  static std::vector<double> PointSpeeds(const core::RawTrajectory& t);
+
+  const SegmentationConfig& config() const { return config_; }
+
+ private:
+  std::vector<bool> ClassifyStopsVelocity(
+      const core::RawTrajectory& t) const;
+  std::vector<bool> ClassifyStopsDensity(const core::RawTrajectory& t) const;
+
+  SegmentationConfig config_;
+};
+
+// Fills time_in/time_out/center/bounds of an episode covering
+// [episode.begin, episode.end) of `trajectory`.
+void FinalizeEpisode(const core::RawTrajectory& trajectory,
+                     core::Episode* episode);
+
+}  // namespace semitri::traj
+
+#endif  // SEMITRI_TRAJ_SEGMENTATION_H_

@@ -1,0 +1,191 @@
+// Tests for the analytics layer: distributions, landuse breakdowns,
+// Eq. 8 trajectory categorization, compression stats, latency profiler.
+
+#include <gtest/gtest.h>
+
+#include "analytics/distribution.h"
+#include "analytics/latency_profiler.h"
+#include "analytics/trajectory_stats.h"
+
+namespace semitri::analytics {
+namespace {
+
+TEST(LabeledDistributionTest, CountsAndFractions) {
+  LabeledDistribution d;
+  d.Add("1.2", 83);
+  d.Add("1.3", 10);
+  d.Add("1.2", 7);
+  EXPECT_EQ(d.total(), 100u);
+  EXPECT_EQ(d.CountOf("1.2"), 90u);
+  EXPECT_DOUBLE_EQ(d.Fraction("1.2"), 0.9);
+  EXPECT_DOUBLE_EQ(d.Fraction("9.9"), 0.0);
+}
+
+TEST(LabeledDistributionTest, TopK) {
+  LabeledDistribution d;
+  d.Add("a", 5);
+  d.Add("b", 30);
+  d.Add("c", 15);
+  auto top = d.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "b");
+  EXPECT_DOUBLE_EQ(top[0].second, 0.6);
+  EXPECT_EQ(top[1].first, "c");
+  // k larger than size.
+  EXPECT_EQ(d.TopK(10).size(), 3u);
+}
+
+TEST(LabeledDistributionTest, EmptyDistribution) {
+  LabeledDistribution d;
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_DOUBLE_EQ(d.Fraction("x"), 0.0);
+  EXPECT_TRUE(d.TopK(3).empty());
+}
+
+TEST(LogHistogramTest, BinsByDecade) {
+  LogHistogram h(1);  // one bin per decade
+  h.Add(5);     // [1, 10)
+  h.Add(50);    // [10, 100)
+  h.Add(70);    // [10, 100)
+  h.Add(500);   // [100, 1000)
+  h.Add(0.1);   // clamps to 1 -> [1, 10)
+  auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_EQ(bins[1].count, 2u);
+  EXPECT_EQ(bins[2].count, 1u);
+  EXPECT_DOUBLE_EQ(bins[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ(bins[0].hi, 10.0);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(TrajectoryCategoryTest, Eq8PicksMaxStopTime) {
+  core::StructuredSemanticTrajectory t;
+  t.interpretation = "point";
+  auto add_stop = [&](int category, double duration) {
+    core::SemanticEpisode ep;
+    ep.kind = core::EpisodeKind::kStop;
+    ep.time_in = 0;
+    ep.time_out = duration;
+    ep.AddAnnotation("poi_category_id", std::to_string(category));
+    t.episodes.push_back(ep);
+  };
+  add_stop(2, 3600);  // item sale, 1 h
+  add_stop(3, 1800);  // person life, 0.5 h
+  add_stop(2, 600);   // item sale, +10 min
+  EXPECT_EQ(TrajectoryCategory(t, 5), 2);
+}
+
+TEST(TrajectoryCategoryTest, NoStopsReturnsMinusOne) {
+  core::StructuredSemanticTrajectory t;
+  EXPECT_EQ(TrajectoryCategory(t, 5), -1);
+  core::SemanticEpisode move;
+  move.kind = core::EpisodeKind::kMove;
+  t.episodes.push_back(move);
+  EXPECT_EQ(TrajectoryCategory(t, 5), -1);
+}
+
+TEST(CompressionStatsTest, Ratio) {
+  CompressionStats s;
+  s.raw_records = 3000000;
+  s.semantic_tuples = 8385;
+  EXPECT_NEAR(s.CompressionRatio(), 0.997, 0.001);
+  CompressionStats empty;
+  EXPECT_DOUBLE_EQ(empty.CompressionRatio(), 0.0);
+}
+
+TEST(ContextCountsTest, Accumulates) {
+  ContextCounts counts;
+  core::RawTrajectory t;
+  for (int i = 0; i < 100; ++i) {
+    t.points.push_back({{0, 0}, static_cast<double>(i)});
+  }
+  core::Episode stop;
+  stop.kind = core::EpisodeKind::kStop;
+  stop.begin = 0;
+  stop.end = 60;
+  core::Episode move;
+  move.kind = core::EpisodeKind::kMove;
+  move.begin = 60;
+  move.end = 100;
+  counts.Accumulate(t, {stop, move});
+  counts.Accumulate(t, {move});
+  EXPECT_EQ(counts.num_trajectories, 2u);
+  EXPECT_EQ(counts.num_gps_records, 200u);
+  EXPECT_EQ(counts.num_stops, 1u);
+  EXPECT_EQ(counts.num_moves, 2u);
+  EXPECT_EQ(counts.trajectory_sizes.total(), 2u);
+}
+
+TEST(LanduseBreakdownTest, SplitsByMotionContext) {
+  region::RegionSet regions;
+  regions.AddCell(geo::BoundingBox({0, 0}, {100, 100}),
+                  region::LanduseCategory::kBuilding);
+  regions.AddCell(geo::BoundingBox({100, 0}, {200, 100}),
+                  region::LanduseCategory::kTransportation);
+  region::RegionAnnotator annotator(&regions);
+  core::RawTrajectory t;
+  // 10 stop points in building cell; 10 move points in transport cell;
+  // 5 uncovered points.
+  for (int i = 0; i < 10; ++i) {
+    t.points.push_back({{50, 50}, static_cast<double>(i)});
+  }
+  for (int i = 10; i < 20; ++i) {
+    t.points.push_back({{150, 50}, static_cast<double>(i)});
+  }
+  for (int i = 20; i < 25; ++i) {
+    t.points.push_back({{500, 500}, static_cast<double>(i)});
+  }
+  core::Episode stop;
+  stop.kind = core::EpisodeKind::kStop;
+  stop.begin = 0;
+  stop.end = 10;
+  core::Episode move;
+  move.kind = core::EpisodeKind::kMove;
+  move.begin = 10;
+  move.end = 25;
+  LanduseBreakdown breakdown =
+      ComputeLanduseBreakdown(t, {stop, move}, annotator, regions);
+  EXPECT_EQ(breakdown.trajectory.total(), 20u);
+  EXPECT_EQ(breakdown.stop.CountOf("1.2"), 10u);
+  EXPECT_EQ(breakdown.move.CountOf("1.3"), 10u);
+  EXPECT_EQ(breakdown.uncovered_points, 5u);
+}
+
+TEST(LatencyProfilerTest, MeanTotalCount) {
+  LatencyProfiler profiler;
+  profiler.Record("store", 1.0);
+  profiler.Record("store", 3.0);
+  profiler.Record("compute", 0.5);
+  EXPECT_EQ(profiler.Count("store"), 2u);
+  EXPECT_DOUBLE_EQ(profiler.Total("store"), 4.0);
+  EXPECT_DOUBLE_EQ(profiler.Mean("store"), 2.0);
+  EXPECT_DOUBLE_EQ(profiler.Mean("missing"), 0.0);
+  EXPECT_EQ(profiler.Stages().size(), 2u);
+}
+
+TEST(LatencyProfilerTest, Percentiles) {
+  LatencyProfiler profiler;
+  for (int i = 1; i <= 100; ++i) {
+    profiler.Record("x", static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(profiler.Percentile("x", 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(profiler.Percentile("x", 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(profiler.Percentile("x", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(profiler.Percentile("x", 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(profiler.Percentile("missing", 0.5), 0.0);
+}
+
+TEST(LatencyProfilerTest, ScopeRecords) {
+  LatencyProfiler profiler;
+  {
+    LatencyProfiler::Scope scope(&profiler, "scoped");
+  }
+  EXPECT_EQ(profiler.Count("scoped"), 1u);
+  EXPECT_GE(profiler.Total("scoped"), 0.0);
+  profiler.Clear();
+  EXPECT_EQ(profiler.Count("scoped"), 0u);
+}
+
+}  // namespace
+}  // namespace semitri::analytics

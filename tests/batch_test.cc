@@ -1,0 +1,120 @@
+// Tests for the parallel batch processor: parity with serial
+// processing, deterministic ids, error propagation, store persistence.
+
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/presets.h"
+#include "hmm/hmm.h"
+#include "poi/point_annotator.h"
+
+namespace semitri::core {
+namespace {
+
+class BatchFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::WorldConfig wc;
+    wc.seed = 55;
+    wc.extent_meters = 4000.0;
+    wc.num_pois = 500;
+    world_ = std::make_unique<datagen::World>(
+        datagen::WorldGenerator(wc).Generate());
+    factory_ = std::make_unique<datagen::DatasetFactory>(world_.get(), 56);
+    dataset_ = factory_->MilanPrivateCars(/*num_cars=*/6, /*num_days=*/2);
+    for (const datagen::SimulatedTrack& track : dataset_.tracks) {
+      streams_[track.object_id] = track.points;
+    }
+  }
+  std::unique_ptr<datagen::World> world_;
+  std::unique_ptr<datagen::DatasetFactory> factory_;
+  datagen::Dataset dataset_;
+  std::map<ObjectId, std::vector<GpsPoint>> streams_;
+};
+
+TEST_F(BatchFixture, ParityWithSerialProcessing) {
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois);
+  BatchOptions options;
+  options.num_threads = 4;
+  BatchProcessor batch(&pipeline, options);
+  auto parallel = batch.Process(streams_);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->size(), streams_.size());
+
+  size_t object_index = 0;
+  for (const auto& [object_id, stream] : streams_) {
+    auto serial = pipeline.ProcessStream(
+        object_id, stream,
+        static_cast<TrajectoryId>(object_index) * 1000);
+    ASSERT_TRUE(serial.ok());
+    const ObjectResults& got = (*parallel)[object_index];
+    EXPECT_EQ(got.object_id, object_id);
+    ASSERT_EQ(got.results.size(), serial->size());
+    for (size_t d = 0; d < serial->size(); ++d) {
+      const PipelineResult& a = (*serial)[d];
+      const PipelineResult& b = got.results[d];
+      EXPECT_EQ(a.cleaned.id, b.cleaned.id);
+      EXPECT_EQ(a.cleaned.size(), b.cleaned.size());
+      EXPECT_EQ(a.episodes.size(), b.episodes.size());
+      ASSERT_EQ(a.point_layer.has_value(), b.point_layer.has_value());
+      if (a.point_layer.has_value()) {
+        ASSERT_EQ(a.point_layer->episodes.size(),
+                  b.point_layer->episodes.size());
+        for (size_t e = 0; e < a.point_layer->episodes.size(); ++e) {
+          EXPECT_EQ(a.point_layer->episodes[e].annotations,
+                    b.point_layer->episodes[e].annotations);
+        }
+      }
+    }
+    ++object_index;
+  }
+}
+
+TEST_F(BatchFixture, SingleThreadMatchesMultiThread) {
+  SemiTriPipeline pipeline(&world_->regions, nullptr, nullptr);
+  BatchOptions one;
+  one.num_threads = 1;
+  BatchOptions many;
+  many.num_threads = 8;
+  auto a = BatchProcessor(&pipeline, one).Process(streams_);
+  auto b = BatchProcessor(&pipeline, many).Process(streams_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].object_id, (*b)[i].object_id);
+    EXPECT_EQ((*a)[i].results.size(), (*b)[i].results.size());
+  }
+}
+
+TEST_F(BatchFixture, StoreResultsPersistsEverything) {
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois);
+  BatchProcessor batch(&pipeline);
+  auto results = batch.Process(streams_);
+  ASSERT_TRUE(results.ok());
+  store::SemanticTrajectoryStore store;
+  ASSERT_TRUE(BatchProcessor::StoreResults(*results, &store).ok());
+  size_t expected_trajectories = 0;
+  for (const auto& object : *results) {
+    expected_trajectories += object.results.size();
+  }
+  EXPECT_EQ(store.num_trajectories(), expected_trajectories);
+  EXPECT_GT(store.num_semantic_episodes(), 0u);
+}
+
+TEST(BatchProcessorTest, EmptyInput) {
+  datagen::WorldConfig wc;
+  wc.seed = 1;
+  wc.extent_meters = 1500.0;
+  wc.num_pois = 50;
+  datagen::World world = datagen::WorldGenerator(wc).Generate();
+  SemiTriPipeline pipeline(&world.regions, nullptr, nullptr);
+  BatchProcessor batch(&pipeline);
+  auto results = batch.Process({});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+}  // namespace
+}  // namespace semitri::core

@@ -1,0 +1,156 @@
+// Tests for Baum-Welch transition learning (the §4.3 "personalized
+// transition matrix" extension) and its integration with the point
+// annotator.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hmm/hmm.h"
+#include "poi/point_annotator.h"
+
+namespace semitri::hmm {
+namespace {
+
+// Samples hidden states and soft emissions from a known model. Emission
+// rows favor the true state with the given strength.
+std::vector<std::vector<double>> SampleSequence(const HmmModel& truth,
+                                                size_t length,
+                                                double emission_strength,
+                                                common::Rng& rng) {
+  const size_t n = truth.num_states();
+  std::vector<std::vector<double>> emissions;
+  size_t state = rng.Discrete(truth.initial);
+  for (size_t t = 0; t < length; ++t) {
+    std::vector<double> row(n, (1.0 - emission_strength) /
+                                   static_cast<double>(n - 1));
+    row[state] = emission_strength;
+    emissions.push_back(std::move(row));
+    state = rng.Discrete(truth.transition[state]);
+  }
+  return emissions;
+}
+
+HmmModel StickyTruth() {
+  HmmModel m;
+  m.initial = {0.7, 0.3};
+  m.transition = {{0.9, 0.1}, {0.2, 0.8}};
+  return m;
+}
+
+TEST(BaumWelchTest, RecoversStickyTransitions) {
+  common::Rng rng(5);
+  HmmModel truth = StickyTruth();
+  std::vector<std::vector<std::vector<double>>> sequences;
+  for (int s = 0; s < 60; ++s) {
+    sequences.push_back(SampleSequence(truth, 40, 0.9, rng));
+  }
+  HmmModel start;
+  start.initial = {0.5, 0.5};
+  start.transition = MakeDefaultTransition(2, 0.5);
+  auto result = BaumWelch(start, sequences);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->model.transition[0][0], 0.9, 0.05);
+  EXPECT_NEAR(result->model.transition[1][1], 0.8, 0.1);
+}
+
+TEST(BaumWelchTest, LikelihoodMonotonicallyImproves) {
+  common::Rng rng(7);
+  HmmModel truth = StickyTruth();
+  std::vector<std::vector<std::vector<double>>> sequences;
+  for (int s = 0; s < 10; ++s) {
+    sequences.push_back(SampleSequence(truth, 25, 0.85, rng));
+  }
+  HmmModel start;
+  start.initial = {0.5, 0.5};
+  start.transition = MakeDefaultTransition(2, 0.6);
+  double previous = -std::numeric_limits<double>::infinity();
+  // Run EM one iteration at a time; each step must not decrease the
+  // training likelihood (the EM guarantee, modulo smoothing epsilon).
+  HmmModel current = start;
+  for (int step = 0; step < 8; ++step) {
+    BaumWelchOptions options;
+    options.max_iterations = 1;
+    options.smoothing = 0.0;
+    auto result = BaumWelch(current, sequences, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->log_likelihood, previous - 1e-9) << "step " << step;
+    previous = result->log_likelihood;
+    current = result->model;
+  }
+}
+
+TEST(BaumWelchTest, LearnedModelIsStochastic) {
+  common::Rng rng(9);
+  HmmModel truth = StickyTruth();
+  std::vector<std::vector<std::vector<double>>> sequences = {
+      SampleSequence(truth, 30, 0.9, rng)};
+  HmmModel start;
+  start.initial = {0.5, 0.5};
+  start.transition = MakeDefaultTransition(2, 0.5);
+  auto result = BaumWelch(start, sequences);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidateModel(result->model).ok());
+}
+
+TEST(BaumWelchTest, RejectsEmptyInput) {
+  HmmModel start;
+  start.initial = {0.5, 0.5};
+  start.transition = MakeDefaultTransition(2, 0.5);
+  EXPECT_FALSE(BaumWelch(start, {}).ok());
+  std::vector<std::vector<std::vector<double>>> only_empty = {{}};
+  EXPECT_FALSE(BaumWelch(start, only_empty).ok());
+}
+
+TEST(BaumWelchTest, KeepsInitialWhenAsked) {
+  common::Rng rng(11);
+  HmmModel truth = StickyTruth();
+  std::vector<std::vector<std::vector<double>>> sequences = {
+      SampleSequence(truth, 30, 0.9, rng)};
+  HmmModel start;
+  start.initial = {0.25, 0.75};
+  start.transition = MakeDefaultTransition(2, 0.5);
+  BaumWelchOptions options;
+  options.learn_initial = false;
+  auto result = BaumWelch(start, sequences, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->model.initial[0], 0.25);
+  EXPECT_DOUBLE_EQ(result->model.initial[1], 0.75);
+}
+
+// Integration: a user who alternates feedings -> item sale stops every
+// day teaches the annotator that transition.
+TEST(BaumWelchIntegration, PointAnnotatorLearnsRoutine) {
+  common::Rng rng(13);
+  poi::PoiSet pois = poi::PoiSet::MilanCategories();
+  // Two clean clusters: feedings (1) at x=0, item sale (2) at x=2000.
+  for (int i = 0; i < 40; ++i) {
+    pois.Add({rng.Gaussian(0, 40), rng.Gaussian(0, 40)}, 1);
+    pois.Add({2000 + rng.Gaussian(0, 40), rng.Gaussian(0, 40)}, 2);
+  }
+  poi::PointAnnotator annotator(&pois);
+  double before = annotator.model().transition[1][2];
+
+  auto stop_at = [&](double x, double t) {
+    core::Episode ep;
+    ep.kind = core::EpisodeKind::kStop;
+    ep.time_in = t;
+    ep.time_out = t + 1800;
+    ep.center = {x, 0.0};
+    ep.bounds = geo::BoundingBox::FromPoint(ep.center).Inflated(20.0);
+    return ep;
+  };
+  std::vector<std::vector<core::Episode>> history;
+  for (int day = 0; day < 20; ++day) {
+    history.push_back({stop_at(0, day * 86400.0 + 43000.0),
+                       stop_at(2000, day * 86400.0 + 50000.0)});
+  }
+  auto fitted = annotator.FitTransitions(history);
+  ASSERT_TRUE(fitted.ok());
+  double after = annotator.model().transition[1][2];
+  // The lunch -> shopping transition should now dominate row 1.
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.5);
+}
+
+}  // namespace
+}  // namespace semitri::hmm

@@ -1,0 +1,315 @@
+// Tests for the synthetic-world generator and the movement simulator:
+// determinism, structural invariants, ground-truth consistency, and
+// dataset-preset shapes.
+
+#include <gtest/gtest.h>
+
+#include "datagen/movement.h"
+#include "datagen/presets.h"
+#include "datagen/world.h"
+
+namespace semitri::datagen {
+namespace {
+
+WorldConfig SmallWorld(uint64_t seed) {
+  WorldConfig c;
+  c.seed = seed;
+  c.extent_meters = 4000.0;
+  c.num_pois = 500;
+  c.num_patches = 15;
+  return c;
+}
+
+TEST(WorldGeneratorTest, DeterministicForSeed) {
+  World a = WorldGenerator(SmallWorld(5)).Generate();
+  World b = WorldGenerator(SmallWorld(5)).Generate();
+  ASSERT_EQ(a.roads.num_segments(), b.roads.num_segments());
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  ASSERT_EQ(a.pois.size(), b.pois.size());
+  for (size_t i = 0; i < a.roads.num_segments(); ++i) {
+    const auto& sa = a.roads.segment(static_cast<core::PlaceId>(i));
+    const auto& sb = b.roads.segment(static_cast<core::PlaceId>(i));
+    EXPECT_EQ(sa.shape.a, sb.shape.a);
+    EXPECT_EQ(sa.type, sb.type);
+  }
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    EXPECT_EQ(a.pois.Get(static_cast<core::PlaceId>(i)).position,
+              b.pois.Get(static_cast<core::PlaceId>(i)).position);
+  }
+}
+
+TEST(WorldGeneratorTest, DifferentSeedsDiffer) {
+  World a = WorldGenerator(SmallWorld(5)).Generate();
+  World b = WorldGenerator(SmallWorld(6)).Generate();
+  bool any_diff = false;
+  size_t n = std::min(a.pois.size(), b.pois.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a.pois.Get(static_cast<core::PlaceId>(i)).position ==
+          b.pois.Get(static_cast<core::PlaceId>(i)).position)) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorldGeneratorTest, ContainsAllRoadTypes) {
+  World world = WorldGenerator(SmallWorld(7)).Generate();
+  bool has[6] = {false, false, false, false, false, false};
+  for (const auto& seg : world.roads.segments()) {
+    has[static_cast<int>(seg.type)] = true;
+  }
+  EXPECT_TRUE(has[static_cast<int>(road::RoadType::kHighway)]);
+  EXPECT_TRUE(has[static_cast<int>(road::RoadType::kArterial)]);
+  EXPECT_TRUE(has[static_cast<int>(road::RoadType::kResidential)]);
+  EXPECT_TRUE(has[static_cast<int>(road::RoadType::kFootway)]);
+  EXPECT_TRUE(has[static_cast<int>(road::RoadType::kCycleway)]);
+  EXPECT_TRUE(has[static_cast<int>(road::RoadType::kRailMetro)]);
+}
+
+TEST(WorldGeneratorTest, LanduseCoversExtentWithCells) {
+  World world = WorldGenerator(SmallWorld(9)).Generate();
+  // 4000/100 = 40x40 cells plus 2 named polygon regions.
+  EXPECT_GE(world.regions.size(), 1600u);
+  // Every interior point is covered by at least one region.
+  common::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    geo::Point p{rng.Uniform(100, 3900), rng.Uniform(100, 3900)};
+    EXPECT_FALSE(world.regions.FindContaining(p).empty()) << p.x << "," << p.y;
+  }
+}
+
+TEST(WorldGeneratorTest, UrbanCoreIsSettlementDominated) {
+  World world = WorldGenerator(SmallWorld(11)).Generate();
+  common::Rng rng(5);
+  int settlement = 0, total = 0;
+  for (int i = 0; i < 300; ++i) {
+    geo::Point p = world.Center() +
+                   geo::Point{rng.Uniform(-800, 800), rng.Uniform(-800, 800)};
+    auto hits = world.regions.FindContaining(p);
+    if (hits.empty()) continue;
+    ++total;
+    region::LanduseGroup group =
+        region::LanduseGroupOf(world.regions.Get(hits[0]).category);
+    if (group == region::LanduseGroup::kSettlement) ++settlement;
+  }
+  ASSERT_GT(total, 200);
+  EXPECT_GT(static_cast<double>(settlement) / total, 0.7);
+}
+
+TEST(WorldGeneratorTest, PoiCategorySharesMatchMilanWeights) {
+  WorldConfig config = SmallWorld(13);
+  config.num_pois = 4000;
+  World world = WorldGenerator(config).Generate();
+  auto priors = world.pois.CategoryPriors();
+  // Milan: ~10.9%, 17.7%, 31.5%, 38.6%, 1.3%.
+  EXPECT_NEAR(priors[0], 0.109, 0.03);
+  EXPECT_NEAR(priors[1], 0.177, 0.03);
+  EXPECT_NEAR(priors[2], 0.315, 0.03);
+  EXPECT_NEAR(priors[3], 0.386, 0.03);
+  EXPECT_NEAR(priors[4], 0.013, 0.01);
+}
+
+TEST(WorldGeneratorTest, NamedRegionsExist) {
+  World world = WorldGenerator(SmallWorld(15)).Generate();
+  bool campus = false, pool = false;
+  for (size_t i = 0; i < world.regions.size(); ++i) {
+    const auto& r = world.regions.Get(static_cast<core::PlaceId>(i));
+    if (r.name == "EPFL campus") campus = true;
+    if (r.name == "swimming pool") pool = true;
+  }
+  EXPECT_TRUE(campus);
+  EXPECT_TRUE(pool);
+}
+
+TEST(WorldGeneratorTest, MetroLinesInterconnected) {
+  // Any two rail nodes must be mutually reachable via rail plus station
+  // entrances (footways): lines interchange through shared stations.
+  World world = WorldGenerator(SmallWorld(17)).Generate();
+  road::Router router(&world.roads);
+  std::vector<road::NodeId> rail_nodes;
+  for (const auto& seg : world.roads.segments()) {
+    if (seg.type == road::RoadType::kRailMetro) {
+      rail_nodes.push_back(seg.from);
+      rail_nodes.push_back(seg.to);
+    }
+  }
+  ASSERT_GE(rail_nodes.size(), 4u);
+  auto rail_or_walk = [](const road::RoadSegment& s) {
+    return s.type == road::RoadType::kRailMetro ||
+           road::IsRoadTypeWalkable(s.type);
+  };
+  auto path = router.ShortestPath(rail_nodes.front(), rail_nodes.back(),
+                                  rail_or_walk);
+  EXPECT_TRUE(path.ok());
+  // And a single line is contiguous on rail alone.
+  const auto& first_rail = *std::find_if(
+      world.roads.segments().begin(), world.roads.segments().end(),
+      [](const road::RoadSegment& s) {
+        return s.type == road::RoadType::kRailMetro;
+      });
+  auto same_line = router.ShortestPath(
+      first_rail.from, first_rail.to, road::MetroFilter());
+  EXPECT_TRUE(same_line.ok());
+}
+
+class SimulatorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<World>(
+        WorldGenerator(SmallWorld(19)).Generate());
+    sim_ = std::make_unique<MovementSimulator>(world_.get(), 23);
+  }
+  std::unique_ptr<World> world_;
+  std::unique_ptr<MovementSimulator> sim_;
+};
+
+TEST_F(SimulatorFixture, TruthParallelToPoints) {
+  SimulatedTrack track;
+  SensorProfile sensor = VehicleSensor();
+  geo::Point from = world_->RandomCorePoint(sim_->rng());
+  geo::Point to = world_->RandomCorePoint(sim_->rng());
+  auto arrival = sim_->AppendTrip(&track, from, to,
+                                  road::TransportMode::kCar, 100.0, sensor);
+  ASSERT_TRUE(arrival.ok());
+  EXPECT_EQ(track.points.size(), track.truth.size());
+  EXPECT_GT(track.points.size(), 0u);
+}
+
+TEST_F(SimulatorFixture, TimestampsStrictlyIncrease) {
+  SimulatedTrack track;
+  SensorProfile sensor = SmartphoneSensor();
+  geo::Point a = world_->RandomCorePoint(sim_->rng());
+  geo::Point b = world_->RandomCorePoint(sim_->rng());
+  double t = 0.0;
+  auto r1 = sim_->AppendTrip(&track, a, b, road::TransportMode::kBus, t,
+                             sensor);
+  ASSERT_TRUE(r1.ok());
+  sim_->AppendStop(&track, b, *r1, 1200.0, sensor);
+  auto r2 = sim_->AppendTrip(&track, b, a, road::TransportMode::kWalk,
+                             *r1 + 1200.0, sensor);
+  ASSERT_TRUE(r2.ok());
+  for (size_t i = 1; i < track.points.size(); ++i) {
+    EXPECT_GT(track.points[i].time, track.points[i - 1].time - 1e-9);
+  }
+}
+
+TEST_F(SimulatorFixture, TruthSegmentsMatchPositions) {
+  SimulatedTrack track;
+  SensorProfile sensor = VehicleSensor();
+  sensor.gps_sigma_meters = 0.0;  // no noise: positions exactly on roads
+  geo::Point from = world_->RandomCorePoint(sim_->rng());
+  geo::Point to = world_->RandomCorePoint(sim_->rng());
+  auto arrival = sim_->AppendTrip(&track, from, to,
+                                  road::TransportMode::kCar, 0.0, sensor);
+  ASSERT_TRUE(arrival.ok());
+  for (size_t i = 0; i < track.points.size(); ++i) {
+    ASSERT_NE(track.truth[i].segment, core::kInvalidPlaceId);
+    double d = world_->roads.segment(track.truth[i].segment)
+                   .shape.DistanceTo(track.points[i].position);
+    EXPECT_LT(d, 1.0) << "sample " << i;
+  }
+}
+
+TEST_F(SimulatorFixture, StopRecordsTruth) {
+  SimulatedTrack track;
+  SensorProfile sensor = SmartphoneSensor();
+  sim_->AppendStop(&track, {1000, 1000}, 50.0, 600.0, sensor, 42, 2, "shop");
+  ASSERT_EQ(track.stops.size(), 1u);
+  EXPECT_EQ(track.stops[0].poi, 42);
+  EXPECT_EQ(track.stops[0].poi_category, 2);
+  EXPECT_EQ(track.stops[0].label, "shop");
+  EXPECT_DOUBLE_EQ(track.stops[0].time_in, 50.0);
+  EXPECT_DOUBLE_EQ(track.stops[0].time_out, 650.0);
+  for (const auto& truth : track.truth) {
+    EXPECT_EQ(truth.segment, core::kInvalidPlaceId);
+    EXPECT_FALSE(truth.mode.has_value());
+  }
+}
+
+TEST_F(SimulatorFixture, ModeSpeedsAreDistinct) {
+  SensorProfile sensor = VehicleSensor();
+  sensor.gps_sigma_meters = 0.0;
+  geo::Point from = world_->Center() + geo::Point{-1200, -1200};
+  geo::Point to = world_->Center() + geo::Point{1200, 1200};
+  auto mean_speed = [&](road::TransportMode mode) {
+    SimulatedTrack track;
+    auto r = sim_->AppendTrip(&track, from, to, mode, 0.0, sensor);
+    EXPECT_TRUE(r.ok());
+    auto f = road::ComputeMotionFeatures(track.points);
+    return f.mean_speed_mps;
+  };
+  double walk = mean_speed(road::TransportMode::kWalk);
+  double bike = mean_speed(road::TransportMode::kBicycle);
+  double car = mean_speed(road::TransportMode::kCar);
+  EXPECT_LT(walk, 2.2);
+  EXPECT_GT(bike, walk);
+  EXPECT_GT(car, bike);
+}
+
+TEST_F(SimulatorFixture, RambleStaysNearAnchor) {
+  SimulatedTrack track;
+  SensorProfile sensor = SmartphoneSensor();
+  geo::Point anchor{2000, 2000};
+  double end = sim_->AppendRamble(&track, anchor, 300.0, 0.0, 1800.0, sensor);
+  EXPECT_NEAR(end, 1800.0, 2.0);
+  EXPECT_GT(track.points.size(), 50u);
+  for (const auto& p : track.points) {
+    EXPECT_LT(p.position.DistanceTo(anchor), 300.0 * 1.6 + 50.0);
+  }
+}
+
+TEST(DatasetFactoryTest, TaxiPresetShape) {
+  World world = WorldGenerator(SmallWorld(21)).Generate();
+  DatasetFactory factory(&world, 3);
+  Dataset taxis = factory.LausanneTaxis(/*num_taxis=*/2, /*num_days=*/2,
+                                        /*shift_hours=*/2.0);
+  EXPECT_EQ(taxis.tracks.size(), 2u);
+  EXPECT_GT(taxis.TotalRecords(), 5000u);  // 1 s sampling
+  EXPECT_GT(taxis.TotalStops(), 4u);
+  EXPECT_EQ(taxis.name, "lausanne_taxis");
+}
+
+TEST(DatasetFactoryTest, MilanPresetStopsAtPois) {
+  World world = WorldGenerator(SmallWorld(23)).Generate();
+  DatasetFactory factory(&world, 5);
+  Dataset cars = factory.MilanPrivateCars(/*num_cars=*/5, /*num_days=*/3);
+  EXPECT_EQ(cars.tracks.size(), 5u);
+  size_t poi_stops = 0;
+  for (const auto& track : cars.tracks) {
+    for (const auto& stop : track.stops) {
+      if (stop.poi != core::kInvalidPlaceId) {
+        ++poi_stops;
+        EXPECT_EQ(world.pois.Get(stop.poi).category, stop.poi_category);
+      }
+    }
+  }
+  EXPECT_GT(poi_stops, 10u);
+}
+
+TEST(DatasetFactoryTest, PeoplePresetDistinctUsers) {
+  World world = WorldGenerator(SmallWorld(25)).Generate();
+  DatasetFactory factory(&world, 7);
+  Dataset people = factory.NokiaPeople(/*num_users=*/3, /*num_days=*/3);
+  ASSERT_EQ(people.tracks.size(), 3u);
+  for (const auto& track : people.tracks) {
+    EXPECT_GT(track.points.size(), 100u);
+    EXPECT_GT(track.stops.size(), 3u);  // at least home/work dwells
+  }
+}
+
+TEST(DatasetFactoryTest, DeterministicForSeed) {
+  World world = WorldGenerator(SmallWorld(27)).Generate();
+  DatasetFactory f1(&world, 9);
+  DatasetFactory f2(&world, 9);
+  Dataset a = f1.SeattleDrive(0.2);
+  Dataset b = f2.SeattleDrive(0.2);
+  ASSERT_EQ(a.TotalRecords(), b.TotalRecords());
+  for (size_t i = 0; i < a.tracks[0].points.size(); ++i) {
+    EXPECT_EQ(a.tracks[0].points[i].position,
+              b.tracks[0].points[i].position);
+  }
+}
+
+}  // namespace
+}  // namespace semitri::datagen

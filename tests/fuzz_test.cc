@@ -1,0 +1,199 @@
+// Randomized stress tests ("fuzz-style", deterministic seeds):
+//   * R*-tree under interleaved inserts/removes vs a brute-force oracle;
+//   * preprocessing + segmentation on adversarial GPS streams;
+//   * store round-trips on randomized content.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/rstar_tree.h"
+#include "store/semantic_trajectory_store.h"
+#include "traj/preprocess.h"
+#include "traj/segmentation.h"
+
+namespace semitri {
+namespace {
+
+using geo::BoundingBox;
+using geo::Point;
+
+class RStarFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RStarFuzz, InterleavedInsertRemoveMatchesOracle) {
+  common::Rng rng(GetParam());
+  index::RStarTree<int> tree(6);
+  std::map<int, BoundingBox> oracle;
+  int next_id = 0;
+  for (int op = 0; op < 3000; ++op) {
+    double dice = rng.Uniform(0.0, 1.0);
+    if (dice < 0.6 || oracle.empty()) {
+      Point min{rng.Uniform(0, 500), rng.Uniform(0, 500)};
+      BoundingBox box(min, min + Point{rng.Uniform(0, 10),
+                                       rng.Uniform(0, 10)});
+      tree.Insert(box, next_id);
+      oracle[next_id] = box;
+      ++next_id;
+    } else {
+      // Remove a random live entry.
+      auto it = oracle.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<int64_t>(
+                                             oracle.size()) - 1));
+      ASSERT_TRUE(tree.Remove(it->second, it->first));
+      oracle.erase(it);
+    }
+    if (op % 250 == 0) {
+      ASSERT_EQ(tree.size(), oracle.size());
+      Point min{rng.Uniform(0, 500), rng.Uniform(0, 500)};
+      BoundingBox query(min, min + Point{50, 50});
+      std::vector<int> got = tree.Query(query);
+      std::sort(got.begin(), got.end());
+      std::vector<int> expected;
+      for (const auto& [id, box] : oracle) {
+        if (box.Intersects(query)) expected.push_back(id);
+      }
+      ASSERT_EQ(got, expected) << "op " << op;
+    }
+  }
+  // Final sweep: every live entry findable, every removed entry gone.
+  for (const auto& [id, box] : oracle) {
+    std::vector<int> hits = tree.Query(box);
+    EXPECT_NE(std::find(hits.begin(), hits.end(), id), hits.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RStarFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(PipelineRobustness, AdversarialGpsStreams) {
+  // Streams with duplicates, out-of-order stamps, teleports, and
+  // constant positions must never crash the computation layer and must
+  // keep its output invariants.
+  common::Rng rng(99);
+  traj::Preprocessor preprocessor;
+  traj::StopMoveSegmenter segmenter;
+  for (int trial = 0; trial < 50; ++trial) {
+    core::RawTrajectory t;
+    double time = 0.0;
+    int n = static_cast<int>(rng.UniformInt(0, 400));
+    for (int i = 0; i < n; ++i) {
+      core::GpsPoint p;
+      double dice = rng.Uniform(0, 1);
+      if (dice < 0.05) {
+        time -= rng.Uniform(0, 5);  // clock glitch
+      } else if (dice < 0.1) {
+        time += rng.Uniform(100, 2000);  // gap
+      } else {
+        time += rng.Uniform(0.5, 30);
+      }
+      if (rng.Bernoulli(0.03)) {
+        p.position = {rng.Uniform(-1e6, 1e6), rng.Uniform(-1e6, 1e6)};
+      } else {
+        p.position = {rng.Gaussian(0, 200), rng.Gaussian(0, 200)};
+      }
+      p.time = time;
+      t.points.push_back(p);
+    }
+    core::RawTrajectory cleaned = preprocessor.Clean(t);
+    // Cleaned stream is strictly time-ordered.
+    for (size_t i = 1; i < cleaned.points.size(); ++i) {
+      EXPECT_GT(cleaned.points[i].time, cleaned.points[i - 1].time);
+    }
+    std::vector<core::Episode> episodes = segmenter.Segment(cleaned);
+    // Episodes partition the cleaned points.
+    size_t covered = 0;
+    size_t expected_begin = 0;
+    for (const core::Episode& ep : episodes) {
+      EXPECT_EQ(ep.begin, expected_begin);
+      EXPECT_GT(ep.end, ep.begin);
+      EXPECT_LE(ep.time_in, ep.time_out);
+      covered += ep.num_points();
+      expected_begin = ep.end;
+    }
+    EXPECT_EQ(covered, cleaned.points.size());
+  }
+}
+
+TEST(StoreRobustness, LoadRejectsCorruptRows) {
+  namespace fs = std::filesystem;
+  std::string dir = (fs::temp_directory_path() / "semitri_corrupt").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto write = [&](const std::string& name, const std::string& content) {
+    std::ofstream out(dir + "/" + name);
+    out << content;
+  };
+  write("gps.csv", "object_id,trajectory_id,x,y,t\n1,2,3.0\n");  // short row
+  write("episodes.csv",
+        "trajectory_id,index,kind,begin,end,time_in,time_out,center_x,"
+        "center_y,min_x,min_y,max_x,max_y\n");
+  write("semantic_episodes.csv",
+        "object_id,trajectory_id,interpretation,index,kind,place_kind,"
+        "place_id,time_in,time_out,annotations\n");
+  store::SemanticTrajectoryStore store;
+  common::Status status = store.LoadCsv(dir);
+  EXPECT_EQ(status.code(), common::StatusCode::kCorruption);
+  fs::remove_all(dir);
+}
+
+TEST(StoreRobustness, RandomizedRoundTrips) {
+  namespace fs = std::filesystem;
+  common::Rng rng(123);
+  std::string dir =
+      (fs::temp_directory_path() / "semitri_fuzz_store").string();
+  for (int trial = 0; trial < 5; ++trial) {
+    fs::remove_all(dir);
+    store::SemanticTrajectoryStore store;
+    size_t expected_records = 0, expected_semantic = 0;
+    int num_trajectories = static_cast<int>(rng.UniformInt(1, 6));
+    for (int t = 0; t < num_trajectories; ++t) {
+      core::RawTrajectory raw;
+      raw.id = t;
+      raw.object_id = t % 3;
+      int n = static_cast<int>(rng.UniformInt(1, 50));
+      double time = 0.0;
+      for (int i = 0; i < n; ++i) {
+        time += rng.Uniform(1, 60);
+        raw.points.push_back({{rng.Uniform(-1e4, 1e4),
+                               rng.Uniform(-1e4, 1e4)},
+                              time});
+      }
+      expected_records += raw.points.size();
+      ASSERT_TRUE(store.PutRawTrajectory(raw).ok());
+      core::StructuredSemanticTrajectory sst;
+      sst.trajectory_id = t;
+      sst.object_id = raw.object_id;
+      sst.interpretation = "region";
+      int m = static_cast<int>(rng.UniformInt(0, 10));
+      for (int e = 0; e < m; ++e) {
+        core::SemanticEpisode ep;
+        ep.kind = rng.Bernoulli(0.5) ? core::EpisodeKind::kStop
+                                     : core::EpisodeKind::kMove;
+        ep.time_in = e * 100.0;
+        ep.time_out = e * 100.0 + 50.0;
+        ep.place = {core::PlaceKind::kRegion, rng.UniformInt(-1, 100)};
+        if (rng.Bernoulli(0.7)) {
+          ep.AddAnnotation("landuse", "1.2");
+        }
+        sst.episodes.push_back(ep);
+      }
+      expected_semantic += sst.episodes.size();
+      ASSERT_TRUE(store.PutInterpretation(sst).ok());
+    }
+    ASSERT_TRUE(store.SaveCsv(dir).ok());
+    store::SemanticTrajectoryStore loaded;
+    ASSERT_TRUE(loaded.LoadCsv(dir).ok());
+    EXPECT_EQ(loaded.num_gps_records(), expected_records);
+    EXPECT_EQ(loaded.num_semantic_episodes(), expected_semantic);
+    EXPECT_EQ(loaded.num_trajectories(),
+              static_cast<size_t>(num_trajectories));
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace semitri

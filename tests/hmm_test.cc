@@ -1,0 +1,230 @@
+// Tests for the HMM module: model validation, Viterbi decoding against
+// hand-computed cases, consistency with the forward algorithm.
+
+#include "hmm/hmm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace semitri::hmm {
+namespace {
+
+HmmModel TwoStateModel() {
+  HmmModel m;
+  m.initial = {0.6, 0.4};
+  m.transition = {{0.7, 0.3}, {0.4, 0.6}};
+  return m;
+}
+
+TEST(HmmModelTest, ValidatesShapes) {
+  HmmModel m = TwoStateModel();
+  EXPECT_TRUE(ValidateModel(m).ok());
+
+  HmmModel bad = m;
+  bad.transition[0] = {0.5, 0.4};  // sums to 0.9
+  EXPECT_FALSE(ValidateModel(bad).ok());
+
+  bad = m;
+  bad.initial = {0.5, 0.4, 0.1};
+  EXPECT_FALSE(ValidateModel(bad).ok());
+
+  bad = m;
+  bad.initial = {1.5, -0.5};
+  EXPECT_FALSE(ValidateModel(bad).ok());
+
+  HmmModel empty;
+  EXPECT_FALSE(ValidateModel(empty).ok());
+}
+
+TEST(HmmModelTest, DefaultTransitionIsStochastic) {
+  auto a = MakeDefaultTransition(5, 0.8);
+  ASSERT_EQ(a.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_GE(a[i][j], 0.0);
+      row_sum += a[i][j];
+      if (i == j) EXPECT_DOUBLE_EQ(a[i][j], 0.8);
+      else EXPECT_DOUBLE_EQ(a[i][j], 0.05);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+  auto single = MakeDefaultTransition(1, 0.8);
+  EXPECT_DOUBLE_EQ(single[0][0], 1.0);
+}
+
+TEST(ViterbiTest, EmptyObservationSequence) {
+  auto result = Viterbi(TwoStateModel(), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->states.empty());
+}
+
+TEST(ViterbiTest, SingleObservationPicksMaxPosterior) {
+  HmmModel m = TwoStateModel();
+  // Emission strongly favors state 1.
+  auto result = Viterbi(m, {{0.1, 0.9}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->states.size(), 1u);
+  EXPECT_EQ(result->states[0], 1u);
+  // 0.6*0.1 = 0.06 < 0.4*0.9 = 0.36.
+  EXPECT_NEAR(result->log_probability, std::log(0.36), 1e-9);
+}
+
+TEST(ViterbiTest, HandComputedThreeSteps) {
+  // Classic umbrella-world-style check, hand-solved.
+  HmmModel m;
+  m.initial = {0.5, 0.5};
+  m.transition = {{0.9, 0.1}, {0.1, 0.9}};
+  // Observations favor state 0, then 0, then 1.
+  std::vector<std::vector<double>> emissions = {
+      {0.8, 0.2}, {0.8, 0.2}, {0.2, 0.8}};
+  auto result = Viterbi(m, emissions);
+  ASSERT_TRUE(result.ok());
+  // delta1 = {.4, .1}; delta2 = {.4*.9*.8=.288, .4*.1*.2=.008};
+  // delta3: state0 = .288*.9*.2=.05184, state1 = .288*.1*.8=.02304
+  // -> best path stays in state 0 throughout.
+  EXPECT_EQ(result->states, (std::vector<size_t>{0, 0, 0}));
+  EXPECT_NEAR(result->log_probability, std::log(0.05184), 1e-9);
+}
+
+TEST(ViterbiTest, StickyTransitionsSmoothNoisyEmissions) {
+  // With highly sticky states, one outlier observation does not flip
+  // the decoded state — the motivation for the HMM over per-stop
+  // nearest-POI in §4.3.
+  HmmModel m;
+  m.initial = {0.5, 0.5};
+  m.transition = {{0.95, 0.05}, {0.05, 0.95}};
+  std::vector<std::vector<double>> emissions = {
+      {0.9, 0.1}, {0.9, 0.1}, {0.45, 0.55}, {0.9, 0.1}, {0.9, 0.1}};
+  auto result = Viterbi(m, emissions);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->states, (std::vector<size_t>{0, 0, 0, 0, 0}));
+}
+
+TEST(ViterbiTest, AllZeroEmissionRowTreatedUniform) {
+  HmmModel m = TwoStateModel();
+  auto result = Viterbi(m, {{0.9, 0.1}, {0.0, 0.0}, {0.9, 0.1}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->states.size(), 3u);
+  EXPECT_EQ(result->states[1], 0u);  // carried by transitions
+}
+
+TEST(ViterbiTest, RejectsBadEmissionShape) {
+  auto result = Viterbi(TwoStateModel(), {{0.5, 0.4, 0.1}});
+  EXPECT_FALSE(result.ok());
+  auto neg = Viterbi(TwoStateModel(), {{0.5, -0.1}});
+  EXPECT_FALSE(neg.ok());
+}
+
+TEST(ForwardTest, MatchesDirectEnumerationSmallCase) {
+  HmmModel m = TwoStateModel();
+  std::vector<std::vector<double>> emissions = {{0.8, 0.2}, {0.3, 0.7}};
+  // Direct: sum over 4 paths.
+  double total = 0.0;
+  for (int s0 = 0; s0 < 2; ++s0) {
+    for (int s1 = 0; s1 < 2; ++s1) {
+      total += m.initial[s0] * emissions[0][s0] * m.transition[s0][s1] *
+               emissions[1][s1];
+    }
+  }
+  auto ll = ForwardLogLikelihood(m, emissions);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_NEAR(*ll, std::log(total), 1e-12);
+}
+
+TEST(ForwardTest, ViterbiPathNeverBeatsTotalLikelihood) {
+  common::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t num_states = static_cast<size_t>(rng.UniformInt(2, 5));
+    HmmModel m;
+    m.initial.resize(num_states);
+    double sum = 0.0;
+    for (double& p : m.initial) {
+      p = rng.Uniform(0.01, 1.0);
+      sum += p;
+    }
+    for (double& p : m.initial) p /= sum;
+    m.transition.resize(num_states);
+    for (auto& row : m.transition) {
+      row.resize(num_states);
+      double row_sum = 0.0;
+      for (double& p : row) {
+        p = rng.Uniform(0.01, 1.0);
+        row_sum += p;
+      }
+      for (double& p : row) p /= row_sum;
+    }
+    size_t t_len = static_cast<size_t>(rng.UniformInt(1, 12));
+    std::vector<std::vector<double>> emissions(
+        t_len, std::vector<double>(num_states));
+    for (auto& row : emissions) {
+      for (double& e : row) e = rng.Uniform(0.0, 1.0);
+    }
+    auto viterbi = Viterbi(m, emissions);
+    auto forward = ForwardLogLikelihood(m, emissions);
+    ASSERT_TRUE(viterbi.ok());
+    ASSERT_TRUE(forward.ok());
+    EXPECT_LE(viterbi->log_probability, *forward + 1e-9);
+    EXPECT_EQ(viterbi->states.size(), t_len);
+  }
+}
+
+TEST(ViterbiTest, LongSequenceNoUnderflow) {
+  // 5,000 observations would underflow a probability-space
+  // implementation; log space must survive.
+  HmmModel m = TwoStateModel();
+  std::vector<std::vector<double>> emissions(5000, {1e-5, 2e-5});
+  auto result = Viterbi(m, emissions);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result->log_probability));
+  EXPECT_EQ(result->states.size(), 5000u);
+}
+
+
+TEST(PosteriorTest, RowsAreDistributions) {
+  HmmModel m = TwoStateModel();
+  auto gamma = PosteriorDecode(m, {{0.8, 0.2}, {0.1, 0.9}, {0.5, 0.5}});
+  ASSERT_TRUE(gamma.ok());
+  ASSERT_EQ(gamma->size(), 3u);
+  for (const auto& row : *gamma) {
+    double sum = 0.0;
+    for (double g : row) {
+      EXPECT_GE(g, 0.0);
+      sum += g;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(PosteriorTest, MatchesDirectEnumerationSmallCase) {
+  HmmModel m = TwoStateModel();
+  std::vector<std::vector<double>> emissions = {{0.8, 0.2}, {0.3, 0.7}};
+  // gamma_0(i) = sum_j pi_i b_i(0) A_ij b_j(1) / Z.
+  double z = 0.0;
+  double g00 = 0.0, g01 = 0.0;
+  for (int s0 = 0; s0 < 2; ++s0) {
+    for (int s1 = 0; s1 < 2; ++s1) {
+      double p = m.initial[s0] * emissions[0][s0] * m.transition[s0][s1] *
+                 emissions[1][s1];
+      z += p;
+      if (s0 == 0) g00 += p;
+      if (s1 == 0) g01 += p;
+    }
+  }
+  auto gamma = PosteriorDecode(m, emissions);
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_NEAR((*gamma)[0][0], g00 / z, 1e-12);
+  EXPECT_NEAR((*gamma)[1][0], g01 / z, 1e-12);
+}
+
+TEST(PosteriorTest, EmptySequence) {
+  auto gamma = PosteriorDecode(TwoStateModel(), {});
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_TRUE(gamma->empty());
+}
+
+}  // namespace
+}  // namespace semitri::hmm

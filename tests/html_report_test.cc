@@ -1,0 +1,114 @@
+// Tests for the HTML/SVG report writer.
+
+#include "export/html_report.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace semitri::export_ {
+namespace {
+
+core::PipelineResult SmallResult() {
+  core::PipelineResult result;
+  for (int i = 0; i < 20; ++i) {
+    result.cleaned.points.push_back(
+        {{i * 10.0, i * 5.0}, static_cast<double>(i * 10)});
+  }
+  core::Episode stop;
+  stop.kind = core::EpisodeKind::kStop;
+  stop.begin = 0;
+  stop.end = 5;
+  stop.time_in = 0;
+  stop.time_out = 40;
+  stop.center = {20, 10};
+  core::Episode move;
+  move.kind = core::EpisodeKind::kMove;
+  move.begin = 5;
+  move.end = 20;
+  move.time_in = 50;
+  move.time_out = 190;
+  result.episodes = {stop, move};
+
+  core::StructuredSemanticTrajectory line;
+  line.interpretation = "line";
+  core::SemanticEpisode ep;
+  ep.kind = core::EpisodeKind::kMove;
+  ep.time_in = 50;
+  ep.time_out = 190;
+  ep.source_episode = 1;
+  ep.AddAnnotation("transport_mode", "metro");
+  line.episodes.push_back(ep);
+  result.line_layer = line;
+  return result;
+}
+
+TEST(HtmlReportTest, MapPanelContainsSvgElements) {
+  HtmlReportWriter report("test");
+  report.AddTrajectoryMap(SmallResult(), "my map");
+  std::string html = report.ToString();
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("<polyline"), std::string::npos);
+  EXPECT_NE(html.find("<circle"), std::string::npos);  // the stop
+  // Metro-colored run present.
+  EXPECT_NE(html.find(ModeColor("metro")), std::string::npos);
+  EXPECT_NE(html.find("my map"), std::string::npos);
+}
+
+TEST(HtmlReportTest, TimelineTableRendersRows) {
+  HtmlReportWriter report("test");
+  std::vector<analytics::TimelineEntry> timeline = {
+      {core::EpisodeKind::kStop, 0, 3600, "home", ""},
+      {core::EpisodeKind::kMove, 3600, 4000, "road", "walk & <metro>"},
+  };
+  report.AddTimelineTable(timeline, "day");
+  std::string html = report.ToString();
+  EXPECT_NE(html.find("<td>home</td>"), std::string::npos);
+  EXPECT_NE(html.find("walk &amp; &lt;metro&gt;"), std::string::npos);
+  EXPECT_NE(html.find("<td>00:00 - 01:00</td>"), std::string::npos);
+  // Empty annotation renders as "-".
+  EXPECT_NE(html.find("<td>-</td>"), std::string::npos);
+}
+
+TEST(HtmlReportTest, DistributionChartBars) {
+  HtmlReportWriter report("test");
+  analytics::LabeledDistribution dist;
+  dist.Add("walk", 75);
+  dist.Add("metro", 25);
+  report.AddDistributionChart(dist, "modes");
+  std::string html = report.ToString();
+  EXPECT_NE(html.find("75.0%"), std::string::npos);
+  EXPECT_NE(html.find("25.0%"), std::string::npos);
+  EXPECT_NE(html.find("width:300.0px"), std::string::npos);  // 0.75*400
+}
+
+TEST(HtmlReportTest, WellFormedDocument) {
+  HtmlReportWriter report("A & B <report>");
+  std::string html = report.ToString();
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("A &amp; B &lt;report&gt;"), std::string::npos);
+}
+
+TEST(HtmlReportTest, WriteFile) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "semitri_report_test.html").string();
+  fs::remove(path);
+  HtmlReportWriter report("t");
+  report.AddTrajectoryMap(SmallResult(), "m");
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  EXPECT_GT(fs::file_size(path), 500u);
+  fs::remove(path);
+  EXPECT_FALSE(report.WriteFile("/nonexistent/x.html").ok());
+}
+
+TEST(HtmlReportTest, EmptyTrajectoryDoesNotCrash) {
+  HtmlReportWriter report("t");
+  core::PipelineResult empty;
+  report.AddTrajectoryMap(empty, "empty");
+  EXPECT_NE(report.ToString().find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semitri::export_

@@ -1,0 +1,124 @@
+// Tests for raw-trajectory identification: gap splitting, daily
+// periods, minimum-size filters.
+
+#include "traj/identification.h"
+
+#include <gtest/gtest.h>
+
+namespace semitri::traj {
+namespace {
+
+std::vector<core::GpsPoint> MakeStream(
+    const std::vector<double>& times) {
+  std::vector<core::GpsPoint> out;
+  for (size_t i = 0; i < times.size(); ++i) {
+    out.push_back({{static_cast<double>(i), 0.0}, times[i]});
+  }
+  return out;
+}
+
+IdentificationConfig Permissive() {
+  IdentificationConfig c;
+  c.min_points = 1;
+  c.min_duration_seconds = 0.0;
+  c.period_seconds = 0.0;
+  return c;
+}
+
+TEST(IdentificationTest, SplitsAtGaps) {
+  IdentificationConfig config = Permissive();
+  config.max_gap_seconds = 100.0;
+  TrajectoryIdentifier ident(config);
+  auto trajectories =
+      ident.Identify(1, MakeStream({0, 10, 20, 500, 510, 520}));
+  ASSERT_EQ(trajectories.size(), 2u);
+  EXPECT_EQ(trajectories[0].size(), 3u);
+  EXPECT_EQ(trajectories[1].size(), 3u);
+  EXPECT_EQ(trajectories[0].id, 0);
+  EXPECT_EQ(trajectories[1].id, 1);
+}
+
+TEST(IdentificationTest, SplitsAtDayBoundary) {
+  IdentificationConfig config = Permissive();
+  config.max_gap_seconds = 0.0;  // gap splitting off
+  config.period_seconds = 86400.0;
+  TrajectoryIdentifier ident(config);
+  auto trajectories = ident.Identify(
+      1, MakeStream({86300, 86350, 86450, 86500}));
+  ASSERT_EQ(trajectories.size(), 2u);
+  EXPECT_EQ(trajectories[0].size(), 2u);
+  EXPECT_EQ(trajectories[1].size(), 2u);
+}
+
+TEST(IdentificationTest, FiltersShortTrajectories) {
+  IdentificationConfig config = Permissive();
+  config.max_gap_seconds = 100.0;
+  config.min_points = 3;
+  TrajectoryIdentifier ident(config);
+  auto trajectories =
+      ident.Identify(1, MakeStream({0, 10, 500, 510, 520, 530}));
+  ASSERT_EQ(trajectories.size(), 1u);
+  EXPECT_EQ(trajectories[0].size(), 4u);
+}
+
+TEST(IdentificationTest, FiltersByDuration) {
+  IdentificationConfig config = Permissive();
+  config.max_gap_seconds = 100.0;
+  config.min_duration_seconds = 50.0;
+  TrajectoryIdentifier ident(config);
+  // First chunk lasts 20 s, second 60 s.
+  auto trajectories =
+      ident.Identify(1, MakeStream({0, 10, 20, 500, 530, 560}));
+  ASSERT_EQ(trajectories.size(), 1u);
+  EXPECT_DOUBLE_EQ(trajectories[0].StartTime(), 500.0);
+}
+
+TEST(IdentificationTest, AssignsObjectAndSequentialIds) {
+  IdentificationConfig config = Permissive();
+  config.max_gap_seconds = 50.0;
+  TrajectoryIdentifier ident(config);
+  auto trajectories = ident.Identify(
+      42, MakeStream({0, 10, 200, 210, 400, 410}), /*first_id=*/100);
+  ASSERT_EQ(trajectories.size(), 3u);
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    EXPECT_EQ(trajectories[i].object_id, 42);
+    EXPECT_EQ(trajectories[i].id, 100 + static_cast<int64_t>(i));
+  }
+}
+
+TEST(IdentificationTest, EmptyStream) {
+  TrajectoryIdentifier ident(Permissive());
+  EXPECT_TRUE(ident.Identify(1, {}).empty());
+}
+
+TEST(IdentificationTest, DefaultsProduceDailyTrajectories) {
+  // A stream spanning three days with continuous 60 s sampling splits
+  // into three daily trajectories under the default config.
+  std::vector<core::GpsPoint> stream;
+  for (double t = 0; t < 3 * 86400.0; t += 60.0) {
+    stream.push_back({{t * 0.1, 0.0}, t});
+  }
+  TrajectoryIdentifier ident;
+  auto trajectories = ident.Identify(1, stream);
+  EXPECT_EQ(trajectories.size(), 3u);
+}
+
+
+TEST(IdentificationTest, SplitsAtSpatialJumps) {
+  IdentificationConfig config = Permissive();
+  config.max_gap_seconds = 0.0;
+  config.max_spatial_gap_meters = 100.0;
+  TrajectoryIdentifier ident(config);
+  std::vector<core::GpsPoint> stream = {
+      {{0, 0}, 0},  {{10, 0}, 10},  {{20, 0}, 20},
+      {{5000, 0}, 30},  // teleport: receiver was off on a train
+      {{5010, 0}, 40}, {{5020, 0}, 50},
+  };
+  auto trajectories = ident.Identify(1, stream);
+  ASSERT_EQ(trajectories.size(), 2u);
+  EXPECT_EQ(trajectories[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(trajectories[1].points[0].position.x, 5000.0);
+}
+
+}  // namespace
+}  // namespace semitri::traj

@@ -1,0 +1,125 @@
+// Tests for the KML exporter (the web-interface data product).
+
+#include "export/kml_writer.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace semitri::export_ {
+namespace {
+
+geo::LocalProjection Lausanne() { return geo::LocalProjection({46.52, 6.63}); }
+
+core::RawTrajectory SmallTrajectory() {
+  core::RawTrajectory t;
+  t.id = 1;
+  for (int i = 0; i < 5; ++i) {
+    t.points.push_back({{i * 100.0, i * 50.0}, i * 10.0});
+  }
+  return t;
+}
+
+TEST(KmlWriterTest, DocumentSkeleton) {
+  KmlWriter writer(Lausanne());
+  std::string kml = writer.ToString();
+  EXPECT_NE(kml.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(kml.find("<kml xmlns"), std::string::npos);
+  EXPECT_NE(kml.find("</Document>"), std::string::npos);
+}
+
+TEST(KmlWriterTest, TrajectoryBecomesLineString) {
+  KmlWriter writer(Lausanne());
+  writer.AddTrajectory(SmallTrajectory(), "my trace");
+  std::string kml = writer.ToString();
+  EXPECT_NE(kml.find("<LineString>"), std::string::npos);
+  EXPECT_NE(kml.find("<name>my trace</name>"), std::string::npos);
+  // Coordinates around the reference point (lon ~6.63, lat ~46.52).
+  EXPECT_NE(kml.find("6.63"), std::string::npos);
+  EXPECT_NE(kml.find("46.52"), std::string::npos);
+}
+
+TEST(KmlWriterTest, StopsBecomePoints) {
+  KmlWriter writer(Lausanne());
+  core::RawTrajectory t = SmallTrajectory();
+  core::Episode stop;
+  stop.kind = core::EpisodeKind::kStop;
+  stop.begin = 0;
+  stop.end = 2;
+  stop.time_in = 0;
+  stop.time_out = 10;
+  stop.center = {50, 25};
+  core::Episode move = stop;
+  move.kind = core::EpisodeKind::kMove;
+  writer.AddStops(t, {stop, move, stop});
+  std::string kml = writer.ToString();
+  EXPECT_NE(kml.find("<name>stop 0</name>"), std::string::npos);
+  EXPECT_NE(kml.find("<name>stop 1</name>"), std::string::npos);
+  EXPECT_EQ(kml.find("<name>stop 2</name>"), std::string::npos);
+}
+
+TEST(KmlWriterTest, SemanticEpisodesCarryAnnotations) {
+  KmlWriter writer(Lausanne());
+  core::StructuredSemanticTrajectory t;
+  t.interpretation = "line";
+  core::SemanticEpisode ep;
+  ep.kind = core::EpisodeKind::kMove;
+  ep.time_in = 0;
+  ep.time_out = 60;
+  ep.AddAnnotation("transport_mode", "metro");
+  ep.AddAnnotation("road_name", "M1 <east>");
+  t.episodes.push_back(ep);
+  writer.AddSemanticEpisodes(t, {{10, 10}});
+  std::string kml = writer.ToString();
+  EXPECT_NE(kml.find("transport_mode=metro"), std::string::npos);
+  // XML escaping.
+  EXPECT_NE(kml.find("M1 &lt;east&gt;"), std::string::npos);
+  EXPECT_EQ(kml.find("<east>"), std::string::npos);
+}
+
+TEST(KmlWriterTest, WritesFile) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "semitri_test.kml").string();
+  fs::remove(path);
+  KmlWriter writer(Lausanne());
+  writer.AddTrajectory(SmallTrajectory(), "t");
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, writer.ToString());
+  fs::remove(path);
+}
+
+TEST(KmlWriterTest, WriteFileFailsOnBadPath) {
+  KmlWriter writer(Lausanne());
+  EXPECT_EQ(writer.WriteFile("/nonexistent/dir/x.kml").code(),
+            common::StatusCode::kIoError);
+}
+
+
+TEST(KmlWriterTest, SimplifiedTrajectoryHasFewerCoordinates) {
+  KmlWriter full(Lausanne());
+  KmlWriter simplified(Lausanne());
+  core::RawTrajectory t;
+  // Straight line with tiny noise: simplification collapses it.
+  for (int i = 0; i < 100; ++i) {
+    t.points.push_back({{i * 10.0, (i % 2) * 0.5}, i * 1.0});
+  }
+  full.AddTrajectory(t, "full");
+  simplified.AddTrajectory(t, "simplified", /*simplify_tolerance_meters=*/5.0);
+  auto count_coords = [](const std::string& kml) {
+    size_t n = 0;
+    for (char c : kml) {
+      if (c == ',') ++n;
+    }
+    return n;
+  };
+  EXPECT_LT(count_coords(simplified.ToString()),
+            count_coords(full.ToString()) / 10);
+}
+
+}  // namespace
+}  // namespace semitri::export_

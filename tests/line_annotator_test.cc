@@ -1,0 +1,153 @@
+// Tests for the Semantic Line Annotation Layer: run grouping, mode
+// annotation, and multimodal trips (the Fig. 15 walk–metro–walk case).
+
+#include "road/line_annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/movement.h"
+#include "datagen/world.h"
+#include "traj/segmentation.h"
+
+namespace semitri::road {
+namespace {
+
+// A straight two-segment street; trace walks segment 0 then rides
+// segment 1 (faster).
+RoadNetwork TwoSegmentStreet() {
+  RoadNetwork net;
+  NodeId a = net.AddNode({0, 0});
+  NodeId b = net.AddNode({300, 0});
+  NodeId c = net.AddNode({1300, 0});
+  net.AddSegment(a, b, RoadType::kResidential, "walkway");
+  net.AddSegment(b, c, RoadType::kRailMetro, "M1");
+  return net;
+}
+
+std::vector<core::GpsPoint> WalkThenRide(uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<core::GpsPoint> points;
+  double t = 0.0;
+  // Walk 0..300 at 1.4 m/s.
+  for (double x = 0.0; x < 300.0; x += 1.4 * 5.0) {  // 5 s sampling
+    points.push_back({{x + rng.Gaussian(0, 3), rng.Gaussian(0, 3)}, t});
+    t += 5.0;
+  }
+  // Ride 300..1300 at 13 m/s.
+  for (double x = 300.0; x < 1300.0; x += 13.0 * 5.0) {
+    points.push_back({{x + rng.Gaussian(0, 3), rng.Gaussian(0, 3)}, t});
+    t += 5.0;
+  }
+  return points;
+}
+
+TEST(LineAnnotatorTest, GroupsRunsAndInfersModes) {
+  RoadNetwork net = TwoSegmentStreet();
+  LineAnnotator annotator(&net);
+  auto points = WalkThenRide(3);
+  auto episodes = annotator.AnnotateMove(points, /*source_episode=*/7);
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].place.id, 0);
+  EXPECT_EQ(episodes[0].FindAnnotation("transport_mode"), "walk");
+  EXPECT_EQ(episodes[0].FindAnnotation("road_name"), "walkway");
+  EXPECT_EQ(episodes[0].source_episode, 7u);
+  EXPECT_EQ(episodes[1].place.id, 1);
+  EXPECT_EQ(episodes[1].FindAnnotation("transport_mode"), "metro");
+  EXPECT_EQ(episodes[1].FindAnnotation("road_type"), "rail_metro");
+  // Time continuity.
+  EXPECT_LT(episodes[0].time_out, episodes[1].time_in + 1e-9);
+  EXPECT_EQ(episodes[0].place.kind, core::PlaceKind::kLine);
+}
+
+TEST(LineAnnotatorTest, AnnotateProcessesOnlyMoveEpisodes) {
+  RoadNetwork net = TwoSegmentStreet();
+  LineAnnotator annotator(&net);
+  core::RawTrajectory t;
+  t.id = 9;
+  auto points = WalkThenRide(5);
+  t.points = points;
+  core::Episode stop;
+  stop.kind = core::EpisodeKind::kStop;
+  stop.begin = 0;
+  stop.end = 5;
+  core::Episode move;
+  move.kind = core::EpisodeKind::kMove;
+  move.begin = 5;
+  move.end = t.size();
+  traj::FinalizeEpisode(t, &stop);
+  traj::FinalizeEpisode(t, &move);
+  auto out = annotator.Annotate(t, {stop, move});
+  EXPECT_EQ(out.interpretation, "line");
+  EXPECT_EQ(out.trajectory_id, 9);
+  for (const auto& ep : out.episodes) {
+    EXPECT_EQ(ep.kind, core::EpisodeKind::kMove);
+    EXPECT_EQ(ep.source_episode, 1u);
+  }
+}
+
+TEST(LineAnnotatorTest, MatchScoreAnnotationPresent) {
+  RoadNetwork net = TwoSegmentStreet();
+  LineAnnotator annotator(&net);
+  auto episodes = annotator.AnnotateMove(WalkThenRide(7), 0);
+  for (const auto& ep : episodes) {
+    if (!ep.place.valid()) continue;
+    double score = std::stod(ep.FindAnnotation("match_score"));
+    EXPECT_GT(score, 0.0);
+    EXPECT_LE(score, 1.0 + 1e-9);
+  }
+}
+
+TEST(LineAnnotatorTest, EmptyMove) {
+  RoadNetwork net = TwoSegmentStreet();
+  LineAnnotator annotator(&net);
+  EXPECT_TRUE(annotator.AnnotateMove({}, 0).empty());
+}
+
+TEST(LineAnnotatorTest, MinRunFilterSuppressesFlicker) {
+  RoadNetwork net = TwoSegmentStreet();
+  LineAnnotatorConfig config;
+  config.min_run_points = 3;
+  LineAnnotator annotator(&net, config);
+  auto episodes = annotator.AnnotateMove(WalkThenRide(11), 0);
+  for (const auto& ep : episodes) {
+    // After absorption no episode should span fewer than ~2 samples.
+    EXPECT_GE(ep.time_out - ep.time_in, 5.0 - 1e-9);
+  }
+}
+
+// End-to-end Fig. 15 scenario: a simulated metro commute must contain a
+// metro-annotated run bracketed by walk runs.
+TEST(LineAnnotatorTest, SimulatedMetroCommuteRecovered) {
+  datagen::WorldConfig wc;
+  wc.seed = 29;
+  wc.extent_meters = 5000.0;
+  wc.num_pois = 100;
+  datagen::World world = datagen::WorldGenerator(wc).Generate();
+  datagen::MovementSimulator sim(&world, 31);
+  datagen::SimulatedTrack track;
+  datagen::SensorProfile sensor = datagen::SmartphoneSensor();
+  sensor.sample_interval_seconds = 5.0;
+  sensor.p_gap_start = 0.0;
+  geo::Point from = world.Center() + geo::Point{-1500, -1200};
+  geo::Point to = world.Center() + geo::Point{1500, 1200};
+  auto arrival = sim.AppendTrip(&track, from, to, TransportMode::kMetro,
+                                1000.0, sensor);
+  ASSERT_TRUE(arrival.ok());
+  ASSERT_GT(track.points.size(), 30u);
+
+  LineAnnotator annotator(&world.roads);
+  auto episodes = annotator.AnnotateMove(track.points, 0);
+  ASSERT_FALSE(episodes.empty());
+  bool has_metro = false, has_walk = false;
+  for (const auto& ep : episodes) {
+    std::string mode = ep.FindAnnotation("transport_mode");
+    if (mode == "metro") has_metro = true;
+    if (mode == "walk") has_walk = true;
+  }
+  EXPECT_TRUE(has_metro);
+  EXPECT_TRUE(has_walk);
+}
+
+}  // namespace
+}  // namespace semitri::road

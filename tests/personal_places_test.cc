@@ -1,0 +1,172 @@
+// Tests for personal-place discovery (home/work detection) and the
+// semantic timeline composition.
+
+#include <gtest/gtest.h>
+
+#include "analytics/personal_places.h"
+#include "analytics/timeline.h"
+#include "common/rng.h"
+#include "datagen/presets.h"
+
+namespace semitri::analytics {
+namespace {
+
+constexpr double kDay = 86400.0;
+constexpr double kHour = 3600.0;
+
+// A week of synthetic home/work/shop visits with GPS scatter.
+std::vector<StopVisit> MakeWeek(common::Rng& rng) {
+  std::vector<StopVisit> visits;
+  geo::Point home{100, 100};
+  geo::Point work{3000, 2500};
+  geo::Point shop{1500, 900};
+  for (int day = 0; day < 7; ++day) {
+    double base = day * kDay;
+    auto scattered = [&](geo::Point p) {
+      return geo::Point{p.x + rng.Gaussian(0, 20),
+                        p.y + rng.Gaussian(0, 20)};
+    };
+    // Night at home (00:00-08:00) and evening (19:00-24:00).
+    visits.push_back({scattered(home), base, base + 8 * kHour});
+    visits.push_back({scattered(home), base + 19 * kHour, base + 24 * kHour});
+    if (day % 7 < 5) {
+      // Weekday work 09:00-17:00.
+      visits.push_back(
+          {scattered(work), base + 9 * kHour, base + 17 * kHour});
+    }
+    if (day % 3 == 0) {
+      visits.push_back(
+          {scattered(shop), base + 17.5 * kHour, base + 18.5 * kHour});
+    }
+  }
+  return visits;
+}
+
+TEST(PersonalPlacesTest, DetectsHomeWorkAndShop) {
+  common::Rng rng(3);
+  PersonalPlaceDetector detector;
+  std::vector<PersonalPlace> places = detector.Detect(MakeWeek(rng));
+  ASSERT_EQ(places.size(), 3u);
+  // Ordered by dwell: home > work > shop.
+  EXPECT_EQ(places[0].label, "home");
+  EXPECT_EQ(places[1].label, "work");
+  EXPECT_EQ(places[2].label, "place-1");
+  EXPECT_NEAR(places[0].center.x, 100.0, 25.0);
+  EXPECT_NEAR(places[1].center.x, 3000.0, 25.0);
+  EXPECT_EQ(places[0].num_visits, 14u);
+  EXPECT_EQ(places[1].num_visits, 5u);
+}
+
+TEST(PersonalPlacesTest, OvernightDwellDrivesHome) {
+  common::Rng rng(5);
+  std::vector<PersonalPlace> places =
+      PersonalPlaceDetector().Detect(MakeWeek(rng));
+  ASSERT_GE(places.size(), 2u);
+  EXPECT_GT(places[0].overnight_dwell_seconds,
+            places[1].overnight_dwell_seconds);
+  EXPECT_GT(places[1].workhour_dwell_seconds,
+            places[0].workhour_dwell_seconds);
+}
+
+TEST(PersonalPlacesTest, MinVisitsFilters) {
+  PersonalPlacesConfig config;
+  config.min_visits = 3;
+  PersonalPlaceDetector detector(config);
+  std::vector<StopVisit> visits = {
+      {{0, 0}, 0, 3600},
+      {{5, 5}, 86400, 90000},
+      {{2, 2}, 2 * 86400.0, 2 * 86400.0 + 3600},
+      {{5000, 5000}, 3600, 7200},  // single visit elsewhere
+  };
+  std::vector<PersonalPlace> places = detector.Detect(visits);
+  ASSERT_EQ(places.size(), 1u);
+  EXPECT_EQ(places[0].num_visits, 3u);
+}
+
+TEST(PersonalPlacesTest, EmptyInput) {
+  EXPECT_TRUE(PersonalPlaceDetector().Detect({}).empty());
+}
+
+TEST(PersonalPlacesTest, PlaceForLookup) {
+  common::Rng rng(7);
+  std::vector<PersonalPlace> places =
+      PersonalPlaceDetector().Detect(MakeWeek(rng));
+  size_t at_home =
+      PersonalPlaceDetector::PlaceFor(places, {105, 95}, 150.0);
+  ASSERT_NE(at_home, SIZE_MAX);
+  EXPECT_EQ(places[at_home].label, "home");
+  EXPECT_EQ(PersonalPlaceDetector::PlaceFor(places, {9000, 9000}, 150.0),
+            SIZE_MAX);
+}
+
+TEST(PersonalPlacesTest, CollectStopVisits) {
+  core::Episode stop;
+  stop.kind = core::EpisodeKind::kStop;
+  stop.center = {10, 20};
+  stop.time_in = 100;
+  stop.time_out = 500;
+  core::Episode move;
+  move.kind = core::EpisodeKind::kMove;
+  auto visits = CollectStopVisits({stop, move, stop});
+  ASSERT_EQ(visits.size(), 2u);
+  EXPECT_DOUBLE_EQ(visits[0].center.x, 10.0);
+  EXPECT_DOUBLE_EQ(visits[1].time_out, 500.0);
+}
+
+TEST(TimelineTest, ClockFormatting) {
+  EXPECT_EQ(FormatClock(0.0), "00:00");
+  EXPECT_EQ(FormatClock(9.5 * kHour), "09:30");
+  EXPECT_EQ(FormatClock(kDay + 13 * kHour + 59 * 60), "13:59");
+}
+
+// End-to-end: a simulated commuter week yields home/work-labeled
+// timelines.
+TEST(TimelineTest, CommuterWeekGetsHomeWorkLabels) {
+  datagen::WorldConfig wc;
+  wc.seed = 77;
+  wc.extent_meters = 5000.0;
+  wc.num_pois = 1000;
+  datagen::World world = datagen::WorldGenerator(wc).Generate();
+  datagen::DatasetFactory factory(&world, 78);
+  datagen::PersonSpec spec = factory.MakePersonSpec(0);
+  datagen::SimulatedTrack week = factory.SimulatePersonDays(0, spec, 7);
+
+  core::SemiTriPipeline pipeline(&world.regions, &world.roads, &world.pois);
+  auto results = pipeline.ProcessStream(0, week.points);
+  ASSERT_TRUE(results.ok());
+  ASSERT_GE(results->size(), 5u);
+
+  std::vector<StopVisit> visits;
+  for (const core::PipelineResult& day : *results) {
+    auto day_visits = CollectStopVisits(day.episodes);
+    visits.insert(visits.end(), day_visits.begin(), day_visits.end());
+  }
+  std::vector<PersonalPlace> places =
+      PersonalPlaceDetector().Detect(visits);
+  bool has_home = false, has_work = false;
+  for (const auto& p : places) {
+    if (p.label == "home") has_home = true;
+    if (p.label == "work") has_work = true;
+  }
+  EXPECT_TRUE(has_home);
+  EXPECT_TRUE(has_work);
+
+  // Timelines alternate stops and moves and carry the labels.
+  size_t home_entries = 0;
+  for (const core::PipelineResult& day : *results) {
+    auto timeline =
+        BuildTimeline(day, &world.regions, &world.pois, &places);
+    ASSERT_EQ(timeline.size(), day.episodes.size());
+    for (size_t i = 0; i < timeline.size(); ++i) {
+      EXPECT_EQ(timeline[i].kind, day.episodes[i].kind);
+      if (timeline[i].place == "home") ++home_entries;
+      if (timeline[i].kind == core::EpisodeKind::kMove) {
+        EXPECT_EQ(timeline[i].place, "road");
+      }
+    }
+  }
+  EXPECT_GE(home_entries, results->size());  // at least one home/day
+}
+
+}  // namespace
+}  // namespace semitri::analytics

@@ -1,0 +1,117 @@
+// Tests for GPS cleansing: duplicate removal, speed-gate outlier
+// rejection, Gaussian smoothing.
+
+#include "traj/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace semitri::traj {
+namespace {
+
+core::RawTrajectory MakeTrajectory(
+    std::vector<std::pair<geo::Point, double>> samples) {
+  core::RawTrajectory t;
+  t.id = 1;
+  for (auto& [p, time] : samples) t.points.push_back({p, time});
+  return t;
+}
+
+TEST(PreprocessTest, RemovesDuplicateTimestamps) {
+  Preprocessor pre;
+  auto t = MakeTrajectory({{{0, 0}, 0}, {{1, 0}, 1}, {{2, 0}, 1}, {{3, 0}, 2}});
+  auto out = pre.RemoveDuplicates(t.points);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[1].position.x, 1.0);
+  EXPECT_DOUBLE_EQ(out[2].time, 2.0);
+}
+
+TEST(PreprocessTest, SpeedGateDropsJumps) {
+  PreprocessConfig config;
+  config.max_speed_mps = 50.0;
+  Preprocessor pre(config);
+  // A 1000 m jump within 1 s is impossible at 50 m/s.
+  auto t = MakeTrajectory(
+      {{{0, 0}, 0}, {{10, 0}, 1}, {{1000, 0}, 2}, {{20, 0}, 3}});
+  auto out = pre.RemoveOutliers(t.points);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2].position.x, 20.0);
+}
+
+TEST(PreprocessTest, SpeedGateDisabled) {
+  PreprocessConfig config;
+  config.max_speed_mps = 0.0;
+  Preprocessor pre(config);
+  auto t = MakeTrajectory({{{0, 0}, 0}, {{1e6, 0}, 1}});
+  EXPECT_EQ(pre.RemoveOutliers(t.points).size(), 2u);
+}
+
+TEST(PreprocessTest, SmoothingReducesNoiseVariance) {
+  common::Rng rng(3);
+  PreprocessConfig config;
+  config.smoothing_bandwidth_seconds = 5.0;
+  config.smoothing_half_window = 3;
+  Preprocessor pre(config);
+  // Straight-line motion at 10 m/s with 5 m noise.
+  core::RawTrajectory t;
+  for (int i = 0; i < 200; ++i) {
+    t.points.push_back({{i * 10.0 + rng.Gaussian(0, 5.0),
+                         rng.Gaussian(0, 5.0)},
+                        static_cast<double>(i)});
+  }
+  auto smoothed = pre.Smooth(t.points);
+  ASSERT_EQ(smoothed.size(), t.points.size());
+  double raw_err = 0.0, smooth_err = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    geo::Point truth{i * 10.0, 0.0};
+    raw_err += t.points[static_cast<size_t>(i)].position.SquaredDistanceTo(truth);
+    smooth_err +=
+        smoothed[static_cast<size_t>(i)].position.SquaredDistanceTo(truth);
+  }
+  EXPECT_LT(smooth_err, raw_err * 0.6);
+}
+
+TEST(PreprocessTest, SmoothingPreservesTimestamps) {
+  Preprocessor pre;
+  auto t = MakeTrajectory(
+      {{{0, 0}, 0}, {{5, 0}, 1}, {{10, 0}, 2}, {{15, 0}, 3}, {{20, 0}, 4}});
+  auto smoothed = pre.Smooth(t.points);
+  for (size_t i = 0; i < t.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(smoothed[i].time, t.points[i].time);
+  }
+}
+
+TEST(PreprocessTest, SmoothingDisabledReturnsInput) {
+  PreprocessConfig config;
+  config.smoothing_bandwidth_seconds = 0.0;
+  Preprocessor pre(config);
+  auto t = MakeTrajectory({{{0, 0}, 0}, {{100, 0}, 1}, {{0, 0}, 2}});
+  auto smoothed = pre.Smooth(t.points);
+  EXPECT_DOUBLE_EQ(smoothed[1].position.x, 100.0);
+}
+
+TEST(PreprocessTest, CleanPipelinePreservesMetadata) {
+  Preprocessor pre;
+  core::RawTrajectory t;
+  t.id = 7;
+  t.object_id = 3;
+  for (int i = 0; i < 20; ++i) {
+    t.points.push_back({{i * 1.0, 0.0}, static_cast<double>(i)});
+  }
+  core::RawTrajectory cleaned = pre.Clean(t);
+  EXPECT_EQ(cleaned.id, 7);
+  EXPECT_EQ(cleaned.object_id, 3);
+  EXPECT_EQ(cleaned.size(), 20u);
+}
+
+TEST(PreprocessTest, EmptyAndTinyInputs) {
+  Preprocessor pre;
+  core::RawTrajectory empty;
+  EXPECT_TRUE(pre.Clean(empty).empty());
+  auto single = MakeTrajectory({{{1, 1}, 0}});
+  EXPECT_EQ(pre.Clean(single).size(), 1u);
+}
+
+}  // namespace
+}  // namespace semitri::traj

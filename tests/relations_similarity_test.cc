@@ -1,0 +1,148 @@
+// Tests for the spatial predicate vocabulary (paper §4.1's directional /
+// distance / topological join predicates) and semantic sequence
+// similarity.
+
+#include <gtest/gtest.h>
+
+#include "analytics/similarity.h"
+#include "geo/relations.h"
+
+namespace semitri {
+namespace {
+
+using geo::BoundingBox;
+using geo::Point;
+
+const BoundingBox kUnit({0, 0}, {10, 10});
+
+TEST(SpatialRelationsTest, Topological) {
+  BoundingBox inner({2, 2}, {8, 8});
+  BoundingBox overlapping({5, 5}, {15, 15});
+  BoundingBox far({20, 20}, {30, 30});
+  BoundingBox touching({10, 0}, {20, 10});
+
+  EXPECT_TRUE(geo::Contains(kUnit, inner));
+  EXPECT_TRUE(geo::Within(inner, kUnit));
+  EXPECT_FALSE(geo::Within(kUnit, inner));
+
+  EXPECT_TRUE(geo::Overlaps(kUnit, overlapping));
+  EXPECT_FALSE(geo::Overlaps(kUnit, inner));  // containment, not overlap
+  EXPECT_FALSE(geo::Overlaps(kUnit, far));
+
+  EXPECT_TRUE(geo::Touches(kUnit, touching));
+  EXPECT_FALSE(geo::Touches(kUnit, overlapping));
+  EXPECT_FALSE(geo::Touches(kUnit, far));
+
+  EXPECT_TRUE(geo::Disjoint(kUnit, far));
+  EXPECT_FALSE(geo::Disjoint(kUnit, touching));
+
+  EXPECT_TRUE(geo::Equals(kUnit, BoundingBox({0, 0}, {10, 10})));
+  EXPECT_FALSE(geo::Equals(kUnit, inner));
+}
+
+TEST(SpatialRelationsTest, SelfRelations) {
+  EXPECT_TRUE(geo::Contains(kUnit, kUnit));
+  EXPECT_TRUE(geo::Within(kUnit, kUnit));
+  EXPECT_FALSE(geo::Overlaps(kUnit, kUnit));
+  EXPECT_TRUE(geo::Equals(kUnit, kUnit));
+}
+
+TEST(SpatialRelationsTest, Distance) {
+  BoundingBox right({13, 0}, {20, 10});
+  BoundingBox diagonal({13, 14}, {20, 20});
+  EXPECT_DOUBLE_EQ(geo::MinDistance(kUnit, right), 3.0);
+  EXPECT_DOUBLE_EQ(geo::MinDistance(kUnit, diagonal), 5.0);
+  EXPECT_DOUBLE_EQ(geo::MinDistance(kUnit, kUnit), 0.0);
+  EXPECT_TRUE(geo::WithinDistance(kUnit, right, 3.0));
+  EXPECT_FALSE(geo::WithinDistance(kUnit, right, 2.9));
+}
+
+TEST(SpatialRelationsTest, Directional) {
+  BoundingBox north({0, 20}, {10, 30});
+  BoundingBox east({20, 0}, {30, 10});
+  EXPECT_TRUE(geo::NorthOf(north, kUnit));
+  EXPECT_TRUE(geo::SouthOf(kUnit, north));
+  EXPECT_FALSE(geo::NorthOf(kUnit, north));
+  EXPECT_TRUE(geo::EastOf(east, kUnit));
+  EXPECT_TRUE(geo::WestOf(kUnit, east));
+}
+
+TEST(SpatialRelationsTest, EvaluateByName) {
+  BoundingBox inner({2, 2}, {8, 8});
+  EXPECT_TRUE(geo::EvaluatePredicate(geo::SpatialPredicate::kContains,
+                                     kUnit, inner));
+  EXPECT_FALSE(geo::EvaluatePredicate(geo::SpatialPredicate::kDisjoint,
+                                      kUnit, inner));
+  EXPECT_STREQ(
+      geo::SpatialPredicateName(geo::SpatialPredicate::kNorthOf),
+      "north_of");
+}
+
+using Labels = std::vector<std::string>;
+
+TEST(SimilarityTest, EditDistanceBasics) {
+  EXPECT_EQ(analytics::SequenceEditDistance({}, {}), 0u);
+  EXPECT_EQ(analytics::SequenceEditDistance({"a"}, {}), 1u);
+  EXPECT_EQ(analytics::SequenceEditDistance({"a", "b", "c"},
+                                            {"a", "x", "c"}),
+            1u);
+  EXPECT_EQ(analytics::SequenceEditDistance({"a", "b"}, {"b", "a"}), 2u);
+  EXPECT_EQ(analytics::SequenceEditDistance({"home", "work", "home"},
+                                            {"home", "work", "shop",
+                                             "home"}),
+            1u);
+}
+
+TEST(SimilarityTest, EditSimilarityNormalized) {
+  EXPECT_DOUBLE_EQ(analytics::EditSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      analytics::EditSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(analytics::EditSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      analytics::EditSimilarity({"a", "b", "c", "d"}, {"a", "b", "c",
+                                                       "x"}),
+      0.75);
+}
+
+TEST(SimilarityTest, Lcs) {
+  EXPECT_EQ(analytics::LongestCommonSubsequence({"h", "w", "s", "h"},
+                                                {"h", "s", "h"}),
+            3u);
+  EXPECT_DOUBLE_EQ(analytics::LcsSimilarity({"h", "w", "s", "h"},
+                                            {"h", "s", "h"}),
+                   0.75);
+  EXPECT_DOUBLE_EQ(analytics::LcsSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(analytics::LcsSimilarity({"a"}, {"b"}), 0.0);
+}
+
+TEST(SimilarityTest, RoutineDaysMoreSimilarThanOddDays) {
+  Labels monday = {"home", "work", "restaurant", "work", "home"};
+  Labels tuesday = {"home", "work", "restaurant", "work", "shop", "home"};
+  Labels sunday = {"home", "park", "lake", "home"};
+  EXPECT_GT(analytics::EditSimilarity(monday, tuesday),
+            analytics::EditSimilarity(monday, sunday));
+  EXPECT_GT(analytics::LcsSimilarity(monday, tuesday),
+            analytics::LcsSimilarity(monday, sunday));
+}
+
+TEST(SimilarityTest, MatrixSymmetricUnitDiagonal) {
+  std::vector<Labels> days = {
+      {"home", "work", "home"},
+      {"home", "work", "shop", "home"},
+      {"home", "park", "home"},
+  };
+  auto matrix = analytics::SimilarityMatrix(days);
+  ASSERT_EQ(matrix.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i][i], 1.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+      EXPECT_GE(matrix[i][j], 0.0);
+      EXPECT_LE(matrix[i][j], 1.0);
+    }
+  }
+  EXPECT_GT(matrix[0][1], matrix[0][2]);
+}
+
+}  // namespace
+}  // namespace semitri

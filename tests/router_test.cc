@@ -1,0 +1,130 @@
+// Tests for Dijkstra routing with per-mode segment filters.
+
+#include "road/router.h"
+
+#include <gtest/gtest.h>
+
+namespace semitri::road {
+namespace {
+
+// A 3x3 grid of nodes with 100 m spacing; all residential except one
+// rail line across the middle row.
+//
+//   6 - 7 - 8
+//   |   |   |
+//   3 = 4 = 5   (= rail)
+//   |   |   |
+//   0 - 1 - 2
+struct GridWorld {
+  RoadNetwork net;
+  GridWorld() {
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 3; ++x) {
+        net.AddNode({x * 100.0, y * 100.0});
+      }
+    }
+    auto add = [&](int a, int b, RoadType t) {
+      net.AddSegment(a, b, t);
+    };
+    // Horizontal.
+    add(0, 1, RoadType::kResidential);
+    add(1, 2, RoadType::kResidential);
+    add(3, 4, RoadType::kRailMetro);
+    add(4, 5, RoadType::kRailMetro);
+    add(6, 7, RoadType::kResidential);
+    add(7, 8, RoadType::kResidential);
+    // Vertical.
+    add(0, 3, RoadType::kResidential);
+    add(3, 6, RoadType::kResidential);
+    add(1, 4, RoadType::kResidential);
+    add(4, 7, RoadType::kResidential);
+    add(2, 5, RoadType::kResidential);
+    add(5, 8, RoadType::kResidential);
+  }
+};
+
+TEST(RouterTest, ShortestPathUnfiltered) {
+  GridWorld world;
+  Router router(&world.net);
+  auto path = router.ShortestPath(0, 8);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->length_meters, 400.0);
+  EXPECT_EQ(path->nodes.front(), 0);
+  EXPECT_EQ(path->nodes.back(), 8);
+  EXPECT_EQ(path->segments.size(), path->nodes.size() - 1);
+}
+
+TEST(RouterTest, WalkFilterAvoidsRail) {
+  GridWorld world;
+  Router router(&world.net);
+  // 3 -> 5 directly along rail is 200 m; walking must detour (400 m).
+  auto direct = router.ShortestPath(3, 5);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(direct->length_meters, 200.0);
+  auto walk = router.ShortestPath(3, 5, WalkFilter());
+  ASSERT_TRUE(walk.ok());
+  EXPECT_DOUBLE_EQ(walk->length_meters, 400.0);
+  for (core::PlaceId seg : walk->segments) {
+    EXPECT_NE(world.net.segment(seg).type, RoadType::kRailMetro);
+  }
+}
+
+TEST(RouterTest, MetroFilterUsesOnlyRail) {
+  GridWorld world;
+  Router router(&world.net);
+  auto ride = router.ShortestPath(3, 5, MetroFilter());
+  ASSERT_TRUE(ride.ok());
+  EXPECT_EQ(ride->segments.size(), 2u);
+  // Off-rail node unreachable by metro.
+  auto bad = router.ShortestPath(3, 0, MetroFilter());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(RouterTest, SameOriginDestination) {
+  GridWorld world;
+  Router router(&world.net);
+  auto path = router.ShortestPath(4, 4);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->length_meters, 0.0);
+  EXPECT_EQ(path->nodes.size(), 1u);
+  EXPECT_TRUE(path->segments.empty());
+}
+
+TEST(RouterTest, InvalidNodeIds) {
+  GridWorld world;
+  Router router(&world.net);
+  EXPECT_FALSE(router.ShortestPath(-1, 2).ok());
+  EXPECT_FALSE(router.ShortestPath(0, 99).ok());
+}
+
+TEST(RouterTest, NearestNodeWithFilter) {
+  GridWorld world;
+  Router router(&world.net);
+  // Nearest any-node to (90, 10) is node 1 at (100, 0).
+  EXPECT_EQ(router.NearestNode({90, 10}), 1);
+  // Nearest *rail* node to (90, 10) is node 4 at (100, 100).
+  EXPECT_EQ(router.NearestNode({90, 10}, MetroFilter()), 4);
+}
+
+TEST(RouterTest, NearestNodeEmptyNetwork) {
+  RoadNetwork empty;
+  Router router(&empty);
+  EXPECT_EQ(router.NearestNode({0, 0}), -1);
+}
+
+TEST(RouterTest, PathSegmentsConnectNodes) {
+  GridWorld world;
+  Router router(&world.net);
+  auto path = router.ShortestPath(0, 8, WalkFilter());
+  ASSERT_TRUE(path.ok());
+  for (size_t i = 0; i + 1 < path->nodes.size(); ++i) {
+    const RoadSegment& seg = world.net.segment(path->segments[i]);
+    bool connects = (seg.from == path->nodes[i] && seg.to == path->nodes[i + 1]) ||
+                    (seg.to == path->nodes[i] && seg.from == path->nodes[i + 1]);
+    EXPECT_TRUE(connects) << "segment " << i;
+  }
+}
+
+}  // namespace
+}  // namespace semitri::road

@@ -1,0 +1,191 @@
+// Tests for stop/move segmentation under both computing policies
+// (velocity threshold and density/dwell clustering).
+
+#include "traj/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace semitri::traj {
+namespace {
+
+// Trajectory that moves at `speed` for `move_s` seconds, dwells (with
+// jitter) for `stop_s`, then moves again. 1 Hz sampling.
+core::RawTrajectory MoveStopMove(double speed, double move_s, double stop_s,
+                                 double jitter = 0.5, uint64_t seed = 1) {
+  common::Rng rng(seed);
+  core::RawTrajectory t;
+  double x = 0.0;
+  double time = 0.0;
+  for (; time < move_s; time += 1.0) {
+    x += speed;
+    t.points.push_back({{x, rng.Gaussian(0, jitter)}, time});
+  }
+  double stop_x = x;
+  for (; time < move_s + stop_s; time += 1.0) {
+    t.points.push_back({{stop_x + rng.Gaussian(0, jitter),
+                         rng.Gaussian(0, jitter)},
+                        time});
+  }
+  for (; time < 2 * move_s + stop_s; time += 1.0) {
+    x += speed;
+    t.points.push_back({{x, rng.Gaussian(0, jitter)}, time});
+  }
+  return t;
+}
+
+SegmentationConfig VelocityConfig() {
+  SegmentationConfig c;
+  c.policy = StopPolicy::kVelocity;
+  c.velocity_threshold_mps = 1.5;
+  c.min_stop_duration_seconds = 60.0;
+  c.min_move_duration_seconds = 10.0;
+  return c;
+}
+
+SegmentationConfig DensityConfig() {
+  SegmentationConfig c;
+  c.policy = StopPolicy::kDensity;
+  c.density_radius_meters = 30.0;
+  c.min_stop_duration_seconds = 60.0;
+  c.min_move_duration_seconds = 10.0;
+  return c;
+}
+
+class SegmenterPolicyTest
+    : public ::testing::TestWithParam<StopPolicy> {
+ protected:
+  SegmentationConfig Config() const {
+    return GetParam() == StopPolicy::kVelocity ? VelocityConfig()
+                                               : DensityConfig();
+  }
+};
+
+TEST_P(SegmenterPolicyTest, DetectsMoveStopMove) {
+  StopMoveSegmenter segmenter(Config());
+  core::RawTrajectory t = MoveStopMove(10.0, 300.0, 200.0);
+  auto episodes = segmenter.Segment(t);
+  ASSERT_EQ(episodes.size(), 3u);
+  EXPECT_EQ(episodes[0].kind, core::EpisodeKind::kMove);
+  EXPECT_EQ(episodes[1].kind, core::EpisodeKind::kStop);
+  EXPECT_EQ(episodes[2].kind, core::EpisodeKind::kMove);
+  // Stop duration approximately matches the simulated dwell.
+  EXPECT_NEAR(episodes[1].DurationSeconds(), 200.0, 40.0);
+}
+
+TEST_P(SegmenterPolicyTest, PartitionCoversAllPoints) {
+  StopMoveSegmenter segmenter(Config());
+  core::RawTrajectory t = MoveStopMove(8.0, 240.0, 180.0, 1.0, 7);
+  auto episodes = segmenter.Segment(t);
+  size_t covered = 0;
+  size_t expected_begin = 0;
+  for (const core::Episode& ep : episodes) {
+    EXPECT_EQ(ep.begin, expected_begin);
+    EXPECT_GT(ep.end, ep.begin);
+    covered += ep.num_points();
+    expected_begin = ep.end;
+  }
+  EXPECT_EQ(covered, t.size());
+}
+
+TEST_P(SegmenterPolicyTest, ShortPauseIsNotAStop) {
+  StopMoveSegmenter segmenter(Config());
+  // 20 s pause < 60 s minimum dwell.
+  core::RawTrajectory t = MoveStopMove(10.0, 200.0, 20.0);
+  auto episodes = segmenter.Segment(t);
+  for (const core::Episode& ep : episodes) {
+    EXPECT_EQ(ep.kind, core::EpisodeKind::kMove);
+  }
+}
+
+TEST_P(SegmenterPolicyTest, AllStationaryIsOneStop) {
+  StopMoveSegmenter segmenter(Config());
+  core::RawTrajectory t = MoveStopMove(0.0, 0.0, 600.0);
+  auto episodes = segmenter.Segment(t);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].kind, core::EpisodeKind::kStop);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SegmenterPolicyTest,
+                         ::testing::Values(StopPolicy::kVelocity,
+                                           StopPolicy::kDensity),
+                         [](const auto& info) {
+                           return info.param == StopPolicy::kVelocity
+                                      ? "Velocity"
+                                      : "Density";
+                         });
+
+TEST(SegmentationTest, PointSpeeds) {
+  core::RawTrajectory t;
+  t.points = {{{0, 0}, 0}, {{10, 0}, 1}, {{30, 0}, 2}, {{30, 0}, 3}};
+  auto speeds = StopMoveSegmenter::PointSpeeds(t);
+  ASSERT_EQ(speeds.size(), 4u);
+  EXPECT_DOUBLE_EQ(speeds[0], 10.0);  // copies element 1
+  EXPECT_DOUBLE_EQ(speeds[1], 10.0);
+  EXPECT_DOUBLE_EQ(speeds[2], 20.0);
+  EXPECT_DOUBLE_EQ(speeds[3], 0.0);
+}
+
+TEST(SegmentationTest, EpisodeSummariesAreConsistent) {
+  StopMoveSegmenter segmenter(VelocityConfig());
+  core::RawTrajectory t = MoveStopMove(10.0, 120.0, 180.0);
+  auto episodes = segmenter.Segment(t);
+  for (const core::Episode& ep : episodes) {
+    EXPECT_DOUBLE_EQ(ep.time_in, t.points[ep.begin].time);
+    EXPECT_DOUBLE_EQ(ep.time_out, t.points[ep.end - 1].time);
+    EXPECT_TRUE(ep.bounds.Contains(ep.center));
+    for (size_t i = ep.begin; i < ep.end; ++i) {
+      EXPECT_TRUE(ep.bounds.Contains(t.points[i].position));
+    }
+  }
+}
+
+TEST(SegmentationTest, StopCenterNearTrueDwellLocation) {
+  StopMoveSegmenter segmenter(VelocityConfig());
+  core::RawTrajectory t = MoveStopMove(10.0, 100.0, 300.0, 0.5, 11);
+  auto episodes = segmenter.Segment(t);
+  const core::Episode* stop = nullptr;
+  for (const auto& ep : episodes) {
+    if (ep.kind == core::EpisodeKind::kStop) stop = &ep;
+  }
+  ASSERT_NE(stop, nullptr);
+  // The dwell happened at x = 100 * 10 = 1000.
+  EXPECT_NEAR(stop->center.x, 1000.0, 15.0);
+  EXPECT_NEAR(stop->center.y, 0.0, 5.0);
+}
+
+TEST(SegmentationTest, BeginEndEpisodesEmitted) {
+  SegmentationConfig config = VelocityConfig();
+  config.emit_begin_end = true;
+  StopMoveSegmenter segmenter(config);
+  core::RawTrajectory t = MoveStopMove(10.0, 120.0, 120.0);
+  auto episodes = segmenter.Segment(t);
+  ASSERT_GE(episodes.size(), 3u);
+  EXPECT_EQ(episodes.front().kind, core::EpisodeKind::kBegin);
+  EXPECT_EQ(episodes.back().kind, core::EpisodeKind::kEnd);
+  EXPECT_EQ(episodes.front().num_points(), 1u);
+}
+
+TEST(SegmentationTest, EmptyTrajectory) {
+  StopMoveSegmenter segmenter(VelocityConfig());
+  core::RawTrajectory t;
+  EXPECT_TRUE(segmenter.Segment(t).empty());
+}
+
+TEST(SegmentationTest, GpsNoiseAtStopDoesNotFragment) {
+  // Even with 3 m noise, a dwell should remain one stop episode thanks
+  // to speed smoothing.
+  SegmentationConfig config = VelocityConfig();
+  StopMoveSegmenter segmenter(config);
+  core::RawTrajectory t = MoveStopMove(12.0, 200.0, 400.0, 1.5, 23);
+  auto episodes = segmenter.Segment(t);
+  size_t stops = 0;
+  for (const auto& ep : episodes) {
+    if (ep.kind == core::EpisodeKind::kStop) ++stops;
+  }
+  EXPECT_EQ(stops, 1u);
+}
+
+}  // namespace
+}  // namespace semitri::traj

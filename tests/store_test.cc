@@ -1,0 +1,189 @@
+// Tests for the Semantic Trajectory Store: table semantics, CSV
+// persistence round-trips, write-through mode.
+
+#include "store/semantic_trajectory_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace semitri::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::RawTrajectory MakeTrajectory(core::TrajectoryId id,
+                                   core::ObjectId object, int n) {
+  core::RawTrajectory t;
+  t.id = id;
+  t.object_id = object;
+  for (int i = 0; i < n; ++i) {
+    t.points.push_back({{i * 2.0, i * 3.0}, i * 10.0});
+  }
+  return t;
+}
+
+std::vector<core::Episode> MakeEpisodes(const core::RawTrajectory& t) {
+  core::Episode stop;
+  stop.kind = core::EpisodeKind::kStop;
+  stop.begin = 0;
+  stop.end = t.size() / 2;
+  stop.time_in = 0;
+  stop.time_out = 40;
+  stop.center = {1, 1};
+  stop.bounds = geo::BoundingBox({0, 0}, {2, 2});
+  core::Episode move = stop;
+  move.kind = core::EpisodeKind::kMove;
+  move.begin = t.size() / 2;
+  move.end = t.size();
+  return {stop, move};
+}
+
+core::StructuredSemanticTrajectory MakeInterpretation(
+    core::TrajectoryId id, const std::string& name) {
+  core::StructuredSemanticTrajectory t;
+  t.trajectory_id = id;
+  t.object_id = 9;
+  t.interpretation = name;
+  core::SemanticEpisode ep;
+  ep.kind = core::EpisodeKind::kStop;
+  ep.place = {core::PlaceKind::kRegion, 42};
+  ep.time_in = 5;
+  ep.time_out = 15;
+  ep.AddAnnotation("landuse", "1.2");
+  ep.AddAnnotation("region_name", "EPFL campus");
+  t.episodes.push_back(ep);
+  return t;
+}
+
+TEST(StoreTest, PutAndGetRoundTrip) {
+  SemanticTrajectoryStore store;
+  core::RawTrajectory t = MakeTrajectory(1, 9, 10);
+  ASSERT_TRUE(store.PutRawTrajectory(t).ok());
+  ASSERT_TRUE(store.PutEpisodes(1, MakeEpisodes(t)).ok());
+  ASSERT_TRUE(store.PutInterpretation(MakeInterpretation(1, "region")).ok());
+
+  auto raw = store.GetRawTrajectory(1);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->size(), 10u);
+  EXPECT_EQ(raw->object_id, 9);
+
+  auto episodes = store.GetEpisodes(1);
+  ASSERT_TRUE(episodes.ok());
+  EXPECT_EQ(episodes->size(), 2u);
+
+  auto interp = store.GetInterpretation(1, "region");
+  ASSERT_TRUE(interp.ok());
+  EXPECT_EQ(interp->episodes[0].FindAnnotation("region_name"),
+            "EPFL campus");
+
+  EXPECT_FALSE(store.GetRawTrajectory(2).ok());
+  EXPECT_FALSE(store.GetInterpretation(1, "line").ok());
+}
+
+TEST(StoreTest, CountsAndOverwrite) {
+  SemanticTrajectoryStore store;
+  core::RawTrajectory t = MakeTrajectory(1, 9, 10);
+  ASSERT_TRUE(store.PutRawTrajectory(t).ok());
+  EXPECT_EQ(store.num_gps_records(), 10u);
+  // Overwrite with a shorter version.
+  core::RawTrajectory shorter = MakeTrajectory(1, 9, 4);
+  ASSERT_TRUE(store.PutRawTrajectory(shorter).ok());
+  EXPECT_EQ(store.num_gps_records(), 4u);
+  EXPECT_EQ(store.num_trajectories(), 1u);
+
+  ASSERT_TRUE(store.PutInterpretation(MakeInterpretation(1, "region")).ok());
+  ASSERT_TRUE(store.PutInterpretation(MakeInterpretation(1, "region")).ok());
+  EXPECT_EQ(store.num_semantic_episodes(), 1u);
+}
+
+TEST(StoreTest, RejectsUnnamedInterpretation) {
+  SemanticTrajectoryStore store;
+  core::StructuredSemanticTrajectory t;
+  t.trajectory_id = 1;
+  EXPECT_EQ(store.PutInterpretation(t).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(StoreTest, ListTrajectories) {
+  SemanticTrajectoryStore store;
+  ASSERT_TRUE(store.PutRawTrajectory(MakeTrajectory(3, 1, 5)).ok());
+  ASSERT_TRUE(store.PutRawTrajectory(MakeTrajectory(1, 1, 5)).ok());
+  EXPECT_EQ(store.ListTrajectories(),
+            (std::vector<core::TrajectoryId>{1, 3}));
+}
+
+TEST(StoreTest, SaveLoadCsvRoundTrip) {
+  std::string dir = (fs::temp_directory_path() / "semitri_store_test").string();
+  fs::remove_all(dir);
+  {
+    SemanticTrajectoryStore store;
+    core::RawTrajectory t = MakeTrajectory(7, 2, 6);
+    ASSERT_TRUE(store.PutRawTrajectory(t).ok());
+    ASSERT_TRUE(store.PutEpisodes(7, MakeEpisodes(t)).ok());
+    ASSERT_TRUE(
+        store.PutInterpretation(MakeInterpretation(7, "region")).ok());
+    ASSERT_TRUE(
+        store.PutInterpretation(MakeInterpretation(7, "point")).ok());
+    ASSERT_TRUE(store.SaveCsv(dir).ok());
+  }
+  SemanticTrajectoryStore loaded;
+  ASSERT_TRUE(loaded.LoadCsv(dir).ok());
+  EXPECT_EQ(loaded.num_trajectories(), 1u);
+  EXPECT_EQ(loaded.num_gps_records(), 6u);
+  EXPECT_EQ(loaded.num_episodes(), 2u);
+  EXPECT_EQ(loaded.num_semantic_episodes(), 2u);
+
+  auto raw = loaded.GetRawTrajectory(7);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->object_id, 2);
+  EXPECT_NEAR(raw->points[3].position.x, 6.0, 1e-6);
+  EXPECT_NEAR(raw->points[3].time, 30.0, 1e-3);
+
+  auto episodes = loaded.GetEpisodes(7);
+  ASSERT_TRUE(episodes.ok());
+  EXPECT_EQ((*episodes)[0].kind, core::EpisodeKind::kStop);
+  EXPECT_EQ((*episodes)[1].kind, core::EpisodeKind::kMove);
+
+  auto interp = loaded.GetInterpretation(7, "region");
+  ASSERT_TRUE(interp.ok());
+  const auto& ep = interp->episodes[0];
+  EXPECT_EQ(ep.place.kind, core::PlaceKind::kRegion);
+  EXPECT_EQ(ep.place.id, 42);
+  EXPECT_EQ(ep.FindAnnotation("landuse"), "1.2");
+  EXPECT_EQ(ep.FindAnnotation("region_name"), "EPFL campus");
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, LoadMissingDirectoryFails) {
+  SemanticTrajectoryStore store;
+  EXPECT_EQ(store.LoadCsv("/nonexistent/semitri").code(),
+            common::StatusCode::kIoError);
+}
+
+TEST(StoreTest, WriteThroughAppendsFiles) {
+  std::string dir =
+      (fs::temp_directory_path() / "semitri_write_through").string();
+  fs::remove_all(dir);
+  StoreConfig config;
+  config.write_through_dir = dir;
+  SemanticTrajectoryStore store(config);
+  core::RawTrajectory t = MakeTrajectory(1, 1, 5);
+  ASSERT_TRUE(store.PutRawTrajectory(t).ok());
+  ASSERT_TRUE(store.PutEpisodes(1, MakeEpisodes(t)).ok());
+  ASSERT_TRUE(store.PutInterpretation(MakeInterpretation(1, "line")).ok());
+  EXPECT_TRUE(fs::exists(dir + "/gps.csv"));
+  EXPECT_TRUE(fs::exists(dir + "/episodes.csv"));
+  EXPECT_TRUE(fs::exists(dir + "/semantic_episodes.csv"));
+  // Header + 5 rows.
+  std::ifstream in(dir + "/gps.csv");
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 6u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace semitri::store

@@ -1,0 +1,176 @@
+// Tests for the trajectory query engine over the semantic trajectory
+// store (spatio-temporal range, stop proximity, annotation queries).
+
+#include "store/trajectory_query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+
+namespace semitri::store {
+namespace {
+
+core::RawTrajectory LineTrajectory(core::TrajectoryId id, double y,
+                                   double t_start) {
+  core::RawTrajectory t;
+  t.id = id;
+  t.object_id = id;
+  for (int i = 0; i < 50; ++i) {
+    t.points.push_back({{i * 10.0, y}, t_start + i});
+  }
+  return t;
+}
+
+core::Episode MakeStop(geo::Point center, double t0, double t1) {
+  core::Episode ep;
+  ep.kind = core::EpisodeKind::kStop;
+  ep.begin = 0;
+  ep.end = 1;
+  ep.center = center;
+  ep.bounds = geo::BoundingBox::FromPoint(center).Inflated(10.0);
+  ep.time_in = t0;
+  ep.time_out = t1;
+  return ep;
+}
+
+class QueryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three west-east traces at y = 0 / 1000 / 2000, staggered in time.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(store_
+                      .PutRawTrajectory(
+                          LineTrajectory(i, i * 1000.0, i * 10000.0))
+                      .ok());
+    }
+    // Stops for trajectory 0 and 2.
+    ASSERT_TRUE(store_
+                    .PutEpisodes(0, {MakeStop({100, 0}, 100, 400),
+                                     MakeStop({400, 0}, 600, 900)})
+                    .ok());
+    ASSERT_TRUE(
+        store_.PutEpisodes(2, {MakeStop({100, 2000}, 20100, 20400)}).ok());
+    // A line interpretation with a metro episode for trajectory 1.
+    core::StructuredSemanticTrajectory line;
+    line.trajectory_id = 1;
+    line.interpretation = "line";
+    core::SemanticEpisode ep;
+    ep.kind = core::EpisodeKind::kMove;
+    ep.time_in = 10000;
+    ep.time_out = 10040;
+    ep.AddAnnotation("transport_mode", "metro");
+    line.episodes.push_back(ep);
+    core::SemanticEpisode walk = ep;
+    walk.annotations.clear();
+    walk.AddAnnotation("transport_mode", "walk");
+    walk.time_in = 10040;
+    walk.time_out = 10050;
+    line.episodes.push_back(walk);
+    ASSERT_TRUE(store_.PutInterpretation(line).ok());
+  }
+  SemanticTrajectoryStore store_;
+};
+
+TEST_F(QueryFixture, SpatialWindow) {
+  TrajectoryQueryEngine engine(&store_);
+  EXPECT_EQ(engine.num_indexed_trajectories(), 3u);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Window around y = 1000 catches only trajectory 1.
+  auto hits = engine.FindTrajectories(
+      geo::BoundingBox({0, 900}, {500, 1100}), -kInf, kInf);
+  EXPECT_EQ(hits, (std::vector<core::TrajectoryId>{1}));
+  // A window covering everything.
+  hits = engine.FindTrajectories(geo::BoundingBox({-10, -10}, {5000, 2500}),
+                                 -kInf, kInf);
+  EXPECT_EQ(hits.size(), 3u);
+  // Empty window.
+  hits = engine.FindTrajectories(geo::BoundingBox({9000, 9000}, {9100, 9100}),
+                                 -kInf, kInf);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(QueryFixture, TemporalFilter) {
+  TrajectoryQueryEngine engine(&store_);
+  geo::BoundingBox everywhere({-10, -10}, {5000, 2500});
+  // Only trajectory 1 lives around t = 10000.
+  auto hits = engine.FindTrajectories(everywhere, 10000, 10049);
+  EXPECT_EQ(hits, (std::vector<core::TrajectoryId>{1}));
+  // Interval covering 0 and 1.
+  hits = engine.FindTrajectories(everywhere, 0, 10049);
+  EXPECT_EQ(hits, (std::vector<core::TrajectoryId>{0, 1}));
+}
+
+TEST_F(QueryFixture, StopsNear) {
+  TrajectoryQueryEngine engine(&store_);
+  EXPECT_EQ(engine.num_indexed_stops(), 3u);
+  auto hits = engine.FindStopsNear({100, 0}, 50.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].trajectory_id, 0);
+  EXPECT_DOUBLE_EQ(hits[0].time_in, 100.0);
+  // Larger radius pulls in the second stop of trajectory 0, newest
+  // first.
+  hits = engine.FindStopsNear({250, 0}, 200.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_GT(hits[0].time_in, hits[1].time_in);
+  EXPECT_TRUE(engine.FindStopsNear({100, 5000}, 100.0).empty());
+}
+
+TEST_F(QueryFixture, AnnotationQuery) {
+  TrajectoryQueryEngine engine(&store_);
+  auto metro = engine.FindEpisodesByAnnotation("transport_mode", "metro");
+  ASSERT_EQ(metro.size(), 1u);
+  EXPECT_EQ(metro[0].trajectory_id, 1);
+  EXPECT_EQ(metro[0].interpretation, "line");
+  EXPECT_EQ(metro[0].episode.FindAnnotation("transport_mode"), "metro");
+  // Interpretation filter that excludes it.
+  EXPECT_TRUE(engine
+                  .FindEpisodesByAnnotation("transport_mode", "metro",
+                                            std::string("region"))
+                  .empty());
+  // Time filter that excludes it.
+  EXPECT_TRUE(engine
+                  .FindEpisodesByAnnotation("transport_mode", "metro",
+                                            std::nullopt, 0.0, 500.0)
+                  .empty());
+  // Time window that includes it.
+  EXPECT_EQ(engine
+                .FindEpisodesByAnnotation("transport_mode", "metro",
+                                          std::nullopt, 10000.0, 10050.0)
+                .size(),
+            1u);
+}
+
+TEST_F(QueryFixture, ListInterpretations) {
+  EXPECT_EQ(store_.ListInterpretations(1),
+            (std::vector<std::string>{"line"}));
+  EXPECT_TRUE(store_.ListInterpretations(0).empty());
+}
+
+// End-to-end: query stops of a simulated commuter near their home.
+TEST(QueryIntegration, FindsCommuterStops) {
+  datagen::WorldConfig wc;
+  wc.seed = 91;
+  wc.extent_meters = 4000.0;
+  wc.num_pois = 300;
+  datagen::World world = datagen::WorldGenerator(wc).Generate();
+  datagen::DatasetFactory factory(&world, 92);
+  datagen::PersonSpec spec = factory.MakePersonSpec(0);
+  datagen::SimulatedTrack track = factory.SimulatePersonDays(0, spec, 3);
+
+  SemanticTrajectoryStore store;
+  core::SemiTriPipeline pipeline(&world.regions, nullptr, nullptr,
+                                 core::PipelineConfig{}, &store);
+  ASSERT_TRUE(pipeline.ProcessStream(0, track.points).ok());
+
+  TrajectoryQueryEngine engine(&store);
+  auto home_stops = engine.FindStopsNear(spec.home, 150.0);
+  // Home dwells recur daily.
+  EXPECT_GE(home_stops.size(), 3u);
+  for (size_t i = 1; i < home_stops.size(); ++i) {
+    EXPECT_GE(home_stops[i - 1].time_in, home_stops[i].time_in);
+  }
+}
+
+}  // namespace
+}  // namespace semitri::store

@@ -1,0 +1,127 @@
+// Tests for motion features and the transportation-mode classifier.
+
+#include "road/transport_mode.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace semitri::road {
+namespace {
+
+// Constant-speed straight run sampled at 1 Hz.
+std::vector<core::GpsPoint> MakeRun(double speed, double seconds,
+                                double accel_wobble = 0.0,
+                                uint64_t seed = 1) {
+  common::Rng rng(seed);
+  std::vector<core::GpsPoint> points;
+  double x = 0.0;
+  double v = speed;
+  for (double t = 0; t <= seconds; t += 1.0) {
+    points.push_back({{x, 0.0}, t});
+    v = std::max(0.0, speed + rng.Gaussian(0, accel_wobble));
+    x += v;
+  }
+  return points;
+}
+
+TEST(MotionFeaturesTest, ConstantSpeed) {
+  auto f = ComputeMotionFeatures(MakeRun(10.0, 60.0));
+  EXPECT_NEAR(f.mean_speed_mps, 10.0, 1e-9);
+  EXPECT_NEAR(f.speed_stddev, 0.0, 1e-9);
+  EXPECT_NEAR(f.mean_abs_acceleration, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.duration_seconds, 60.0);
+}
+
+TEST(MotionFeaturesTest, WobbleRaisesAcceleration) {
+  auto smooth = ComputeMotionFeatures(MakeRun(8.0, 120.0, 0.0));
+  auto jerky = ComputeMotionFeatures(MakeRun(8.0, 120.0, 3.0, 5));
+  EXPECT_GT(jerky.mean_abs_acceleration, smooth.mean_abs_acceleration);
+  EXPECT_GT(jerky.speed_stddev, smooth.speed_stddev);
+}
+
+TEST(MotionFeaturesTest, DegenerateInputs) {
+  MotionFeatures empty = ComputeMotionFeatures({});
+  EXPECT_DOUBLE_EQ(empty.mean_speed_mps, 0.0);
+  std::vector<core::GpsPoint> one = {{{0, 0}, 0}};
+  EXPECT_DOUBLE_EQ(ComputeMotionFeatures(one).mean_speed_mps, 0.0);
+}
+
+TEST(ClassifierTest, RailAlwaysMetro) {
+  TransportModeClassifier classifier;
+  MotionFeatures slow;
+  slow.mean_speed_mps = 1.0;  // even stopped at a station
+  EXPECT_EQ(classifier.Classify(slow, RoadType::kRailMetro),
+            TransportMode::kMetro);
+}
+
+TEST(ClassifierTest, SlowIsWalk) {
+  TransportModeClassifier classifier;
+  MotionFeatures f;
+  f.mean_speed_mps = 1.3;
+  EXPECT_EQ(classifier.Classify(f, RoadType::kResidential),
+            TransportMode::kWalk);
+  EXPECT_EQ(classifier.Classify(f, RoadType::kFootway),
+            TransportMode::kWalk);
+}
+
+TEST(ClassifierTest, CyclewayMidSpeedIsBicycle) {
+  TransportModeClassifier classifier;
+  MotionFeatures f;
+  f.mean_speed_mps = 4.5;
+  f.mean_abs_acceleration = 0.2;
+  EXPECT_EQ(classifier.Classify(f, RoadType::kCycleway),
+            TransportMode::kBicycle);
+  // Smooth mid-speed on a road also reads as bicycle.
+  EXPECT_EQ(classifier.Classify(f, RoadType::kResidential),
+            TransportMode::kBicycle);
+}
+
+TEST(ClassifierTest, StopAndGoMidSpeedIsBus) {
+  TransportModeClassifier classifier;
+  MotionFeatures f;
+  f.mean_speed_mps = 5.5;
+  f.mean_abs_acceleration = 0.8;  // stop-and-go
+  EXPECT_EQ(classifier.Classify(f, RoadType::kArterial),
+            TransportMode::kBus);
+}
+
+TEST(ClassifierTest, FastOnRoadIsBus) {
+  TransportModeClassifier classifier;
+  MotionFeatures f;
+  f.mean_speed_mps = 9.0;
+  f.mean_abs_acceleration = 0.5;
+  EXPECT_EQ(classifier.Classify(f, RoadType::kArterial),
+            TransportMode::kBus);
+}
+
+TEST(ClassifierTest, EndToEndFromPoints) {
+  TransportModeClassifier classifier;
+  EXPECT_EQ(classifier.Classify(MakeRun(1.3, 120.0, 0.1, 3),
+                                RoadType::kFootway),
+            TransportMode::kWalk);
+  EXPECT_EQ(classifier.Classify(MakeRun(12.0, 120.0, 1.0, 3),
+                                RoadType::kRailMetro),
+            TransportMode::kMetro);
+}
+
+TEST(ClassifierTest, ConfigurableThresholds) {
+  ModeInferenceConfig config;
+  config.walk_max_speed_mps = 5.0;  // generous walk band
+  TransportModeClassifier classifier(config);
+  MotionFeatures f;
+  f.mean_speed_mps = 4.0;
+  EXPECT_EQ(classifier.Classify(f, RoadType::kResidential),
+            TransportMode::kWalk);
+}
+
+TEST(TransportModeTest, Names) {
+  EXPECT_STREQ(TransportModeName(TransportMode::kWalk), "walk");
+  EXPECT_STREQ(TransportModeName(TransportMode::kBicycle), "bicycle");
+  EXPECT_STREQ(TransportModeName(TransportMode::kBus), "bus");
+  EXPECT_STREQ(TransportModeName(TransportMode::kMetro), "metro");
+  EXPECT_STREQ(TransportModeName(TransportMode::kCar), "car");
+}
+
+}  // namespace
+}  // namespace semitri::road

@@ -1,0 +1,133 @@
+// Tests for the CSV world I/O — the ingestion boundary for real
+// 3rd-party semantic sources.
+
+#include "io/world_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "datagen/world.h"
+
+namespace semitri::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(WorldIoTest, RegionsRoundTrip) {
+  region::RegionSet regions;
+  regions.AddCell(geo::BoundingBox({0, 0}, {100, 100}),
+                  region::LanduseCategory::kBuilding);
+  regions.AddCell(geo::BoundingBox({100, 0}, {200, 100}),
+                  region::LanduseCategory::kLakes, "lake, small");
+  regions.AddPolygon(geo::Polygon({{0, 0}, {50, 10}, {25, 60}}),
+                     region::LanduseCategory::kRecreational, "park");
+  std::string path = TempPath("semitri_regions.csv");
+  ASSERT_TRUE(SaveRegions(regions, path).ok());
+
+  auto loaded = LoadRegions(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->Get(0).category, region::LanduseCategory::kBuilding);
+  EXPECT_EQ(loaded->Get(1).name, "lake, small");  // comma survives CSV
+  const region::SemanticRegion& park = loaded->Get(2);
+  ASSERT_TRUE(park.polygon.has_value());
+  EXPECT_EQ(park.polygon->size(), 3u);
+  EXPECT_TRUE(park.Contains({25, 20}));
+  EXPECT_FALSE(park.Contains({49, 55}));
+  // Spatial queries work on the loaded set.
+  EXPECT_EQ(loaded->FindContaining({50, 50}).size(), 1u);
+  fs::remove(path);
+}
+
+TEST(WorldIoTest, RoadNetworkRoundTrip) {
+  road::RoadNetwork roads;
+  road::NodeId a = roads.AddNode({0, 0});
+  road::NodeId b = roads.AddNode({100, 0});
+  road::NodeId c = roads.AddNode({100, 100});
+  roads.AddSegment(a, b, road::RoadType::kArterial, "Av. de la Gare");
+  roads.AddSegment(b, c, road::RoadType::kRailMetro, "M1");
+  std::string path = TempPath("semitri_roads.csv");
+  ASSERT_TRUE(SaveRoadNetwork(roads, path).ok());
+
+  auto loaded = LoadRoadNetwork(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_segments(), 2u);
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+  EXPECT_EQ(loaded->segment(0).name, "Av. de la Gare");
+  EXPECT_EQ(loaded->segment(1).type, road::RoadType::kRailMetro);
+  // Connectivity survives: segments 0 and 1 share node b.
+  EXPECT_EQ(loaded->AdjacentSegments(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->segment(0).Length(), 100.0);
+  fs::remove(path);
+}
+
+TEST(WorldIoTest, PoisRoundTrip) {
+  poi::PoiSet pois = poi::PoiSet::MilanCategories();
+  pois.Add({10, 20}, 2, "shop \"quoted\"");
+  pois.Add({30, 40}, 4);
+  std::string path = TempPath("semitri_pois.csv");
+  std::string categories = TempPath("semitri_poi_categories.csv");
+  ASSERT_TRUE(SavePois(pois, path, categories).ok());
+
+  auto loaded = LoadPois(path, categories);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->num_categories(), 5u);
+  EXPECT_EQ(loaded->Get(0).name, "shop \"quoted\"");
+  EXPECT_EQ(loaded->Get(0).category, 2);
+  EXPECT_EQ(loaded->category_names()[2], "item sale");
+  EXPECT_DOUBLE_EQ(loaded->CategoryPriors()[4], 0.5);
+  fs::remove(path);
+  fs::remove(categories);
+}
+
+TEST(WorldIoTest, MissingFilesError) {
+  EXPECT_FALSE(LoadRegions("/nonexistent/regions.csv").ok());
+  EXPECT_FALSE(LoadRoadNetwork("/nonexistent/roads.csv").ok());
+  EXPECT_FALSE(
+      LoadPois("/nonexistent/pois.csv", "/nonexistent/cats.csv").ok());
+}
+
+TEST(WorldIoTest, FullSyntheticWorldRoundTrip) {
+  datagen::WorldConfig config;
+  config.seed = 3;
+  config.extent_meters = 2000.0;
+  config.num_pois = 200;
+  datagen::World world = datagen::WorldGenerator(config).Generate();
+
+  std::string regions_path = TempPath("semitri_world_regions.csv");
+  std::string roads_path = TempPath("semitri_world_roads.csv");
+  std::string pois_path = TempPath("semitri_world_pois.csv");
+  std::string cats_path = TempPath("semitri_world_cats.csv");
+  ASSERT_TRUE(SaveRegions(world.regions, regions_path).ok());
+  ASSERT_TRUE(SaveRoadNetwork(world.roads, roads_path).ok());
+  ASSERT_TRUE(SavePois(world.pois, pois_path, cats_path).ok());
+
+  auto regions = LoadRegions(regions_path);
+  auto roads = LoadRoadNetwork(roads_path);
+  auto pois = LoadPois(pois_path, cats_path);
+  ASSERT_TRUE(regions.ok());
+  ASSERT_TRUE(roads.ok());
+  ASSERT_TRUE(pois.ok());
+  EXPECT_EQ(regions->size(), world.regions.size());
+  EXPECT_EQ(roads->num_segments(), world.roads.num_segments());
+  EXPECT_EQ(pois->size(), world.pois.size());
+  // Spot-check a spatial query parity.
+  geo::Point probe = world.Center();
+  EXPECT_EQ(regions->FindContaining(probe).size(),
+            world.regions.FindContaining(probe).size());
+  EXPECT_EQ(roads->CandidateSegments(probe, 100.0).size(),
+            world.roads.CandidateSegments(probe, 100.0).size());
+  fs::remove(regions_path);
+  fs::remove(roads_path);
+  fs::remove(pois_path);
+  fs::remove(cats_path);
+}
+
+}  // namespace
+}  // namespace semitri::io
