@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_global_vs_local.dir/bench_ablation_global_vs_local.cc.o"
+  "CMakeFiles/bench_ablation_global_vs_local.dir/bench_ablation_global_vs_local.cc.o.d"
+  "bench_ablation_global_vs_local"
+  "bench_ablation_global_vs_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_global_vs_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grid_discretization.dir/bench_ablation_grid_discretization.cc.o"
+  "CMakeFiles/bench_ablation_grid_discretization.dir/bench_ablation_grid_discretization.cc.o.d"
+  "bench_ablation_grid_discretization"
+  "bench_ablation_grid_discretization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grid_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

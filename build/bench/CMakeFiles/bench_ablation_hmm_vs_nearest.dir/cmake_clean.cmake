@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hmm_vs_nearest.dir/bench_ablation_hmm_vs_nearest.cc.o"
+  "CMakeFiles/bench_ablation_hmm_vs_nearest.dir/bench_ablation_hmm_vs_nearest.cc.o.d"
+  "bench_ablation_hmm_vs_nearest"
+  "bench_ablation_hmm_vs_nearest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hmm_vs_nearest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_learned_transitions.dir/bench_ablation_learned_transitions.cc.o"
+  "CMakeFiles/bench_ablation_learned_transitions.dir/bench_ablation_learned_transitions.cc.o.d"
+  "bench_ablation_learned_transitions"
+  "bench_ablation_learned_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_learned_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

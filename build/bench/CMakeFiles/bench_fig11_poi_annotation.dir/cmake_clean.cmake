@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_poi_annotation.dir/bench_fig11_poi_annotation.cc.o"
+  "CMakeFiles/bench_fig11_poi_annotation.dir/bench_fig11_poi_annotation.cc.o.d"
+  "bench_fig11_poi_annotation"
+  "bench_fig11_poi_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_poi_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

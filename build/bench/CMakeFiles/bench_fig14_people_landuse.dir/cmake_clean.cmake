@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_people_landuse.dir/bench_fig14_people_landuse.cc.o"
+  "CMakeFiles/bench_fig14_people_landuse.dir/bench_fig14_people_landuse.cc.o.d"
+  "bench_fig14_people_landuse"
+  "bench_fig14_people_landuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_people_landuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_move_annotation.dir/bench_fig15_16_move_annotation.cc.o"
+  "CMakeFiles/bench_fig15_16_move_annotation.dir/bench_fig15_16_move_annotation.cc.o.d"
+  "bench_fig15_16_move_annotation"
+  "bench_fig15_16_move_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_move_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_landuse.dir/bench_fig9_landuse.cc.o"
+  "CMakeFiles/bench_fig9_landuse.dir/bench_fig9_landuse.cc.o.d"
+  "bench_fig9_landuse"
+  "bench_fig9_landuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_landuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

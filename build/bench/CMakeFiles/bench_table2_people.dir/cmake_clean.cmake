@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_people.dir/bench_table2_people.cc.o"
+  "CMakeFiles/bench_table2_people.dir/bench_table2_people.cc.o.d"
+  "bench_table2_people"
+  "bench_table2_people.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_people.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_analytics.dir/city_analytics.cpp.o"
+  "CMakeFiles/city_analytics.dir/city_analytics.cpp.o.d"
+  "city_analytics"
+  "city_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

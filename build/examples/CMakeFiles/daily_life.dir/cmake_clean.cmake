@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_life.dir/daily_life.cpp.o"
+  "CMakeFiles/daily_life.dir/daily_life.cpp.o.d"
+  "daily_life"
+  "daily_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

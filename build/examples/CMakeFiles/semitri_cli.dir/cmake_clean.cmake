@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semitri_cli.dir/semitri_cli.cpp.o"
+  "CMakeFiles/semitri_cli.dir/semitri_cli.cpp.o.d"
+  "semitri_cli"
+  "semitri_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semitri_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

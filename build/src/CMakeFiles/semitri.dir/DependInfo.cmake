@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/distribution.cc" "src/CMakeFiles/semitri.dir/analytics/distribution.cc.o" "gcc" "src/CMakeFiles/semitri.dir/analytics/distribution.cc.o.d"
+  "/root/repo/src/analytics/latency_profiler.cc" "src/CMakeFiles/semitri.dir/analytics/latency_profiler.cc.o" "gcc" "src/CMakeFiles/semitri.dir/analytics/latency_profiler.cc.o.d"
+  "/root/repo/src/analytics/personal_places.cc" "src/CMakeFiles/semitri.dir/analytics/personal_places.cc.o" "gcc" "src/CMakeFiles/semitri.dir/analytics/personal_places.cc.o.d"
+  "/root/repo/src/analytics/sequence_mining.cc" "src/CMakeFiles/semitri.dir/analytics/sequence_mining.cc.o" "gcc" "src/CMakeFiles/semitri.dir/analytics/sequence_mining.cc.o.d"
+  "/root/repo/src/analytics/similarity.cc" "src/CMakeFiles/semitri.dir/analytics/similarity.cc.o" "gcc" "src/CMakeFiles/semitri.dir/analytics/similarity.cc.o.d"
+  "/root/repo/src/analytics/timeline.cc" "src/CMakeFiles/semitri.dir/analytics/timeline.cc.o" "gcc" "src/CMakeFiles/semitri.dir/analytics/timeline.cc.o.d"
+  "/root/repo/src/analytics/trajectory_stats.cc" "src/CMakeFiles/semitri.dir/analytics/trajectory_stats.cc.o" "gcc" "src/CMakeFiles/semitri.dir/analytics/trajectory_stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/semitri.dir/common/status.cc.o" "gcc" "src/CMakeFiles/semitri.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/semitri.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/semitri.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/CMakeFiles/semitri.dir/core/batch.cc.o" "gcc" "src/CMakeFiles/semitri.dir/core/batch.cc.o.d"
+  "/root/repo/src/core/ingest.cc" "src/CMakeFiles/semitri.dir/core/ingest.cc.o" "gcc" "src/CMakeFiles/semitri.dir/core/ingest.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/semitri.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/semitri.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/CMakeFiles/semitri.dir/core/types.cc.o" "gcc" "src/CMakeFiles/semitri.dir/core/types.cc.o.d"
+  "/root/repo/src/datagen/movement.cc" "src/CMakeFiles/semitri.dir/datagen/movement.cc.o" "gcc" "src/CMakeFiles/semitri.dir/datagen/movement.cc.o.d"
+  "/root/repo/src/datagen/presets.cc" "src/CMakeFiles/semitri.dir/datagen/presets.cc.o" "gcc" "src/CMakeFiles/semitri.dir/datagen/presets.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/CMakeFiles/semitri.dir/datagen/world.cc.o" "gcc" "src/CMakeFiles/semitri.dir/datagen/world.cc.o.d"
+  "/root/repo/src/export/html_report.cc" "src/CMakeFiles/semitri.dir/export/html_report.cc.o" "gcc" "src/CMakeFiles/semitri.dir/export/html_report.cc.o.d"
+  "/root/repo/src/export/kml_writer.cc" "src/CMakeFiles/semitri.dir/export/kml_writer.cc.o" "gcc" "src/CMakeFiles/semitri.dir/export/kml_writer.cc.o.d"
+  "/root/repo/src/geo/latlon.cc" "src/CMakeFiles/semitri.dir/geo/latlon.cc.o" "gcc" "src/CMakeFiles/semitri.dir/geo/latlon.cc.o.d"
+  "/root/repo/src/geo/relations.cc" "src/CMakeFiles/semitri.dir/geo/relations.cc.o" "gcc" "src/CMakeFiles/semitri.dir/geo/relations.cc.o.d"
+  "/root/repo/src/geo/simplify.cc" "src/CMakeFiles/semitri.dir/geo/simplify.cc.o" "gcc" "src/CMakeFiles/semitri.dir/geo/simplify.cc.o.d"
+  "/root/repo/src/hmm/hmm.cc" "src/CMakeFiles/semitri.dir/hmm/hmm.cc.o" "gcc" "src/CMakeFiles/semitri.dir/hmm/hmm.cc.o.d"
+  "/root/repo/src/io/world_io.cc" "src/CMakeFiles/semitri.dir/io/world_io.cc.o" "gcc" "src/CMakeFiles/semitri.dir/io/world_io.cc.o.d"
+  "/root/repo/src/poi/observation_model.cc" "src/CMakeFiles/semitri.dir/poi/observation_model.cc.o" "gcc" "src/CMakeFiles/semitri.dir/poi/observation_model.cc.o.d"
+  "/root/repo/src/poi/poi_set.cc" "src/CMakeFiles/semitri.dir/poi/poi_set.cc.o" "gcc" "src/CMakeFiles/semitri.dir/poi/poi_set.cc.o.d"
+  "/root/repo/src/poi/point_annotator.cc" "src/CMakeFiles/semitri.dir/poi/point_annotator.cc.o" "gcc" "src/CMakeFiles/semitri.dir/poi/point_annotator.cc.o.d"
+  "/root/repo/src/region/landuse.cc" "src/CMakeFiles/semitri.dir/region/landuse.cc.o" "gcc" "src/CMakeFiles/semitri.dir/region/landuse.cc.o.d"
+  "/root/repo/src/region/region_annotator.cc" "src/CMakeFiles/semitri.dir/region/region_annotator.cc.o" "gcc" "src/CMakeFiles/semitri.dir/region/region_annotator.cc.o.d"
+  "/root/repo/src/region/region_set.cc" "src/CMakeFiles/semitri.dir/region/region_set.cc.o" "gcc" "src/CMakeFiles/semitri.dir/region/region_set.cc.o.d"
+  "/root/repo/src/road/line_annotator.cc" "src/CMakeFiles/semitri.dir/road/line_annotator.cc.o" "gcc" "src/CMakeFiles/semitri.dir/road/line_annotator.cc.o.d"
+  "/root/repo/src/road/map_matcher.cc" "src/CMakeFiles/semitri.dir/road/map_matcher.cc.o" "gcc" "src/CMakeFiles/semitri.dir/road/map_matcher.cc.o.d"
+  "/root/repo/src/road/road_network.cc" "src/CMakeFiles/semitri.dir/road/road_network.cc.o" "gcc" "src/CMakeFiles/semitri.dir/road/road_network.cc.o.d"
+  "/root/repo/src/road/router.cc" "src/CMakeFiles/semitri.dir/road/router.cc.o" "gcc" "src/CMakeFiles/semitri.dir/road/router.cc.o.d"
+  "/root/repo/src/road/transport_mode.cc" "src/CMakeFiles/semitri.dir/road/transport_mode.cc.o" "gcc" "src/CMakeFiles/semitri.dir/road/transport_mode.cc.o.d"
+  "/root/repo/src/store/semantic_trajectory_store.cc" "src/CMakeFiles/semitri.dir/store/semantic_trajectory_store.cc.o" "gcc" "src/CMakeFiles/semitri.dir/store/semantic_trajectory_store.cc.o.d"
+  "/root/repo/src/store/trajectory_query.cc" "src/CMakeFiles/semitri.dir/store/trajectory_query.cc.o" "gcc" "src/CMakeFiles/semitri.dir/store/trajectory_query.cc.o.d"
+  "/root/repo/src/traj/identification.cc" "src/CMakeFiles/semitri.dir/traj/identification.cc.o" "gcc" "src/CMakeFiles/semitri.dir/traj/identification.cc.o.d"
+  "/root/repo/src/traj/preprocess.cc" "src/CMakeFiles/semitri.dir/traj/preprocess.cc.o" "gcc" "src/CMakeFiles/semitri.dir/traj/preprocess.cc.o.d"
+  "/root/repo/src/traj/segmentation.cc" "src/CMakeFiles/semitri.dir/traj/segmentation.cc.o" "gcc" "src/CMakeFiles/semitri.dir/traj/segmentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

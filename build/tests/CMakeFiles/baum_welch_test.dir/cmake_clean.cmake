@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baum_welch_test.dir/baum_welch_test.cc.o"
+  "CMakeFiles/baum_welch_test.dir/baum_welch_test.cc.o.d"
+  "baum_welch_test"
+  "baum_welch_test.pdb"
+  "baum_welch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baum_welch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

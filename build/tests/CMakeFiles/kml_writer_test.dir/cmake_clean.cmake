@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kml_writer_test.dir/kml_writer_test.cc.o"
+  "CMakeFiles/kml_writer_test.dir/kml_writer_test.cc.o.d"
+  "kml_writer_test"
+  "kml_writer_test.pdb"
+  "kml_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kml_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

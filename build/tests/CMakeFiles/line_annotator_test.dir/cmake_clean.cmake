@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_annotator_test.dir/line_annotator_test.cc.o"
+  "CMakeFiles/line_annotator_test.dir/line_annotator_test.cc.o.d"
+  "line_annotator_test"
+  "line_annotator_test.pdb"
+  "line_annotator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_annotator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

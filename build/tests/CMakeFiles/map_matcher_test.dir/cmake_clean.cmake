@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_matcher_test.dir/map_matcher_test.cc.o"
+  "CMakeFiles/map_matcher_test.dir/map_matcher_test.cc.o.d"
+  "map_matcher_test"
+  "map_matcher_test.pdb"
+  "map_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personal_places_test.dir/personal_places_test.cc.o"
+  "CMakeFiles/personal_places_test.dir/personal_places_test.cc.o.d"
+  "personal_places_test"
+  "personal_places_test.pdb"
+  "personal_places_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personal_places_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

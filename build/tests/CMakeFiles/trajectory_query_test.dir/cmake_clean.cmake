@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_query_test.dir/trajectory_query_test.cc.o"
+  "CMakeFiles/trajectory_query_test.dir/trajectory_query_test.cc.o.d"
+  "trajectory_query_test"
+  "trajectory_query_test.pdb"
+  "trajectory_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_mode_test.dir/transport_mode_test.cc.o"
+  "CMakeFiles/transport_mode_test.dir/transport_mode_test.cc.o.d"
+  "transport_mode_test"
+  "transport_mode_test.pdb"
+  "transport_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_io_test.dir/world_io_test.cc.o"
+  "CMakeFiles/world_io_test.dir/world_io_test.cc.o.d"
+  "world_io_test"
+  "world_io_test.pdb"
+  "world_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
