@@ -1,0 +1,61 @@
+# Sanitizer matrix for all semitri targets (library, tests, benches,
+# examples). Instrumentation must be uniform across a binary, so the
+# flags are applied directory-wide from the top-level CMakeLists via
+# add_compile_options/add_link_options before any target is declared.
+#
+# Usage:
+#   cmake -B build-asan -S . -DSEMITRI_SANITIZE="address;undefined"
+#   cmake -B build-tsan -S . -DSEMITRI_SANITIZE=thread
+#   cmake -B build-lsan -S . -DSEMITRI_SANITIZE=leak
+#
+# Supported values: address, undefined, leak, thread. address/undefined/
+# leak compose; thread composes with nothing else (the runtimes are
+# mutually exclusive).
+
+set(SEMITRI_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers: address;undefined | thread | leak")
+
+function(semitri_enable_sanitizers)
+  if(NOT SEMITRI_SANITIZE)
+    return()
+  endif()
+
+  set(flags "")
+  set(has_thread FALSE)
+  set(has_address_or_leak FALSE)
+  foreach(sanitizer IN LISTS SEMITRI_SANITIZE)
+    if(sanitizer STREQUAL "address")
+      list(APPEND flags -fsanitize=address)
+      set(has_address_or_leak TRUE)
+    elseif(sanitizer STREQUAL "undefined")
+      # Recover disabled so any UB report fails the test run instead of
+      # printing and continuing.
+      list(APPEND flags -fsanitize=undefined -fno-sanitize-recover=all)
+    elseif(sanitizer STREQUAL "leak")
+      list(APPEND flags -fsanitize=leak)
+      set(has_address_or_leak TRUE)
+    elseif(sanitizer STREQUAL "thread")
+      list(APPEND flags -fsanitize=thread)
+      set(has_thread TRUE)
+    else()
+      message(FATAL_ERROR
+        "Unknown SEMITRI_SANITIZE value '${sanitizer}' "
+        "(expected address, undefined, leak, or thread)")
+    endif()
+  endforeach()
+
+  if(has_thread AND has_address_or_leak)
+    message(FATAL_ERROR
+      "SEMITRI_SANITIZE=thread cannot be combined with address/leak: "
+      "the runtimes are mutually exclusive")
+  endif()
+
+  # Keep stacks readable in reports and inlined frames attributable.
+  list(APPEND flags -fno-omit-frame-pointer -g)
+
+  add_compile_options(${flags})
+  add_link_options(${flags})
+  message(STATUS "semitri: sanitizers enabled: ${SEMITRI_SANITIZE}")
+endfunction()
+
+semitri_enable_sanitizers()

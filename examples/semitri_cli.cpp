@@ -134,12 +134,16 @@ int Annotate(const std::string& world_dir, const std::string& gps_path,
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::vector<std::string> f = common::Split(line, ',');
-    if (f.size() != 4) {
+    int64_t object_id = 0;
+    core::GpsPoint p;
+    if (f.size() != 4 || !common::ParseInt64(f[0], &object_id) ||
+        !common::ParseDouble(f[1], &p.position.x) ||
+        !common::ParseDouble(f[2], &p.position.y) ||
+        !common::ParseDouble(f[3], &p.time)) {
       std::fprintf(stderr, "bad gps row: %s\n", line.c_str());
       return 1;
     }
-    streams[std::stoll(f[0])].push_back(
-        {{std::stod(f[1]), std::stod(f[2])}, std::stod(f[3])});
+    streams[object_id].push_back(p);
     ++rows;
   }
   std::printf("loaded %zu records of %zu objects\n", rows, streams.size());
@@ -203,14 +207,23 @@ int main(int argc, char** argv) {
   }
   std::string command = argv[1];
   if (command == "export-world" && argc >= 3) {
-    uint64_t seed = argc >= 4 ? std::stoull(argv[3]) : 42;
-    return ExportWorld(argv[2], seed);
+    int64_t seed = 42;
+    if (argc >= 4 && !common::ParseInt64(argv[3], &seed)) {
+      std::fprintf(stderr, "bad seed: %s\n", argv[3]);
+      return 2;
+    }
+    return ExportWorld(argv[2], static_cast<uint64_t>(seed));
   }
   if (command == "simulate" && argc >= 4) {
-    int users = argc >= 5 ? std::atoi(argv[4]) : 3;
-    int days = argc >= 6 ? std::atoi(argv[5]) : 7;
-    uint64_t seed = argc >= 7 ? std::stoull(argv[6]) : 11;
-    return Simulate(argv[2], argv[3], users, days, seed);
+    int64_t users = 3, days = 7, seed = 11;
+    if ((argc >= 5 && !common::ParseInt64(argv[4], &users)) ||
+        (argc >= 6 && !common::ParseInt64(argv[5], &days)) ||
+        (argc >= 7 && !common::ParseInt64(argv[6], &seed))) {
+      std::fprintf(stderr, "bad numeric argument\n");
+      return 2;
+    }
+    return Simulate(argv[2], argv[3], static_cast<int>(users),
+                    static_cast<int>(days), static_cast<uint64_t>(seed));
   }
   if (command == "annotate" && argc >= 5) {
     return Annotate(argv[2], argv[3], argv[4]);

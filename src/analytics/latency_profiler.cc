@@ -6,9 +6,13 @@
 namespace semitri::analytics {
 
 double LatencyProfiler::Percentile(const std::string& stage, double q) const {
-  auto it = samples_.find(stage);
-  if (it == samples_.end() || it->second.empty()) return 0.0;
-  std::vector<double> sorted = it->second;
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = samples_.find(stage);
+    if (it == samples_.end() || it->second.empty()) return 0.0;
+    sorted = it->second;
+  }
   std::sort(sorted.begin(), sorted.end());
   q = std::clamp(q, 0.0, 1.0);
   size_t rank = static_cast<size_t>(

@@ -4,11 +4,18 @@
 // Per-stage latency accounting behind paper Fig. 17 (compute episodes /
 // store episodes / map match / store match / landuse join, per daily
 // trajectory).
+//
+// Thread-safe: Record and all readers serialize on an internal mutex
+// (enforced on Clang via -Wthread-safety), so one profiler can sink
+// stage timings from concurrently processed objects.
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace semitri::analytics {
 
@@ -36,16 +43,54 @@ class LatencyProfiler {
     std::chrono::steady_clock::time_point start_;
   };
 
-  void Record(const std::string& stage, double seconds) {
+  void Record(const std::string& stage, double seconds)
+      SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
     samples_[stage].push_back(seconds);
   }
 
-  size_t Count(const std::string& stage) const {
+  size_t Count(const std::string& stage) const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return CountLocked(stage);
+  }
+
+  double Total(const std::string& stage) const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return TotalLocked(stage);
+  }
+
+  double Mean(const std::string& stage) const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = CountLocked(stage);
+    return n == 0 ? 0.0 : TotalLocked(stage) / static_cast<double>(n);
+  }
+
+  // q in [0, 1]; nearest-rank percentile.
+  double Percentile(const std::string& stage, double q) const
+      SEMITRI_EXCLUDES(mutex_);
+
+  std::vector<std::string> Stages() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(samples_.size());
+    for (const auto& [stage, s] : samples_) out.push_back(stage);
+    return out;
+  }
+
+  void Clear() SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+  }
+
+ private:
+  size_t CountLocked(const std::string& stage) const
+      SEMITRI_REQUIRES(mutex_) {
     auto it = samples_.find(stage);
     return it == samples_.end() ? 0 : it->second.size();
   }
 
-  double Total(const std::string& stage) const {
+  double TotalLocked(const std::string& stage) const
+      SEMITRI_REQUIRES(mutex_) {
     auto it = samples_.find(stage);
     if (it == samples_.end()) return 0.0;
     double total = 0.0;
@@ -53,24 +98,9 @@ class LatencyProfiler {
     return total;
   }
 
-  double Mean(const std::string& stage) const {
-    size_t n = Count(stage);
-    return n == 0 ? 0.0 : Total(stage) / static_cast<double>(n);
-  }
-
-  // q in [0, 1]; nearest-rank percentile.
-  double Percentile(const std::string& stage, double q) const;
-
-  std::vector<std::string> Stages() const {
-    std::vector<std::string> out;
-    for (const auto& [stage, s] : samples_) out.push_back(stage);
-    return out;
-  }
-
-  void Clear() { samples_.clear(); }
-
- private:
-  std::map<std::string, std::vector<double>> samples_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<double>> samples_
+      SEMITRI_GUARDED_BY(mutex_);
 };
 
 }  // namespace semitri::analytics

@@ -1,5 +1,9 @@
 #include "analytics/trajectory_stats.h"
 
+#include <cstdint>
+
+#include "common/strings.h"
+
 namespace semitri::analytics {
 
 LanduseBreakdown ComputeLanduseBreakdown(
@@ -45,7 +49,11 @@ int TrajectoryCategory(const core::StructuredSemanticTrajectory& point_layer,
     if (ep.kind != core::EpisodeKind::kStop) continue;
     const std::string& id = ep.FindAnnotation("poi_category_id");
     if (id.empty()) continue;
-    size_t c = static_cast<size_t>(std::stoi(id));
+    // Annotations may come from a loaded store; ignore unparseable ids
+    // instead of throwing.
+    int64_t parsed = 0;
+    if (!common::ParseInt64(id, &parsed) || parsed < 0) continue;
+    size_t c = static_cast<size_t>(parsed);
     if (c >= num_categories) continue;
     stop_time[c] += ep.DurationSeconds();
     any = true;

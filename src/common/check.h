@@ -1,0 +1,105 @@
+#ifndef SEMITRI_COMMON_CHECK_H_
+#define SEMITRI_COMMON_CHECK_H_
+
+// Contract-check macros. Unlike bare assert(), these name the violated
+// invariant, carry a streamed context message, and print file:line
+// before aborting:
+//
+//   SEMITRI_CHECK(index < size) << "index " << index << " of " << size;
+//   SEMITRI_DCHECK(node->leaf) << "descent must end at a leaf";
+//   SEMITRI_CHECK_OK(store->PutEpisodes(id, eps)) << "while persisting";
+//
+// SEMITRI_CHECK aborts in every build type (violations are logic errors
+// whose continued execution would be undefined behavior). SEMITRI_DCHECK
+// compiles to nothing under NDEBUG and is for hot-path invariants that
+// are too expensive or too internal to verify in release builds. Both
+// evaluate their condition at most once; DCHECK does not evaluate it at
+// all under NDEBUG (the expression is only type-checked).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace semitri::common::internal {
+
+// Collects the streamed message; the destructor (end of the enclosing
+// full-expression/statement) prints everything and aborts.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  ~CheckMessage() {
+    std::string message = stream_.str();
+    std::cerr << file_ << ":" << line_ << ": check failed: " << condition_;
+    if (!message.empty()) std::cerr << " — " << message;
+    std::cerr << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+// Swallows the ostream produced by a CheckMessage chain so both arms of
+// the SEMITRI_CHECK ternary have type void. operator& binds looser than
+// operator<<, so every streamed argument attaches to the message first.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+// Holds the one-time evaluation of a status expression for
+// SEMITRI_CHECK_OK. Works with any status-like type exposing ok() and
+// ToString().
+struct StatusCheckState {
+  template <typename StatusLike>
+  explicit StatusCheckState(const StatusLike& status)
+      : ok(status.ok()), text(ok ? std::string() : status.ToString()) {}
+  bool ok;
+  std::string text;
+};
+
+}  // namespace semitri::common::internal
+
+// Aborts with context when `condition` is false, in all build types.
+// Additional context streams in: SEMITRI_CHECK(x > 0) << "x=" << x;
+#define SEMITRI_CHECK(condition)                                            \
+  (condition)                                                               \
+      ? (void)0                                                             \
+      : ::semitri::common::internal::Voidify() &                            \
+            ::semitri::common::internal::CheckMessage(__FILE__, __LINE__,   \
+                                                      #condition)           \
+                .stream()
+
+// Debug-only variant: full check without NDEBUG, compiled out (condition
+// unevaluated, only type-checked) under NDEBUG.
+#ifdef NDEBUG
+#define SEMITRI_DCHECK(condition) \
+  while (false) SEMITRI_CHECK(condition)
+#else
+#define SEMITRI_DCHECK(condition) SEMITRI_CHECK(condition)
+#endif
+
+// Aborts with the status text when a status-like expression (anything
+// with ok() and ToString(), i.e. Status and Result<T>) is not OK.
+// Evaluates the expression exactly once; context streams in. The for
+// loop runs at most one iteration — its body aborts via CheckMessage.
+#define SEMITRI_CHECK_OK(expression)                                        \
+  for (::semitri::common::internal::StatusCheckState semitri_check_state{   \
+           (expression)};                                                   \
+       !semitri_check_state.ok; semitri_check_state.ok = true)              \
+  ::semitri::common::internal::CheckMessage(                                \
+      __FILE__, __LINE__, "SEMITRI_CHECK_OK(" #expression ")")              \
+          .stream()                                                         \
+      << semitri_check_state.text << " "
+
+#endif  // SEMITRI_COMMON_CHECK_H_

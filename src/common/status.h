@@ -7,10 +7,11 @@
 // Status, or a Result<T> when they also produce a value (the RocksDB /
 // Arrow idiom). A default-constructed Status is OK.
 
-#include <cassert>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "common/check.h"
 
 namespace semitri::common {
 
@@ -77,30 +78,30 @@ class Status {
   std::string message_;
 };
 
-// A value-or-error union. Accessing value() on an error aborts in debug
-// builds; check ok() first.
+// A value-or-error union. Accessing value() on an error aborts with the
+// carried status in all build types; check ok() first.
 template <typename T>
 class Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : data_(std::move(value)) {}
   Result(Status status) : data_(std::move(status)) {
-    assert(!std::get<Status>(data_).ok() &&
-           "Result constructed from OK status carries no value");
+    SEMITRI_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status carries no value";
   }
 
   bool ok() const { return std::holds_alternative<T>(data_); }
 
   const T& value() const& {
-    assert(ok());
+    SEMITRI_CHECK(ok()) << "value() on error Result: " << status().ToString();
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok());
+    SEMITRI_CHECK(ok()) << "value() on error Result: " << status().ToString();
     return std::get<T>(data_);
   }
   T&& value() && {
-    assert(ok());
+    SEMITRI_CHECK(ok()) << "value() on error Result: " << status().ToString();
     return std::get<T>(std::move(data_));
   }
 

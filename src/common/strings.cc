@@ -1,6 +1,9 @@
 #include "common/strings.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace semitri::common {
@@ -68,6 +71,43 @@ std::string CsvEscape(std::string_view field) {
   }
   out += '"';
   return out;
+}
+
+namespace {
+
+// Shared from_chars driver: whole trimmed field or nothing.
+template <typename T>
+bool ParseWith(std::string_view text, T* out) {
+  std::string_view trimmed = StripWhitespace(text);
+  if (trimmed.empty()) return false;
+  T value{};
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  // from_chars rejects a leading '+', which CSV written by humans may
+  // carry; skip it for a nonempty remainder.
+  if (trimmed.front() == '+' && trimmed.size() > 1) ++begin;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseDouble(std::string_view text, double* out) {
+  double value = 0.0;
+  if (!ParseWith(text, &value)) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  return ParseWith(text, out);
+}
+
+bool ParseSizeT(std::string_view text, size_t* out) {
+  return ParseWith(text, out);
 }
 
 std::vector<std::string> CsvParseLine(std::string_view line) {

@@ -30,6 +30,15 @@ std::string CsvEscape(std::string_view field);
 // Parses one CSV line honoring double-quoted fields.
 std::vector<std::string> CsvParseLine(std::string_view line);
 
+// Strict whole-string numeric parsing for untrusted input (CSV rows).
+// No exceptions, no locale, no partial consumption: the entire trimmed
+// field must parse or the function returns false and leaves *out
+// untouched. ParseDouble additionally rejects non-finite values
+// ("nan"/"inf") — no schema in this codebase legitimately stores them.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseSizeT(std::string_view text, size_t* out);
+
 }  // namespace semitri::common
 
 #endif  // SEMITRI_COMMON_STRINGS_H_

@@ -1,0 +1,59 @@
+#ifndef SEMITRI_COMMON_THREAD_ANNOTATIONS_H_
+#define SEMITRI_COMMON_THREAD_ANNOTATIONS_H_
+
+// Wrappers over Clang's thread-safety attributes so locking contracts
+// ("samples_ is guarded by mutex_", "caller must hold mutex_") are
+// compiler-enforced on Clang builds (-Wthread-safety, enabled by the
+// top-level CMakeLists) and harmless no-ops elsewhere (GCC, MSVC).
+//
+// Conventions used in this codebase:
+//   * Every member touched by more than one thread carries
+//     SEMITRI_GUARDED_BY(mutex).
+//   * Private helpers called under a lock carry SEMITRI_REQUIRES(mutex)
+//     instead of re-locking.
+//   * Lock-managing helpers carry SEMITRI_ACQUIRE / SEMITRI_RELEASE.
+// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+
+#if defined(__clang__)
+#define SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+// Data members: protected by the given capability (usually a mutex).
+#define SEMITRI_GUARDED_BY(x) \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer members: the pointed-to data is protected by the capability.
+#define SEMITRI_PT_GUARDED_BY(x) \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Functions: caller must hold the capability (exclusively / shared).
+#define SEMITRI_REQUIRES(...) \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define SEMITRI_REQUIRES_SHARED(...) \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// Functions: acquire / release the capability.
+#define SEMITRI_ACQUIRE(...) \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define SEMITRI_RELEASE(...) \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Functions: must be called without the capability held.
+#define SEMITRI_EXCLUDES(...) \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Types: this type is a capability (e.g. custom mutex wrappers).
+#define SEMITRI_CAPABILITY(x) \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Types: RAII lock holders (acquire in ctor, release in dtor).
+#define SEMITRI_SCOPED_CAPABILITY \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Escape hatch: disables analysis for one function.
+#define SEMITRI_NO_THREAD_SAFETY_ANALYSIS \
+  SEMITRI_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // SEMITRI_COMMON_THREAD_ANNOTATIONS_H_

@@ -4,7 +4,33 @@
 #include <mutex>
 #include <thread>
 
+#include "common/thread_annotations.h"
+
 namespace semitri::core {
+
+namespace {
+
+// First-error-wins sink shared by the worker threads. The annotations
+// let Clang's -Wthread-safety prove `first_` is only touched under the
+// mutex.
+class ErrorCollector {
+ public:
+  void Record(const common::Status& status) SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (first_.ok()) first_ = status;
+  }
+
+  common::Status first() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  common::Status first_ SEMITRI_GUARDED_BY(mutex_);
+};
+
+}  // namespace
 
 common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
     const std::map<ObjectId, std::vector<GpsPoint>>& streams,
@@ -28,10 +54,11 @@ common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
                            : std::max(1u, std::thread::hardware_concurrency());
   num_threads = std::min(num_threads, std::max<size_t>(1, work.size()));
 
+  // Workers claim disjoint indices via `next` and write disjoint slots
+  // of `out`; the only shared mutable state is the error collector.
   std::vector<ObjectResults> out(work.size());
   std::atomic<size_t> next{0};
-  std::mutex error_mutex;
-  common::Status first_error;
+  ErrorCollector errors;
 
   auto worker = [&]() {
     while (true) {
@@ -42,8 +69,7 @@ common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
           pipeline_->ProcessStream(item.object_id, *item.stream,
                                    item.first_id);
       if (!results.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = results.status();
+        errors.Record(results.status());
         return;
       }
       out[index].object_id = item.object_id;
@@ -55,6 +81,7 @@ common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
   for (size_t i = 0; i < num_threads; ++i) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
 
+  common::Status first_error = errors.first();
   if (!first_error.ok()) return first_error;
   return out;
 }

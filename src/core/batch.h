@@ -8,9 +8,11 @@
 // sources are immutable during annotation, and SemiTriPipeline's
 // processing methods are const and thread-safe.
 //
-// Store writes are not thread-safe, so the batch processor runs the
-// pipeline without a store sink and lets the caller persist results
-// (or use StoreResults below, which writes serially).
+// The store and the latency profiler serialize internally (see their
+// SEMITRI_GUARDED_BY annotations), so a pipeline carrying those sinks
+// is safe to run from many workers. For deterministic write-through CSV
+// row order, though, prefer a sink-less pipeline plus StoreResults
+// below, which persists the merged results serially in object order.
 
 #include <map>
 #include <vector>
@@ -31,9 +33,10 @@ struct ObjectResults {
 
 class BatchProcessor {
  public:
-  // `pipeline` must outlive the processor and must have been built
-  // without a store/profiler sink (those are not thread-safe); pass
-  // results to StoreResults afterwards instead.
+  // `pipeline` must outlive the processor. A store/profiler sink on the
+  // pipeline is safe (both serialize internally) but makes write-through
+  // CSV row order scheduling-dependent; prefer StoreResults for
+  // deterministic persistence.
   explicit BatchProcessor(const SemiTriPipeline* pipeline,
                           BatchOptions options = {})
       : pipeline_(pipeline), options_(options) {}

@@ -62,8 +62,9 @@ class SemiTriPipeline {
   // Any of `regions` / `roads` / `pois` may be null: the corresponding
   // layer is skipped (the paper notes SeMiTri produces partial
   // annotations when 3rd-party sources are missing). `store` and
-  // `profiler` are optional sinks; all pointers must outlive the
-  // pipeline.
+  // `profiler` are optional sinks (both internally synchronized, so a
+  // pipeline with sinks may be shared across threads); all pointers
+  // must outlive the pipeline.
   SemiTriPipeline(const region::RegionSet* regions,
                   const road::RoadNetwork* roads, const poi::PoiSet* pois,
                   PipelineConfig config = {},

@@ -1,5 +1,6 @@
 #include "export/kml_writer.h"
 
+#include <cmath>
 #include <fstream>
 
 #include "common/strings.h"
@@ -8,6 +9,10 @@
 namespace semitri::export_ {
 
 namespace {
+
+bool IsFinitePoint(const geo::Point& p) {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
 
 std::string XmlEscape(const std::string& text) {
   std::string out;
@@ -37,6 +42,11 @@ void KmlWriter::AddTrajectory(const core::RawTrajectory& trajectory,
   std::vector<geo::Point> positions;
   positions.reserve(trajectory.points.size());
   for (const core::GpsPoint& p : trajectory.points) {
+    if (!IsFinitePoint(p.position)) {
+      NoteError(common::Status::InvalidArgument(
+          "trajectory '" + name + "' has a non-finite GPS position"));
+      return;
+    }
     positions.push_back(p.position);
   }
   std::string coords;
@@ -66,6 +76,12 @@ void KmlWriter::AddStops(const core::RawTrajectory& trajectory,
   size_t stop_index = 0;
   for (const core::Episode& ep : episodes) {
     if (ep.kind != core::EpisodeKind::kStop) continue;
+    if (!IsFinitePoint(ep.center)) {
+      NoteError(common::Status::InvalidArgument(common::StrFormat(
+          "stop episode %zu has a non-finite center", stop_index)));
+      ++stop_index;
+      continue;
+    }
     placemarks_.push_back(common::StrFormat(
         "  <Placemark>\n"
         "    <name>stop %zu</name>\n"
@@ -90,6 +106,11 @@ void KmlWriter::AddSemanticEpisodes(
     }
     geo::Point anchor =
         i < episode_anchors.size() ? episode_anchors[i] : geo::Point{};
+    if (!IsFinitePoint(anchor)) {
+      NoteError(common::Status::InvalidArgument(common::StrFormat(
+          "semantic episode %zu has a non-finite anchor", i)));
+      continue;
+    }
     placemarks_.push_back(common::StrFormat(
         "  <Placemark>\n"
         "    <name>%s/%s %zu</name>\n"
@@ -115,7 +136,12 @@ std::string KmlWriter::ToString() const {
   return out;
 }
 
+void KmlWriter::NoteError(common::Status status) {
+  if (first_error_.ok()) first_error_ = std::move(status);
+}
+
 common::Status KmlWriter::WriteFile(const std::string& path) const {
+  if (!first_error_.ok()) return first_error_;
   std::ofstream out(path);
   if (!out) return common::Status::IoError("cannot open " + path);
   out << ToString();

@@ -42,13 +42,25 @@ class KmlWriter {
   // Serializes the accumulated document.
   std::string ToString() const;
 
+  // Fails with the first accumulated error (e.g. a placemark rejected
+  // for non-finite coordinates) before touching the filesystem, so a
+  // bad geometry can never produce a silently corrupt KML file.
   common::Status WriteFile(const std::string& path) const;
+
+  // First error noted by any Add* call (OK when the document is clean).
+  // Add* methods skip offending placemarks instead of emitting
+  // "nan,nan" coordinates.
+  const common::Status& status() const { return first_error_; }
 
  private:
   std::string CoordinateOf(const geo::Point& p) const;
 
+  // Records the first Add* failure; later errors keep the first.
+  void NoteError(common::Status status);
+
   geo::LocalProjection projection_;
   std::vector<std::string> placemarks_;
+  common::Status first_error_;
 };
 
 }  // namespace semitri::export_

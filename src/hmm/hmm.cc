@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace semitri::hmm {
@@ -143,6 +144,8 @@ common::Result<ViterbiResult> Viterbi(
       best_state = i;
     }
   }
+  SEMITRI_DCHECK(best_state < n)
+      << "Viterbi termination chose state " << best_state << " of " << n;
   result.log_probability = best;
   result.states.resize(t_max);
   result.states[t_max - 1] = best_state;
@@ -198,6 +201,10 @@ double ForwardBackward(const HmmModel& model,
                        const std::vector<std::vector<double>>& emissions,
                        std::vector<std::vector<double>>* alpha,
                        std::vector<std::vector<double>>* beta) {
+  // Callers validate the model and skip empty sequences; the backward
+  // recursion below would index emissions[t_max - 1] otherwise.
+  SEMITRI_DCHECK(!emissions.empty())
+      << "ForwardBackward requires a non-empty observation sequence";
   const size_t n = model.num_states();
   const size_t t_max = emissions.size();
   alpha->assign(t_max, std::vector<double>(n, 0.0));
@@ -338,6 +345,10 @@ common::Result<BaumWelchResult> BaumWelch(
     for (size_t i = 0; i < n; ++i) {
       double row_sum = 0.0;
       for (double c : transition_counts[i]) row_sum += c;
+      SEMITRI_DCHECK(row_sum > 0.0)
+          << "transition row " << i << " has zero expected count; "
+          << "BaumWelchOptions::smoothing must be > 0 when a state can "
+          << "go unobserved";
       for (size_t j = 0; j < n; ++j) {
         result.model.transition[i][j] = transition_counts[i][j] / row_sum;
       }

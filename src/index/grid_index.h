@@ -5,11 +5,11 @@
 // layer to discretize the POI observation model (Pr(grid_jk | Ci), §4.3)
 // and as a cheap point index for the generators.
 
-#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
 #include "geo/box.h"
 #include "geo/point.h"
 
@@ -22,7 +22,8 @@ class GridIndex {
  public:
   GridIndex(const geo::BoundingBox& extent, double cell_size)
       : extent_(extent), cell_size_(cell_size) {
-    assert(cell_size > 0.0);
+    SEMITRI_CHECK(cell_size > 0.0)
+        << "grid cell size must be positive, got " << cell_size;
     cols_ = std::max<size_t>(
         1, static_cast<size_t>(std::ceil(extent.Width() / cell_size)));
     rows_ = std::max<size_t>(

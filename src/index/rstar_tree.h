@@ -16,7 +16,6 @@
 // radius queries, and deletion with tree condensation.
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <functional>
@@ -24,6 +23,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.h"
 #include "geo/box.h"
 #include "geo/point.h"
 
@@ -161,7 +161,8 @@ class RStarTree {
                              return e.value == value &&
                                     BoxesEqual(e.box, box);
                            });
-    assert(it != leaf->entries.end());
+    SEMITRI_DCHECK(it != leaf->entries.end())
+        << "FindLeaf returned a leaf that does not hold the entry";
     leaf->entries.erase(it);
     --size_;
     UpdatePathBounds(leaf);
@@ -360,7 +361,8 @@ class RStarTree {
 
   void InsertEntry(Entry entry, size_t target_level) {
     Node* n = ChooseSubtree(entry.box, target_level);
-    assert(n->leaf);
+    SEMITRI_DCHECK(n->leaf)
+        << "ChooseSubtree(level 0) must land on a leaf for data entries";
     n->entries.push_back(std::move(entry));
     UpdatePathBounds(n);
     HandleOverflow(n);
@@ -370,7 +372,9 @@ class RStarTree {
   void InsertSubtree(std::unique_ptr<Node> subtree, size_t target_level) {
     geo::BoundingBox box = NodeBounds(*subtree);
     Node* n = ChooseSubtree(box, target_level);
-    assert(!n->leaf);
+    SEMITRI_DCHECK(!n->leaf)
+        << "subtree reinsertion at level " << target_level
+        << " must target an inner node";
     subtree->parent = n;
     n->children.push_back(std::move(subtree));
     UpdatePathBounds(n);
@@ -624,7 +628,8 @@ class RStarTree {
         auto it = std::find_if(
             parent->children.begin(), parent->children.end(),
             [&](const std::unique_ptr<Node>& c) { return c.get() == n; });
-        assert(it != parent->children.end());
+        SEMITRI_DCHECK(it != parent->children.end())
+            << "underfull node is not among its parent's children";
         std::unique_ptr<Node> detached = std::move(*it);
         parent->children.erase(it);
         UpdatePathBounds(parent);

@@ -1,5 +1,7 @@
 #include "io/world_io.h"
 
+#include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <map>
 
@@ -8,6 +10,20 @@
 namespace semitri::io {
 
 namespace {
+
+// Loaded files are untrusted 3rd-party data: every numeric field goes
+// through the no-throw common::Parse* helpers (which also reject
+// nan/inf) and bad fields surface as Corruption, never as exceptions
+// or out-of-range UB downstream.
+
+common::Status CheckFinitePoint(const geo::Point& p, const char* what) {
+  if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+    return common::Status::InvalidArgument(
+        common::StrFormat("%s has non-finite coordinates (%f, %f)", what,
+                          p.x, p.y));
+  }
+  return common::Status::OK();
+}
 
 common::Status OpenForWrite(const std::string& path, std::ofstream* out) {
   out->open(path, std::ios::trunc);
@@ -33,10 +49,12 @@ common::Result<geo::Polygon> DecodeRing(const std::string& encoded) {
   std::vector<geo::Point> ring;
   for (const std::string& pair : common::Split(encoded, ';')) {
     std::vector<std::string> xy = common::Split(pair, ' ');
-    if (xy.size() != 2) {
+    geo::Point p;
+    if (xy.size() != 2 || !common::ParseDouble(xy[0], &p.x) ||
+        !common::ParseDouble(xy[1], &p.y)) {
       return common::Status::Corruption("bad ring fragment: " + pair);
     }
-    ring.push_back({std::stod(xy[0]), std::stod(xy[1])});
+    ring.push_back(p);
   }
   return geo::Polygon(std::move(ring));
 }
@@ -51,6 +69,8 @@ common::Status SaveRegions(const region::RegionSet& regions,
   for (size_t i = 0; i < regions.size(); ++i) {
     const region::SemanticRegion& r =
         regions.Get(static_cast<core::PlaceId>(i));
+    SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(r.bounds.min, "region bounds"));
+    SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(r.bounds.max, "region bounds"));
     out << common::StrFormat(
         "%lld,%d,%s,%.6f,%.6f,%.6f,%.6f,%s\n",
         static_cast<long long>(r.id), static_cast<int>(r.category),
@@ -74,13 +94,19 @@ common::Result<region::RegionSet> LoadRegions(const std::string& path) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::vector<std::string> f = common::CsvParseLine(line);
-    if (f.size() != 8) {
+    int64_t category_raw = 0;
+    if (f.size() != 8 || !common::ParseInt64(f[1], &category_raw)) {
       return common::Status::Corruption("bad regions row: " + line);
     }
-    auto category = static_cast<region::LanduseCategory>(std::stoi(f[1]));
+    auto category = static_cast<region::LanduseCategory>(category_raw);
     if (f[7].empty()) {
-      geo::BoundingBox box({std::stod(f[3]), std::stod(f[4])},
-                           {std::stod(f[5]), std::stod(f[6])});
+      geo::BoundingBox box;
+      if (!common::ParseDouble(f[3], &box.min.x) ||
+          !common::ParseDouble(f[4], &box.min.y) ||
+          !common::ParseDouble(f[5], &box.max.x) ||
+          !common::ParseDouble(f[6], &box.max.y)) {
+        return common::Status::Corruption("bad regions row: " + line);
+      }
       regions.AddCell(box, category, f[2]);
     } else {
       common::Result<geo::Polygon> ring = DecodeRing(f[7]);
@@ -97,6 +123,8 @@ common::Status SaveRoadNetwork(const road::RoadNetwork& roads,
   SEMITRI_RETURN_IF_ERROR(OpenForWrite(path, &out));
   out << "id,from,to,type,name,ax,ay,bx,by\n";
   for (const road::RoadSegment& s : roads.segments()) {
+    SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(s.shape.a, "road endpoint"));
+    SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(s.shape.b, "road endpoint"));
     out << common::StrFormat(
         "%lld,%lld,%lld,%d,%s,%.6f,%.6f,%.6f,%.6f\n",
         static_cast<long long>(s.id), static_cast<long long>(s.from),
@@ -129,14 +157,23 @@ common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::vector<std::string> f = common::CsvParseLine(line);
-    if (f.size() != 9) {
+    int64_t from_raw = 0;
+    int64_t to_raw = 0;
+    int64_t type_raw = 0;
+    geo::Point a;
+    geo::Point b;
+    if (f.size() != 9 || !common::ParseInt64(f[1], &from_raw) ||
+        !common::ParseInt64(f[2], &to_raw) ||
+        !common::ParseInt64(f[3], &type_raw) ||
+        !common::ParseDouble(f[5], &a.x) ||
+        !common::ParseDouble(f[6], &a.y) ||
+        !common::ParseDouble(f[7], &b.x) ||
+        !common::ParseDouble(f[8], &b.y)) {
       return common::Status::Corruption("bad roads row: " + line);
     }
-    road::NodeId from = intern_node(std::stoll(f[1]),
-                                    {std::stod(f[5]), std::stod(f[6])});
-    road::NodeId to =
-        intern_node(std::stoll(f[2]), {std::stod(f[7]), std::stod(f[8])});
-    roads.AddSegment(from, to, static_cast<road::RoadType>(std::stoi(f[3])),
+    road::NodeId from = intern_node(from_raw, a);
+    road::NodeId to = intern_node(to_raw, b);
+    roads.AddSegment(from, to, static_cast<road::RoadType>(type_raw),
                      f[4]);
   }
   return roads;
@@ -161,6 +198,7 @@ common::Status SavePois(const poi::PoiSet& pois, const std::string& path,
   SEMITRI_RETURN_IF_ERROR(OpenForWrite(path, &out));
   out << "id,category,name,x,y\n";
   for (const poi::Poi& p : pois.pois()) {
+    SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(p.position, "POI position"));
     out << common::StrFormat("%lld,%d,%s,%.6f,%.6f\n",
                              static_cast<long long>(p.id), p.category,
                              common::CsvEscape(p.name).c_str(),
@@ -200,16 +238,19 @@ common::Result<poi::PoiSet> LoadPois(const std::string& path,
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::vector<std::string> f = common::CsvParseLine(line);
-    if (f.size() != 5) {
+    int64_t category = 0;
+    geo::Point position;
+    if (f.size() != 5 || !common::ParseInt64(f[1], &category) ||
+        !common::ParseDouble(f[3], &position.x) ||
+        !common::ParseDouble(f[4], &position.y)) {
       return common::Status::Corruption("bad pois row: " + line);
     }
-    int category = std::stoi(f[1]);
     if (category < 0 ||
         static_cast<size_t>(category) >= pois.num_categories()) {
       return common::Status::Corruption("POI category out of range: " +
                                         line);
     }
-    pois.Add({std::stod(f[3]), std::stod(f[4])}, category, f[2]);
+    pois.Add(position, static_cast<int>(category), f[2]);
   }
   return pois;
 }

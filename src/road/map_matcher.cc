@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/check.h"
+
 namespace semitri::road {
 
 double GlobalMapMatcher::MedianSpacing(
@@ -106,6 +108,11 @@ std::vector<MatchedPoint> GlobalMapMatcher::MatchPoints(
         best_seg = seg;
       }
     }
+    // local[i] is non-empty here, so some candidate must have won: the
+    // segment lookup below would be out of bounds on the sentinel id.
+    SEMITRI_CHECK(best_seg != core::kInvalidPlaceId)
+        << "globalScore selected no segment for point " << i << " with "
+        << local[i].size() << " candidates";
     out[i].segment = best_seg;
     out[i].score = best_score;
     out[i].snapped =

@@ -1,5 +1,6 @@
 #include "store/semantic_trajectory_store.h"
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 
@@ -73,6 +74,24 @@ common::Status WriteLines(const std::string& path, const std::string& header,
   return common::Status::OK();
 }
 
+// Field accessors for LoadCsv: untrusted CSV must produce Corruption
+// statuses, never exceptions or UB (strtox helpers throw; the Parse*
+// helpers do not).
+common::Status BadRow(const char* file, const std::string& line) {
+  return common::Status::Corruption(std::string("bad ") + file +
+                                    " row: " + line);
+}
+
+bool ParseField(const std::string& field, double* out) {
+  return common::ParseDouble(field, out);
+}
+bool ParseField(const std::string& field, int64_t* out) {
+  return common::ParseInt64(field, out);
+}
+bool ParseField(const std::string& field, size_t* out) {
+  return common::ParseSizeT(field, out);
+}
+
 }  // namespace
 
 SemanticTrajectoryStore::SemanticTrajectoryStore(StoreConfig config)
@@ -97,6 +116,7 @@ common::Status SemanticTrajectoryStore::AppendWriteThrough(
 
 common::Status SemanticTrajectoryStore::PutRawTrajectory(
     const core::RawTrajectory& trajectory) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = raw_.find(trajectory.id);
   if (it != raw_.end()) {
     gps_record_count_ -= it->second.points.size();
@@ -113,6 +133,7 @@ common::Status SemanticTrajectoryStore::PutRawTrajectory(
 
 common::Status SemanticTrajectoryStore::PutEpisodes(
     core::TrajectoryId id, const std::vector<core::Episode>& episodes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = episodes_.find(id);
   if (it != episodes_.end()) episode_count_ -= it->second.size();
   episode_count_ += episodes.size();
@@ -131,6 +152,7 @@ common::Status SemanticTrajectoryStore::PutInterpretation(
     return common::Status::InvalidArgument(
         "interpretation name must be set");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   auto key = std::make_pair(trajectory.trajectory_id,
                             trajectory.interpretation);
   auto it = interpretations_.find(key);
@@ -149,6 +171,7 @@ common::Status SemanticTrajectoryStore::PutInterpretation(
 
 common::Result<core::RawTrajectory> SemanticTrajectoryStore::GetRawTrajectory(
     core::TrajectoryId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = raw_.find(id);
   if (it == raw_.end()) {
     return common::Status::NotFound(
@@ -159,6 +182,7 @@ common::Result<core::RawTrajectory> SemanticTrajectoryStore::GetRawTrajectory(
 
 common::Result<std::vector<core::Episode>>
 SemanticTrajectoryStore::GetEpisodes(core::TrajectoryId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = episodes_.find(id);
   if (it == episodes_.end()) {
     return common::Status::NotFound(common::StrFormat(
@@ -170,6 +194,7 @@ SemanticTrajectoryStore::GetEpisodes(core::TrajectoryId id) const {
 common::Result<core::StructuredSemanticTrajectory>
 SemanticTrajectoryStore::GetInterpretation(
     core::TrajectoryId id, const std::string& interpretation) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = interpretations_.find(std::make_pair(id, interpretation));
   if (it == interpretations_.end()) {
     return common::Status::NotFound(common::StrFormat(
@@ -181,6 +206,7 @@ SemanticTrajectoryStore::GetInterpretation(
 
 std::vector<core::TrajectoryId> SemanticTrajectoryStore::ListTrajectories()
     const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<core::TrajectoryId> out;
   out.reserve(raw_.size());
   for (const auto& [id, t] : raw_) out.push_back(id);
@@ -189,6 +215,7 @@ std::vector<core::TrajectoryId> SemanticTrajectoryStore::ListTrajectories()
 
 std::vector<std::string> SemanticTrajectoryStore::ListInterpretations(
     core::TrajectoryId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   for (auto it = interpretations_.lower_bound(std::make_pair(id, std::string()));
        it != interpretations_.end() && it->first.first == id; ++it) {
@@ -198,6 +225,7 @@ std::vector<std::string> SemanticTrajectoryStore::ListInterpretations(
 }
 
 common::Status SemanticTrajectoryStore::SaveCsv(const std::string& dir) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return common::Status::IoError("cannot create " + dir);
@@ -229,6 +257,7 @@ common::Status SemanticTrajectoryStore::SaveCsv(const std::string& dir) const {
 }
 
 common::Status SemanticTrajectoryStore::LoadCsv(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
   raw_.clear();
   episodes_.clear();
   interpretations_.clear();
@@ -243,15 +272,18 @@ common::Status SemanticTrajectoryStore::LoadCsv(const std::string& dir) {
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       std::vector<std::string> f = common::CsvParseLine(line);
-      if (f.size() != 5) {
-        return common::Status::Corruption("bad gps.csv row: " + line);
+      int64_t object_id = 0;
+      int64_t tid = 0;
+      core::GpsPoint p;
+      if (f.size() != 5 || !ParseField(f[0], &object_id) ||
+          !ParseField(f[1], &tid) || !ParseField(f[2], &p.position.x) ||
+          !ParseField(f[3], &p.position.y) || !ParseField(f[4], &p.time)) {
+        return BadRow("gps.csv", line);
       }
-      core::TrajectoryId tid = std::stoll(f[1]);
       core::RawTrajectory& t = raw_[tid];
       t.id = tid;
-      t.object_id = std::stoll(f[0]);
-      t.points.push_back(
-          {{std::stod(f[2]), std::stod(f[3])}, std::stod(f[4])});
+      t.object_id = object_id;
+      t.points.push_back(p);
       ++gps_record_count_;
     }
   }
@@ -266,23 +298,23 @@ common::Status SemanticTrajectoryStore::LoadCsv(const std::string& dir) {
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       std::vector<std::string> f = common::CsvParseLine(line);
-      if (f.size() != 13) {
-        return common::Status::Corruption("bad episodes.csv row: " + line);
-      }
       core::Episode e;
-      core::TrajectoryId tid = std::stoll(f[0]);
-      std::string kind = f[2];
+      int64_t tid = 0;
+      if (f.size() != 13 || !ParseField(f[0], &tid) ||
+          !ParseField(f[3], &e.begin) || !ParseField(f[4], &e.end) ||
+          !ParseField(f[5], &e.time_in) || !ParseField(f[6], &e.time_out) ||
+          !ParseField(f[7], &e.center.x) || !ParseField(f[8], &e.center.y) ||
+          !ParseField(f[9], &e.bounds.min.x) ||
+          !ParseField(f[10], &e.bounds.min.y) ||
+          !ParseField(f[11], &e.bounds.max.x) ||
+          !ParseField(f[12], &e.bounds.max.y)) {
+        return BadRow("episodes.csv", line);
+      }
+      const std::string& kind = f[2];
       e.kind = kind == "stop"    ? core::EpisodeKind::kStop
                : kind == "move"  ? core::EpisodeKind::kMove
                : kind == "begin" ? core::EpisodeKind::kBegin
                                  : core::EpisodeKind::kEnd;
-      e.begin = std::stoull(f[3]);
-      e.end = std::stoull(f[4]);
-      e.time_in = std::stod(f[5]);
-      e.time_out = std::stod(f[6]);
-      e.center = {std::stod(f[7]), std::stod(f[8])};
-      e.bounds = {{std::stod(f[9]), std::stod(f[10])},
-                  {std::stod(f[11]), std::stod(f[12])}};
       episodes_[tid].push_back(e);
       ++episode_count_;
     }
@@ -299,29 +331,28 @@ common::Status SemanticTrajectoryStore::LoadCsv(const std::string& dir) {
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       std::vector<std::string> f = common::CsvParseLine(line);
-      if (f.size() != 10) {
-        return common::Status::Corruption("bad semantic_episodes.csv row: " +
-                                          line);
+      int64_t object_id = 0;
+      int64_t tid = 0;
+      core::SemanticEpisode ep;
+      if (f.size() != 10 || !ParseField(f[0], &object_id) ||
+          !ParseField(f[1], &tid) || !ParseField(f[6], &ep.place.id) ||
+          !ParseField(f[7], &ep.time_in) || !ParseField(f[8], &ep.time_out)) {
+        return BadRow("semantic_episodes.csv", line);
       }
-      auto key = std::make_pair<core::TrajectoryId, std::string>(
-          std::stoll(f[1]), std::string(f[2]));
+      auto key = std::make_pair(static_cast<core::TrajectoryId>(tid), f[2]);
       core::StructuredSemanticTrajectory& t = interpretations_[key];
-      t.object_id = std::stoll(f[0]);
+      t.object_id = object_id;
       t.trajectory_id = key.first;
       t.interpretation = key.second;
-      core::SemanticEpisode ep;
-      std::string kind = f[4];
+      const std::string& kind = f[4];
       ep.kind = kind == "stop"    ? core::EpisodeKind::kStop
                 : kind == "move"  ? core::EpisodeKind::kMove
                 : kind == "begin" ? core::EpisodeKind::kBegin
                                   : core::EpisodeKind::kEnd;
-      std::string place_kind = f[5];
+      const std::string& place_kind = f[5];
       ep.place.kind = place_kind == "region" ? core::PlaceKind::kRegion
                       : place_kind == "line" ? core::PlaceKind::kLine
                                              : core::PlaceKind::kPoint;
-      ep.place.id = std::stoll(f[6]);
-      ep.time_in = std::stod(f[7]);
-      ep.time_out = std::stod(f[8]);
       if (!f[9].empty()) {
         for (const std::string& pair : common::Split(f[9], ';')) {
           size_t eq = pair.find('=');

@@ -8,12 +8,19 @@
 // write-through mode appends every Put to CSV files on disk, which
 // reproduces the latency profile of Fig. 17 (storing dominates
 // computing).
+//
+// Thread-safe: every table access serializes on an internal mutex, so
+// the "store writes are serial" contract is enforced by the store itself
+// (and, on Clang builds, by -Wthread-safety over the annotations below)
+// rather than by caller discipline.
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/types.h"
 
 namespace semitri::store {
@@ -32,62 +39,85 @@ class SemanticTrajectoryStore {
 
   // Stores a raw trajectory (GPS-record and trajectory tables).
   // Overwrites an existing trajectory with the same id.
-  common::Status PutRawTrajectory(const core::RawTrajectory& trajectory);
+  common::Status PutRawTrajectory(const core::RawTrajectory& trajectory)
+      SEMITRI_EXCLUDES(mutex_);
 
   // Stores the stop/move segmentation of a trajectory.
   common::Status PutEpisodes(core::TrajectoryId id,
-                             const std::vector<core::Episode>& episodes);
+                             const std::vector<core::Episode>& episodes)
+      SEMITRI_EXCLUDES(mutex_);
 
   // Stores one layer's interpretation (keyed by its `interpretation`
   // name: "region", "line", "point").
   common::Status PutInterpretation(
-      const core::StructuredSemanticTrajectory& trajectory);
+      const core::StructuredSemanticTrajectory& trajectory)
+      SEMITRI_EXCLUDES(mutex_);
 
   // --- reads ----------------------------------------------------------
 
   common::Result<core::RawTrajectory> GetRawTrajectory(
-      core::TrajectoryId id) const;
+      core::TrajectoryId id) const SEMITRI_EXCLUDES(mutex_);
   common::Result<std::vector<core::Episode>> GetEpisodes(
-      core::TrajectoryId id) const;
+      core::TrajectoryId id) const SEMITRI_EXCLUDES(mutex_);
   common::Result<core::StructuredSemanticTrajectory> GetInterpretation(
-      core::TrajectoryId id, const std::string& interpretation) const;
+      core::TrajectoryId id, const std::string& interpretation) const
+      SEMITRI_EXCLUDES(mutex_);
 
-  std::vector<core::TrajectoryId> ListTrajectories() const;
+  std::vector<core::TrajectoryId> ListTrajectories() const
+      SEMITRI_EXCLUDES(mutex_);
 
   // Interpretation names stored for a trajectory ("region", "line", ...).
-  std::vector<std::string> ListInterpretations(core::TrajectoryId id) const;
+  std::vector<std::string> ListInterpretations(core::TrajectoryId id) const
+      SEMITRI_EXCLUDES(mutex_);
 
   // --- stats ----------------------------------------------------------
 
-  size_t num_trajectories() const { return raw_.size(); }
-  size_t num_gps_records() const { return gps_record_count_; }
-  size_t num_episodes() const { return episode_count_; }
-  size_t num_semantic_episodes() const { return semantic_episode_count_; }
+  size_t num_trajectories() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return raw_.size();
+  }
+  size_t num_gps_records() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gps_record_count_;
+  }
+  size_t num_episodes() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return episode_count_;
+  }
+  size_t num_semantic_episodes() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return semantic_episode_count_;
+  }
 
   // --- persistence ----------------------------------------------------
 
   // Writes all tables as CSV files (gps.csv, episodes.csv,
   // semantic_episodes.csv) under `dir`.
-  common::Status SaveCsv(const std::string& dir) const;
+  common::Status SaveCsv(const std::string& dir) const
+      SEMITRI_EXCLUDES(mutex_);
 
   // Loads tables previously written by SaveCsv, replacing content.
-  common::Status LoadCsv(const std::string& dir);
+  common::Status LoadCsv(const std::string& dir) SEMITRI_EXCLUDES(mutex_);
 
  private:
   common::Status AppendWriteThrough(const std::string& file,
                                     const std::string& header,
-                                    const std::vector<std::string>& rows);
+                                    const std::vector<std::string>& rows)
+      SEMITRI_REQUIRES(mutex_);
 
   StoreConfig config_;
-  std::map<core::TrajectoryId, core::RawTrajectory> raw_;
-  std::map<core::TrajectoryId, std::vector<core::Episode>> episodes_;
+  mutable std::mutex mutex_;
+  std::map<core::TrajectoryId, core::RawTrajectory> raw_
+      SEMITRI_GUARDED_BY(mutex_);
+  std::map<core::TrajectoryId, std::vector<core::Episode>> episodes_
+      SEMITRI_GUARDED_BY(mutex_);
   // (trajectory, interpretation) -> structured semantic trajectory
   std::map<std::pair<core::TrajectoryId, std::string>,
            core::StructuredSemanticTrajectory>
-      interpretations_;
-  size_t gps_record_count_ = 0;
-  size_t episode_count_ = 0;
-  size_t semantic_episode_count_ = 0;
+      interpretations_ SEMITRI_GUARDED_BY(mutex_);
+  size_t gps_record_count_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t episode_count_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t semantic_episode_count_ SEMITRI_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace semitri::store

@@ -1,7 +1,8 @@
 #include "traj/segmentation.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace semitri::traj {
 
@@ -82,8 +83,12 @@ std::vector<bool> StopMoveSegmenter::ClassifyStopsDensity(
 
 void FinalizeEpisode(const core::RawTrajectory& trajectory,
                      core::Episode* episode) {
-  assert(episode->begin < episode->end);
-  assert(episode->end <= trajectory.points.size());
+  SEMITRI_CHECK(episode->begin < episode->end)
+      << "episode [" << episode->begin << ", " << episode->end
+      << ") must cover at least one point";
+  SEMITRI_CHECK(episode->end <= trajectory.points.size())
+      << "episode end " << episode->end << " exceeds trajectory size "
+      << trajectory.points.size();
   const auto& pts = trajectory.points;
   episode->time_in = pts[episode->begin].time;
   episode->time_out = pts[episode->end - 1].time;

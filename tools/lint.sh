@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit and header in src/, using the compilation database
+# exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir defaults to ./build; it must contain compile_commands.json.
+#
+# Exits nonzero on any diagnostic. If clang-tidy is not installed the
+# script prints a notice and exits 0 so the `lint` target is a no-op on
+# machines without LLVM tooling (CI runs it with clang-tidy present).
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    tidy="${candidate}"
+    break
+  fi
+done
+if [[ -z "${tidy}" ]]; then
+  echo "lint: clang-tidy not found on PATH; skipping (install LLVM tools" \
+       "to enable the lint target)"
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "lint: ${build_dir}/compile_commands.json not found." >&2
+  echo "lint: configure first: cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 1
+fi
+
+cd "${repo_root}"
+mapfile -t sources < <(find src -name '*.cc' | sort)
+
+echo "lint: ${tidy} over ${#sources[@]} translation units" \
+     "(headers via --header-filter)"
+status=0
+for source in "${sources[@]}"; do
+  # --quiet suppresses the "N warnings generated" chatter; --warnings-as-
+  # errors promotes everything the config enables so CI fails on any hit.
+  if ! "${tidy}" --quiet -p "${build_dir}" \
+       --warnings-as-errors='*' "${source}"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "lint: clang-tidy reported diagnostics" >&2
+fi
+exit ${status}
