@@ -1,23 +1,45 @@
-// Ablation — R*-tree candidate retrieval versus linear scan, the
+// Ablation — spatial-index candidate retrieval versus linear scan, the
 // efficiency claim behind Algorithm 1 (O(n log m)) and Algorithm 2
 // ("candidate segments ... efficiently accessed with R*-tree index").
 //
-// google-benchmark microbenchmark: candidate-segment queries and
-// nearest-segment queries against networks of growing size.
+// Every repository programs against the SpatialIndex interface, so the
+// backend ablation (R*-tree vs uniform grid) is a pure config flip: the
+// same benchmark body runs once per IndexBackend, selected by the
+// second benchmark argument.
+//
+// google-benchmark microbenchmark: candidate-segment queries,
+// nearest-segment queries, and index construction against networks of
+// growing size.
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "index/spatial_index.h"
 #include "road/road_network.h"
 
 using namespace semitri;
 
 namespace {
 
-// Builds a synthetic grid-ish network with `approx_segments` segments.
-road::RoadNetwork MakeNetwork(size_t approx_segments) {
+index::SpatialIndexConfig BackendConfig(int64_t which) {
+  index::SpatialIndexConfig config;
+  config.backend = which == 0 ? index::IndexBackend::kRStarTree
+                              : index::IndexBackend::kUniformGrid;
+  return config;
+}
+
+void SetBackendLabel(benchmark::State& state, const road::RoadNetwork& net) {
+  state.SetLabel(std::string(index::IndexBackendName(
+                     net.spatial_index().backend())) +
+                 ", " + std::to_string(net.num_segments()) + " segments");
+}
+
+// Builds a synthetic grid-ish network with `approx_segments` segments
+// over the configured index backend.
+road::RoadNetwork MakeNetwork(size_t approx_segments,
+                              index::SpatialIndexConfig index_config) {
   common::Rng rng(42);
-  road::RoadNetwork net;
+  road::RoadNetwork net(index_config);
   size_t nodes_per_side = static_cast<size_t>(
       std::sqrt(static_cast<double>(approx_segments) / 2.0)) + 1;
   double extent = 10000.0;
@@ -41,27 +63,31 @@ road::RoadNetwork MakeNetwork(size_t approx_segments) {
   return net;
 }
 
-void BM_CandidateSegmentsRTree(benchmark::State& state) {
-  road::RoadNetwork net = MakeNetwork(static_cast<size_t>(state.range(0)));
+void BM_CandidateSegments(benchmark::State& state) {
+  road::RoadNetwork net = MakeNetwork(static_cast<size_t>(state.range(0)),
+                                      BackendConfig(state.range(1)));
   common::Rng rng(7);
   for (auto _ : state) {
     geo::Point p{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
     benchmark::DoNotOptimize(net.CandidateSegments(p, 60.0));
   }
-  state.SetLabel(std::to_string(net.num_segments()) + " segments");
+  SetBackendLabel(state, net);
 }
 
-void BM_NearestSegmentRTree(benchmark::State& state) {
-  road::RoadNetwork net = MakeNetwork(static_cast<size_t>(state.range(0)));
+void BM_NearestSegment(benchmark::State& state) {
+  road::RoadNetwork net = MakeNetwork(static_cast<size_t>(state.range(0)),
+                                      BackendConfig(state.range(1)));
   common::Rng rng(7);
   for (auto _ : state) {
     geo::Point p{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
     benchmark::DoNotOptimize(net.NearestSegment(p));
   }
+  SetBackendLabel(state, net);
 }
 
 void BM_NearestSegmentLinear(benchmark::State& state) {
-  road::RoadNetwork net = MakeNetwork(static_cast<size_t>(state.range(0)));
+  road::RoadNetwork net = MakeNetwork(static_cast<size_t>(state.range(0)),
+                                      index::SpatialIndexConfig{});
   common::Rng rng(7);
   for (auto _ : state) {
     geo::Point p{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
@@ -69,50 +95,56 @@ void BM_NearestSegmentLinear(benchmark::State& state) {
   }
 }
 
-// Construction cost: repeated insertion vs STR bulk loading.
-void BM_TreeBuildIncremental(benchmark::State& state) {
+// Construction cost through the unified interface: repeated insertion
+// vs bulk loading, per backend.
+void BM_IndexBuildIncremental(benchmark::State& state) {
   common::Rng rng(42);
   size_t n = static_cast<size_t>(state.range(0));
-  std::vector<index::RStarTree<int>::Entry> entries;
+  std::vector<index::SpatialEntry<int>> entries;
   for (size_t i = 0; i < n; ++i) {
     geo::Point p{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
     entries.push_back({geo::BoundingBox::FromPoint(p), static_cast<int>(i)});
   }
+  index::SpatialIndexConfig config = BackendConfig(state.range(1));
   for (auto _ : state) {
-    index::RStarTree<int> tree(16);
-    for (const auto& e : entries) tree.Insert(e.box, e.value);
-    benchmark::DoNotOptimize(tree.size());
+    auto idx = index::MakeSpatialIndex<int>(config);
+    for (const auto& e : entries) idx->Insert(e.box, e.value);
+    benchmark::DoNotOptimize(idx->size());
   }
+  state.SetLabel(index::IndexBackendName(config.backend));
 }
 
-void BM_TreeBuildStrBulkLoad(benchmark::State& state) {
+void BM_IndexBuildBulkLoad(benchmark::State& state) {
   common::Rng rng(42);
   size_t n = static_cast<size_t>(state.range(0));
-  std::vector<index::RStarTree<int>::Entry> entries;
+  std::vector<index::SpatialEntry<int>> entries;
   for (size_t i = 0; i < n; ++i) {
     geo::Point p{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
     entries.push_back({geo::BoundingBox::FromPoint(p), static_cast<int>(i)});
   }
+  index::SpatialIndexConfig config = BackendConfig(state.range(1));
   for (auto _ : state) {
     auto copy = entries;
-    index::RStarTree<int> tree =
-        index::RStarTree<int>::BulkLoad(std::move(copy), 16);
-    benchmark::DoNotOptimize(tree.size());
+    auto idx = index::MakeSpatialIndex<int>(config);
+    idx->BulkLoad(std::move(copy));
+    benchmark::DoNotOptimize(idx->size());
   }
+  state.SetLabel(index::IndexBackendName(config.backend));
 }
 
 }  // namespace
 
-BENCHMARK(BM_CandidateSegmentsRTree)->Arg(1000)->Arg(10000)->Arg(100000);
-BENCHMARK(BM_NearestSegmentRTree)->Arg(1000)->Arg(10000)->Arg(100000);
+// Second argument: 0 = rstar_tree, 1 = uniform_grid.
+BENCHMARK(BM_CandidateSegments)
+    ->ArgsProduct({{1000, 10000, 100000}, {0, 1}});
+BENCHMARK(BM_NearestSegment)
+    ->ArgsProduct({{1000, 10000, 100000}, {0, 1}});
 BENCHMARK(BM_NearestSegmentLinear)->Arg(1000)->Arg(10000)->Arg(100000);
-BENCHMARK(BM_TreeBuildIncremental)
-    ->Arg(10000)
-    ->Arg(100000)
+BENCHMARK(BM_IndexBuildIncremental)
+    ->ArgsProduct({{10000, 100000}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TreeBuildStrBulkLoad)
-    ->Arg(10000)
-    ->Arg(100000)
+BENCHMARK(BM_IndexBuildBulkLoad)
+    ->ArgsProduct({{10000, 100000}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -87,7 +87,7 @@ int Simulate(const std::string& world_dir, const std::string& out_path,
   world.regions = std::move(loaded->regions);
   world.roads = std::move(loaded->roads);
   world.pois = std::move(loaded->pois);
-  world.extent = world.regions.tree().Bounds();
+  world.extent = world.regions.Bounds();
   world.config.extent_meters = world.extent.Width();
 
   datagen::DatasetFactory factory(&world, seed);

@@ -1,0 +1,60 @@
+#ifndef SEMITRI_CORE_ANNOTATION_CONTEXT_H_
+#define SEMITRI_CORE_ANNOTATION_CONTEXT_H_
+
+// Shared state flowing through the annotation stage graph (paper
+// Fig. 2): the raw input trajectory, the artifacts of the Trajectory
+// Computation Layer (cleaned trace, stop/move episodes), one
+// StructuredSemanticTrajectory per annotation layer, and the optional
+// sinks (store, latency profiler).
+
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace semitri::analytics {
+class LatencyProfiler;
+}  // namespace semitri::analytics
+
+namespace semitri::store {
+class SemanticTrajectoryStore;
+}  // namespace semitri::store
+
+namespace semitri::core {
+
+// The three annotation layers of Fig. 2.
+enum class Layer { kRegion, kLine, kPoint };
+
+const char* LayerName(Layer layer);
+
+// Everything the pipeline derives from one raw trajectory.
+struct PipelineResult {
+  RawTrajectory cleaned;
+  std::vector<Episode> episodes;
+  // Layers are present when the corresponding source was supplied.
+  std::optional<StructuredSemanticTrajectory> region_layer;
+  std::optional<StructuredSemanticTrajectory> line_layer;
+  std::optional<StructuredSemanticTrajectory> point_layer;
+
+  size_t NumStops() const;
+  size_t NumMoves() const;
+
+  std::optional<StructuredSemanticTrajectory>& layer(Layer which);
+  const std::optional<StructuredSemanticTrajectory>& layer(Layer which) const;
+};
+
+// Mutable context handed to every AnnotationStage::Run. Stages read the
+// artifacts earlier stages produced and write their own; the sinks are
+// shared and internally synchronized.
+struct AnnotationContext {
+  // Input trajectory; null when a stage graph is (re-)run from cached
+  // artifacts already present in `result` (see ReannotateLayer).
+  const RawTrajectory* raw = nullptr;
+  PipelineResult result;
+  store::SemanticTrajectoryStore* store = nullptr;
+  analytics::LatencyProfiler* profiler = nullptr;
+};
+
+}  // namespace semitri::core
+
+#endif  // SEMITRI_CORE_ANNOTATION_CONTEXT_H_

@@ -83,6 +83,9 @@ common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
 
   common::Status first_error = errors.first();
   if (!first_error.ok()) return first_error;
+  // `out` is indexed by the sorted std::map iteration order, so results
+  // are deterministically ordered by ObjectId regardless of which worker
+  // processed which stream.
   return out;
 }
 

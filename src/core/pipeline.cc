@@ -1,39 +1,11 @@
 #include "core/pipeline.h"
 
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
 namespace semitri::core {
-
-namespace {
-
-// Times a stage only when a profiler is attached.
-class StageTimer {
- public:
-  StageTimer(analytics::LatencyProfiler* profiler, const char* stage) {
-    if (profiler != nullptr) {
-      scope_.emplace(profiler, stage);
-    }
-  }
-
- private:
-  std::optional<analytics::LatencyProfiler::Scope> scope_;
-};
-
-}  // namespace
-
-size_t PipelineResult::NumStops() const {
-  size_t n = 0;
-  for (const Episode& e : episodes) {
-    if (e.kind == EpisodeKind::kStop) ++n;
-  }
-  return n;
-}
-
-size_t PipelineResult::NumMoves() const {
-  size_t n = 0;
-  for (const Episode& e : episodes) {
-    if (e.kind == EpisodeKind::kMove) ++n;
-  }
-  return n;
-}
 
 SemiTriPipeline::SemiTriPipeline(const region::RegionSet* regions,
                                  const road::RoadNetwork* roads,
@@ -47,6 +19,10 @@ SemiTriPipeline::SemiTriPipeline(const region::RegionSet* regions,
       segmenter_(config_.segmentation),
       store_(store),
       profiler_(profiler) {
+  if (config_.region_per_point) {
+    config_.region.granularity =
+        region::RegionAnnotatorConfig::Granularity::kPerPoint;
+  }
   if (regions != nullptr) {
     region_annotator_ =
         std::make_unique<region::RegionAnnotator>(regions, config_.region);
@@ -59,65 +35,53 @@ SemiTriPipeline::SemiTriPipeline(const region::RegionSet* regions,
     point_annotator_ =
         std::make_unique<poi::PointAnnotator>(pois, config_.point);
   }
+  BuildDefaultGraph(store);
+}
+
+void SemiTriPipeline::BuildDefaultGraph(store::SemanticTrajectoryStore* store) {
+  auto add = [this](std::unique_ptr<AnnotationStage> stage) {
+    common::Status status = graph_.Add(std::move(stage));
+    SEMITRI_CHECK(status.ok()) << status.ToString();
+  };
+  // Registration order is the legacy execution order: the stable
+  // topological sort keeps it, so store rows and latency samples appear
+  // exactly as the monolithic pipeline produced them.
+  add(std::make_unique<ComputeEpisodeStage>(&preprocessor_, &segmenter_));
+  if (store != nullptr) {
+    add(std::make_unique<StoreEpisodeStage>());
+  }
+  std::vector<std::string> annotation_stages;
+  if (region_annotator_ != nullptr) {
+    add(std::make_unique<RegionAnnotationStage>(region_annotator_.get()));
+    annotation_stages.push_back(kStageLanduseJoin);
+  }
+  if (line_annotator_ != nullptr) {
+    add(std::make_unique<LineAnnotationStage>(line_annotator_.get()));
+    annotation_stages.push_back(kStageMapMatch);
+    if (store != nullptr) {
+      add(std::make_unique<StoreMatchStage>());
+    }
+  }
+  if (point_annotator_ != nullptr) {
+    add(std::make_unique<PointAnnotationStage>(point_annotator_.get()));
+    annotation_stages.push_back(kStagePointAnnotation);
+  }
+  if (store != nullptr) {
+    add(std::make_unique<StoreInterpretationStage>(
+        std::move(annotation_stages)));
+  }
+  common::Status status = graph_.Finalize();
+  SEMITRI_CHECK(status.ok()) << status.ToString();
 }
 
 common::Result<PipelineResult> SemiTriPipeline::ProcessTrajectory(
     const RawTrajectory& raw) const {
-  PipelineResult result;
-
-  // --- Trajectory Computation Layer ----------------------------------
-  {
-    StageTimer timer(profiler_, kStageComputeEpisode);
-    result.cleaned = preprocessor_.Clean(raw);
-    result.episodes = segmenter_.Segment(result.cleaned);
-  }
-  if (store_ != nullptr) {
-    StageTimer timer(profiler_, kStageStoreEpisode);
-    SEMITRI_RETURN_IF_ERROR(store_->PutRawTrajectory(result.cleaned));
-    SEMITRI_RETURN_IF_ERROR(
-        store_->PutEpisodes(result.cleaned.id, result.episodes));
-  }
-
-  // --- Semantic Region Annotation Layer -------------------------------
-  if (region_annotator_ != nullptr) {
-    StageTimer timer(profiler_, kStageLanduseJoin);
-    result.region_layer =
-        config_.region_per_point
-            ? region_annotator_->AnnotateTrajectory(result.cleaned)
-            : region_annotator_->AnnotateEpisodes(result.cleaned,
-                                                  result.episodes);
-  }
-  // --- Semantic Line Annotation Layer ---------------------------------
-  if (line_annotator_ != nullptr) {
-    {
-      StageTimer timer(profiler_, kStageMapMatch);
-      result.line_layer =
-          line_annotator_->Annotate(result.cleaned, result.episodes);
-    }
-    if (store_ != nullptr) {
-      StageTimer timer(profiler_, kStageStoreMatch);
-      SEMITRI_RETURN_IF_ERROR(store_->PutInterpretation(*result.line_layer));
-    }
-  }
-  // --- Semantic Point Annotation Layer --------------------------------
-  if (point_annotator_ != nullptr) {
-    StageTimer timer(profiler_, kStagePointAnnotation);
-    common::Result<StructuredSemanticTrajectory> point_layer =
-        point_annotator_->Annotate(result.cleaned, result.episodes);
-    if (!point_layer.ok()) return point_layer.status();
-    result.point_layer = std::move(*point_layer);
-  }
-  // Store the remaining interpretations.
-  if (store_ != nullptr) {
-    if (result.region_layer.has_value()) {
-      SEMITRI_RETURN_IF_ERROR(
-          store_->PutInterpretation(*result.region_layer));
-    }
-    if (result.point_layer.has_value()) {
-      SEMITRI_RETURN_IF_ERROR(store_->PutInterpretation(*result.point_layer));
-    }
-  }
-  return result;
+  AnnotationContext context;
+  context.raw = &raw;
+  context.store = store_;
+  context.profiler = profiler_;
+  SEMITRI_RETURN_IF_ERROR(graph_.Run(context));
+  return std::move(context.result);
 }
 
 common::Result<std::vector<PipelineResult>> SemiTriPipeline::ProcessStream(
@@ -133,6 +97,45 @@ common::Result<std::vector<PipelineResult>> SemiTriPipeline::ProcessStream(
     out.push_back(std::move(*result));
   }
   return out;
+}
+
+common::Result<PipelineResult> SemiTriPipeline::ReannotateLayer(
+    PipelineResult result, Layer layer) const {
+  const char* stage_name = nullptr;
+  switch (layer) {
+    case Layer::kRegion:
+      stage_name = kStageLanduseJoin;
+      break;
+    case Layer::kLine:
+      stage_name = kStageMapMatch;
+      break;
+    case Layer::kPoint:
+      stage_name = kStagePointAnnotation;
+      break;
+  }
+  if (graph_.Find(stage_name) == nullptr) {
+    return common::Status::FailedPrecondition(
+        std::string("no ") + LayerName(layer) +
+        " annotation layer in this pipeline (semantic source not supplied)");
+  }
+  AnnotationContext context;
+  context.result = std::move(result);
+  context.store = store_;
+  context.profiler = profiler_;
+  SEMITRI_RETURN_IF_ERROR(graph_.RunStage(stage_name, context));
+  // Write the recomputed layer through to the store the same way a full
+  // run would: line results under the profiled store_match_result stage,
+  // region/point in the unprofiled write-back tail (but only this layer —
+  // the others on `result` are untouched).
+  if (layer == Layer::kLine) {
+    if (graph_.Find(kStageStoreMatch) != nullptr) {
+      SEMITRI_RETURN_IF_ERROR(graph_.RunStage(kStageStoreMatch, context));
+    }
+  } else if (store_ != nullptr && context.result.layer(layer).has_value()) {
+    SEMITRI_RETURN_IF_ERROR(
+        store_->PutInterpretation(*context.result.layer(layer)));
+  }
+  return std::move(context.result);
 }
 
 }  // namespace semitri::core

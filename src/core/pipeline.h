@@ -1,11 +1,14 @@
 #ifndef SEMITRI_CORE_PIPELINE_H_
 #define SEMITRI_CORE_PIPELINE_H_
 
-// SeMiTri end-to-end pipeline (paper Fig. 2): Trajectory Computation
-// Layer (cleaning, identification, stop/move episodes), then the three
-// annotation layers (region / line / point), writing products into the
-// Semantic Trajectory Store and accounting per-stage latency with the
-// stage names of Fig. 17.
+// SeMiTri end-to-end pipeline (paper Fig. 2), as a thin facade over an
+// annotation stage graph: the Trajectory Computation Layer (cleaning,
+// identification, stop/move episodes) feeds the three annotation layers
+// (region / line / point), which write their products into the Semantic
+// Trajectory Store with per-stage latency accounted under the Fig. 17
+// stage names. Layers are independent stages, so a single layer can be
+// recomputed from cached episodes (ReannotateLayer) — e.g. after a POI
+// repository refresh — without redoing trajectory computation.
 
 #include <memory>
 #include <optional>
@@ -13,6 +16,8 @@
 
 #include "analytics/latency_profiler.h"
 #include "common/status.h"
+#include "core/stage.h"
+#include "core/stages.h"
 #include "core/types.h"
 #include "poi/point_annotator.h"
 #include "region/region_annotator.h"
@@ -31,31 +36,11 @@ struct PipelineConfig {
   region::RegionAnnotatorConfig region;
   road::LineAnnotatorConfig line;
   poi::PointAnnotatorConfig point;
-  // Region layer granularity: per-GPS-point Algorithm 1 (true) or
-  // per-episode join (false).
+  // DEPRECATED alias for region.granularity == kPerPoint; layer policy
+  // lives in RegionAnnotatorConfig now. Honored (ORed into the region
+  // config) for one release, then removed.
   bool region_per_point = false;
 };
-
-// Everything the pipeline derives from one raw trajectory.
-struct PipelineResult {
-  RawTrajectory cleaned;
-  std::vector<Episode> episodes;
-  // Layers are present when the corresponding source was supplied.
-  std::optional<StructuredSemanticTrajectory> region_layer;
-  std::optional<StructuredSemanticTrajectory> line_layer;
-  std::optional<StructuredSemanticTrajectory> point_layer;
-
-  size_t NumStops() const;
-  size_t NumMoves() const;
-};
-
-// Fig. 17 stage names.
-inline constexpr char kStageComputeEpisode[] = "compute_episode";
-inline constexpr char kStageStoreEpisode[] = "store_episode";
-inline constexpr char kStageMapMatch[] = "map_match";
-inline constexpr char kStageStoreMatch[] = "store_match_result";
-inline constexpr char kStageLanduseJoin[] = "landuse_join";
-inline constexpr char kStagePointAnnotation[] = "point_annotation";
 
 class SemiTriPipeline {
  public:
@@ -71,8 +56,8 @@ class SemiTriPipeline {
                   store::SemanticTrajectoryStore* store = nullptr,
                   analytics::LatencyProfiler* profiler = nullptr);
 
-  // Full per-trajectory processing: clean -> episodes -> annotate ->
-  // store.
+  // Full per-trajectory processing: runs the default stage graph
+  // (clean -> episodes -> annotate -> store).
   common::Result<PipelineResult> ProcessTrajectory(
       const RawTrajectory& raw) const;
 
@@ -82,10 +67,25 @@ class SemiTriPipeline {
       ObjectId object_id, const std::vector<GpsPoint>& stream,
       TrajectoryId first_id = 0) const;
 
+  // Recomputes one annotation layer from the cached trajectory
+  // computation in `result` (cleaned trace + episodes), leaving the
+  // other layers untouched. The recomputed layer is identical to what a
+  // full ProcessTrajectory would produce, and is written through to the
+  // store sink when one is attached. Error if the layer's semantic
+  // source was not supplied.
+  common::Result<PipelineResult> ReannotateLayer(PipelineResult result,
+                                                 Layer layer) const;
+
+  // The stage graph this pipeline runs (finalized; inspect with
+  // ExecutionOrder / Find).
+  const StageGraph& graph() const { return graph_; }
+
   const traj::TrajectoryIdentifier& identifier() const { return identifier_; }
   const traj::StopMoveSegmenter& segmenter() const { return segmenter_; }
 
  private:
+  void BuildDefaultGraph(store::SemanticTrajectoryStore* store);
+
   PipelineConfig config_;
   traj::Preprocessor preprocessor_;
   traj::TrajectoryIdentifier identifier_;
@@ -95,6 +95,7 @@ class SemiTriPipeline {
   std::unique_ptr<poi::PointAnnotator> point_annotator_;
   store::SemanticTrajectoryStore* store_;
   analytics::LatencyProfiler* profiler_;
+  StageGraph graph_;
 };
 
 }  // namespace semitri::core

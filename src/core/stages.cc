@@ -1,0 +1,64 @@
+#include "core/stages.h"
+
+namespace semitri::core {
+
+common::Status ComputeEpisodeStage::Run(AnnotationContext& context) const {
+  if (context.raw == nullptr) {
+    return common::Status::InvalidArgument(
+        "compute_episode needs a raw trajectory on the context");
+  }
+  context.result.cleaned = preprocessor_->Clean(*context.raw);
+  context.result.episodes = segmenter_->Segment(context.result.cleaned);
+  return common::Status::OK();
+}
+
+common::Status StoreEpisodeStage::Run(AnnotationContext& context) const {
+  if (context.store == nullptr) return common::Status::OK();
+  SEMITRI_RETURN_IF_ERROR(
+      context.store->PutRawTrajectory(context.result.cleaned));
+  return context.store->PutEpisodes(context.result.cleaned.id,
+                                    context.result.episodes);
+}
+
+common::Status RegionAnnotationStage::Run(AnnotationContext& context) const {
+  context.result.region_layer =
+      annotator_->Annotate(context.result.cleaned, context.result.episodes);
+  return common::Status::OK();
+}
+
+common::Status LineAnnotationStage::Run(AnnotationContext& context) const {
+  context.result.line_layer =
+      annotator_->Annotate(context.result.cleaned, context.result.episodes);
+  return common::Status::OK();
+}
+
+common::Status StoreMatchStage::Run(AnnotationContext& context) const {
+  if (context.store == nullptr || !context.result.line_layer.has_value()) {
+    return common::Status::OK();
+  }
+  return context.store->PutInterpretation(*context.result.line_layer);
+}
+
+common::Status PointAnnotationStage::Run(AnnotationContext& context) const {
+  common::Result<StructuredSemanticTrajectory> layer =
+      annotator_->Annotate(context.result.cleaned, context.result.episodes);
+  if (!layer.ok()) return layer.status();
+  context.result.point_layer = std::move(*layer);
+  return common::Status::OK();
+}
+
+common::Status StoreInterpretationStage::Run(
+    AnnotationContext& context) const {
+  if (context.store == nullptr) return common::Status::OK();
+  if (context.result.region_layer.has_value()) {
+    SEMITRI_RETURN_IF_ERROR(
+        context.store->PutInterpretation(*context.result.region_layer));
+  }
+  if (context.result.point_layer.has_value()) {
+    SEMITRI_RETURN_IF_ERROR(
+        context.store->PutInterpretation(*context.result.point_layer));
+  }
+  return common::Status::OK();
+}
+
+}  // namespace semitri::core

@@ -115,6 +115,8 @@ struct SemanticEpisode {
 
   double DurationSeconds() const { return time_out - time_in; }
 
+  bool operator==(const SemanticEpisode&) const = default;
+
   // First value for `key`, or empty string.
   const std::string& FindAnnotation(const std::string& key) const;
   void AddAnnotation(std::string key, std::string value) {
@@ -133,6 +135,8 @@ struct StructuredSemanticTrajectory {
 
   bool empty() const { return episodes.empty(); }
   size_t size() const { return episodes.size(); }
+
+  bool operator==(const StructuredSemanticTrajectory&) const = default;
 };
 
 }  // namespace semitri::core

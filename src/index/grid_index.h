@@ -62,6 +62,12 @@ class GridIndex {
     cells_[cy * cols_ + cx].push_back(std::move(value));
   }
 
+  // Direct cell insertion, for values that span several cells (the
+  // grid-backed SpatialIndex buckets a box into every overlapped cell).
+  void InsertAtCell(size_t cx, size_t cy, T value) {
+    cells_[cy * cols_ + cx].push_back(std::move(value));
+  }
+
   const std::vector<T>& Cell(size_t cx, size_t cy) const {
     return cells_[cy * cols_ + cx];
   }

@@ -26,6 +26,10 @@ struct RegionAnnotatorConfig {
   // When a point lies in both a named free-form region (campus, park) and
   // an underlying landuse cell, prefer the named region.
   bool prefer_named_regions = true;
+  // Layer granularity: per-stop/move-episode join (the default) or
+  // per-GPS-point Algorithm 1 as printed.
+  enum class Granularity { kPerEpisode, kPerPoint };
+  Granularity granularity = Granularity::kPerEpisode;
 };
 
 class RegionAnnotator {
@@ -52,6 +56,16 @@ class RegionAnnotator {
   core::StructuredSemanticTrajectory AnnotateEpisodes(
       const core::RawTrajectory& trajectory,
       const std::vector<core::Episode>& episodes) const;
+
+  // Dispatches on the configured granularity: AnnotateTrajectory for
+  // kPerPoint, AnnotateEpisodes for kPerEpisode.
+  core::StructuredSemanticTrajectory Annotate(
+      const core::RawTrajectory& trajectory,
+      const std::vector<core::Episode>& episodes) const {
+    return config_.granularity == RegionAnnotatorConfig::Granularity::kPerPoint
+               ? AnnotateTrajectory(trajectory)
+               : AnnotateEpisodes(trajectory, episodes);
+  }
 
  private:
   void AttachRegionAnnotations(core::PlaceId region_id,

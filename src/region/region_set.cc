@@ -4,6 +4,9 @@
 
 namespace semitri::region {
 
+RegionSet::RegionSet(index::SpatialIndexConfig index_config)
+    : index_(index::MakeSpatialIndex<core::PlaceId>(index_config)) {}
+
 core::PlaceId RegionSet::AddCell(const geo::BoundingBox& cell,
                                  LanduseCategory category, std::string name) {
   SemanticRegion r;
@@ -12,7 +15,7 @@ core::PlaceId RegionSet::AddCell(const geo::BoundingBox& cell,
   r.name = std::move(name);
   r.bounds = cell;
   regions_.push_back(std::move(r));
-  tree_.Insert(cell, regions_.back().id);
+  index_->Insert(cell, regions_.back().id);
   return regions_.back().id;
 }
 
@@ -26,14 +29,14 @@ core::PlaceId RegionSet::AddPolygon(geo::Polygon polygon,
   r.bounds = polygon.Bounds();
   r.polygon = std::move(polygon);
   regions_.push_back(std::move(r));
-  tree_.Insert(regions_.back().bounds, regions_.back().id);
+  index_->Insert(regions_.back().bounds, regions_.back().id);
   return regions_.back().id;
 }
 
 std::vector<core::PlaceId> RegionSet::FindContaining(
     const geo::Point& p) const {
   std::vector<core::PlaceId> out;
-  for (core::PlaceId id : tree_.QueryPoint(p)) {
+  for (core::PlaceId id : index_->QueryPoint(p)) {
     if (Get(id).Contains(p)) out.push_back(id);
   }
   return out;
@@ -41,7 +44,7 @@ std::vector<core::PlaceId> RegionSet::FindContaining(
 
 std::vector<core::PlaceId> RegionSet::FindIntersecting(
     const geo::BoundingBox& box) const {
-  return tree_.Query(box);
+  return index_->Query(box);
 }
 
 std::vector<core::PlaceId> RegionSet::FindByPredicate(
@@ -55,7 +58,7 @@ std::vector<core::PlaceId> RegionSet::FindByPredicate(
     case geo::SpatialPredicate::kOverlaps:
     case geo::SpatialPredicate::kTouches:
     case geo::SpatialPredicate::kEquals: {
-      for (core::PlaceId id : tree_.Query(box)) {
+      for (core::PlaceId id : index_->Query(box)) {
         if (geo::EvaluatePredicate(predicate, Get(id).bounds, box)) {
           out.push_back(id);
         }

@@ -9,6 +9,7 @@
 // queries through an R*-tree over region bounds, exactly how the paper
 // accelerates its spatial joins ([2]).
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -16,7 +17,7 @@
 #include "core/types.h"
 #include "geo/polygon.h"
 #include "geo/relations.h"
-#include "index/rstar_tree.h"
+#include "index/spatial_index.h"
 #include "region/landuse.h"
 
 namespace semitri::region {
@@ -43,7 +44,8 @@ struct SemanticRegion {
 
 class RegionSet {
  public:
-  RegionSet() = default;
+  // `index_config` selects the spatial-index backend for the repository.
+  explicit RegionSet(index::SpatialIndexConfig index_config = {});
 
   // Adds a rectangular cell region. Returns its id.
   core::PlaceId AddCell(const geo::BoundingBox& cell,
@@ -74,11 +76,15 @@ class RegionSet {
   std::vector<core::PlaceId> FindByPredicate(
       geo::SpatialPredicate predicate, const geo::BoundingBox& box) const;
 
-  const index::RStarTree<core::PlaceId>& tree() const { return tree_; }
+  geo::BoundingBox Bounds() const { return index_->Bounds(); }
+
+  const index::SpatialIndex<core::PlaceId>& spatial_index() const {
+    return *index_;
+  }
 
  private:
   std::vector<SemanticRegion> regions_;
-  index::RStarTree<core::PlaceId> tree_;
+  std::unique_ptr<index::SpatialIndex<core::PlaceId>> index_;
 };
 
 }  // namespace semitri::region

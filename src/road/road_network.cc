@@ -20,6 +20,9 @@ bool IsRoadTypeWalkable(RoadType type) {
   return type != RoadType::kHighway && type != RoadType::kRailMetro;
 }
 
+RoadNetwork::RoadNetwork(index::SpatialIndexConfig index_config)
+    : index_(index::MakeSpatialIndex<core::PlaceId>(index_config)) {}
+
 NodeId RoadNetwork::AddNode(const geo::Point& position) {
   nodes_.push_back(position);
   node_segments_.emplace_back();
@@ -37,7 +40,7 @@ core::PlaceId RoadNetwork::AddSegment(NodeId from, NodeId to, RoadType type,
   seg.shape = geo::Segment(node(from), node(to));
   segments_.push_back(std::move(seg));
   const RoadSegment& stored = segments_.back();
-  tree_.Insert(stored.shape.Bounds(), stored.id);
+  index_->Insert(stored.shape.Bounds(), stored.id);
   node_segments_[static_cast<size_t>(from)].push_back(stored.id);
   node_segments_[static_cast<size_t>(to)].push_back(stored.id);
   return stored.id;
@@ -52,7 +55,7 @@ double RoadNetwork::TotalLengthMeters() const {
 std::vector<core::PlaceId> RoadNetwork::CandidateSegments(
     const geo::Point& p, double radius) const {
   std::vector<core::PlaceId> out;
-  for (core::PlaceId id : tree_.QueryRadius(p, radius)) {
+  for (core::PlaceId id : index_->QueryRadius(p, radius)) {
     if (segment(id).shape.DistanceTo(p) <= radius) out.push_back(id);
   }
   return out;
@@ -79,7 +82,7 @@ core::PlaceId RoadNetwork::NearestSegment(const geo::Point& p) const {
   double best_dist = std::numeric_limits<double>::infinity();
   size_t k = 8;
   while (k <= segments_.size() * 2) {
-    auto nearest = tree_.NearestNeighbors(p, std::min(k, segments_.size()));
+    auto nearest = index_->NearestNeighbors(p, std::min(k, segments_.size()));
     for (const auto& entry : nearest) {
       double d = segment(entry.value).shape.DistanceTo(p);
       if (d < best_dist) {

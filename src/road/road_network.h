@@ -5,12 +5,13 @@
 // by an R*-tree, supporting the candidate-segment retrieval of the
 // global map matcher (Algorithm 2 selects only neighboring segments).
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/types.h"
 #include "geo/segment.h"
-#include "index/rstar_tree.h"
+#include "index/spatial_index.h"
 
 namespace semitri::road {
 
@@ -46,7 +47,8 @@ struct RoadSegment {
 
 class RoadNetwork {
  public:
-  RoadNetwork() = default;
+  // `index_config` selects the spatial-index backend for the network.
+  explicit RoadNetwork(index::SpatialIndexConfig index_config = {});
 
   NodeId AddNode(const geo::Point& position);
   core::PlaceId AddSegment(NodeId from, NodeId to, RoadType type,
@@ -81,13 +83,17 @@ class RoadNetwork {
   // Segments sharing an endpoint with `id` (excluding itself).
   std::vector<core::PlaceId> AdjacentSegments(core::PlaceId id) const;
 
-  const index::RStarTree<core::PlaceId>& tree() const { return tree_; }
+  geo::BoundingBox Bounds() const { return index_->Bounds(); }
+
+  const index::SpatialIndex<core::PlaceId>& spatial_index() const {
+    return *index_;
+  }
 
  private:
   std::vector<geo::Point> nodes_;
   std::vector<RoadSegment> segments_;
   std::vector<std::vector<core::PlaceId>> node_segments_;
-  index::RStarTree<core::PlaceId> tree_;
+  std::unique_ptr<index::SpatialIndex<core::PlaceId>> index_;
 };
 
 }  // namespace semitri::road

@@ -23,11 +23,15 @@
 // Spatial indexing.
 #include "index/grid_index.h"
 #include "index/rstar_tree.h"
+#include "index/spatial_index.h"
 
 // Data model and pipeline.
+#include "core/annotation_context.h"
 #include "core/batch.h"
 #include "core/ingest.h"
 #include "core/pipeline.h"
+#include "core/stage.h"
+#include "core/stages.h"
 #include "core/types.h"
 
 // Trajectory Computation Layer.

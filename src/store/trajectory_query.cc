@@ -5,12 +5,16 @@
 namespace semitri::store {
 
 TrajectoryQueryEngine::TrajectoryQueryEngine(
-    const SemanticTrajectoryStore* store)
-    : store_(store) {
+    const SemanticTrajectoryStore* store,
+    index::SpatialIndexConfig index_config)
+    : store_(store),
+      trajectory_index_(
+          index::MakeSpatialIndex<core::TrajectoryId>(index_config)),
+      stop_index_(index::MakeSpatialIndex<size_t>(index_config)) {
   for (core::TrajectoryId id : store->ListTrajectories()) {
     common::Result<core::RawTrajectory> raw = store->GetRawTrajectory(id);
     if (!raw.ok() || raw->empty()) continue;
-    trajectory_index_.Insert(raw->Bounds(), id);
+    trajectory_index_->Insert(raw->Bounds(), id);
     common::Result<std::vector<core::Episode>> episodes =
         store->GetEpisodes(id);
     if (!episodes.ok()) continue;
@@ -23,7 +27,7 @@ TrajectoryQueryEngine::TrajectoryQueryEngine(
       hit.center = ep.center;
       hit.time_in = ep.time_in;
       hit.time_out = ep.time_out;
-      stop_index_.Insert(ep.bounds, stops_.size());
+      stop_index_->Insert(ep.bounds, stops_.size());
       stops_.push_back(hit);
     }
   }
@@ -33,7 +37,7 @@ std::vector<core::TrajectoryId> TrajectoryQueryEngine::FindTrajectories(
     const geo::BoundingBox& window, core::Timestamp t0,
     core::Timestamp t1) const {
   std::vector<core::TrajectoryId> out;
-  for (core::TrajectoryId id : trajectory_index_.Query(window)) {
+  for (core::TrajectoryId id : trajectory_index_->Query(window)) {
     common::Result<core::RawTrajectory> raw = store_->GetRawTrajectory(id);
     if (!raw.ok()) continue;
     // Temporal overlap filter, then exact spatial refinement: at least
@@ -56,7 +60,7 @@ std::vector<core::TrajectoryId> TrajectoryQueryEngine::FindTrajectories(
 std::vector<StopHit> TrajectoryQueryEngine::FindStopsNear(
     const geo::Point& center, double radius) const {
   std::vector<StopHit> out;
-  for (size_t index : stop_index_.QueryRadius(center, radius)) {
+  for (size_t index : stop_index_->QueryRadius(center, radius)) {
     const StopHit& hit = stops_[index];
     if (hit.center.DistanceTo(center) <= radius) out.push_back(hit);
   }

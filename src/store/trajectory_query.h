@@ -15,12 +15,13 @@
 // a second one over stop-episode extents, both built from the store
 // snapshot at construction.
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/types.h"
-#include "index/rstar_tree.h"
+#include "index/spatial_index.h"
 #include "store/semantic_trajectory_store.h"
 
 namespace semitri::store {
@@ -45,8 +46,10 @@ struct EpisodeHit {
 class TrajectoryQueryEngine {
  public:
   // Snapshots the store's current content; `store` must outlive the
-  // engine. Re-create the engine after bulk updates.
-  explicit TrajectoryQueryEngine(const SemanticTrajectoryStore* store);
+  // engine. Re-create the engine after bulk updates. `index_config`
+  // selects the spatial-index backend for both engine indexes.
+  explicit TrajectoryQueryEngine(const SemanticTrajectoryStore* store,
+                                 index::SpatialIndexConfig index_config = {});
 
   // Trajectories whose trace intersects `window` and overlaps the time
   // interval [t0, t1] (pass infinite bounds for a purely spatial
@@ -68,14 +71,16 @@ class TrajectoryQueryEngine {
       std::optional<core::Timestamp> t0 = std::nullopt,
       std::optional<core::Timestamp> t1 = std::nullopt) const;
 
-  size_t num_indexed_trajectories() const { return trajectory_index_.size(); }
-  size_t num_indexed_stops() const { return stop_index_.size(); }
+  size_t num_indexed_trajectories() const {
+    return trajectory_index_->size();
+  }
+  size_t num_indexed_stops() const { return stop_index_->size(); }
 
  private:
   const SemanticTrajectoryStore* store_;
-  index::RStarTree<core::TrajectoryId> trajectory_index_;
+  std::unique_ptr<index::SpatialIndex<core::TrajectoryId>> trajectory_index_;
   // Value = index into stops_.
-  index::RStarTree<size_t> stop_index_;
+  std::unique_ptr<index::SpatialIndex<size_t>> stop_index_;
   std::vector<StopHit> stops_;
 };
 

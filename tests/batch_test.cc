@@ -45,6 +45,12 @@ TEST_F(BatchFixture, ParityWithSerialProcessing) {
   ASSERT_TRUE(parallel.ok());
   ASSERT_EQ(parallel->size(), streams_.size());
 
+  // Deterministic merge: results come back ordered by ascending object
+  // id regardless of which worker ran which stream.
+  for (size_t i = 1; i < parallel->size(); ++i) {
+    EXPECT_LT((*parallel)[i - 1].object_id, (*parallel)[i].object_id);
+  }
+
   size_t object_index = 0;
   for (const auto& [object_id, stream] : streams_) {
     auto serial = pipeline.ProcessStream(
@@ -87,7 +93,15 @@ TEST_F(BatchFixture, SingleThreadMatchesMultiThread) {
   ASSERT_EQ(a->size(), b->size());
   for (size_t i = 0; i < a->size(); ++i) {
     EXPECT_EQ((*a)[i].object_id, (*b)[i].object_id);
-    EXPECT_EQ((*a)[i].results.size(), (*b)[i].results.size());
+    ASSERT_EQ((*a)[i].results.size(), (*b)[i].results.size());
+    for (size_t d = 0; d < (*a)[i].results.size(); ++d) {
+      const PipelineResult& ra = (*a)[i].results[d];
+      const PipelineResult& rb = (*b)[i].results[d];
+      ASSERT_TRUE(ra.region_layer.has_value());
+      ASSERT_TRUE(rb.region_layer.has_value());
+      // Worker count must not change a single bit of the output.
+      EXPECT_EQ(*ra.region_layer, *rb.region_layer);
+    }
   }
 }
 

@@ -89,7 +89,8 @@ TEST_F(PipelineFixture, PerPointRegionInterpretation) {
   datagen::PersonSpec spec = factory_->MakePersonSpec(2);
   datagen::SimulatedTrack track = factory_->SimulatePersonDays(2, spec, 1);
   PipelineConfig config;
-  config.region_per_point = true;
+  config.region.granularity =
+      region::RegionAnnotatorConfig::Granularity::kPerPoint;
   SemiTriPipeline pipeline(&world_->regions, nullptr, nullptr, config);
   auto results = pipeline.ProcessStream(2, track.points);
   ASSERT_TRUE(results.ok());
@@ -101,6 +102,111 @@ TEST_F(PipelineFixture, PerPointRegionInterpretation) {
   // paper's 1 Hz taxi feed but still substantially).
   EXPECT_LT(day.region_layer->episodes.size(), day.cleaned.size() / 3);
   EXPECT_GT(day.region_layer->episodes.size(), 0u);
+
+  // The deprecated PipelineConfig::region_per_point alias keeps selecting
+  // the same per-point behaviour for one release.
+  PipelineConfig deprecated_config;
+  deprecated_config.region_per_point = true;
+  SemiTriPipeline alias_pipeline(&world_->regions, nullptr, nullptr,
+                                 deprecated_config);
+  auto alias_results = alias_pipeline.ProcessStream(2, track.points);
+  ASSERT_TRUE(alias_results.ok());
+  ASSERT_FALSE(alias_results->empty());
+  ASSERT_TRUE(alias_results->front().region_layer.has_value());
+  EXPECT_EQ(*alias_results->front().region_layer, *day.region_layer);
+}
+
+TEST_F(PipelineFixture, StageGraphExecutionOrderMatchesLegacyPipeline) {
+  store::SemanticTrajectoryStore store;
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois,
+                           PipelineConfig{}, &store);
+  EXPECT_EQ(pipeline.graph().ExecutionOrder(),
+            (std::vector<std::string>{
+                kStageComputeEpisode, kStageStoreEpisode, kStageLanduseJoin,
+                kStageMapMatch, kStageStoreMatch, kStagePointAnnotation,
+                kStageStoreInterpretation}));
+
+  // Without sinks/sources only the registered stages appear.
+  SemiTriPipeline regions_only(&world_->regions, nullptr, nullptr);
+  EXPECT_EQ(regions_only.graph().ExecutionOrder(),
+            (std::vector<std::string>{kStageComputeEpisode,
+                                      kStageLanduseJoin}));
+}
+
+TEST_F(PipelineFixture, ReannotatePointLayerMatchesFullRun) {
+  datagen::PersonSpec spec = factory_->MakePersonSpec(3);
+  datagen::SimulatedTrack track = factory_->SimulatePersonDays(3, spec, 2);
+  analytics::LatencyProfiler profiler;
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois,
+                           PipelineConfig{}, nullptr, &profiler);
+  auto results = pipeline.ProcessStream(3, track.points);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  for (const PipelineResult& day : *results) {
+    ASSERT_TRUE(day.point_layer.has_value());
+    auto redone = pipeline.ReannotateLayer(day, Layer::kPoint);
+    ASSERT_TRUE(redone.ok());
+    ASSERT_TRUE(redone->point_layer.has_value());
+    // Bit-identical to the layer the full run produced...
+    EXPECT_EQ(*redone->point_layer, *day.point_layer);
+    // ...and the other layers ride along untouched.
+    EXPECT_EQ(*redone->region_layer, *day.region_layer);
+    EXPECT_EQ(*redone->line_layer, *day.line_layer);
+  }
+  // Reannotation is profiled under the same Fig. 17 stage name.
+  EXPECT_EQ(profiler.Count(kStagePointAnnotation), 2 * results->size());
+}
+
+TEST_F(PipelineFixture, ReannotateAfterPoiSetSwapMatchesFreshRun) {
+  datagen::PersonSpec spec = factory_->MakePersonSpec(4);
+  datagen::SimulatedTrack track = factory_->SimulatePersonDays(4, spec, 1);
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois);
+  auto cached = pipeline.ProcessStream(4, track.points);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_FALSE(cached->empty());
+
+  // A POI repository refresh: same category space, but only every other
+  // POI survives, so decoding changes.
+  poi::PoiSet modified = poi::PoiSet::MilanCategories();
+  const std::vector<poi::Poi>& original = world_->pois.pois();
+  for (size_t i = 0; i < original.size(); i += 2) {
+    modified.Add(original[i].position, original[i].category,
+                 original[i].name);
+  }
+  store::SemanticTrajectoryStore store;
+  SemiTriPipeline swapped(&world_->regions, &world_->roads, &modified,
+                          PipelineConfig{}, &store);
+  auto fresh = swapped.ProcessStream(4, track.points);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(fresh->size(), cached->size());
+
+  for (size_t i = 0; i < cached->size(); ++i) {
+    auto redone = swapped.ReannotateLayer((*cached)[i], Layer::kPoint);
+    ASSERT_TRUE(redone.ok());
+    ASSERT_TRUE(redone->point_layer.has_value());
+    // Recomputing just the point layer from cached episodes matches a
+    // fresh end-to-end run against the new repository...
+    EXPECT_EQ(*redone->point_layer, *(*fresh)[i].point_layer);
+    // ...leaves the cached region/line layers alone...
+    EXPECT_EQ(*redone->region_layer, *(*cached)[i].region_layer);
+    EXPECT_EQ(*redone->line_layer, *(*cached)[i].line_layer);
+    // ...and writes the refreshed interpretation through to the store.
+    auto stored = store.GetInterpretation(redone->cleaned.id, "point");
+    ASSERT_TRUE(stored.ok());
+    EXPECT_EQ(*stored, *redone->point_layer);
+  }
+}
+
+TEST_F(PipelineFixture, ReannotateLayerWithoutSourceFails) {
+  datagen::PersonSpec spec = factory_->MakePersonSpec(0);
+  datagen::SimulatedTrack track = factory_->SimulatePersonDays(0, spec, 1);
+  SemiTriPipeline regions_only(&world_->regions, nullptr, nullptr);
+  auto results = regions_only.ProcessStream(0, track.points);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  auto redone = regions_only.ReannotateLayer(results->front(), Layer::kPoint);
+  EXPECT_FALSE(redone.ok());
+  EXPECT_EQ(redone.status().code(), common::StatusCode::kFailedPrecondition);
 }
 
 TEST_F(PipelineFixture, StopsAnnotatedWithPlausibleCategories) {

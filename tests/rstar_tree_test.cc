@@ -1,5 +1,7 @@
-// Tests for the R*-tree: correctness against brute force, structural
-// invariants under inserts and deletes, kNN ordering.
+// Structural tests for the R*-tree: invariants under inserts and
+// deletes, height bounds, clustered data, fanout sweeps. Brute-force
+// query parity lives in spatial_index_test.cc, which runs the same
+// conformance suite against every SpatialIndex backend.
 
 #include "index/rstar_tree.h"
 
@@ -40,101 +42,6 @@ TEST(RStarTreeTest, SingleEntry) {
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0], 42);
   EXPECT_TRUE(tree.Query(BoundingBox({5, 5}, {6, 6})).empty());
-}
-
-TEST(RStarTreeTest, QueryMatchesBruteForce) {
-  common::Rng rng(7);
-  RStarTree<int> tree(8);
-  std::vector<BoundingBox> boxes;
-  for (int i = 0; i < 2000; ++i) {
-    BoundingBox b = RandomBox(rng, 1000.0, 20.0);
-    boxes.push_back(b);
-    tree.Insert(b, i);
-  }
-  EXPECT_EQ(tree.size(), 2000u);
-  for (int q = 0; q < 50; ++q) {
-    BoundingBox query = RandomBox(rng, 1000.0, 80.0);
-    std::vector<int> got = tree.Query(query);
-    std::sort(got.begin(), got.end());
-    std::vector<int> expected;
-    for (int i = 0; i < 2000; ++i) {
-      if (boxes[static_cast<size_t>(i)].Intersects(query)) {
-        expected.push_back(i);
-      }
-    }
-    EXPECT_EQ(got, expected) << "query " << q;
-  }
-}
-
-TEST(RStarTreeTest, PointQueryMatchesBruteForce) {
-  common::Rng rng(11);
-  RStarTree<int> tree;
-  std::vector<BoundingBox> boxes;
-  for (int i = 0; i < 500; ++i) {
-    BoundingBox b = RandomBox(rng, 200.0, 15.0);
-    boxes.push_back(b);
-    tree.Insert(b, i);
-  }
-  for (int q = 0; q < 100; ++q) {
-    Point p{rng.Uniform(0.0, 220.0), rng.Uniform(0.0, 220.0)};
-    std::vector<int> got = tree.QueryPoint(p);
-    std::sort(got.begin(), got.end());
-    std::vector<int> expected;
-    for (int i = 0; i < 500; ++i) {
-      if (boxes[static_cast<size_t>(i)].Contains(p)) expected.push_back(i);
-    }
-    EXPECT_EQ(got, expected);
-  }
-}
-
-TEST(RStarTreeTest, NearestNeighborsOrderedAndCorrect) {
-  common::Rng rng(13);
-  RStarTree<int> tree;
-  std::vector<Point> points;
-  for (int i = 0; i < 800; ++i) {
-    Point p{rng.Uniform(0.0, 500.0), rng.Uniform(0.0, 500.0)};
-    points.push_back(p);
-    tree.Insert(BoundingBox::FromPoint(p), i);
-  }
-  for (int q = 0; q < 20; ++q) {
-    Point query{rng.Uniform(0.0, 500.0), rng.Uniform(0.0, 500.0)};
-    auto nn = tree.NearestNeighbors(query, 10);
-    ASSERT_EQ(nn.size(), 10u);
-    // Returned in nondecreasing distance order.
-    for (size_t i = 1; i < nn.size(); ++i) {
-      EXPECT_LE(nn[i - 1].box.DistanceTo(query),
-                nn[i].box.DistanceTo(query) + 1e-12);
-    }
-    // Matches brute-force k-th distance.
-    std::vector<double> dists;
-    for (const Point& p : points) dists.push_back(p.DistanceTo(query));
-    std::sort(dists.begin(), dists.end());
-    EXPECT_NEAR(nn.back().box.DistanceTo(query), dists[9], 1e-9);
-  }
-}
-
-TEST(RStarTreeTest, RadiusQueryMatchesBruteForce) {
-  common::Rng rng(17);
-  RStarTree<int> tree;
-  std::vector<Point> points;
-  for (int i = 0; i < 600; ++i) {
-    Point p{rng.Uniform(0.0, 300.0), rng.Uniform(0.0, 300.0)};
-    points.push_back(p);
-    tree.Insert(BoundingBox::FromPoint(p), i);
-  }
-  for (int q = 0; q < 30; ++q) {
-    Point query{rng.Uniform(0.0, 300.0), rng.Uniform(0.0, 300.0)};
-    double radius = rng.Uniform(5.0, 60.0);
-    std::vector<int> got = tree.QueryRadius(query, radius);
-    std::sort(got.begin(), got.end());
-    std::vector<int> expected;
-    for (int i = 0; i < 600; ++i) {
-      if (points[static_cast<size_t>(i)].DistanceTo(query) <= radius) {
-        expected.push_back(i);
-      }
-    }
-    EXPECT_EQ(got, expected);
-  }
 }
 
 TEST(RStarTreeTest, RemoveDeletesExactlyOneEntry) {

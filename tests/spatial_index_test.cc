@@ -1,0 +1,258 @@
+// Conformance suite for the unified SpatialIndex interface: every
+// backend must agree with brute force (and therefore with every other
+// backend) on box, point, radius, and nearest-neighbor queries, whether
+// loaded incrementally or in bulk. Backend-specific structural tests
+// stay in rstar_tree_test.cc / grid_index_test.cc.
+
+#include "index/spatial_index.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/box.h"
+
+namespace semitri::index {
+namespace {
+
+using geo::BoundingBox;
+using geo::Point;
+
+BoundingBox RandomBox(common::Rng& rng, double extent, double max_size) {
+  Point min{rng.Uniform(0.0, extent), rng.Uniform(0.0, extent)};
+  Point size{rng.Uniform(0.0, max_size), rng.Uniform(0.0, max_size)};
+  return {min, min + size};
+}
+
+class SpatialIndexConformance
+    : public ::testing::TestWithParam<IndexBackend> {
+ protected:
+  std::unique_ptr<SpatialIndex<int>> MakeIndex() const {
+    SpatialIndexConfig config;
+    config.backend = GetParam();
+    return MakeSpatialIndex<int>(config);
+  }
+};
+
+TEST_P(SpatialIndexConformance, EmptyIndex) {
+  auto index = MakeIndex();
+  EXPECT_EQ(index->backend(), GetParam());
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_TRUE(index->empty());
+  EXPECT_TRUE(index->Query(BoundingBox({0, 0}, {100, 100})).empty());
+  EXPECT_TRUE(index->QueryRadius({50, 50}, 10.0).empty());
+  EXPECT_TRUE(index->NearestNeighbors({0, 0}, 3).empty());
+}
+
+TEST_P(SpatialIndexConformance, BoxQueryMatchesBruteForce) {
+  common::Rng rng(7);
+  auto index = MakeIndex();
+  std::vector<BoundingBox> boxes;
+  for (int i = 0; i < 2000; ++i) {
+    BoundingBox b = RandomBox(rng, 1000.0, 20.0);
+    boxes.push_back(b);
+    index->Insert(b, i);
+  }
+  EXPECT_EQ(index->size(), 2000u);
+  for (int q = 0; q < 50; ++q) {
+    BoundingBox query = RandomBox(rng, 1000.0, 80.0);
+    std::vector<int> got = index->Query(query);
+    std::sort(got.begin(), got.end());
+    std::vector<int> expected;
+    for (int i = 0; i < 2000; ++i) {
+      if (boxes[static_cast<size_t>(i)].Intersects(query)) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TEST_P(SpatialIndexConformance, PointQueryMatchesBruteForce) {
+  common::Rng rng(11);
+  auto index = MakeIndex();
+  std::vector<BoundingBox> boxes;
+  for (int i = 0; i < 500; ++i) {
+    BoundingBox b = RandomBox(rng, 200.0, 15.0);
+    boxes.push_back(b);
+    index->Insert(b, i);
+  }
+  for (int q = 0; q < 100; ++q) {
+    Point p{rng.Uniform(0.0, 220.0), rng.Uniform(0.0, 220.0)};
+    std::vector<int> got = index->QueryPoint(p);
+    std::sort(got.begin(), got.end());
+    std::vector<int> expected;
+    for (int i = 0; i < 500; ++i) {
+      if (boxes[static_cast<size_t>(i)].Contains(p)) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_P(SpatialIndexConformance, RadiusQueryMatchesBruteForce) {
+  common::Rng rng(17);
+  auto index = MakeIndex();
+  std::vector<Point> points;
+  for (int i = 0; i < 600; ++i) {
+    Point p{rng.Uniform(0.0, 300.0), rng.Uniform(0.0, 300.0)};
+    points.push_back(p);
+    index->Insert(BoundingBox::FromPoint(p), i);
+  }
+  for (int q = 0; q < 30; ++q) {
+    Point query{rng.Uniform(0.0, 300.0), rng.Uniform(0.0, 300.0)};
+    double radius = rng.Uniform(5.0, 60.0);
+    std::vector<int> got = index->QueryRadius(query, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<int> expected;
+    for (int i = 0; i < 600; ++i) {
+      if (points[static_cast<size_t>(i)].DistanceTo(query) <= radius) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_P(SpatialIndexConformance, NearestNeighborsOrderedAndCorrect) {
+  common::Rng rng(13);
+  auto index = MakeIndex();
+  std::vector<Point> points;
+  for (int i = 0; i < 800; ++i) {
+    Point p{rng.Uniform(0.0, 500.0), rng.Uniform(0.0, 500.0)};
+    points.push_back(p);
+    index->Insert(BoundingBox::FromPoint(p), i);
+  }
+  for (int q = 0; q < 20; ++q) {
+    Point query{rng.Uniform(0.0, 500.0), rng.Uniform(0.0, 500.0)};
+    auto nn = index->NearestNeighbors(query, 10);
+    ASSERT_EQ(nn.size(), 10u);
+    // Returned in nondecreasing distance order.
+    for (size_t i = 1; i < nn.size(); ++i) {
+      EXPECT_LE(nn[i - 1].box.DistanceTo(query),
+                nn[i].box.DistanceTo(query) + 1e-12);
+    }
+    // Matches brute-force k-th distance.
+    std::vector<double> dists;
+    for (const Point& p : points) dists.push_back(p.DistanceTo(query));
+    std::sort(dists.begin(), dists.end());
+    EXPECT_NEAR(nn.back().box.DistanceTo(query), dists[9], 1e-9);
+  }
+}
+
+TEST_P(SpatialIndexConformance, NearestNeighborsWithFewerEntriesThanK) {
+  auto index = MakeIndex();
+  index->Insert(BoundingBox::FromPoint({1, 1}), 0);
+  index->Insert(BoundingBox::FromPoint({2, 2}), 1);
+  auto nn = index->NearestNeighbors({0, 0}, 10);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].value, 0);
+  EXPECT_EQ(nn[1].value, 1);
+}
+
+TEST_P(SpatialIndexConformance, BulkLoadAgreesWithIncrementalInsert) {
+  common::Rng rng(19);
+  std::vector<SpatialEntry<int>> entries;
+  auto incremental = MakeIndex();
+  for (int i = 0; i < 1200; ++i) {
+    BoundingBox b = RandomBox(rng, 400.0, 10.0);
+    entries.push_back({b, i});
+    incremental->Insert(b, i);
+  }
+  auto bulk = MakeIndex();
+  bulk->BulkLoad(entries);
+  EXPECT_EQ(bulk->size(), incremental->size());
+  for (int q = 0; q < 40; ++q) {
+    BoundingBox query = RandomBox(rng, 400.0, 40.0);
+    std::vector<int> a = bulk->Query(query);
+    std::vector<int> b = incremental->Query(query);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+  for (int q = 0; q < 20; ++q) {
+    Point p{rng.Uniform(0.0, 400.0), rng.Uniform(0.0, 400.0)};
+    auto a = bulk->NearestNeighbors(p, 5);
+    auto b = incremental->NearestNeighbors(p, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].box.DistanceTo(p), b[i].box.DistanceTo(p), 1e-9);
+    }
+  }
+}
+
+TEST_P(SpatialIndexConformance, InsertOutsideInitialExtentStillFound) {
+  auto index = MakeIndex();
+  for (int i = 0; i < 50; ++i) {
+    index->Insert(BoundingBox::FromPoint({double(i), double(i)}), i);
+  }
+  // Far outside everything inserted so far (exercises the grid
+  // backend's extent-growth path).
+  index->Insert(BoundingBox::FromPoint({1e5, -1e5}), 999);
+  auto hits = index->QueryPoint({1e5, -1e5});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 999);
+  auto nn = index->NearestNeighbors({1e5, -1e5}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].value, 999);
+  EXPECT_TRUE(index->Bounds().Contains({1e5, -1e5}));
+}
+
+TEST_P(SpatialIndexConformance, DuplicateBoxesAllRetrievable) {
+  auto index = MakeIndex();
+  BoundingBox b({5, 5}, {6, 6});
+  for (int i = 0; i < 50; ++i) index->Insert(b, i);
+  EXPECT_EQ(index->Query(b).size(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpatialIndexConformance,
+                         ::testing::Values(IndexBackend::kRStarTree,
+                                           IndexBackend::kUniformGrid),
+                         [](const auto& info) {
+                           return std::string(IndexBackendName(info.param));
+                         });
+
+// The two backends must agree with each other, not just with brute
+// force — the repositories treat them as interchangeable.
+TEST(SpatialIndexCrossBackend, BackendsAgreeOnRandomWorkload) {
+  common::Rng rng(29);
+  SpatialIndexConfig rstar_config;
+  rstar_config.backend = IndexBackend::kRStarTree;
+  SpatialIndexConfig grid_config;
+  grid_config.backend = IndexBackend::kUniformGrid;
+  auto rstar = MakeSpatialIndex<int>(rstar_config);
+  auto grid = MakeSpatialIndex<int>(grid_config);
+  for (int i = 0; i < 1500; ++i) {
+    BoundingBox b = RandomBox(rng, 800.0, 15.0);
+    rstar->Insert(b, i);
+    grid->Insert(b, i);
+  }
+  for (int q = 0; q < 50; ++q) {
+    BoundingBox query = RandomBox(rng, 800.0, 60.0);
+    std::vector<int> a = rstar->Query(query);
+    std::vector<int> b = grid->Query(query);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+  for (int q = 0; q < 25; ++q) {
+    Point p{rng.Uniform(0.0, 800.0), rng.Uniform(0.0, 800.0)};
+    double radius = rng.Uniform(5.0, 80.0);
+    std::vector<int> a = rstar->QueryRadius(p, radius);
+    std::vector<int> b = grid->QueryRadius(p, radius);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    auto na = rstar->NearestNeighbors(p, 7);
+    auto nb = grid->NearestNeighbors(p, 7);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) {
+      EXPECT_NEAR(na[i].box.DistanceTo(p), nb[i].box.DistanceTo(p), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semitri::index
