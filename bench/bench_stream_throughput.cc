@@ -1,0 +1,135 @@
+// Streaming annotation throughput & latency: how fast the online
+// subsystem (stream::SessionManager over a shared pipeline) ingests a
+// multi-object GPS feed, and how long a closed episode waits for its
+// provisional annotation pass.
+//
+// Reported:
+//   * ingest throughput (points/s) for the live path vs. the offline
+//     batch ProcessStream on the same corpus;
+//   * per-episode annotation latency p50/p99 (close -> annotated, the
+//     paper's §1.2 "annotation in real-time" requirement);
+//   * per-trajectory finalization latency p50/p99.
+//
+// `bench_stream_throughput smoke` runs a scaled-down corpus for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analytics/latency_profiler.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+#include "store/semantic_trajectory_store.h"
+#include "stream/session_manager.h"
+
+using namespace semitri;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+void PrintSummary(const char* label,
+                  const analytics::LatencyProfiler::StageSummary& s) {
+  std::printf("  %-28s %7zu samples   p50 %9.3f ms   p99 %9.3f ms   "
+              "mean %9.3f ms\n",
+              label, s.count, s.p50 * 1e3, s.p99 * 1e3, s.mean * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  benchutil::PrintHeader(
+      "Streaming annotation throughput & episode latency",
+      "Sec 1.2 real-time requirement; offline batch as baseline");
+
+  datagen::World world = benchutil::MakeCity(/*seed=*/771,
+                                             smoke ? 3000.0 : 6000.0,
+                                             smoke ? 500 : 3000);
+  datagen::DatasetFactory factory(&world, /*seed=*/772);
+  const int kUsers = smoke ? 2 : 6;
+  const int kDays = smoke ? 1 : 7;
+  datagen::Dataset people = factory.NokiaPeople(kUsers, kDays);
+  size_t total_points = people.TotalRecords();
+  std::printf("corpus: %d users x %d days, %zu gps records%s\n\n", kUsers,
+              kDays, total_points, smoke ? " (smoke)" : "");
+
+  // --- offline baseline -------------------------------------------------
+  double offline_seconds = 0.0;
+  {
+    store::SemanticTrajectoryStore store;
+    core::SemiTriPipeline pipeline(&world.regions, &world.roads, &world.pois,
+                                   core::PipelineConfig{}, &store);
+    auto start = std::chrono::steady_clock::now();
+    for (const datagen::SimulatedTrack& track : people.tracks) {
+      auto results = pipeline.ProcessStream(
+          track.object_id, track.points,
+          static_cast<core::TrajectoryId>(track.object_id) * 1000);
+      if (!results.ok()) {
+        std::fprintf(stderr, "offline pipeline failed: %s\n",
+                     results.status().ToString().c_str());
+        return 1;
+      }
+    }
+    offline_seconds = SecondsSince(start);
+  }
+
+  // --- streaming: sessions with per-episode annotation ------------------
+  store::SemanticTrajectoryStore store;
+  analytics::LatencyProfiler profiler;
+  core::SemiTriPipeline pipeline(&world.regions, &world.roads, &world.pois,
+                                 core::PipelineConfig{}, &store, &profiler);
+  stream::SessionManager manager(&pipeline, stream::SessionManagerConfig{});
+
+  auto start = std::chrono::steady_clock::now();
+  // Round-robin across users: the arrival pattern a live feed would
+  // have, maximizing session switching.
+  size_t longest = 0;
+  for (const datagen::SimulatedTrack& t : people.tracks) {
+    longest = std::max(longest, t.points.size());
+  }
+  for (size_t k = 0; k < longest; ++k) {
+    for (const datagen::SimulatedTrack& track : people.tracks) {
+      if (k >= track.points.size()) continue;
+      auto fed = manager.Feed(track.object_id, track.points[k]);
+      if (!fed.ok()) {
+        std::fprintf(stderr, "feed failed: %s\n",
+                     fed.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  if (auto status = manager.CloseAll(); !status.ok()) {
+    std::fprintf(stderr, "close failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  double live_seconds = SecondsSince(start);
+
+  stream::SessionManager::Stats stats = manager.stats();
+  std::printf("offline batch:   %9.0f points/s  (%.3f s total)\n",
+              static_cast<double>(total_points) / offline_seconds,
+              offline_seconds);
+  std::printf("live sessions:   %9.0f points/s  (%.3f s total, %zu "
+              "episodes closed, %zu annotation passes)\n\n",
+              static_cast<double>(total_points) / live_seconds, live_seconds,
+              stats.episodes_closed, stats.annotation_passes);
+
+  PrintSummary("episode annotation latency",
+               profiler.Summarize(stream::kStreamStageEpisodeAnnotation));
+  PrintSummary("trajectory finalization",
+               profiler.Summarize(stream::kStreamStageFinalizeTrajectory));
+
+  std::printf("\nstore end state: %zu trajectories, %zu gps records, %zu "
+              "semantic episodes\n",
+              store.num_trajectories(), store.num_gps_records(),
+              store.num_semantic_episodes());
+  return 0;
+}

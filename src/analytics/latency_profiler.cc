@@ -21,4 +21,29 @@ double LatencyProfiler::Percentile(const std::string& stage, double q) const {
   return sorted[rank - 1];
 }
 
+LatencyProfiler::StageSummary LatencyProfiler::Summarize(
+    const std::string& stage) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = samples_.find(stage);
+    if (it == samples_.end() || it->second.empty()) return {};
+    sorted = it->second;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  StageSummary out;
+  out.count = sorted.size();
+  for (double s : sorted) out.total += s;
+  out.mean = out.total / static_cast<double>(out.count);
+  auto nearest_rank = [&sorted](double q) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    return sorted[rank - 1];
+  };
+  out.p50 = nearest_rank(0.5);
+  out.p99 = nearest_rank(0.99);
+  return out;
+}
+
 }  // namespace semitri::analytics

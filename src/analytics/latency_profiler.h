@@ -69,6 +69,19 @@ class LatencyProfiler {
   double Percentile(const std::string& stage, double q) const
       SEMITRI_EXCLUDES(mutex_);
 
+  // One-call stage digest (count / total / mean / p50 / p99, seconds) —
+  // the per-episode-annotation-latency view the streaming bench and
+  // examples print. All zeros when the stage has no samples.
+  struct StageSummary {
+    size_t count = 0;
+    double total = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  StageSummary Summarize(const std::string& stage) const
+      SEMITRI_EXCLUDES(mutex_);
+
   std::vector<std::string> Stages() const SEMITRI_EXCLUDES(mutex_) {
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;

@@ -33,15 +33,28 @@ common::Result<GpsIngestor> GpsIngestor::AroundCentroid(
                                  lon_sum / static_cast<double>(count)});
 }
 
+common::Result<GpsIngestor> GpsIngestor::AroundFix(const LatLonFix& fix) {
+  if (!IsValidFix(fix)) {
+    return common::Status::InvalidArgument(
+        "cannot reference a session at an invalid fix");
+  }
+  return GpsIngestor(fix.position);
+}
+
 std::vector<GpsPoint> GpsIngestor::ToLocal(
     const std::vector<LatLonFix>& fixes) const {
   std::vector<GpsPoint> out;
   out.reserve(fixes.size());
   for (const LatLonFix& fix : fixes) {
-    if (!IsValidFix(fix)) continue;
-    out.push_back({projection_.ToLocal(fix.position), fix.time});
+    std::optional<GpsPoint> p = ToLocalFix(fix);
+    if (p.has_value()) out.push_back(*p);
   }
   return out;
+}
+
+std::optional<GpsPoint> GpsIngestor::ToLocalFix(const LatLonFix& fix) const {
+  if (!IsValidFix(fix)) return std::nullopt;
+  return GpsPoint{projection_.ToLocal(fix.position), fix.time};
 }
 
 std::vector<LatLonFix> GpsIngestor::ToLatLon(

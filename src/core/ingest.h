@@ -5,7 +5,19 @@
 // latitude, timestamp) triples (Def. 1); the pipeline runs in a local
 // metric frame. GpsIngestor projects a stream around a reference
 // coordinate (by default the stream's own centroid) and back.
+//
+// One-reference-per-session contract: every distance, speed threshold
+// and episode summary downstream assumes all of an object's fixes live
+// in ONE local metric frame. Batch callers get this for free
+// (AroundCentroid fixes the reference before projecting anything).
+// Streaming callers must do the same: construct a single GpsIngestor up
+// front — from a known deployment coordinate, or from the first fix via
+// AroundFix — and project every fix of the session through it via
+// ToLocalFix. Re-deriving a reference mid-session (e.g. a fresh
+// AroundCentroid over a growing buffer) silently shifts the frame and
+// corrupts speeds and displacements across the switch point.
 
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -28,9 +40,19 @@ class GpsIngestor {
   static common::Result<GpsIngestor> AroundCentroid(
       const std::vector<LatLonFix>& fixes);
 
+  // Streaming entry point: reference fixed at the session's first fix
+  // (AroundCentroid needs the whole stream up front, which a live feed
+  // does not have). Fails when the fix is invalid.
+  static common::Result<GpsIngestor> AroundFix(const LatLonFix& fix);
+
   // Projects a WGS-84 stream into the local metric frame, dropping
   // non-finite coordinates and fixes outside valid WGS-84 ranges.
   std::vector<GpsPoint> ToLocal(const std::vector<LatLonFix>& fixes) const;
+
+  // Single-fix incremental projection (the streaming path); nullopt for
+  // exactly the fixes the batch ToLocal drops, so feeding a stream fix
+  // by fix yields the same points.
+  std::optional<GpsPoint> ToLocalFix(const LatLonFix& fix) const;
 
   // Back-projects (for export).
   std::vector<LatLonFix> ToLatLon(const std::vector<GpsPoint>& points) const;

@@ -19,10 +19,6 @@ SemiTriPipeline::SemiTriPipeline(const region::RegionSet* regions,
       segmenter_(config_.segmentation),
       store_(store),
       profiler_(profiler) {
-  if (config_.region_per_point) {
-    config_.region.granularity =
-        region::RegionAnnotatorConfig::Granularity::kPerPoint;
-  }
   if (regions != nullptr) {
     region_annotator_ =
         std::make_unique<region::RegionAnnotator>(regions, config_.region);
@@ -97,6 +93,22 @@ common::Result<std::vector<PipelineResult>> SemiTriPipeline::ProcessStream(
     out.push_back(std::move(*result));
   }
   return out;
+}
+
+common::Result<PipelineResult> SemiTriPipeline::AnnotateComputed(
+    PipelineResult computed) const {
+  AnnotationContext context;
+  context.result = std::move(computed);
+  context.store = store_;
+  context.profiler = profiler_;
+  // Same stage sequence as a full run, minus trajectory computation —
+  // the stable topological order keeps store rows and latency samples
+  // in the exact ProcessTrajectory order.
+  for (const std::string& name : graph_.ExecutionOrder()) {
+    if (name == kStageComputeEpisode) continue;
+    SEMITRI_RETURN_IF_ERROR(graph_.RunStage(name, context));
+  }
+  return std::move(context.result);
 }
 
 common::Result<PipelineResult> SemiTriPipeline::ReannotateLayer(

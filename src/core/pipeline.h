@@ -36,10 +36,6 @@ struct PipelineConfig {
   region::RegionAnnotatorConfig region;
   road::LineAnnotatorConfig line;
   poi::PointAnnotatorConfig point;
-  // DEPRECATED alias for region.granularity == kPerPoint; layer policy
-  // lives in RegionAnnotatorConfig now. Honored (ORed into the region
-  // config) for one release, then removed.
-  bool region_per_point = false;
 };
 
 class SemiTriPipeline {
@@ -76,12 +72,26 @@ class SemiTriPipeline {
   common::Result<PipelineResult> ReannotateLayer(PipelineResult result,
                                                  Layer layer) const;
 
+  // Runs every stage except trajectory computation over an
+  // already-computed cleaned trace + episode table (`computed.cleaned`
+  // and `computed.episodes` must be set). Annotation layers, store rows
+  // and latency samples come out exactly as a full ProcessTrajectory on
+  // the underlying raw trajectory would produce them. This is the
+  // finalization path of the streaming subsystem (stream/), where
+  // episodes were computed incrementally by stream::EpisodeDetector.
+  common::Result<PipelineResult> AnnotateComputed(PipelineResult computed)
+      const;
+
   // The stage graph this pipeline runs (finalized; inspect with
   // ExecutionOrder / Find).
   const StageGraph& graph() const { return graph_; }
 
+  const PipelineConfig& config() const { return config_; }
   const traj::TrajectoryIdentifier& identifier() const { return identifier_; }
   const traj::StopMoveSegmenter& segmenter() const { return segmenter_; }
+  // Optional sinks this pipeline writes to (null when not supplied).
+  store::SemanticTrajectoryStore* store() const { return store_; }
+  analytics::LatencyProfiler* profiler() const { return profiler_; }
 
  private:
   void BuildDefaultGraph(store::SemanticTrajectoryStore* store);

@@ -33,6 +33,8 @@ inline constexpr PlaceId kInvalidPlaceId = -1;
 struct GpsPoint {
   geo::Point position;
   Timestamp time = 0.0;
+
+  bool operator==(const GpsPoint&) const = default;
 };
 
 // Def. 1 — a finite, application-meaningful subsequence of the raw stream.
@@ -53,6 +55,8 @@ struct RawTrajectory {
     for (const GpsPoint& p : points) box.ExpandToInclude(p.position);
     return box;
   }
+
+  bool operator==(const RawTrajectory&) const = default;
 };
 
 // Motion-context episode kinds produced by the Trajectory Computation
@@ -75,6 +79,10 @@ struct Episode {
 
   size_t num_points() const { return end - begin; }
   double DurationSeconds() const { return time_out - time_in; }
+
+  // Exact (bitwise double) equality — the streaming/offline equivalence
+  // contract (stream::EpisodeDetector) is checked with this.
+  bool operator==(const Episode&) const = default;
 };
 
 // Def. 2 — the geometric kind of a semantic place.

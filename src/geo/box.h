@@ -29,6 +29,10 @@ struct BoundingBox {
             {std::max(a.x, b.x), std::max(a.y, b.y)}};
   }
 
+  // Exact corner-wise equality (two empty boxes with different inverted
+  // corners compare unequal; canonicalize first if that matters).
+  constexpr bool operator==(const BoundingBox&) const = default;
+
   // True for a default-constructed (inverted) box that covers nothing.
   constexpr bool IsEmpty() const { return min.x > max.x || min.y > max.y; }
 

@@ -39,6 +39,11 @@
 #include "traj/preprocess.h"
 #include "traj/segmentation.h"
 
+// Online streaming annotation.
+#include "stream/annotation_session.h"
+#include "stream/episode_detector.h"
+#include "stream/session_manager.h"
+
 // Semantic Region Annotation Layer.
 #include "region/landuse.h"
 #include "region/region_annotator.h"

@@ -169,6 +169,19 @@ common::Status SemanticTrajectoryStore::PutInterpretation(
   return AppendWriteThrough("semantic_episodes.csv", kSemanticHeader, rows);
 }
 
+bool SemanticTrajectoryStore::ContentEquals(
+    const SemanticTrajectoryStore& other) const {
+  if (this == &other) return true;
+  // Lock both stores in address order so concurrent cross-comparisons
+  // cannot deadlock.
+  const SemanticTrajectoryStore* first = this < &other ? this : &other;
+  const SemanticTrajectoryStore* second = this < &other ? &other : this;
+  std::lock_guard<std::mutex> lock_first(first->mutex_);
+  std::lock_guard<std::mutex> lock_second(second->mutex_);
+  return raw_ == other.raw_ && episodes_ == other.episodes_ &&
+         interpretations_ == other.interpretations_;
+}
+
 common::Result<core::RawTrajectory> SemanticTrajectoryStore::GetRawTrajectory(
     core::TrajectoryId id) const {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -70,6 +70,15 @@ class SemanticTrajectoryStore {
   std::vector<std::string> ListInterpretations(core::TrajectoryId id) const
       SEMITRI_EXCLUDES(mutex_);
 
+  // Element-wise equality of the in-memory tables (raw trajectories,
+  // episodes, interpretations) of two stores. This is how the
+  // streaming/offline equivalence contract is checked: a store fed by
+  // stream::SessionManager must ContentEquals one fed by the offline
+  // pipeline. Locks both stores (in address order; analysis suppressed
+  // because the two-instance locking order is inexpressible).
+  bool ContentEquals(const SemanticTrajectoryStore& other) const
+      SEMITRI_NO_THREAD_SAFETY_ANALYSIS;
+
   // --- stats ----------------------------------------------------------
 
   size_t num_trajectories() const SEMITRI_EXCLUDES(mutex_) {

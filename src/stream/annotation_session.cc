@@ -1,0 +1,128 @@
+#include "stream/annotation_session.h"
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "analytics/latency_profiler.h"
+#include "core/stages.h"
+
+namespace semitri::stream {
+
+namespace {
+
+EpisodeDetectorConfig DetectorConfigFrom(const core::PipelineConfig& pipeline,
+                                         const SessionConfig& session) {
+  EpisodeDetectorConfig config;
+  config.preprocess = pipeline.preprocess;
+  config.identification = pipeline.identification;
+  config.segmentation = pipeline.segmentation;
+  config.max_buffered_points = session.max_buffered_points;
+  return config;
+}
+
+}  // namespace
+
+AnnotationSession::AnnotationSession(const core::SemiTriPipeline* pipeline,
+                                     core::ObjectId object_id,
+                                     SessionConfig config,
+                                     core::TrajectoryId first_id)
+    : pipeline_(pipeline),
+      object_id_(object_id),
+      config_(config),
+      detector_(object_id, DetectorConfigFrom(pipeline->config(), config),
+                first_id) {}
+
+common::Result<AnnotationSession::FeedResult> AnnotationSession::Feed(
+    const core::GpsPoint& fix) {
+  DetectorEvents events;
+  detector_.Feed(fix, &events);
+  FeedResult result;
+  result.accepted = events.accepted;
+  result.episodes_closed = events.closed_episodes.size();
+  result.trajectory_closed = events.closed_trajectory.has_value();
+  result.trajectory_discarded = events.discarded_trajectory;
+  if (!events.accepted) return result;
+  if (events.discarded_trajectory) partial_ = core::PipelineResult();
+  if (events.closed_trajectory.has_value()) {
+    SEMITRI_RETURN_IF_ERROR(
+        FinalizeClosed(std::move(*events.closed_trajectory)));
+  }
+  if (!events.closed_episodes.empty()) {
+    SyncPartial(events.closed_episodes);
+    if (config_.annotate_on_episode) {
+      SEMITRI_RETURN_IF_ERROR(AnnotatePrefix(events.closed_episodes.size()));
+    }
+  }
+  return result;
+}
+
+common::Status AnnotationSession::Flush() {
+  DetectorEvents events;
+  detector_.Close(&events);
+  partial_ = core::PipelineResult();
+  if (events.closed_trajectory.has_value()) {
+    SEMITRI_RETURN_IF_ERROR(
+        FinalizeClosed(std::move(*events.closed_trajectory)));
+  }
+  return common::Status::OK();
+}
+
+void AnnotationSession::SyncPartial(
+    const std::vector<core::Episode>& closed) {
+  partial_.cleaned.id = detector_.open_trajectory_id();
+  partial_.cleaned.object_id = object_id_;
+  const std::vector<core::GpsPoint>& prefix = detector_.cleaned_prefix();
+  for (size_t i = partial_.cleaned.points.size(); i < prefix.size(); ++i) {
+    partial_.cleaned.points.push_back(prefix[i]);
+  }
+  partial_.episodes.insert(partial_.episodes.end(), closed.begin(),
+                           closed.end());
+}
+
+common::Status AnnotationSession::AnnotatePrefix(size_t episodes_closed) {
+  auto start = std::chrono::steady_clock::now();
+  // Same downstream stage sequence as AnnotateComputed, but with the
+  // pipeline profiler detached: provisional passes repeat per closed
+  // episode, so letting them record under the Fig. 17 stage names would
+  // skew the per-trajectory semantics of those series. Their latency is
+  // accounted under the stream_* stage below instead.
+  core::AnnotationContext context;
+  context.result = std::move(partial_);
+  context.store = pipeline_->store();
+  for (const std::string& name : pipeline_->graph().ExecutionOrder()) {
+    if (name == core::kStageComputeEpisode) continue;
+    SEMITRI_RETURN_IF_ERROR(pipeline_->graph().RunStage(name, context));
+  }
+  partial_ = std::move(context.result);
+  ++annotation_passes_;
+  if (analytics::LatencyProfiler* profiler = pipeline_->profiler()) {
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    // One sample per episode this pass covered: the pass latency is the
+    // close-to-annotated latency of each of them.
+    for (size_t i = 0; i < episodes_closed; ++i) {
+      profiler->Record(kStreamStageEpisodeAnnotation, elapsed.count());
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status AnnotationSession::FinalizeClosed(ClosedTrajectory closed) {
+  core::PipelineResult computed;
+  computed.cleaned = std::move(closed.cleaned);
+  computed.episodes = std::move(closed.episodes);
+  std::optional<analytics::LatencyProfiler::Scope> scope;
+  if (pipeline_->profiler() != nullptr) {
+    scope.emplace(pipeline_->profiler(), kStreamStageFinalizeTrajectory);
+  }
+  common::Result<core::PipelineResult> annotated =
+      pipeline_->AnnotateComputed(std::move(computed));
+  if (!annotated.ok()) return annotated.status();
+  if (config_.keep_results) results_.push_back(std::move(*annotated));
+  partial_ = core::PipelineResult();
+  return common::Status::OK();
+}
+
+}  // namespace semitri::stream

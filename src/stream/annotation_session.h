@@ -1,0 +1,131 @@
+#ifndef SEMITRI_STREAM_ANNOTATION_SESSION_H_
+#define SEMITRI_STREAM_ANNOTATION_SESSION_H_
+
+// A live semantic-annotation session for one moving object: an
+// EpisodeDetector feeding the downstream annotation stages of an
+// existing SemiTriPipeline (the paper's "annotation is even required in
+// real-time" requirement, §1.2).
+//
+// On every *closed* episode the session re-runs only the annotation
+// layers (region spatial join, line map-matching, point HMM — the
+// Viterbi pass covers the stop sequence seen so far) over the cleaned
+// prefix, and writes the provisional rows through to the pipeline's
+// store. When a raw trajectory closes (gap/period split or Flush), the
+// session runs the full downstream stage sequence once more via
+// SemiTriPipeline::AnnotateComputed; because every store table is
+// keyed-overwrite, that final pass leaves the store in exactly the
+// state an offline ProcessTrajectory run would have produced.
+//
+// Not thread-safe; stream::SessionManager provides the sharded,
+// lock-protected multi-object front end.
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/annotation_context.h"
+#include "core/pipeline.h"
+#include "core/types.h"
+#include "stream/episode_detector.h"
+
+namespace semitri::stream {
+
+// Latency-profiler stage names recorded by sessions (extending the
+// Fig. 17 per-stage view with the streaming path):
+//   * one sample per closed episode, covering the provisional
+//     annotation pass that followed its closure;
+inline constexpr char kStreamStageEpisodeAnnotation[] =
+    "stream_episode_annotation";
+//   * one sample per closed trajectory, covering the finalization run
+//     (AnnotateComputed: all annotation layers + store write-back).
+inline constexpr char kStreamStageFinalizeTrajectory[] =
+    "stream_finalize_trajectory";
+
+struct SessionConfig {
+  // Forwarded to EpisodeDetectorConfig::max_buffered_points: bounds the
+  // raw points buffered per open trajectory (0 = unbounded).
+  size_t max_buffered_points = 0;
+  // Run the provisional annotation pass after each closed episode. When
+  // false the session only annotates at trajectory close — final store
+  // state is identical either way, the live view just lags.
+  bool annotate_on_episode = true;
+  // Retain the final PipelineResult of every closed trajectory in the
+  // session (results()); unbounded, so off by default.
+  bool keep_results = false;
+};
+
+class AnnotationSession {
+ public:
+  // Everything but the detector-policy configs comes from `pipeline`
+  // (which must outlive the session): preprocessing / identification /
+  // segmentation settings are taken from pipeline->config(), so the
+  // streaming output is comparable to the same pipeline's offline path
+  // by construction. Trajectory ids are assigned sequentially from
+  // `first_id`, exactly as ProcessStream(object_id, stream, first_id).
+  AnnotationSession(const core::SemiTriPipeline* pipeline,
+                    core::ObjectId object_id, SessionConfig config = {},
+                    core::TrajectoryId first_id = 0);
+
+  struct FeedResult {
+    // False when the detector rejected the fix (out-of-order or
+    // non-finite); nothing else happened.
+    bool accepted = true;
+    // Episodes of the open trajectory that closed on this fix.
+    size_t episodes_closed = 0;
+    // A raw trajectory was finalized (split) by this fix.
+    bool trajectory_closed = false;
+    bool trajectory_discarded = false;
+  };
+
+  // Feeds one fix; errors only from annotation stages (a rejected fix
+  // is a non-error FeedResult).
+  common::Result<FeedResult> Feed(const core::GpsPoint& fix);
+
+  // Stream end: finalizes (or discards) the dangling open trajectory.
+  // The session stays usable; a later Feed starts a new trajectory.
+  common::Status Flush();
+
+  // Live view of the open trajectory: cleaned prefix, closed episodes,
+  // and — when annotate_on_episode — the provisional annotation layers
+  // over that prefix. Reset whenever a trajectory closes.
+  const core::PipelineResult& partial() const { return partial_; }
+
+  // Final results of closed trajectories (only with
+  // SessionConfig::keep_results).
+  const std::vector<core::PipelineResult>& results() const {
+    return results_;
+  }
+
+  struct Stats {
+    EpisodeDetector::Stats detector;
+    // Provisional annotation passes run (>= 1 closed episode each).
+    size_t annotation_passes = 0;
+  };
+  Stats stats() const { return {detector_.stats(), annotation_passes_}; }
+
+  const EpisodeDetector& detector() const { return detector_; }
+  core::ObjectId object_id() const { return object_id_; }
+
+ private:
+  // Folds newly finalized cleaned points + closed episodes into
+  // partial_.
+  void SyncPartial(const std::vector<core::Episode>& closed);
+  // Provisional downstream pass over partial_ (store writes included,
+  // latency recorded per closed episode under
+  // kStreamStageEpisodeAnnotation).
+  common::Status AnnotatePrefix(size_t episodes_closed);
+  // Full downstream pass + store write-back for a closed trajectory.
+  common::Status FinalizeClosed(ClosedTrajectory closed);
+
+  const core::SemiTriPipeline* pipeline_;
+  core::ObjectId object_id_;
+  SessionConfig config_;
+  EpisodeDetector detector_;
+  core::PipelineResult partial_;
+  std::vector<core::PipelineResult> results_;
+  size_t annotation_passes_ = 0;
+};
+
+}  // namespace semitri::stream
+
+#endif  // SEMITRI_STREAM_ANNOTATION_SESSION_H_

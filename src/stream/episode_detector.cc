@@ -1,0 +1,370 @@
+#include "stream/episode_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace semitri::stream {
+
+EpisodeDetector::EpisodeDetector(core::ObjectId object_id,
+                                 EpisodeDetectorConfig config,
+                                 core::TrajectoryId first_id)
+    : config_(config),
+      object_id_(object_id),
+      next_id_(first_id),
+      density_(config_.segmentation) {}
+
+size_t EpisodeDetector::SmoothHalf() const {
+  const traj::PreprocessConfig& pre = config_.preprocess;
+  if (pre.smoothing_bandwidth_seconds <= 0.0) return 0;
+  return pre.smoothing_half_window;
+}
+
+void EpisodeDetector::ResetTrajectory() {
+  raw_count_ = 0;
+  raw_first_time_ = 0.0;
+  qualified_ = false;
+  open_id_ = 0;
+  have_dedup_ = false;
+  dedup_last_time_ = 0.0;
+  have_kept_ = false;
+  kept_count_ = 0;
+  kept_tail_.clear();
+  cleaned_.clear();
+  is_stop_.clear();
+  density_.Reset();
+  runs_.clear();
+  run_open_ = false;
+  episodes_.clear();
+  begin_emitted_ = false;
+}
+
+void EpisodeDetector::Feed(const core::GpsPoint& fix, DetectorEvents* events) {
+  *events = DetectorEvents();
+  ++stats_.points_fed;
+  const bool finite = std::isfinite(fix.time) &&
+                      std::isfinite(fix.position.x) &&
+                      std::isfinite(fix.position.y);
+  if (!finite || (has_accepted_ && fix.time < last_accepted_time_)) {
+    ++stats_.points_rejected;
+    events->accepted = false;
+    return;
+  }
+  has_accepted_ = true;
+  last_accepted_time_ = fix.time;
+
+  // Split detection is causal (previous raw fix only) — the offline
+  // TrajectoryIdentifier checks, applied per fix.
+  const traj::IdentificationConfig& ident = config_.identification;
+  if (raw_count_ > 0) {
+    bool gap = ident.max_gap_seconds > 0.0 &&
+               fix.time - last_raw_.time > ident.max_gap_seconds;
+    bool jump = ident.max_spatial_gap_meters > 0.0 &&
+                fix.position.DistanceTo(last_raw_.position) >
+                    ident.max_spatial_gap_meters;
+    bool new_period =
+        ident.period_seconds > 0.0 &&
+        traj::PeriodIndex(fix.time, ident.period_seconds) !=
+            traj::PeriodIndex(last_raw_.time, ident.period_seconds);
+    if (gap || jump || new_period) FinalizeTrajectory(events);
+  }
+
+  ++raw_count_;
+  if (raw_count_ == 1) raw_first_time_ = fix.time;
+  last_raw_ = fix;
+
+  CleanFix(fix);
+  AdvanceClassification(/*end_of_data=*/false);
+  ExtendRuns();
+
+  // The identification noise filter (>= min_points raw fixes, >=
+  // min_duration) is monotone in both count and duration, so it can be
+  // latched the moment it first holds; the trajectory id is assigned
+  // here, which reproduces the offline sequential assignment because at
+  // most one trajectory is ever open.
+  if (!qualified_ && raw_count_ >= ident.min_points &&
+      last_raw_.time - raw_first_time_ >= ident.min_duration_seconds) {
+    qualified_ = true;
+    open_id_ = next_id_++;
+  }
+  if (qualified_) MaybeEmit(events);
+
+  if (config_.max_buffered_points > 0 &&
+      raw_count_ >= config_.max_buffered_points) {
+    ++stats_.forced_splits;
+    FinalizeTrajectory(events);
+  }
+}
+
+void EpisodeDetector::Close(DetectorEvents* events) {
+  *events = DetectorEvents();
+  FinalizeTrajectory(events);
+}
+
+void EpisodeDetector::CleanFix(const core::GpsPoint& fix) {
+  const traj::PreprocessConfig& pre = config_.preprocess;
+  // Duplicate removal: causal, compares against the last survivor.
+  if (have_dedup_ &&
+      fix.time - dedup_last_time_ < pre.min_time_step_seconds) {
+    return;
+  }
+  have_dedup_ = true;
+  dedup_last_time_ = fix.time;
+
+  // Outlier speed gate: causal, compares against the last kept fix.
+  if (pre.max_speed_mps > 0.0 && have_kept_) {
+    double dt = fix.time - outlier_last_.time;
+    if (dt <= 0.0) return;
+    double speed = fix.position.DistanceTo(outlier_last_.position) / dt;
+    if (speed > pre.max_speed_mps) return;
+  }
+  have_kept_ = true;
+  outlier_last_ = fix;
+  AppendKept(fix);
+}
+
+void EpisodeDetector::AppendKept(const core::GpsPoint& fix) {
+  ++kept_count_;
+  const size_t half = SmoothHalf();
+  kept_tail_.push_back(fix);
+  while (kept_tail_.size() > 2 * half + 1) kept_tail_.pop_front();
+  if (half == 0) {
+    // Smoothing disabled: the kept fix is final as-is.
+    cleaned_.push_back(fix);
+    return;
+  }
+  // Offline Smooth() is skipped entirely below 3 points, so nothing is
+  // final until the third kept fix; past that, a point's kernel window
+  // is complete once `half` kept fixes exist to its right.
+  while (kept_count_ >= 3 && cleaned_.size() + half <= kept_count_ - 1) {
+    FinalizeSmoothedPoint(cleaned_.size(), /*end_of_data=*/false);
+  }
+}
+
+const core::GpsPoint& EpisodeDetector::Kept(size_t index) const {
+  const size_t first = kept_count_ - kept_tail_.size();
+  SEMITRI_DCHECK(index >= first && index < kept_count_)
+      << "kept index " << index << " outside retained tail [" << first
+      << ", " << kept_count_ << ")";
+  return kept_tail_[index - first];
+}
+
+void EpisodeDetector::FinalizeSmoothedPoint(size_t index, bool end_of_data) {
+  const size_t half = SmoothHalf();
+  const double bandwidth = config_.preprocess.smoothing_bandwidth_seconds;
+  const double two_sigma2 = 2.0 * bandwidth * bandwidth;
+  size_t lo = index >= half ? index - half : 0;
+  size_t hi = end_of_data ? std::min(kept_count_ - 1, index + half)
+                          : index + half;
+  const core::GpsPoint& center = Kept(index);
+  geo::Point acc{0.0, 0.0};
+  double weight_sum = 0.0;
+  for (size_t j = lo; j <= hi; ++j) {
+    const core::GpsPoint& neighbor = Kept(j);
+    double dt = neighbor.time - center.time;
+    double w = std::exp(-(dt * dt) / two_sigma2);
+    acc = acc + neighbor.position * w;
+    weight_sum += w;
+  }
+  cleaned_.push_back({acc / weight_sum, center.time});
+}
+
+void EpisodeDetector::FinalizeCleaning() {
+  const size_t half = SmoothHalf();
+  if (half == 0) return;  // cleaned_ is already complete
+  if (kept_count_ < 3) {
+    // Offline skips smoothing entirely below 3 points.
+    SEMITRI_DCHECK(cleaned_.empty());
+    for (const core::GpsPoint& p : kept_tail_) cleaned_.push_back(p);
+    return;
+  }
+  while (cleaned_.size() < kept_count_) {
+    FinalizeSmoothedPoint(cleaned_.size(), /*end_of_data=*/true);
+  }
+}
+
+void EpisodeDetector::AdvanceClassification(bool end_of_data) {
+  const traj::SegmentationConfig& seg = config_.segmentation;
+  const size_t n = cleaned_.size();
+  if (seg.policy == traj::StopPolicy::kDensity) {
+    density_.Advance(cleaned_, n, end_of_data);
+    const std::vector<bool>& flags = density_.flags();
+    for (size_t i = is_stop_.size(); i < flags.size(); ++i) {
+      is_stop_.push_back(flags[i]);
+    }
+    return;
+  }
+  const size_t half = seg.speed_smoothing_half_window;
+  auto instantaneous = [this](size_t k) {
+    double dt = cleaned_[k].time - cleaned_[k - 1].time;
+    return dt > 0.0
+               ? cleaned_[k].position.DistanceTo(cleaned_[k - 1].position) / dt
+               : 0.0;
+  };
+  while (true) {
+    const size_t i = is_stop_.size();
+    if (i >= n) return;
+    double speed;
+    if (half == 0) {
+      // Instantaneous consecutive-point speed; element 0 copies 1.
+      if (i == 0) {
+        if (n >= 2) {
+          speed = instantaneous(1);
+        } else if (end_of_data) {
+          speed = 0.0;  // single-point trajectory
+        } else {
+          return;
+        }
+      } else {
+        speed = instantaneous(i);
+      }
+    } else {
+      // Windowed displacement speed over [i - half, i + half]; final
+      // once the right edge is inside the cleaned prefix (offline
+      // truncates it at the trajectory end, so end_of_data may too).
+      if (!end_of_data && i + half > n - 1) return;
+      size_t lo = i >= half ? i - half : 0;
+      size_t hi = std::min(n - 1, i + half);
+      speed = traj::WindowedSpeed(cleaned_, lo, hi);
+    }
+    is_stop_.push_back(speed < seg.velocity_threshold_mps);
+  }
+}
+
+void EpisodeDetector::ExtendRuns() {
+  for (size_t i = run_open_ ? open_run_.end : 0; i < is_stop_.size(); ++i) {
+    bool stop = is_stop_[i];
+    if (!run_open_) {
+      open_run_ = {stop, i, i + 1};
+      run_open_ = true;
+    } else if (stop == open_run_.stop) {
+      open_run_.end = i + 1;
+    } else {
+      runs_.push_back(open_run_);
+      open_run_ = {stop, i, i + 1};
+    }
+  }
+}
+
+bool EpisodeDetector::StopRunSolid(const traj::ClassifiedRun& run) const {
+  SEMITRI_DCHECK(run.stop);
+  if (config_.segmentation.policy == traj::StopPolicy::kDensity) {
+    // The density policy enforces dwell while clustering; there is no
+    // demote step, so every stop run is final-as-stop.
+    return true;
+  }
+  return cleaned_[run.end - 1].time - cleaned_[run.begin].time >=
+         config_.segmentation.min_stop_duration_seconds;
+}
+
+bool EpisodeDetector::MoveRunSolid(const traj::ClassifiedRun& run) const {
+  SEMITRI_DCHECK(!run.stop);
+  double duration = cleaned_[run.end - 1].time - cleaned_[run.begin].time;
+  double displacement = cleaned_[run.end - 1].position.DistanceTo(
+      cleaned_[run.begin].position);
+  return duration >= config_.segmentation.min_move_duration_seconds &&
+         displacement >= config_.segmentation.min_move_displacement_meters;
+}
+
+void EpisodeDetector::MaybeEmit(DetectorEvents* events) {
+  if (runs_.size() < 2) return;
+  // Find the latest barrier: a solid move flanked by solid stops. The
+  // run-smoothing passes can never absorb such a move (it fails both
+  // absorb predicates) nor demote its neighbors, so every run before it
+  // is independent of all future fixes. The right flank may be the
+  // still-open run — stop dwell only grows, so "solid" is latched.
+  size_t cut = 0;  // emit runs_[0, cut); 0 = no barrier found
+  for (size_t m = runs_.size() - 1; m >= 1; --m) {
+    const traj::ClassifiedRun& move = runs_[m];
+    if (move.stop || !MoveRunSolid(move)) continue;
+    if (!runs_[m - 1].stop || !StopRunSolid(runs_[m - 1])) continue;
+    bool right_solid =
+        m + 1 < runs_.size()
+            ? StopRunSolid(runs_[m + 1])
+            : (run_open_ && open_run_.stop && StopRunSolid(open_run_));
+    if (right_solid) {
+      cut = m;
+      break;
+    }
+  }
+  if (cut == 0) return;
+  std::vector<traj::ClassifiedRun> window(runs_.begin(),
+                                          runs_.begin() + cut);
+  runs_.erase(runs_.begin(), runs_.begin() + cut);
+  EmitRuns(std::move(window), events);
+}
+
+void EpisodeDetector::EmitRuns(std::vector<traj::ClassifiedRun> window,
+                               DetectorEvents* events) {
+  // The shared offline smoothing, over the emitted window only. The
+  // barrier move that now heads runs_ plays offline's "left neighbor is
+  // a solid stop" role for the next window: as window run 0 it is
+  // absorb-exempt, exactly as the offline gate would make it.
+  traj::SmoothClassifiedRuns(cleaned_, config_.segmentation, &window);
+  if (config_.segmentation.emit_begin_end && !begin_emitted_) {
+    EmitMarker(core::EpisodeKind::kBegin, 0, events);
+    begin_emitted_ = true;
+  }
+  for (const traj::ClassifiedRun& r : window) {
+    core::Episode ep;
+    ep.kind = r.stop ? core::EpisodeKind::kStop : core::EpisodeKind::kMove;
+    ep.begin = r.begin;
+    ep.end = r.end;
+    traj::FinalizeEpisode(cleaned_, &ep);
+    episodes_.push_back(ep);
+    events->closed_episodes.push_back(ep);
+    ++stats_.episodes_closed;
+  }
+}
+
+void EpisodeDetector::EmitMarker(core::EpisodeKind kind, size_t index,
+                                 DetectorEvents* events) {
+  core::Episode ep;
+  ep.kind = kind;
+  ep.begin = index;
+  ep.end = index + 1;
+  traj::FinalizeEpisode(cleaned_, &ep);
+  episodes_.push_back(ep);
+  events->closed_episodes.push_back(ep);
+}
+
+void EpisodeDetector::FinalizeTrajectory(DetectorEvents* events) {
+  if (raw_count_ == 0) return;  // nothing open
+  if (!qualified_) {
+    // The offline identification filter drops it as noise; no
+    // trajectory id was consumed and no episode was emitted.
+    ++stats_.trajectories_discarded;
+    events->discarded_trajectory = true;
+    ResetTrajectory();
+    return;
+  }
+  FinalizeCleaning();
+  AdvanceClassification(/*end_of_data=*/true);
+  ExtendRuns();
+  if (run_open_) {
+    runs_.push_back(open_run_);
+    run_open_ = false;
+  }
+  std::vector<traj::ClassifiedRun> window = std::move(runs_);
+  runs_.clear();
+  EmitRuns(std::move(window), events);
+  if (config_.segmentation.emit_begin_end) {
+    EmitMarker(core::EpisodeKind::kEnd, cleaned_.size() - 1, events);
+  }
+  ClosedTrajectory closed;
+  closed.cleaned.id = open_id_;
+  closed.cleaned.object_id = object_id_;
+  closed.cleaned.points = std::move(cleaned_);
+  closed.episodes = std::move(episodes_);
+  events->closed_trajectory = std::move(closed);
+  // Everything this call closed is delivered via closed_trajectory;
+  // closed_episodes only ever describes the trajectory still open at
+  // return time.
+  events->closed_episodes.clear();
+  ++stats_.trajectories_closed;
+  ResetTrajectory();
+}
+
+}  // namespace semitri::stream

@@ -1,0 +1,217 @@
+#ifndef SEMITRI_STREAM_EPISODE_DETECTOR_H_
+#define SEMITRI_STREAM_EPISODE_DETECTOR_H_
+
+// Incremental stop/move episode detection: the streaming port of the
+// Trajectory Computation Layer (traj/identification + traj/preprocess +
+// traj/segmentation), consuming one GpsPoint at a time.
+//
+// Correctness contract: feeding a time-ordered stream fix by fix and
+// then calling Close() produces exactly the raw-trajectory splits,
+// cleaned traces and episode tables that the offline
+//
+//   for (t : TrajectoryIdentifier::Identify(stream))
+//     StopMoveSegmenter::Segment(Preprocessor::Clean(t))
+//
+// pipeline produces on the same stream — bit for bit, including every
+// floating-point summary. The detector achieves this by running the
+// *same code* on bounded windows:
+//
+//   * split detection (gap / spatial jump / period boundary) is causal —
+//     it only inspects the previous raw fix — so it is applied per fix;
+//   * duplicate removal and the outlier speed gate are causal filters;
+//   * Gaussian position smoothing needs `smoothing_half_window` future
+//     kept fixes, so a point's smoothed position is finalized once that
+//     lookahead exists (or at close, where windows truncate exactly as
+//     offline);
+//   * per-point stop classification has bounded lookahead as well
+//     (velocity: the ±half sample window; density: the resumable greedy
+//     cluster scan of traj::DensityStopClassifier);
+//   * run-level smoothing (absorb/demote passes) is *not* causal, but it
+//     can never cross a "solid move flanked by solid stops": such a move
+//     is never absorbed (both neighbors classify as stops but the move
+//     fails both absorb predicates) and its neighbors are never demoted,
+//     so runs on either side evolve independently. The detector emits
+//     closed episodes up to such a barrier by running the shared
+//     traj::SmoothClassifiedRuns on the prefix window, and carries the
+//     barrier move forward as the first run of the next window.
+//
+// Episodes therefore close with bounded delay (roughly one episode plus
+// the classification lookahead behind real time), and everything emitted
+// is final — a later fix never revises a closed episode.
+//
+// Memory per open trajectory is O(window) for cleaning/classification
+// state plus O(unclosed episode span) for the cleaned trace (the cleaned
+// prefix is retained so downstream annotators can run over it; see
+// stream::AnnotationSession). `max_buffered_points` bounds the latter by
+// force-closing pathological never-splitting trajectories.
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "traj/identification.h"
+#include "traj/preprocess.h"
+#include "traj/segmentation.h"
+
+namespace semitri::stream {
+
+struct EpisodeDetectorConfig {
+  traj::PreprocessConfig preprocess;
+  traj::IdentificationConfig identification;
+  traj::SegmentationConfig segmentation;
+  // Hard cap on raw points buffered for one open trajectory; reaching it
+  // force-closes the trajectory as if the stream had ended. This bounds
+  // per-session memory for streams that never hit a gap/period split. A
+  // forced split is the one place streaming output may diverge from the
+  // offline pipeline and is counted in Stats::forced_splits. 0 disables.
+  size_t max_buffered_points = 0;
+};
+
+// A raw trajectory closed by the detector: its full cleaned trace plus
+// the complete episode table (identical to the offline Segment output).
+struct ClosedTrajectory {
+  core::RawTrajectory cleaned;
+  std::vector<core::Episode> episodes;
+};
+
+// Everything one Feed()/Close() call made final.
+struct DetectorEvents {
+  // False when the fix was rejected (out-of-order or non-finite) and
+  // nothing else in this struct was touched.
+  bool accepted = true;
+  // Episodes of the still-open trajectory that closed in this call;
+  // begin/end index its cleaned points (cleaned_prefix()).
+  std::vector<core::Episode> closed_episodes;
+  // Set when a raw trajectory closed (gap/jump/period split, forced
+  // split, or Close()). Its tail episodes appear in `episodes` here, not
+  // in closed_episodes.
+  std::optional<ClosedTrajectory> closed_trajectory;
+  // An open trajectory was discarded as noise (fewer than min_points
+  // raw fixes or too short — the offline identification filter); it
+  // consumed no trajectory id.
+  bool discarded_trajectory = false;
+};
+
+class EpisodeDetector {
+ public:
+  explicit EpisodeDetector(core::ObjectId object_id,
+                           EpisodeDetectorConfig config = {},
+                           core::TrajectoryId first_id = 0);
+
+  // Consumes one fix. Fixes must be fed in non-decreasing time order;
+  // an out-of-order fix is rejected (events->accepted = false), matching
+  // the offline contract that Identify consumes a time-ordered stream.
+  // `events` is overwritten, not appended to.
+  void Feed(const core::GpsPoint& fix, DetectorEvents* events);
+
+  // Ends the stream: finalizes and closes the open trajectory (or
+  // discards it if it never met the identification thresholds). The
+  // detector stays usable — a subsequent Feed starts a new trajectory,
+  // as if a fresh offline run began at that fix.
+  void Close(DetectorEvents* events);
+
+  // --- open-trajectory observers -------------------------------------
+
+  // Finalized cleaned points of the open trajectory (grows as fixes
+  // arrive; closed episodes' [begin, end) index into this).
+  const std::vector<core::GpsPoint>& cleaned_prefix() const {
+    return cleaned_;
+  }
+  // True once the open trajectory passed the identification noise
+  // filter (>= min_points raw fixes and >= min_duration). Episodes only
+  // close after qualification, and only qualified trajectories consume
+  // trajectory ids.
+  bool open_trajectory_qualified() const { return qualified_; }
+  // Id the open trajectory will close with; only meaningful once
+  // open_trajectory_qualified().
+  core::TrajectoryId open_trajectory_id() const { return open_id_; }
+
+  struct Stats {
+    size_t points_fed = 0;
+    size_t points_rejected = 0;
+    size_t episodes_closed = 0;  // excludes Begin/End markers
+    size_t trajectories_closed = 0;
+    size_t trajectories_discarded = 0;
+    size_t forced_splits = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  core::ObjectId object_id() const { return object_id_; }
+  core::TrajectoryId next_trajectory_id() const { return next_id_; }
+  const EpisodeDetectorConfig& config() const { return config_; }
+
+ private:
+  // Effective smoothing half-window (0 when smoothing is disabled).
+  size_t SmoothHalf() const;
+  void ResetTrajectory();
+  // Dedup + outlier gates; appends survivors to the kept tail.
+  void CleanFix(const core::GpsPoint& fix);
+  void AppendKept(const core::GpsPoint& fix);
+  // Kept point `index` (global, within the open trajectory) from the
+  // bounded raw tail.
+  const core::GpsPoint& Kept(size_t index) const;
+  // Pushes the smoothed position of kept point `index` onto cleaned_;
+  // `end_of_data` truncates the right window edge at the last kept fix.
+  void FinalizeSmoothedPoint(size_t index, bool end_of_data);
+  void FinalizeCleaning();  // close-time tail (truncated windows)
+  // Extends is_stop_ with every classification decidable from the
+  // finalized cleaned prefix.
+  void AdvanceClassification(bool end_of_data);
+  void ExtendRuns();  // folds new classifications into closed runs
+  // Dwell/extent tests on closed runs (velocity policy; density stops
+  // are solid by construction — there is no demote step).
+  bool StopRunSolid(const traj::ClassifiedRun& run) const;
+  bool MoveRunSolid(const traj::ClassifiedRun& run) const;
+  // Emits every episode before the latest barrier move, if any.
+  void MaybeEmit(DetectorEvents* events);
+  void EmitRuns(std::vector<traj::ClassifiedRun> window,
+                DetectorEvents* events);
+  void EmitMarker(core::EpisodeKind kind, size_t index,
+                  DetectorEvents* events);
+  void FinalizeTrajectory(DetectorEvents* events);
+
+  EpisodeDetectorConfig config_;
+  core::ObjectId object_id_;
+  core::TrajectoryId next_id_;
+  Stats stats_;
+
+  // Stream-level monotonicity gate (survives trajectory splits).
+  bool has_accepted_ = false;
+  double last_accepted_time_ = 0.0;
+
+  // --- open-trajectory state (reset by ResetTrajectory) --------------
+  // Raw-fix bookkeeping for split checks and the identification filter.
+  size_t raw_count_ = 0;
+  double raw_first_time_ = 0.0;
+  core::GpsPoint last_raw_;
+  bool qualified_ = false;
+  core::TrajectoryId open_id_ = 0;
+
+  // Cleaning: duplicate filter, outlier gate, smoothing lookahead.
+  bool have_dedup_ = false;
+  double dedup_last_time_ = 0.0;
+  bool have_kept_ = false;
+  core::GpsPoint outlier_last_;
+  size_t kept_count_ = 0;
+  // Raw positions of the last <= 2*half+1 kept fixes (smoothing reads
+  // raw neighbors). Front corresponds to kept index
+  // kept_count_ - kept_tail_.size().
+  std::deque<core::GpsPoint> kept_tail_;
+  // Finalized cleaned (smoothed) points.
+  std::vector<core::GpsPoint> cleaned_;
+
+  // Classification and run assembly over cleaned_.
+  std::vector<bool> is_stop_;  // final per-point classes [0, class_n)
+  traj::DensityStopClassifier density_;
+  std::vector<traj::ClassifiedRun> runs_;  // closed, unemitted runs
+  bool run_open_ = false;
+  traj::ClassifiedRun open_run_;  // trailing run, still growing
+
+  // Episodes already emitted for the open trajectory.
+  std::vector<core::Episode> episodes_;
+  bool begin_emitted_ = false;
+};
+
+}  // namespace semitri::stream
+
+#endif  // SEMITRI_STREAM_EPISODE_DETECTOR_H_

@@ -1,0 +1,157 @@
+#include "stream/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace semitri::stream {
+
+namespace {
+
+void Accumulate(const AnnotationSession::Stats& from,
+                SessionManager::Stats* to) {
+  to->points_fed += from.detector.points_fed;
+  to->points_rejected += from.detector.points_rejected;
+  to->episodes_closed += from.detector.episodes_closed;
+  to->trajectories_closed += from.detector.trajectories_closed;
+  to->trajectories_discarded += from.detector.trajectories_discarded;
+  to->forced_splits += from.detector.forced_splits;
+  to->annotation_passes += from.annotation_passes;
+}
+
+void Accumulate(const AnnotationSession::Stats& from,
+                AnnotationSession::Stats* to) {
+  to->detector.points_fed += from.detector.points_fed;
+  to->detector.points_rejected += from.detector.points_rejected;
+  to->detector.episodes_closed += from.detector.episodes_closed;
+  to->detector.trajectories_closed += from.detector.trajectories_closed;
+  to->detector.trajectories_discarded += from.detector.trajectories_discarded;
+  to->detector.forced_splits += from.detector.forced_splits;
+  to->annotation_passes += from.annotation_passes;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const core::SemiTriPipeline* pipeline,
+                               SessionManagerConfig config)
+    : pipeline_(pipeline), config_(config) {
+  SEMITRI_CHECK(config_.num_shards > 0) << "num_shards must be positive";
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SessionManager::Shard& SessionManager::ShardFor(
+    core::ObjectId object_id) const {
+  // Fibonacci mixing: consecutive object ids spread across shards.
+  uint64_t h = static_cast<uint64_t>(object_id) * 0x9E3779B97F4A7C15ull;
+  return *shards_[h % shards_.size()];
+}
+
+common::Result<AnnotationSession::FeedResult> SessionManager::Feed(
+    core::ObjectId object_id, const core::GpsPoint& fix) {
+  Shard& shard = ShardFor(object_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.sessions.try_emplace(object_id);
+  if (inserted) {
+    it->second.session = std::make_unique<AnnotationSession>(
+        pipeline_, object_id, config_.session,
+        object_id * config_.ids_per_object);
+    ++shard.opened;
+  }
+  it->second.last_feed = std::chrono::steady_clock::now();
+  return it->second.session->Feed(fix);
+}
+
+common::Status SessionManager::Flush(core::ObjectId object_id) {
+  Shard& shard = ShardFor(object_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(object_id);
+  if (it == shard.sessions.end()) {
+    return common::Status::NotFound("no live session for this object");
+  }
+  return it->second.session->Flush();
+}
+
+common::Status SessionManager::RetireLocked(
+    Shard& shard, std::map<core::ObjectId, Entry>::iterator it) {
+  common::Status status = it->second.session->Flush();
+  Accumulate(it->second.session->stats(), &shard.retired);
+  ++shard.evicted;
+  shard.sessions.erase(it);
+  return status;
+}
+
+common::Status SessionManager::Close(core::ObjectId object_id) {
+  Shard& shard = ShardFor(object_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(object_id);
+  if (it == shard.sessions.end()) {
+    return common::Status::NotFound("no live session for this object");
+  }
+  return RetireLocked(shard, it);
+}
+
+common::Status SessionManager::CloseAll() {
+  common::Status first = common::Status::OK();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    while (!shard->sessions.empty()) {
+      common::Status status =
+          RetireLocked(*shard, shard->sessions.begin());
+      if (!status.ok() && first.ok()) first = status;
+    }
+  }
+  return first;
+}
+
+common::Result<size_t> SessionManager::EvictIdle(double max_idle_seconds) {
+  const auto now = std::chrono::steady_clock::now();
+  common::Status first = common::Status::OK();
+  size_t evicted = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->sessions.begin(); it != shard->sessions.end();) {
+      std::chrono::duration<double> idle = now - it->second.last_feed;
+      if (idle.count() < max_idle_seconds) {
+        ++it;
+        continue;
+      }
+      auto next = std::next(it);
+      common::Status status = RetireLocked(*shard, it);
+      if (!status.ok() && first.ok()) first = status;
+      ++evicted;
+      it = next;
+    }
+  }
+  if (!first.ok()) return first;
+  return evicted;
+}
+
+size_t SessionManager::ActiveSessions() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->sessions.size();
+  }
+  return total;
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  Stats out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.active_sessions += shard->sessions.size();
+    out.sessions_opened += shard->opened;
+    out.sessions_evicted += shard->evicted;
+    Accumulate(shard->retired, &out);
+    for (const auto& [id, entry] : shard->sessions) {
+      Accumulate(entry.session->stats(), &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace semitri::stream

@@ -1,0 +1,124 @@
+#ifndef SEMITRI_STREAM_SESSION_MANAGER_H_
+#define SEMITRI_STREAM_SESSION_MANAGER_H_
+
+// Thread-safe multi-object front end over stream::AnnotationSession:
+// one live session per ObjectId, sharded so concurrent feeders of
+// different objects rarely contend. All shared state is mutex-guarded
+// and annotated for Clang's -Wthread-safety analysis; the pipeline's
+// store and profiler sinks are internally synchronized, so a single
+// SessionManager over a single pipeline is safe to hammer from many
+// ingestion threads.
+//
+// Per-session memory is bounded by
+// SessionConfig::max_buffered_points; idle sessions can be finalized
+// and evicted (EvictIdle), and Flush()/Close() finalize the dangling
+// open trajectory on demand.
+//
+// Correctness contract (enforced by tests/stream_test.cc and the fuzz
+// harness): feeding each object's stream in order — from any thread
+// interleaving across objects — then CloseAll() leaves the store
+// bit-identical to running the offline
+// SemiTriPipeline::ProcessStream(object_id, stream, first_id) per
+// object, with first_id = object_id * ids_per_object (the
+// core::BatchProcessor id-block convention).
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/pipeline.h"
+#include "core/types.h"
+#include "stream/annotation_session.h"
+
+namespace semitri::stream {
+
+struct SessionManagerConfig {
+  SessionConfig session;
+  // Lock shards; feeds for objects on different shards proceed in
+  // parallel.
+  size_t num_shards = 16;
+  // Trajectory-id block reserved per object (ids start at
+  // object_id * ids_per_object), mirroring core::BatchProcessor.
+  core::TrajectoryId ids_per_object = 1000;
+};
+
+class SessionManager {
+ public:
+  // `pipeline` must outlive the manager.
+  SessionManager(const core::SemiTriPipeline* pipeline,
+                 SessionManagerConfig config = {});
+
+  // Feeds one fix to `object_id`'s session, creating it on first use.
+  // Feeds for the same object must be time-ordered (out-of-order fixes
+  // are rejected in the FeedResult); different objects are independent.
+  common::Result<AnnotationSession::FeedResult> Feed(
+      core::ObjectId object_id, const core::GpsPoint& fix);
+
+  // Finalizes the object's dangling open trajectory; the session stays
+  // live. NotFound when no session exists.
+  common::Status Flush(core::ObjectId object_id);
+
+  // Flush + evict the session (its detector/annotation counters are
+  // folded into stats()). NotFound when no session exists.
+  common::Status Close(core::ObjectId object_id);
+
+  // Closes every session (stream end). Keeps going on stage errors and
+  // returns the first one.
+  common::Status CloseAll();
+
+  // Closes sessions that have not been fed for at least
+  // `max_idle_seconds`; returns how many were evicted. Keeps going on
+  // stage errors and returns the first one.
+  common::Result<size_t> EvictIdle(double max_idle_seconds);
+
+  size_t ActiveSessions() const;
+
+  struct Stats {
+    size_t active_sessions = 0;
+    size_t sessions_opened = 0;
+    size_t sessions_evicted = 0;
+    size_t points_fed = 0;
+    size_t points_rejected = 0;
+    size_t episodes_closed = 0;
+    size_t trajectories_closed = 0;
+    size_t trajectories_discarded = 0;
+    size_t forced_splits = 0;
+    size_t annotation_passes = 0;
+  };
+  // Aggregated over live and evicted sessions.
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<AnnotationSession> session;
+    std::chrono::steady_clock::time_point last_feed;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<core::ObjectId, Entry> sessions SEMITRI_GUARDED_BY(mutex);
+    // Counters carried over from evicted sessions so stats() survives
+    // eviction.
+    size_t opened SEMITRI_GUARDED_BY(mutex) = 0;
+    size_t evicted SEMITRI_GUARDED_BY(mutex) = 0;
+    AnnotationSession::Stats retired SEMITRI_GUARDED_BY(mutex) = {};
+  };
+
+  Shard& ShardFor(core::ObjectId object_id) const;
+  // Flushes `entry`'s session, folds its counters into the shard, and
+  // removes it. Returns the flush status.
+  common::Status RetireLocked(Shard& shard,
+                              std::map<core::ObjectId, Entry>::iterator it)
+      SEMITRI_REQUIRES(shard.mutex);
+
+  const core::SemiTriPipeline* pipeline_;
+  SessionManagerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace semitri::stream
+
+#endif  // SEMITRI_STREAM_SESSION_MANAGER_H_

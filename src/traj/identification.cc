@@ -4,15 +4,6 @@
 
 namespace semitri::traj {
 
-namespace {
-
-// Index of the period (e.g. day number) a timestamp falls into.
-int64_t PeriodOf(double time, double period) {
-  return static_cast<int64_t>(std::floor(time / period));
-}
-
-}  // namespace
-
 std::vector<core::RawTrajectory> TrajectoryIdentifier::Identify(
     core::ObjectId object_id, const std::vector<core::GpsPoint>& stream,
     core::TrajectoryId first_id) const {
@@ -40,8 +31,8 @@ std::vector<core::RawTrajectory> TrajectoryIdentifier::Identify(
                       config_.max_spatial_gap_meters;
       bool new_period =
           config_.period_seconds > 0.0 &&
-          PeriodOf(p.time, config_.period_seconds) !=
-              PeriodOf(prev.time, config_.period_seconds);
+          PeriodIndex(p.time, config_.period_seconds) !=
+              PeriodIndex(prev.time, config_.period_seconds);
       if (gap || jump || new_period) flush();
     }
     current.points.push_back(p);

@@ -6,11 +6,20 @@
 // trajectories. SeMiTri's experiments use *daily* trajectories with
 // additional splitting at long signal gaps.
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/types.h"
 
 namespace semitri::traj {
+
+// Index of the period (e.g. day number) a timestamp falls into. Shared
+// by the offline identifier and stream::EpisodeDetector so both split at
+// identical period boundaries.
+inline int64_t PeriodIndex(double time, double period) {
+  return static_cast<int64_t>(std::floor(time / period));
+}
 
 struct IdentificationConfig {
   // A recording gap longer than this starts a new raw trajectory

@@ -19,6 +19,13 @@ std::vector<double> StopMoveSegmenter::PointSpeeds(
   return speeds;
 }
 
+double WindowedSpeed(const std::vector<core::GpsPoint>& points, size_t lo,
+                     size_t hi) {
+  double dt = points[hi].time - points[lo].time;
+  return dt > 0.0 ? points[hi].position.DistanceTo(points[lo].position) / dt
+                  : 0.0;
+}
+
 std::vector<bool> StopMoveSegmenter::ClassifyStopsVelocity(
     const core::RawTrajectory& t) const {
   const auto& pts = t.points;
@@ -38,58 +45,71 @@ std::vector<bool> StopMoveSegmenter::ClassifyStopsVelocity(
       // so dwells do not fragment into spurious micro-moves.
       size_t lo = i >= half ? i - half : 0;
       size_t hi = std::min(n - 1, i + half);
-      double dt = pts[hi].time - pts[lo].time;
-      speed = dt > 0.0
-                  ? pts[hi].position.DistanceTo(pts[lo].position) / dt
-                  : 0.0;
+      speed = WindowedSpeed(pts, lo, hi);
     }
     is_stop[i] = speed < config_.velocity_threshold_mps;
   }
   return is_stop;
 }
 
-std::vector<bool> StopMoveSegmenter::ClassifyStopsDensity(
-    const core::RawTrajectory& t) const {
-  const auto& pts = t.points;
-  const size_t n = pts.size();
-  std::vector<bool> is_stop(n, false);
-  size_t i = 0;
-  while (i < n) {
-    // Grow a cluster [i, j] while every new point stays within the radius
-    // of the running centroid.
-    geo::Point centroid = pts[i].position;
-    size_t j = i;
-    while (j + 1 < n) {
-      size_t count = j - i + 1;
-      if (pts[j + 1].position.DistanceTo(centroid) >
+void DensityStopClassifier::Advance(const std::vector<core::GpsPoint>& pts,
+                                    size_t available, bool end_of_data) {
+  SEMITRI_DCHECK(available <= pts.size());
+  while (true) {
+    const size_t i = flags_.size();  // start of the current cluster
+    if (!growing_) {
+      if (i >= available) return;
+      // Start a cluster [i, j] at the next undecided point.
+      centroid_ = pts[i].position;
+      cluster_end_ = i;
+      growing_ = true;
+    }
+    // Grow while every new point stays within the radius of the running
+    // centroid — exactly the offline greedy pass, but pausable at the
+    // data frontier.
+    bool radius_break = false;
+    while (cluster_end_ + 1 < available) {
+      size_t count = cluster_end_ - i + 1;
+      if (pts[cluster_end_ + 1].position.DistanceTo(centroid_) >
           config_.density_radius_meters) {
+        radius_break = true;
         break;
       }
-      centroid =
-          (centroid * static_cast<double>(count) + pts[j + 1].position) /
-          static_cast<double>(count + 1);
-      ++j;
+      centroid_ = (centroid_ * static_cast<double>(count) +
+                   pts[cluster_end_ + 1].position) /
+                  static_cast<double>(count + 1);
+      ++cluster_end_;
     }
-    double dwell = pts[j].time - pts[i].time;
+    // Without a radius break the cluster is still open: future points
+    // may join it (or end-of-data closes it).
+    if (!radius_break && !end_of_data) return;
+    double dwell = pts[cluster_end_].time - pts[i].time;
     if (dwell >= config_.min_stop_duration_seconds) {
-      for (size_t k = i; k <= j; ++k) is_stop[k] = true;
-      i = j + 1;
+      flags_.insert(flags_.end(), cluster_end_ - i + 1, true);
     } else {
-      ++i;
+      // Too-short cluster: only its first point is decided (a move);
+      // the scan restarts one point later, as offline.
+      flags_.push_back(false);
     }
+    growing_ = false;
   }
-  return is_stop;
 }
 
-void FinalizeEpisode(const core::RawTrajectory& trajectory,
+std::vector<bool> StopMoveSegmenter::ClassifyStopsDensity(
+    const core::RawTrajectory& t) const {
+  DensityStopClassifier classifier(config_);
+  classifier.Advance(t.points, t.points.size(), /*end_of_data=*/true);
+  return classifier.flags();
+}
+
+void FinalizeEpisode(const std::vector<core::GpsPoint>& pts,
                      core::Episode* episode) {
   SEMITRI_CHECK(episode->begin < episode->end)
       << "episode [" << episode->begin << ", " << episode->end
       << ") must cover at least one point";
-  SEMITRI_CHECK(episode->end <= trajectory.points.size())
+  SEMITRI_CHECK(episode->end <= pts.size())
       << "episode end " << episode->end << " exceeds trajectory size "
-      << trajectory.points.size();
-  const auto& pts = trajectory.points;
+      << pts.size();
   episode->time_in = pts[episode->begin].time;
   episode->time_out = pts[episode->end - 1].time;
   geo::Point acc{0.0, 0.0};
@@ -102,36 +122,21 @@ void FinalizeEpisode(const core::RawTrajectory& trajectory,
   episode->bounds = bounds;
 }
 
-std::vector<core::Episode> StopMoveSegmenter::Segment(
-    const core::RawTrajectory& trajectory) const {
-  std::vector<core::Episode> episodes;
-  const size_t n = trajectory.points.size();
-  if (n == 0) return episodes;
+void FinalizeEpisode(const core::RawTrajectory& trajectory,
+                     core::Episode* episode) {
+  FinalizeEpisode(trajectory.points, episode);
+}
 
-  std::vector<bool> is_stop = config_.policy == StopPolicy::kVelocity
-                                  ? ClassifyStopsVelocity(trajectory)
-                                  : ClassifyStopsDensity(trajectory);
-
-  // Build maximal runs of identical classification.
-  struct Run {
-    bool stop;
-    size_t begin;
-    size_t end;  // exclusive
+void SmoothClassifiedRuns(const std::vector<core::GpsPoint>& points,
+                          const SegmentationConfig& config,
+                          std::vector<ClassifiedRun>* runs_io) {
+  std::vector<ClassifiedRun>& runs = *runs_io;
+  auto run_duration = [&](const ClassifiedRun& r) {
+    return points[r.end - 1].time - points[r.begin].time;
   };
-  std::vector<Run> runs;
-  for (size_t i = 0; i < n;) {
-    size_t j = i + 1;
-    while (j < n && is_stop[j] == is_stop[i]) ++j;
-    runs.push_back({is_stop[i], i, j});
-    i = j;
-  }
-
-  auto run_duration = [&](const Run& r) {
-    return trajectory.points[r.end - 1].time - trajectory.points[r.begin].time;
-  };
-  auto merge_adjacent = [](std::vector<Run>& rs) {
-    std::vector<Run> merged;
-    for (const Run& r : rs) {
+  auto merge_adjacent = [](std::vector<ClassifiedRun>& rs) {
+    std::vector<ClassifiedRun> merged;
+    for (const ClassifiedRun& r : rs) {
       if (!merged.empty() && merged.back().stop == r.stop) {
         merged.back().end = r.end;
       } else {
@@ -154,19 +159,18 @@ std::vector<core::Episode> StopMoveSegmenter::Segment(
           !runs[i - 1].stop || !runs[i + 1].stop) {
         continue;
       }
-      double displacement =
-          trajectory.points[runs[i].end - 1].position.DistanceTo(
-              trajectory.points[runs[i].begin].position);
-      if (run_duration(runs[i]) < config_.min_move_duration_seconds ||
-          displacement < config_.min_move_displacement_meters) {
+      double displacement = points[runs[i].end - 1].position.DistanceTo(
+          points[runs[i].begin].position);
+      if (run_duration(runs[i]) < config.min_move_duration_seconds ||
+          displacement < config.min_move_displacement_meters) {
         runs[i].stop = true;
         changed = true;
       }
     }
     merge_adjacent(runs);
-    if (config_.policy == StopPolicy::kVelocity) {
-      for (Run& r : runs) {
-        if (r.stop && run_duration(r) < config_.min_stop_duration_seconds) {
+    if (config.policy == StopPolicy::kVelocity) {
+      for (ClassifiedRun& r : runs) {
+        if (r.stop && run_duration(r) < config.min_stop_duration_seconds) {
           r.stop = false;
           changed = true;
         }
@@ -175,7 +179,28 @@ std::vector<core::Episode> StopMoveSegmenter::Segment(
     if (!changed) break;
   }
   merge_adjacent(runs);
-  std::vector<Run>& merged = runs;
+}
+
+std::vector<core::Episode> StopMoveSegmenter::Segment(
+    const core::RawTrajectory& trajectory) const {
+  std::vector<core::Episode> episodes;
+  const size_t n = trajectory.points.size();
+  if (n == 0) return episodes;
+
+  std::vector<bool> is_stop = config_.policy == StopPolicy::kVelocity
+                                  ? ClassifyStopsVelocity(trajectory)
+                                  : ClassifyStopsDensity(trajectory);
+
+  // Build maximal runs of identical classification.
+  std::vector<ClassifiedRun> runs;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && is_stop[j] == is_stop[i]) ++j;
+    runs.push_back({is_stop[i], i, j});
+    i = j;
+  }
+
+  SmoothClassifiedRuns(trajectory.points, config_, &runs);
 
   if (config_.emit_begin_end) {
     core::Episode begin;
@@ -185,7 +210,7 @@ std::vector<core::Episode> StopMoveSegmenter::Segment(
     FinalizeEpisode(trajectory, &begin);
     episodes.push_back(begin);
   }
-  for (const Run& r : merged) {
+  for (const ClassifiedRun& r : runs) {
     core::Episode ep;
     ep.kind = r.stop ? core::EpisodeKind::kStop : core::EpisodeKind::kMove;
     ep.begin = r.begin;

@@ -16,6 +16,11 @@
 //
 // Both produce a partition of the trajectory into stop and move episodes
 // with merged neighbors and per-episode spatial summaries.
+//
+// The building blocks (per-point classification, run assembly, run-level
+// smoothing) are exposed so the streaming subsystem
+// (stream::EpisodeDetector) can run the *same code* incrementally and
+// stay bit-identical to the offline Segment().
 
 #include <vector>
 
@@ -49,6 +54,68 @@ struct SegmentationConfig {
   bool emit_begin_end = false;
 };
 
+// A maximal run of identically classified points, covering the index
+// range [begin, end) of a cleaned trajectory.
+struct ClassifiedRun {
+  bool stop = false;
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+};
+
+// Net-displacement speed over the point window [lo, hi]: the kVelocity
+// windowed measure (0 when the window spans no time).
+double WindowedSpeed(const std::vector<core::GpsPoint>& points, size_t lo,
+                     size_t hi);
+
+// Run-level smoothing applied after per-point classification, in place:
+// bounded absorb/demote passes that (1) absorb spurious "move" bursts
+// sandwiched between stop runs (too short, or going nowhere) so
+// fragmented dwells coalesce, and (2) demote stop runs that still do not
+// dwell long enough (velocity policy only; density enforces dwell while
+// clustering), merging equal neighbors between steps. Shared verbatim by
+// the offline Segment() and the incremental stream::EpisodeDetector, so
+// both produce the same partition.
+void SmoothClassifiedRuns(const std::vector<core::GpsPoint>& points,
+                          const SegmentationConfig& config,
+                          std::vector<ClassifiedRun>* runs);
+
+// Resumable version of the kDensity per-point classification: grows
+// greedy centroid clusters exactly like the offline single pass, but can
+// suspend at the end of the currently available prefix and resume when
+// more points arrive. Feeding a whole trajectory in one Advance(n, true)
+// call reproduces the offline classification bit-for-bit.
+class DensityStopClassifier {
+ public:
+  explicit DensityStopClassifier(const SegmentationConfig& config)
+      : config_(config) {}
+
+  // Extends the decided classification using points [0, available) of
+  // `points` (which must only ever grow between calls). A point's class
+  // is decided once it cannot change regardless of future points; with
+  // `end_of_data` the prefix is treated as the whole trajectory and
+  // everything is decided.
+  void Advance(const std::vector<core::GpsPoint>& points, size_t available,
+               bool end_of_data);
+
+  // Decided per-point stop flags ([0, decided())).
+  const std::vector<bool>& flags() const { return flags_; }
+  size_t decided() const { return flags_.size(); }
+
+  void Reset() {
+    flags_.clear();
+    growing_ = false;
+  }
+
+ private:
+  SegmentationConfig config_;
+  std::vector<bool> flags_;
+  // In-progress cluster [decided(), cluster_end_] with running centroid,
+  // suspended at the data frontier.
+  bool growing_ = false;
+  size_t cluster_end_ = 0;
+  geo::Point centroid_;
+};
+
 class StopMoveSegmenter {
  public:
   explicit StopMoveSegmenter(SegmentationConfig config = {})
@@ -73,7 +140,9 @@ class StopMoveSegmenter {
 };
 
 // Fills time_in/time_out/center/bounds of an episode covering
-// [episode.begin, episode.end) of `trajectory`.
+// [episode.begin, episode.end) of `points`.
+void FinalizeEpisode(const std::vector<core::GpsPoint>& points,
+                     core::Episode* episode);
 void FinalizeEpisode(const core::RawTrajectory& trajectory,
                      core::Episode* episode);
 

@@ -102,18 +102,36 @@ TEST_F(PipelineFixture, PerPointRegionInterpretation) {
   // paper's 1 Hz taxi feed but still substantially).
   EXPECT_LT(day.region_layer->episodes.size(), day.cleaned.size() / 3);
   EXPECT_GT(day.region_layer->episodes.size(), 0u);
+}
 
-  // The deprecated PipelineConfig::region_per_point alias keeps selecting
-  // the same per-point behaviour for one release.
-  PipelineConfig deprecated_config;
-  deprecated_config.region_per_point = true;
-  SemiTriPipeline alias_pipeline(&world_->regions, nullptr, nullptr,
-                                 deprecated_config);
-  auto alias_results = alias_pipeline.ProcessStream(2, track.points);
-  ASSERT_TRUE(alias_results.ok());
-  ASSERT_FALSE(alias_results->empty());
-  ASSERT_TRUE(alias_results->front().region_layer.has_value());
-  EXPECT_EQ(*alias_results->front().region_layer, *day.region_layer);
+TEST_F(PipelineFixture, AnnotateComputedMatchesFullRun) {
+  datagen::PersonSpec spec = factory_->MakePersonSpec(3);
+  datagen::SimulatedTrack track = factory_->SimulatePersonDays(3, spec, 2);
+
+  store::SemanticTrajectoryStore full_store;
+  SemiTriPipeline full(&world_->regions, &world_->roads, &world_->pois,
+                       PipelineConfig{}, &full_store);
+  auto full_results = full.ProcessStream(3, track.points);
+  ASSERT_TRUE(full_results.ok());
+  ASSERT_FALSE(full_results->empty());
+
+  // Re-annotating from the cached trajectory computation reproduces
+  // every layer and every store row of the full run.
+  store::SemanticTrajectoryStore computed_store;
+  SemiTriPipeline from_computed(&world_->regions, &world_->roads,
+                                &world_->pois, PipelineConfig{},
+                                &computed_store);
+  for (const PipelineResult& day : *full_results) {
+    PipelineResult computed;
+    computed.cleaned = day.cleaned;
+    computed.episodes = day.episodes;
+    auto annotated = from_computed.AnnotateComputed(std::move(computed));
+    ASSERT_TRUE(annotated.ok());
+    EXPECT_EQ(*annotated->region_layer, *day.region_layer);
+    EXPECT_EQ(*annotated->line_layer, *day.line_layer);
+    EXPECT_EQ(*annotated->point_layer, *day.point_layer);
+  }
+  EXPECT_TRUE(computed_store.ContentEquals(full_store));
 }
 
 TEST_F(PipelineFixture, StageGraphExecutionOrderMatchesLegacyPipeline) {

@@ -1,0 +1,227 @@
+// Streaming-vs-offline equivalence fuzzing: adversarial synthetic
+// streams (random gaps across the split threshold, duplicated
+// timestamps, outlier jumps, out-of-order fixes) across both stop
+// policies and several cleaning configurations must drain through
+// stream::EpisodeDetector into exactly the trajectories the offline
+// identify -> clean -> segment pipeline produces on the accepted
+// subsequence.
+
+#include "stream/episode_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/presets.h"
+#include "datagen/world.h"
+#include "traj/identification.h"
+#include "traj/preprocess.h"
+#include "traj/segmentation.h"
+
+namespace semitri::stream {
+namespace {
+
+struct OfflineReference {
+  std::vector<core::RawTrajectory> cleaned;
+  std::vector<std::vector<core::Episode>> episodes;
+};
+
+OfflineReference OfflineCompute(core::ObjectId object_id,
+                                const std::vector<core::GpsPoint>& stream,
+                                const EpisodeDetectorConfig& config) {
+  traj::TrajectoryIdentifier identifier(config.identification);
+  traj::Preprocessor preprocessor(config.preprocess);
+  traj::StopMoveSegmenter segmenter(config.segmentation);
+  OfflineReference ref;
+  for (const core::RawTrajectory& raw :
+       identifier.Identify(object_id, stream, 0)) {
+    core::RawTrajectory cleaned = preprocessor.Clean(raw);
+    ref.episodes.push_back(segmenter.Segment(cleaned));
+    ref.cleaned.push_back(std::move(cleaned));
+  }
+  return ref;
+}
+
+// Feeds `stream` (which may contain out-of-order fixes) and returns the
+// closed trajectories plus the subsequence the detector accepted.
+struct DrainResult {
+  std::vector<ClosedTrajectory> closed;
+  std::vector<core::GpsPoint> accepted;
+};
+
+DrainResult Drain(core::ObjectId object_id,
+                  const std::vector<core::GpsPoint>& stream,
+                  const EpisodeDetectorConfig& config) {
+  EpisodeDetector detector(object_id, config);
+  DrainResult out;
+  DetectorEvents events;
+  for (const core::GpsPoint& fix : stream) {
+    detector.Feed(fix, &events);
+    if (events.accepted) out.accepted.push_back(fix);
+    if (events.closed_trajectory.has_value()) {
+      out.closed.push_back(std::move(*events.closed_trajectory));
+    }
+  }
+  detector.Close(&events);
+  if (events.closed_trajectory.has_value()) {
+    out.closed.push_back(std::move(*events.closed_trajectory));
+  }
+  return out;
+}
+
+void ExpectEquivalent(core::ObjectId object_id,
+                      const std::vector<core::GpsPoint>& stream,
+                      const EpisodeDetectorConfig& config,
+                      const std::string& trace) {
+  SCOPED_TRACE(trace);
+  DrainResult drained = Drain(object_id, stream, config);
+  // Offline reference runs on the fixes the detector accepted: the
+  // offline Identify contract assumes a time-ordered stream, and the
+  // detector enforces it by rejection.
+  OfflineReference ref = OfflineCompute(object_id, drained.accepted, config);
+  ASSERT_EQ(drained.closed.size(), ref.cleaned.size());
+  for (size_t t = 0; t < ref.cleaned.size(); ++t) {
+    ASSERT_EQ(drained.closed[t].cleaned, ref.cleaned[t])
+        << "cleaned mismatch, trajectory " << t;
+    ASSERT_EQ(drained.closed[t].episodes, ref.episodes[t])
+        << "episodes mismatch, trajectory " << t;
+  }
+}
+
+// An adversarial stream: alternating dwell clusters and moves, with
+// occasional duplicate timestamps, teleport jumps (outlier fodder),
+// long gaps straddling the split threshold, and out-of-order fixes.
+std::vector<core::GpsPoint> MakeAdversarialStream(uint64_t seed,
+                                                  size_t num_phases) {
+  common::Rng rng(seed);
+  std::vector<core::GpsPoint> stream;
+  double t = rng.Uniform(0.0, 3600.0);
+  geo::Point pos{rng.Uniform(-500.0, 500.0), rng.Uniform(-500.0, 500.0)};
+  for (size_t phase = 0; phase < num_phases; ++phase) {
+    bool dwell = rng.Bernoulli(0.5);
+    int n = static_cast<int>(rng.UniformInt(5, 60));
+    for (int i = 0; i < n; ++i) {
+      double dt = rng.Uniform(1.0, 30.0);
+      if (rng.Bernoulli(0.03)) dt = 0.0;  // duplicated timestamp
+      if (rng.Bernoulli(0.01)) {
+        // Gap near the 30 min split threshold, either side of it.
+        dt = rng.Uniform(1500.0, 2100.0);
+      }
+      t += dt;
+      if (dwell) {
+        pos = pos + geo::Point{rng.Gaussian(0.0, 4.0), rng.Gaussian(0.0, 4.0)};
+      } else {
+        double speed = rng.Uniform(2.0, 20.0);
+        double heading = rng.Uniform(0.0, 6.28318);
+        pos = pos + geo::Point{std::cos(heading), std::sin(heading)} *
+                        (speed * std::max(dt, 1.0));
+      }
+      core::GpsPoint fix{pos, t};
+      if (rng.Bernoulli(0.02)) {
+        fix.time = t - rng.Uniform(1.0, 500.0);  // out of order: rejected
+      }
+      if (rng.Bernoulli(0.01)) {
+        // Teleport: implied speed far above the outlier gate.
+        fix.position = fix.position + geo::Point{1.0e5, -1.0e5};
+      }
+      stream.push_back(fix);
+    }
+  }
+  return stream;
+}
+
+TEST(StreamFuzzTest, AdversarialStreamsBothPolicies) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    std::vector<core::GpsPoint> stream = MakeAdversarialStream(seed, 40);
+    EpisodeDetectorConfig velocity;
+    ExpectEquivalent(static_cast<core::ObjectId>(seed), stream, velocity,
+                     "velocity seed " + std::to_string(seed));
+    EpisodeDetectorConfig density;
+    density.segmentation.policy = traj::StopPolicy::kDensity;
+    ExpectEquivalent(static_cast<core::ObjectId>(seed), stream, density,
+                     "density seed " + std::to_string(seed));
+  }
+}
+
+TEST(StreamFuzzTest, ConfigMatrix) {
+  // Degenerate and shifted knobs: smoothing off, tiny smoothing window,
+  // instantaneous speeds, spatial-gap splitting, markers on, aggressive
+  // dwell thresholds.
+  std::vector<EpisodeDetectorConfig> configs;
+  {
+    EpisodeDetectorConfig c;
+    c.preprocess.smoothing_bandwidth_seconds = 0.0;
+    configs.push_back(c);
+  }
+  {
+    EpisodeDetectorConfig c;
+    c.preprocess.smoothing_half_window = 1;
+    c.segmentation.speed_smoothing_half_window = 0;
+    configs.push_back(c);
+  }
+  {
+    EpisodeDetectorConfig c;
+    c.identification.max_spatial_gap_meters = 5000.0;
+    c.preprocess.max_speed_mps = 0.0;  // outlier gate off
+    c.segmentation.emit_begin_end = true;
+    configs.push_back(c);
+  }
+  {
+    EpisodeDetectorConfig c;
+    c.segmentation.min_stop_duration_seconds = 30.0;
+    c.segmentation.min_move_duration_seconds = 120.0;
+    c.segmentation.min_move_displacement_meters = 120.0;
+    configs.push_back(c);
+  }
+  {
+    EpisodeDetectorConfig c;
+    c.segmentation.policy = traj::StopPolicy::kDensity;
+    c.segmentation.density_radius_meters = 20.0;
+    c.segmentation.emit_begin_end = true;
+    configs.push_back(c);
+  }
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    for (uint64_t seed = 100; seed < 104; ++seed) {
+      std::vector<core::GpsPoint> stream = MakeAdversarialStream(seed, 30);
+      ExpectEquivalent(7, stream, configs[ci],
+                       "config " + std::to_string(ci) + " seed " +
+                           std::to_string(seed));
+    }
+  }
+}
+
+TEST(StreamFuzzTest, DatasetPresetSweep) {
+  datagen::WorldConfig wc;
+  wc.seed = 77;
+  wc.extent_meters = 4000.0;
+  wc.num_pois = 600;
+  datagen::World world = datagen::WorldGenerator(wc).Generate();
+  datagen::DatasetFactory factory(&world, 91);
+
+  std::vector<datagen::Dataset> datasets;
+  datasets.push_back(factory.LausanneTaxis(1, 2));
+  datasets.push_back(factory.MilanPrivateCars(2, 2));
+  datasets.push_back(factory.SeattleDrive(0.5));
+  datasets.push_back(factory.NokiaPeople(2, 2));
+
+  for (const datagen::Dataset& dataset : datasets) {
+    for (const datagen::SimulatedTrack& track : dataset.tracks) {
+      EpisodeDetectorConfig velocity;
+      ExpectEquivalent(track.object_id, track.points, velocity,
+                       dataset.name + " velocity object " +
+                           std::to_string(track.object_id));
+      EpisodeDetectorConfig density;
+      density.segmentation.policy = traj::StopPolicy::kDensity;
+      ExpectEquivalent(track.object_id, track.points, density,
+                       dataset.name + " density object " +
+                           std::to_string(track.object_id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semitri::stream
