@@ -8,14 +8,22 @@
 //     batch ProcessStream on the same corpus;
 //   * per-episode annotation latency p50/p99 (close -> annotated, the
 //     paper's §1.2 "annotation in real-time" requirement);
-//   * per-trajectory finalization latency p50/p99.
+//   * per-trajectory finalization latency p50/p99;
+//   * WAL durability overhead: the live pass repeated with the store in
+//     durable mode (every Put framed into the write-ahead log, one
+//     checkpoint at the end) vs. the in-memory baseline.
 //
 // `bench_stream_throughput smoke` runs a scaled-down corpus for CI.
+// Machine-readable numbers (throughputs + WAL overhead) are written to
+// bench_stream_throughput.json in the working directory.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -83,44 +91,92 @@ int main(int argc, char** argv) {
   }
 
   // --- streaming: sessions with per-episode annotation ------------------
-  store::SemanticTrajectoryStore store;
-  analytics::LatencyProfiler profiler;
-  core::SemiTriPipeline pipeline(&world.regions, &world.roads, &world.pois,
-                                 core::PipelineConfig{}, &store, &profiler);
-  stream::SessionManager manager(&pipeline, stream::SessionManagerConfig{});
-
-  auto start = std::chrono::steady_clock::now();
   // Round-robin across users: the arrival pattern a live feed would
   // have, maximizing session switching.
   size_t longest = 0;
   for (const datagen::SimulatedTrack& t : people.tracks) {
     longest = std::max(longest, t.points.size());
   }
-  for (size_t k = 0; k < longest; ++k) {
-    for (const datagen::SimulatedTrack& track : people.tracks) {
-      if (k >= track.points.size()) continue;
-      auto fed = manager.Feed(track.object_id, track.points[k]);
-      if (!fed.ok()) {
-        std::fprintf(stderr, "feed failed: %s\n",
-                     fed.status().ToString().c_str());
-        return 1;
+  auto run_live = [&](store::SemanticTrajectoryStore& store,
+                      analytics::LatencyProfiler* profiler,
+                      double* seconds) -> bool {
+    core::SemiTriPipeline pipeline(&world.regions, &world.roads,
+                                   &world.pois, core::PipelineConfig{},
+                                   &store, profiler);
+    stream::SessionManager manager(&pipeline,
+                                   stream::SessionManagerConfig{});
+    auto start = std::chrono::steady_clock::now();
+    for (size_t k = 0; k < longest; ++k) {
+      for (const datagen::SimulatedTrack& track : people.tracks) {
+        if (k >= track.points.size()) continue;
+        auto fed = manager.Feed(track.object_id, track.points[k]);
+        if (!fed.ok()) {
+          std::fprintf(stderr, "feed failed: %s\n",
+                       fed.status().ToString().c_str());
+          return false;
+        }
       }
     }
-  }
-  if (auto status = manager.CloseAll(); !status.ok()) {
-    std::fprintf(stderr, "close failed: %s\n", status.ToString().c_str());
-    return 1;
-  }
-  double live_seconds = SecondsSince(start);
+    if (auto status = manager.CloseAll(); !status.ok()) {
+      std::fprintf(stderr, "close failed: %s\n", status.ToString().c_str());
+      return false;
+    }
+    *seconds = SecondsSince(start);
+    stream::SessionManager::Stats stats = manager.stats();
+    std::printf("%s %9.0f points/s  (%.3f s total, %zu "
+                "episodes closed, %zu annotation passes)\n",
+                profiler != nullptr ? "live sessions:  " : "live (WAL):     ",
+                static_cast<double>(total_points) / *seconds, *seconds,
+                stats.episodes_closed, stats.annotation_passes);
+    return true;
+  };
 
-  stream::SessionManager::Stats stats = manager.stats();
   std::printf("offline batch:   %9.0f points/s  (%.3f s total)\n",
               static_cast<double>(total_points) / offline_seconds,
               offline_seconds);
-  std::printf("live sessions:   %9.0f points/s  (%.3f s total, %zu "
-              "episodes closed, %zu annotation passes)\n\n",
-              static_cast<double>(total_points) / live_seconds, live_seconds,
-              stats.episodes_closed, stats.annotation_passes);
+
+  store::SemanticTrajectoryStore store;
+  analytics::LatencyProfiler profiler;
+  double live_seconds = 0.0;
+  if (!run_live(store, &profiler, &live_seconds)) return 1;
+
+  // Same live pass in durable mode: every Put framed into the WAL
+  // first, one atomic checkpoint compaction at the end. The delta vs.
+  // the in-memory pass is the cost of crash safety.
+  std::filesystem::path wal_dir =
+      std::filesystem::temp_directory_path() /
+      ("semitri_bench_wal_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(wal_dir);
+  store::StoreConfig durable_config;
+  durable_config.durable_dir = wal_dir.string();
+  store::SemanticTrajectoryStore durable_store(durable_config);
+  double wal_seconds = 0.0;
+  bool wal_ok = run_live(durable_store, nullptr, &wal_seconds);
+  if (wal_ok) {
+    if (auto status = durable_store.Sync(); !status.ok()) {
+      std::fprintf(stderr, "wal sync failed: %s\n",
+                   status.ToString().c_str());
+      wal_ok = false;
+    }
+  }
+  if (wal_ok) {
+    if (auto status = durable_store.Checkpoint(); !status.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n",
+                   status.ToString().c_str());
+      wal_ok = false;
+    }
+  }
+  std::filesystem::remove_all(wal_dir);
+  if (!wal_ok) return 1;
+  if (!durable_store.ContentEquals(store)) {
+    std::fprintf(stderr, "durable store diverged from in-memory store\n");
+    return 1;
+  }
+  double wal_overhead =
+      live_seconds > 0.0 ? (wal_seconds - live_seconds) / live_seconds : 0.0;
+  std::printf("WAL durability overhead: %s  (%.3f s -> %.3f s)\n\n",
+              benchutil::Pct(wal_overhead).c_str(), live_seconds,
+              wal_seconds);
 
   PrintSummary("episode annotation latency",
                profiler.Summarize(stream::kStreamStageEpisodeAnnotation));
@@ -131,5 +187,23 @@ int main(int argc, char** argv) {
               "semantic episodes\n",
               store.num_trajectories(), store.num_gps_records(),
               store.num_semantic_episodes());
+
+  benchutil::JsonWriter json;
+  json.Add("bench", std::string("stream_throughput"));
+  json.Add("smoke", static_cast<size_t>(smoke ? 1 : 0));
+  json.Add("gps_records", total_points);
+  json.Add("offline_points_per_s",
+           static_cast<double>(total_points) / offline_seconds);
+  json.Add("live_points_per_s",
+           static_cast<double>(total_points) / live_seconds);
+  json.Add("live_wal_points_per_s",
+           static_cast<double>(total_points) / wal_seconds);
+  json.Add("wal_overhead_fraction", wal_overhead);
+  const char* json_path = "bench_stream_throughput.json";
+  if (!json.WriteToFile(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::printf("json: %s\n", json_path);
   return 0;
 }

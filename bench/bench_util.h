@@ -9,10 +9,52 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "datagen/world.h"
 
 namespace semitri::benchutil {
+
+// Minimal flat-object JSON emitter for machine-readable bench output
+// (CI archives these files next to the human-readable stdout tables).
+// Keys are emitted in insertion order; values are numbers or strings.
+class JsonWriter {
+ public:
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    entries_.emplace_back(key, quoted);
+  }
+
+  // Writes `{"k": v, ...}`; returns false on I/O failure.
+  bool WriteToFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "%s\n  \"%s\": %s", i == 0 ? "" : ",",
+                   entries_[i].first.c_str(), entries_[i].second.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 // The standard synthetic city used by the benches.
 inline datagen::World MakeCity(uint64_t seed, double extent_meters = 6000.0,

@@ -1,0 +1,97 @@
+#include "common/fault_injection.h"
+
+namespace semitri::common {
+
+namespace {
+
+// splitmix64 step — a tiny, seedable, allocation-free generator for the
+// per-site probabilistic stream (std::mt19937_64 would work too, but a
+// single u64 of state keeps Site trivially copyable).
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t* state) {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(NextRandom(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(std::string_view site, FaultPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site& s = sites_[std::string(site)];
+  s.armed = true;
+  s.policy = policy;
+  s.armed_hits = 0;
+  s.triggered = false;
+  s.rng_state = policy.seed;
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  it->second.armed = false;
+  it->second.triggered = false;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, site] : sites_) {
+    site = Site();
+  }
+}
+
+FaultAction FaultInjector::Fire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), Site()).first;
+  }
+  Site& s = it->second;
+  ++s.hits;
+  if (!s.armed) return FaultAction::kNone;
+  ++s.armed_hits;
+
+  const FaultPolicy& policy = s.policy;
+  bool trigger = false;
+  if (policy.trigger_on_hit > 0) {
+    if (policy.repeat) {
+      trigger = s.armed_hits >= policy.trigger_on_hit;
+    } else {
+      trigger = !s.triggered && s.armed_hits == policy.trigger_on_hit;
+    }
+  }
+  if (!trigger && policy.probability > 0.0) {
+    trigger = UnitUniform(&s.rng_state) < policy.probability;
+    if (!policy.repeat && s.triggered) trigger = false;
+  }
+  if (!trigger) return FaultAction::kNone;
+  s.triggered = true;
+  return policy.action;
+}
+
+uint64_t FaultInjector::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FaultInjector::Sites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) out.push_back(name);
+  return out;
+}
+
+}  // namespace semitri::common

@@ -1,0 +1,141 @@
+#ifndef SEMITRI_COMMON_FAULT_INJECTION_H_
+#define SEMITRI_COMMON_FAULT_INJECTION_H_
+
+// Deterministic fault injection for the durability and degradation
+// test harnesses.
+//
+// Production code marks fault *sites* — named points where an I/O or
+// stage failure can be simulated — with SEMITRI_FAULT_FIRE("site").
+// When the library is built with -DSEMITRI_FAULT_INJECTION=ON the macro
+// consults the process-global FaultInjector: tests Arm() a site with a
+// policy (fail once, fail on the n-th hit, probabilistic with a fixed
+// seed) and the site reacts to the returned action. When the option is
+// OFF (the default) the macro expands to the constant kNone, the
+// surrounding `if (action != kNone)` handling is dead code, and the
+// whole mechanism compiles to nothing — zero cost on every hot path.
+//
+// Two actions are distinguished:
+//   * kFail  — the site reports an injected error Status and the
+//     process keeps running (degradation / retry testing);
+//   * kCrash — the site simulates the process dying at that point:
+//     durable sinks stop persisting (the WAL goes dead, possibly
+//     leaving a torn partial record, exactly like a power cut mid
+//     write) and the caller treats the returned error as the moment of
+//     death. Recovery tests then re-open the on-disk state with
+//     SemanticTrajectoryStore::Recover.
+//
+// Sites self-register on first Fire, so a harness can run once with
+// injection enabled-but-unarmed to discover every registered site and
+// then iterate a crash over each (tests/recovery_test.cc).
+//
+// Thread-safe: all injector state is mutex-guarded.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+#ifndef SEMITRI_FAULT_INJECTION_ENABLED
+#define SEMITRI_FAULT_INJECTION_ENABLED 0
+#endif
+
+namespace semitri::common {
+
+enum class FaultAction {
+  kNone = 0,  // proceed normally
+  kFail,      // return an injected error and keep running
+  kCrash,     // simulate process death at this point
+};
+
+// When and how an armed site triggers. Hits are counted per site from
+// the moment the site first fires (armed or not); the policy is
+// evaluated against the per-site hit count observed *after* arming.
+struct FaultPolicy {
+  FaultAction action = FaultAction::kFail;
+  // Trigger on the n-th post-arm hit (1-based). 0 disables the counter
+  // trigger (probabilistic-only policies).
+  uint64_t trigger_on_hit = 1;
+  // Keep triggering on every hit at or past trigger_on_hit instead of
+  // exactly once.
+  bool repeat = false;
+  // Independent per-hit trigger probability in [0, 1], evaluated from a
+  // deterministic per-site stream seeded with `seed` — two runs with the
+  // same seed and hit sequence inject at the same hits.
+  double probability = 0.0;
+  uint64_t seed = 0;
+
+  static FaultPolicy FailOnce() { return {FaultAction::kFail, 1, false, 0.0, 0}; }
+  static FaultPolicy FailNth(uint64_t n) {
+    return {FaultAction::kFail, n, false, 0.0, 0};
+  }
+  static FaultPolicy FailAlways() {
+    return {FaultAction::kFail, 1, true, 0.0, 0};
+  }
+  static FaultPolicy CrashNth(uint64_t n) {
+    return {FaultAction::kCrash, n, false, 0.0, 0};
+  }
+  static FaultPolicy Probabilistic(double p, uint64_t seed) {
+    return {FaultAction::kFail, 0, true, p, seed};
+  }
+};
+
+class FaultInjector {
+ public:
+  // The process-global injector every SEMITRI_FAULT_FIRE site consults.
+  static FaultInjector& Global();
+
+  // Whether fault sites were compiled in.
+  static constexpr bool enabled() { return SEMITRI_FAULT_INJECTION_ENABLED; }
+
+  // Arms `site` with `policy`; replaces any previous policy and restarts
+  // the policy's post-arm hit count.
+  void Arm(std::string_view site, FaultPolicy policy) SEMITRI_EXCLUDES(mutex_);
+
+  // Removes the policy of one site (hit statistics survive).
+  void Disarm(std::string_view site) SEMITRI_EXCLUDES(mutex_);
+
+  // Disarms every site and clears all hit statistics. Registered site
+  // names are kept so discovery runs stay valid.
+  void Reset() SEMITRI_EXCLUDES(mutex_);
+
+  // Registers `site` (on first call), counts the hit, and evaluates the
+  // armed policy, if any. This is what SEMITRI_FAULT_FIRE calls.
+  FaultAction Fire(std::string_view site) SEMITRI_EXCLUDES(mutex_);
+
+  // Total hits observed at `site` since the last Reset.
+  uint64_t HitCount(std::string_view site) const SEMITRI_EXCLUDES(mutex_);
+
+  // Every site name that ever fired (sorted), armed or not.
+  std::vector<std::string> Sites() const SEMITRI_EXCLUDES(mutex_);
+
+ private:
+  struct Site {
+    uint64_t hits = 0;        // total hits since Reset
+    bool armed = false;
+    FaultPolicy policy;
+    uint64_t armed_hits = 0;  // hits since the policy was armed
+    bool triggered = false;   // one-shot policies only trigger once
+    uint64_t rng_state = 0;   // per-site deterministic stream
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Site, std::less<>> sites_ SEMITRI_GUARDED_BY(mutex_);
+};
+
+}  // namespace semitri::common
+
+// Marks a fault site. Yields a common::FaultAction; sites handle kFail /
+// kCrash and fall through on kNone. Compiles to the constant kNone (and
+// the handling below it to nothing) unless SEMITRI_FAULT_INJECTION=ON.
+#if SEMITRI_FAULT_INJECTION_ENABLED
+#define SEMITRI_FAULT_FIRE(site) \
+  ::semitri::common::FaultInjector::Global().Fire(site)
+#else
+#define SEMITRI_FAULT_FIRE(site) ::semitri::common::FaultAction::kNone
+#endif
+
+#endif  // SEMITRI_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,126 @@
+#include "common/serial.h"
+
+#include <array>
+#include <cstring>
+
+namespace semitri::common {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void StateWriter::PutU32(uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void StateWriter::PutU64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void StateWriter::PutDouble(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(bits);
+}
+
+void StateWriter::PutString(std::string_view value) {
+  PutU32(static_cast<uint32_t>(value.size()));
+  buffer_.append(value.data(), value.size());
+}
+
+Status StateReader::Take(size_t n, const char** out) {
+  if (data_.size() - pos_ < n) {
+    return Status::Corruption("serialized state truncated");
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status StateReader::GetU8(uint8_t* out) {
+  const char* p = nullptr;
+  SEMITRI_RETURN_IF_ERROR(Take(1, &p));
+  *out = static_cast<uint8_t>(*p);
+  return Status::OK();
+}
+
+Status StateReader::GetBool(bool* out) {
+  uint8_t v = 0;
+  SEMITRI_RETURN_IF_ERROR(GetU8(&v));
+  if (v > 1) return Status::Corruption("serialized bool out of range");
+  *out = v != 0;
+  return Status::OK();
+}
+
+Status StateReader::GetU32(uint32_t* out) {
+  const char* p = nullptr;
+  SEMITRI_RETURN_IF_ERROR(Take(4, &p));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status StateReader::GetU64(uint64_t* out) {
+  const char* p = nullptr;
+  SEMITRI_RETURN_IF_ERROR(Take(8, &p));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status StateReader::GetI64(int64_t* out) {
+  uint64_t v = 0;
+  SEMITRI_RETURN_IF_ERROR(GetU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status StateReader::GetDouble(double* out) {
+  uint64_t bits = 0;
+  SEMITRI_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status StateReader::GetString(std::string* out) {
+  uint32_t size = 0;
+  SEMITRI_RETURN_IF_ERROR(GetU32(&size));
+  const char* p = nullptr;
+  SEMITRI_RETURN_IF_ERROR(Take(size, &p));
+  out->assign(p, size);
+  return Status::OK();
+}
+
+}  // namespace semitri::common

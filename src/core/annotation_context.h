@@ -7,9 +7,12 @@
 // StructuredSemanticTrajectory per annotation layer, and the optional
 // sinks (store, latency profiler).
 
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/types.h"
 
 namespace semitri::analytics {
@@ -27,6 +30,21 @@ enum class Layer { kRegion, kLine, kPoint };
 
 const char* LayerName(Layer layer);
 
+// How one stage execution ended. Recorded on PipelineResult only for
+// the interesting cases — a stage that needed retries, was skipped by
+// its failure policy, or failed the run — so the happy path stays
+// allocation-free. (Defined here rather than in stage.h because stage.h
+// includes this header.)
+struct StageReport {
+  // Final status of the last attempt (the error even when the stage was
+  // skipped and the run continued).
+  common::Status status;
+  size_t attempts = 1;
+  // True when the stage failed but its FailurePolicy let the graph
+  // continue — the result is complete except for this stage's layer.
+  bool skipped = false;
+};
+
 // Everything the pipeline derives from one raw trajectory.
 struct PipelineResult {
   RawTrajectory cleaned;
@@ -35,9 +53,17 @@ struct PipelineResult {
   std::optional<StructuredSemanticTrajectory> region_layer;
   std::optional<StructuredSemanticTrajectory> line_layer;
   std::optional<StructuredSemanticTrajectory> point_layer;
+  // Per-stage failure accounting (see StageReport); empty on a clean
+  // first-attempt run. Transient — not serialized into checkpoints.
+  std::map<std::string, StageReport> stage_reports;
 
   size_t NumStops() const;
   size_t NumMoves() const;
+
+  // True when any stage was skipped by its failure policy: the result
+  // is usable but partial (e.g. region+line layers without the point
+  // layer after a POI repository failure).
+  bool degraded() const;
 
   std::optional<StructuredSemanticTrajectory>& layer(Layer which);
   const std::optional<StructuredSemanticTrajectory>& layer(Layer which) const;

@@ -1,38 +1,26 @@
 #include "core/batch.h"
 
+#include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <chrono>
 #include <thread>
-
-#include "common/thread_annotations.h"
 
 namespace semitri::core {
 
-namespace {
-
-// First-error-wins sink shared by the worker threads. The annotations
-// let Clang's -Wthread-safety prove `first_` is only touched under the
-// mutex.
-class ErrorCollector {
- public:
-  void Record(const common::Status& status) SEMITRI_EXCLUDES(mutex_) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (first_.ok()) first_ = status;
-  }
-
-  common::Status first() const SEMITRI_EXCLUDES(mutex_) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return first_;
-  }
-
- private:
-  mutable std::mutex mutex_;
-  common::Status first_ SEMITRI_GUARDED_BY(mutex_);
-};
-
-}  // namespace
-
 common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
+    const std::map<ObjectId, std::vector<GpsPoint>>& streams,
+    TrajectoryId ids_per_object) const {
+  common::Result<BatchReport> report = ProcessAll(streams, ids_per_object);
+  SEMITRI_RETURN_IF_ERROR(report.status());
+  if (!report->all_succeeded()) {
+    // Fail-fast contract: surface the first failed object (first by
+    // object id — deterministic, unlike first-by-scheduling).
+    return report->failed.front().status;
+  }
+  return std::move(report->succeeded);
+}
+
+common::Result<BatchReport> BatchProcessor::ProcessAll(
     const std::map<ObjectId, std::vector<GpsPoint>>& streams,
     TrajectoryId ids_per_object) const {
   // Snapshot the work items so workers can index them.
@@ -55,25 +43,41 @@ common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
   num_threads = std::min(num_threads, std::max<size_t>(1, work.size()));
 
   // Workers claim disjoint indices via `next` and write disjoint slots
-  // of `out`; the only shared mutable state is the error collector.
+  // of `out`/`status`/`attempts`; there is no shared mutable state
+  // beyond the claim counter. A failed object does not stop a worker —
+  // the remaining items still get processed (partial failure, not
+  // all-or-nothing).
+  const size_t max_attempts = std::max<size_t>(options_.max_attempts_per_object, 1);
   std::vector<ObjectResults> out(work.size());
+  std::vector<common::Status> status(work.size());
+  std::vector<size_t> attempts(work.size(), 0);
   std::atomic<size_t> next{0};
-  ErrorCollector errors;
 
   auto worker = [&]() {
     while (true) {
       size_t index = next.fetch_add(1);
       if (index >= work.size()) return;
       const WorkItem& item = work[index];
-      common::Result<std::vector<PipelineResult>> results =
-          pipeline_->ProcessStream(item.object_id, *item.stream,
-                                   item.first_id);
-      if (!results.ok()) {
-        errors.Record(results.status());
-        return;
+      double backoff = options_.initial_backoff_seconds;
+      for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        attempts[index] = attempt;
+        common::Result<std::vector<PipelineResult>> results =
+            pipeline_->ProcessStream(item.object_id, *item.stream,
+                                     item.first_id);
+        if (results.ok()) {
+          status[index] = common::Status::OK();
+          out[index].object_id = item.object_id;
+          out[index].results = std::move(*results);
+          break;
+        }
+        status[index] = results.status();
+        if (attempt == max_attempts) break;
+        if (backoff > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(backoff, options_.max_backoff_seconds)));
+          backoff *= options_.backoff_multiplier;
+        }
       }
-      out[index].object_id = item.object_id;
-      out[index].results = std::move(*results);
     }
   };
   std::vector<std::thread> threads;
@@ -81,12 +85,19 @@ common::Result<std::vector<ObjectResults>> BatchProcessor::Process(
   for (size_t i = 0; i < num_threads; ++i) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
 
-  common::Status first_error = errors.first();
-  if (!first_error.ok()) return first_error;
-  // `out` is indexed by the sorted std::map iteration order, so results
-  // are deterministically ordered by ObjectId regardless of which worker
+  // Assemble in work order (= sorted std::map order), so both lists are
+  // deterministically ordered by ObjectId regardless of which worker
   // processed which stream.
-  return out;
+  BatchReport report;
+  for (size_t i = 0; i < work.size(); ++i) {
+    report.total_retries += attempts[i] - 1;
+    if (status[i].ok()) {
+      report.succeeded.push_back(std::move(out[i]));
+    } else {
+      report.failed.push_back({work[i].object_id, status[i], attempts[i]});
+    }
+  }
+  return report;
 }
 
 common::Status BatchProcessor::StoreResults(

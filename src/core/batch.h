@@ -24,11 +24,40 @@ namespace semitri::core {
 struct BatchOptions {
   // 0 = hardware concurrency.
   size_t num_threads = 0;
+  // Attempts per object before it is reported failed (1 = no retry).
+  // Retries re-run the whole object stream: every Put is a keyed
+  // overwrite, so a half-stored first attempt is simply overwritten.
+  size_t max_attempts_per_object = 1;
+  // Exponential backoff between attempts, capped; 0 retries
+  // immediately.
+  double initial_backoff_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1.0;
 };
 
 struct ObjectResults {
   ObjectId object_id = 0;
   std::vector<PipelineResult> results;
+};
+
+// One object whose stream could not be processed (after retries).
+struct ObjectFailure {
+  ObjectId object_id = 0;
+  common::Status status;
+  size_t attempts = 1;
+};
+
+// Partial-failure outcome of a batch: processing continues past failed
+// objects, so one bad stream no longer discards every other object's
+// work.
+struct BatchReport {
+  // Both ordered by object id, deterministically.
+  std::vector<ObjectResults> succeeded;
+  std::vector<ObjectFailure> failed;
+  // Extra attempts spent across all objects (0 when nothing retried).
+  size_t total_retries = 0;
+
+  bool all_succeeded() const { return failed.empty(); }
 };
 
 class BatchProcessor {
@@ -44,7 +73,17 @@ class BatchProcessor {
   // Processes every object's stream in parallel. Results are returned
   // ordered by object id regardless of scheduling; trajectory ids are
   // assigned deterministically (per-object blocks of `ids_per_object`).
+  // Fail-fast: any object failure (after the configured retries) fails
+  // the whole batch with the first failed object's status.
   common::Result<std::vector<ObjectResults>> Process(
+      const std::map<ObjectId, std::vector<GpsPoint>>& streams,
+      TrajectoryId ids_per_object = 1000) const;
+
+  // Like Process, but degrades instead of aborting: failed objects
+  // (after per-object retries with capped exponential backoff) are
+  // reported in BatchReport::failed while every other object's results
+  // are still returned.
+  common::Result<BatchReport> ProcessAll(
       const std::map<ObjectId, std::vector<GpsPoint>>& streams,
       TrajectoryId ids_per_object = 1000) const;
 

@@ -66,6 +66,14 @@ void SemiTriPipeline::BuildDefaultGraph(store::SemanticTrajectoryStore* store) {
     add(std::make_unique<StoreInterpretationStage>(
         std::move(annotation_stages)));
   }
+  for (const char* name :
+       {kStageLanduseJoin, kStageMapMatch, kStagePointAnnotation}) {
+    if (graph_.Find(name) != nullptr) {
+      common::Status status =
+          graph_.SetFailurePolicy(name, config_.annotation_failure);
+      SEMITRI_CHECK(status.ok()) << status.ToString();
+    }
+  }
   common::Status status = graph_.Finalize();
   SEMITRI_CHECK(status.ok()) << status.ToString();
 }

@@ -36,6 +36,15 @@ struct PipelineConfig {
   region::RegionAnnotatorConfig region;
   road::LineAnnotatorConfig line;
   poi::PointAnnotatorConfig point;
+  // Failure policy applied to the three annotation-layer stages
+  // (landuse_join, map_match, point_annotation). The default fails
+  // fast; FailurePolicy::SkipAndRecord() degrades gracefully instead —
+  // a failing semantic source (e.g. an unreachable POI repository)
+  // yields the remaining layers plus a StageReport rather than an
+  // aborted trajectory. Trajectory computation and store stages always
+  // fail fast: without episodes nothing downstream is meaningful, and a
+  // store failure means data loss the caller must see.
+  FailurePolicy annotation_failure;
 };
 
 class SemiTriPipeline {

@@ -1,9 +1,13 @@
 #include "core/stage.h"
 
+#include <algorithm>
+#include <chrono>
 #include <optional>
+#include <thread>
 
 #include "analytics/latency_profiler.h"
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace semitri::core {
 
@@ -100,6 +104,18 @@ const AnnotationStage* StageGraph::Find(std::string_view name) const {
   return nullptr;
 }
 
+common::Status StageGraph::SetFailurePolicy(std::string_view name,
+                                            FailurePolicy policy) {
+  for (const std::unique_ptr<AnnotationStage>& stage : stages_) {
+    if (stage->name() == name) {
+      stage->set_failure_policy(policy);
+      return common::Status::OK();
+    }
+  }
+  return common::Status::InvalidArgument("unknown stage '" +
+                                         std::string(name) + "'");
+}
+
 std::vector<std::string> StageGraph::ExecutionOrder() const {
   std::vector<std::string> out;
   out.reserve(order_.size());
@@ -109,9 +125,50 @@ std::vector<std::string> StageGraph::ExecutionOrder() const {
 
 common::Status StageGraph::RunOne(const AnnotationStage& stage,
                                   AnnotationContext& context) const {
-  StageTimer timer(stage.profiled() ? context.profiler : nullptr,
-                   stage.name().c_str());
-  return stage.Run(context);
+  const FailurePolicy& policy = stage.failure_policy();
+  common::Status status;
+  size_t attempts = 0;
+  double backoff = policy.initial_backoff_seconds;
+  for (;;) {
+    ++attempts;
+    // Every stage execution is a fault site named "stage:<name>", so
+    // the crash-recovery harness can fail any step of the graph without
+    // bespoke hooks in each annotator.
+    common::FaultAction action = SEMITRI_FAULT_FIRE("stage:" + stage.name());
+    if (action != common::FaultAction::kNone) {
+      status = common::Status::IoError("injected failure in stage '" +
+                                       stage.name() + "'");
+    } else {
+      StageTimer timer(stage.profiled() ? context.profiler : nullptr,
+                       stage.name().c_str());
+      status = stage.Run(context);
+    }
+    if (status.ok() || attempts >= std::max<size_t>(policy.max_attempts, 1)) {
+      break;
+    }
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(backoff, policy.max_backoff_seconds)));
+      backoff *= policy.backoff_multiplier;
+    }
+  }
+
+  // Record only the interesting executions (retried, failed, or
+  // skipped) so a clean first-attempt run allocates nothing.
+  if (status.ok()) {
+    if (attempts > 1) {
+      context.result.stage_reports[stage.name()] =
+          StageReport{status, attempts, /*skipped=*/false};
+    }
+    return status;
+  }
+  bool skip = policy.on_failure == FailurePolicy::OnFailure::kSkip;
+  context.result.stage_reports[stage.name()] =
+      StageReport{status, attempts, skip};
+  // Degrade: drop this stage's contribution and let the rest of the
+  // graph complete.
+  if (skip) return common::Status::OK();
+  return status;
 }
 
 common::Status StageGraph::Run(AnnotationContext& context) const {

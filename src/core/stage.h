@@ -27,6 +27,43 @@
 
 namespace semitri::core {
 
+// What the graph does when a stage's Run returns an error. The three
+// shapes: fail-fast (default — the error aborts the run), skip-and-
+// record (the stage is dropped, a StageReport lands on the result, and
+// the rest of the graph continues — graceful degradation, e.g. a
+// broken POI repository still yields region+line layers), and retry
+// (capped exponential backoff before either of the above applies).
+struct FailurePolicy {
+  enum class OnFailure {
+    kAbort,  // propagate the error; the run stops
+    kSkip,   // record a StageReport and continue with later stages
+  };
+
+  OnFailure on_failure = OnFailure::kAbort;
+  // Total attempts (1 = no retry). Retries apply to any non-OK status.
+  size_t max_attempts = 1;
+  // Exponential backoff between attempts: initial * multiplier^k,
+  // capped. 0 initial backoff retries immediately (the right setting
+  // for deterministic tests).
+  double initial_backoff_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1.0;
+
+  static FailurePolicy FailFast() { return {}; }
+  static FailurePolicy SkipAndRecord() {
+    FailurePolicy p;
+    p.on_failure = OnFailure::kSkip;
+    return p;
+  }
+  static FailurePolicy Retry(size_t max_attempts,
+                             double initial_backoff_seconds = 0.0) {
+    FailurePolicy p;
+    p.max_attempts = max_attempts;
+    p.initial_backoff_seconds = initial_backoff_seconds;
+    return p;
+  }
+};
+
 class AnnotationStage {
  public:
   // `name` must be unique within a graph; profiled stages use the
@@ -48,12 +85,18 @@ class AnnotationStage {
   // Whether the latency profiler records this stage.
   bool profiled() const { return profiled_; }
 
+  const FailurePolicy& failure_policy() const { return failure_policy_; }
+  void set_failure_policy(FailurePolicy policy) {
+    failure_policy_ = policy;
+  }
+
   virtual common::Status Run(AnnotationContext& context) const = 0;
 
  private:
   std::string name_;
   std::vector<std::string> dependencies_;
   bool profiled_;
+  FailurePolicy failure_policy_;
 };
 
 // A stage backed by a callable — extension point for custom annotation
@@ -93,12 +136,21 @@ class StageGraph {
 
   const AnnotationStage* Find(std::string_view name) const;
 
+  // Replaces the failure policy of a registered stage (allowed before
+  // or after Finalize — the policy does not affect ordering). Error if
+  // the name is unknown.
+  common::Status SetFailurePolicy(std::string_view name,
+                                  FailurePolicy policy);
+
   // Stage names in execution order (finalized graphs only).
   std::vector<std::string> ExecutionOrder() const;
 
-  // Runs every stage in execution order, stopping at the first error.
-  // Profiled stages are timed under their name when the context carries
-  // a profiler. The graph must be finalized.
+  // Runs every stage in execution order. A failing stage is retried
+  // and/or skipped per its FailurePolicy (default: fail fast — the
+  // first error stops the run); retried, skipped, and failed stages
+  // leave a StageReport on the context's result. Profiled stages are
+  // timed under their name when the context carries a profiler. The
+  // graph must be finalized.
   common::Status Run(AnnotationContext& context) const;
 
   // Runs one stage by name (with the same profiling behaviour as Run),

@@ -1,0 +1,216 @@
+#include "core/state_serialization.h"
+
+namespace semitri::core {
+
+namespace {
+
+common::Status RestoreEpisodeKind(uint8_t raw, EpisodeKind* out) {
+  if (raw > static_cast<uint8_t>(EpisodeKind::kEnd)) {
+    return common::Status::Corruption("bad episode kind in serialized state");
+  }
+  *out = static_cast<EpisodeKind>(raw);
+  return common::Status::OK();
+}
+
+}  // namespace
+
+void SaveState(const GpsPoint& point, common::StateWriter* w) {
+  w->PutDouble(point.position.x);
+  w->PutDouble(point.position.y);
+  w->PutDouble(point.time);
+}
+
+common::Status RestoreState(common::StateReader* r, GpsPoint* point) {
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&point->position.x));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&point->position.y));
+  return r->GetDouble(&point->time);
+}
+
+void SaveState(const RawTrajectory& trajectory, common::StateWriter* w) {
+  w->PutI64(trajectory.id);
+  w->PutI64(trajectory.object_id);
+  w->PutU64(trajectory.points.size());
+  for (const GpsPoint& p : trajectory.points) SaveState(p, w);
+}
+
+common::Status RestoreState(common::StateReader* r,
+                            RawTrajectory* trajectory) {
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&trajectory->id));
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&trajectory->object_id));
+  uint64_t n = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&n));
+  if (n > r->remaining()) {  // every point needs >= 1 byte
+    return common::Status::Corruption("trajectory point count exceeds data");
+  }
+  trajectory->points.clear();
+  trajectory->points.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    GpsPoint p;
+    SEMITRI_RETURN_IF_ERROR(RestoreState(r, &p));
+    trajectory->points.push_back(p);
+  }
+  return common::Status::OK();
+}
+
+void SaveState(const Episode& episode, common::StateWriter* w) {
+  w->PutU8(static_cast<uint8_t>(episode.kind));
+  w->PutU64(episode.begin);
+  w->PutU64(episode.end);
+  w->PutDouble(episode.time_in);
+  w->PutDouble(episode.time_out);
+  w->PutDouble(episode.center.x);
+  w->PutDouble(episode.center.y);
+  w->PutDouble(episode.bounds.min.x);
+  w->PutDouble(episode.bounds.min.y);
+  w->PutDouble(episode.bounds.max.x);
+  w->PutDouble(episode.bounds.max.y);
+}
+
+common::Status RestoreState(common::StateReader* r, Episode* episode) {
+  uint8_t kind = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU8(&kind));
+  SEMITRI_RETURN_IF_ERROR(RestoreEpisodeKind(kind, &episode->kind));
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&begin));
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&end));
+  episode->begin = static_cast<size_t>(begin);
+  episode->end = static_cast<size_t>(end);
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->time_in));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->time_out));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->center.x));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->center.y));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->bounds.min.x));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->bounds.min.y));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->bounds.max.x));
+  return r->GetDouble(&episode->bounds.max.y);
+}
+
+void SaveState(const std::vector<Episode>& episodes,
+               common::StateWriter* w) {
+  w->PutU64(episodes.size());
+  for (const Episode& e : episodes) SaveState(e, w);
+}
+
+common::Status RestoreState(common::StateReader* r,
+                            std::vector<Episode>* episodes) {
+  uint64_t n = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&n));
+  if (n > r->remaining()) {
+    return common::Status::Corruption("episode count exceeds data");
+  }
+  episodes->clear();
+  episodes->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Episode e;
+    SEMITRI_RETURN_IF_ERROR(RestoreState(r, &e));
+    episodes->push_back(e);
+  }
+  return common::Status::OK();
+}
+
+void SaveState(const SemanticEpisode& episode, common::StateWriter* w) {
+  w->PutU8(static_cast<uint8_t>(episode.kind));
+  w->PutU8(static_cast<uint8_t>(episode.place.kind));
+  w->PutI64(episode.place.id);
+  w->PutDouble(episode.time_in);
+  w->PutDouble(episode.time_out);
+  w->PutU64(episode.source_episode);
+  w->PutU64(episode.annotations.size());
+  for (const Annotation& a : episode.annotations) {
+    w->PutString(a.key);
+    w->PutString(a.value);
+  }
+}
+
+common::Status RestoreState(common::StateReader* r,
+                            SemanticEpisode* episode) {
+  uint8_t kind = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU8(&kind));
+  SEMITRI_RETURN_IF_ERROR(RestoreEpisodeKind(kind, &episode->kind));
+  uint8_t place_kind = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU8(&place_kind));
+  if (place_kind > static_cast<uint8_t>(PlaceKind::kPoint)) {
+    return common::Status::Corruption("bad place kind in serialized state");
+  }
+  episode->place.kind = static_cast<PlaceKind>(place_kind);
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&episode->place.id));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->time_in));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&episode->time_out));
+  uint64_t source = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&source));
+  episode->source_episode = static_cast<size_t>(source);
+  uint64_t n = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&n));
+  if (n > r->remaining()) {
+    return common::Status::Corruption("annotation count exceeds data");
+  }
+  episode->annotations.clear();
+  episode->annotations.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Annotation a;
+    SEMITRI_RETURN_IF_ERROR(r->GetString(&a.key));
+    SEMITRI_RETURN_IF_ERROR(r->GetString(&a.value));
+    episode->annotations.push_back(std::move(a));
+  }
+  return common::Status::OK();
+}
+
+void SaveState(const StructuredSemanticTrajectory& trajectory,
+               common::StateWriter* w) {
+  w->PutI64(trajectory.trajectory_id);
+  w->PutI64(trajectory.object_id);
+  w->PutString(trajectory.interpretation);
+  w->PutU64(trajectory.episodes.size());
+  for (const SemanticEpisode& e : trajectory.episodes) SaveState(e, w);
+}
+
+common::Status RestoreState(common::StateReader* r,
+                            StructuredSemanticTrajectory* trajectory) {
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&trajectory->trajectory_id));
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&trajectory->object_id));
+  SEMITRI_RETURN_IF_ERROR(r->GetString(&trajectory->interpretation));
+  uint64_t n = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&n));
+  if (n > r->remaining()) {
+    return common::Status::Corruption("semantic episode count exceeds data");
+  }
+  trajectory->episodes.clear();
+  trajectory->episodes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SemanticEpisode e;
+    SEMITRI_RETURN_IF_ERROR(RestoreState(r, &e));
+    trajectory->episodes.push_back(std::move(e));
+  }
+  return common::Status::OK();
+}
+
+void SaveState(const PipelineResult& result, common::StateWriter* w) {
+  SaveState(result.cleaned, w);
+  SaveState(result.episodes, w);
+  for (Layer layer : {Layer::kRegion, Layer::kLine, Layer::kPoint}) {
+    const std::optional<StructuredSemanticTrajectory>& l =
+        result.layer(layer);
+    w->PutBool(l.has_value());
+    if (l.has_value()) SaveState(*l, w);
+  }
+}
+
+common::Status RestoreState(common::StateReader* r, PipelineResult* result) {
+  SEMITRI_RETURN_IF_ERROR(RestoreState(r, &result->cleaned));
+  SEMITRI_RETURN_IF_ERROR(RestoreState(r, &result->episodes));
+  for (Layer layer : {Layer::kRegion, Layer::kLine, Layer::kPoint}) {
+    bool present = false;
+    SEMITRI_RETURN_IF_ERROR(r->GetBool(&present));
+    std::optional<StructuredSemanticTrajectory>& l = result->layer(layer);
+    if (present) {
+      l.emplace();
+      SEMITRI_RETURN_IF_ERROR(RestoreState(r, &*l));
+    } else {
+      l.reset();
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace semitri::core

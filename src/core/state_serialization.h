@@ -1,0 +1,54 @@
+#ifndef SEMITRI_CORE_STATE_SERIALIZATION_H_
+#define SEMITRI_CORE_STATE_SERIALIZATION_H_
+
+// Bit-exact binary serialization of the semantic-trajectory data model
+// (core/types.h) over common::StateWriter/StateReader. Two consumers:
+//
+//   * the store's write-ahead log (store/wal.h) — each Put* call logs
+//     its full argument so SemanticTrajectoryStore::Recover can rebuild
+//     the in-memory tables ContentEquals-identical to the pre-crash
+//     state (CSV rows are lossy %.6f text; the WAL is not);
+//   * streaming checkpoints (stream::SessionManager::Checkpoint) —
+//     EpisodeDetector/AnnotationSession progress embeds these types.
+//
+// Every SaveState has a RestoreState inverse returning Corruption on
+// malformed input (never UB): checkpoint and WAL bytes are untrusted.
+
+#include "common/serial.h"
+#include "core/annotation_context.h"
+#include "core/types.h"
+
+namespace semitri::core {
+
+void SaveState(const GpsPoint& point, common::StateWriter* w);
+common::Status RestoreState(common::StateReader* r, GpsPoint* point);
+
+void SaveState(const RawTrajectory& trajectory, common::StateWriter* w);
+common::Status RestoreState(common::StateReader* r,
+                            RawTrajectory* trajectory);
+
+void SaveState(const Episode& episode, common::StateWriter* w);
+common::Status RestoreState(common::StateReader* r, Episode* episode);
+
+void SaveState(const std::vector<Episode>& episodes,
+               common::StateWriter* w);
+common::Status RestoreState(common::StateReader* r,
+                            std::vector<Episode>* episodes);
+
+void SaveState(const SemanticEpisode& episode, common::StateWriter* w);
+common::Status RestoreState(common::StateReader* r,
+                            SemanticEpisode* episode);
+
+void SaveState(const StructuredSemanticTrajectory& trajectory,
+               common::StateWriter* w);
+common::Status RestoreState(common::StateReader* r,
+                            StructuredSemanticTrajectory* trajectory);
+
+// PipelineResult: cleaned trace, episodes, and the three optional
+// annotation layers. Stage reports are transient and not serialized.
+void SaveState(const PipelineResult& result, common::StateWriter* w);
+common::Status RestoreState(common::StateReader* r, PipelineResult* result);
+
+}  // namespace semitri::core
+
+#endif  // SEMITRI_CORE_STATE_SERIALIZATION_H_

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <map>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace semitri::io {
@@ -26,12 +27,18 @@ common::Status CheckFinitePoint(const geo::Point& p, const char* what) {
 }
 
 common::Status OpenForWrite(const std::string& path, std::ofstream* out) {
+  if (SEMITRI_FAULT_FIRE("world_save") != common::FaultAction::kNone) {
+    return common::Status::IoError("injected fault: world_save " + path);
+  }
   out->open(path, std::ios::trunc);
   if (!*out) return common::Status::IoError("cannot open " + path);
   return common::Status::OK();
 }
 
 common::Status OpenForRead(const std::string& path, std::ifstream* in) {
+  if (SEMITRI_FAULT_FIRE("world_load") != common::FaultAction::kNone) {
+    return common::Status::IoError("injected fault: world_load " + path);
+  }
   in->open(path);
   if (!*in) return common::Status::IoError("cannot open " + path);
   return common::Status::OK();

@@ -1,10 +1,21 @@
 #include "store/semantic_trajectory_store.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <sstream>
 
+#include "common/fault_injection.h"
+#include "common/serial.h"
 #include "common/strings.h"
+#include "core/state_serialization.h"
 
 namespace semitri::store {
 
@@ -12,8 +23,15 @@ namespace {
 
 namespace fs = std::filesystem;
 
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kWalFile[] = "wal.log";
+constexpr char kCheckpointPrefix[] = "checkpoint-";
+
+// Doubles are written with %.17g so text round-trips to the identical
+// bit pattern — ContentEquals between a recovered store and the
+// pre-crash one compares doubles exactly, so lossy %.6f would break it.
 std::string GpsRow(const core::RawTrajectory& t, const core::GpsPoint& p) {
-  return common::StrFormat("%lld,%lld,%.6f,%.6f,%.3f",
+  return common::StrFormat("%lld,%lld,%.17g,%.17g,%.17g",
                            static_cast<long long>(t.object_id),
                            static_cast<long long>(t.id), p.position.x,
                            p.position.y, p.time);
@@ -22,7 +40,7 @@ std::string GpsRow(const core::RawTrajectory& t, const core::GpsPoint& p) {
 std::string EpisodeRow(core::TrajectoryId id, size_t index,
                        const core::Episode& e) {
   return common::StrFormat(
-      "%lld,%zu,%s,%zu,%zu,%.3f,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f",
+      "%lld,%zu,%s,%zu,%zu,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g",
       static_cast<long long>(id), index, core::EpisodeKindName(e.kind),
       e.begin, e.end, e.time_in, e.time_out, e.center.x, e.center.y,
       e.bounds.min.x, e.bounds.min.y, e.bounds.max.x, e.bounds.max.y);
@@ -41,37 +59,143 @@ std::string SemanticEpisodeRow(const core::StructuredSemanticTrajectory& t,
                                size_t index,
                                const core::SemanticEpisode& ep) {
   return common::StrFormat(
-      "%lld,%lld,%s,%zu,%s,%s,%lld,%.3f,%.3f,%s",
+      "%lld,%lld,%s,%zu,%s,%s,%lld,%.17g,%.17g,%s,%llu",
       static_cast<long long>(t.object_id),
       static_cast<long long>(t.trajectory_id), t.interpretation.c_str(),
       index, core::EpisodeKindName(ep.kind),
       core::PlaceKindName(ep.place.kind),
       static_cast<long long>(ep.place.id), ep.time_in, ep.time_out,
-      common::CsvEscape(AnnotationsEncoded(ep)).c_str());
+      common::CsvEscape(AnnotationsEncoded(ep)).c_str(),
+      static_cast<unsigned long long>(ep.source_episode));
+}
+
+// Entities whose detail table has zero rows (an empty trajectory, an
+// episode list with no episodes, an interpretation whose layer produced
+// nothing) would be invisible in the row-per-element CSVs, so a
+// checkpoint would silently drop them and Recover() could not be
+// ContentEquals-faithful. manifest.csv records exactly those empties.
+std::string EmptyEntityRow(const char* table, core::ObjectId object_id,
+                           core::TrajectoryId trajectory_id,
+                           const std::string& interpretation) {
+  return common::StrFormat("%s,%lld,%lld,%s", table,
+                           static_cast<long long>(object_id),
+                           static_cast<long long>(trajectory_id),
+                           common::CsvEscape(interpretation).c_str());
 }
 
 constexpr char kGpsHeader[] = "object_id,trajectory_id,x,y,t";
+constexpr char kManifestHeader[] =
+    "table,object_id,trajectory_id,interpretation";
 constexpr char kEpisodeHeader[] =
     "trajectory_id,index,kind,begin,end,time_in,time_out,center_x,center_y,"
     "min_x,min_y,max_x,max_y";
 constexpr char kSemanticHeader[] =
     "object_id,trajectory_id,interpretation,index,kind,place_kind,place_id,"
-    "time_in,time_out,annotations";
+    "time_in,time_out,annotations,source_episode";
 
-common::Status WriteLines(const std::string& path, const std::string& header,
-                          const std::vector<std::string>& rows,
-                          bool append) {
-  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
-  if (!out) {
-    return common::Status::IoError("cannot open " + path);
-  }
-  if (!append || fs::file_size(path) == 0) out << header << "\n";
-  for (const std::string& row : rows) out << row << "\n";
-  out.flush();
-  if (!out) {
-    return common::Status::IoError("write failed for " + path);
+common::Status WriteAllFd(int fd, const char* data, size_t size,
+                          const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return common::Status::IoError("write failed for " + path + ": " +
+                                     std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
   }
   return common::Status::OK();
+}
+
+// Writes header (for a fresh/empty file) + rows in ONE write() call, so
+// a crash between Puts never leaves a half-batch: either the whole
+// batch landed or at most the final line is torn mid-row (which LoadCsv
+// tolerates). `fault_site`, when set, is a fault-injection hook: kFail
+// drops the batch, kCrash tears it halfway through like a power cut.
+common::Status WriteLines(const std::string& path, const std::string& header,
+                          const std::vector<std::string>& rows, bool append,
+                          bool sync = false,
+                          const char* fault_site = nullptr) {
+  int flags = O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return common::Status::IoError("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  bool need_header = !append;
+  if (append) {
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return common::Status::IoError("cannot stat " + path);
+    }
+    need_header = st.st_size == 0;
+  }
+  std::string buffer;
+  size_t bytes = need_header ? header.size() + 1 : 0;
+  for (const std::string& row : rows) bytes += row.size() + 1;
+  buffer.reserve(bytes);
+  if (need_header) {
+    buffer += header;
+    buffer += '\n';
+  }
+  for (const std::string& row : rows) {
+    buffer += row;
+    buffer += '\n';
+  }
+
+  common::FaultAction action = common::FaultAction::kNone;
+  if (fault_site != nullptr) action = SEMITRI_FAULT_FIRE(fault_site);
+  if (action == common::FaultAction::kFail) {
+    ::close(fd);
+    return common::Status::IoError("injected write failure for " + path);
+  }
+  if (action == common::FaultAction::kCrash) {
+    // Simulated power cut mid-append: half the batch reaches the file,
+    // tearing the final line. LoadCsv must tolerate exactly this.
+    WriteAllFd(fd, buffer.data(), buffer.size() / 2, path);
+    ::close(fd);
+    return common::Status::IoError("simulated crash during csv append");
+  }
+
+  common::Status status = WriteAllFd(fd, buffer.data(), buffer.size(), path);
+  if (status.ok() && sync && ::fsync(fd) != 0) {
+    status = common::Status::IoError("fsync failed for " + path);
+  }
+  ::close(fd);
+  return status;
+}
+
+common::Status WriteFileSync(const std::string& path,
+                             const std::string& content) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return common::Status::IoError("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  common::Status status = WriteAllFd(fd, content.data(), content.size(), path);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = common::Status::IoError("fsync failed for " + path);
+  }
+  ::close(fd);
+  return status;
+}
+
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+std::string ReadFirstLine(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string line;
+  std::getline(in, line);
+  return line;
 }
 
 // Field accessors for LoadCsv: untrusted CSV must produce Corruption
@@ -92,6 +216,58 @@ bool ParseField(const std::string& field, size_t* out) {
   return common::ParseSizeT(field, out);
 }
 
+// Streams a CSV table through `row`, skipping the header line. A row
+// that fails to parse normally fails the load — except the final line
+// of a file with no trailing newline, which is the signature of a
+// crash mid-append (WriteLines emits one batch per write, newline
+// last); that torn row is dropped and counted instead.
+common::Status ForEachRow(
+    const std::string& path,
+    const std::function<common::Status(const std::string&)>& row,
+    size_t* torn_rows_tolerated) {
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return common::Status::IoError("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    data = buffer.str();
+  }
+  bool last_terminated = data.empty() || data.back() == '\n';
+  std::vector<std::string> lines = common::Split(data, '\n');
+  if (last_terminated && !lines.empty() && lines.back().empty()) {
+    lines.pop_back();
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {  // lines[0] is the header
+    if (lines[i].empty()) continue;
+    common::Status status = row(lines[i]);
+    if (!status.ok()) {
+      if (i + 1 == lines.size() && !last_terminated) {
+        ++*torn_rows_tolerated;
+        return common::Status::OK();
+      }
+      return status;
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status ParseEpisodeKind(const std::string& kind,
+                                core::EpisodeKind* out) {
+  if (kind == "stop") {
+    *out = core::EpisodeKind::kStop;
+  } else if (kind == "move") {
+    *out = core::EpisodeKind::kMove;
+  } else if (kind == "begin") {
+    *out = core::EpisodeKind::kBegin;
+  } else if (kind == "end") {
+    *out = core::EpisodeKind::kEnd;
+  } else {
+    return common::Status::Corruption("unknown episode kind: " + kind);
+  }
+  return common::Status::OK();
+}
+
 }  // namespace
 
 SemanticTrajectoryStore::SemanticTrajectoryStore(StoreConfig config)
@@ -108,21 +284,107 @@ common::Status SemanticTrajectoryStore::AppendWriteThrough(
                                    config_.write_through_dir);
   }
   std::string path = config_.write_through_dir + "/" + file;
-  if (!fs::exists(path)) {
-    std::ofstream touch(path);
-  }
-  return WriteLines(path, header, rows, /*append=*/true);
+  return WriteLines(path, header, rows, /*append=*/true, /*sync=*/false,
+                    /*fault_site=*/"store_write_through");
 }
 
-common::Status SemanticTrajectoryStore::PutRawTrajectory(
+common::Status SemanticTrajectoryStore::EnsureWal() {
+  if (config_.durable_dir.empty() || wal_ != nullptr) {
+    return common::Status::OK();
+  }
+  std::error_code ec;
+  fs::create_directories(config_.durable_dir, ec);
+  if (ec) {
+    return common::Status::IoError("cannot create " + config_.durable_dir);
+  }
+  auto writer = WalWriter::Open(config_.durable_dir + "/" + kWalFile);
+  SEMITRI_RETURN_IF_ERROR(writer.status());
+  wal_ = std::move(writer.value());
+  return common::Status::OK();
+}
+
+common::Status SemanticTrajectoryStore::LogToWal(WalRecordType type,
+                                                 const std::string& payload) {
+  if (config_.durable_dir.empty()) return common::Status::OK();
+  SEMITRI_RETURN_IF_ERROR(EnsureWal());
+  SEMITRI_RETURN_IF_ERROR(wal_->Append(type, payload));
+  if (config_.sync_every_put) return wal_->Sync();
+  return common::Status::OK();
+}
+
+void SemanticTrajectoryStore::ApplyRawTrajectory(
     const core::RawTrajectory& trajectory) {
-  std::lock_guard<std::mutex> lock(mutex_);
   auto it = raw_.find(trajectory.id);
   if (it != raw_.end()) {
     gps_record_count_ -= it->second.points.size();
   }
   gps_record_count_ += trajectory.points.size();
   raw_[trajectory.id] = trajectory;
+}
+
+void SemanticTrajectoryStore::ApplyEpisodes(
+    core::TrajectoryId id, const std::vector<core::Episode>& episodes) {
+  auto it = episodes_.find(id);
+  if (it != episodes_.end()) episode_count_ -= it->second.size();
+  episode_count_ += episodes.size();
+  episodes_[id] = episodes;
+}
+
+void SemanticTrajectoryStore::ApplyInterpretation(
+    const core::StructuredSemanticTrajectory& trajectory) {
+  auto key = std::make_pair(trajectory.trajectory_id,
+                            trajectory.interpretation);
+  auto it = interpretations_.find(key);
+  if (it != interpretations_.end()) {
+    semantic_episode_count_ -= it->second.episodes.size();
+  }
+  semantic_episode_count_ += trajectory.episodes.size();
+  interpretations_[key] = trajectory;
+}
+
+common::Status SemanticTrajectoryStore::ApplyWalRecord(
+    WalRecordType type, std::string_view payload) {
+  common::StateReader reader(payload);
+  switch (type) {
+    case WalRecordType::kPutRawTrajectory: {
+      core::RawTrajectory trajectory;
+      SEMITRI_RETURN_IF_ERROR(core::RestoreState(&reader, &trajectory));
+      ApplyRawTrajectory(trajectory);
+      break;
+    }
+    case WalRecordType::kPutEpisodes: {
+      int64_t id = 0;
+      std::vector<core::Episode> episodes;
+      SEMITRI_RETURN_IF_ERROR(reader.GetI64(&id));
+      SEMITRI_RETURN_IF_ERROR(core::RestoreState(&reader, &episodes));
+      ApplyEpisodes(id, episodes);
+      break;
+    }
+    case WalRecordType::kPutInterpretation: {
+      core::StructuredSemanticTrajectory trajectory;
+      SEMITRI_RETURN_IF_ERROR(core::RestoreState(&reader, &trajectory));
+      ApplyInterpretation(trajectory);
+      break;
+    }
+    default:
+      return common::Status::Corruption("unknown wal record type");
+  }
+  if (!reader.AtEnd()) {
+    return common::Status::Corruption("trailing bytes in wal record");
+  }
+  return common::Status::OK();
+}
+
+common::Status SemanticTrajectoryStore::PutRawTrajectory(
+    const core::RawTrajectory& trajectory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!config_.durable_dir.empty()) {
+    common::StateWriter payload;
+    core::SaveState(trajectory, &payload);
+    SEMITRI_RETURN_IF_ERROR(
+        LogToWal(WalRecordType::kPutRawTrajectory, payload.data()));
+  }
+  ApplyRawTrajectory(trajectory);
   std::vector<std::string> rows;
   rows.reserve(trajectory.points.size());
   for (const core::GpsPoint& p : trajectory.points) {
@@ -134,10 +396,14 @@ common::Status SemanticTrajectoryStore::PutRawTrajectory(
 common::Status SemanticTrajectoryStore::PutEpisodes(
     core::TrajectoryId id, const std::vector<core::Episode>& episodes) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = episodes_.find(id);
-  if (it != episodes_.end()) episode_count_ -= it->second.size();
-  episode_count_ += episodes.size();
-  episodes_[id] = episodes;
+  if (!config_.durable_dir.empty()) {
+    common::StateWriter payload;
+    payload.PutI64(id);
+    core::SaveState(episodes, &payload);
+    SEMITRI_RETURN_IF_ERROR(
+        LogToWal(WalRecordType::kPutEpisodes, payload.data()));
+  }
+  ApplyEpisodes(id, episodes);
   std::vector<std::string> rows;
   rows.reserve(episodes.size());
   for (size_t i = 0; i < episodes.size(); ++i) {
@@ -153,14 +419,13 @@ common::Status SemanticTrajectoryStore::PutInterpretation(
         "interpretation name must be set");
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  auto key = std::make_pair(trajectory.trajectory_id,
-                            trajectory.interpretation);
-  auto it = interpretations_.find(key);
-  if (it != interpretations_.end()) {
-    semantic_episode_count_ -= it->second.episodes.size();
+  if (!config_.durable_dir.empty()) {
+    common::StateWriter payload;
+    core::SaveState(trajectory, &payload);
+    SEMITRI_RETURN_IF_ERROR(
+        LogToWal(WalRecordType::kPutInterpretation, payload.data()));
   }
-  semantic_episode_count_ += trajectory.episodes.size();
-  interpretations_[key] = trajectory;
+  ApplyInterpretation(trajectory);
   std::vector<std::string> rows;
   rows.reserve(trajectory.episodes.size());
   for (size_t i = 0; i < trajectory.episodes.size(); ++i) {
@@ -239,6 +504,11 @@ std::vector<std::string> SemanticTrajectoryStore::ListInterpretations(
 
 common::Status SemanticTrajectoryStore::SaveCsv(const std::string& dir) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  return SaveCsvLocked(dir);
+}
+
+common::Status SemanticTrajectoryStore::SaveCsvLocked(
+    const std::string& dir) const {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return common::Status::IoError("cannot create " + dir);
@@ -247,8 +517,8 @@ common::Status SemanticTrajectoryStore::SaveCsv(const std::string& dir) const {
   for (const auto& [id, t] : raw_) {
     for (const core::GpsPoint& p : t.points) gps_rows.push_back(GpsRow(t, p));
   }
-  SEMITRI_RETURN_IF_ERROR(
-      WriteLines(dir + "/gps.csv", kGpsHeader, gps_rows, false));
+  SEMITRI_RETURN_IF_ERROR(WriteLines(dir + "/gps.csv", kGpsHeader, gps_rows,
+                                     /*append=*/false, /*sync=*/true));
 
   std::vector<std::string> episode_rows;
   for (const auto& [id, eps] : episodes_) {
@@ -257,7 +527,8 @@ common::Status SemanticTrajectoryStore::SaveCsv(const std::string& dir) const {
     }
   }
   SEMITRI_RETURN_IF_ERROR(WriteLines(dir + "/episodes.csv", kEpisodeHeader,
-                                     episode_rows, false));
+                                     episode_rows, /*append=*/false,
+                                     /*sync=*/true));
 
   std::vector<std::string> semantic_rows;
   for (const auto& [key, t] : interpretations_) {
@@ -265,117 +536,289 @@ common::Status SemanticTrajectoryStore::SaveCsv(const std::string& dir) const {
       semantic_rows.push_back(SemanticEpisodeRow(t, i, t.episodes[i]));
     }
   }
-  return WriteLines(dir + "/semantic_episodes.csv", kSemanticHeader,
-                    semantic_rows, false);
+  SEMITRI_RETURN_IF_ERROR(WriteLines(dir + "/semantic_episodes.csv",
+                                     kSemanticHeader, semantic_rows,
+                                     /*append=*/false, /*sync=*/true));
+
+  std::vector<std::string> manifest_rows;
+  for (const auto& [id, t] : raw_) {
+    if (t.points.empty()) {
+      manifest_rows.push_back(EmptyEntityRow("traj", t.object_id, id, ""));
+    }
+  }
+  for (const auto& [id, eps] : episodes_) {
+    if (eps.empty()) {
+      manifest_rows.push_back(EmptyEntityRow("episodes", 0, id, ""));
+    }
+  }
+  for (const auto& [key, t] : interpretations_) {
+    if (t.episodes.empty()) {
+      manifest_rows.push_back(EmptyEntityRow("interp", t.object_id,
+                                             t.trajectory_id,
+                                             t.interpretation));
+    }
+  }
+  return WriteLines(dir + "/manifest.csv", kManifestHeader, manifest_rows,
+                    /*append=*/false, /*sync=*/true);
 }
 
-common::Status SemanticTrajectoryStore::LoadCsv(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mutex_);
+void SemanticTrajectoryStore::ClearLocked() {
   raw_.clear();
   episodes_.clear();
   interpretations_.clear();
   gps_record_count_ = episode_count_ = semantic_episode_count_ = 0;
+  torn_rows_tolerated_ = 0;
+}
 
-  // gps.csv
-  {
-    std::ifstream in(dir + "/gps.csv");
-    if (!in) return common::Status::IoError("cannot open " + dir + "/gps.csv");
-    std::string line;
-    std::getline(in, line);  // header
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      std::vector<std::string> f = common::CsvParseLine(line);
-      int64_t object_id = 0;
-      int64_t tid = 0;
-      core::GpsPoint p;
-      if (f.size() != 5 || !ParseField(f[0], &object_id) ||
-          !ParseField(f[1], &tid) || !ParseField(f[2], &p.position.x) ||
-          !ParseField(f[3], &p.position.y) || !ParseField(f[4], &p.time)) {
-        return BadRow("gps.csv", line);
-      }
-      core::RawTrajectory& t = raw_[tid];
-      t.id = tid;
-      t.object_id = object_id;
-      t.points.push_back(p);
-      ++gps_record_count_;
-    }
-  }
-  // episodes.csv
-  {
-    std::ifstream in(dir + "/episodes.csv");
-    if (!in) {
-      return common::Status::IoError("cannot open " + dir + "/episodes.csv");
-    }
-    std::string line;
-    std::getline(in, line);
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      std::vector<std::string> f = common::CsvParseLine(line);
-      core::Episode e;
-      int64_t tid = 0;
-      if (f.size() != 13 || !ParseField(f[0], &tid) ||
-          !ParseField(f[3], &e.begin) || !ParseField(f[4], &e.end) ||
-          !ParseField(f[5], &e.time_in) || !ParseField(f[6], &e.time_out) ||
-          !ParseField(f[7], &e.center.x) || !ParseField(f[8], &e.center.y) ||
-          !ParseField(f[9], &e.bounds.min.x) ||
-          !ParseField(f[10], &e.bounds.min.y) ||
-          !ParseField(f[11], &e.bounds.max.x) ||
-          !ParseField(f[12], &e.bounds.max.y)) {
-        return BadRow("episodes.csv", line);
-      }
-      const std::string& kind = f[2];
-      e.kind = kind == "stop"    ? core::EpisodeKind::kStop
-               : kind == "move"  ? core::EpisodeKind::kMove
-               : kind == "begin" ? core::EpisodeKind::kBegin
-                                 : core::EpisodeKind::kEnd;
-      episodes_[tid].push_back(e);
-      ++episode_count_;
-    }
-  }
-  // semantic_episodes.csv
-  {
-    std::ifstream in(dir + "/semantic_episodes.csv");
-    if (!in) {
-      return common::Status::IoError("cannot open " + dir +
-                                     "/semantic_episodes.csv");
-    }
-    std::string line;
-    std::getline(in, line);
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      std::vector<std::string> f = common::CsvParseLine(line);
-      int64_t object_id = 0;
-      int64_t tid = 0;
-      core::SemanticEpisode ep;
-      if (f.size() != 10 || !ParseField(f[0], &object_id) ||
-          !ParseField(f[1], &tid) || !ParseField(f[6], &ep.place.id) ||
-          !ParseField(f[7], &ep.time_in) || !ParseField(f[8], &ep.time_out)) {
-        return BadRow("semantic_episodes.csv", line);
-      }
-      auto key = std::make_pair(static_cast<core::TrajectoryId>(tid), f[2]);
-      core::StructuredSemanticTrajectory& t = interpretations_[key];
-      t.object_id = object_id;
-      t.trajectory_id = key.first;
-      t.interpretation = key.second;
-      const std::string& kind = f[4];
-      ep.kind = kind == "stop"    ? core::EpisodeKind::kStop
-                : kind == "move"  ? core::EpisodeKind::kMove
-                : kind == "begin" ? core::EpisodeKind::kBegin
-                                  : core::EpisodeKind::kEnd;
-      const std::string& place_kind = f[5];
-      ep.place.kind = place_kind == "region" ? core::PlaceKind::kRegion
-                      : place_kind == "line" ? core::PlaceKind::kLine
-                                             : core::PlaceKind::kPoint;
-      if (!f[9].empty()) {
-        for (const std::string& pair : common::Split(f[9], ';')) {
-          size_t eq = pair.find('=');
-          if (eq != std::string::npos) {
-            ep.AddAnnotation(pair.substr(0, eq), pair.substr(eq + 1));
+common::Status SemanticTrajectoryStore::LoadCsv(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LoadCsvLocked(dir);
+}
+
+common::Status SemanticTrajectoryStore::LoadCsvLocked(const std::string& dir) {
+  // Parse into locals and commit at the end: a failed load must not
+  // leave half a table behind (and the parse lambdas stay free of
+  // mutex-guarded members, which the thread-safety analysis cannot
+  // track through std::function).
+  std::map<core::TrajectoryId, core::RawTrajectory> raw;
+  std::map<core::TrajectoryId, std::vector<core::Episode>> episodes;
+  std::map<std::pair<core::TrajectoryId, std::string>,
+           core::StructuredSemanticTrajectory>
+      interpretations;
+  size_t gps_records = 0;
+  size_t episode_count = 0;
+  size_t semantic_count = 0;
+  size_t torn_rows = 0;
+
+  SEMITRI_RETURN_IF_ERROR(ForEachRow(
+      dir + "/gps.csv",
+      [&](const std::string& line) {
+        std::vector<std::string> f = common::CsvParseLine(line);
+        int64_t object_id = 0;
+        int64_t tid = 0;
+        core::GpsPoint p;
+        if (f.size() != 5 || !ParseField(f[0], &object_id) ||
+            !ParseField(f[1], &tid) || !ParseField(f[2], &p.position.x) ||
+            !ParseField(f[3], &p.position.y) || !ParseField(f[4], &p.time)) {
+          return BadRow("gps.csv", line);
+        }
+        core::RawTrajectory& t = raw[tid];
+        t.id = tid;
+        t.object_id = object_id;
+        t.points.push_back(p);
+        ++gps_records;
+        return common::Status::OK();
+      },
+      &torn_rows));
+
+  SEMITRI_RETURN_IF_ERROR(ForEachRow(
+      dir + "/episodes.csv",
+      [&](const std::string& line) {
+        std::vector<std::string> f = common::CsvParseLine(line);
+        core::Episode e;
+        int64_t tid = 0;
+        if (f.size() != 13 || !ParseField(f[0], &tid) ||
+            !ParseField(f[3], &e.begin) || !ParseField(f[4], &e.end) ||
+            !ParseField(f[5], &e.time_in) || !ParseField(f[6], &e.time_out) ||
+            !ParseField(f[7], &e.center.x) || !ParseField(f[8], &e.center.y) ||
+            !ParseField(f[9], &e.bounds.min.x) ||
+            !ParseField(f[10], &e.bounds.min.y) ||
+            !ParseField(f[11], &e.bounds.max.x) ||
+            !ParseField(f[12], &e.bounds.max.y)) {
+          return BadRow("episodes.csv", line);
+        }
+        SEMITRI_RETURN_IF_ERROR(ParseEpisodeKind(f[2], &e.kind));
+        episodes[tid].push_back(e);
+        ++episode_count;
+        return common::Status::OK();
+      },
+      &torn_rows));
+
+  SEMITRI_RETURN_IF_ERROR(ForEachRow(
+      dir + "/semantic_episodes.csv",
+      [&](const std::string& line) {
+        std::vector<std::string> f = common::CsvParseLine(line);
+        int64_t object_id = 0;
+        int64_t tid = 0;
+        core::SemanticEpisode ep;
+        // 10 fields is the legacy schema without source_episode; 11 is
+        // current. Anything else (or a parse failure) is a bad row.
+        if ((f.size() != 10 && f.size() != 11) ||
+            !ParseField(f[0], &object_id) || !ParseField(f[1], &tid) ||
+            !ParseField(f[6], &ep.place.id) ||
+            !ParseField(f[7], &ep.time_in) ||
+            !ParseField(f[8], &ep.time_out)) {
+          return BadRow("semantic_episodes.csv", line);
+        }
+        if (f.size() == 11 && !ParseField(f[10], &ep.source_episode)) {
+          return BadRow("semantic_episodes.csv", line);
+        }
+        SEMITRI_RETURN_IF_ERROR(ParseEpisodeKind(f[4], &ep.kind));
+        const std::string& place_kind = f[5];
+        ep.place.kind = place_kind == "region" ? core::PlaceKind::kRegion
+                        : place_kind == "line" ? core::PlaceKind::kLine
+                                               : core::PlaceKind::kPoint;
+        if (!f[9].empty()) {
+          for (const std::string& pair : common::Split(f[9], ';')) {
+            size_t eq = pair.find('=');
+            if (eq != std::string::npos) {
+              ep.AddAnnotation(pair.substr(0, eq), pair.substr(eq + 1));
+            }
           }
         }
-      }
-      t.episodes.push_back(std::move(ep));
-      ++semantic_episode_count_;
+        auto key = std::make_pair(static_cast<core::TrajectoryId>(tid), f[2]);
+        core::StructuredSemanticTrajectory& t = interpretations[key];
+        t.object_id = object_id;
+        t.trajectory_id = key.first;
+        t.interpretation = key.second;
+        t.episodes.push_back(std::move(ep));
+        ++semantic_count;
+        return common::Status::OK();
+      },
+      &torn_rows));
+
+  // Empty entities recorded by SaveCsvLocked (absent in checkpoints
+  // written before manifest.csv existed — those simply list no empties).
+  if (fs::exists(dir + "/manifest.csv")) {
+    SEMITRI_RETURN_IF_ERROR(ForEachRow(
+        dir + "/manifest.csv",
+        [&](const std::string& line) {
+          std::vector<std::string> f = common::CsvParseLine(line);
+          int64_t object_id = 0;
+          int64_t tid = 0;
+          if (f.size() != 4 || !ParseField(f[1], &object_id) ||
+              !ParseField(f[2], &tid)) {
+            return BadRow("manifest.csv", line);
+          }
+          if (f[0] == "traj") {
+            core::RawTrajectory& t = raw[tid];
+            t.id = tid;
+            t.object_id = object_id;
+          } else if (f[0] == "episodes") {
+            episodes[tid];  // touch: empty list exists
+          } else if (f[0] == "interp") {
+            auto key =
+                std::make_pair(static_cast<core::TrajectoryId>(tid), f[3]);
+            core::StructuredSemanticTrajectory& t = interpretations[key];
+            t.object_id = object_id;
+            t.trajectory_id = key.first;
+            t.interpretation = key.second;
+          } else {
+            return BadRow("manifest.csv", line);
+          }
+          return common::Status::OK();
+        },
+        &torn_rows));
+  }
+
+  raw_ = std::move(raw);
+  episodes_ = std::move(episodes);
+  interpretations_ = std::move(interpretations);
+  gps_record_count_ = gps_records;
+  episode_count_ = episode_count;
+  semantic_episode_count_ = semantic_count;
+  torn_rows_tolerated_ = torn_rows;
+  return common::Status::OK();
+}
+
+common::Result<SemanticTrajectoryStore::RecoveryStats>
+SemanticTrajectoryStore::Recover(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RecoveryStats stats;
+  ClearLocked();
+  wal_.reset();
+  config_.durable_dir = dir;
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return common::Status::IoError("cannot create " + dir);
+
+  std::string current = ReadFirstLine(dir + "/" + kCurrentFile);
+  if (!current.empty()) {
+    SEMITRI_RETURN_IF_ERROR(LoadCsvLocked(dir + "/" + current));
+    stats.checkpoint_loaded = true;
+  }
+
+  // Replay the log over the checkpoint. Records that predate the
+  // checkpoint may still be in the log (crash between the CURRENT flip
+  // and the log truncation); replaying them is safe because every Put
+  // is a keyed overwrite, so replay converges to the logged state.
+  auto replayed = ReplayWal(
+      dir + "/" + kWalFile,
+      [this](WalRecordType type, std::string_view payload) {
+        return ApplyWalRecord(type, payload);
+      },
+      /*truncate_torn_tail=*/true);
+  SEMITRI_RETURN_IF_ERROR(replayed.status());
+  stats.wal_records_replayed = replayed->records_applied;
+  stats.wal_torn_bytes_truncated = replayed->torn_bytes_truncated;
+  return stats;
+}
+
+common::Status SemanticTrajectoryStore::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.durable_dir.empty() || wal_ == nullptr) {
+    return common::Status::OK();  // nothing appended yet
+  }
+  return wal_->Sync();
+}
+
+common::Status SemanticTrajectoryStore::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.durable_dir.empty()) return common::Status::OK();
+
+  common::FaultAction action = SEMITRI_FAULT_FIRE("wal_checkpoint");
+  if (action == common::FaultAction::kFail) {
+    // Injected failure before anything is written: the old checkpoint
+    // and the full WAL stay authoritative.
+    return common::Status::IoError("injected checkpoint failure");
+  }
+
+  // Next generation number: one past what CURRENT points at.
+  std::string current = ReadFirstLine(config_.durable_dir + "/" + kCurrentFile);
+  size_t generation = 1;
+  if (current.rfind(kCheckpointPrefix, 0) == 0) {
+    size_t previous = 0;
+    if (ParseField(current.substr(std::strlen(kCheckpointPrefix)),
+                   &previous)) {
+      generation = previous + 1;
+    }
+  }
+  std::string name =
+      common::StrFormat("%s%zu", kCheckpointPrefix, generation);
+  SEMITRI_RETURN_IF_ERROR(SaveCsvLocked(config_.durable_dir + "/" + name));
+
+  if (action == common::FaultAction::kCrash) {
+    // Simulated crash after the new generation is on disk but before
+    // the CURRENT flip: recovery ignores the orphan directory and uses
+    // the old checkpoint + WAL.
+    return common::Status::IoError("simulated crash during checkpoint");
+  }
+
+  // Flip CURRENT via rename — the atomic commit point of the
+  // checkpoint. Before it the old generation is authoritative, after
+  // it the new one is; there is no intermediate state.
+  std::string current_path = config_.durable_dir + "/" + kCurrentFile;
+  SEMITRI_RETURN_IF_ERROR(WriteFileSync(current_path + ".tmp", name + "\n"));
+  std::error_code ec;
+  fs::rename(current_path + ".tmp", current_path, ec);
+  if (ec) {
+    return common::Status::IoError("cannot commit " + current_path);
+  }
+  SyncDir(config_.durable_dir);
+
+  // The checkpoint holds everything the log held; empty it.
+  SEMITRI_RETURN_IF_ERROR(EnsureWal());
+  SEMITRI_RETURN_IF_ERROR(wal_->Truncate());
+
+  // GC stale generations (including orphans from crashed checkpoints).
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(config_.durable_dir, ec)) {
+    if (ec) break;
+    if (!entry.is_directory()) continue;
+    std::string base = entry.path().filename().string();
+    if (base.rfind(kCheckpointPrefix, 0) == 0 && base != name) {
+      fs::remove_all(entry.path(), ec);
     }
   }
   return common::Status::OK();

@@ -9,12 +9,22 @@
 // reproduces the latency profile of Fig. 17 (storing dominates
 // computing).
 //
+// Crash-safe durable mode: with StoreConfig::durable_dir set, every Put
+// is framed into a write-ahead log (store/wal.h) *before* the in-memory
+// tables change, Sync() makes the log durable, and Checkpoint()
+// atomically compacts it into full-precision CSV tables (a LevelDB-style
+// CURRENT pointer flips generations; the log is then emptied). Recover()
+// re-opens a directory after a crash: it loads the current checkpoint,
+// replays the log, truncates a torn tail, and leaves the in-memory
+// tables bit-identical (ContentEquals) to the pre-crash state.
+//
 // Thread-safe: every table access serializes on an internal mutex, so
 // the "store writes are serial" contract is enforced by the store itself
 // (and, on Clang builds, by -Wthread-safety over the annotations below)
 // rather than by caller discipline.
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -22,13 +32,30 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/types.h"
+#include "store/wal.h"
 
 namespace semitri::store {
 
 struct StoreConfig {
   // When nonempty, every Put* call appends to CSV files under this
   // directory (created on demand) in addition to the in-memory tables.
+  // Appends are single buffered write() calls, so a crash leaves at
+  // most one torn final line (which LoadCsv tolerates and counts) —
+  // but a torn multi-row batch is undetectable in this mode; use
+  // `durable_dir` when crash atomicity matters.
   std::string write_through_dir;
+
+  // When nonempty, enables the crash-safe durable mode described above:
+  // Put* calls append to `<durable_dir>/wal.log` before touching the
+  // in-memory tables. Re-opening an existing directory must go through
+  // Recover() (which truncates a torn tail before appending resumes).
+  std::string durable_dir;
+
+  // fsync the WAL after every Put (slow but loses nothing). When false,
+  // durability is bounded by explicit Sync()/Checkpoint() calls; a
+  // crash between syncs can lose OS-buffered records but never tears
+  // the log irrecoverably.
+  bool sync_every_put = false;
 };
 
 class SemanticTrajectoryStore {
@@ -74,8 +101,9 @@ class SemanticTrajectoryStore {
   // episodes, interpretations) of two stores. This is how the
   // streaming/offline equivalence contract is checked: a store fed by
   // stream::SessionManager must ContentEquals one fed by the offline
-  // pipeline. Locks both stores (in address order; analysis suppressed
-  // because the two-instance locking order is inexpressible).
+  // pipeline — and a store rebuilt by Recover() must ContentEquals the
+  // pre-crash one. Locks both stores (in address order; analysis
+  // suppressed because the two-instance locking order is inexpressible).
   bool ContentEquals(const SemanticTrajectoryStore& other) const
       SEMITRI_NO_THREAD_SAFETY_ANALYSIS;
 
@@ -98,24 +126,92 @@ class SemanticTrajectoryStore {
     return semantic_episode_count_;
   }
 
+  // Torn final CSV rows tolerated (and dropped) by the last LoadCsv —
+  // the residue of a crash mid-append in write-through mode.
+  size_t torn_rows_tolerated() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return torn_rows_tolerated_;
+  }
+
   // --- persistence ----------------------------------------------------
 
   // Writes all tables as CSV files (gps.csv, episodes.csv,
-  // semantic_episodes.csv) under `dir`.
+  // semantic_episodes.csv) under `dir`. Rows carry round-trip (%.17g)
+  // float precision, so LoadCsv restores values bit-identically.
   common::Status SaveCsv(const std::string& dir) const
       SEMITRI_EXCLUDES(mutex_);
 
-  // Loads tables previously written by SaveCsv, replacing content.
+  // Loads tables previously written by SaveCsv, replacing content. A
+  // torn final record (unparseable last line with no trailing newline —
+  // a crash mid-append) is dropped and counted in torn_rows_tolerated()
+  // instead of failing the whole load; any other malformed row is still
+  // Corruption.
   common::Status LoadCsv(const std::string& dir) SEMITRI_EXCLUDES(mutex_);
+
+  // --- durability (durable_dir mode) ----------------------------------
+
+  struct RecoveryStats {
+    bool checkpoint_loaded = false;
+    size_t wal_records_replayed = 0;
+    size_t wal_torn_bytes_truncated = 0;
+  };
+
+  // Rebuilds the in-memory tables from `dir` (checkpoint + WAL replay,
+  // truncating a torn tail), replacing current content, and switches
+  // this store into durable mode on `dir` so subsequent Puts append
+  // where the pre-crash process left off.
+  common::Result<RecoveryStats> Recover(const std::string& dir)
+      SEMITRI_EXCLUDES(mutex_);
+
+  // fsyncs the WAL (no-op outside durable mode).
+  common::Status Sync() SEMITRI_EXCLUDES(mutex_);
+
+  // Atomically compacts the WAL into a fresh full-precision CSV
+  // checkpoint generation: tables are written to a new
+  // `checkpoint-<n>/` directory, the CURRENT pointer file is flipped
+  // via rename, the WAL is emptied, and stale generations are removed.
+  // A crash at any point leaves either the old or the new generation
+  // fully intact. No-op outside durable mode.
+  common::Status Checkpoint() SEMITRI_EXCLUDES(mutex_);
 
  private:
   common::Status AppendWriteThrough(const std::string& file,
                                     const std::string& header,
                                     const std::vector<std::string>& rows)
       SEMITRI_REQUIRES(mutex_);
+  // Lazily creates durable_dir and the WAL writer; OK outside durable
+  // mode.
+  common::Status EnsureWal() SEMITRI_REQUIRES(mutex_);
+  // Frames one record into the WAL (honoring sync_every_put); OK
+  // outside durable mode.
+  common::Status LogToWal(WalRecordType type, const std::string& payload)
+      SEMITRI_REQUIRES(mutex_);
+
+  // In-memory table mutations shared by Put* and WAL replay.
+  void ApplyRawTrajectory(const core::RawTrajectory& trajectory)
+      SEMITRI_REQUIRES(mutex_);
+  void ApplyEpisodes(core::TrajectoryId id,
+                     const std::vector<core::Episode>& episodes)
+      SEMITRI_REQUIRES(mutex_);
+  void ApplyInterpretation(
+      const core::StructuredSemanticTrajectory& trajectory)
+      SEMITRI_REQUIRES(mutex_);
+  // Called under mutex_ — directly from Recover and through the replay
+  // lambda, which the analysis cannot see through; suppressed instead
+  // of annotated.
+  common::Status ApplyWalRecord(WalRecordType type,
+                                std::string_view payload)
+      SEMITRI_NO_THREAD_SAFETY_ANALYSIS;
+
+  common::Status SaveCsvLocked(const std::string& dir) const
+      SEMITRI_REQUIRES(mutex_);
+  common::Status LoadCsvLocked(const std::string& dir)
+      SEMITRI_REQUIRES(mutex_);
+  void ClearLocked() SEMITRI_REQUIRES(mutex_);
 
   StoreConfig config_;
   mutable std::mutex mutex_;
+  std::unique_ptr<WalWriter> wal_ SEMITRI_GUARDED_BY(mutex_);
   std::map<core::TrajectoryId, core::RawTrajectory> raw_
       SEMITRI_GUARDED_BY(mutex_);
   std::map<core::TrajectoryId, std::vector<core::Episode>> episodes_
@@ -127,6 +223,7 @@ class SemanticTrajectoryStore {
   size_t gps_record_count_ SEMITRI_GUARDED_BY(mutex_) = 0;
   size_t episode_count_ SEMITRI_GUARDED_BY(mutex_) = 0;
   size_t semantic_episode_count_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t torn_rows_tolerated_ SEMITRI_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace semitri::store

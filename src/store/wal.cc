@@ -1,0 +1,167 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault_injection.h"
+#include "common/serial.h"
+
+namespace semitri::store {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc32
+
+common::Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return common::Status::IoError(std::string("wal write failed: ") +
+                                     std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return common::Status::OK();
+}
+
+std::string Frame(WalRecordType type, std::string_view payload) {
+  common::StateWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  std::string body;
+  body.reserve(payload.size() + 1);
+  body.push_back(static_cast<char>(type));
+  body.append(payload.data(), payload.size());
+  frame.PutU32(common::Crc32(body));
+  std::string out = frame.Release();
+  out += body;
+  return out;
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return common::Status::IoError("cannot open wal " + path + ": " +
+                                   std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+common::Status WalWriter::Append(WalRecordType type,
+                                 std::string_view payload) {
+  if (dead_) {
+    return common::Status::IoError("wal writer dead after simulated crash");
+  }
+  std::string frame = Frame(type, payload);
+  common::FaultAction action = SEMITRI_FAULT_FIRE("wal_append");
+  if (action == common::FaultAction::kCrash) {
+    // Simulated power cut mid-write: half the frame reaches the disk,
+    // then the process is gone. Recovery must truncate this torn tail.
+    WriteAll(fd_, frame.data(), frame.size() / 2);
+    dead_ = true;
+    return common::Status::IoError("simulated crash during wal append");
+  }
+  if (action == common::FaultAction::kFail) {
+    return common::Status::IoError("injected wal append failure");
+  }
+  return WriteAll(fd_, frame.data(), frame.size());
+}
+
+common::Status WalWriter::Sync() {
+  if (dead_) {
+    return common::Status::IoError("wal writer dead after simulated crash");
+  }
+  common::FaultAction action = SEMITRI_FAULT_FIRE("wal_sync");
+  if (action == common::FaultAction::kCrash) {
+    dead_ = true;
+    return common::Status::IoError("simulated crash during wal sync");
+  }
+  if (action == common::FaultAction::kFail) {
+    return common::Status::IoError("injected wal sync failure");
+  }
+  if (::fsync(fd_) != 0) {
+    return common::Status::IoError(std::string("wal fsync failed: ") +
+                                   std::strerror(errno));
+  }
+  return common::Status::OK();
+}
+
+common::Status WalWriter::Truncate() {
+  if (dead_) {
+    return common::Status::IoError("wal writer dead after simulated crash");
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    return common::Status::IoError(std::string("wal truncate failed: ") +
+                                   std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    return common::Status::IoError(std::string("wal fsync failed: ") +
+                                   std::strerror(errno));
+  }
+  return common::Status::OK();
+}
+
+common::Result<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<common::Status(WalRecordType, std::string_view)>&
+        apply,
+    bool truncate_torn_tail) {
+  WalReplayStats stats;
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return stats;  // no log yet — empty
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    data = buffer.str();
+  }
+
+  size_t pos = 0;
+  while (true) {
+    if (data.size() - pos < kFrameHeaderBytes) break;  // torn header
+    uint32_t length = ReadU32(data.data() + pos);
+    uint32_t crc = ReadU32(data.data() + pos + 4);
+    size_t body_size = static_cast<size_t>(length) + 1;  // type + payload
+    if (data.size() - pos - kFrameHeaderBytes < body_size) break;  // torn body
+    std::string_view body(data.data() + pos + kFrameHeaderBytes, body_size);
+    if (common::Crc32(body) != crc) break;  // torn or corrupt frame
+    WalRecordType type = static_cast<WalRecordType>(
+        static_cast<uint8_t>(body.front()));
+    SEMITRI_RETURN_IF_ERROR(apply(type, body.substr(1)));
+    ++stats.records_applied;
+    pos += kFrameHeaderBytes + body_size;
+  }
+
+  stats.torn_bytes_truncated = data.size() - pos;
+  if (stats.torn_bytes_truncated > 0 && truncate_torn_tail) {
+    if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
+      return common::Status::IoError(std::string("cannot truncate torn wal "
+                                                 "tail: ") +
+                                     std::strerror(errno));
+    }
+  }
+  return stats;
+}
+
+}  // namespace semitri::store

@@ -1,0 +1,102 @@
+#ifndef SEMITRI_STORE_WAL_H_
+#define SEMITRI_STORE_WAL_H_
+
+// Write-ahead log for the Semantic Trajectory Store's durable mode
+// (paper §5.1 backs the store with PostgreSQL; a production-scale
+// reimplementation needs the same crash discipline from its storage
+// layer).
+//
+// On-disk format — a sequence of framed records:
+//
+//   u32 length   payload size in bytes (little-endian)
+//   u32 crc32    CRC-32 of type byte + payload
+//   u8  type     WalRecordType
+//   ...payload   `length` bytes (common::StateWriter encoding)
+//
+// A crash mid-append leaves a torn final frame (short header, short
+// payload, or CRC mismatch). Replay treats the first bad frame as the
+// torn tail: every frame before it is applied, the tail is truncated,
+// and appending resumes at the truncation point. This is the standard
+// WAL recovery contract (cf. LevelDB/RocksDB log_reader): records are
+// either fully applied or fully dropped, never half-parsed.
+//
+// Durability: Append buffers through the OS only (a plain write());
+// Sync() fsyncs the descriptor. The store decides the sync policy
+// (StoreConfig::sync_every_put or explicit Sync()).
+//
+// Fault sites (active only with SEMITRI_FAULT_INJECTION=ON):
+//   wal_append — kFail: append reports an error and is not written;
+//                kCrash: half the frame is written, then the writer
+//                goes dead (simulated power cut; leaves a torn tail).
+//   wal_sync   — kFail: sync reports an error; kCrash: writer goes dead.
+//
+// Not thread-safe; the store serializes access under its table mutex.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace semitri::store {
+
+enum class WalRecordType : uint8_t {
+  kPutRawTrajectory = 1,
+  kPutEpisodes = 2,
+  kPutInterpretation = 3,
+};
+
+class WalWriter {
+ public:
+  // Opens `path` for appending (created if absent). The caller must
+  // have truncated any torn tail first (ReplayWal does) — appending
+  // after a torn frame would make every subsequent record unreachable.
+  static common::Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& path);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Appends one framed record via a single write() call.
+  common::Status Append(WalRecordType type, std::string_view payload);
+
+  // fsyncs everything appended so far.
+  common::Status Sync();
+
+  // Empties the log (checkpoint compaction) and syncs the truncation.
+  common::Status Truncate();
+
+  // True after a simulated crash (injected at wal_append/wal_sync);
+  // every later operation fails with IoError, like writes to a dead
+  // process would.
+  bool dead() const { return dead_; }
+
+ private:
+  explicit WalWriter(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  bool dead_ = false;
+};
+
+struct WalReplayStats {
+  size_t records_applied = 0;
+  // Bytes dropped from the torn tail (0 for a cleanly closed log).
+  size_t torn_bytes_truncated = 0;
+};
+
+// Reads `path` frame by frame, calling `apply` for each intact record
+// in order. A missing file is an empty log (0 records). The first torn
+// or corrupt frame ends the replay; when `truncate_torn_tail` is set
+// the file is truncated to the last intact frame so a writer can
+// safely append. `apply` errors abort the replay and are returned.
+common::Result<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<common::Status(WalRecordType, std::string_view)>&
+        apply,
+    bool truncate_torn_tail);
+
+}  // namespace semitri::store
+
+#endif  // SEMITRI_STORE_WAL_H_

@@ -7,6 +7,7 @@
 
 #include "analytics/latency_profiler.h"
 #include "core/stages.h"
+#include "core/state_serialization.h"
 
 namespace semitri::stream {
 
@@ -122,6 +123,44 @@ common::Status AnnotationSession::FinalizeClosed(ClosedTrajectory closed) {
   if (!annotated.ok()) return annotated.status();
   if (config_.keep_results) results_.push_back(std::move(*annotated));
   partial_ = core::PipelineResult();
+  return common::Status::OK();
+}
+
+void AnnotationSession::SaveState(common::StateWriter* w) const {
+  w->PutI64(object_id_);
+  detector_.SaveState(w);
+  core::SaveState(partial_, w);
+  w->PutU64(annotation_passes_);
+  w->PutU64(results_.size());
+  for (const core::PipelineResult& result : results_) {
+    core::SaveState(result, w);
+  }
+}
+
+common::Status AnnotationSession::RestoreState(common::StateReader* r) {
+  int64_t object_id = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&object_id));
+  if (object_id != object_id_) {
+    return common::Status::InvalidArgument(
+        "session checkpoint is for a different object");
+  }
+  SEMITRI_RETURN_IF_ERROR(detector_.RestoreState(r));
+  SEMITRI_RETURN_IF_ERROR(core::RestoreState(r, &partial_));
+  uint64_t passes = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&passes));
+  annotation_passes_ = static_cast<size_t>(passes);
+  uint64_t n = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&n));
+  if (n > r->remaining()) {
+    return common::Status::Corruption("result count exceeds data");
+  }
+  results_.clear();
+  results_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    core::PipelineResult result;
+    SEMITRI_RETURN_IF_ERROR(core::RestoreState(r, &result));
+    results_.push_back(std::move(result));
+  }
   return common::Status::OK();
 }
 

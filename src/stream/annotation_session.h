@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serial.h"
 #include "common/status.h"
 #include "core/annotation_context.h"
 #include "core/pipeline.h"
@@ -105,6 +106,18 @@ class AnnotationSession {
 
   const EpisodeDetector& detector() const { return detector_; }
   core::ObjectId object_id() const { return object_id_; }
+
+  // True while an unfinished trajectory is buffered: dropping the
+  // session now (without Flush) loses its un-finalized rows.
+  bool has_open_state() const { return detector_.has_open_trajectory(); }
+
+  // --- checkpoint support ---------------------------------------------
+  // Serializes the live session (detector state, partial result,
+  // retained results, counters) so a session constructed against the
+  // same pipeline/config/object resumes mid-stream and converges to
+  // the exact store state an uninterrupted run would produce.
+  void SaveState(common::StateWriter* w) const;
+  common::Status RestoreState(common::StateReader* r);
 
  private:
   // Folds newly finalized cleaned points + closed episodes into

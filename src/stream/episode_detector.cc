@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/state_serialization.h"
 
 namespace semitri::stream {
 
@@ -365,6 +366,158 @@ void EpisodeDetector::FinalizeTrajectory(DetectorEvents* events) {
   events->closed_episodes.clear();
   ++stats_.trajectories_closed;
   ResetTrajectory();
+}
+
+namespace {
+
+void SavePoints(const std::vector<core::GpsPoint>& points,
+                common::StateWriter* w) {
+  w->PutU64(points.size());
+  for (const core::GpsPoint& p : points) core::SaveState(p, w);
+}
+
+common::Status RestorePoints(common::StateReader* r,
+                             std::vector<core::GpsPoint>* points) {
+  uint64_t n = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&n));
+  if (n > r->remaining()) {
+    return common::Status::Corruption("point count exceeds data");
+  }
+  points->clear();
+  points->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    core::GpsPoint p;
+    SEMITRI_RETURN_IF_ERROR(core::RestoreState(r, &p));
+    points->push_back(p);
+  }
+  return common::Status::OK();
+}
+
+void SaveRun(const traj::ClassifiedRun& run, common::StateWriter* w) {
+  w->PutBool(run.stop);
+  w->PutU64(run.begin);
+  w->PutU64(run.end);
+}
+
+common::Status RestoreRun(common::StateReader* r, traj::ClassifiedRun* run) {
+  SEMITRI_RETURN_IF_ERROR(r->GetBool(&run->stop));
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&begin));
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&end));
+  run->begin = static_cast<size_t>(begin);
+  run->end = static_cast<size_t>(end);
+  return common::Status::OK();
+}
+
+}  // namespace
+
+void EpisodeDetector::SaveState(common::StateWriter* w) const {
+  w->PutI64(object_id_);
+  w->PutI64(next_id_);
+  w->PutU64(stats_.points_fed);
+  w->PutU64(stats_.points_rejected);
+  w->PutU64(stats_.episodes_closed);
+  w->PutU64(stats_.trajectories_closed);
+  w->PutU64(stats_.trajectories_discarded);
+  w->PutU64(stats_.forced_splits);
+  w->PutBool(has_accepted_);
+  w->PutDouble(last_accepted_time_);
+  w->PutU64(raw_count_);
+  w->PutDouble(raw_first_time_);
+  core::SaveState(last_raw_, w);
+  w->PutBool(qualified_);
+  w->PutI64(open_id_);
+  w->PutBool(have_dedup_);
+  w->PutDouble(dedup_last_time_);
+  w->PutBool(have_kept_);
+  core::SaveState(outlier_last_, w);
+  w->PutU64(kept_count_);
+  w->PutU64(kept_tail_.size());
+  for (const core::GpsPoint& p : kept_tail_) core::SaveState(p, w);
+  SavePoints(cleaned_, w);
+  w->PutU64(is_stop_.size());
+  for (bool s : is_stop_) w->PutBool(s);
+  density_.SaveState(w);
+  w->PutU64(runs_.size());
+  for (const traj::ClassifiedRun& run : runs_) SaveRun(run, w);
+  w->PutBool(run_open_);
+  SaveRun(open_run_, w);
+  core::SaveState(episodes_, w);
+  w->PutBool(begin_emitted_);
+}
+
+common::Status EpisodeDetector::RestoreState(common::StateReader* r) {
+  int64_t object_id = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&object_id));
+  if (object_id != object_id_) {
+    return common::Status::InvalidArgument(
+        "detector checkpoint is for a different object");
+  }
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&next_id_));
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&stats_.points_fed));
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&stats_.points_rejected));
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&stats_.episodes_closed));
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&stats_.trajectories_closed));
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&stats_.trajectories_discarded));
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&stats_.forced_splits));
+  SEMITRI_RETURN_IF_ERROR(r->GetBool(&has_accepted_));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&last_accepted_time_));
+  uint64_t raw_count = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&raw_count));
+  raw_count_ = static_cast<size_t>(raw_count);
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&raw_first_time_));
+  SEMITRI_RETURN_IF_ERROR(core::RestoreState(r, &last_raw_));
+  SEMITRI_RETURN_IF_ERROR(r->GetBool(&qualified_));
+  SEMITRI_RETURN_IF_ERROR(r->GetI64(&open_id_));
+  SEMITRI_RETURN_IF_ERROR(r->GetBool(&have_dedup_));
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&dedup_last_time_));
+  SEMITRI_RETURN_IF_ERROR(r->GetBool(&have_kept_));
+  SEMITRI_RETURN_IF_ERROR(core::RestoreState(r, &outlier_last_));
+  uint64_t kept_count = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&kept_count));
+  kept_count_ = static_cast<size_t>(kept_count);
+  uint64_t tail_size = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&tail_size));
+  if (tail_size > r->remaining()) {
+    return common::Status::Corruption("kept tail count exceeds data");
+  }
+  kept_tail_.clear();
+  for (uint64_t i = 0; i < tail_size; ++i) {
+    core::GpsPoint p;
+    SEMITRI_RETURN_IF_ERROR(core::RestoreState(r, &p));
+    kept_tail_.push_back(p);
+  }
+  SEMITRI_RETURN_IF_ERROR(RestorePoints(r, &cleaned_));
+  uint64_t stop_count = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&stop_count));
+  if (stop_count > r->remaining()) {
+    return common::Status::Corruption("stop flag count exceeds data");
+  }
+  is_stop_.clear();
+  is_stop_.reserve(stop_count);
+  for (uint64_t i = 0; i < stop_count; ++i) {
+    bool s = false;
+    SEMITRI_RETURN_IF_ERROR(r->GetBool(&s));
+    is_stop_.push_back(s);
+  }
+  SEMITRI_RETURN_IF_ERROR(density_.RestoreState(r));
+  uint64_t run_count = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&run_count));
+  if (run_count > r->remaining()) {
+    return common::Status::Corruption("run count exceeds data");
+  }
+  runs_.clear();
+  runs_.reserve(run_count);
+  for (uint64_t i = 0; i < run_count; ++i) {
+    traj::ClassifiedRun run;
+    SEMITRI_RETURN_IF_ERROR(RestoreRun(r, &run));
+    runs_.push_back(run);
+  }
+  SEMITRI_RETURN_IF_ERROR(r->GetBool(&run_open_));
+  SEMITRI_RETURN_IF_ERROR(RestoreRun(r, &open_run_));
+  SEMITRI_RETURN_IF_ERROR(core::RestoreState(r, &episodes_));
+  return r->GetBool(&begin_emitted_);
 }
 
 }  // namespace semitri::stream

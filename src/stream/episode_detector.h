@@ -49,6 +49,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/serial.h"
+#include "common/status.h"
 #include "core/types.h"
 #include "traj/identification.h"
 #include "traj/preprocess.h"
@@ -139,6 +141,21 @@ class EpisodeDetector {
   core::ObjectId object_id() const { return object_id_; }
   core::TrajectoryId next_trajectory_id() const { return next_id_; }
   const EpisodeDetectorConfig& config() const { return config_; }
+
+  // True while raw fixes of an unfinished trajectory are buffered —
+  // exactly the state a checkpoint must capture, and what is lost when
+  // the detector is dropped without Close().
+  bool has_open_trajectory() const { return raw_count_ > 0; }
+
+  // --- checkpoint support ---------------------------------------------
+  // Serializes every mutable member bit-exactly (stream gate, open-
+  // trajectory windows, classifier, emitted episodes, counters). A
+  // detector constructed with the same object id and config, restored
+  // from these bytes, continues the stream exactly where the saved one
+  // stopped — converging to the identical offline-equivalent output.
+  // Config is NOT serialized: the owner reconstructs it.
+  void SaveState(common::StateWriter* w) const;
+  common::Status RestoreState(common::StateReader* r);
 
  private:
   // Effective smoothing half-window (0 when smoothing is disabled).

@@ -1,13 +1,28 @@
 #include "stream/session_manager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/check.h"
+#include "common/serial.h"
 
 namespace semitri::stream {
 
 namespace {
+
+// Streaming-checkpoint file: u32 magic, u32 version, then the
+// serialized payload, all wrapped as u32 payload size + u32 crc32 so a
+// torn or bit-flipped file is rejected as Corruption, never half-read.
+constexpr uint32_t kCheckpointMagic = 0x534D434Bu;  // "SMCK"
+constexpr uint32_t kCheckpointVersion = 1;
 
 void Accumulate(const AnnotationSession::Stats& from,
                 SessionManager::Stats* to) {
@@ -77,7 +92,13 @@ common::Status SessionManager::Flush(core::ObjectId object_id) {
 
 common::Status SessionManager::RetireLocked(
     Shard& shard, std::map<core::ObjectId, Entry>::iterator it) {
+  // Eviction goes through the flushing Close path: provisional rows of
+  // the open trajectory are finalized before the session is dropped.
+  // Only when that flush itself fails is buffered work actually lost —
+  // counted so operators can see degraded evictions in stats().
+  bool had_open = it->second.session->has_open_state();
   common::Status status = it->second.session->Flush();
+  if (!status.ok() && had_open) ++shard.evicted_with_data_loss;
   Accumulate(it->second.session->stats(), &shard.retired);
   ++shard.evicted;
   shard.sessions.erase(it);
@@ -139,6 +160,176 @@ size_t SessionManager::ActiveSessions() const {
   return total;
 }
 
+common::Status SessionManager::Checkpoint(const std::string& path) const {
+  common::StateWriter payload;
+  payload.PutU32(kCheckpointMagic);
+  payload.PutU32(kCheckpointVersion);
+
+  // Retired counters, aggregated across shards (shard assignment is a
+  // function of object id, so per-shard attribution is reconstructed
+  // implicitly on restore; the aggregates land in shard 0).
+  size_t opened = 0;
+  size_t evicted = 0;
+  size_t data_loss = 0;
+  AnnotationSession::Stats retired;
+  size_t live = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    opened += shard->opened;
+    evicted += shard->evicted;
+    data_loss += shard->evicted_with_data_loss;
+    Accumulate(shard->retired, &retired);
+    live += shard->sessions.size();
+  }
+  payload.PutU64(opened);
+  payload.PutU64(evicted);
+  payload.PutU64(data_loss);
+  payload.PutU64(retired.detector.points_fed);
+  payload.PutU64(retired.detector.points_rejected);
+  payload.PutU64(retired.detector.episodes_closed);
+  payload.PutU64(retired.detector.trajectories_closed);
+  payload.PutU64(retired.detector.trajectories_discarded);
+  payload.PutU64(retired.detector.forced_splits);
+  payload.PutU64(retired.annotation_passes);
+
+  payload.PutU64(live);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [object_id, entry] : shard->sessions) {
+      payload.PutI64(object_id);
+      entry.session->SaveState(&payload);
+    }
+  }
+
+  common::StateWriter framed;
+  framed.PutU32(static_cast<uint32_t>(payload.data().size()));
+  framed.PutU32(common::Crc32(payload.data()));
+  std::string bytes = framed.Release() + payload.Release();
+
+  // tmp + fsync + rename: the previous checkpoint stays intact until
+  // the new one is fully on disk.
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return common::Status::IoError("cannot open " + tmp + ": " +
+                                   std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return common::Status::IoError("write failed for " + tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return common::Status::IoError("fsync failed for " + tmp);
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return common::Status::IoError("cannot commit checkpoint " + path);
+  }
+  return common::Status::OK();
+}
+
+common::Status SessionManager::Restore(const std::string& path) {
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return common::Status::IoError("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  common::StateReader frame(bytes);
+  uint32_t size = 0;
+  uint32_t crc = 0;
+  SEMITRI_RETURN_IF_ERROR(frame.GetU32(&size));
+  SEMITRI_RETURN_IF_ERROR(frame.GetU32(&crc));
+  if (frame.remaining() != size) {
+    return common::Status::Corruption("checkpoint size mismatch (torn file)");
+  }
+  std::string_view payload(bytes.data() + bytes.size() - size, size);
+  if (common::Crc32(payload) != crc) {
+    return common::Status::Corruption("checkpoint crc mismatch");
+  }
+
+  common::StateReader r(payload);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  SEMITRI_RETURN_IF_ERROR(r.GetU32(&magic));
+  SEMITRI_RETURN_IF_ERROR(r.GetU32(&version));
+  if (magic != kCheckpointMagic) {
+    return common::Status::Corruption("not a session checkpoint file");
+  }
+  if (version != kCheckpointVersion) {
+    return common::Status::Corruption("unsupported checkpoint version");
+  }
+
+  uint64_t opened = 0;
+  uint64_t evicted = 0;
+  uint64_t data_loss = 0;
+  AnnotationSession::Stats retired;
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&opened));
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&evicted));
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&data_loss));
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&retired.detector.points_fed));
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&retired.detector.points_rejected));
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&retired.detector.episodes_closed));
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&retired.detector.trajectories_closed));
+  SEMITRI_RETURN_IF_ERROR(
+      r.GetU64(&retired.detector.trajectories_discarded));
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&retired.detector.forced_splits));
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&retired.annotation_passes));
+
+  uint64_t live = 0;
+  SEMITRI_RETURN_IF_ERROR(r.GetU64(&live));
+  if (live > r.remaining()) {
+    return common::Status::Corruption("session count exceeds data");
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->sessions.clear();
+    shard->opened = 0;
+    shard->evicted = 0;
+    shard->evicted_with_data_loss = 0;
+    shard->retired = {};
+  }
+  {
+    Shard& first = *shards_.front();
+    std::lock_guard<std::mutex> lock(first.mutex);
+    first.opened = static_cast<size_t>(opened);
+    first.evicted = static_cast<size_t>(evicted);
+    first.evicted_with_data_loss = static_cast<size_t>(data_loss);
+    first.retired = retired;
+  }
+
+  for (uint64_t i = 0; i < live; ++i) {
+    int64_t object_id = 0;
+    SEMITRI_RETURN_IF_ERROR(r.GetI64(&object_id));
+    auto session = std::make_unique<AnnotationSession>(
+        pipeline_, object_id, config_.session,
+        object_id * config_.ids_per_object);
+    SEMITRI_RETURN_IF_ERROR(session->RestoreState(&r));
+    Shard& shard = ShardFor(object_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Entry& entry = shard.sessions[object_id];
+    entry.session = std::move(session);
+    entry.last_feed = now;
+  }
+  if (!r.AtEnd()) {
+    return common::Status::Corruption("trailing bytes in checkpoint");
+  }
+  return common::Status::OK();
+}
+
 SessionManager::Stats SessionManager::stats() const {
   Stats out;
   for (const std::unique_ptr<Shard>& shard : shards_) {
@@ -146,6 +337,7 @@ SessionManager::Stats SessionManager::stats() const {
     out.active_sessions += shard->sessions.size();
     out.sessions_opened += shard->opened;
     out.sessions_evicted += shard->evicted;
+    out.evictions_with_data_loss += shard->evicted_with_data_loss;
     Accumulate(shard->retired, &out);
     for (const auto& [id, entry] : shard->sessions) {
       Accumulate(entry.session->stats(), &out);

@@ -81,6 +81,10 @@ class SessionManager {
     size_t active_sessions = 0;
     size_t sessions_opened = 0;
     size_t sessions_evicted = 0;
+    // Evictions whose final Flush failed while the session still held
+    // an unfinished trajectory: its un-finalized rows are gone. Every
+    // other eviction goes through the flushing Close path losslessly.
+    size_t evictions_with_data_loss = 0;
     size_t points_fed = 0;
     size_t points_rejected = 0;
     size_t episodes_closed = 0;
@@ -91,6 +95,23 @@ class SessionManager {
   };
   // Aggregated over live and evicted sessions.
   Stats stats() const;
+
+  // --- checkpoint / restore -------------------------------------------
+
+  // Serializes every live session plus the retired counters into one
+  // CRC-framed file (written to `path`.tmp, then renamed — a crash
+  // leaves either the previous checkpoint or the new one, never a torn
+  // file). Callers must quiesce feeders for a cross-object-consistent
+  // snapshot; each shard is locked while serialized.
+  common::Status Checkpoint(const std::string& path) const;
+
+  // Rebuilds live sessions from a Checkpoint file, replacing current
+  // state. The manager must wrap the same pipeline and configuration
+  // that produced the checkpoint. Restored sessions resume mid-stream:
+  // feeding the remaining fixes and closing converges the store to the
+  // exact state an uninterrupted run would have produced. Corruption on
+  // a CRC mismatch or malformed state.
+  common::Status Restore(const std::string& path);
 
  private:
   struct Entry {
@@ -104,6 +125,7 @@ class SessionManager {
     // eviction.
     size_t opened SEMITRI_GUARDED_BY(mutex) = 0;
     size_t evicted SEMITRI_GUARDED_BY(mutex) = 0;
+    size_t evicted_with_data_loss SEMITRI_GUARDED_BY(mutex) = 0;
     AnnotationSession::Stats retired SEMITRI_GUARDED_BY(mutex) = {};
   };
 

@@ -229,4 +229,34 @@ std::vector<core::Episode> StopMoveSegmenter::Segment(
   return episodes;
 }
 
+void DensityStopClassifier::SaveState(common::StateWriter* w) const {
+  w->PutU64(flags_.size());
+  for (bool flag : flags_) w->PutBool(flag);
+  w->PutBool(growing_);
+  w->PutU64(cluster_end_);
+  w->PutDouble(centroid_.x);
+  w->PutDouble(centroid_.y);
+}
+
+common::Status DensityStopClassifier::RestoreState(common::StateReader* r) {
+  uint64_t n = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&n));
+  if (n > r->remaining()) {
+    return common::Status::Corruption("classifier flag count exceeds data");
+  }
+  flags_.clear();
+  flags_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    bool flag = false;
+    SEMITRI_RETURN_IF_ERROR(r->GetBool(&flag));
+    flags_.push_back(flag);
+  }
+  SEMITRI_RETURN_IF_ERROR(r->GetBool(&growing_));
+  uint64_t cluster_end = 0;
+  SEMITRI_RETURN_IF_ERROR(r->GetU64(&cluster_end));
+  cluster_end_ = static_cast<size_t>(cluster_end);
+  SEMITRI_RETURN_IF_ERROR(r->GetDouble(&centroid_.x));
+  return r->GetDouble(&centroid_.y);
+}
+
 }  // namespace semitri::traj

@@ -24,6 +24,8 @@
 
 #include <vector>
 
+#include "common/serial.h"
+#include "common/status.h"
 #include "core/types.h"
 
 namespace semitri::traj {
@@ -105,6 +107,13 @@ class DensityStopClassifier {
     flags_.clear();
     growing_ = false;
   }
+
+  // Checkpoint support (stream::EpisodeDetector state): serializes the
+  // resumable cluster state bit-exactly — not the config, which the
+  // owner reconstructs — so a restored classifier continues the
+  // suspended greedy scan exactly where the saved one stopped.
+  void SaveState(common::StateWriter* w) const;
+  common::Status RestoreState(common::StateReader* r);
 
  private:
   SegmentationConfig config_;

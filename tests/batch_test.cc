@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "datagen/presets.h"
 #include "hmm/hmm.h"
 #include "poi/point_annotator.h"
@@ -197,6 +198,85 @@ TEST(BatchProcessorStress, OversubscribedThreadsDeterministicMerge) {
   }
   EXPECT_EQ(store.num_trajectories(), expected_trajectories);
   EXPECT_GT(profiler.Count(kStageComputeEpisode), 0u);
+}
+
+TEST_F(BatchFixture, ProcessAllMatchesProcessOnCleanRun) {
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois);
+  BatchOptions options;
+  options.num_threads = 2;
+  BatchProcessor batch(&pipeline, options);
+  auto report = batch.ProcessAll(streams_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->all_succeeded());
+  EXPECT_TRUE(report->failed.empty());
+  EXPECT_EQ(report->total_retries, 0u);
+  ASSERT_EQ(report->succeeded.size(), streams_.size());
+  auto results = batch.Process(streams_);
+  ASSERT_TRUE(results.ok());
+  for (size_t i = 0; i < results->size(); ++i) {
+    EXPECT_EQ(report->succeeded[i].object_id, (*results)[i].object_id);
+    EXPECT_EQ(report->succeeded[i].results.size(),
+              (*results)[i].results.size());
+  }
+}
+
+TEST_F(BatchFixture, ProcessAllReportsPartialFailure) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  common::FaultInjector& fi = common::FaultInjector::Global();
+  fi.Reset();
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois);
+  BatchOptions options;
+  options.num_threads = 1;  // deterministic object order for FailNth
+  BatchProcessor batch(&pipeline, options);
+
+  // Discovery: how often does the landuse stage run across the batch?
+  ASSERT_TRUE(batch.ProcessAll(streams_).ok());
+  std::string site = std::string("stage:") + kStageLanduseJoin;
+  uint64_t stage_runs = fi.HitCount(site);
+  ASSERT_GT(stage_runs, 2u);
+
+  // One injected failure mid-batch: exactly one object fails, every
+  // other object's results still come back.
+  fi.Reset();
+  fi.Arm(site, common::FaultPolicy::FailNth(stage_runs / 2));
+  auto report = batch.ProcessAll(streams_);
+  fi.Reset();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->all_succeeded());
+  ASSERT_EQ(report->failed.size(), 1u);
+  EXPECT_EQ(report->succeeded.size(), streams_.size() - 1);
+  EXPECT_FALSE(report->failed[0].status.ok());
+  EXPECT_EQ(report->failed[0].attempts, 1u);
+  // And Process (fail-fast wrapper) surfaces that same status.
+  fi.Arm(site, common::FaultPolicy::FailNth(stage_runs / 2));
+  auto failfast = batch.Process(streams_);
+  fi.Reset();
+  EXPECT_FALSE(failfast.ok());
+}
+
+TEST_F(BatchFixture, ProcessAllRetriesTransientFailure) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  common::FaultInjector& fi = common::FaultInjector::Global();
+  fi.Reset();
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois);
+  BatchOptions options;
+  options.num_threads = 1;
+  options.max_attempts_per_object = 2;  // zero-backoff immediate retry
+  BatchProcessor batch(&pipeline, options);
+  // FailNth triggers exactly once, so the per-object retry re-runs the
+  // stream and succeeds: the batch completes with one retry on record.
+  fi.Arm(std::string("stage:") + kStageLanduseJoin,
+         common::FaultPolicy::FailNth(2));
+  auto report = batch.ProcessAll(streams_);
+  fi.Reset();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->all_succeeded());
+  EXPECT_EQ(report->succeeded.size(), streams_.size());
+  EXPECT_EQ(report->total_retries, 1u);
 }
 
 TEST(BatchProcessorTest, EmptyInput) {

@@ -1,0 +1,145 @@
+// Tests for the deterministic fault injector: policy semantics
+// (fail-once / fail-nth / always / probabilistic), hit accounting, site
+// registration, and determinism across runs with the same seed.
+//
+// These tests drive FaultInjector directly, so they run in every build;
+// only the macro expansion (SEMITRI_FAULT_FIRE) depends on the
+// SEMITRI_FAULT_INJECTION option.
+
+#include "common/fault_injection.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace semitri::common {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSiteNeverTriggers) {
+  FaultInjector& fi = FaultInjector::Global();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fi.Fire("test_site"), FaultAction::kNone);
+  }
+  EXPECT_EQ(fi.HitCount("test_site"), 10u);
+}
+
+TEST_F(FaultInjectionTest, FailOnceTriggersExactlyOnce) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", FaultPolicy::FailOnce());
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kFail);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+}
+
+TEST_F(FaultInjectionTest, FailNthCountsFromArming) {
+  FaultInjector& fi = FaultInjector::Global();
+  // Pre-arm hits must not count toward the policy.
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  fi.Arm("s", FaultPolicy::FailNth(3));
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kFail);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+}
+
+TEST_F(FaultInjectionTest, FailAlwaysRepeats) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", FaultPolicy::FailAlways());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fi.Fire("s"), FaultAction::kFail);
+  }
+}
+
+TEST_F(FaultInjectionTest, CrashNthReturnsCrash) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", FaultPolicy::CrashNth(2));
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kCrash);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsTriggering) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", FaultPolicy::FailAlways());
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kFail);
+  fi.Disarm("s");
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  EXPECT_EQ(fi.HitCount("s"), 2u);  // hit stats survive disarm
+}
+
+TEST_F(FaultInjectionTest, RearmRestartsPolicyCount) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", FaultPolicy::FailNth(2));
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  fi.Arm("s", FaultPolicy::FailNth(2));  // restart: next hit is post-arm #1
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kFail);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticIsDeterministicPerSeed) {
+  FaultInjector& fi = FaultInjector::Global();
+  auto run = [&](uint64_t seed) {
+    fi.Reset();
+    fi.Arm("p", FaultPolicy::Probabilistic(0.3, seed));
+    std::vector<int> pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(fi.Fire("p") == FaultAction::kFail ? 1 : 0);
+    }
+    return pattern;
+  };
+  std::vector<int> a = run(42);
+  std::vector<int> b = run(42);
+  std::vector<int> c = run(43);
+  EXPECT_EQ(a, b);       // same seed, same injection pattern
+  EXPECT_NE(a, c);       // different seed diverges (overwhelmingly likely)
+  int fired = 0;
+  for (int x : a) fired += x;
+  EXPECT_GT(fired, 0);   // p=0.3 over 64 hits: some fire...
+  EXPECT_LT(fired, 64);  // ...but not all
+}
+
+TEST_F(FaultInjectionTest, SitesRegisterOnFirstFire) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Fire("b_site");
+  fi.Fire("a_site");
+  fi.Fire("b_site");
+  std::vector<std::string> sites = fi.Sites();
+  ASSERT_GE(sites.size(), 2u);
+  EXPECT_TRUE(std::find(sites.begin(), sites.end(), "a_site") != sites.end());
+  EXPECT_TRUE(std::find(sites.begin(), sites.end(), "b_site") != sites.end());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+}
+
+TEST_F(FaultInjectionTest, ResetClearsHitsAndPolicies) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("s", FaultPolicy::FailAlways());
+  fi.Fire("s");
+  fi.Reset();
+  EXPECT_EQ(fi.HitCount("s"), 0u);
+  EXPECT_EQ(fi.Fire("s"), FaultAction::kNone);  // disarmed
+  // Registered names survive Reset so discovery runs stay valid.
+  std::vector<std::string> sites = fi.Sites();
+  EXPECT_TRUE(std::find(sites.begin(), sites.end(), "s") != sites.end());
+}
+
+TEST_F(FaultInjectionTest, MacroComplilesToNoopWhenDisabled) {
+#if SEMITRI_FAULT_INJECTION_ENABLED
+  GTEST_SKIP() << "fault injection compiled in; macro is live";
+#else
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Arm("macro_site", FaultPolicy::FailAlways());
+  // The macro must not consult the injector at all when compiled out.
+  EXPECT_EQ(SEMITRI_FAULT_FIRE("macro_site"), FaultAction::kNone);
+  EXPECT_EQ(fi.HitCount("macro_site"), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace semitri::common

@@ -149,5 +149,120 @@ TEST(StageGraphTest, FindLocatesRegisteredStages) {
   EXPECT_EQ(graph.size(), 1u);
 }
 
+// A stage that fails its first `failures` runs, then succeeds.
+std::unique_ptr<FunctionStage> Flaky(std::string name, size_t failures,
+                                     size_t* runs) {
+  return std::make_unique<FunctionStage>(
+      std::move(name), std::vector<std::string>{},
+      [failures, runs](AnnotationContext&) {
+        if ((*runs)++ < failures) {
+          return common::Status::IoError("transient failure");
+        }
+        return common::Status::OK();
+      });
+}
+
+TEST(StageGraphTest, FailFastAbortsRunAndReports) {
+  std::vector<std::string> trace;
+  size_t runs = 0;
+  StageGraph graph;
+  ASSERT_TRUE(graph.Add(Flaky("broken", /*failures=*/100, &runs)).ok());
+  ASSERT_TRUE(graph.Add(Recorder("after", {"broken"}, &trace)).ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+  AnnotationContext context;
+  common::Status status = graph.Run(context);
+  EXPECT_EQ(status.code(), common::StatusCode::kIoError);
+  EXPECT_TRUE(trace.empty());  // downstream stage never ran
+  auto it = context.result.stage_reports.find("broken");
+  ASSERT_TRUE(it != context.result.stage_reports.end());
+  EXPECT_FALSE(it->second.status.ok());
+  EXPECT_FALSE(it->second.skipped);
+}
+
+TEST(StageGraphTest, SkipPolicyContinuesAndRecords) {
+  std::vector<std::string> trace;
+  size_t runs = 0;
+  StageGraph graph;
+  ASSERT_TRUE(graph.Add(Flaky("broken", /*failures=*/100, &runs)).ok());
+  ASSERT_TRUE(graph.Add(Recorder("after", {"broken"}, &trace)).ok());
+  ASSERT_TRUE(
+      graph.SetFailurePolicy("broken", FailurePolicy::SkipAndRecord()).ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+  AnnotationContext context;
+  EXPECT_TRUE(graph.Run(context).ok());
+  EXPECT_EQ(trace, (std::vector<std::string>{"after"}));
+  auto it = context.result.stage_reports.find("broken");
+  ASSERT_TRUE(it != context.result.stage_reports.end());
+  EXPECT_TRUE(it->second.skipped);
+  EXPECT_FALSE(it->second.status.ok());
+  EXPECT_TRUE(context.result.degraded());
+}
+
+TEST(StageGraphTest, RetryPolicyAbsorbsTransientFailures) {
+  size_t runs = 0;
+  StageGraph graph;
+  ASSERT_TRUE(graph.Add(Flaky("flaky", /*failures=*/2, &runs)).ok());
+  ASSERT_TRUE(
+      graph.SetFailurePolicy("flaky", FailurePolicy::Retry(3)).ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+  AnnotationContext context;
+  EXPECT_TRUE(graph.Run(context).ok());
+  EXPECT_EQ(runs, 3u);
+  auto it = context.result.stage_reports.find("flaky");
+  ASSERT_TRUE(it != context.result.stage_reports.end());
+  EXPECT_EQ(it->second.attempts, 3u);
+  EXPECT_TRUE(it->second.status.ok());
+  EXPECT_FALSE(it->second.skipped);
+  EXPECT_FALSE(context.result.degraded());
+}
+
+TEST(StageGraphTest, RetryExhaustionFollowsOnFailure) {
+  // Retries exhausted + kAbort -> error; + kSkip -> run continues.
+  size_t runs_abort = 0;
+  StageGraph abort_graph;
+  ASSERT_TRUE(
+      abort_graph.Add(Flaky("dead", /*failures=*/100, &runs_abort)).ok());
+  ASSERT_TRUE(
+      abort_graph.SetFailurePolicy("dead", FailurePolicy::Retry(3)).ok());
+  ASSERT_TRUE(abort_graph.Finalize().ok());
+  AnnotationContext context;
+  EXPECT_FALSE(abort_graph.Run(context).ok());
+  EXPECT_EQ(runs_abort, 3u);
+
+  size_t runs_skip = 0;
+  StageGraph skip_graph;
+  ASSERT_TRUE(
+      skip_graph.Add(Flaky("dead", /*failures=*/100, &runs_skip)).ok());
+  FailurePolicy policy = FailurePolicy::Retry(2);
+  policy.on_failure = FailurePolicy::OnFailure::kSkip;
+  ASSERT_TRUE(skip_graph.SetFailurePolicy("dead", policy).ok());
+  ASSERT_TRUE(skip_graph.Finalize().ok());
+  AnnotationContext skip_context;
+  EXPECT_TRUE(skip_graph.Run(skip_context).ok());
+  EXPECT_EQ(runs_skip, 2u);
+  auto it = skip_context.result.stage_reports.find("dead");
+  ASSERT_TRUE(it != skip_context.result.stage_reports.end());
+  EXPECT_EQ(it->second.attempts, 2u);
+  EXPECT_TRUE(it->second.skipped);
+}
+
+TEST(StageGraphTest, CleanRunLeavesNoReports) {
+  std::vector<std::string> trace;
+  StageGraph graph;
+  ASSERT_TRUE(graph.Add(Recorder("ok", {}, &trace)).ok());
+  ASSERT_TRUE(graph.SetFailurePolicy("ok", FailurePolicy::Retry(5)).ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+  AnnotationContext context;
+  EXPECT_TRUE(graph.Run(context).ok());
+  // First-attempt success is the hot path: no allocation, no report.
+  EXPECT_TRUE(context.result.stage_reports.empty());
+}
+
+TEST(StageGraphTest, SetFailurePolicyRejectsUnknownStage) {
+  StageGraph graph;
+  EXPECT_EQ(graph.SetFailurePolicy("ghost", FailurePolicy::FailFast()).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace semitri::core

@@ -185,5 +185,99 @@ TEST(StoreTest, WriteThroughAppendsFiles) {
   fs::remove_all(dir);
 }
 
+TEST(StoreTest, TornFinalRowIsToleratedAndCounted) {
+  std::string dir = (fs::temp_directory_path() / "semitri_torn_row").string();
+  fs::remove_all(dir);
+  {
+    SemanticTrajectoryStore store;
+    core::RawTrajectory t = MakeTrajectory(1, 9, 5);
+    ASSERT_TRUE(store.PutRawTrajectory(t).ok());
+    ASSERT_TRUE(store.SaveCsv(dir).ok());
+  }
+  // Simulate a crash mid-append: a half-written record with no trailing
+  // newline at the end of gps.csv.
+  {
+    std::ofstream out(dir + "/gps.csv", std::ios::app);
+    out << "1,99,3.25";  // torn: too few fields, no '\n'
+  }
+  SemanticTrajectoryStore loaded;
+  ASSERT_TRUE(loaded.LoadCsv(dir).ok());
+  EXPECT_EQ(loaded.torn_rows_tolerated(), 1u);
+  EXPECT_EQ(loaded.num_gps_records(), 5u);  // the torn row was dropped
+
+  // The same malformed row *with* a trailing newline is a fully written
+  // corrupt record — that is still Corruption, not a torn tail.
+  {
+    std::ofstream out(dir + "/gps.csv", std::ios::app);
+    out << "\n";
+  }
+  SemanticTrajectoryStore strict;
+  EXPECT_EQ(strict.LoadCsv(dir).code(), common::StatusCode::kCorruption);
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, TornMidFileRowIsStillCorruption) {
+  std::string dir =
+      (fs::temp_directory_path() / "semitri_torn_mid").string();
+  fs::remove_all(dir);
+  {
+    SemanticTrajectoryStore store;
+    ASSERT_TRUE(store.PutRawTrajectory(MakeTrajectory(1, 9, 3)).ok());
+    ASSERT_TRUE(store.SaveCsv(dir).ok());
+  }
+  // A bad row *before* intact rows cannot be a crash artifact.
+  std::ifstream in(dir + "/gps.csv");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  ASSERT_GE(lines.size(), 3u);
+  std::ofstream out(dir + "/gps.csv", std::ios::trunc);
+  out << lines[0] << "\n" << "garbage,row" << "\n";
+  for (size_t i = 1; i < lines.size(); ++i) out << lines[i] << "\n";
+  out.close();
+  SemanticTrajectoryStore loaded;
+  EXPECT_EQ(loaded.LoadCsv(dir).code(), common::StatusCode::kCorruption);
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, SourceEpisodeSurvivesCsvRoundTrip) {
+  std::string dir =
+      (fs::temp_directory_path() / "semitri_source_episode").string();
+  fs::remove_all(dir);
+  core::StructuredSemanticTrajectory t = MakeInterpretation(3, "region");
+  t.episodes[0].source_episode = 7;
+  {
+    SemanticTrajectoryStore store;
+    ASSERT_TRUE(store.PutInterpretation(t).ok());
+    ASSERT_TRUE(store.SaveCsv(dir).ok());
+  }
+  SemanticTrajectoryStore loaded;
+  ASSERT_TRUE(loaded.LoadCsv(dir).ok());
+  auto interp = loaded.GetInterpretation(3, "region");
+  ASSERT_TRUE(interp.ok());
+  EXPECT_EQ(interp->episodes[0].source_episode, 7u);
+  // Full bit-exact equality via the recovery contract's comparator.
+  SemanticTrajectoryStore original;
+  ASSERT_TRUE(original.PutInterpretation(t).ok());
+  EXPECT_TRUE(loaded.ContentEquals(original));
+  fs::remove_all(dir);
+}
+
+TEST(StoreTest, ContentEqualsDetectsDifferences) {
+  SemanticTrajectoryStore a;
+  SemanticTrajectoryStore b;
+  EXPECT_TRUE(a.ContentEquals(b));
+  core::RawTrajectory t = MakeTrajectory(1, 9, 4);
+  ASSERT_TRUE(a.PutRawTrajectory(t).ok());
+  EXPECT_FALSE(a.ContentEquals(b));
+  ASSERT_TRUE(b.PutRawTrajectory(t).ok());
+  EXPECT_TRUE(a.ContentEquals(b));
+  // A one-bit float difference must be visible.
+  t.points[2].position.x += 1e-12;
+  ASSERT_TRUE(b.PutRawTrajectory(t).ok());
+  EXPECT_FALSE(a.ContentEquals(b));
+}
+
 }  // namespace
 }  // namespace semitri::store
