@@ -183,6 +183,73 @@ int main(int argc, char** argv) {
   PrintSummary("trajectory finalization",
                profiler.Summarize(stream::kStreamStageFinalizeTrajectory));
 
+  // --- overloaded pass --------------------------------------------------
+  // The same corpus pushed through deliberately tight admission budgets
+  // (shed-oldest-idle): how much throughput costs when the manager has
+  // to evict sessions to admit work, how often it sheds, and what the
+  // admission decision itself costs per fix (p50/p99 Feed latency).
+  double overload_seconds = 0.0;
+  std::vector<double> admission_latencies;
+  stream::SessionManager::Stats overload_stats;
+  {
+    store::SemanticTrajectoryStore overload_store;
+    core::SemiTriPipeline pipeline(&world.regions, &world.roads, &world.pois,
+                                   core::PipelineConfig{}, &overload_store);
+    stream::SessionManagerConfig mc;
+    mc.admission.max_sessions =
+        std::max<size_t>(1, static_cast<size_t>(kUsers) / 3);
+    mc.admission.max_buffered_fixes = smoke ? 2000 : 20000;
+    mc.admission.overload_policy = stream::OverloadPolicy::kShedOldestIdle;
+    stream::SessionManager manager(&pipeline, mc);
+
+    admission_latencies.reserve(total_points);
+    // Chunked round-robin: enough switching to force shedding without
+    // degenerating into one eviction per fix.
+    const size_t kChunk = 200;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t base = 0; base < longest; base += kChunk) {
+      for (const datagen::SimulatedTrack& track : people.tracks) {
+        for (size_t k = base;
+             k < std::min(base + kChunk, track.points.size()); ++k) {
+          auto fed_start = std::chrono::steady_clock::now();
+          auto fed = manager.Feed(track.object_id, track.points[k]);
+          admission_latencies.push_back(SecondsSince(fed_start));
+          if (!fed.ok()) {
+            std::fprintf(stderr, "overloaded feed failed: %s\n",
+                         fed.status().ToString().c_str());
+            return 1;
+          }
+        }
+      }
+    }
+    if (auto status = manager.CloseAll(); !status.ok()) {
+      std::fprintf(stderr, "overloaded close failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    overload_seconds = SecondsSince(start);
+    overload_stats = manager.stats();
+  }
+  auto percentile = [&](double p) {
+    size_t idx = static_cast<size_t>(
+        p * static_cast<double>(admission_latencies.size() - 1));
+    std::nth_element(admission_latencies.begin(),
+                     admission_latencies.begin() + idx,
+                     admission_latencies.end());
+    return admission_latencies[idx];
+  };
+  double admission_p50 = percentile(0.50);
+  double admission_p99 = percentile(0.99);
+  double shed_rate =
+      static_cast<double>(overload_stats.sessions_shed) * 1000.0 /
+      static_cast<double>(total_points);
+  std::printf("\noverloaded:      %9.0f points/s  (%.3f s total, %zu sheds "
+              "= %.2f per 1k fixes)\n",
+              static_cast<double>(total_points) / overload_seconds,
+              overload_seconds, overload_stats.sessions_shed, shed_rate);
+  std::printf("  admission latency            p50 %9.3f ms   p99 %9.3f ms\n",
+              admission_p50 * 1e3, admission_p99 * 1e3);
+
   std::printf("\nstore end state: %zu trajectories, %zu gps records, %zu "
               "semantic episodes\n",
               store.num_trajectories(), store.num_gps_records(),
@@ -199,6 +266,13 @@ int main(int argc, char** argv) {
   json.Add("live_wal_points_per_s",
            static_cast<double>(total_points) / wal_seconds);
   json.Add("wal_overhead_fraction", wal_overhead);
+  json.Add("overload_points_per_s",
+           static_cast<double>(total_points) / overload_seconds);
+  json.Add("overload_sessions_shed", overload_stats.sessions_shed);
+  json.Add("overload_shed_per_1k_fixes", shed_rate);
+  json.Add("overload_rejected_fixes", overload_stats.overload_rejected_fixes);
+  json.Add("admission_p50_ms", admission_p50 * 1e3);
+  json.Add("admission_p99_ms", admission_p99 * 1e3);
   const char* json_path = "bench_stream_throughput.json";
   if (!json.WriteToFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path);

@@ -1,0 +1,31 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace semitri::common {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepFor(double seconds) const override {
+    if (seconds <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const RealClock* clock = new RealClock();
+  return clock;
+}
+
+}  // namespace semitri::common

@@ -1,0 +1,160 @@
+#ifndef SEMITRI_COMMON_EXEC_CONTROL_H_
+#define SEMITRI_COMMON_EXEC_CONTROL_H_
+
+// Deadlines and cooperative cancellation for the annotation pipeline.
+//
+// A caller that must stay responsive under load (the streaming front
+// end, an RPC handler, the watchdog) attaches an ExecControl to the run:
+// a wall-clock Deadline, a CancellationToken that any thread may fire,
+// and the per-stage budget / check-interval knobs. The stage graph
+// checks it between stages, and the expensive inner loops (HMM Viterbi
+// sweep, global map-matching candidate scan, spatial-join scans over the
+// R*-tree) check it every `check_interval` iterations through an
+// ExecCheckpoint, so a pathological trajectory aborts with
+// Status::DeadlineExceeded within a bounded amount of extra work instead
+// of pinning a thread indefinitely.
+//
+// Cancellation is cooperative: Cancel() only flips a shared flag; the
+// running code notices at its next checkpoint. Everything is
+// deterministic under test via an injected FakeClock.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace semitri::common {
+
+// Shared cancel flag. Copies observe the same flag, so a token handed to
+// a worker can be fired from a watchdog or an operator thread.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { state_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return state_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+// A point on a Clock's timeline; default-constructed = never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `seconds` from now on `clock` (null = the real clock).
+  static Deadline After(double seconds, const Clock* clock = nullptr) {
+    const Clock* c = clock != nullptr ? clock : Clock::Real();
+    Deadline d;
+    d.clock_ = c;
+    d.nanos_ = c->NowNanos() + static_cast<int64_t>(seconds * 1e9);
+    return d;
+  }
+
+  bool infinite() const { return nanos_ == kInfiniteNanos; }
+
+  bool expired() const {
+    if (infinite()) return false;
+    return clock()->NowNanos() >= nanos_;
+  }
+
+  // Seconds until expiry (negative once expired, +inf when infinite).
+  double remaining_seconds() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(nanos_ - clock()->NowNanos()) * 1e-9;
+  }
+
+  // The earlier of the two deadlines.
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    if (a.infinite()) return b;
+    if (b.infinite()) return a;
+    return a.nanos_ <= b.nanos_ ? a : b;
+  }
+
+  const Clock* clock() const {
+    return clock_ != nullptr ? clock_ : Clock::Real();
+  }
+  int64_t nanos() const { return nanos_; }
+
+ private:
+  static constexpr int64_t kInfiniteNanos =
+      std::numeric_limits<int64_t>::max();
+
+  const Clock* clock_ = nullptr;  // null = real clock
+  int64_t nanos_ = kInfiniteNanos;
+};
+
+// Everything a run needs to stay bounded: the run deadline, the cancel
+// flag, and the knobs governing how stages consume them. Plumbed through
+// core::AnnotationContext; a null ExecControl* means "unbounded" and
+// costs nothing on the hot path.
+struct ExecControl {
+  Deadline deadline;
+  CancellationToken token;
+  // Clock used to derive per-stage deadlines and to time stages for the
+  // circuit breakers (null = real clock). Should match deadline.clock().
+  const Clock* clock = nullptr;
+  // Additional per-stage wall budget: each stage runs under
+  // min(run deadline, stage start + stage_timeout_seconds). A stage that
+  // exhausts only its own budget composes with its FailurePolicy (a
+  // skip-and-record stage degrades instead of failing the run); an
+  // exhausted *run* deadline always aborts. 0 disables.
+  double stage_timeout_seconds = 0.0;
+  // Loop iterations between deadline/cancellation consults inside the
+  // expensive annotator loops (bounds how late an abort can be noticed).
+  size_t check_interval = 256;
+
+  const Clock* effective_clock() const {
+    return clock != nullptr ? clock : Clock::Real();
+  }
+
+  // OK while the run may continue; DeadlineExceeded once the deadline
+  // passed or the token fired. `where` tags the message for diagnosis.
+  Status Check(const char* where = nullptr) const {
+    if (token.cancelled()) {
+      return Status::DeadlineExceeded(
+          where != nullptr ? std::string("cancelled in ") + where
+                           : std::string("cancelled"));
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(
+          where != nullptr ? std::string("deadline exceeded in ") + where
+                           : std::string("deadline exceeded"));
+    }
+    return Status::OK();
+  }
+};
+
+// Amortized checkpoint for hot loops: consults the ExecControl only
+// every check_interval-th call, so the common case is one branch and an
+// increment. Null exec compiles down to a constant-false branch.
+class ExecCheckpoint {
+ public:
+  explicit ExecCheckpoint(const ExecControl* exec)
+      : exec_(exec),
+        interval_(exec != nullptr && exec->check_interval > 0
+                      ? exec->check_interval
+                      : 1) {}
+
+  Status Check(const char* where = nullptr) {
+    if (exec_ == nullptr) return Status::OK();
+    if (++count_ % interval_ != 0) return Status::OK();
+    return exec_->Check(where);
+  }
+
+ private:
+  const ExecControl* exec_;
+  size_t interval_;
+  size_t count_ = 0;
+};
+
+}  // namespace semitri::common
+
+#endif  // SEMITRI_COMMON_EXEC_CONTROL_H_

@@ -25,6 +25,16 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kInternal,
+  // A deadline expired or the work was cancelled before it finished
+  // (cooperative cancellation; see common/exec_control.h).
+  kDeadlineExceeded,
+  // A resource budget (admission quota, rate limit, buffer cap) is
+  // exhausted; the request was refused, not failed — retrying later may
+  // succeed.
+  kResourceExhausted,
+  // A dependency is temporarily refusing work (e.g. an open circuit
+  // breaker); callers should degrade or back off rather than retry hot.
+  kUnavailable,
 };
 
 // Human-readable name of a status code ("Ok", "InvalidArgument", ...).
@@ -60,6 +70,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/exec_control.h"
 #include "common/status.h"
 #include "core/types.h"
 
@@ -24,6 +26,8 @@ class SemanticTrajectoryStore;
 }  // namespace semitri::store
 
 namespace semitri::core {
+
+class Watchdog;
 
 // The three annotation layers of Fig. 2.
 enum class Layer { kRegion, kLine, kPoint };
@@ -79,6 +83,21 @@ struct AnnotationContext {
   PipelineResult result;
   store::SemanticTrajectoryStore* store = nullptr;
   analytics::LatencyProfiler* profiler = nullptr;
+
+  // --- resource governance (all optional; null = unbounded run) -------
+  // Deadline + cancellation for this run. The stage graph checks it
+  // between stages (an expired run deadline aborts the run with
+  // DeadlineExceeded) and tightens each stage's view of it by
+  // exec->stage_timeout_seconds; the expensive annotator loops consult
+  // it every exec->check_interval iterations. During a stage execution
+  // this pointer temporarily refers to the per-stage tightened control.
+  const common::ExecControl* exec = nullptr;
+  // Hard backstop: deadline-bounded stage executions are registered here
+  // so a wedged stage is force-cancelled via the token (see watchdog.h).
+  Watchdog* watchdog = nullptr;
+  // Time source for retry backoff sleeps and stage timing (null = real
+  // clock; tests inject common::FakeClock to run backoff in zero time).
+  const common::Clock* clock = nullptr;
 };
 
 }  // namespace semitri::core

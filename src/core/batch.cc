@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <thread>
 
 namespace semitri::core {
@@ -73,8 +72,7 @@ common::Result<BatchReport> BatchProcessor::ProcessAll(
         status[index] = results.status();
         if (attempt == max_attempts) break;
         if (backoff > 0.0) {
-          std::this_thread::sleep_for(std::chrono::duration<double>(
-              std::min(backoff, options_.max_backoff_seconds)));
+          clock_->SleepFor(std::min(backoff, options_.max_backoff_seconds));
           backoff *= options_.backoff_multiplier;
         }
       }

@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "common/clock.h"
 #include "core/pipeline.h"
 
 namespace semitri::core {
@@ -65,10 +66,15 @@ class BatchProcessor {
   // `pipeline` must outlive the processor. A store/profiler sink on the
   // pipeline is safe (both serialize internally) but makes write-through
   // CSV row order scheduling-dependent; prefer StoreResults for
-  // deterministic persistence.
+  // deterministic persistence. `clock` drives the retry backoff sleeps
+  // (null = real clock; tests inject common::FakeClock so backoff
+  // schedules run in zero wall time).
   explicit BatchProcessor(const SemiTriPipeline* pipeline,
-                          BatchOptions options = {})
-      : pipeline_(pipeline), options_(options) {}
+                          BatchOptions options = {},
+                          const common::Clock* clock = nullptr)
+      : pipeline_(pipeline),
+        options_(options),
+        clock_(clock != nullptr ? clock : common::Clock::Real()) {}
 
   // Processes every object's stream in parallel. Results are returned
   // ordered by object id regardless of scheduling; trajectory ids are
@@ -95,6 +101,7 @@ class BatchProcessor {
  private:
   const SemiTriPipeline* pipeline_;
   BatchOptions options_;
+  const common::Clock* clock_;
 };
 
 }  // namespace semitri::core

@@ -1,0 +1,116 @@
+#include "core/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace semitri::core {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config,
+                               const common::Clock* clock)
+    : config_(config),
+      clock_(clock != nullptr ? clock : common::Clock::Real()),
+      backoff_seconds_(config.open_backoff_seconds),
+      jitter_(config.jitter_seed) {}
+
+void CircuitBreaker::OpenLocked() {
+  state_ = BreakerState::kOpen;
+  ++times_opened_;
+  double jitter =
+      config_.jitter_fraction > 0.0
+          ? 1.0 + jitter_.Uniform(0.0, config_.jitter_fraction)
+          : 1.0;
+  open_until_nanos_ =
+      clock_->NowNanos() +
+      static_cast<int64_t>(backoff_seconds_ * jitter * 1e9);
+  backoff_seconds_ = std::min(backoff_seconds_ * config_.backoff_multiplier,
+                              config_.max_backoff_seconds);
+  half_open_streak_ = 0;
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      if (clock_->NowNanos() >= open_until_nanos_) {
+        state_ = BreakerState::kHalfOpen;
+        half_open_streak_ = 0;
+        return true;
+      }
+      ++rejected_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool too_slow = config_.latency_threshold_seconds > 0.0 &&
+                  latency_seconds > config_.latency_threshold_seconds;
+  if (too_slow) {
+    ++failures_;
+    if (state_ == BreakerState::kHalfOpen) {
+      OpenLocked();
+    } else if (state_ == BreakerState::kClosed &&
+               ++consecutive_failures_ >= config_.failure_threshold) {
+      consecutive_failures_ = 0;
+      OpenLocked();
+    }
+    return;
+  }
+  ++successes_;
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen &&
+      ++half_open_streak_ >= std::max<size_t>(config_.half_open_successes, 1)) {
+    state_ = BreakerState::kClosed;
+    backoff_seconds_ = config_.open_backoff_seconds;  // recovered: reset
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: re-open with the (already doubled) backoff.
+    OpenLocked();
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    consecutive_failures_ = 0;
+    OpenLocked();
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.state = state_;
+  out.consecutive_failures = consecutive_failures_;
+  out.times_opened = times_opened_;
+  out.rejected = rejected_;
+  out.successes = successes_;
+  out.failures = failures_;
+  out.current_backoff_seconds = backoff_seconds_;
+  return out;
+}
+
+}  // namespace semitri::core

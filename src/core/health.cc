@@ -1,0 +1,74 @@
+#include "core/health.h"
+
+#include <cstdio>
+
+namespace semitri::core {
+
+namespace {
+
+void AppendGauge(std::string* out, const char* name,
+                 const BudgetGauge& gauge) {
+  char line[160];
+  if (gauge.limit == 0) {
+    std::snprintf(line, sizeof(line), "  %-16s %zu (unbounded)\n", name,
+                  gauge.used);
+  } else {
+    std::snprintf(line, sizeof(line), "  %-16s %zu / %zu (%.0f%%)\n", name,
+                  gauge.used, gauge.limit, 100.0 * gauge.utilization());
+  }
+  *out += line;
+}
+
+}  // namespace
+
+bool HealthSnapshot::degraded() const {
+  for (const StageHealth& s : stages) {
+    if (s.breaker_present && s.breaker.state != BreakerState::kClosed) {
+      return true;
+    }
+  }
+  for (const BudgetGauge* g : {&sessions, &buffered_fixes, &buffered_bytes}) {
+    if (g->limit != 0 && g->utilization() >= 0.9) return true;
+  }
+  return false;
+}
+
+std::string HealthSnapshot::ToString() const {
+  std::string out = degraded() ? "health: DEGRADED\n" : "health: ok\n";
+  out += "stages:\n";
+  for (const StageHealth& s : stages) {
+    char line[256];
+    if (s.breaker_present) {
+      std::snprintf(line, sizeof(line),
+                    "  %-22s breaker=%s opened=%zu rejected=%zu "
+                    "p50=%.3fms p99=%.3fms n=%zu\n",
+                    s.stage.c_str(), BreakerStateName(s.breaker.state),
+                    s.breaker.times_opened, s.breaker.rejected,
+                    s.latency.p50 * 1e3, s.latency.p99 * 1e3,
+                    s.latency.count);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-22s p50=%.3fms p99=%.3fms n=%zu\n", s.stage.c_str(),
+                    s.latency.p50 * 1e3, s.latency.p99 * 1e3,
+                    s.latency.count);
+    }
+    out += line;
+  }
+  out += "budgets:\n";
+  AppendGauge(&out, "sessions", sessions);
+  AppendGauge(&out, "buffered_fixes", buffered_fixes);
+  AppendGauge(&out, "buffered_bytes", buffered_bytes);
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "overload: shed=%zu rejected_sessions=%zu rate_limited=%zu "
+                "rejected_fixes=%zu deferred=%zu timeouts=%zu "
+                "data_loss_evictions=%zu watchdog_cancels=%zu\n",
+                sessions_shed, admission_rejected_sessions,
+                rate_limited_fixes, overload_rejected_fixes,
+                admission_deferred, admission_timeouts,
+                evictions_with_data_loss, watchdog_force_cancels);
+  out += line;
+  return out;
+}
+
+}  // namespace semitri::core

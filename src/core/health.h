@@ -1,0 +1,71 @@
+#ifndef SEMITRI_CORE_HEALTH_H_
+#define SEMITRI_CORE_HEALTH_H_
+
+// Operator-facing view of the resource-governance layer: per-stage
+// circuit-breaker state and latency digests, plus (when produced by
+// stream::SessionManager::Health) the admission budgets and shed/reject
+// counters. One snapshot answers "is the system degrading, and where" —
+// the signal an overload-aware load balancer or an on-call human needs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analytics/latency_profiler.h"
+#include "core/circuit_breaker.h"
+
+namespace semitri::core {
+
+// Utilization of one bounded resource; limit 0 means unbounded.
+struct BudgetGauge {
+  size_t used = 0;
+  size_t limit = 0;
+
+  // In [0, 1]; 0 when unbounded.
+  double utilization() const {
+    return limit == 0 ? 0.0
+                      : static_cast<double>(used) / static_cast<double>(limit);
+  }
+};
+
+struct StageHealth {
+  std::string stage;
+  bool breaker_present = false;
+  CircuitBreaker::Stats breaker;  // zeros when no breaker is configured
+  // p50/p99 etc. from the pipeline's LatencyProfiler (zeros without one).
+  analytics::LatencyProfiler::StageSummary latency;
+};
+
+struct HealthSnapshot {
+  // One entry per stage, in execution order.
+  std::vector<StageHealth> stages;
+
+  // Admission budgets (filled by stream::SessionManager::Health; zeros
+  // for a bare pipeline snapshot).
+  BudgetGauge sessions;
+  BudgetGauge buffered_fixes;
+  BudgetGauge buffered_bytes;
+
+  // Overload decisions since construction.
+  size_t sessions_shed = 0;
+  size_t admission_rejected_sessions = 0;
+  size_t rate_limited_fixes = 0;
+  size_t overload_rejected_fixes = 0;
+  size_t admission_deferred = 0;
+  size_t admission_timeouts = 0;
+  size_t evictions_with_data_loss = 0;
+
+  // Watchdog force-cancels (when a watchdog is attached).
+  size_t watchdog_force_cancels = 0;
+
+  // True when any breaker is open/half-open or any budget is >= 90%
+  // utilized — the cheap "should I stop sending traffic here" bit.
+  bool degraded() const;
+
+  // Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+}  // namespace semitri::core
+
+#endif  // SEMITRI_CORE_HEALTH_H_

@@ -21,14 +21,18 @@ common::Status StoreEpisodeStage::Run(AnnotationContext& context) const {
 }
 
 common::Status RegionAnnotationStage::Run(AnnotationContext& context) const {
-  context.result.region_layer =
-      annotator_->Annotate(context.result.cleaned, context.result.episodes);
+  common::Result<StructuredSemanticTrajectory> layer = annotator_->Annotate(
+      context.result.cleaned, context.result.episodes, context.exec);
+  if (!layer.ok()) return layer.status();
+  context.result.region_layer = std::move(*layer);
   return common::Status::OK();
 }
 
 common::Status LineAnnotationStage::Run(AnnotationContext& context) const {
-  context.result.line_layer =
-      annotator_->Annotate(context.result.cleaned, context.result.episodes);
+  common::Result<StructuredSemanticTrajectory> layer = annotator_->Annotate(
+      context.result.cleaned, context.result.episodes, context.exec);
+  if (!layer.ok()) return layer.status();
+  context.result.line_layer = std::move(*layer);
   return common::Status::OK();
 }
 
@@ -40,8 +44,8 @@ common::Status StoreMatchStage::Run(AnnotationContext& context) const {
 }
 
 common::Status PointAnnotationStage::Run(AnnotationContext& context) const {
-  common::Result<StructuredSemanticTrajectory> layer =
-      annotator_->Annotate(context.result.cleaned, context.result.episodes);
+  common::Result<StructuredSemanticTrajectory> layer = annotator_->Annotate(
+      context.result.cleaned, context.result.episodes, context.exec);
   if (!layer.ok()) return layer.status();
   context.result.point_layer = std::move(*layer);
   return common::Status::OK();

@@ -1,0 +1,88 @@
+#include "core/watchdog.h"
+
+#include <chrono>
+#include <utility>
+
+namespace semitri::core {
+
+Watchdog::Watchdog(WatchdogConfig config, const common::Clock* clock)
+    : config_(config),
+      clock_(clock != nullptr ? clock : common::Clock::Real()) {}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (monitor_.joinable()) return;
+  stopping_ = false;
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!monitor_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  monitor_.join();
+}
+
+void Watchdog::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stopping_) {
+    // Real-time poll cadence regardless of the (possibly fake) clock the
+    // budgets are measured on; deadlines themselves use clock_.
+    stop_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.poll_interval_seconds));
+    if (stopping_) break;
+    lock.unlock();
+    ScanOnce();
+    lock.lock();
+  }
+}
+
+uint64_t Watchdog::Watch(const std::string& name, double budget_seconds,
+                         common::CancellationToken token) {
+  if (budget_seconds <= 0.0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t id = next_id_++;
+  Execution& e = executions_[id];
+  e.name = name;
+  e.cancel_at_nanos =
+      clock_->NowNanos() +
+      static_cast<int64_t>(budget_seconds * config_.deadline_multiple * 1e9);
+  e.token = std::move(token);
+  ++total_watched_;
+  return id;
+}
+
+void Watchdog::Unwatch(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  executions_.erase(id);
+}
+
+size_t Watchdog::ScanOnce() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t now = clock_->NowNanos();
+  size_t cancelled = 0;
+  for (auto& [id, e] : executions_) {
+    if (e.cancelled || now < e.cancel_at_nanos) continue;
+    e.token.Cancel();
+    e.cancelled = true;  // count each overdue execution once
+    ++cancelled;
+    ++force_cancels_;
+  }
+  return cancelled;
+}
+
+Watchdog::Stats Watchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.watched_now = executions_.size();
+  out.total_watched = total_watched_;
+  out.force_cancels = force_cancels_;
+  return out;
+}
+
+}  // namespace semitri::core

@@ -1,0 +1,117 @@
+#ifndef SEMITRI_CORE_WATCHDOG_H_
+#define SEMITRI_CORE_WATCHDOG_H_
+
+// Hard backstop behind cooperative cancellation: the deadline checks in
+// the annotation loops are cooperative, so a stage wedged *between*
+// checkpoints (a stuck I/O call, an adversarially dense input between
+// two checks) could still pin its thread. The stage graph registers
+// every deadline-bounded stage execution with a Watchdog; a monitor
+// thread (or a test calling ScanOnce under a FakeClock) force-cancels —
+// via the execution's CancellationToken — any stage whose wall-clock
+// time exceeds deadline_multiple × its budget. The next checkpoint in
+// the wedged loop then aborts with Status::DeadlineExceeded.
+//
+// Thread-safe; Watch/Unwatch are O(log n) on a small map.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/exec_control.h"
+#include "common/thread_annotations.h"
+
+namespace semitri::core {
+
+struct WatchdogConfig {
+  // How often the monitor thread scans (real time).
+  double poll_interval_seconds = 0.05;
+  // Force-cancel when elapsed > deadline_multiple * budget.
+  double deadline_multiple = 3.0;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig config = {},
+                    const common::Clock* clock = nullptr);
+  ~Watchdog();  // stops the monitor thread
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Starts / stops the background monitor thread. Tests that need
+  // determinism skip Start() and drive ScanOnce() by hand.
+  void Start();
+  void Stop();
+
+  // Registers a running execution: `budget_seconds` is its wall budget
+  // (<= 0 registers nothing and returns 0). Returns a handle for
+  // Unwatch.
+  uint64_t Watch(const std::string& name, double budget_seconds,
+                 common::CancellationToken token) SEMITRI_EXCLUDES(mutex_);
+  void Unwatch(uint64_t id) SEMITRI_EXCLUDES(mutex_);
+
+  // One scan pass: cancels every overdue execution. Returns how many
+  // were force-cancelled in this pass.
+  size_t ScanOnce() SEMITRI_EXCLUDES(mutex_);
+
+  struct Stats {
+    size_t watched_now = 0;     // currently registered executions
+    size_t total_watched = 0;   // registrations since construction
+    size_t force_cancels = 0;
+  };
+  Stats stats() const SEMITRI_EXCLUDES(mutex_);
+
+  // RAII registration used by the stage graph.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Watchdog* watchdog, const std::string& name, double budget_seconds,
+          common::CancellationToken token)
+        : watchdog_(watchdog),
+          id_(watchdog != nullptr
+                  ? watchdog->Watch(name, budget_seconds, std::move(token))
+                  : 0) {}
+    ~Guard() {
+      if (watchdog_ != nullptr && id_ != 0) watchdog_->Unwatch(id_);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Watchdog* watchdog_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+ private:
+  struct Execution {
+    std::string name;
+    int64_t cancel_at_nanos = 0;
+    common::CancellationToken token;
+    bool cancelled = false;
+  };
+
+  void MonitorLoop();
+
+  const WatchdogConfig config_;
+  const common::Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Execution> executions_ SEMITRI_GUARDED_BY(mutex_);
+  uint64_t next_id_ SEMITRI_GUARDED_BY(mutex_) = 1;
+  size_t total_watched_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t force_cancels_ SEMITRI_GUARDED_BY(mutex_) = 0;
+
+  std::mutex thread_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace semitri::core
+
+#endif  // SEMITRI_CORE_WATCHDOG_H_

@@ -104,7 +104,8 @@ std::vector<std::vector<double>> MakeDefaultTransition(size_t num_states,
 
 common::Result<ViterbiResult> Viterbi(
     const HmmModel& model,
-    const std::vector<std::vector<double>>& emissions) {
+    const std::vector<std::vector<double>>& emissions,
+    const common::ExecControl* exec) {
   SEMITRI_RETURN_IF_ERROR(ValidateModel(model));
   SEMITRI_RETURN_IF_ERROR(CheckEmissions(model, emissions));
   ViterbiResult result;
@@ -112,6 +113,7 @@ common::Result<ViterbiResult> Viterbi(
 
   const size_t n = model.num_states();
   const size_t t_max = emissions.size();
+  common::ExecCheckpoint checkpoint(exec);
   // delta[t][i] (Eq. 5–6) and backpointers psi[t][i] (Eq. 7).
   std::vector<std::vector<double>> delta(t_max, std::vector<double>(n));
   std::vector<std::vector<size_t>> psi(t_max, std::vector<size_t>(n, 0));
@@ -121,6 +123,7 @@ common::Result<ViterbiResult> Viterbi(
         SafeLog(model.initial[i]) + SafeLog(RowEmission(emissions[0], i));
   }
   for (size_t t = 1; t < t_max; ++t) {
+    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("hmm_viterbi"));
     for (size_t j = 0; j < n; ++j) {
       double best = kNegInf;
       size_t best_i = 0;

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/exec_control.h"
 #include "common/status.h"
 
 namespace semitri::hmm {
@@ -42,10 +43,14 @@ struct ViterbiResult {
 // Most likely hidden state sequence for `emissions`, where
 // emissions[t][i] = Pr(o_t | state i) (any nonnegative, relative scale
 // per row is sufficient). Rows with all-zero emissions are treated as
-// uninformative (uniform).
+// uninformative (uniform). The grid sweep consults `exec` (when
+// non-null) every exec->check_interval observation rows and aborts with
+// DeadlineExceeded, so a pathological stop sequence cannot pin the
+// point-annotation stage past its deadline.
 common::Result<ViterbiResult> Viterbi(
     const HmmModel& model,
-    const std::vector<std::vector<double>>& emissions);
+    const std::vector<std::vector<double>>& emissions,
+    const common::ExecControl* exec = nullptr);
 
 // Total observation likelihood log Pr(O | λ) via the forward algorithm
 // (used by tests: Viterbi path probability never exceeds it).

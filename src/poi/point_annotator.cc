@@ -42,15 +42,18 @@ std::vector<double> PointAnnotator::EmissionsForEpisode(
 }
 
 common::Result<std::vector<int>> PointAnnotator::InferStopCategories(
-    const std::vector<core::Episode>& episodes) const {
+    const std::vector<core::Episode>& episodes,
+    const common::ExecControl* exec) const {
+  common::ExecCheckpoint checkpoint(exec);
   std::vector<std::vector<double>> emissions;
   for (const core::Episode& ep : episodes) {
     if (ep.kind != core::EpisodeKind::kStop) continue;
+    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("poi_emissions"));
     emissions.push_back(EmissionsForEpisode(ep));
   }
   if (emissions.empty()) return std::vector<int>{};
   common::Result<hmm::ViterbiResult> decoded =
-      hmm::Viterbi(model_, emissions);
+      hmm::Viterbi(model_, emissions, exec);
   if (!decoded.ok()) return decoded.status();
   std::vector<int> categories;
   categories.reserve(decoded->states.size());
@@ -60,16 +63,19 @@ common::Result<std::vector<int>> PointAnnotator::InferStopCategories(
 
 common::Result<core::StructuredSemanticTrajectory> PointAnnotator::Annotate(
     const core::RawTrajectory& trajectory,
-    const std::vector<core::Episode>& episodes) const {
+    const std::vector<core::Episode>& episodes,
+    const common::ExecControl* exec) const {
   common::Result<std::vector<int>> categories =
-      InferStopCategories(episodes);
+      InferStopCategories(episodes, exec);
   if (!categories.ok()) return categories.status();
 
   // Posterior confidence per stop (the paper's "probabilistic estimates
   // of the purpose behind that stop").
+  common::ExecCheckpoint checkpoint(exec);
   std::vector<std::vector<double>> emissions;
   for (const core::Episode& ep : episodes) {
     if (ep.kind != core::EpisodeKind::kStop) continue;
+    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("poi_posterior_emissions"));
     emissions.push_back(EmissionsForEpisode(ep));
   }
   std::vector<std::vector<double>> posterior;

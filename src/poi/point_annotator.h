@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/exec_control.h"
 #include "common/status.h"
 #include "core/types.h"
 #include "hmm/hmm.h"
@@ -47,16 +48,20 @@ class PointAnnotator {
   PointAnnotator(const PoiSet* pois, PointAnnotatorConfig config = {});
 
   // Decoded POI category per stop episode (kStop entries of `episodes`,
-  // in order). Error if the model is malformed.
+  // in order). Error if the model is malformed. When `exec` is non-null
+  // the emissions loop and the Viterbi grid sweep consult it and abort
+  // with DeadlineExceeded.
   common::Result<std::vector<int>> InferStopCategories(
-      const std::vector<core::Episode>& episodes) const;
+      const std::vector<core::Episode>& episodes,
+      const common::ExecControl* exec = nullptr) const;
 
   // Full Algorithm 3: emits one semantic episode per stop, annotated
   // with the decoded category and linked to a concrete POI when one is
-  // close enough; interpretation "point".
+  // close enough; interpretation "point". `exec` as above.
   common::Result<core::StructuredSemanticTrajectory> Annotate(
       const core::RawTrajectory& trajectory,
-      const std::vector<core::Episode>& episodes) const;
+      const std::vector<core::Episode>& episodes,
+      const common::ExecControl* exec = nullptr) const;
 
   // Learns a personalized transition matrix (and initial distribution)
   // from an object's stop history via Baum-Welch — the paper's §4.3

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "common/check.h"
+
 namespace semitri::region {
 
 namespace {
@@ -50,13 +52,31 @@ void RegionAnnotator::AttachRegionAnnotations(
 
 core::StructuredSemanticTrajectory RegionAnnotator::AnnotateTrajectory(
     const core::RawTrajectory& trajectory) const {
+  common::Result<core::StructuredSemanticTrajectory> result =
+      AnnotateTrajectory(trajectory, /*exec=*/nullptr);
+  // Unbounded runs cannot hit the only error path (DeadlineExceeded).
+  SEMITRI_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
+}
+
+common::Result<core::StructuredSemanticTrajectory>
+RegionAnnotator::AnnotateTrajectory(const core::RawTrajectory& trajectory,
+                                    const common::ExecControl* exec) const {
   core::StructuredSemanticTrajectory out;
   out.trajectory_id = trajectory.id;
   out.object_id = trajectory.object_id;
   out.interpretation = "region";
   if (trajectory.points.empty()) return out;
 
-  std::vector<core::PlaceId> point_regions = ClassifyPoints(trajectory);
+  // Per-point spatial join (the R*-tree bulk queries) with deadline
+  // checkpoints.
+  common::ExecCheckpoint checkpoint(exec);
+  std::vector<core::PlaceId> point_regions;
+  point_regions.reserve(trajectory.points.size());
+  for (const core::GpsPoint& p : trajectory.points) {
+    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("region_classify_points"));
+    point_regions.push_back(BestRegionFor(p.position));
+  }
 
   // Group continuous points with the same merge key into tuples
   // (Algorithm 1 lines 6–11).
@@ -86,13 +106,27 @@ core::StructuredSemanticTrajectory RegionAnnotator::AnnotateTrajectory(
 core::StructuredSemanticTrajectory RegionAnnotator::AnnotateEpisodes(
     const core::RawTrajectory& trajectory,
     const std::vector<core::Episode>& episodes) const {
+  common::Result<core::StructuredSemanticTrajectory> result =
+      AnnotateEpisodes(trajectory, episodes, /*exec=*/nullptr);
+  SEMITRI_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
+}
+
+common::Result<core::StructuredSemanticTrajectory>
+RegionAnnotator::AnnotateEpisodes(const core::RawTrajectory& trajectory,
+                                  const std::vector<core::Episode>& episodes,
+                                  const common::ExecControl* exec) const {
   core::StructuredSemanticTrajectory out;
   out.trajectory_id = trajectory.id;
   out.object_id = trajectory.object_id;
   out.interpretation = "region";
 
+  common::ExecCheckpoint checkpoint(exec);
   for (size_t e = 0; e < episodes.size(); ++e) {
     const core::Episode& episode = episodes[e];
+    if (exec != nullptr) {
+      SEMITRI_RETURN_IF_ERROR(exec->Check("region_annotate_episodes"));
+    }
     core::SemanticEpisode ep;
     ep.kind = episode.kind;
     ep.time_in = episode.time_in;
@@ -115,6 +149,7 @@ core::StructuredSemanticTrajectory RegionAnnotator::AnnotateEpisodes(
       if (!candidates.empty()) {
         std::vector<size_t> votes(candidates.size(), 0);
         for (size_t i = episode.begin; i < episode.end; ++i) {
+          SEMITRI_RETURN_IF_ERROR(checkpoint.Check("region_majority_vote"));
           const geo::Point& p = trajectory.points[i].position;
           for (size_t c = 0; c < candidates.size(); ++c) {
             if (regions_->Get(candidates[c]).Contains(p)) {

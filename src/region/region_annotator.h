@@ -12,6 +12,8 @@
 
 #include <vector>
 
+#include "common/exec_control.h"
+#include "common/status.h"
 #include "core/types.h"
 #include "region/region_set.h"
 
@@ -65,6 +67,25 @@ class RegionAnnotator {
     return config_.granularity == RegionAnnotatorConfig::Granularity::kPerPoint
                ? AnnotateTrajectory(trajectory)
                : AnnotateEpisodes(trajectory, episodes);
+  }
+
+  // Deadline-aware variants: the per-point classification and the
+  // per-episode R*-tree join loops consult `exec` every
+  // exec->check_interval iterations and abort with DeadlineExceeded.
+  common::Result<core::StructuredSemanticTrajectory> AnnotateTrajectory(
+      const core::RawTrajectory& trajectory,
+      const common::ExecControl* exec) const;
+  common::Result<core::StructuredSemanticTrajectory> AnnotateEpisodes(
+      const core::RawTrajectory& trajectory,
+      const std::vector<core::Episode>& episodes,
+      const common::ExecControl* exec) const;
+  common::Result<core::StructuredSemanticTrajectory> Annotate(
+      const core::RawTrajectory& trajectory,
+      const std::vector<core::Episode>& episodes,
+      const common::ExecControl* exec) const {
+    return config_.granularity == RegionAnnotatorConfig::Granularity::kPerPoint
+               ? AnnotateTrajectory(trajectory, exec)
+               : AnnotateEpisodes(trajectory, episodes, exec);
   }
 
  private:

@@ -1,15 +1,29 @@
 #include "road/line_annotator.h"
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace semitri::road {
 
 std::vector<core::SemanticEpisode> LineAnnotator::AnnotateMove(
     std::span<const core::GpsPoint> points, size_t source_episode) const {
+  common::Result<std::vector<core::SemanticEpisode>> result =
+      AnnotateMove(points, source_episode, /*exec=*/nullptr);
+  // Unbounded runs cannot hit the only error path (DeadlineExceeded).
+  SEMITRI_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
+}
+
+common::Result<std::vector<core::SemanticEpisode>> LineAnnotator::AnnotateMove(
+    std::span<const core::GpsPoint> points, size_t source_episode,
+    const common::ExecControl* exec) const {
   std::vector<core::SemanticEpisode> out;
   if (points.empty()) return out;
 
-  std::vector<MatchedPoint> matches = matcher_.MatchPoints(points);
+  common::Result<std::vector<MatchedPoint>> matched =
+      matcher_.MatchPoints(points, exec);
+  if (!matched.ok()) return matched.status();
+  std::vector<MatchedPoint> matches = std::move(matched).value();
 
   // Build runs of consecutive points matched to the same segment
   // (Algorithm 2's preSeg grouping). Unmatched points form their own
@@ -82,17 +96,32 @@ std::vector<core::SemanticEpisode> LineAnnotator::AnnotateMove(
 core::StructuredSemanticTrajectory LineAnnotator::Annotate(
     const core::RawTrajectory& trajectory,
     const std::vector<core::Episode>& episodes) const {
+  common::Result<core::StructuredSemanticTrajectory> result =
+      Annotate(trajectory, episodes, /*exec=*/nullptr);
+  SEMITRI_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
+}
+
+common::Result<core::StructuredSemanticTrajectory> LineAnnotator::Annotate(
+    const core::RawTrajectory& trajectory,
+    const std::vector<core::Episode>& episodes,
+    const common::ExecControl* exec) const {
   core::StructuredSemanticTrajectory out;
   out.trajectory_id = trajectory.id;
   out.object_id = trajectory.object_id;
   out.interpretation = "line";
   for (size_t e = 0; e < episodes.size(); ++e) {
     if (episodes[e].kind != core::EpisodeKind::kMove) continue;
+    if (exec != nullptr) {
+      SEMITRI_RETURN_IF_ERROR(exec->Check("line_annotate"));
+    }
     std::span<const core::GpsPoint> points(
         trajectory.points.data() + episodes[e].begin,
         episodes[e].num_points());
-    std::vector<core::SemanticEpisode> annotated = AnnotateMove(points, e);
-    for (auto& ep : annotated) out.episodes.push_back(std::move(ep));
+    common::Result<std::vector<core::SemanticEpisode>> annotated =
+        AnnotateMove(points, e, exec);
+    if (!annotated.ok()) return annotated.status();
+    for (auto& ep : annotated.value()) out.episodes.push_back(std::move(ep));
   }
   return out;
 }

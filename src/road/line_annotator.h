@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_control.h"
+#include "common/status.h"
 #include "core/types.h"
 #include "road/map_matcher.h"
 #include "road/road_network.h"
@@ -43,10 +45,23 @@ class LineAnnotator {
   std::vector<core::SemanticEpisode> AnnotateMove(
       std::span<const core::GpsPoint> points, size_t source_episode) const;
 
+  // Deadline-aware variant: the map-matching passes consult `exec` and
+  // the whole episode aborts with DeadlineExceeded once it expires.
+  common::Result<std::vector<core::SemanticEpisode>> AnnotateMove(
+      std::span<const core::GpsPoint> points, size_t source_episode,
+      const common::ExecControl* exec) const;
+
   // Annotates every kMove episode; interpretation "line".
   core::StructuredSemanticTrajectory Annotate(
       const core::RawTrajectory& trajectory,
       const std::vector<core::Episode>& episodes) const;
+
+  // Deadline-aware variant of Annotate (checks between episodes and
+  // inside the per-episode matching loops).
+  common::Result<core::StructuredSemanticTrajectory> Annotate(
+      const core::RawTrajectory& trajectory,
+      const std::vector<core::Episode>& episodes,
+      const common::ExecControl* exec) const;
 
   const GlobalMapMatcher& matcher() const { return matcher_; }
   const TransportModeClassifier& classifier() const { return classifier_; }

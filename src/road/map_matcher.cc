@@ -25,7 +25,18 @@ double GlobalMapMatcher::MedianSpacing(
 
 std::vector<MatchedPoint> GlobalMapMatcher::MatchPoints(
     std::span<const core::GpsPoint> points) const {
+  common::Result<std::vector<MatchedPoint>> result =
+      MatchPoints(points, /*exec=*/nullptr);
+  // Unbounded runs cannot hit the only error path (DeadlineExceeded).
+  SEMITRI_CHECK(result.ok()) << result.status().message();
+  return std::move(result).value();
+}
+
+common::Result<std::vector<MatchedPoint>> GlobalMapMatcher::MatchPoints(
+    std::span<const core::GpsPoint> points,
+    const common::ExecControl* exec) const {
   const size_t n = points.size();
+  common::ExecCheckpoint checkpoint(exec);
   std::vector<MatchedPoint> out(n);
   if (n == 0) return out;
 
@@ -38,6 +49,7 @@ std::vector<MatchedPoint> GlobalMapMatcher::MatchPoints(
   // dmin/d in (0, 1], 1 for the closest candidate.
   std::vector<std::unordered_map<core::PlaceId, double>> local(n);
   for (size_t i = 0; i < n; ++i) {
+    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("map_match_candidates"));
     std::vector<core::PlaceId> candidates = network_->CandidateSegments(
         points[i].position, config_.candidate_radius_meters);
     if (candidates.empty()) continue;
@@ -60,6 +72,7 @@ std::vector<MatchedPoint> GlobalMapMatcher::MatchPoints(
 
   // globalScore per point over its candidates (Eq. 3–4).
   for (size_t i = 0; i < n; ++i) {
+    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("map_match_global_score"));
     if (local[i].empty()) {
       out[i].snapped = points[i].position;
       continue;

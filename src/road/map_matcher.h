@@ -22,6 +22,8 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_control.h"
+#include "common/status.h"
 #include "core/types.h"
 #include "road/road_network.h"
 
@@ -56,6 +58,13 @@ class GlobalMapMatcher {
   // position.
   std::vector<MatchedPoint> MatchPoints(
       std::span<const core::GpsPoint> points) const;
+
+  // Deadline-aware variant: both passes (candidate scan and global-score
+  // sweep) consult `exec` every exec->check_interval points and abort
+  // with DeadlineExceeded, discarding partial matches.
+  common::Result<std::vector<MatchedPoint>> MatchPoints(
+      std::span<const core::GpsPoint> points,
+      const common::ExecControl* exec) const;
 
   // Median spacing (m) between consecutive points; the unit behind R/σ.
   static double MedianSpacing(std::span<const core::GpsPoint> points);

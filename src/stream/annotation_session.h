@@ -111,6 +111,10 @@ class AnnotationSession {
   // session now (without Flush) loses its un-finalized rows.
   bool has_open_state() const { return detector_.has_open_trajectory(); }
 
+  // Raw fixes currently buffered for the open trajectory (what the
+  // SessionManager charges against its global buffered-fix budget).
+  size_t buffered_points() const { return detector_.buffered_points(); }
+
   // --- checkpoint support ---------------------------------------------
   // Serializes the live session (detector state, partial result,
   // retained results, counters) so a session constructed against the

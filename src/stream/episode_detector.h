@@ -147,6 +147,11 @@ class EpisodeDetector {
   // the detector is dropped without Close().
   bool has_open_trajectory() const { return raw_count_ > 0; }
 
+  // Raw fixes buffered for the open trajectory — the quantity bounded
+  // per session by max_buffered_points and charged against the global
+  // SessionManager admission budgets.
+  size_t buffered_points() const { return raw_count_; }
+
   // --- checkpoint support ---------------------------------------------
   // Serializes every mutable member bit-exactly (stream gate, open-
   // trajectory windows, classifier, emitted episodes, counters). A

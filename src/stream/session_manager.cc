@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/serial.h"
 
 namespace semitri::stream {
@@ -48,9 +49,65 @@ void Accumulate(const AnnotationSession::Stats& from,
 
 }  // namespace
 
+// --- ActivityTracker --------------------------------------------------
+
+void SessionManager::ActivityTracker::Touch(core::ObjectId id,
+                                            int64_t tick) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = latest_.try_emplace(id, tick);
+  if (inserted) {
+    // First sighting: the object's single heap entry.
+    heap_.push({tick, id});
+    return;
+  }
+  // Known object: only advance the authoritative tick. Its existing
+  // heap entry goes stale and is re-pushed lazily on pop, keeping the
+  // one-entry-per-object invariant (heap size stays O(live sessions)).
+  if (tick > it->second) it->second = tick;
+}
+
+void SessionManager::ActivityTracker::Remove(core::ObjectId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latest_.erase(id);
+}
+
+std::optional<std::pair<core::ObjectId, int64_t>>
+SessionManager::ActivityTracker::PopOldest(int64_t cutoff) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    auto it = latest_.find(top.id);
+    if (it == latest_.end()) {
+      heap_.pop();  // removed object: drop the dead entry
+      continue;
+    }
+    if (it->second > top.tick) {
+      heap_.pop();  // stale: re-push with the authoritative tick
+      heap_.push({it->second, top.id});
+      continue;
+    }
+    if (top.tick > cutoff) return std::nullopt;  // oldest is too fresh
+    heap_.pop();
+    latest_.erase(it);
+    return std::make_pair(top.id, top.tick);
+  }
+  return std::nullopt;
+}
+
+void SessionManager::ActivityTracker::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  heap_ = {};
+  latest_.clear();
+}
+
+// --- SessionManager ---------------------------------------------------
+
 SessionManager::SessionManager(const core::SemiTriPipeline* pipeline,
-                               SessionManagerConfig config)
-    : pipeline_(pipeline), config_(config) {
+                               SessionManagerConfig config,
+                               const common::Clock* clock)
+    : pipeline_(pipeline),
+      config_(config),
+      clock_(clock != nullptr ? clock : common::Clock::Real()) {
   SEMITRI_CHECK(config_.num_shards > 0) << "num_shards must be positive";
   shards_.reserve(config_.num_shards);
   for (size_t i = 0; i < config_.num_shards; ++i) {
@@ -65,19 +122,192 @@ SessionManager::Shard& SessionManager::ShardFor(
   return *shards_[h % shards_.size()];
 }
 
+bool SessionManager::OverBudget() const {
+  const AdmissionConfig& adm = config_.admission;
+  size_t sessions = live_sessions_.load(std::memory_order_relaxed);
+  int64_t fixes = buffered_fixes_.load(std::memory_order_relaxed);
+  size_t fixes_u = fixes > 0 ? static_cast<size_t>(fixes) : 0;
+  if (adm.max_sessions > 0 && sessions > adm.max_sessions) return true;
+  if (adm.max_buffered_fixes > 0 && fixes_u > adm.max_buffered_fixes) {
+    return true;
+  }
+  if (adm.max_buffered_bytes > 0 &&
+      ApproxBytes(fixes_u, sessions) > adm.max_buffered_bytes) {
+    return true;
+  }
+  return false;
+}
+
+bool SessionManager::ShedOldestIdle(core::ObjectId exclude) {
+  for (;;) {
+    std::optional<std::pair<core::ObjectId, int64_t>> oldest =
+        activity_.PopOldest();
+    if (!oldest.has_value()) return false;
+    if (oldest->first == exclude) {
+      // Never shed the session we are admitting work for; put it back
+      // and look for the next-oldest candidate once, below.
+      std::optional<std::pair<core::ObjectId, int64_t>> next =
+          activity_.PopOldest();
+      activity_.Touch(oldest->first, oldest->second);
+      if (!next.has_value()) return false;
+      oldest = next;
+    }
+    Shard& shard = ShardFor(oldest->first);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.sessions.find(oldest->first);
+    if (it == shard.sessions.end()) continue;  // raced with Close
+    // Shedding goes through the flushing Close path: the open
+    // trajectory is finalized into the (durable) store before the
+    // session is dropped, so shed rows survive and nothing is lost.
+    RetireLocked(shard, it);
+    sessions_shed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+common::Status SessionManager::ResolveOverload(core::ObjectId exclude) {
+  const AdmissionConfig& adm = config_.admission;
+  switch (adm.overload_policy) {
+    case OverloadPolicy::kRejectNew:
+      return common::Status::ResourceExhausted(
+          "admission budget exceeded (policy: reject-new)");
+    case OverloadPolicy::kShedOldestIdle:
+      while (OverBudget()) {
+        if (!ShedOldestIdle(exclude)) {
+          return common::Status::ResourceExhausted(
+              "admission budget exceeded and nothing left to shed");
+        }
+      }
+      return common::Status::OK();
+    case OverloadPolicy::kBlockWithDeadline: {
+      admission_deferred_.fetch_add(1, std::memory_order_relaxed);
+      const int64_t give_up =
+          clock_->NowNanos() +
+          static_cast<int64_t>(adm.block_deadline_seconds * 1e9);
+      while (OverBudget()) {
+        if (clock_->NowNanos() >= give_up) {
+          admission_timeouts_.fetch_add(1, std::memory_order_relaxed);
+          return common::Status::DeadlineExceeded(
+              "admission blocked past block_deadline_seconds");
+        }
+        // Clock-paced poll: under a FakeClock SleepFor advances fake
+        // time, so a test that never frees capacity resolves to the
+        // timeout deterministically and in zero wall time.
+        clock_->SleepFor(std::max(adm.block_poll_seconds, 1e-4));
+      }
+      return common::Status::OK();
+    }
+  }
+  return common::Status::Internal("unknown overload policy");
+}
+
+bool SessionManager::ConsumeToken(Entry& entry, int64_t now) const {
+  const AdmissionConfig& adm = config_.admission;
+  if (adm.fix_rate_per_second <= 0.0) return true;
+  if (!entry.bucket_primed) {
+    entry.tokens = adm.fix_burst;
+    entry.token_refill_nanos = now;
+    entry.bucket_primed = true;
+  }
+  double elapsed = static_cast<double>(now - entry.token_refill_nanos) * 1e-9;
+  if (elapsed > 0.0) {
+    entry.tokens = std::min(adm.fix_burst,
+                            entry.tokens + elapsed * adm.fix_rate_per_second);
+    entry.token_refill_nanos = now;
+  }
+  if (entry.tokens < 1.0) return false;
+  entry.tokens -= 1.0;
+  return true;
+}
+
 common::Result<AnnotationSession::FeedResult> SessionManager::Feed(
     core::ObjectId object_id, const core::GpsPoint& fix) {
-  Shard& shard = ShardFor(object_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto [it, inserted] = shard.sessions.try_emplace(object_id);
-  if (inserted) {
-    it->second.session = std::make_unique<AnnotationSession>(
-        pipeline_, object_id, config_.session,
-        object_id * config_.ids_per_object);
-    ++shard.opened;
+  // Deterministic overload simulation: an armed "admission_reject" site
+  // turns this feed away exactly as a full system would.
+  if (SEMITRI_FAULT_FIRE("admission_reject") != common::FaultAction::kNone) {
+    overload_rejected_fixes_.fetch_add(1, std::memory_order_relaxed);
+    return common::Status::ResourceExhausted(
+        "injected admission rejection (fault site admission_reject)");
   }
-  it->second.last_feed = std::chrono::steady_clock::now();
-  return it->second.session->Feed(fix);
+
+  Shard& shard = ShardFor(object_id);
+
+  // Optimistically claim one buffered fix (reconciled to the true delta
+  // after the detector consumed it, rolled back on rejection).
+  buffered_fixes_.fetch_add(1, std::memory_order_relaxed);
+  bool claimed_session = false;
+  auto rollback = [&]() {
+    buffered_fixes_.fetch_sub(1, std::memory_order_relaxed);
+    if (claimed_session) {
+      live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Does the session exist yet? (Short lock; admission must not hold a
+  // shard lock, since shedding locks *other* shards.)
+  bool exists;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    exists = shard.sessions.find(object_id) != shard.sessions.end();
+  }
+  if (!exists) {
+    live_sessions_.fetch_add(1, std::memory_order_relaxed);
+    claimed_session = true;
+  }
+  if (OverBudget()) {
+    common::Status admitted = ResolveOverload(object_id);
+    if (!admitted.ok()) {
+      rollback();
+      if (claimed_session) {
+        admission_rejected_sessions_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        overload_rejected_fixes_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return admitted;
+    }
+  }
+
+  const int64_t now = clock_->NowNanos();
+  common::Result<AnnotationSession::FeedResult> result(
+      AnnotationSession::FeedResult{});
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.sessions.try_emplace(object_id);
+    if (inserted) {
+      it->second.session = std::make_unique<AnnotationSession>(
+          pipeline_, object_id, config_.session,
+          object_id * config_.ids_per_object);
+      ++shard.opened;
+      if (!claimed_session) {
+        // The session vanished between the existence check and now
+        // (closed/shed concurrently); account for the re-creation.
+        live_sessions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (claimed_session) {
+      // Raced with a concurrent creator: give the claim back.
+      live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+      claimed_session = false;
+    }
+    Entry& entry = it->second;
+    if (!ConsumeToken(entry, now)) {
+      rate_limited_fixes_.fetch_add(1, std::memory_order_relaxed);
+      buffered_fixes_.fetch_sub(1, std::memory_order_relaxed);
+      return common::Status::ResourceExhausted(
+          "fix rate limit exceeded for this object (token bucket empty)");
+    }
+    entry.last_feed_nanos = now;
+    result = entry.session->Feed(fix);
+    // Reconcile the optimistic +1 claim to the session's true buffered
+    // count (a rejected fix adds nothing; a trajectory close releases
+    // the whole buffer).
+    size_t buffered = entry.session->buffered_points();
+    int64_t delta = static_cast<int64_t>(buffered) -
+                    static_cast<int64_t>(entry.charged_fixes);
+    entry.charged_fixes = buffered;
+    buffered_fixes_.fetch_add(delta - 1, std::memory_order_relaxed);
+  }
+  activity_.Touch(object_id, now);
+  return result;
 }
 
 common::Status SessionManager::Flush(core::ObjectId object_id) {
@@ -87,7 +317,14 @@ common::Status SessionManager::Flush(core::ObjectId object_id) {
   if (it == shard.sessions.end()) {
     return common::Status::NotFound("no live session for this object");
   }
-  return it->second.session->Flush();
+  common::Status status = it->second.session->Flush();
+  // A flush finalizes the open trajectory: release its buffer charge.
+  size_t buffered = it->second.session->buffered_points();
+  int64_t delta = static_cast<int64_t>(buffered) -
+                  static_cast<int64_t>(it->second.charged_fixes);
+  it->second.charged_fixes = buffered;
+  buffered_fixes_.fetch_add(delta, std::memory_order_relaxed);
+  return status;
 }
 
 common::Status SessionManager::RetireLocked(
@@ -101,6 +338,12 @@ common::Status SessionManager::RetireLocked(
   if (!status.ok() && had_open) ++shard.evicted_with_data_loss;
   Accumulate(it->second.session->stats(), &shard.retired);
   ++shard.evicted;
+  // Release the session's global budget charges and drop it from the
+  // activity heap (shard -> tracker lock order, same as Feed).
+  buffered_fixes_.fetch_sub(static_cast<int64_t>(it->second.charged_fixes),
+                            std::memory_order_relaxed);
+  live_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  activity_.Remove(it->first);
   shard.sessions.erase(it);
   return status;
 }
@@ -129,23 +372,29 @@ common::Status SessionManager::CloseAll() {
 }
 
 common::Result<size_t> SessionManager::EvictIdle(double max_idle_seconds) {
-  const auto now = std::chrono::steady_clock::now();
+  const int64_t cutoff =
+      clock_->NowNanos() - static_cast<int64_t>(max_idle_seconds * 1e9);
   common::Status first = common::Status::OK();
   size_t evicted = 0;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    for (auto it = shard->sessions.begin(); it != shard->sessions.end();) {
-      std::chrono::duration<double> idle = now - it->second.last_feed;
-      if (idle.count() < max_idle_seconds) {
-        ++it;
-        continue;
-      }
-      auto next = std::next(it);
-      common::Status status = RetireLocked(*shard, it);
-      if (!status.ok() && first.ok()) first = status;
-      ++evicted;
-      it = next;
+  // Heap-driven: pop candidates whose last activity predates the
+  // cutoff; the shard's own last_feed is re-checked under the lock (a
+  // feed may have slipped in after the pop — such a session is put
+  // back, not evicted).
+  for (;;) {
+    std::optional<std::pair<core::ObjectId, int64_t>> oldest =
+        activity_.PopOldest(cutoff);
+    if (!oldest.has_value()) break;
+    Shard& shard = ShardFor(oldest->first);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.sessions.find(oldest->first);
+    if (it == shard.sessions.end()) continue;  // raced with Close
+    if (it->second.last_feed_nanos > cutoff) {
+      activity_.Touch(oldest->first, it->second.last_feed_nanos);
+      continue;
     }
+    common::Status status = RetireLocked(shard, it);
+    if (!status.ok() && first.ok()) first = status;
+    ++evicted;
   }
   if (!first.ok()) return first;
   return evicted;
@@ -293,7 +542,7 @@ common::Status SessionManager::Restore(const std::string& path) {
     return common::Status::Corruption("session count exceeds data");
   }
 
-  const auto now = std::chrono::steady_clock::now();
+  const int64_t now = clock_->NowNanos();
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     shard->sessions.clear();
@@ -302,6 +551,11 @@ common::Status SessionManager::Restore(const std::string& path) {
     shard->evicted_with_data_loss = 0;
     shard->retired = {};
   }
+  // Budget accounting and the activity heap restart from the restored
+  // population (recharged below, per session).
+  activity_.Clear();
+  live_sessions_.store(0, std::memory_order_relaxed);
+  buffered_fixes_.store(0, std::memory_order_relaxed);
   {
     Shard& first = *shards_.front();
     std::lock_guard<std::mutex> lock(first.mutex);
@@ -318,11 +572,17 @@ common::Status SessionManager::Restore(const std::string& path) {
         pipeline_, object_id, config_.session,
         object_id * config_.ids_per_object);
     SEMITRI_RETURN_IF_ERROR(session->RestoreState(&r));
+    size_t buffered = session->buffered_points();
     Shard& shard = ShardFor(object_id);
     std::lock_guard<std::mutex> lock(shard.mutex);
     Entry& entry = shard.sessions[object_id];
     entry.session = std::move(session);
-    entry.last_feed = now;
+    entry.last_feed_nanos = now;
+    entry.charged_fixes = buffered;
+    live_sessions_.fetch_add(1, std::memory_order_relaxed);
+    buffered_fixes_.fetch_add(static_cast<int64_t>(buffered),
+                              std::memory_order_relaxed);
+    activity_.Touch(object_id, now);
   }
   if (!r.AtEnd()) {
     return common::Status::Corruption("trailing bytes in checkpoint");
@@ -343,7 +603,50 @@ SessionManager::Stats SessionManager::stats() const {
       Accumulate(entry.session->stats(), &out);
     }
   }
+  int64_t fixes = buffered_fixes_.load(std::memory_order_relaxed);
+  out.buffered_fixes = fixes > 0 ? static_cast<size_t>(fixes) : 0;
+  out.sessions_shed = sessions_shed_.load(std::memory_order_relaxed);
+  out.admission_rejected_sessions =
+      admission_rejected_sessions_.load(std::memory_order_relaxed);
+  out.rate_limited_fixes =
+      rate_limited_fixes_.load(std::memory_order_relaxed);
+  out.overload_rejected_fixes =
+      overload_rejected_fixes_.load(std::memory_order_relaxed);
+  out.admission_deferred =
+      admission_deferred_.load(std::memory_order_relaxed);
+  out.admission_timeouts =
+      admission_timeouts_.load(std::memory_order_relaxed);
   return out;
+}
+
+core::HealthSnapshot SessionManager::Health() const {
+  core::HealthSnapshot snapshot = pipeline_->Health();
+  const AdmissionConfig& adm = config_.admission;
+  size_t sessions = live_sessions_.load(std::memory_order_relaxed);
+  int64_t fixes = buffered_fixes_.load(std::memory_order_relaxed);
+  size_t fixes_u = fixes > 0 ? static_cast<size_t>(fixes) : 0;
+  snapshot.sessions = {sessions, adm.max_sessions};
+  snapshot.buffered_fixes = {fixes_u, adm.max_buffered_fixes};
+  snapshot.buffered_bytes = {ApproxBytes(fixes_u, sessions),
+                             adm.max_buffered_bytes};
+  snapshot.sessions_shed = sessions_shed_.load(std::memory_order_relaxed);
+  snapshot.admission_rejected_sessions =
+      admission_rejected_sessions_.load(std::memory_order_relaxed);
+  snapshot.rate_limited_fixes =
+      rate_limited_fixes_.load(std::memory_order_relaxed);
+  snapshot.overload_rejected_fixes =
+      overload_rejected_fixes_.load(std::memory_order_relaxed);
+  snapshot.admission_deferred =
+      admission_deferred_.load(std::memory_order_relaxed);
+  snapshot.admission_timeouts =
+      admission_timeouts_.load(std::memory_order_relaxed);
+  size_t data_loss = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    data_loss += shard->evicted_with_data_loss;
+  }
+  snapshot.evictions_with_data_loss = data_loss;
+  return snapshot;
 }
 
 }  // namespace semitri::stream

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/fault_injection.h"
 #include "datagen/presets.h"
 #include "hmm/hmm.h"
@@ -277,6 +278,42 @@ TEST_F(BatchFixture, ProcessAllRetriesTransientFailure) {
   EXPECT_TRUE(report->all_succeeded());
   EXPECT_EQ(report->succeeded.size(), streams_.size());
   EXPECT_EQ(report->total_retries, 1u);
+}
+
+TEST_F(BatchFixture, RetryBackoffRunsOnInjectedClock) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  common::FaultInjector& fi = common::FaultInjector::Global();
+  fi.Reset();
+  SemiTriPipeline pipeline(&world_->regions, &world_->roads, &world_->pois);
+
+  // One object, every attempt failing: the worker walks the whole
+  // capped exponential backoff schedule. With the FakeClock injected,
+  // the sleeps advance fake time instead of blocking — the schedule is
+  // observable exactly (1 + 2 + 4 seconds; no sleep after the last
+  // attempt) and the test costs no wall time.
+  std::map<ObjectId, std::vector<GpsPoint>> one;
+  one.insert(*streams_.begin());
+
+  common::FakeClock clock;
+  BatchOptions options;
+  options.num_threads = 1;
+  options.max_attempts_per_object = 4;
+  options.initial_backoff_seconds = 1.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_seconds = 4.0;
+  BatchProcessor batch(&pipeline, options, &clock);
+
+  fi.Arm(std::string("stage:") + kStageLanduseJoin,
+         common::FaultPolicy::FailAlways());
+  auto report = batch.ProcessAll(one);
+  fi.Reset();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->failed.size(), 1u);
+  EXPECT_EQ(report->failed[0].attempts, 4u);
+  EXPECT_EQ(report->total_retries, 3u);
+  EXPECT_DOUBLE_EQ(clock.NowNanos() * 1e-9, 7.0);
 }
 
 TEST(BatchProcessorTest, EmptyInput) {

@@ -1,0 +1,628 @@
+// Overload-resilience primitives: deadlines, cooperative cancellation,
+// per-stage circuit breakers and the watchdog backstop — plus the
+// end-to-end contract that every profiled annotation stage honors a
+// per-stage deadline within its checkpoint interval (returning
+// DeadlineExceeded, or degrading per its FailurePolicy).
+//
+// Everything runs under a common::FakeClock, so deadline expiry, breaker
+// open/half-open transitions and watchdog force-cancels are exercised
+// deterministically in zero wall time.
+
+#include "common/exec_control.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault_injection.h"
+#include "core/circuit_breaker.h"
+#include "core/pipeline.h"
+#include "core/stage.h"
+#include "core/stages.h"
+#include "core/watchdog.h"
+#include "datagen/presets.h"
+#include "datagen/world.h"
+#include "hmm/hmm.h"
+#include "poi/point_annotator.h"
+#include "region/region_annotator.h"
+#include "road/map_matcher.h"
+
+namespace semitri {
+namespace {
+
+using common::Deadline;
+using common::ExecControl;
+using common::FakeClock;
+using common::StatusCode;
+
+// ---------------------------------------------------------------------
+// Deadline / CancellationToken / ExecControl units.
+// ---------------------------------------------------------------------
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_seconds()));
+}
+
+TEST(DeadlineTest, ExpiresOnFakeClock) {
+  FakeClock clock;
+  Deadline d = Deadline::After(1.0, &clock);
+  EXPECT_FALSE(d.expired());
+  EXPECT_NEAR(d.remaining_seconds(), 1.0, 1e-9);
+  clock.Advance(0.5);
+  EXPECT_FALSE(d.expired());
+  clock.Advance(0.5);
+  EXPECT_TRUE(d.expired());
+  clock.Advance(1.0);
+  EXPECT_LT(d.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, EarlierPicksTheTighterDeadline) {
+  FakeClock clock;
+  Deadline near = Deadline::After(1.0, &clock);
+  Deadline far = Deadline::After(5.0, &clock);
+  EXPECT_EQ(Deadline::Earlier(near, far).nanos(), near.nanos());
+  EXPECT_EQ(Deadline::Earlier(far, near).nanos(), near.nanos());
+  EXPECT_EQ(Deadline::Earlier(Deadline::Infinite(), far).nanos(), far.nanos());
+  EXPECT_TRUE(
+      Deadline::Earlier(Deadline::Infinite(), Deadline::Infinite()).infinite());
+}
+
+TEST(CancellationTokenTest, CopiesShareTheFlag) {
+  common::CancellationToken token;
+  common::CancellationToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(ExecControlTest, CheckReportsCancellationAndExpiry) {
+  FakeClock clock;
+  ExecControl exec;
+  exec.clock = &clock;
+  exec.deadline = Deadline::After(1.0, &clock);
+  EXPECT_TRUE(exec.Check("here").ok());
+
+  clock.Advance(2.0);
+  common::Status expired = exec.Check("landuse_join");
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(expired.message().find("landuse_join"), std::string::npos);
+
+  ExecControl cancelled;
+  cancelled.token.Cancel();
+  common::Status s = cancelled.Check("map_match");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("cancelled"), std::string::npos);
+}
+
+TEST(ExecCheckpointTest, ConsultsEveryIntervalThCall) {
+  FakeClock clock;
+  ExecControl exec;
+  exec.clock = &clock;
+  exec.check_interval = 4;
+  exec.token.Cancel();  // every real consult must now fail
+
+  common::ExecCheckpoint checkpoint(&exec);
+  // Calls 1..3 are amortized away; the 4th consults and fails.
+  EXPECT_TRUE(checkpoint.Check().ok());
+  EXPECT_TRUE(checkpoint.Check().ok());
+  EXPECT_TRUE(checkpoint.Check().ok());
+  EXPECT_EQ(checkpoint.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecCheckpointTest, NullExecIsFree) {
+  common::ExecCheckpoint checkpoint(nullptr);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(checkpoint.Check().ok());
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker state machine.
+// ---------------------------------------------------------------------
+
+core::CircuitBreakerConfig NoJitterConfig() {
+  core::CircuitBreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_backoff_seconds = 1.0;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_seconds = 4.0;
+  config.jitter_fraction = 0.0;  // exact transition times
+  config.half_open_successes = 2;
+  return config;
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndRecloses) {
+  FakeClock clock;
+  core::CircuitBreaker breaker(NoJitterConfig(), &clock);
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+
+  // Open: executions are short-circuited and counted.
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.stats().rejected, 2u);
+
+  // Backoff elapses -> half-open probe allowed.
+  clock.Advance(1.0);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+
+  // half_open_successes = 2: one success is not enough.
+  breaker.RecordSuccess(0.0);
+  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+  breaker.RecordSuccess(0.0);
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().times_opened, 1u);
+}
+
+TEST(CircuitBreakerTest, ReopenDoublesBackoffUpToCap) {
+  FakeClock clock;
+  core::CircuitBreaker breaker(NoJitterConfig(), &clock);
+
+  auto open_it = [&] {
+    breaker.RecordFailure();
+    breaker.RecordFailure();
+    ASSERT_EQ(breaker.state(), core::BreakerState::kOpen);
+  };
+  auto probe_and_fail = [&](double backoff) {
+    clock.Advance(backoff - 0.01);
+    EXPECT_FALSE(breaker.Allow()) << "opened early before " << backoff << "s";
+    clock.Advance(0.01);
+    ASSERT_TRUE(breaker.Allow());
+    ASSERT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+    breaker.RecordFailure();  // half-open failure -> re-open immediately
+    ASSERT_EQ(breaker.state(), core::BreakerState::kOpen);
+  };
+
+  open_it();
+  probe_and_fail(1.0);  // first open period
+  probe_and_fail(2.0);  // doubled
+  probe_and_fail(4.0);  // doubled again
+  probe_and_fail(4.0);  // capped at max_backoff_seconds
+  EXPECT_EQ(breaker.stats().times_opened, 5u);
+}
+
+TEST(CircuitBreakerTest, SlowSuccessCountsAsFailure) {
+  FakeClock clock;
+  core::CircuitBreakerConfig config = NoJitterConfig();
+  config.failure_threshold = 1;
+  config.latency_threshold_seconds = 0.5;
+  core::CircuitBreaker breaker(config, &clock);
+
+  breaker.RecordSuccess(0.4);  // fast: stays closed
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  breaker.RecordSuccess(0.6);  // wedged-but-not-erroring: trips
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, JitterIsDeterministicPerSeed) {
+  // Two breakers with the same seed must transition at the same fake
+  // instant — reproducibility is the whole point of seeded jitter.
+  FakeClock clock_a, clock_b;
+  core::CircuitBreakerConfig config = NoJitterConfig();
+  config.jitter_fraction = 0.5;
+  config.jitter_seed = 7;
+  core::CircuitBreaker a(config, &clock_a);
+  core::CircuitBreaker b(config, &clock_b);
+
+  for (core::CircuitBreaker* breaker : {&a, &b}) {
+    breaker->RecordFailure();
+    breaker->RecordFailure();
+  }
+  int first_allow_a = -1, first_allow_b = -1;
+  for (int step = 0; step < 20; ++step) {  // 0.1s steps cover [1, 1.5]+slack
+    clock_a.Advance(0.1);
+    clock_b.Advance(0.1);
+    if (first_allow_a < 0 && a.Allow()) first_allow_a = step;
+    if (first_allow_b < 0 && b.Allow()) first_allow_b = step;
+  }
+  EXPECT_GE(first_allow_a, 0);
+  EXPECT_EQ(first_allow_a, first_allow_b);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog.
+// ---------------------------------------------------------------------
+
+TEST(WatchdogTest, ScanOnceForceCancelsOverdueExecutions) {
+  FakeClock clock;
+  core::WatchdogConfig config;
+  config.deadline_multiple = 3.0;
+  core::Watchdog watchdog(config, &clock);
+
+  common::CancellationToken token;
+  uint64_t id = watchdog.Watch("map_match", /*budget_seconds=*/1.0, token);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(watchdog.ScanOnce(), 0u);
+  EXPECT_FALSE(token.cancelled());
+
+  clock.Advance(2.9);  // within 3x budget
+  EXPECT_EQ(watchdog.ScanOnce(), 0u);
+  clock.Advance(0.2);  // past it
+  EXPECT_EQ(watchdog.ScanOnce(), 1u);
+  EXPECT_TRUE(token.cancelled());
+  // Already-cancelled executions are not cancelled twice.
+  EXPECT_EQ(watchdog.ScanOnce(), 0u);
+
+  core::Watchdog::Stats stats = watchdog.stats();
+  EXPECT_EQ(stats.total_watched, 1u);
+  EXPECT_EQ(stats.force_cancels, 1u);
+  EXPECT_EQ(stats.watched_now, 1u);
+  watchdog.Unwatch(id);
+  EXPECT_EQ(watchdog.stats().watched_now, 0u);
+}
+
+TEST(WatchdogTest, NonPositiveBudgetRegistersNothing) {
+  FakeClock clock;
+  core::Watchdog watchdog({}, &clock);
+  common::CancellationToken token;
+  EXPECT_EQ(watchdog.Watch("s", 0.0, token), 0u);
+  EXPECT_EQ(watchdog.stats().total_watched, 0u);
+}
+
+TEST(WatchdogTest, GuardUnwatchesOnScopeExit) {
+  FakeClock clock;
+  core::Watchdog watchdog({}, &clock);
+  common::CancellationToken token;
+  {
+    core::Watchdog::Guard guard(&watchdog, "s", 1.0, token);
+    EXPECT_EQ(watchdog.stats().watched_now, 1u);
+  }
+  EXPECT_EQ(watchdog.stats().watched_now, 0u);
+  EXPECT_EQ(watchdog.stats().total_watched, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Stage graph integration: breakers short-circuit, the watchdog
+// rescues a wedged stage, and the between-stage gate enforces the run
+// deadline.
+// ---------------------------------------------------------------------
+
+TEST(StageGraphGovernanceTest, OpenBreakerShortCircuitsBeforeAnyAttempt) {
+  FakeClock clock;
+  std::atomic<int> runs{0};
+  core::StageGraph graph;
+  ASSERT_TRUE(graph
+                  .Add(std::make_unique<core::FunctionStage>(
+                      "flaky", std::vector<std::string>{},
+                      [&](core::AnnotationContext&) {
+                        ++runs;
+                        return common::Status::IoError("boom");
+                      },
+                      /*profiled=*/false))
+                  .ok());
+  ASSERT_TRUE(
+      graph.SetFailurePolicy("flaky", core::FailurePolicy::SkipAndRecord())
+          .ok());
+  core::CircuitBreakerConfig config = NoJitterConfig();
+  config.failure_threshold = 1;
+  ASSERT_TRUE(graph.SetCircuitBreaker("flaky", config, &clock).ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+
+  // First run executes the stage, fails it, opens the breaker — and the
+  // skip policy still lets the run complete.
+  core::AnnotationContext first;
+  first.clock = &clock;
+  ASSERT_TRUE(graph.Run(first).ok());
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(first.result.stage_reports.at("flaky").status.code(),
+            StatusCode::kIoError);
+
+  // Second run: breaker is open, the stage is never attempted, the
+  // report carries Unavailable with zero attempts and the run degrades.
+  core::AnnotationContext second;
+  second.clock = &clock;
+  ASSERT_TRUE(graph.Run(second).ok());
+  EXPECT_EQ(runs.load(), 1);
+  const core::StageReport& report = second.result.stage_reports.at("flaky");
+  EXPECT_EQ(report.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(report.attempts, 0u);
+  EXPECT_TRUE(report.skipped);
+  EXPECT_TRUE(second.result.degraded());
+
+  // After the backoff a half-open probe reaches the stage again.
+  clock.Advance(1.0);
+  core::AnnotationContext third;
+  third.clock = &clock;
+  ASSERT_TRUE(graph.Run(third).ok());
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(StageGraphGovernanceTest, WatchdogRescuesWedgedStage) {
+  FakeClock clock;
+  core::WatchdogConfig wd_config;
+  wd_config.deadline_multiple = 2.0;
+  core::Watchdog watchdog(wd_config, &clock);
+
+  core::StageGraph graph;
+  // The stage spins until cancelled — a cooperative loop wedged past any
+  // deadline check interval. Each iteration burns fake time and lets the
+  // watchdog scan, exactly what the monitor thread would do in
+  // production; ScanOnce keeps the test single-threaded.
+  ASSERT_TRUE(graph
+                  .Add(std::make_unique<core::FunctionStage>(
+                      "wedged", std::vector<std::string>{},
+                      [&](core::AnnotationContext& context) {
+                        // Models a loop with no deadline checkpoints: only
+                        // the force-fired token can stop it.
+                        for (int i = 0; i < 1000; ++i) {
+                          clock.Advance(0.5);
+                          watchdog.ScanOnce();
+                          if (context.exec->token.cancelled()) {
+                            return context.exec->Check("wedged");
+                          }
+                        }
+                        return common::Status::OK();
+                      },
+                      /*profiled=*/false))
+                  .ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+
+  common::ExecControl exec;
+  exec.clock = &clock;
+  exec.stage_timeout_seconds = 1.0;  // watchdog fires at 2x = 2.0s
+  core::AnnotationContext context;
+  context.exec = &exec;
+  context.watchdog = &watchdog;
+  context.clock = &clock;
+
+  common::Status status = graph.Run(context);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(watchdog.stats().force_cancels, 1u);
+  // The guard unregistered the execution on the way out.
+  EXPECT_EQ(watchdog.stats().watched_now, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline-level deadline tests over a synthetic world: every profiled
+// annotation stage must honor a per-stage deadline from inside its
+// expensive loops, and degrade per FailurePolicy when asked to.
+// ---------------------------------------------------------------------
+
+class DeadlineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::WorldConfig wc;
+    wc.seed = 91;
+    wc.extent_meters = 4000.0;
+    wc.num_pois = 500;
+    world_ = std::make_unique<datagen::World>(
+        datagen::WorldGenerator(wc).Generate());
+    factory_ = std::make_unique<datagen::DatasetFactory>(world_.get(), 17);
+    pipeline_ = std::make_unique<core::SemiTriPipeline>(
+        &world_->regions, &world_->roads, &world_->pois);
+
+    // One ungoverned pass yields the trajectory-computation artifacts
+    // the per-stage deadline runs below re-annotate.
+    datagen::PersonSpec spec = factory_->MakePersonSpec(0);
+    stream_ = factory_->SimulatePersonDays(0, spec, 3).points;
+    common::Result<std::vector<core::PipelineResult>> results =
+        pipeline_->ProcessStream(0, stream_);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_FALSE(results->empty());
+    // Use the trajectory with the most episodes, so every annotation
+    // stage has real work (and therefore real checkpoint consults).
+    size_t best = 0;
+    for (size_t i = 1; i < results->size(); ++i) {
+      if ((*results)[i].episodes.size() > (*results)[best].episodes.size()) {
+        best = i;
+      }
+    }
+    computed_.cleaned = (*results)[best].cleaned;
+    computed_.episodes = (*results)[best].episodes;
+    ASSERT_GE(computed_.episodes.size(), 3u);
+  }
+
+  // An ExecControl whose per-stage millisecond budget is consumed by the
+  // deadline checks themselves: auto-advance makes every clock read move
+  // fake time, so the budget expires mid-loop after a handful of
+  // checkpoint consults — without threads or real waiting.
+  common::ExecControl MillisecondStageBudget() {
+    common::ExecControl exec;
+    exec.clock = &clock_;
+    exec.stage_timeout_seconds = 1e-3;
+    exec.check_interval = 1;
+    clock_.set_auto_advance(1e-4);
+    return exec;
+  }
+
+  FakeClock clock_;
+  std::unique_ptr<datagen::World> world_;
+  std::unique_ptr<datagen::DatasetFactory> factory_;
+  std::unique_ptr<core::SemiTriPipeline> pipeline_;
+  std::vector<core::GpsPoint> stream_;
+  core::PipelineResult computed_;
+};
+
+TEST_F(DeadlineFixture, ExpiredRunDeadlineAbortsBeforeAnyStage) {
+  common::ExecControl exec;
+  exec.clock = &clock_;
+  exec.deadline = Deadline::After(1.0, &clock_);
+  clock_.Advance(2.0);
+
+  core::RunControls controls;
+  controls.exec = &exec;
+  controls.clock = &clock_;
+  common::Result<std::vector<core::PipelineResult>> result =
+      pipeline_->ProcessStream(0, stream_, 0, controls);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(DeadlineFixture, PreCancelledTokenAbortsRun) {
+  common::ExecControl exec;
+  exec.clock = &clock_;
+  exec.token.Cancel();
+
+  core::RunControls controls;
+  controls.exec = &exec;
+  common::Result<std::vector<core::PipelineResult>> result =
+      pipeline_->ProcessStream(0, stream_, 0, controls);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("cancelled"), std::string::npos);
+}
+
+// Each profiled annotation stage, run in isolation against the cached
+// trajectory computation, must notice a 1 ms stage budget from inside
+// its loops and fail with DeadlineExceeded under the default fail-fast
+// policy.
+TEST_F(DeadlineFixture, EveryAnnotationStageHonorsStageDeadline) {
+  common::ExecControl exec = MillisecondStageBudget();
+  for (const char* stage : {core::kStageLanduseJoin, core::kStageMapMatch,
+                            core::kStagePointAnnotation}) {
+    SCOPED_TRACE(stage);
+    core::AnnotationContext context;
+    context.result = computed_;
+    context.exec = &exec;
+    context.clock = &clock_;
+    common::Status status = pipeline_->graph().RunStage(stage, context);
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded)
+        << status.ToString();
+  }
+}
+
+TEST_F(DeadlineFixture, SkipPolicyDegradesTimedOutStageInsteadOfFailing) {
+  common::ExecControl exec = MillisecondStageBudget();
+  for (const char* stage : {core::kStageLanduseJoin, core::kStageMapMatch,
+                            core::kStagePointAnnotation}) {
+    SCOPED_TRACE(stage);
+    ASSERT_TRUE(pipeline_->mutable_graph()
+                    .SetFailurePolicy(stage, core::FailurePolicy::SkipAndRecord())
+                    .ok());
+    core::AnnotationContext context;
+    context.result = computed_;
+    context.exec = &exec;
+    context.clock = &clock_;
+    ASSERT_TRUE(pipeline_->graph().RunStage(stage, context).ok());
+    const core::StageReport& report = context.result.stage_reports.at(stage);
+    EXPECT_TRUE(report.skipped);
+    EXPECT_EQ(report.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(context.result.degraded());
+    // Restore fail-fast for the next iteration / other tests.
+    ASSERT_TRUE(pipeline_->mutable_graph()
+                    .SetFailurePolicy(stage, core::FailurePolicy::FailFast())
+                    .ok());
+  }
+}
+
+// Direct annotator-level proof that the cancellation is noticed inside
+// the expensive loops (not only at stage entry): the deadline is alive
+// when the call starts and expires strictly within the loop.
+TEST_F(DeadlineFixture, AnnotatorLoopsNoticeMidLoopExpiry) {
+  auto make_exec = [&] {
+    common::ExecControl exec;
+    exec.clock = &clock_;
+    exec.check_interval = 1;
+    exec.deadline = Deadline::After(1e-3, &clock_);
+    clock_.set_auto_advance(1e-4);
+    return exec;
+  };
+
+  {
+    common::ExecControl exec = make_exec();
+    road::GlobalMapMatcher matcher(&world_->roads);
+    common::Result<std::vector<road::MatchedPoint>> matched =
+        matcher.MatchPoints(computed_.cleaned.points, &exec);
+    EXPECT_FALSE(matched.ok());
+    EXPECT_EQ(matched.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  {
+    common::ExecControl exec = make_exec();
+    region::RegionAnnotator annotator(&world_->regions);
+    common::Result<core::StructuredSemanticTrajectory> annotated =
+        annotator.Annotate(computed_.cleaned, computed_.episodes, &exec);
+    EXPECT_FALSE(annotated.ok());
+    EXPECT_EQ(annotated.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  {
+    common::ExecControl exec = make_exec();
+    poi::PointAnnotator annotator(&world_->pois);
+    common::Result<core::StructuredSemanticTrajectory> annotated =
+        annotator.Annotate(computed_.cleaned, computed_.episodes, &exec);
+    EXPECT_FALSE(annotated.ok());
+    EXPECT_EQ(annotated.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  clock_.set_auto_advance(0.0);
+}
+
+TEST(ViterbiDeadlineTest, GridSweepNoticesExpiry) {
+  FakeClock clock;
+  common::ExecControl exec;
+  exec.clock = &clock;
+  exec.check_interval = 1;
+  exec.deadline = Deadline::After(1e-3, &clock);
+  clock.set_auto_advance(1e-4);
+
+  hmm::HmmModel model;
+  model.initial = {0.5, 0.5};
+  model.transition = {{0.5, 0.5}, {0.5, 0.5}};
+  std::vector<std::vector<double>> emissions(100, {0.5, 0.5});
+  common::Result<hmm::ViterbiResult> result =
+      hmm::Viterbi(model, emissions, &exec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // And the ungoverned call still succeeds on the same input.
+  clock.set_auto_advance(0.0);
+  EXPECT_TRUE(hmm::Viterbi(model, emissions).ok());
+}
+
+// The stage_slow:<name> fault site wedges a stage past its remaining
+// deadline (instantly, under the FakeClock), exercising the timeout
+// path end to end: fail-fast aborts the run, skip-and-record degrades.
+TEST_F(DeadlineFixture, SlowStageFaultSiteTimesOutAndDegrades) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  common::FaultInjector& fi = common::FaultInjector::Global();
+
+  common::ExecControl exec;
+  exec.clock = &clock_;
+  exec.stage_timeout_seconds = 0.01;
+  core::RunControls controls;
+  controls.exec = &exec;
+  controls.clock = &clock_;
+
+  fi.Reset();
+  fi.Arm("stage_slow:" + std::string(core::kStageMapMatch),
+         common::FaultPolicy::FailAlways());
+  common::Result<std::vector<core::PipelineResult>> failed =
+      pipeline_->ProcessStream(0, stream_, 0, controls);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDeadlineExceeded);
+
+  ASSERT_TRUE(pipeline_->mutable_graph()
+                  .SetFailurePolicy(core::kStageMapMatch,
+                                    core::FailurePolicy::SkipAndRecord())
+                  .ok());
+  common::Result<std::vector<core::PipelineResult>> degraded =
+      pipeline_->ProcessStream(0, stream_, 0, controls);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  for (const core::PipelineResult& result : *degraded) {
+    EXPECT_FALSE(result.line_layer.has_value());
+    EXPECT_TRUE(result.region_layer.has_value());
+    const core::StageReport& report =
+        result.stage_reports.at(core::kStageMapMatch);
+    EXPECT_TRUE(report.skipped);
+    EXPECT_EQ(report.status.code(), StatusCode::kDeadlineExceeded);
+  }
+  fi.Reset();
+  ASSERT_TRUE(pipeline_->mutable_graph()
+                  .SetFailurePolicy(core::kStageMapMatch,
+                                    core::FailurePolicy::FailFast())
+                  .ok());
+}
+
+}  // namespace
+}  // namespace semitri
