@@ -117,7 +117,7 @@ struct ExecControl {
 
   // OK while the run may continue; DeadlineExceeded once the deadline
   // passed or the token fired. `where` tags the message for diagnosis.
-  Status Check(const char* where = nullptr) const {
+  [[nodiscard]] Status Check(const char* where = nullptr) const {
     if (token.cancelled()) {
       return Status::DeadlineExceeded(
           where != nullptr ? std::string("cancelled in ") + where
@@ -143,7 +143,7 @@ class ExecCheckpoint {
                       ? exec->check_interval
                       : 1) {}
 
-  Status Check(const char* where = nullptr) {
+  [[nodiscard]] Status Check(const char* where = nullptr) {
     if (exec_ == nullptr) return Status::OK();
     if (++count_ % interval_ != 0) return Status::OK();
     return exec_->Check(where);

@@ -48,13 +48,13 @@ class StateReader {
  public:
   explicit StateReader(std::string_view data) : data_(data) {}
 
-  Status GetU8(uint8_t* out);
-  Status GetBool(bool* out);
-  Status GetU32(uint32_t* out);
-  Status GetU64(uint64_t* out);
-  Status GetI64(int64_t* out);
-  Status GetDouble(double* out);
-  Status GetString(std::string* out);
+  [[nodiscard]] Status GetU8(uint8_t* out);
+  [[nodiscard]] Status GetBool(bool* out);
+  [[nodiscard]] Status GetU32(uint32_t* out);
+  [[nodiscard]] Status GetU64(uint64_t* out);
+  [[nodiscard]] Status GetI64(int64_t* out);
+  [[nodiscard]] Status GetDouble(double* out);
+  [[nodiscard]] Status GetString(std::string* out);
 
   // All bytes consumed — checkpoint loaders verify this to reject
   // trailing garbage.
@@ -62,7 +62,7 @@ class StateReader {
   size_t remaining() const { return data_.size() - pos_; }
 
  private:
-  Status Take(size_t n, const char** out);
+  [[nodiscard]] Status Take(size_t n, const char** out);
 
   std::string_view data_;
   size_t pos_ = 0;

@@ -40,44 +40,52 @@ enum class StatusCode {
 // Human-readable name of a status code ("Ok", "InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// The class-level [[nodiscard]] makes *every* function returning a
+// Status by value warn when the result is dropped (GCC/Clang
+// -Wunused-result, promoted by SEMITRI_WERROR), even functions that
+// forgot the per-declaration attribute. Discarding a Status is only
+// legal through an explicit `(void)` cast next to a comment saying why;
+// tools/semitri_lint's unchecked-status check enforces the same
+// contract on paths the compiler cannot see (macro bodies,
+// uninstantiated templates).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
@@ -98,9 +106,10 @@ class Status {
 };
 
 // A value-or-error union. Accessing value() on an error aborts with the
-// carried status in all build types; check ok() first.
+// carried status in all build types; check ok() first. [[nodiscard]]
+// for the same reason as Status: dropping a Result loses an error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : data_(std::move(value)) {}
@@ -124,7 +133,7 @@ class Result {
     return std::get<T>(std::move(data_));
   }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(data_);
   }

@@ -81,7 +81,7 @@ class BatchProcessor {
   // assigned deterministically (per-object blocks of `ids_per_object`).
   // Fail-fast: any object failure (after the configured retries) fails
   // the whole batch with the first failed object's status.
-  common::Result<std::vector<ObjectResults>> Process(
+  [[nodiscard]] common::Result<std::vector<ObjectResults>> Process(
       const std::map<ObjectId, std::vector<GpsPoint>>& streams,
       TrajectoryId ids_per_object = 1000) const;
 
@@ -89,12 +89,12 @@ class BatchProcessor {
   // (after per-object retries with capped exponential backoff) are
   // reported in BatchReport::failed while every other object's results
   // are still returned.
-  common::Result<BatchReport> ProcessAll(
+  [[nodiscard]] common::Result<BatchReport> ProcessAll(
       const std::map<ObjectId, std::vector<GpsPoint>>& streams,
       TrajectoryId ids_per_object = 1000) const;
 
   // Serially persists batch results into a store.
-  static common::Status StoreResults(
+  [[nodiscard]] static common::Status StoreResults(
       const std::vector<ObjectResults>& all,
       store::SemanticTrajectoryStore* store);
 

@@ -37,13 +37,13 @@ class GpsIngestor {
 
   // Reference chosen as the centroid of the fixes (convenient for
   // single-city corpora). Fails on an empty stream.
-  static common::Result<GpsIngestor> AroundCentroid(
+  [[nodiscard]] static common::Result<GpsIngestor> AroundCentroid(
       const std::vector<LatLonFix>& fixes);
 
   // Streaming entry point: reference fixed at the session's first fix
   // (AroundCentroid needs the whole stream up front, which a live feed
   // does not have). Fails when the fix is invalid.
-  static common::Result<GpsIngestor> AroundFix(const LatLonFix& fix);
+  [[nodiscard]] static common::Result<GpsIngestor> AroundFix(const LatLonFix& fix);
 
   // Projects a WGS-84 stream into the local metric frame, dropping
   // non-finite coordinates and fixes outside valid WGS-84 ranges.

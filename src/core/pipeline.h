@@ -78,24 +78,24 @@ class SemiTriPipeline {
 
   // Full per-trajectory processing: runs the default stage graph
   // (clean -> episodes -> annotate -> store).
-  common::Result<PipelineResult> ProcessTrajectory(
+  [[nodiscard]] common::Result<PipelineResult> ProcessTrajectory(
       const RawTrajectory& raw) const;
 
   // Deadline/cancellation-governed variant: the stage graph checks
   // controls.exec between stages and the annotator loops consult it at
   // bounded intervals; controls.watchdog force-cancels wedged stages.
-  common::Result<PipelineResult> ProcessTrajectory(
+  [[nodiscard]] common::Result<PipelineResult> ProcessTrajectory(
       const RawTrajectory& raw, const RunControls& controls) const;
 
   // Splits a continuous GPS stream into raw trajectories and processes
   // each.
-  common::Result<std::vector<PipelineResult>> ProcessStream(
+  [[nodiscard]] common::Result<std::vector<PipelineResult>> ProcessStream(
       ObjectId object_id, const std::vector<GpsPoint>& stream,
       TrajectoryId first_id = 0) const;
 
   // Governed variant of ProcessStream (controls apply to the whole
   // batch: the run deadline spans every identified trajectory).
-  common::Result<std::vector<PipelineResult>> ProcessStream(
+  [[nodiscard]] common::Result<std::vector<PipelineResult>> ProcessStream(
       ObjectId object_id, const std::vector<GpsPoint>& stream,
       TrajectoryId first_id, const RunControls& controls) const;
 
@@ -105,7 +105,7 @@ class SemiTriPipeline {
   // full ProcessTrajectory would produce, and is written through to the
   // store sink when one is attached. Error if the layer's semantic
   // source was not supplied.
-  common::Result<PipelineResult> ReannotateLayer(PipelineResult result,
+  [[nodiscard]] common::Result<PipelineResult> ReannotateLayer(PipelineResult result,
                                                  Layer layer) const;
 
   // Runs every stage except trajectory computation over an
@@ -115,12 +115,12 @@ class SemiTriPipeline {
   // the underlying raw trajectory would produce them. This is the
   // finalization path of the streaming subsystem (stream/), where
   // episodes were computed incrementally by stream::EpisodeDetector.
-  common::Result<PipelineResult> AnnotateComputed(PipelineResult computed)
+  [[nodiscard]] common::Result<PipelineResult> AnnotateComputed(PipelineResult computed)
       const;
 
   // Governed variant of AnnotateComputed — the streaming subsystem's
   // path for bounding per-flush annotation work.
-  common::Result<PipelineResult> AnnotateComputed(
+  [[nodiscard]] common::Result<PipelineResult> AnnotateComputed(
       PipelineResult computed, const RunControls& controls) const;
 
   // The stage graph this pipeline runs (finalized; inspect with

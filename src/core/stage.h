@@ -100,7 +100,7 @@ class AnnotationStage {
   }
   CircuitBreaker* circuit_breaker() const { return breaker_.get(); }
 
-  virtual common::Status Run(AnnotationContext& context) const = 0;
+  [[nodiscard]] virtual common::Status Run(AnnotationContext& context) const = 0;
 
  private:
   std::string name_;
@@ -121,7 +121,7 @@ class FunctionStage final : public AnnotationStage {
       : AnnotationStage(std::move(name), std::move(dependencies), profiled),
         fn_(std::move(fn)) {}
 
-  common::Status Run(AnnotationContext& context) const override {
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const override {
     return fn_(context);
   }
 
@@ -136,11 +136,11 @@ class StageGraph {
   StageGraph& operator=(StageGraph&&) = default;
 
   // Registers a stage. Error on duplicate name or on a finalized graph.
-  common::Status Add(std::unique_ptr<AnnotationStage> stage);
+  [[nodiscard]] common::Status Add(std::unique_ptr<AnnotationStage> stage);
 
   // Validates dependencies and fixes the execution order. Error on an
   // unknown dependency or a cycle. Idempotent once successful.
-  common::Status Finalize();
+  [[nodiscard]] common::Status Finalize();
 
   bool finalized() const { return finalized_; }
   size_t size() const { return stages_.size(); }
@@ -150,13 +150,13 @@ class StageGraph {
   // Replaces the failure policy of a registered stage (allowed before
   // or after Finalize — the policy does not affect ordering). Error if
   // the name is unknown.
-  common::Status SetFailurePolicy(std::string_view name,
+  [[nodiscard]] common::Status SetFailurePolicy(std::string_view name,
                                   FailurePolicy policy);
 
   // Installs a circuit breaker on a registered stage (allowed before or
   // after Finalize). `clock` drives the open/half-open transitions (null
   // = real clock). Error if the name is unknown.
-  common::Status SetCircuitBreaker(std::string_view name,
+  [[nodiscard]] common::Status SetCircuitBreaker(std::string_view name,
                                    CircuitBreakerConfig config,
                                    const common::Clock* clock = nullptr);
 
@@ -169,17 +169,17 @@ class StageGraph {
   // leave a StageReport on the context's result. Profiled stages are
   // timed under their name when the context carries a profiler. The
   // graph must be finalized.
-  common::Status Run(AnnotationContext& context) const;
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const;
 
   // Runs one stage by name (with the same profiling behaviour as Run),
   // ignoring dependencies — the caller asserts the context already
   // carries the artifacts the stage needs. Error if the name is
   // unknown. Used for single-layer re-annotation over cached episodes.
-  common::Status RunStage(std::string_view name,
+  [[nodiscard]] common::Status RunStage(std::string_view name,
                           AnnotationContext& context) const;
 
  private:
-  common::Status RunOne(const AnnotationStage& stage,
+  [[nodiscard]] common::Status RunOne(const AnnotationStage& stage,
                         AnnotationContext& context) const;
 
   std::vector<std::unique_ptr<AnnotationStage>> stages_;

@@ -48,7 +48,7 @@ class ComputeEpisodeStage final : public AnnotationStage {
         preprocessor_(preprocessor),
         segmenter_(segmenter) {}
 
-  common::Status Run(AnnotationContext& context) const override;
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const override;
 
  private:
   const traj::Preprocessor* preprocessor_;
@@ -61,7 +61,7 @@ class StoreEpisodeStage final : public AnnotationStage {
   StoreEpisodeStage() : AnnotationStage(kStageStoreEpisode,
                                         {kStageComputeEpisode}) {}
 
-  common::Status Run(AnnotationContext& context) const override;
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const override;
 };
 
 // Semantic Region Annotation Layer (landuse join, Algorithm 1).
@@ -71,7 +71,7 @@ class RegionAnnotationStage final : public AnnotationStage {
       : AnnotationStage(kStageLanduseJoin, {kStageComputeEpisode}),
         annotator_(annotator) {}
 
-  common::Status Run(AnnotationContext& context) const override;
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const override;
 
  private:
   const region::RegionAnnotator* annotator_;
@@ -84,7 +84,7 @@ class LineAnnotationStage final : public AnnotationStage {
       : AnnotationStage(kStageMapMatch, {kStageComputeEpisode}),
         annotator_(annotator) {}
 
-  common::Status Run(AnnotationContext& context) const override;
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const override;
 
  private:
   const road::LineAnnotator* annotator_;
@@ -95,7 +95,7 @@ class StoreMatchStage final : public AnnotationStage {
  public:
   StoreMatchStage() : AnnotationStage(kStageStoreMatch, {kStageMapMatch}) {}
 
-  common::Status Run(AnnotationContext& context) const override;
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const override;
 };
 
 // Semantic Point Annotation Layer (HMM stop annotation, Algorithm 3).
@@ -105,7 +105,7 @@ class PointAnnotationStage final : public AnnotationStage {
       : AnnotationStage(kStagePointAnnotation, {kStageComputeEpisode}),
         annotator_(annotator) {}
 
-  common::Status Run(AnnotationContext& context) const override;
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const override;
 
  private:
   const poi::PointAnnotator* annotator_;
@@ -120,7 +120,7 @@ class StoreInterpretationStage final : public AnnotationStage {
       : AnnotationStage(kStageStoreInterpretation, std::move(dependencies),
                         /*profiled=*/false) {}
 
-  common::Status Run(AnnotationContext& context) const override;
+  [[nodiscard]] common::Status Run(AnnotationContext& context) const override;
 };
 
 }  // namespace semitri::core

@@ -21,33 +21,33 @@
 namespace semitri::core {
 
 void SaveState(const GpsPoint& point, common::StateWriter* w);
-common::Status RestoreState(common::StateReader* r, GpsPoint* point);
+[[nodiscard]] common::Status RestoreState(common::StateReader* r, GpsPoint* point);
 
 void SaveState(const RawTrajectory& trajectory, common::StateWriter* w);
-common::Status RestoreState(common::StateReader* r,
+[[nodiscard]] common::Status RestoreState(common::StateReader* r,
                             RawTrajectory* trajectory);
 
 void SaveState(const Episode& episode, common::StateWriter* w);
-common::Status RestoreState(common::StateReader* r, Episode* episode);
+[[nodiscard]] common::Status RestoreState(common::StateReader* r, Episode* episode);
 
 void SaveState(const std::vector<Episode>& episodes,
                common::StateWriter* w);
-common::Status RestoreState(common::StateReader* r,
+[[nodiscard]] common::Status RestoreState(common::StateReader* r,
                             std::vector<Episode>* episodes);
 
 void SaveState(const SemanticEpisode& episode, common::StateWriter* w);
-common::Status RestoreState(common::StateReader* r,
+[[nodiscard]] common::Status RestoreState(common::StateReader* r,
                             SemanticEpisode* episode);
 
 void SaveState(const StructuredSemanticTrajectory& trajectory,
                common::StateWriter* w);
-common::Status RestoreState(common::StateReader* r,
+[[nodiscard]] common::Status RestoreState(common::StateReader* r,
                             StructuredSemanticTrajectory* trajectory);
 
 // PipelineResult: cleaned trace, episodes, and the three optional
 // annotation layers. Stage reports are transient and not serialized.
 void SaveState(const PipelineResult& result, common::StateWriter* w);
-common::Status RestoreState(common::StateReader* r, PipelineResult* result);
+[[nodiscard]] common::Status RestoreState(common::StateReader* r, PipelineResult* result);
 
 }  // namespace semitri::core
 

@@ -108,7 +108,11 @@ class Watchdog {
 
   std::mutex thread_mutex_;
   std::condition_variable stop_cv_;
-  bool stopping_ = false;
+  bool stopping_ SEMITRI_GUARDED_BY(thread_mutex_) = false;
+  // semitri-lint: allow(guarded-by-completeness) — the monitor thread
+  // is started in the constructor and joined in Stop() outside the
+  // lock (joining under thread_mutex_ would deadlock with MonitorLoop
+  // re-acquiring it); no concurrent access by construction.
   std::thread monitor_;
 };
 

@@ -107,7 +107,7 @@ class MovementSimulator {
   // Plans and appends a full (possibly multimodal) trip from `from` to
   // `to`: direct path for walk/bicycle/car, walk–ride–walk for bus and
   // metro. Returns arrival time; NotFound when no route exists.
-  common::Result<core::Timestamp> AppendTrip(SimulatedTrack* track,
+  [[nodiscard]] common::Result<core::Timestamp> AppendTrip(SimulatedTrack* track,
                                              const geo::Point& from,
                                              const geo::Point& to,
                                              road::TransportMode mode,

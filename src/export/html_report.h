@@ -37,7 +37,7 @@ class HtmlReportWriter {
                             const std::string& caption);
 
   std::string ToString() const;
-  common::Status WriteFile(const std::string& path) const;
+  [[nodiscard]] common::Status WriteFile(const std::string& path) const;
 
  private:
   std::string title_;

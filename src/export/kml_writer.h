@@ -45,7 +45,7 @@ class KmlWriter {
   // Fails with the first accumulated error (e.g. a placemark rejected
   // for non-finite coordinates) before touching the filesystem, so a
   // bad geometry can never produce a silently corrupt KML file.
-  common::Status WriteFile(const std::string& path) const;
+  [[nodiscard]] common::Status WriteFile(const std::string& path) const;
 
   // First error noted by any Add* call (OK when the document is clean).
   // Add* methods skip offending placemarks instead of emitting

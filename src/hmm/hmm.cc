@@ -19,6 +19,9 @@ double SafeLog(double p) { return p > 0.0 ? std::log(p) : kNegInf; }
 // to uniform in log space.
 common::Status CheckEmissions(
     const HmmModel& model, const std::vector<std::vector<double>>& emissions) {
+  // semitri-lint: allow(exec-checkpoint-coverage) — O(T·N) shape
+  // validation before decoding starts; Viterbi itself polls the
+  // checkpoint every check_interval steps.
   for (size_t t = 0; t < emissions.size(); ++t) {
     if (emissions[t].size() != model.num_states()) {
       return common::Status::InvalidArgument(common::StrFormat(
@@ -261,6 +264,9 @@ common::Result<std::vector<std::vector<double>>> PosteriorDecode(
   ForwardBackward(model, emissions, &alpha, &beta);
   const size_t n = model.num_states();
   gamma.assign(emissions.size(), std::vector<double>(n, 0.0));
+  // semitri-lint: allow(exec-checkpoint-coverage) — O(T·N)
+  // normalization right after ForwardBackward; no checkpoint is in
+  // scope in this free training-path function.
   for (size_t t = 0; t < emissions.size(); ++t) {
     double norm = 0.0;
     for (size_t i = 0; i < n; ++i) {
@@ -298,6 +304,9 @@ common::Result<BaumWelchResult> BaumWelch(
     size_t used_sequences = 0;
 
     std::vector<std::vector<double>> alpha, beta;
+    // semitri-lint: allow(exec-checkpoint-coverage) — offline training
+    // path with no ExecControl plumbed; bounded by max_iterations and
+    // the caller's sequence count, not a serving deadline.
     for (const auto& emissions : sequences) {
       if (emissions.empty()) continue;
       ++used_sequences;

@@ -28,7 +28,7 @@ struct HmmModel {
 };
 
 // Checks shapes and (approximate) stochasticity of π and A.
-common::Status ValidateModel(const HmmModel& model);
+[[nodiscard]] common::Status ValidateModel(const HmmModel& model);
 
 // Row-stochastic matrix with `self_prob` on the diagonal and the rest
 // spread uniformly (the paper's Fig. 6 default initialization pattern).
@@ -47,14 +47,14 @@ struct ViterbiResult {
 // non-null) every exec->check_interval observation rows and aborts with
 // DeadlineExceeded, so a pathological stop sequence cannot pin the
 // point-annotation stage past its deadline.
-common::Result<ViterbiResult> Viterbi(
+[[nodiscard]] common::Result<ViterbiResult> Viterbi(
     const HmmModel& model,
     const std::vector<std::vector<double>>& emissions,
     const common::ExecControl* exec = nullptr);
 
 // Total observation likelihood log Pr(O | λ) via the forward algorithm
 // (used by tests: Viterbi path probability never exceeds it).
-common::Result<double> ForwardLogLikelihood(
+[[nodiscard]] common::Result<double> ForwardLogLikelihood(
     const HmmModel& model,
     const std::vector<std::vector<double>>& emissions);
 
@@ -62,7 +62,7 @@ common::Result<double> ForwardLogLikelihood(
 // via forward-backward — the paper's "activity likelihoods and
 // probabilistic estimates of the purpose behind that stop" (§3.3).
 // Rows sum to 1.
-common::Result<std::vector<std::vector<double>>> PosteriorDecode(
+[[nodiscard]] common::Result<std::vector<std::vector<double>>> PosteriorDecode(
     const HmmModel& model,
     const std::vector<std::vector<double>>& emissions);
 
@@ -93,7 +93,7 @@ struct BaumWelchResult {
 
 // `sequences` holds one emission matrix (T_s x N) per observation
 // sequence (e.g. one per daily trajectory). Empty sequences are skipped.
-common::Result<BaumWelchResult> BaumWelch(
+[[nodiscard]] common::Result<BaumWelchResult> BaumWelch(
     const HmmModel& initial_model,
     const std::vector<std::vector<std::vector<double>>>& sequences,
     const BaumWelchOptions& options = {});

@@ -23,19 +23,19 @@
 
 namespace semitri::io {
 
-common::Status SaveRegions(const region::RegionSet& regions,
+[[nodiscard]] common::Status SaveRegions(const region::RegionSet& regions,
                            const std::string& path);
-common::Result<region::RegionSet> LoadRegions(const std::string& path);
+[[nodiscard]] common::Result<region::RegionSet> LoadRegions(const std::string& path);
 
-common::Status SaveRoadNetwork(const road::RoadNetwork& roads,
+[[nodiscard]] common::Status SaveRoadNetwork(const road::RoadNetwork& roads,
                                const std::string& path);
-common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path);
+[[nodiscard]] common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path);
 
 // POIs serialize as two files: `path` (the POIs) and the category list
 // at `categories_path`.
-common::Status SavePois(const poi::PoiSet& pois, const std::string& path,
+[[nodiscard]] common::Status SavePois(const poi::PoiSet& pois, const std::string& path,
                         const std::string& categories_path);
-common::Result<poi::PoiSet> LoadPois(const std::string& path,
+[[nodiscard]] common::Result<poi::PoiSet> LoadPois(const std::string& path,
                                      const std::string& categories_path);
 
 }  // namespace semitri::io

@@ -92,6 +92,8 @@ common::Result<core::StructuredSemanticTrajectory> PointAnnotator::Annotate(
   out.interpretation = "point";
 
   size_t stop_index = 0;
+  // semitri-lint: allow(exec-checkpoint-coverage) — linear pass
+  // attaching categories already computed under the polled path above.
   for (size_t e = 0; e < episodes.size(); ++e) {
     const core::Episode& episode = episodes[e];
     if (episode.kind != core::EpisodeKind::kStop) continue;
@@ -135,6 +137,8 @@ common::Result<hmm::BaumWelchResult> PointAnnotator::FitTransitions(
     const std::vector<std::vector<core::Episode>>& episode_sequences,
     const hmm::BaumWelchOptions& options) {
   std::vector<std::vector<std::vector<double>>> sequences;
+  // semitri-lint: allow(exec-checkpoint-coverage) — offline training
+  // marshalling, linear in episodes; no deadline governs model fitting.
   for (const std::vector<core::Episode>& episodes : episode_sequences) {
     std::vector<std::vector<double>> emissions;
     for (const core::Episode& ep : episodes) {
@@ -157,6 +161,9 @@ common::Result<hmm::BaumWelchResult> PointAnnotator::FitTransitions(
 std::vector<int> NearestPoiAnnotator::InferStopCategories(
     const std::vector<core::Episode>& episodes) const {
   std::vector<int> out;
+  // semitri-lint: allow(exec-checkpoint-coverage) — one POI-index
+  // probe per stop in a const helper with no ExecControl in scope;
+  // episode counts are orders of magnitude below point counts.
   for (const core::Episode& ep : episodes) {
     if (ep.kind != core::EpisodeKind::kStop) continue;
     core::PlaceId nearest = pois_->Nearest(ep.center);

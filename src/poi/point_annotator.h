@@ -51,14 +51,14 @@ class PointAnnotator {
   // in order). Error if the model is malformed. When `exec` is non-null
   // the emissions loop and the Viterbi grid sweep consult it and abort
   // with DeadlineExceeded.
-  common::Result<std::vector<int>> InferStopCategories(
+  [[nodiscard]] common::Result<std::vector<int>> InferStopCategories(
       const std::vector<core::Episode>& episodes,
       const common::ExecControl* exec = nullptr) const;
 
   // Full Algorithm 3: emits one semantic episode per stop, annotated
   // with the decoded category and linked to a concrete POI when one is
   // close enough; interpretation "point". `exec` as above.
-  common::Result<core::StructuredSemanticTrajectory> Annotate(
+  [[nodiscard]] common::Result<core::StructuredSemanticTrajectory> Annotate(
       const core::RawTrajectory& trajectory,
       const std::vector<core::Episode>& episodes,
       const common::ExecControl* exec = nullptr) const;
@@ -68,7 +68,7 @@ class PointAnnotator {
   // extension ("learning dynamic and personalized transition matrix A").
   // Each element of `episode_sequences` is one trajectory's episode
   // list; only its stops contribute. Updates the annotator's model.
-  common::Result<hmm::BaumWelchResult> FitTransitions(
+  [[nodiscard]] common::Result<hmm::BaumWelchResult> FitTransitions(
       const std::vector<std::vector<core::Episode>>& episode_sequences,
       const hmm::BaumWelchOptions& options = {});
 

@@ -34,6 +34,9 @@ std::vector<core::PlaceId> RegionAnnotator::ClassifyPoints(
     const core::RawTrajectory& trajectory) const {
   std::vector<core::PlaceId> out;
   out.reserve(trajectory.points.size());
+  // semitri-lint: allow(exec-checkpoint-coverage) — const helper with
+  // no ExecControl in scope; the deadline-aware Annotate entry point
+  // polls per point before and after this classification pass.
   for (const core::GpsPoint& p : trajectory.points) {
     out.push_back(BestRegionFor(p.position));
   }
@@ -90,6 +93,8 @@ RegionAnnotator::AnnotateTrajectory(const core::RawTrajectory& trajectory,
     AttachRegionAnnotations(point_regions[begin], &ep);
     out.episodes.push_back(std::move(ep));
   };
+  // semitri-lint: allow(exec-checkpoint-coverage) — episode grouping
+  // is one linear pass over the precomputed point_regions vector.
   for (size_t i = 1; i < trajectory.points.size(); ++i) {
     int64_t key =
         MergeKeyOf(*regions_, point_regions[i], config_.merge_policy);

@@ -72,14 +72,14 @@ class RegionAnnotator {
   // Deadline-aware variants: the per-point classification and the
   // per-episode R*-tree join loops consult `exec` every
   // exec->check_interval iterations and abort with DeadlineExceeded.
-  common::Result<core::StructuredSemanticTrajectory> AnnotateTrajectory(
+  [[nodiscard]] common::Result<core::StructuredSemanticTrajectory> AnnotateTrajectory(
       const core::RawTrajectory& trajectory,
       const common::ExecControl* exec) const;
-  common::Result<core::StructuredSemanticTrajectory> AnnotateEpisodes(
+  [[nodiscard]] common::Result<core::StructuredSemanticTrajectory> AnnotateEpisodes(
       const core::RawTrajectory& trajectory,
       const std::vector<core::Episode>& episodes,
       const common::ExecControl* exec) const;
-  common::Result<core::StructuredSemanticTrajectory> Annotate(
+  [[nodiscard]] common::Result<core::StructuredSemanticTrajectory> Annotate(
       const core::RawTrajectory& trajectory,
       const std::vector<core::Episode>& episodes,
       const common::ExecControl* exec) const {

@@ -47,7 +47,7 @@ class LineAnnotator {
 
   // Deadline-aware variant: the map-matching passes consult `exec` and
   // the whole episode aborts with DeadlineExceeded once it expires.
-  common::Result<std::vector<core::SemanticEpisode>> AnnotateMove(
+  [[nodiscard]] common::Result<std::vector<core::SemanticEpisode>> AnnotateMove(
       std::span<const core::GpsPoint> points, size_t source_episode,
       const common::ExecControl* exec) const;
 
@@ -58,7 +58,7 @@ class LineAnnotator {
 
   // Deadline-aware variant of Annotate (checks between episodes and
   // inside the per-episode matching loops).
-  common::Result<core::StructuredSemanticTrajectory> Annotate(
+  [[nodiscard]] common::Result<core::StructuredSemanticTrajectory> Annotate(
       const core::RawTrajectory& trajectory,
       const std::vector<core::Episode>& episodes,
       const common::ExecControl* exec) const;

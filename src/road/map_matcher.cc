@@ -13,6 +13,8 @@ double GlobalMapMatcher::MedianSpacing(
   if (points.size() < 2) return 1.0;
   std::vector<double> spacings;
   spacings.reserve(points.size() - 1);
+  // semitri-lint: allow(exec-checkpoint-coverage) — one O(n) spacing
+  // scan during setup, before the deadline-governed matching starts.
   for (size_t i = 1; i < points.size(); ++i) {
     spacings.push_back(
         points[i].position.DistanceTo(points[i - 1].position));
@@ -137,6 +139,9 @@ common::Result<std::vector<MatchedPoint>> GlobalMapMatcher::MatchPoints(
 std::vector<MatchedPoint> GeometricMapMatcher::MatchPoints(
     std::span<const core::GpsPoint> points) const {
   std::vector<MatchedPoint> out(points.size());
+  // semitri-lint: allow(exec-checkpoint-coverage) — const helper with
+  // no ExecControl in scope; the deadline-aware Match() entry point
+  // polls around each window before delegating here.
   for (size_t i = 0; i < points.size(); ++i) {
     core::PlaceId seg = network_->NearestSegment(points[i].position);
     out[i].segment = seg;

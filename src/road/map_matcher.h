@@ -62,7 +62,7 @@ class GlobalMapMatcher {
   // Deadline-aware variant: both passes (candidate scan and global-score
   // sweep) consult `exec` every exec->check_interval points and abort
   // with DeadlineExceeded, discarding partial matches.
-  common::Result<std::vector<MatchedPoint>> MatchPoints(
+  [[nodiscard]] common::Result<std::vector<MatchedPoint>> MatchPoints(
       std::span<const core::GpsPoint> points,
       const common::ExecControl* exec) const;
 

@@ -34,10 +34,10 @@ class Router {
 
   // Dijkstra from `from` to `to` over segments passing `filter`
   // (nullptr = all). NotFound when unreachable.
-  common::Result<RoutePath> ShortestPath(NodeId from, NodeId to,
+  [[nodiscard]] common::Result<RoutePath> ShortestPath(NodeId from, NodeId to,
                                          const SegmentFilter& filter) const;
 
-  common::Result<RoutePath> ShortestPath(NodeId from, NodeId to) const {
+  [[nodiscard]] common::Result<RoutePath> ShortestPath(NodeId from, NodeId to) const {
     return ShortestPath(from, to, nullptr);
   }
 

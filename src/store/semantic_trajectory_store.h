@@ -66,27 +66,27 @@ class SemanticTrajectoryStore {
 
   // Stores a raw trajectory (GPS-record and trajectory tables).
   // Overwrites an existing trajectory with the same id.
-  common::Status PutRawTrajectory(const core::RawTrajectory& trajectory)
+  [[nodiscard]] common::Status PutRawTrajectory(const core::RawTrajectory& trajectory)
       SEMITRI_EXCLUDES(mutex_);
 
   // Stores the stop/move segmentation of a trajectory.
-  common::Status PutEpisodes(core::TrajectoryId id,
+  [[nodiscard]] common::Status PutEpisodes(core::TrajectoryId id,
                              const std::vector<core::Episode>& episodes)
       SEMITRI_EXCLUDES(mutex_);
 
   // Stores one layer's interpretation (keyed by its `interpretation`
   // name: "region", "line", "point").
-  common::Status PutInterpretation(
+  [[nodiscard]] common::Status PutInterpretation(
       const core::StructuredSemanticTrajectory& trajectory)
       SEMITRI_EXCLUDES(mutex_);
 
   // --- reads ----------------------------------------------------------
 
-  common::Result<core::RawTrajectory> GetRawTrajectory(
+  [[nodiscard]] common::Result<core::RawTrajectory> GetRawTrajectory(
       core::TrajectoryId id) const SEMITRI_EXCLUDES(mutex_);
-  common::Result<std::vector<core::Episode>> GetEpisodes(
+  [[nodiscard]] common::Result<std::vector<core::Episode>> GetEpisodes(
       core::TrajectoryId id) const SEMITRI_EXCLUDES(mutex_);
-  common::Result<core::StructuredSemanticTrajectory> GetInterpretation(
+  [[nodiscard]] common::Result<core::StructuredSemanticTrajectory> GetInterpretation(
       core::TrajectoryId id, const std::string& interpretation) const
       SEMITRI_EXCLUDES(mutex_);
 
@@ -138,7 +138,7 @@ class SemanticTrajectoryStore {
   // Writes all tables as CSV files (gps.csv, episodes.csv,
   // semantic_episodes.csv) under `dir`. Rows carry round-trip (%.17g)
   // float precision, so LoadCsv restores values bit-identically.
-  common::Status SaveCsv(const std::string& dir) const
+  [[nodiscard]] common::Status SaveCsv(const std::string& dir) const
       SEMITRI_EXCLUDES(mutex_);
 
   // Loads tables previously written by SaveCsv, replacing content. A
@@ -146,7 +146,7 @@ class SemanticTrajectoryStore {
   // a crash mid-append) is dropped and counted in torn_rows_tolerated()
   // instead of failing the whole load; any other malformed row is still
   // Corruption.
-  common::Status LoadCsv(const std::string& dir) SEMITRI_EXCLUDES(mutex_);
+  [[nodiscard]] common::Status LoadCsv(const std::string& dir) SEMITRI_EXCLUDES(mutex_);
 
   // --- durability (durable_dir mode) ----------------------------------
 
@@ -160,11 +160,11 @@ class SemanticTrajectoryStore {
   // truncating a torn tail), replacing current content, and switches
   // this store into durable mode on `dir` so subsequent Puts append
   // where the pre-crash process left off.
-  common::Result<RecoveryStats> Recover(const std::string& dir)
+  [[nodiscard]] common::Result<RecoveryStats> Recover(const std::string& dir)
       SEMITRI_EXCLUDES(mutex_);
 
   // fsyncs the WAL (no-op outside durable mode).
-  common::Status Sync() SEMITRI_EXCLUDES(mutex_);
+  [[nodiscard]] common::Status Sync() SEMITRI_EXCLUDES(mutex_);
 
   // Atomically compacts the WAL into a fresh full-precision CSV
   // checkpoint generation: tables are written to a new
@@ -172,19 +172,19 @@ class SemanticTrajectoryStore {
   // via rename, the WAL is emptied, and stale generations are removed.
   // A crash at any point leaves either the old or the new generation
   // fully intact. No-op outside durable mode.
-  common::Status Checkpoint() SEMITRI_EXCLUDES(mutex_);
+  [[nodiscard]] common::Status Checkpoint() SEMITRI_EXCLUDES(mutex_);
 
  private:
-  common::Status AppendWriteThrough(const std::string& file,
+  [[nodiscard]] common::Status AppendWriteThrough(const std::string& file,
                                     const std::string& header,
                                     const std::vector<std::string>& rows)
       SEMITRI_REQUIRES(mutex_);
   // Lazily creates durable_dir and the WAL writer; OK outside durable
   // mode.
-  common::Status EnsureWal() SEMITRI_REQUIRES(mutex_);
+  [[nodiscard]] common::Status EnsureWal() SEMITRI_REQUIRES(mutex_);
   // Frames one record into the WAL (honoring sync_every_put); OK
   // outside durable mode.
-  common::Status LogToWal(WalRecordType type, const std::string& payload)
+  [[nodiscard]] common::Status LogToWal(WalRecordType type, const std::string& payload)
       SEMITRI_REQUIRES(mutex_);
 
   // In-memory table mutations shared by Put* and WAL replay.
@@ -199,17 +199,17 @@ class SemanticTrajectoryStore {
   // Called under mutex_ — directly from Recover and through the replay
   // lambda, which the analysis cannot see through; suppressed instead
   // of annotated.
-  common::Status ApplyWalRecord(WalRecordType type,
+  [[nodiscard]] common::Status ApplyWalRecord(WalRecordType type,
                                 std::string_view payload)
       SEMITRI_NO_THREAD_SAFETY_ANALYSIS;
 
-  common::Status SaveCsvLocked(const std::string& dir) const
+  [[nodiscard]] common::Status SaveCsvLocked(const std::string& dir) const
       SEMITRI_REQUIRES(mutex_);
-  common::Status LoadCsvLocked(const std::string& dir)
+  [[nodiscard]] common::Status LoadCsvLocked(const std::string& dir)
       SEMITRI_REQUIRES(mutex_);
   void ClearLocked() SEMITRI_REQUIRES(mutex_);
 
-  StoreConfig config_;
+  StoreConfig config_ SEMITRI_GUARDED_BY(mutex_);
   mutable std::mutex mutex_;
   std::unique_ptr<WalWriter> wal_ SEMITRI_GUARDED_BY(mutex_);
   std::map<core::TrajectoryId, core::RawTrajectory> raw_

@@ -78,7 +78,8 @@ common::Status WalWriter::Append(WalRecordType type,
   if (action == common::FaultAction::kCrash) {
     // Simulated power cut mid-write: half the frame reaches the disk,
     // then the process is gone. Recovery must truncate this torn tail.
-    WriteAll(fd_, frame.data(), frame.size() / 2);
+    // The partial write's own status is irrelevant — we report the crash.
+    (void)WriteAll(fd_, frame.data(), frame.size() / 2);
     dead_ = true;
     return common::Status::IoError("simulated crash during wal append");
   }

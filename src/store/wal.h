@@ -52,7 +52,7 @@ class WalWriter {
   // Opens `path` for appending (created if absent). The caller must
   // have truncated any torn tail first (ReplayWal does) — appending
   // after a torn frame would make every subsequent record unreachable.
-  static common::Result<std::unique_ptr<WalWriter>> Open(
+  [[nodiscard]] static common::Result<std::unique_ptr<WalWriter>> Open(
       const std::string& path);
 
   ~WalWriter();
@@ -60,13 +60,13 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
 
   // Appends one framed record via a single write() call.
-  common::Status Append(WalRecordType type, std::string_view payload);
+  [[nodiscard]] common::Status Append(WalRecordType type, std::string_view payload);
 
   // fsyncs everything appended so far.
-  common::Status Sync();
+  [[nodiscard]] common::Status Sync();
 
   // Empties the log (checkpoint compaction) and syncs the truncation.
-  common::Status Truncate();
+  [[nodiscard]] common::Status Truncate();
 
   // True after a simulated crash (injected at wal_append/wal_sync);
   // every later operation fails with IoError, like writes to a dead
@@ -91,7 +91,7 @@ struct WalReplayStats {
 // or corrupt frame ends the replay; when `truncate_torn_tail` is set
 // the file is truncated to the last intact frame so a writer can
 // safely append. `apply` errors abort the replay and are returned.
-common::Result<WalReplayStats> ReplayWal(
+[[nodiscard]] common::Result<WalReplayStats> ReplayWal(
     const std::string& path,
     const std::function<common::Status(WalRecordType, std::string_view)>&
         apply,

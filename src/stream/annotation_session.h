@@ -80,11 +80,11 @@ class AnnotationSession {
 
   // Feeds one fix; errors only from annotation stages (a rejected fix
   // is a non-error FeedResult).
-  common::Result<FeedResult> Feed(const core::GpsPoint& fix);
+  [[nodiscard]] common::Result<FeedResult> Feed(const core::GpsPoint& fix);
 
   // Stream end: finalizes (or discards) the dangling open trajectory.
   // The session stays usable; a later Feed starts a new trajectory.
-  common::Status Flush();
+  [[nodiscard]] common::Status Flush();
 
   // Live view of the open trajectory: cleaned prefix, closed episodes,
   // and — when annotate_on_episode — the provisional annotation layers
@@ -121,7 +121,7 @@ class AnnotationSession {
   // same pipeline/config/object resumes mid-stream and converges to
   // the exact store state an uninterrupted run would produce.
   void SaveState(common::StateWriter* w) const;
-  common::Status RestoreState(common::StateReader* r);
+  [[nodiscard]] common::Status RestoreState(common::StateReader* r);
 
  private:
   // Folds newly finalized cleaned points + closed episodes into
@@ -130,9 +130,9 @@ class AnnotationSession {
   // Provisional downstream pass over partial_ (store writes included,
   // latency recorded per closed episode under
   // kStreamStageEpisodeAnnotation).
-  common::Status AnnotatePrefix(size_t episodes_closed);
+  [[nodiscard]] common::Status AnnotatePrefix(size_t episodes_closed);
   // Full downstream pass + store write-back for a closed trajectory.
-  common::Status FinalizeClosed(ClosedTrajectory closed);
+  [[nodiscard]] common::Status FinalizeClosed(ClosedTrajectory closed);
 
   const core::SemiTriPipeline* pipeline_;
   core::ObjectId object_id_;

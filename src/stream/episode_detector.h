@@ -160,7 +160,7 @@ class EpisodeDetector {
   // stopped — converging to the identical offline-equivalent output.
   // Config is NOT serialized: the owner reconstructs it.
   void SaveState(common::StateWriter* w) const;
-  common::Status RestoreState(common::StateReader* r);
+  [[nodiscard]] common::Status RestoreState(common::StateReader* r);
 
  private:
   // Effective smoothing half-window (0 when smoothing is disabled).

@@ -159,7 +159,9 @@ bool SessionManager::ShedOldestIdle(core::ObjectId exclude) {
     // Shedding goes through the flushing Close path: the open
     // trajectory is finalized into the (durable) store before the
     // session is dropped, so shed rows survive and nothing is lost.
-    RetireLocked(shard, it);
+    // Shedding is best-effort; a flush failure must not abort the
+    // overload response, so the status is deliberately dropped.
+    (void)RetireLocked(shard, it);
     sessions_shed_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }

@@ -135,27 +135,27 @@ class SessionManager {
   // are rejected in the FeedResult); different objects are independent.
   // Under overload returns ResourceExhausted (reject/shed-failed/rate-
   // limited) or DeadlineExceeded (block-with-deadline timed out).
-  common::Result<AnnotationSession::FeedResult> Feed(
+  [[nodiscard]] common::Result<AnnotationSession::FeedResult> Feed(
       core::ObjectId object_id, const core::GpsPoint& fix);
 
   // Finalizes the object's dangling open trajectory; the session stays
   // live. NotFound when no session exists.
-  common::Status Flush(core::ObjectId object_id);
+  [[nodiscard]] common::Status Flush(core::ObjectId object_id);
 
   // Flush + evict the session (its detector/annotation counters are
   // folded into stats()). NotFound when no session exists.
-  common::Status Close(core::ObjectId object_id);
+  [[nodiscard]] common::Status Close(core::ObjectId object_id);
 
   // Closes every session (stream end). Keeps going on stage errors and
   // returns the first one.
-  common::Status CloseAll();
+  [[nodiscard]] common::Status CloseAll();
 
   // Closes sessions that have not been fed for at least
   // `max_idle_seconds`; returns how many were evicted. Driven by the
   // global activity heap — cost is O(log n) per evicted session, not a
   // scan of every shard. Keeps going on stage errors and returns the
   // first one.
-  common::Result<size_t> EvictIdle(double max_idle_seconds);
+  [[nodiscard]] common::Result<size_t> EvictIdle(double max_idle_seconds);
 
   size_t ActiveSessions() const;
 
@@ -205,7 +205,7 @@ class SessionManager {
   // leaves either the previous checkpoint or the new one, never a torn
   // file). Callers must quiesce feeders for a cross-object-consistent
   // snapshot; each shard is locked while serialized.
-  common::Status Checkpoint(const std::string& path) const;
+  [[nodiscard]] common::Status Checkpoint(const std::string& path) const;
 
   // Rebuilds live sessions from a Checkpoint file, replacing current
   // state (budget accounting and the activity heap are rebuilt to match
@@ -214,7 +214,7 @@ class SessionManager {
   // resume mid-stream: feeding the remaining fixes and closing
   // converges the store to the exact state an uninterrupted run would
   // have produced. Corruption on a CRC mismatch or malformed state.
-  common::Status Restore(const std::string& path);
+  [[nodiscard]] common::Status Restore(const std::string& path);
 
  private:
   // Global least-recently-fed index: a min-heap of (tick, object) with
@@ -281,7 +281,7 @@ class SessionManager {
   // Flushes `entry`'s session, folds its counters into the shard,
   // releases its budget charges, and removes it. Returns the flush
   // status.
-  common::Status RetireLocked(Shard& shard,
+  [[nodiscard]] common::Status RetireLocked(Shard& shard,
                               std::map<core::ObjectId, Entry>::iterator it)
       SEMITRI_REQUIRES(shard.mutex);
 
@@ -295,7 +295,7 @@ class SessionManager {
   // Applies the overload policy until the budgets fit (shedding spares
   // `exclude`). OK = admitted; ResourceExhausted / DeadlineExceeded =
   // give up (the caller rolls its optimistic claims back).
-  common::Status ResolveOverload(core::ObjectId exclude);
+  [[nodiscard]] common::Status ResolveOverload(core::ObjectId exclude);
   // Evicts the least-recently-fed session other than `exclude`; false
   // when no candidate exists.
   bool ShedOldestIdle(core::ObjectId exclude);

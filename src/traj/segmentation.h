@@ -113,7 +113,7 @@ class DensityStopClassifier {
   // owner reconstructs — so a restored classifier continues the
   // suspended greedy scan exactly where the saved one stopped.
   void SaveState(common::StateWriter* w) const;
-  common::Status RestoreState(common::StateReader* r);
+  [[nodiscard]] common::Status RestoreState(common::StateReader* r);
 
  private:
   SegmentationConfig config_;

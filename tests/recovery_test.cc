@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "common/fault_injection.h"
+#include "common/fault_sites.h"
 #include "core/pipeline.h"
 #include "datagen/presets.h"
 #include "datagen/world.h"
@@ -245,6 +246,25 @@ TEST_F(RecoveryFixture, CrashAtEverySiteOfflineRecovers) {
     EXPECT_TRUE(std::find(sites.begin(), sites.end(), expected) !=
                 sites.end())
         << "site never fired: " << expected;
+  }
+  // Every runtime-discovered site must match the checked-in registry
+  // (common/fault_sites.h): semitri_lint verifies the registry against
+  // the SEMITRI_FAULT_FIRE call sites statically, and this assert
+  // closes the loop at runtime — a site that self-registers without a
+  // registry entry fails here, so registration implies the
+  // kill-at-site sweep below actually covers it.
+  for (const std::string& site : sites) {
+    bool registered = false;
+    for (const common::FaultSiteInfo& info : common::kFaultSites) {
+      if (common::FaultSiteMatches(info, site.c_str())) {
+        registered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(registered)
+        << "fault site `" << site
+        << "` is not in common/fault_sites.h — register it so the "
+           "crash sweep and semitri_lint both know about it";
   }
 
   for (const std::string& site : sites) {

@@ -1,19 +1,31 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy at the repo root) over every
-# translation unit and header in src/, using the compilation database
-# exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+# translation unit in src/, tests/, and bench/, using the compilation
+# database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
 #
-# Usage: tools/lint.sh [build-dir]
+# Usage: tools/lint.sh [--require] [build-dir]
 #   build-dir defaults to ./build; it must contain compile_commands.json.
+#   --require  fail (exit 3) when clang-tidy is missing instead of
+#              skipping. CI passes this so a misconfigured runner cannot
+#              silently turn the lint leg green.
 #
-# Exits nonzero on any diagnostic. If clang-tidy is not installed the
-# script prints a notice and exits 0 so the `lint` target is a no-op on
-# machines without LLVM tooling (CI runs it with clang-tidy present).
+# Translation units are linted in parallel (one clang-tidy process per
+# core via xargs -P); each TU's diagnostics are buffered to a private
+# file and replayed in order, so output stays per-file readable and the
+# exit code is nonzero iff any TU produced a diagnostic.
 
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
+require=0
+build_dir=""
+for arg in "$@"; do
+  case "${arg}" in
+    --require) require=1 ;;
+    *) build_dir="${arg}" ;;
+  esac
+done
+build_dir="${build_dir:-${repo_root}/build}"
 
 tidy=""
 for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
@@ -24,6 +36,10 @@ for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
   fi
 done
 if [[ -z "${tidy}" ]]; then
+  if [[ ${require} -eq 1 ]]; then
+    echo "lint: clang-tidy not found on PATH and --require was given" >&2
+    exit 3
+  fi
   echo "lint: clang-tidy not found on PATH; skipping (install LLVM tools" \
        "to enable the lint target)"
   exit 0
@@ -36,16 +52,38 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
 fi
 
 cd "${repo_root}"
-mapfile -t sources < <(find src -name '*.cc' | sort)
+mapfile -t sources < <(find src tests bench -name '*.cc' | sort)
 
-echo "lint: ${tidy} over ${#sources[@]} translation units" \
-     "(headers via --header-filter)"
-status=0
-for source in "${sources[@]}"; do
+jobs="$(nproc 2>/dev/null || echo 2)"
+outdir="$(mktemp -d)"
+trap 'rm -rf "${outdir}"' EXIT
+
+echo "lint: ${tidy} over ${#sources[@]} translation units," \
+     "${jobs} in parallel (headers via --header-filter)"
+
+# Each job writes diagnostics to ${outdir}/<mangled-path>.log and, on
+# failure, touches <mangled-path>.failed. xargs returns nonzero when any
+# job fails, but we derive the exit code from the marker files so a
+# killed/oversubscribed xargs cannot mask findings.
+export TIDY_BIN="${tidy}" TIDY_BUILD_DIR="${build_dir}" TIDY_OUT="${outdir}"
+printf '%s\0' "${sources[@]}" | xargs -0 -n 1 -P "${jobs}" bash -c '
+  source="$1"
+  log="${TIDY_OUT}/${source//\//_}.log"
   # --quiet suppresses the "N warnings generated" chatter; --warnings-as-
   # errors promotes everything the config enables so CI fails on any hit.
-  if ! "${tidy}" --quiet -p "${build_dir}" \
-       --warnings-as-errors='*' "${source}"; then
+  if ! "${TIDY_BIN}" --quiet -p "${TIDY_BUILD_DIR}" \
+       --warnings-as-errors="*" "${source}" >"${log}" 2>&1; then
+    touch "${log%.log}.failed"
+  fi
+' lint-one
+
+status=0
+for source in "${sources[@]}"; do
+  log="${outdir}/${source//\//_}.log"
+  if [[ -s "${log}" ]]; then
+    cat "${log}"
+  fi
+  if [[ -e "${log%.log}.failed" ]]; then
     status=1
   fi
 done

@@ -1,0 +1,831 @@
+#include "checks.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace semitri::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Last non-space char of code before `line`, and the last word on that
+// line — statement-start detection for unchecked-status.
+void PreviousCodeContext(const SourceFile& f, size_t line, char* last_char,
+                         std::string* last_word) {
+  *last_char = '\0';
+  last_word->clear();
+  for (size_t li = line; li-- > 1;) {
+    const std::string& code = f.code_line(li);
+    size_t e = code.find_last_not_of(" \t");
+    if (e == std::string::npos) continue;
+    *last_char = code[e];
+    size_t b = e;
+    while (b > 0 && (std::isalnum(static_cast<unsigned char>(code[b - 1])) ||
+                     code[b - 1] == '_')) {
+      --b;
+    }
+    if (std::isalpha(static_cast<unsigned char>(code[b])) || code[b] == '_') {
+      *last_word = code.substr(b, e - b + 1);
+    }
+    return;
+  }
+}
+
+// Removes balanced <...> pairs so template parameter lists do not look
+// like function parentheses or const qualifiers.
+std::string StripAngleBrackets(std::string s) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    int depth = 0;
+    size_t open = std::string::npos;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '<') {
+        if (depth == 0) open = i;
+        ++depth;
+      } else if (s[i] == '>' && depth > 0) {
+        --depth;
+        if (depth == 0) {
+          s.erase(open, i - open + 1);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+// Code text strictly between (l1, c1) and (l2, c2) — unlike
+// SourceFile::CodeRange, partial first/last lines are trimmed to the
+// span, so e.g. a function body excludes its signature.
+std::string CodeSpan(const SourceFile& f, size_t l1, size_t c1, size_t l2,
+                     size_t c2) {
+  std::string out;
+  for (size_t li = l1; li <= l2 && li <= f.line_count(); ++li) {
+    std::string code = f.code_line(li);
+    if (li == l2 && c2 <= code.size()) code = code.substr(0, c2);
+    if (li == l1 && c1 < code.size()) code = code.substr(c1 + 1);
+    if (li == l1 && c1 >= code.size()) code.clear();
+    if (!out.empty()) out.push_back('\n');
+    out += code;
+  }
+  return out;
+}
+
+std::string LastIdentifierComponent(const std::string& qualified) {
+  size_t at = qualified.rfind("::");
+  return at == std::string::npos ? qualified : qualified.substr(at + 2);
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.check != b.check) return a.check < b.check;
+              return a.message < b.message;
+            });
+}
+
+// ---------------------------------------------------------------------
+// unchecked-status
+// ---------------------------------------------------------------------
+
+constexpr char kUncheckedStatus[] = "unchecked-status";
+
+// Builds the set of function names declared to return
+// common::Status / common::Result<T> anywhere in the corpus, minus the
+// names that are *also* declared with a different return type (the
+// check is name-based, so ambiguous names are skipped rather than
+// guessed at).
+std::set<std::string> StatusReturningFunctions(const Corpus& corpus) {
+  static const std::regex kStatusDecl(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+)*)"
+      R"((?:semitri::)?(?:common::)?(?:Status|Result\s*<.*>)\s+)"
+      R"(([A-Za-z_][\w:]*)\s*\()");
+  static const std::regex kStatusTypeOnly(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+)*)"
+      R"((?:semitri::)?(?:common::)?(?:Status|Result\s*<.*>)\s*$)");
+  static const std::regex kNextLineName(R"(^\s*([A-Za-z_][\w:]*)\s*\()");
+  static const std::regex kOtherDecl(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+|constexpr\s+)*)"
+      R"(([A-Za-z_][\w:]*(?:\s*<.*>)?[&*\s]+)([A-Za-z_][\w:]*)\s*\()");
+  static const std::set<std::string> kKeywords = {
+      "return", "if",  "while",  "for",    "switch",    "case",
+      "else",   "do",  "goto",   "new",    "delete",    "throw",
+      "using",  "co_return", "typedef",    "co_await",  "co_yield"};
+
+  std::set<std::string> status_names;
+  std::set<std::string> other_names;
+  for (const SourceFile& f : corpus.files) {
+    for (size_t li = 1; li <= f.line_count(); ++li) {
+      const std::string& code = f.code_line(li);
+      std::smatch m;
+      if (std::regex_search(code, m, kStatusDecl)) {
+        status_names.insert(LastIdentifierComponent(m[1].str()));
+        continue;
+      }
+      if (std::regex_search(code, m, kStatusTypeOnly) &&
+          li + 1 <= f.line_count()) {
+        std::smatch next;
+        const std::string& next_code = f.code_line(li + 1);
+        if (std::regex_search(next_code, next, kNextLineName)) {
+          status_names.insert(LastIdentifierComponent(next[1].str()));
+        }
+        continue;
+      }
+      if (std::regex_search(code, m, kOtherDecl)) {
+        std::string type = Trim(m[1].str());
+        std::string first_word = type.substr(0, type.find_first_of(" \t<&*"));
+        if (kKeywords.count(first_word) != 0) continue;
+        if (first_word == "Status" || first_word == "Result" ||
+            EndsWith(first_word, "::Status") ||
+            EndsWith(first_word, "::Result")) {
+          continue;
+        }
+        other_names.insert(LastIdentifierComponent(m[2].str()));
+      }
+    }
+  }
+  std::set<std::string> result;
+  for (const std::string& name : status_names) {
+    if (other_names.count(name) == 0) result.insert(name);
+  }
+  return result;
+}
+
+std::vector<Finding> UncheckedStatusImpl(const Corpus& corpus) {
+  std::vector<Finding> findings;
+  std::set<std::string> registry = StatusReturningFunctions(corpus);
+  // qualifier chain (a. / b-> / ns::) then the callee name, at line
+  // start.
+  static const std::regex kCallAtLineStart(
+      R"(^\s*((?:[A-Za-z_]\w*(?:::|\.|->))*)([A-Za-z_]\w*)\s*\()");
+
+  for (const SourceFile& f : corpus.files) {
+    for (size_t li = 1; li <= f.line_count(); ++li) {
+      const std::string& code = f.code_line(li);
+      std::smatch m;
+      if (!std::regex_search(code, m, kCallAtLineStart)) continue;
+      std::string callee = m[2].str();
+      if (registry.count(callee) == 0) continue;
+
+      // Statement start: the previous code must have ended a statement
+      // or opened a block/label; `\` keeps macro-definition bodies in
+      // scope (that is where the compiler's [[nodiscard]] cannot see).
+      char prev_char;
+      std::string prev_word;
+      PreviousCodeContext(f, li, &prev_char, &prev_word);
+      bool starts_statement =
+          prev_char == '\0' || prev_char == ';' || prev_char == '{' ||
+          prev_char == '}' || prev_char == ':' || prev_char == '\\' ||
+          prev_char == ')' || prev_word == "else" || prev_word == "do";
+      if (!starts_statement) continue;
+      // `)` only starts a statement as an if/for/while controller, not
+      // after a call or condition used as an expression piece — require
+      // the enclosing line shape to already have ended with `)`.
+
+      // The call must be the whole statement: find its closing paren,
+      // then require `;`.
+      size_t open_col = static_cast<size_t>(m.position(0)) +
+                        m[0].str().size() - 1;
+      size_t close_line, close_col;
+      if (!f.FindMatching('(', ')', li, open_col, &close_line, &close_col)) {
+        continue;
+      }
+      const std::string& close_code = f.code_line(close_line);
+      size_t after = close_code.find_first_not_of(" \t", close_col + 1);
+      bool whole_statement =
+          after != std::string::npos && close_code[after] == ';';
+      if (!whole_statement && after == std::string::npos &&
+          close_line < f.line_count()) {
+        const std::string next =
+            Trim(f.code_line(close_line + 1));
+        whole_statement = StartsWith(next, ";");
+      }
+      if (!whole_statement) continue;
+      if (f.IsSuppressed(kUncheckedStatus, li)) continue;
+      findings.push_back(
+          {kUncheckedStatus, f.path(), li,
+           "result of Status/Result-returning `" + callee +
+               "` is dropped; check it, propagate it, or discard "
+               "explicitly with `(void)` and a comment"});
+    }
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------
+// exec-checkpoint-coverage
+// ---------------------------------------------------------------------
+
+constexpr char kExecCheckpoint[] = "exec-checkpoint-coverage";
+
+// The translation units whose loops PR 5 governs (annotators, map
+// matcher, HMM, stage graph).
+bool InExecCheckpointScope(const std::string& path) {
+  if (!StartsWith(path, "src/")) return false;
+  static const char* kBasenames[] = {
+      "/hmm.cc",          "/map_matcher.cc",      "/line_annotator.cc",
+      "/point_annotator.cc", "/region_annotator.cc", "/stage.cc",
+      "/stages.cc"};
+  for (const char* base : kBasenames) {
+    if (EndsWith(path, base)) return true;
+  }
+  return false;
+}
+
+struct Loop {
+  size_t header_line = 0;
+  std::string header;     // text inside the loop parentheses
+  size_t body_first = 0;  // inclusive line range of the body
+  size_t body_last = 0;
+  bool suppressed = false;
+  bool polls = false;     // body contains a checkpoint consult
+};
+
+bool ContainsPoll(const std::string& text) {
+  static const std::regex kPoll(
+      R"((\.|->)\s*Check\s*\(|ExecCheckpoint|check_interval)");
+  return std::regex_search(text, kPoll);
+}
+
+std::vector<Loop> CollectLoops(const SourceFile& f,
+                               const char* suppression_check) {
+  static const std::regex kLoopKeyword(R"((^|[^\w])(for|while)\s*\()");
+  std::vector<Loop> loops;
+  for (size_t li = 1; li <= f.line_count(); ++li) {
+    const std::string& code = f.code_line(li);
+    auto begin = std::sregex_iterator(code.begin(), code.end(), kLoopKeyword);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      size_t open_col =
+          static_cast<size_t>(it->position(0)) + it->str(0).size() - 1;
+      size_t hdr_close_line, hdr_close_col;
+      if (!f.FindMatching('(', ')', li, open_col, &hdr_close_line,
+                          &hdr_close_col)) {
+        continue;
+      }
+      Loop loop;
+      loop.header_line = li;
+      // Header text: the code between the parens (possibly multi-line).
+      std::string header = f.CodeRange(li, hdr_close_line);
+      // Trim to the span between this open paren and its close; on a
+      // single line that is exact, across lines keep it approximate.
+      if (hdr_close_line == li) {
+        header = code.substr(open_col + 1, hdr_close_col - open_col - 1);
+      }
+      loop.header = header;
+
+      // Body: `{...}` block or a single statement ending in `;`.
+      size_t bl = hdr_close_line, bc = hdr_close_col + 1;
+      bool found_body = false;
+      for (size_t scan = bl; scan <= f.line_count() && !found_body; ++scan) {
+        const std::string& scode = f.code_line(scan);
+        for (size_t col = (scan == bl ? bc : 0); col < scode.size(); ++col) {
+          char c = scode[col];
+          if (c == ' ' || c == '\t') continue;
+          if (c == '{') {
+            size_t close_l, close_c;
+            if (!f.FindMatching('{', '}', scan, col, &close_l, &close_c)) {
+              close_l = f.line_count();
+            }
+            loop.body_first = scan;
+            loop.body_last = close_l;
+          } else {
+            // Single-statement body: runs to the next `;`.
+            loop.body_first = scan;
+            loop.body_last = scan;
+            for (size_t sl = scan; sl <= f.line_count(); ++sl) {
+              const std::string& t = f.code_line(sl);
+              if (t.find(';', sl == scan ? col : 0) != std::string::npos) {
+                loop.body_last = sl;
+                break;
+              }
+            }
+          }
+          found_body = true;
+          break;
+        }
+      }
+      if (!found_body) continue;
+      loop.suppressed = f.IsSuppressed(suppression_check, loop.header_line);
+      loop.polls = ContainsPoll(f.CodeRange(loop.body_first, loop.body_last));
+      loops.push_back(std::move(loop));
+    }
+  }
+  return loops;
+}
+
+std::vector<Finding> ExecCheckpointImpl(const Corpus& corpus) {
+  static const char* kHotContainers[] = {"points", "candidates",
+                                         "categories", "episodes",
+                                         "emissions"};
+  std::vector<Finding> findings;
+  for (const SourceFile& f : corpus.files) {
+    if (!InExecCheckpointScope(f.path())) continue;
+
+    // Rule 1: a loop over the hot containers must consult a checkpoint
+    // in its body, or sit inside a loop that does (the enclosing poll
+    // bounds how stale the deadline can get per outer iteration).
+    std::vector<Loop> loops = CollectLoops(f, kExecCheckpoint);
+    for (const Loop& loop : loops) {
+      bool hot = false;
+      for (const char* word : kHotContainers) {
+        if (ContainsWord(loop.header, word)) {
+          hot = true;
+          break;
+        }
+      }
+      if (!hot || loop.polls || loop.suppressed) continue;
+      bool covered_by_enclosing = false;
+      for (const Loop& outer : loops) {
+        if (&outer == &loop) continue;
+        if (outer.body_first <= loop.header_line &&
+            loop.header_line <= outer.body_last &&
+            (outer.polls || outer.suppressed)) {
+          covered_by_enclosing = true;
+          break;
+        }
+      }
+      if (covered_by_enclosing) continue;
+      findings.push_back(
+          {kExecCheckpoint, f.path(), loop.header_line,
+           "loop over a hot container has no ExecCheckpoint/check_interval "
+           "poll in its body (PR 5 invariant: cooperative cancellation "
+           "must be consulted every check_interval iterations)"});
+    }
+
+    // Rule 2: a function that accepts an ExecControl* must consult it
+    // (construct an ExecCheckpoint, call Check, or forward it).
+    for (size_t li = 1; li <= f.line_count(); ++li) {
+      const std::string& code = f.code_line(li);
+      size_t at = code.find("ExecControl*");
+      if (at == std::string::npos) {
+        at = code.find("ExecControl *");
+        if (at == std::string::npos) continue;
+      }
+      // Find the end of this declaration: `;` = pure declaration
+      // (nothing to verify), `{` = definition body.
+      size_t body_open_line = 0, body_open_col = 0;
+      bool is_definition = false;
+      for (size_t scan = li; scan <= f.line_count() && scan < li + 8;
+           ++scan) {
+        const std::string& scode = f.code_line(scan);
+        size_t from = scan == li ? at : 0;
+        size_t semi = scode.find(';', from);
+        size_t brace = scode.find('{', from);
+        if (semi != std::string::npos &&
+            (brace == std::string::npos || semi < brace)) {
+          break;
+        }
+        if (brace != std::string::npos) {
+          is_definition = true;
+          body_open_line = scan;
+          body_open_col = brace;
+          break;
+        }
+      }
+      if (!is_definition) continue;
+      size_t body_close_line, body_close_col;
+      if (!f.FindMatching('{', '}', body_open_line, body_open_col,
+                          &body_close_line, &body_close_col)) {
+        continue;
+      }
+      std::string body = CodeSpan(f, body_open_line, body_open_col,
+                                  body_close_line, body_close_col);
+      if (ContainsWord(body, "exec") || ContainsPoll(body)) continue;
+      if (f.IsSuppressed(kExecCheckpoint, li)) continue;
+      findings.push_back(
+          {kExecCheckpoint, f.path(), li,
+           "function takes an ExecControl* but never consults or "
+           "forwards it — deadline/cancellation is silently ignored"});
+    }
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------
+// guarded-by-completeness
+// ---------------------------------------------------------------------
+
+constexpr char kGuardedBy[] = "guarded-by-completeness";
+
+struct MemberDecl {
+  std::string text;  // logical declaration, angle brackets stripped later
+  size_t line = 0;   // first line
+};
+
+// Walks a class body (between its braces), returning the logical
+// member declarations at class depth. Inline method bodies, nested
+// type bodies, and member initializer braces are skipped wholesale;
+// nested classes are audited by their own discovery pass.
+std::vector<MemberDecl> ClassMembers(const SourceFile& f, size_t open_line,
+                                     size_t open_col, size_t close_line,
+                                     size_t close_col) {
+  std::vector<MemberDecl> members;
+  MemberDecl current;
+  int brace_skip = 0;
+  int paren_depth = 0;
+  for (size_t li = open_line; li <= close_line; ++li) {
+    const std::string& code = f.code_line(li);
+    size_t begin = li == open_line ? open_col + 1 : 0;
+    size_t end = li == close_line ? close_col : code.size();
+    for (size_t ci = begin; ci < end && ci < code.size(); ++ci) {
+      char c = code[ci];
+      if (brace_skip > 0) {
+        if (c == '{') ++brace_skip;
+        if (c == '}') --brace_skip;
+        continue;
+      }
+      if (c == '{') {
+        brace_skip = 1;
+        continue;
+      }
+      if (c == '(') ++paren_depth;
+      if (c == ')') --paren_depth;
+      if (c == ';' && paren_depth == 0) {
+        std::string text = Trim(current.text);
+        if (!text.empty()) members.push_back({text, current.line});
+        current = MemberDecl{};
+        continue;
+      }
+      if (current.text.empty()) {
+        if (c == ' ' || c == '\t') continue;
+        current.line = li;
+      }
+      current.text.push_back(c);
+    }
+    if (!current.text.empty()) current.text.push_back(' ');
+
+    // Access specifiers end with ':', not ';' — drop them so they do
+    // not glue onto the next declaration.
+    std::string t = Trim(current.text);
+    if (t == "public:" || t == "private:" || t == "protected:") {
+      current = MemberDecl{};
+    }
+  }
+  return members;
+}
+
+bool IsMutexMember(const std::string& stripped) {
+  static const std::regex kMutex(
+      R"(std::(recursive_|shared_|timed_|recursive_timed_)?mutex)");
+  return std::regex_search(stripped, kMutex);
+}
+
+bool IsExemptMember(const std::string& stripped) {
+  static const std::regex kExempt(
+      R"(std::condition_variable|std::atomic|std::once_flag)");
+  if (std::regex_search(stripped, kExempt)) return true;
+  // const members are immutable after construction; static members are
+  // not instance state. (`mutable` is NOT exempt — mutable means
+  // mutated under some lock.)
+  if (ContainsWord(stripped, "const") &&
+      !ContainsWord(stripped, "mutable")) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<Finding> GuardedByImpl(const Corpus& corpus) {
+  static const std::regex kClassHead(
+      R"((^|[^\w])(class|struct)\s+(\[\[nodiscard\]\]\s+)?([A-Za-z_]\w*))");
+  static const std::set<std::string> kSkipPrefixes = {
+      "using",  "typedef", "friend", "static", "template",
+      "class",  "struct",  "enum",   "union",  "constexpr",
+      "public", "private", "protected"};
+
+  std::vector<Finding> findings;
+  for (const SourceFile& f : corpus.files) {
+    if (!StartsWith(f.path(), "src/")) continue;
+    for (size_t li = 1; li <= f.line_count(); ++li) {
+      const std::string& code = f.code_line(li);
+      std::smatch m;
+      std::string line_text = code;
+      if (!std::regex_search(line_text, m, kClassHead)) continue;
+      std::string class_name = m[4].str();
+
+      // Find the opening brace of the class body, bailing at `;`
+      // (forward declaration) or `(` (e.g. a class-keyword false hit).
+      size_t open_line = 0, open_col = 0;
+      bool has_body = false;
+      size_t search_col = static_cast<size_t>(m.position(0)) + m[0].str().size();
+      for (size_t scan = li; scan <= f.line_count() && scan < li + 6 &&
+                             !has_body;
+           ++scan) {
+        const std::string& scode = f.code_line(scan);
+        for (size_t ci = scan == li ? search_col : 0; ci < scode.size();
+             ++ci) {
+          if (scode[ci] == ';' || scode[ci] == '(') {
+            scan = f.line_count();  // forward declaration — stop
+            break;
+          }
+          if (scode[ci] == '{') {
+            open_line = scan;
+            open_col = ci;
+            has_body = true;
+            break;
+          }
+        }
+      }
+      if (!has_body) continue;
+      size_t close_line, close_col;
+      if (!f.FindMatching('{', '}', open_line, open_col, &close_line,
+                          &close_col)) {
+        continue;
+      }
+
+      std::vector<MemberDecl> members =
+          ClassMembers(f, open_line, open_col, close_line, close_col);
+      std::vector<std::string> mutexes;
+      for (const MemberDecl& member : members) {
+        std::string stripped = StripAngleBrackets(member.text);
+        if (stripped.find('(') != std::string::npos) continue;
+        if (IsMutexMember(stripped)) {
+          std::string name = stripped;
+          size_t sep = name.find_last_of(" \t");
+          if (sep != std::string::npos) name = name.substr(sep + 1);
+          mutexes.push_back(name);
+        }
+      }
+      if (mutexes.empty()) continue;
+
+      for (const MemberDecl& member : members) {
+        std::string stripped = StripAngleBrackets(member.text);
+        std::string first_word =
+            stripped.substr(0, stripped.find_first_of(" \t<:("));
+        if (kSkipPrefixes.count(first_word) != 0) continue;
+        if (stripped.find('(') != std::string::npos) continue;  // function
+        if (IsMutexMember(stripped) || IsExemptMember(stripped)) continue;
+        if (member.text.find("SEMITRI_GUARDED_BY") != std::string::npos ||
+            member.text.find("SEMITRI_PT_GUARDED_BY") != std::string::npos) {
+          continue;
+        }
+        if (f.IsSuppressed(kGuardedBy, member.line)) continue;
+        findings.push_back(
+            {kGuardedBy, f.path(), member.line,
+             "class `" + class_name + "` owns a mutex (" + mutexes[0] +
+                 ") but member `" + member.text.substr(0, 48) +
+                 "` has no SEMITRI_GUARDED_BY annotation — clang "
+                 "-Wthread-safety only validates annotated members"});
+      }
+    }
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------
+// fault-site-registry
+// ---------------------------------------------------------------------
+
+constexpr char kFaultSites[] = "fault-site-registry";
+constexpr char kRegistryPath[] = "src/common/fault_sites.h";
+constexpr char kRecoveryTestPath[] = "tests/recovery_test.cc";
+
+struct ExtractedSite {
+  std::string name;
+  bool prefix = false;
+  std::string file;
+  size_t line = 0;
+};
+
+std::vector<Finding> FaultSitesImpl(const Corpus& corpus) {
+  std::vector<Finding> findings;
+
+  // 1. Extract every SEMITRI_FAULT_FIRE site from src/.
+  std::vector<ExtractedSite> sites;
+  for (const SourceFile& f : corpus.files) {
+    if (!StartsWith(f.path(), "src/")) continue;
+    for (size_t li = 1; li <= f.line_count(); ++li) {
+      if (f.raw_line(li).find("#define") != std::string::npos) continue;
+      const std::string& code = f.code_line(li);
+      size_t at = code.find("SEMITRI_FAULT_FIRE");
+      if (at == std::string::npos) continue;
+      size_t open = code.find('(', at);
+      if (open == std::string::npos) continue;
+      size_t close_line, close_col;
+      if (!f.FindMatching('(', ')', li, open, &close_line, &close_col)) {
+        continue;
+      }
+      // Argument in RAW text (the code view blanks string literals).
+      std::string arg;
+      for (size_t al = li; al <= close_line; ++al) {
+        const std::string& raw = f.raw_line(al);
+        size_t b = al == li ? open + 1 : 0;
+        size_t e = al == close_line ? close_col : raw.size();
+        if (b < raw.size()) arg += raw.substr(b, e - b);
+      }
+      arg = Trim(arg);
+      size_t q1 = arg.find('"');
+      if (q1 == std::string::npos) {
+        if (!f.IsSuppressed(kFaultSites, li)) {
+          findings.push_back(
+              {kFaultSites, f.path(), li,
+               "SEMITRI_FAULT_FIRE argument has no string literal — the "
+               "site name cannot be statically registered; use a literal "
+               "(or a literal prefix) or suppress with a reason"});
+        }
+        continue;
+      }
+      size_t q2 = arg.find('"', q1 + 1);
+      if (q2 == std::string::npos) continue;
+      std::string literal = arg.substr(q1 + 1, q2 - q1 - 1);
+      bool whole_arg = q1 == 0 && q2 == arg.size() - 1;
+      sites.push_back({literal, /*prefix=*/!whole_arg, f.path(), li});
+    }
+  }
+
+  // 2. Duplicate site names: each name must identify one code location.
+  std::map<std::string, const ExtractedSite*> first_seen;
+  for (const ExtractedSite& site : sites) {
+    auto [it, inserted] = first_seen.emplace(site.name, &site);
+    if (!inserted) {
+      findings.push_back(
+          {kFaultSites, site.file, site.line,
+           "duplicate fault site `" + site.name + "` (first fired at " +
+               it->second->file + ":" + std::to_string(it->second->line) +
+               ") — kill-at-site recovery coverage needs unique names"});
+    }
+  }
+
+  // 3. Cross-check against the checked-in registry.
+  const SourceFile* registry_file = corpus.Find(kRegistryPath);
+  if (registry_file == nullptr) {
+    findings.push_back({kFaultSites, kRegistryPath, 1,
+                        "fault-site registry header is missing"});
+    SortFindings(&findings);
+    return findings;
+  }
+  static const std::regex kEntry(
+      R"rx(\{\s*"([^"]+)"\s*,\s*(true|false)\s*\})rx");
+  std::map<std::string, bool> registry;  // name -> prefix?
+  for (size_t li = 1; li <= registry_file->line_count(); ++li) {
+    const std::string& raw = registry_file->raw_line(li);
+    std::smatch m;
+    std::string text = raw;
+    if (std::regex_search(text, m, kEntry)) {
+      registry[m[1].str()] = m[2].str() == "true";
+    }
+  }
+  for (const ExtractedSite& site : sites) {
+    auto it = registry.find(site.name);
+    if (it == registry.end() || it->second != site.prefix) {
+      findings.push_back(
+          {kFaultSites, site.file, site.line,
+           "fault site `" + site.name + "` (" +
+               (site.prefix ? "prefix" : "exact") +
+               ") is not registered in " + kRegistryPath +
+               " — add it so recovery_test's kill-at-site sweep covers "
+               "it"});
+    }
+  }
+  // Stale registry entries: every registered name must still appear as
+  // a string literal somewhere in src/ (dynamic sites pass their names
+  // through variables, so match literals, not just extraction results).
+  for (const auto& [name, prefix] : registry) {
+    bool found = false;
+    std::string quoted = "\"" + name + "\"";
+    for (const SourceFile& f : corpus.files) {
+      if (!StartsWith(f.path(), "src/")) continue;
+      if (&f == registry_file) continue;  // its own entry is not a use
+      for (size_t li = 1; li <= f.line_count() && !found; ++li) {
+        if (f.raw_line(li).find(quoted) != std::string::npos) found = true;
+      }
+      if (found) break;
+    }
+    if (!found) {
+      findings.push_back(
+          {kFaultSites, std::string(kRegistryPath), 1,
+           "registry entry `" + name +
+               "` no longer matches any string literal in src/ — remove "
+               "the stale entry"});
+    }
+  }
+
+  // 4. recovery_test must assert the registry against the runtime
+  // discovery (fi.Sites()), so registration implies kill-at-site
+  // coverage.
+  const SourceFile* recovery = corpus.Find(kRecoveryTestPath);
+  if (recovery == nullptr) {
+    findings.push_back({kFaultSites, kRecoveryTestPath, 1,
+                        "tests/recovery_test.cc not found in the corpus — "
+                        "the kill-at-site harness is gone?"});
+  } else {
+    bool includes_registry = false;
+    for (size_t li = 1; li <= recovery->line_count(); ++li) {
+      if (recovery->raw_line(li).find("common/fault_sites.h") !=
+          std::string::npos) {
+        includes_registry = true;
+        break;
+      }
+    }
+    if (!includes_registry) {
+      findings.push_back(
+          {kFaultSites, kRecoveryTestPath, 1,
+           "recovery_test.cc does not include common/fault_sites.h — it "
+           "must assert discovered sites against the registry so "
+           "registration implies kill-at-site coverage"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// driver
+// ---------------------------------------------------------------------
+
+std::vector<std::string> AllCheckNames() {
+  return {kUncheckedStatus, kExecCheckpoint, kGuardedBy, kFaultSites};
+}
+
+std::vector<Finding> CheckUncheckedStatus(const Corpus& corpus) {
+  std::vector<Finding> findings = UncheckedStatusImpl(corpus);
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> CheckExecCheckpointCoverage(const Corpus& corpus) {
+  std::vector<Finding> findings = ExecCheckpointImpl(corpus);
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> CheckGuardedByCompleteness(const Corpus& corpus) {
+  std::vector<Finding> findings = GuardedByImpl(corpus);
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> CheckFaultSiteRegistry(const Corpus& corpus) {
+  std::vector<Finding> findings = FaultSitesImpl(corpus);
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> RunChecks(const Corpus& corpus,
+                               const std::vector<std::string>& checks) {
+  std::vector<std::string> selected = checks;
+  if (selected.empty()) selected = AllCheckNames();
+
+  std::vector<Finding> findings;
+  for (const std::string& check : selected) {
+    std::vector<Finding> batch;
+    if (check == kUncheckedStatus) {
+      batch = UncheckedStatusImpl(corpus);
+    } else if (check == kExecCheckpoint) {
+      batch = ExecCheckpointImpl(corpus);
+    } else if (check == kGuardedBy) {
+      batch = GuardedByImpl(corpus);
+    } else if (check == kFaultSites) {
+      batch = FaultSitesImpl(corpus);
+    } else {
+      batch.push_back({"driver", "<args>", 0,
+                       "unknown check `" + check + "`; known: " +
+                           [&] {
+                             std::string all;
+                             for (const std::string& n : AllCheckNames()) {
+                               if (!all.empty()) all += ", ";
+                               all += n;
+                             }
+                             return all;
+                           }()});
+    }
+    findings.insert(findings.end(), batch.begin(), batch.end());
+  }
+  // Malformed suppressions are findings regardless of check selection:
+  // a waiver without a reason must never silently hold.
+  for (const SourceFile& f : corpus.files) {
+    const std::vector<Finding>& bad = f.malformed_suppressions();
+    findings.insert(findings.end(), bad.begin(), bad.end());
+  }
+  SortFindings(&findings);
+  return findings;
+}
+
+}  // namespace semitri::lint

@@ -1,0 +1,201 @@
+// semitri_lint — the project-invariant checker driver.
+//
+// Usage:
+//   semitri_lint --repo <dir> [--compile-commands <file>]
+//                [--check <name>]... [--output <file>] [--list-checks]
+//
+// Walks src/, tests/, and bench/ under --repo for .h/.cc files, runs
+// the selected checks (default: all; see checks.h), and prints one
+// finding per line as `file:line: [check] message`.
+//
+// --compile-commands points at the build tree's compile_commands.json;
+// the driver verifies it exists and covers the tests/ and bench/
+// translation units, so the clang-tidy leg (tools/lint.sh) cannot
+// silently lint only the library. It is otherwise advisory — the
+// checks themselves are text-based and need no compilation database.
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = driver error (bad flag,
+// unreadable repo, stale compile_commands).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "lint_util.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::string repo;
+  std::string compile_commands;
+  std::string output;
+  std::vector<std::string> checks;
+  bool list_checks = false;
+};
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --repo <dir> [--compile-commands <file>]"
+               " [--check <name>]... [--output <file>] [--list-checks]\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--repo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->repo = v;
+    } else if (arg == "--compile-commands") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->compile_commands = v;
+    } else if (arg == "--check") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->checks.push_back(v);
+    } else if (arg == "--output") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->output = v;
+    } else if (arg == "--list-checks") {
+      opts->list_checks = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Collects repo-relative paths of every .h/.cc under the scanned roots,
+// sorted so findings are deterministic.
+std::vector<std::string> CollectPaths(const fs::path& repo) {
+  static const char* kRoots[] = {"src", "tests", "bench"};
+  std::vector<std::string> paths;
+  for (const char* root : kRoots) {
+    fs::path dir = repo / root;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      paths.push_back(fs::relative(it->path(), repo).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+// Verifies the compilation database exists and mentions tests/ and
+// bench/ TUs — i.e. it was generated from a tree where the clang-tidy
+// leg sees the whole project, not just the library.
+bool CheckCompileCommands(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read compile_commands at " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  for (const char* needle : {"tests/", "bench/"}) {
+    if (text.find(needle) == std::string::npos) {
+      *error = std::string(path) + " covers no " + needle +
+               " translation units — regenerate with "
+               "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON from the top-level "
+               "CMakeLists (tests and benchmarks must be linted too)";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) return Usage(argv[0]);
+
+  if (opts.list_checks) {
+    for (const std::string& name : semitri::lint::AllCheckNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (opts.repo.empty()) return Usage(argv[0]);
+
+  for (const std::string& check : opts.checks) {
+    const std::vector<std::string> known = semitri::lint::AllCheckNames();
+    if (std::find(known.begin(), known.end(), check) == known.end()) {
+      std::cerr << "unknown check: " << check << " (see --list-checks)\n";
+      return 2;
+    }
+  }
+
+  fs::path repo(opts.repo);
+  std::error_code ec;
+  if (!fs::is_directory(repo, ec)) {
+    std::cerr << "not a directory: " << opts.repo << "\n";
+    return 2;
+  }
+
+  if (!opts.compile_commands.empty()) {
+    std::string error;
+    if (!CheckCompileCommands(opts.compile_commands, &error)) {
+      std::cerr << "semitri_lint: " << error << "\n";
+      return 2;
+    }
+  }
+
+  semitri::lint::Corpus corpus;
+  for (const std::string& rel : CollectPaths(repo)) {
+    auto loaded =
+        semitri::lint::SourceFile::Load((repo / rel).string(), rel);
+    if (!loaded.ok()) {
+      std::cerr << "semitri_lint: " << loaded.status().ToString() << "\n";
+      return 2;
+    }
+    corpus.files.push_back(std::move(loaded).value());
+  }
+  if (corpus.files.empty()) {
+    std::cerr << "semitri_lint: no sources under " << opts.repo
+              << "/{src,tests,bench}\n";
+    return 2;
+  }
+
+  std::vector<semitri::lint::Finding> findings =
+      semitri::lint::RunChecks(corpus, opts.checks);
+
+  std::ostringstream report;
+  for (const semitri::lint::Finding& f : findings) {
+    report << f.ToString() << "\n";
+  }
+  std::cout << report.str();
+  if (!findings.empty()) {
+    std::cout << findings.size() << " finding(s)\n";
+  }
+  if (!opts.output.empty()) {
+    std::ofstream out(opts.output, std::ios::binary | std::ios::trunc);
+    out << report.str();
+    if (!out) {
+      std::cerr << "semitri_lint: cannot write " << opts.output << "\n";
+      return 2;
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Fixture: hot-container loops with no checkpoint poll, and an
+// ExecControl parameter that is silently ignored. Loaded with the
+// in-scope path "src/hmm/hmm.cc".
+
+#include <cstddef>
+#include <vector>
+
+namespace semitri::fixture {
+
+struct ExecControl;
+
+int UnpolledLoop(const std::vector<double>& emissions) {
+  int acc = 0;
+  for (size_t t = 0; t < emissions.size(); ++t) {  // FLAG: no poll
+    acc += static_cast<int>(emissions[t]);
+  }
+  return acc;
+}
+
+int IgnoredExec(const std::vector<int>& values, ExecControl* exec) {
+  // FLAG: `exec` is never consulted or forwarded.
+  int acc = 0;
+  for (int v : values) acc += v;
+  return acc;
+}
+
+}  // namespace semitri::fixture

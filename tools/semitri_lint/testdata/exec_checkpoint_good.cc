@@ -1,0 +1,52 @@
+// Fixture: compliant hot loops — polled directly, covered by a polled
+// enclosing loop, or suppressed with a reason. Zero findings expected.
+// Loaded with the in-scope path "src/road/map_matcher.cc".
+
+#include <cstddef>
+#include <vector>
+
+namespace semitri::fixture {
+
+struct ExecControl {
+  int Check(const char* site);
+};
+
+struct ExecCheckpoint {
+  ExecCheckpoint(ExecControl* exec, size_t check_interval);
+  int Check(const char* site);
+};
+
+int PolledLoop(const std::vector<double>& points, ExecControl* exec) {
+  ExecCheckpoint checkpoint(exec, 256);
+  int acc = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (checkpoint.Check("fixture_polled") != 0) break;
+    acc += static_cast<int>(points[i]);
+  }
+  return acc;
+}
+
+int EnclosingPoll(const std::vector<std::vector<int>>& candidates,
+                  ExecControl* exec) {
+  int acc = 0;
+  for (size_t w = 0; w < candidates.size(); ++w) {
+    if (exec->Check("fixture_window") != 0) break;
+    // Inner loop inherits the enclosing loop's poll.
+    for (size_t c = 0; c < candidates[w].size(); ++c) {
+      acc += candidates[w][c];
+    }
+  }
+  return acc;
+}
+
+int SuppressedLoop(const std::vector<int>& episodes) {
+  int acc = 0;
+  // semitri-lint: allow(exec-checkpoint-coverage) — fixture: episode
+  // counts are tiny, a poll per element would dominate the loop.
+  for (size_t e = 0; e < episodes.size(); ++e) {
+    acc += episodes[e];
+  }
+  return acc;
+}
+
+}  // namespace semitri::fixture

@@ -1,0 +1,18 @@
+// Fixture: fault-site violations — an unregistered site, a duplicate
+// name, and a dynamic (non-literal) site with no suppression. Loaded
+// with the path "src/fixture/sites_bad.cc".
+
+#define SEMITRI_FAULT_FIRE(site) 0
+
+namespace semitri::fixture {
+
+int Fire(const char* dynamic_name) {
+  int f = SEMITRI_FAULT_FIRE("family:" + std::string(dynamic_name));
+  int a = f + SEMITRI_FAULT_FIRE("registered_site");
+  int b = SEMITRI_FAULT_FIRE("rogue_site");       // FLAG: not registered
+  int c = SEMITRI_FAULT_FIRE("registered_site");  // FLAG: duplicate
+  int d = SEMITRI_FAULT_FIRE(dynamic_name);       // FLAG: no literal
+  return a + b + c + d;
+}
+
+}  // namespace semitri::fixture

@@ -1,0 +1,20 @@
+// Fixture: compliant fault sites — a registered exact site, a
+// registered prefix family, and a suppressed dynamic site. Zero
+// findings expected. Loaded with the path "src/fixture/sites_good.cc".
+
+#include <string>
+
+#define SEMITRI_FAULT_FIRE(site) 0
+
+namespace semitri::fixture {
+
+int Fire(const std::string& stage_name, const char* forwarded) {
+  int a = SEMITRI_FAULT_FIRE("registered_site");
+  int b = SEMITRI_FAULT_FIRE("family:" + stage_name);
+  // semitri-lint: allow(fault-site-registry) — fixture: the forwarded
+  // name is always "registered_site", registered above.
+  int c = SEMITRI_FAULT_FIRE(forwarded);
+  return a + b + c;
+}
+
+}  // namespace semitri::fixture

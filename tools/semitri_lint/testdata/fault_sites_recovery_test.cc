@@ -1,0 +1,6 @@
+// Fixture stand-in for the recovery test, loaded with the path
+// "tests/recovery_test.cc". The include below is what the
+// fault-site-registry check requires: the test must assert runtime
+// discovery against the checked-in registry.
+
+#include "common/fault_sites.h"

@@ -1,0 +1,11 @@
+// Fixture registry, loaded with the path "src/common/fault_sites.h".
+
+struct FaultSiteInfo {
+  const char* name;
+  bool prefix;
+};
+
+inline constexpr FaultSiteInfo kFaultSites[] = {
+    {"family:", true},
+    {"registered_site", false},
+};

@@ -1,0 +1,14 @@
+// Fixture registry with a stale entry, loaded with the path
+// "src/common/fault_sites.h". No literal in the fixture corpus
+// matches stale_site, so the check must flag the entry.
+
+struct FaultSiteInfo {
+  const char* name;
+  bool prefix;
+};
+
+inline constexpr FaultSiteInfo kFaultSites[] = {
+    {"family:", true},
+    {"registered_site", false},
+    {"stale_site", false},
+};

@@ -1,0 +1,22 @@
+// Fixture: a class owning a mutex with an unannotated mutable member.
+// Loaded with the path "src/fixture/guarded_bad.h".
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#define SEMITRI_GUARDED_BY(x)
+
+namespace semitri::fixture {
+
+class LeakyRegistry {
+ public:
+  void Put(const std::string& key, int value);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, int> entries_ SEMITRI_GUARDED_BY(mutex_);
+  size_t total_puts_ = 0;  // FLAG: mutated under mutex_, not annotated
+};
+
+}  // namespace semitri::fixture

@@ -1,0 +1,41 @@
+// Fixture: fully-annotated and exempt members; zero findings expected.
+// Loaded with the path "src/fixture/guarded_good.h".
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#define SEMITRI_GUARDED_BY(x)
+
+namespace semitri::fixture {
+
+// No mutex at all: nothing to audit.
+class PlainValue {
+ public:
+  int get() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+
+class TightRegistry {
+ public:
+  void Put(const std::string& key, int value);
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;           // exempt: synchronizer
+  std::atomic<size_t> lookups_{0};            // exempt: atomic
+  const int capacity_ = 128;                  // exempt: immutable
+  static constexpr int kShards = 4;           // exempt: not instance state
+  std::map<std::string, int> entries_ SEMITRI_GUARDED_BY(mutex_);
+  size_t total_puts_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  // semitri-lint: allow(guarded-by-completeness) — fixture: joined
+  // outside the lock by construction, never accessed concurrently.
+  std::thread flusher_;
+};
+
+}  // namespace semitri::fixture

@@ -1,0 +1,16 @@
+// Fixture: a suppression without a reason is itself a finding, and the
+// waiver is not honored. Loaded with the path
+// "src/fixture/suppression_bad.cc".
+
+#include "common/status.h"
+
+namespace semitri::fixture {
+
+common::Status DoWork();
+
+void ReasonlessWaiver() {
+  // semitri-lint: allow(unchecked-status)
+  DoWork();  // FLAG: still reported — the allow() above has no reason
+}
+
+}  // namespace semitri::fixture

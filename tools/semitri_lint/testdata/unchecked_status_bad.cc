@@ -1,0 +1,31 @@
+// Fixture: statements that drop a Status/Result and must be flagged.
+// Loaded by semitri_lint_test with the path "src/fixture/bad_status.cc".
+
+#include "common/status.h"
+
+namespace semitri::fixture {
+
+common::Status DoWork();
+common::Result<int> ParseCount(const char* text);
+
+void PlainDrop() {
+  DoWork();  // FLAG: whole-statement call, result dropped
+}
+
+void QualifiedDrop(common::Status (*unused)()) {
+  fixture::DoWork();  // FLAG: qualified call, result dropped
+}
+
+void ResultDrop(const char* text) {
+  ParseCount(text);  // FLAG: Result<int> dropped
+}
+
+// FLAG: drops inside macro bodies are exactly what the compiler's
+// [[nodiscard]] cannot see (the attribute fires at expansion sites
+// only, and only in instantiated code).
+#define FIXTURE_RESET_AND_IGNORE() \
+  do {                             \
+    DoWork();                      \
+  } while (0)
+
+}  // namespace semitri::fixture

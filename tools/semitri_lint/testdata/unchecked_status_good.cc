@@ -1,0 +1,40 @@
+// Fixture: every legal way to consume a Status/Result. Zero findings
+// expected. Loaded with the path "src/fixture/good_status.cc".
+
+#include "common/status.h"
+
+namespace semitri::fixture {
+
+common::Status DoWork();
+common::Result<int> ParseCount(const char* text);
+
+common::Status Propagate() {
+  SEMITRI_RETURN_IF_ERROR(DoWork());
+  return DoWork();
+}
+
+common::Status Assigned() {
+  common::Status status = DoWork();
+  if (!status.ok()) return status;
+  auto parsed = ParseCount("3");
+  return parsed.status();
+}
+
+void ExplicitDiscard() {
+  // Sanctioned discard: the (void) cast plus a reason.
+  (void)DoWork();
+}
+
+void Conditional() {
+  if (!DoWork().ok()) {
+    return;
+  }
+}
+
+void Suppressed() {
+  // semitri-lint: allow(unchecked-status) — fixture exercising the
+  // suppression protocol; the drop below is intentional.
+  DoWork();
+}
+
+}  // namespace semitri::fixture
