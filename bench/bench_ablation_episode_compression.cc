@@ -14,6 +14,7 @@
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("ablation_episode_compression");
   benchutil::PrintHeader(
       "Ablation: per-episode vs per-point region annotation",
       "paper Sec 3.2 design principle + Sec 5.2 compression");
@@ -72,5 +73,5 @@ int main() {
   std::printf("\npaper: 3M records -> 8,385 annotated cells (99.7%%); "
               "episode-level annotation is\nthe coarser, cheaper "
               "representation the layered design feeds to applications.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

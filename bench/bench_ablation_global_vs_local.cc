@@ -12,10 +12,12 @@
 #include "bench_util.h"
 #include "datagen/presets.h"
 #include "road/map_matcher.h"
+#include "traj/point_batch.h"
 
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("ablation_global_vs_local");
   benchutil::PrintHeader(
       "Ablation: globalScore vs localScore vs geometric baseline",
       "design choice behind paper Sec 4.2 (global map matching)");
@@ -48,16 +50,18 @@ int main() {
 
     road::GeometricMapMatcher geometric(&world.roads);
 
+    traj::PointBatch batch;
+    batch.BuildFrom(track.points);
     double acc_global =
-        road::MatchingAccuracy(global.MatchPoints(track.points), truth);
+        road::MatchingAccuracy(global.MatchPoints(batch.View()), truth);
     double acc_local =
-        road::MatchingAccuracy(local_only.MatchPoints(track.points), truth);
+        road::MatchingAccuracy(local_only.MatchPoints(batch.View()), truth);
     double acc_geo =
-        road::MatchingAccuracy(geometric.MatchPoints(track.points), truth);
+        road::MatchingAccuracy(geometric.MatchPoints(batch.View()), truth);
     std::printf("%-12.0f %11.2f%% %11.2f%% %11.2f%%\n", noise,
                 acc_global * 100.0, acc_local * 100.0, acc_geo * 100.0);
   }
   std::printf("\nexpected: global >= local-only ~= geometric, gap widening "
               "with noise.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

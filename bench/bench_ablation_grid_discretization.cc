@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "datagen/world.h"
 #include "poi/observation_model.h"
@@ -63,6 +64,7 @@ BENCHMARK(BM_EmissionsExact);
 BENCHMARK(BM_ModelConstruction)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  benchutil::BenchReporter reporter("ablation_grid_discretization");
   // Agreement report before the timing run.
   datagen::World& world = TestWorld();
   poi::PoiObservationModel model(&world.pois);
@@ -85,7 +87,10 @@ int main(int argc, char** argv) {
                   static_cast<double>(kQueries),
               kQueries, world.pois.size());
 
+  reporter.Metric("argmax_agreement",
+                  static_cast<double>(agree) /
+                      static_cast<double>(kQueries));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("ablation_hmm_vs_nearest");
   benchutil::PrintHeader("Ablation: HMM (Alg. 3) vs nearest-POI baseline",
                          "design choice behind paper Sec 4.3");
 
@@ -73,5 +74,5 @@ int main() {
   }
   std::printf("\nexpected: nearest wins at low noise; HMM crosses over as "
               "stop uncertainty grows.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "index/spatial_index.h"
 #include "road/road_network.h"
@@ -147,4 +148,11 @@ BENCHMARK(BM_IndexBuildBulkLoad)
     ->ArgsProduct({{10000, 100000}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  semitri::benchutil::BenchReporter reporter("ablation_index");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return reporter.Write() ? 0 : 1;
+}

@@ -63,6 +63,7 @@ double Accuracy(const poi::PointAnnotator& annotator,
 }  // namespace
 
 int main() {
+  benchutil::BenchReporter reporter("ablation_learned_transitions");
   benchutil::PrintHeader(
       "Ablation: learned (Baum-Welch) vs default transition matrix",
       "paper Sec 4.3 extension: personalized transition matrix A");
@@ -126,5 +127,5 @@ int main() {
   }
   std::printf("\nexpected: the learned matrix encodes the routine and "
               "wins, most at high noise.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

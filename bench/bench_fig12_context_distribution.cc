@@ -16,6 +16,7 @@
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("fig12_context_distribution");
   benchutil::PrintHeader(
       "Fig. 12: #GPS records per trajectory/move/stop (log-log)",
       "paper Fig. 12 + Table 2 context computation totals");
@@ -63,5 +64,5 @@ int main() {
   print_hist("trajectory sizes", counts.trajectory_sizes);
   print_hist("move sizes", counts.move_sizes);
   print_hist("stop sizes", counts.stop_sizes);
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("fig13_user_sample");
   benchutil::PrintHeader("Fig. 13: per-user context computation",
                          "paper Fig. 13 + Table 2 per-user rows");
 
@@ -52,5 +53,5 @@ int main() {
   std::printf("\npaper (Table 2, full scale): users tracked 89-330 days "
               "with 45k-200k GPS records each;\nFig. 13 plots GPS/100 "
               "against per-user trajectory/stop/move counts.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

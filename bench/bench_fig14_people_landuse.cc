@@ -17,6 +17,7 @@
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("fig14_people_landuse");
   benchutil::PrintHeader("Fig. 14: per-user landuse distribution + top-5",
                          "paper Fig. 14 (+ the 61% vs 83% contrast of "
                          "Sec 5.3)");
@@ -64,5 +65,5 @@ int main() {
   std::printf("\nall-user 1.2+1.3 share: %s (paper: ~61%% for people vs "
               "~83%% for taxis)\n",
               benchutil::Pct(urban).c_str());
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include "bench_util.h"
 #include "datagen/movement.h"
 #include "road/line_annotator.h"
+#include "traj/point_batch.h"
 
 using namespace semitri;
 
@@ -33,7 +34,9 @@ void PrintCommute(const datagen::World& world,
     return;
   }
   road::LineAnnotator annotator(&world.roads);
-  auto episodes = annotator.AnnotateMove(track.points, 0);
+  traj::PointBatch batch;
+  batch.BuildFrom(track.points);
+  auto episodes = annotator.AnnotateMove(batch.View(), 0);
   std::printf("  %-22s %-10s %-9s\n", "street", "start", "mode");
   for (const auto& ep : episodes) {
     if (!ep.place.valid()) continue;
@@ -49,6 +52,7 @@ void PrintCommute(const datagen::World& world,
 }  // namespace
 
 int main() {
+  benchutil::BenchReporter reporter("fig15_16_move_annotation");
   benchutil::PrintHeader(
       "Figs. 15/16: home-office move annotation (metro / bike / bus)",
       "paper Fig. 15(d) street table and Fig. 16 variants");
@@ -64,5 +68,5 @@ int main() {
   PrintCommute(world, sim, road::TransportMode::kBicycle, home, office);
   std::printf("\n(c) via Bus (paper Fig. 16b: walking at both ends):\n");
   PrintCommute(world, sim, road::TransportMode::kBus, home, office);
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("fig17_latency");
   benchutil::PrintHeader("Fig. 17: per-layer latency per daily trajectory",
                          "paper Fig. 17 + the Sec 5.4 stage means");
 
@@ -68,5 +69,5 @@ int main() {
               "store match 0.292, landuse join 0.088 — storing dominates "
               "computing,\nas it does above (CSV write-through store).\n");
   std::filesystem::remove_all(dir);
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("fig9_landuse");
   benchutil::PrintHeader(
       "Fig. 9: landuse distribution over taxi trajectories",
       "paper Fig. 9 + §5.2 episode counts and compression");
@@ -131,5 +132,5 @@ int main() {
   std::printf("compression ratio: %.2f%%   (paper: 99.7%%, 3M records ->"
               " 8,385 cells)\n",
               compression.CompressionRatio() * 100.0);
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

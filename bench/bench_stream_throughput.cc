@@ -14,8 +14,9 @@
 //     checkpoint at the end) vs. the in-memory baseline.
 //
 // `bench_stream_throughput smoke` runs a scaled-down corpus for CI.
-// Machine-readable numbers (throughputs + WAL overhead) are written to
-// bench_stream_throughput.json in the working directory.
+// Machine-readable numbers (throughputs, WAL overhead, kernel speedup,
+// steady-state allocation gate) are written to
+// BENCH_stream_throughput.json (see benchutil::BenchReporter).
 
 #include <unistd.h>
 
@@ -27,8 +28,14 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <limits>
+
 #include "analytics/latency_profiler.h"
 #include "bench_util.h"
+#include "common/rng.h"
+#include "hmm/hmm.h"
+#include "stream/annotation_session.h"
 #include "core/pipeline.h"
 #include "datagen/presets.h"
 #include "store/semantic_trajectory_store.h"
@@ -42,6 +49,50 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   return elapsed.count();
+}
+
+
+// Pre-refactor Viterbi over nested-vector delta/psi rows, kept verbatim
+// as the scalar reference for the kernel_speedup gate — the per-row
+// allocations and double-indirect walks the flat EmissionMatrix +
+// arena-backed decode replaced. Returns the path log-probability as a
+// checksum.
+double ReferenceViterbiScalar(const hmm::HmmModel& model,
+                              const hmm::EmissionMatrix& emissions) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  auto safe_log = [](double p) { return p > 0.0 ? std::log(p) : kNegInf; };
+  const size_t n = model.num_states();
+  const size_t t_max = emissions.rows();
+  if (t_max == 0) return 0.0;
+  auto row_emission = [&](size_t t, size_t i) {
+    double sum = 0.0;
+    for (double e : emissions.Row(t)) sum += e;
+    if (sum <= 0.0) return 1.0 / static_cast<double>(n);
+    return emissions.At(t, i);
+  };
+  std::vector<std::vector<double>> delta(t_max, std::vector<double>(n));
+  std::vector<std::vector<size_t>> psi(t_max, std::vector<size_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    delta[0][i] = safe_log(model.initial[i]) + safe_log(row_emission(0, i));
+  }
+  for (size_t t = 1; t < t_max; ++t) {
+    for (size_t j = 0; j < n; ++j) {
+      double best = kNegInf;
+      size_t best_i = 0;
+      for (size_t i = 0; i < n; ++i) {
+        double v = delta[t - 1][i] + safe_log(model.transition[i][j]);
+        if (v > best) {
+          best = v;
+          best_i = i;
+        }
+      }
+      delta[t][j] = best + safe_log(row_emission(t, j));
+      psi[t][j] = best_i;
+    }
+  }
+  double best = kNegInf;
+  for (size_t i = 0; i < n; ++i) best = std::max(best, delta[t_max - 1][i]);
+  return best;
 }
 
 void PrintSummary(const char* label,
@@ -255,29 +306,91 @@ int main(int argc, char** argv) {
               store.num_trajectories(), store.num_gps_records(),
               store.num_semantic_episodes());
 
-  benchutil::JsonWriter json;
-  json.Add("bench", std::string("stream_throughput"));
-  json.Add("smoke", static_cast<size_t>(smoke ? 1 : 0));
-  json.Add("gps_records", total_points);
-  json.Add("offline_points_per_s",
-           static_cast<double>(total_points) / offline_seconds);
-  json.Add("live_points_per_s",
-           static_cast<double>(total_points) / live_seconds);
-  json.Add("live_wal_points_per_s",
-           static_cast<double>(total_points) / wal_seconds);
-  json.Add("wal_overhead_fraction", wal_overhead);
-  json.Add("overload_points_per_s",
-           static_cast<double>(total_points) / overload_seconds);
-  json.Add("overload_sessions_shed", overload_stats.sessions_shed);
-  json.Add("overload_shed_per_1k_fixes", shed_rate);
-  json.Add("overload_rejected_fixes", overload_stats.overload_rejected_fixes);
-  json.Add("admission_p50_ms", admission_p50 * 1e3);
-  json.Add("admission_p99_ms", admission_p99 * 1e3);
-  const char* json_path = "bench_stream_throughput.json";
-  if (!json.WriteToFile(json_path)) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
+  // --- kernel section (perf-gate) ---------------------------------------
+  // Flat arena-backed Viterbi vs. the nested-vector reference above, on
+  // a stop sequence shaped like the streaming workload's decode calls.
+  benchutil::BenchReporter reporter("stream_throughput");
+  {
+    const size_t kStates = 8;
+    const size_t kStops = smoke ? 2000 : 20000;
+    hmm::HmmModel model;
+    model.initial.assign(kStates, 1.0 / static_cast<double>(kStates));
+    model.transition = hmm::MakeDefaultTransition(kStates, 0.6);
+    hmm::EmissionMatrix emissions;
+    emissions.Reset(kStates);
+    common::Rng rng(99);
+    for (size_t t = 0; t < kStops; ++t) {
+      for (double& e : emissions.AppendRow()) e = rng.Uniform(0.01, 1.0);
+    }
+    common::Arena arena;
+    const int kIters = 15;
+    double checksum = 0.0;
+    double kernel_speedup = reporter.GatePairedSpeedup(
+        "kernel_speedup", "viterbi_flat", "viterbi_scalar_ref", kIters,
+        [&] {
+          arena.Reset();
+          auto result = hmm::Viterbi(model, emissions, nullptr, &arena);
+          if (!result.ok()) std::abort();
+        },
+        [&] { checksum += ReferenceViterbiScalar(model, emissions); });
+    reporter.Metric("scalar_ref_checksum", checksum);
+    std::printf("\nkernel section: flat-vs-nested viterbi paired-median "
+                "speedup %.2fx\n",
+                kernel_speedup);
   }
-  std::printf("json: %s\n", json_path);
-  return 0;
+
+  // --- steady-state allocation gate -------------------------------------
+  // One AnnotationSession fed the same track twice: after the warm-up
+  // pass, replaying it must grow neither the arena block count nor any
+  // scratch buffer (the zero steady-state-allocation contract; the
+  // in-process assertion lives in tests/stream_scratch_test.cc).
+  {
+    core::SemiTriPipeline pipeline(&world.regions, &world.roads, &world.pois,
+                                   core::PipelineConfig{});
+    stream::AnnotationSession session(&pipeline, /*object_id=*/4242);
+    const datagen::SimulatedTrack& track = people.tracks.front();
+    auto feed_track = [&]() -> bool {
+      for (const core::GpsPoint& fix : track.points) {
+        if (!session.Feed(fix).ok()) return false;
+      }
+      return session.Flush().ok();
+    };
+    if (!feed_track()) {
+      std::fprintf(stderr, "scratch warm-up pass failed\n");
+      return 1;
+    }
+    size_t warm_blocks = session.scratch().point.arena.num_block_allocations();
+    size_t warm_capacity = session.scratch().capacity_bytes();
+    if (!feed_track()) {
+      std::fprintf(stderr, "scratch steady-state pass failed\n");
+      return 1;
+    }
+    size_t steady_allocs =
+        (session.scratch().point.arena.num_block_allocations() - warm_blocks) +
+        (session.scratch().capacity_bytes() != warm_capacity ? 1 : 0);
+    reporter.GateZero("scratch_steady_state_allocs", steady_allocs);
+    reporter.Metric("scratch_capacity_bytes", warm_capacity);
+    std::printf("steady-state scratch allocations after warm-up: %zu "
+                "(scratch capacity %zu bytes)\n",
+                steady_allocs, warm_capacity);
+  }
+
+  reporter.Metric("smoke", static_cast<size_t>(smoke ? 1 : 0));
+  reporter.Metric("gps_records", total_points);
+  reporter.Metric("offline_points_per_s",
+                  static_cast<double>(total_points) / offline_seconds);
+  reporter.Metric("live_points_per_s",
+                  static_cast<double>(total_points) / live_seconds);
+  reporter.Metric("live_wal_points_per_s",
+                  static_cast<double>(total_points) / wal_seconds);
+  reporter.Metric("wal_overhead_fraction", wal_overhead);
+  reporter.Metric("overload_points_per_s",
+                  static_cast<double>(total_points) / overload_seconds);
+  reporter.Metric("overload_sessions_shed", overload_stats.sessions_shed);
+  reporter.Metric("overload_shed_per_1k_fixes", shed_rate);
+  reporter.Metric("overload_rejected_fixes",
+                  overload_stats.overload_rejected_fixes);
+  reporter.Metric("admission_p50_ms", admission_p50 * 1e3);
+  reporter.Metric("admission_p99_ms", admission_p99 * 1e3);
+  return reporter.Write() ? 0 : 1;
 }

@@ -26,6 +26,7 @@ struct Row {
 }  // namespace
 
 int main() {
+  benchutil::BenchReporter reporter("table1_datasets");
   benchutil::PrintHeader("Table 1: vehicle trajectory datasets",
                          "paper Table 1 (Lausanne taxis / Milan private "
                          "cars / Seattle drive)");
@@ -69,5 +70,5 @@ int main() {
               world.roads.num_segments());
   std::printf("\nNOTE: corpora are scaled; per-record statistics and all "
               "distribution shapes\nare preserved (see EXPERIMENTS.md).\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

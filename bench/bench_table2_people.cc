@@ -13,6 +13,7 @@
 using namespace semitri;
 
 int main() {
+  benchutil::BenchReporter reporter("table2_people");
   benchutil::PrintHeader("Table 2: people trajectory data",
                          "paper Table 2 (Nokia smartphone corpus)");
 
@@ -46,5 +47,5 @@ int main() {
   std::printf("  landuse cells: %zu (paper: 1,936,439)\n", regions);
   std::printf("  map points:    %zu (paper: 109,954)\n", points);
   std::printf("  map lines:     %zu (paper: 344,975)\n", lines);
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

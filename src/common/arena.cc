@@ -1,0 +1,57 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace semitri::common {
+
+void* Arena::AllocBytes(size_t bytes, size_t align) {
+  SEMITRI_DCHECK(align != 0 && (align & (align - 1)) == 0)
+      << "arena alignment must be a power of two, got " << align;
+  if (bytes == 0) bytes = 1;
+
+  // Try the current and any later (already-owned, recycled) blocks.
+  while (current_ < blocks_.size()) {
+    Block& block = blocks_[current_];
+    size_t aligned =
+        (offset_ + align - 1) & ~(align - 1);
+    if (aligned + bytes <= block.size) {
+      offset_ = aligned + bytes;
+      used_bytes_ += bytes;
+      return block.data.get() + aligned;
+    }
+    ++current_;
+    offset_ = 0;
+  }
+
+  // Grow: geometric doubling, large requests get a dedicated block.
+  size_t next_size = blocks_.empty()
+                         ? kInitialBlockBytes
+                         : std::min(blocks_.back().size * 2, kMaxBlockBytes);
+  next_size = std::max(next_size, bytes + align);
+  Block block;
+  block.data = std::make_unique<char[]>(next_size);
+  block.size = next_size;
+  capacity_bytes_ += next_size;
+  ++num_block_allocations_;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+
+  // Blocks come from new[] and are aligned to the default new
+  // alignment (>= 16), so aligning the offset aligns the pointer for
+  // every type the data plane stores (doubles, ids, indices).
+  SEMITRI_DCHECK(align <= 16) << "arena supports alignment up to 16";
+  offset_ = bytes;
+  used_bytes_ += bytes;
+  return blocks_[current_].data.get();
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  used_bytes_ = 0;
+}
+
+}  // namespace semitri::common

@@ -1,0 +1,79 @@
+#ifndef SEMITRI_COMMON_ARENA_H_
+#define SEMITRI_COMMON_ARENA_H_
+
+// Bump allocator for per-run kernel scratch.
+//
+// The annotation data plane allocates all transient per-run arrays
+// (candidate CSR rows, distance batches, Viterbi delta/psi, emission
+// rows) from one Arena owned by the run's AnnotationScratch. Reset()
+// recycles the memory without returning it to the system, so a
+// steady-state streaming session performs zero allocations once its
+// arena has grown to the working-set high-water mark — the property
+// tests/stream_scratch_test.cc asserts via num_block_allocations().
+//
+// Not thread-safe: one Arena belongs to one run/session at a time,
+// exactly like the AnnotationScratch that owns it.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace semitri::common {
+
+class Arena {
+ public:
+  // First block size; subsequent blocks double up to kMaxBlockBytes.
+  static constexpr size_t kInitialBlockBytes = 64 * 1024;
+  static constexpr size_t kMaxBlockBytes = 8 * 1024 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Uninitialized storage for `count` objects of T (trivial T only —
+  // nothing is constructed or destroyed). Alignment of T is honored.
+  template <typename T>
+  std::span<T> AllocSpan(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is never destroyed");
+    void* p = AllocBytes(count * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  // Raw aligned allocation; `align` must be a power of two.
+  void* AllocBytes(size_t bytes, size_t align);
+
+  // Recycles every block for reuse. Pointers handed out before the
+  // Reset are invalidated; capacity (and the block list) is kept, so a
+  // warm arena serves the next run without touching the allocator.
+  void Reset();
+
+  // --- stats (the zero-steady-state-allocation contract) --------------
+  // Number of times a fresh block was fetched from the system
+  // allocator. Monotonic: stays flat across Reset()/reuse cycles once
+  // the arena reached its high-water capacity.
+  size_t num_block_allocations() const { return num_block_allocations_; }
+  // Total capacity owned (bytes across all blocks).
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  // Bytes handed out since the last Reset (excluding alignment waste).
+  size_t used_bytes() const { return used_bytes_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;    // index of the block being bumped
+  size_t offset_ = 0;     // bump offset within blocks_[current_]
+  size_t used_bytes_ = 0;
+  size_t capacity_bytes_ = 0;
+  size_t num_block_allocations_ = 0;
+};
+
+}  // namespace semitri::common
+
+#endif  // SEMITRI_COMMON_ARENA_H_

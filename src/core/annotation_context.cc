@@ -1,8 +1,19 @@
 #include "core/annotation_context.h"
 
 #include "common/check.h"
+#include "core/annotation_scratch.h"
 
 namespace semitri::core {
+
+const traj::PointBatch& AnnotationContext::PointsBatch() {
+  traj::PointBatch& batch = scratch != nullptr ? scratch->batch
+                                               : fallback_batch_;
+  if (!batch_built_) {
+    batch.BuildFrom(result.cleaned);
+    batch_built_ = true;
+  }
+  return batch;
+}
 
 const char* LayerName(Layer layer) {
   switch (layer) {

@@ -16,6 +16,7 @@
 #include "common/exec_control.h"
 #include "common/status.h"
 #include "core/types.h"
+#include "traj/point_batch.h"
 
 namespace semitri::analytics {
 class LatencyProfiler;
@@ -28,6 +29,7 @@ class SemanticTrajectoryStore;
 namespace semitri::core {
 
 class Watchdog;
+struct AnnotationScratch;
 
 // The three annotation layers of Fig. 2.
 enum class Layer { kRegion, kLine, kPoint };
@@ -98,6 +100,19 @@ struct AnnotationContext {
   // Time source for retry backoff sleeps and stage timing (null = real
   // clock; tests inject common::FakeClock to run backoff in zero time).
   const common::Clock* clock = nullptr;
+
+  // Per-run working memory (see core/annotation_scratch.h); null = the
+  // run builds the point batch into `fallback_batch_` and the stages use
+  // local scratch.
+  AnnotationScratch* scratch = nullptr;
+
+  // SoA view of result.cleaned, built lazily on first use (into the
+  // scratch when present, so its capacity is reused across runs).
+  const traj::PointBatch& PointsBatch();
+
+ private:
+  traj::PointBatch fallback_batch_;
+  bool batch_built_ = false;
 };
 
 }  // namespace semitri::core

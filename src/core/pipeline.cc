@@ -92,6 +92,7 @@ common::Result<PipelineResult> SemiTriPipeline::ProcessTrajectory(
   context.exec = controls.exec;
   context.watchdog = controls.watchdog;
   context.clock = controls.clock;
+  context.scratch = controls.scratch;
   SEMITRI_RETURN_IF_ERROR(graph_.Run(context));
   return std::move(context.result);
 }
@@ -131,6 +132,7 @@ common::Result<PipelineResult> SemiTriPipeline::AnnotateComputed(
   context.exec = controls.exec;
   context.watchdog = controls.watchdog;
   context.clock = controls.clock;
+  context.scratch = controls.scratch;
   // Same stage sequence as a full run, minus trajectory computation —
   // the stable topological order keeps store rows and latency samples
   // in the exact ProcessTrajectory order.

@@ -32,6 +32,7 @@
 namespace semitri::core {
 
 class Watchdog;
+struct AnnotationScratch;
 
 // Per-run resource-governance hooks (all optional; the default is an
 // unbounded run, byte-identical to the pre-governance behaviour).
@@ -42,6 +43,9 @@ struct RunControls {
   Watchdog* watchdog = nullptr;
   // Clock for retry backoff and breaker stage timing (null = real).
   const common::Clock* clock = nullptr;
+  // Reusable data-plane working memory (see core/annotation_scratch.h);
+  // null = per-run local scratch.
+  AnnotationScratch* scratch = nullptr;
 };
 
 struct PipelineConfig {

@@ -1,5 +1,7 @@
 #include "core/stages.h"
 
+#include "core/annotation_scratch.h"
+
 namespace semitri::core {
 
 common::Status ComputeEpisodeStage::Run(AnnotationContext& context) const {
@@ -30,7 +32,8 @@ common::Status RegionAnnotationStage::Run(AnnotationContext& context) const {
 
 common::Status LineAnnotationStage::Run(AnnotationContext& context) const {
   common::Result<StructuredSemanticTrajectory> layer = annotator_->Annotate(
-      context.result.cleaned, context.result.episodes, context.exec);
+      context.PointsBatch(), context.result.episodes, context.exec,
+      context.scratch != nullptr ? &context.scratch->line : nullptr);
   if (!layer.ok()) return layer.status();
   context.result.line_layer = std::move(*layer);
   return common::Status::OK();
@@ -45,7 +48,8 @@ common::Status StoreMatchStage::Run(AnnotationContext& context) const {
 
 common::Status PointAnnotationStage::Run(AnnotationContext& context) const {
   common::Result<StructuredSemanticTrajectory> layer = annotator_->Annotate(
-      context.result.cleaned, context.result.episodes, context.exec);
+      context.result.cleaned, context.result.episodes, context.exec,
+      context.scratch != nullptr ? &context.scratch->point : nullptr);
   if (!layer.ok()) return layer.status();
   context.result.point_layer = std::move(*layer);
   return common::Status::OK();

@@ -1,0 +1,33 @@
+#ifndef SEMITRI_GEO_KERNELS_H_
+#define SEMITRI_GEO_KERNELS_H_
+
+// Batched geometry kernels over structure-of-arrays inputs.
+//
+// These are the contiguous-loop forms of the scalar primitives in
+// point.h / segment.h, written so the per-lane arithmetic is
+// bit-identical to the scalar code (same operations, same order, same
+// std::hypot for the final norm). Callers gather their working set into
+// flat arrays (see road::MatchScratch) and sweep once; see DESIGN.md
+// "Data plane layout" for the kernel-writing rules.
+
+#include <cstddef>
+
+namespace semitri::geo {
+
+// Eq. (1) point-to-segment distance from (qx, qy) to each of the n
+// segments (ax[i], ay[i])–(bx[i], by[i]); out[i] = d(Q, AiBi). Exactly
+// Segment::DistanceTo(q) per lane: projection parameter clamped to
+// [0, 1], then std::hypot to the closest point.
+void DistancesToSegments(const double* ax, const double* ay,
+                         const double* bx, const double* by, size_t n,
+                         double qx, double qy, double* out);
+
+// Euclidean distance from (qx, qy) to each of the n points
+// (xs[i], ys[i]); out[i] = std::hypot(qx - xs[i], qy - ys[i]),
+// bit-identical to Point::DistanceTo per lane.
+void DistancesToPoints(const double* xs, const double* ys, size_t n,
+                       double qx, double qy, double* out);
+
+}  // namespace semitri::geo
+
+#endif  // SEMITRI_GEO_KERNELS_H_

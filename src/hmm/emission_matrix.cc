@@ -1,0 +1,24 @@
+#include "hmm/emission_matrix.h"
+
+#include "common/strings.h"
+
+namespace semitri::hmm {
+
+common::Result<EmissionMatrix> EmissionMatrix::FromRows(
+    const std::vector<std::vector<double>>& rows) {
+  EmissionMatrix out;
+  if (rows.empty()) return out;
+  out.Reset(rows[0].size());
+  for (size_t t = 0; t < rows.size(); ++t) {
+    if (rows[t].size() != out.cols()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "emission row %zu has %zu entries, expected %zu", t,
+          rows[t].size(), out.cols()));
+    }
+    std::span<double> row = out.AppendRow();
+    for (size_t i = 0; i < row.size(); ++i) row[i] = rows[t][i];
+  }
+  return out;
+}
+
+}  // namespace semitri::hmm

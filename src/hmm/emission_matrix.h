@@ -1,0 +1,73 @@
+#ifndef SEMITRI_HMM_EMISSION_MATRIX_H_
+#define SEMITRI_HMM_EMISSION_MATRIX_H_
+
+// Flat row-major T×N matrix for HMM emissions and posteriors.
+//
+// The decode hot loops (Viterbi, forward, forward-backward) walk one
+// contiguous double array instead of chasing T separate vector
+// allocations; Reset()/AppendRow() reuse capacity so a streaming
+// session fills the same storage run after run (the zero
+// steady-state-allocation contract of the annotation scratch).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semitri::hmm {
+
+class EmissionMatrix {
+ public:
+  EmissionMatrix() = default;
+  EmissionMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  // Validated conversion from ragged nested rows (tests, model-fitting
+  // call sites that assemble sequences by hand). Errors on rows of
+  // unequal width — the shape error CheckEmissions used to report
+  // per-row now surfaces here, at construction.
+  static common::Result<EmissionMatrix> FromRows(
+      const std::vector<std::vector<double>>& rows);
+
+  // Clears to 0 rows of `cols` columns, keeping capacity.
+  void Reset(size_t cols) {
+    rows_ = 0;
+    cols_ = cols;
+    data_.clear();
+  }
+
+  // Appends a zero-filled row and returns it for in-place fill.
+  std::span<double> AppendRow() {
+    data_.resize(data_.size() + cols_, 0.0);
+    ++rows_;
+    return Row(rows_ - 1);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  std::span<double> Row(size_t t) {
+    return {data_.data() + t * cols_, cols_};
+  }
+  std::span<const double> Row(size_t t) const {
+    return {data_.data() + t * cols_, cols_};
+  }
+
+  double At(size_t t, size_t i) const { return data_[t * cols_ + i]; }
+  double& At(size_t t, size_t i) { return data_[t * cols_ + i]; }
+
+  const std::vector<double>& data() const { return data_; }
+
+  bool operator==(const EmissionMatrix&) const = default;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;  // data_[t * cols_ + i]
+};
+
+}  // namespace semitri::hmm
+
+#endif  // SEMITRI_HMM_EMISSION_MATRIX_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/check.h"
@@ -15,34 +16,49 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 double SafeLog(double p) { return p > 0.0 ? std::log(p) : kNegInf; }
 
-// Validates emissions shape against the model; normalizes all-zero rows
-// to uniform in log space.
-common::Status CheckEmissions(
-    const HmmModel& model, const std::vector<std::vector<double>>& emissions) {
-  // semitri-lint: allow(exec-checkpoint-coverage) — O(T·N) shape
-  // validation before decoding starts; Viterbi itself polls the
+// Validates emissions shape against the model. All-zero rows are
+// normalized to uniform by EffectiveRow at decode time.
+common::Status CheckEmissions(const HmmModel& model,
+                              const EmissionMatrix& emissions) {
+  if (!emissions.empty() && emissions.cols() != model.num_states()) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "emission matrix has %zu columns, model has %zu states",
+        emissions.cols(), model.num_states()));
+  }
+  // semitri-lint: allow(exec-checkpoint-coverage) — O(T·N) flat scan
+  // validating before decoding starts; Viterbi itself polls the
   // checkpoint every check_interval steps.
-  for (size_t t = 0; t < emissions.size(); ++t) {
-    if (emissions[t].size() != model.num_states()) {
-      return common::Status::InvalidArgument(common::StrFormat(
-          "emission row %zu has %zu entries, model has %zu states", t,
-          emissions[t].size(), model.num_states()));
-    }
-    for (double e : emissions[t]) {
-      if (e < 0.0 || !std::isfinite(e)) {
-        return common::Status::InvalidArgument(
-            "emission probabilities must be finite and nonnegative");
-      }
+  for (double e : emissions.data()) {
+    if (e < 0.0 || !std::isfinite(e)) {
+      return common::Status::InvalidArgument(
+          "emission probabilities must be finite and nonnegative");
     }
   }
   return common::Status::OK();
 }
 
-double RowEmission(const std::vector<double>& row, size_t i) {
+// The effective emission row at t: the row itself, or uniform when it
+// sums to <= 0 (an uninformative observation). One contiguous pass —
+// the per-lookup row sums of the seed's RowEmission are hoisted here.
+void EffectiveRow(const EmissionMatrix& emissions, size_t t, double* out) {
+  std::span<const double> row = emissions.Row(t);
   double sum = 0.0;
-  for (double e : row) sum += e;
-  if (sum <= 0.0) return 1.0 / static_cast<double>(row.size());
-  return row[i];
+  for (double v : row) sum += v;
+  if (sum <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(row.size());
+    for (size_t i = 0; i < row.size(); ++i) out[i] = uniform;
+  } else {
+    for (size_t i = 0; i < row.size(); ++i) out[i] = row[i];
+  }
+}
+
+// Flattens A row-major into out[i * n + j].
+void FlattenTransition(const HmmModel& model, double* out) {
+  const size_t n = model.num_states();
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double>& row = model.transition[i];
+    for (size_t j = 0; j < n; ++j) out[i * n + j] = row[j];
+  }
 }
 
 }  // namespace
@@ -90,8 +106,13 @@ common::Status ValidateModel(const HmmModel& model) {
   return common::Status::OK();
 }
 
+// semitri-lint: allow(hot-path-alloc) — model-construction API: the
+// nested shape is the HmmModel::transition contract.
 std::vector<std::vector<double>> MakeDefaultTransition(size_t num_states,
                                                        double self_prob) {
+  // semitri-lint: allow(hot-path-alloc) — model-construction API: the
+  // nested shape is the HmmModel::transition contract; decode paths
+  // flatten it once per call (FlattenTransition).
   std::vector<std::vector<double>> a(num_states,
                                      std::vector<double>(num_states));
   double off = num_states > 1
@@ -105,48 +126,69 @@ std::vector<std::vector<double>> MakeDefaultTransition(size_t num_states,
   return a;
 }
 
-common::Result<ViterbiResult> Viterbi(
-    const HmmModel& model,
-    const std::vector<std::vector<double>>& emissions,
-    const common::ExecControl* exec) {
+common::Result<ViterbiResult> Viterbi(const HmmModel& model,
+                                      const EmissionMatrix& emissions,
+                                      const common::ExecControl* exec,
+                                      common::Arena* scratch) {
   SEMITRI_RETURN_IF_ERROR(ValidateModel(model));
   SEMITRI_RETURN_IF_ERROR(CheckEmissions(model, emissions));
   ViterbiResult result;
   if (emissions.empty()) return result;
 
   const size_t n = model.num_states();
-  const size_t t_max = emissions.size();
+  const size_t t_max = emissions.rows();
   common::ExecCheckpoint checkpoint(exec);
-  // delta[t][i] (Eq. 5–6) and backpointers psi[t][i] (Eq. 7).
-  std::vector<std::vector<double>> delta(t_max, std::vector<double>(n));
-  std::vector<std::vector<size_t>> psi(t_max, std::vector<size_t>(n, 0));
+
+  // Decode working set, bump-allocated: the column-major log-transition
+  // matrix (so the argmax inner loop reads contiguously), two rolling
+  // delta rows (Eq. 5–6), the effective emission row, and the full
+  // backpointer table psi (Eq. 7).
+  common::Arena local;
+  common::Arena& arena = scratch != nullptr ? *scratch : local;
+  std::span<double> log_at = arena.AllocSpan<double>(n * n);
+  std::span<double> delta_a = arena.AllocSpan<double>(n);
+  std::span<double> delta_b = arena.AllocSpan<double>(n);
+  std::span<double> b_row = arena.AllocSpan<double>(n);
+  std::span<uint32_t> psi = arena.AllocSpan<uint32_t>(t_max * n);
 
   for (size_t i = 0; i < n; ++i) {
-    delta[0][i] =
-        SafeLog(model.initial[i]) + SafeLog(RowEmission(emissions[0], i));
+    const std::vector<double>& row = model.transition[i];
+    for (size_t j = 0; j < n; ++j) log_at[j * n + i] = SafeLog(row[j]);
+  }
+
+  double* prev = delta_a.data();
+  double* cur = delta_b.data();
+  EffectiveRow(emissions, 0, b_row.data());
+  for (size_t i = 0; i < n; ++i) {
+    prev[i] = SafeLog(model.initial[i]) + SafeLog(b_row[i]);
+    psi[i] = 0;
   }
   for (size_t t = 1; t < t_max; ++t) {
     SEMITRI_RETURN_IF_ERROR(checkpoint.Check("hmm_viterbi"));
+    EffectiveRow(emissions, t, b_row.data());
+    uint32_t* psi_t = psi.data() + t * n;
     for (size_t j = 0; j < n; ++j) {
+      const double* a_col = log_at.data() + j * n;
       double best = kNegInf;
       size_t best_i = 0;
       for (size_t i = 0; i < n; ++i) {
-        double v = delta[t - 1][i] + SafeLog(model.transition[i][j]);
+        double v = prev[i] + a_col[i];
         if (v > best) {
           best = v;
           best_i = i;
         }
       }
-      delta[t][j] = best + SafeLog(RowEmission(emissions[t], j));
-      psi[t][j] = best_i;
+      cur[j] = best + SafeLog(b_row[j]);
+      psi_t[j] = static_cast<uint32_t>(best_i);
     }
+    std::swap(prev, cur);
   }
   // Termination + backtracking (Algorithm 3 lines 12–16).
   size_t best_state = 0;
   double best = kNegInf;
   for (size_t i = 0; i < n; ++i) {
-    if (delta[t_max - 1][i] > best) {
-      best = delta[t_max - 1][i];
+    if (prev[i] > best) {
+      best = prev[i];
       best_state = i;
     }
   }
@@ -156,14 +198,13 @@ common::Result<ViterbiResult> Viterbi(
   result.states.resize(t_max);
   result.states[t_max - 1] = best_state;
   for (size_t t = t_max - 1; t > 0; --t) {
-    result.states[t - 1] = psi[t][result.states[t]];
+    result.states[t - 1] = psi[t * n + result.states[t]];
   }
   return result;
 }
 
-common::Result<double> ForwardLogLikelihood(
-    const HmmModel& model,
-    const std::vector<std::vector<double>>& emissions) {
+common::Result<double> ForwardLogLikelihood(const HmmModel& model,
+                                            const EmissionMatrix& emissions) {
   SEMITRI_RETURN_IF_ERROR(ValidateModel(model));
   SEMITRI_RETURN_IF_ERROR(CheckEmissions(model, emissions));
   if (emissions.empty()) return 0.0;
@@ -171,81 +212,114 @@ common::Result<double> ForwardLogLikelihood(
   const size_t n = model.num_states();
   // Scaled forward recursion: alpha is renormalized each step and the
   // log of the scale factors accumulates into the total likelihood.
-  std::vector<double> alpha(n);
+  common::Arena arena;
+  std::span<double> a = arena.AllocSpan<double>(n * n);
+  std::span<double> alpha = arena.AllocSpan<double>(n);
+  std::span<double> next = arena.AllocSpan<double>(n);
+  std::span<double> b_row = arena.AllocSpan<double>(n);
+  FlattenTransition(model, a.data());
+
   double log_likelihood = 0.0;
+  EffectiveRow(emissions, 0, b_row.data());
   for (size_t i = 0; i < n; ++i) {
-    alpha[i] = model.initial[i] * RowEmission(emissions[0], i);
+    alpha[i] = model.initial[i] * b_row[i];
   }
   for (size_t t = 0;; ++t) {
     double scale = 0.0;
-    for (double a : alpha) scale += a;
+    for (double v : alpha) scale += v;
     if (scale <= 0.0) {
       return common::Status::InvalidArgument(
           "observation sequence has zero likelihood under the model");
     }
-    for (double& a : alpha) a /= scale;
+    for (double& v : alpha) v /= scale;
     log_likelihood += std::log(scale);
-    if (t + 1 == emissions.size()) break;
-    std::vector<double> next(n, 0.0);
+    if (t + 1 == emissions.rows()) break;
+    EffectiveRow(emissions, t + 1, b_row.data());
     for (size_t j = 0; j < n; ++j) {
       double acc = 0.0;
       for (size_t i = 0; i < n; ++i) {
-        acc += alpha[i] * model.transition[i][j];
+        acc += alpha[i] * a[i * n + j];
       }
-      next[j] = acc * RowEmission(emissions[t + 1], j);
+      next[j] = acc * b_row[j];
     }
-    alpha.swap(next);
+    std::swap(alpha, next);
   }
   return log_likelihood;
 }
 
 namespace {
 
-// Per-timestep-normalized forward/backward variables for one sequence.
-// Returns the sequence log-likelihood.
-double ForwardBackward(const HmmModel& model,
-                       const std::vector<std::vector<double>>& emissions,
-                       std::vector<std::vector<double>>* alpha,
-                       std::vector<std::vector<double>>* beta) {
+// Per-timestep-normalized forward/backward variables for one sequence,
+// in flat t*n layout. `work` supplies every buffer (reused across
+// sequences by BaumWelch). Returns the sequence log-likelihood.
+struct ForwardBackwardWork {
+  std::vector<double> a;      // flat row-major transition
+  std::vector<double> b_eff;  // flat effective emission rows
+  std::vector<double> alpha;  // flat t*n
+  std::vector<double> beta;   // flat t*n
+  std::vector<double> scale;  // per-t normalizer
+};
+
+double ForwardBackward(const HmmModel& model, const EmissionMatrix& emissions,
+                       ForwardBackwardWork* work) {
   // Callers validate the model and skip empty sequences; the backward
-  // recursion below would index emissions[t_max - 1] otherwise.
+  // recursion below would index emissions row t_max - 1 otherwise.
   SEMITRI_DCHECK(!emissions.empty())
       << "ForwardBackward requires a non-empty observation sequence";
   const size_t n = model.num_states();
-  const size_t t_max = emissions.size();
-  alpha->assign(t_max, std::vector<double>(n, 0.0));
-  beta->assign(t_max, std::vector<double>(n, 1.0));
-  std::vector<double> scale(t_max, 0.0);
+  const size_t t_max = emissions.rows();
+  work->a.resize(n * n);
+  FlattenTransition(model, work->a.data());
+  work->b_eff.resize(t_max * n);
+  // semitri-lint: allow(exec-checkpoint-coverage) — offline training
+  // path; bounded by the sequence length, not a serving deadline.
+  for (size_t t = 0; t < t_max; ++t) {
+    EffectiveRow(emissions, t, work->b_eff.data() + t * n);
+  }
+  work->alpha.assign(t_max * n, 0.0);
+  work->beta.assign(t_max * n, 1.0);
+  work->scale.assign(t_max, 0.0);
+  const double* a = work->a.data();
+  const double* b = work->b_eff.data();
+  double* alpha = work->alpha.data();
+  double* beta = work->beta.data();
 
   for (size_t i = 0; i < n; ++i) {
-    (*alpha)[0][i] = model.initial[i] * RowEmission(emissions[0], i);
+    alpha[i] = model.initial[i] * b[i];
   }
   double log_likelihood = 0.0;
   for (size_t t = 0; t < t_max; ++t) {
+    double* alpha_t = alpha + t * n;
     if (t > 0) {
+      const double* alpha_prev = alpha + (t - 1) * n;
+      const double* b_t = b + t * n;
       for (size_t j = 0; j < n; ++j) {
         double acc = 0.0;
         for (size_t i = 0; i < n; ++i) {
-          acc += (*alpha)[t - 1][i] * model.transition[i][j];
+          acc += alpha_prev[i] * a[i * n + j];
         }
-        (*alpha)[t][j] = acc * RowEmission(emissions[t], j);
+        alpha_t[j] = acc * b_t[j];
       }
     }
     double c = 0.0;
-    for (double a : (*alpha)[t]) c += a;
+    for (size_t j = 0; j < n; ++j) c += alpha_t[j];
     if (c <= 0.0) c = 1e-300;
-    for (double& a : (*alpha)[t]) a /= c;
-    scale[t] = c;
+    for (size_t j = 0; j < n; ++j) alpha_t[j] /= c;
+    work->scale[t] = c;
     log_likelihood += std::log(c);
   }
   for (size_t t = t_max - 1; t-- > 0;) {
+    const double* b_next = b + (t + 1) * n;
+    const double* beta_next = beta + (t + 1) * n;
+    double* beta_t = beta + t * n;
+    const double scale_next = work->scale[t + 1];
     for (size_t i = 0; i < n; ++i) {
+      const double* a_row = a + i * n;
       double acc = 0.0;
       for (size_t j = 0; j < n; ++j) {
-        acc += model.transition[i][j] * RowEmission(emissions[t + 1], j) *
-               (*beta)[t + 1][j];
+        acc += a_row[j] * b_next[j] * beta_next[j];
       }
-      (*beta)[t][i] = acc / scale[t + 1];
+      beta_t[i] = acc / scale_next;
     }
   }
   return log_likelihood;
@@ -253,42 +327,44 @@ double ForwardBackward(const HmmModel& model,
 
 }  // namespace
 
-common::Result<std::vector<std::vector<double>>> PosteriorDecode(
-    const HmmModel& model,
-    const std::vector<std::vector<double>>& emissions) {
+common::Result<EmissionMatrix> PosteriorDecode(
+    const HmmModel& model, const EmissionMatrix& emissions) {
   SEMITRI_RETURN_IF_ERROR(ValidateModel(model));
   SEMITRI_RETURN_IF_ERROR(CheckEmissions(model, emissions));
-  std::vector<std::vector<double>> gamma;
+  EmissionMatrix gamma;
   if (emissions.empty()) return gamma;
-  std::vector<std::vector<double>> alpha, beta;
-  ForwardBackward(model, emissions, &alpha, &beta);
+  ForwardBackwardWork work;
+  ForwardBackward(model, emissions, &work);
   const size_t n = model.num_states();
-  gamma.assign(emissions.size(), std::vector<double>(n, 0.0));
+  const size_t t_max = emissions.rows();
+  gamma = EmissionMatrix(t_max, n);
   // semitri-lint: allow(exec-checkpoint-coverage) — O(T·N)
   // normalization right after ForwardBackward; no checkpoint is in
   // scope in this free training-path function.
-  for (size_t t = 0; t < emissions.size(); ++t) {
+  for (size_t t = 0; t < t_max; ++t) {
+    const double* alpha_t = work.alpha.data() + t * n;
+    const double* beta_t = work.beta.data() + t * n;
+    std::span<double> row = gamma.Row(t);
     double norm = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      gamma[t][i] = alpha[t][i] * beta[t][i];
-      norm += gamma[t][i];
+      row[i] = alpha_t[i] * beta_t[i];
+      norm += row[i];
     }
     if (norm <= 0.0) {
       // Degenerate; fall back to uniform.
-      for (double& g : gamma[t]) g = 1.0 / static_cast<double>(n);
+      for (double& g : row) g = 1.0 / static_cast<double>(n);
       continue;
     }
-    for (double& g : gamma[t]) g /= norm;
+    for (double& g : row) g /= norm;
   }
   return gamma;
 }
 
 common::Result<BaumWelchResult> BaumWelch(
-    const HmmModel& initial_model,
-    const std::vector<std::vector<std::vector<double>>>& sequences,
+    const HmmModel& initial_model, const std::vector<EmissionMatrix>& sequences,
     const BaumWelchOptions& options) {
   SEMITRI_RETURN_IF_ERROR(ValidateModel(initial_model));
-  for (const auto& seq : sequences) {
+  for (const EmissionMatrix& seq : sequences) {
     SEMITRI_RETURN_IF_ERROR(CheckEmissions(initial_model, seq));
   }
   const size_t n = initial_model.num_states();
@@ -296,27 +372,38 @@ common::Result<BaumWelchResult> BaumWelch(
   result.model = initial_model;
   double previous_ll = -std::numeric_limits<double>::infinity();
 
+  // Expected-count accumulators and the xi buffer, flat n*n, allocated
+  // once for the whole EM run.
+  std::vector<double> initial_counts(n);
+  std::vector<double> transition_counts(n * n);
+  std::vector<double> gamma0(n);
+  std::vector<double> xi(n * n);
+  ForwardBackwardWork work;
+
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    std::vector<double> initial_counts(n, options.smoothing);
-    std::vector<std::vector<double>> transition_counts(
-        n, std::vector<double>(n, options.smoothing));
+    std::fill(initial_counts.begin(), initial_counts.end(),
+              options.smoothing);
+    std::fill(transition_counts.begin(), transition_counts.end(),
+              options.smoothing);
     double total_ll = 0.0;
     size_t used_sequences = 0;
 
-    std::vector<std::vector<double>> alpha, beta;
     // semitri-lint: allow(exec-checkpoint-coverage) — offline training
     // path with no ExecControl plumbed; bounded by max_iterations and
     // the caller's sequence count, not a serving deadline.
-    for (const auto& emissions : sequences) {
+    for (const EmissionMatrix& emissions : sequences) {
       if (emissions.empty()) continue;
       ++used_sequences;
-      total_ll += ForwardBackward(result.model, emissions, &alpha, &beta);
-      const size_t t_max = emissions.size();
+      total_ll += ForwardBackward(result.model, emissions, &work);
+      const size_t t_max = emissions.rows();
+      const double* a = work.a.data();
+      const double* b = work.b_eff.data();
+      const double* alpha = work.alpha.data();
+      const double* beta = work.beta.data();
       // gamma_0 for π.
       double norm = 0.0;
-      std::vector<double> gamma0(n);
       for (size_t i = 0; i < n; ++i) {
-        gamma0[i] = alpha[0][i] * beta[0][i];
+        gamma0[i] = alpha[i] * beta[i];
         norm += gamma0[i];
       }
       if (norm > 0.0) {
@@ -324,20 +411,21 @@ common::Result<BaumWelchResult> BaumWelch(
       }
       // xi_t for A.
       for (size_t t = 0; t + 1 < t_max; ++t) {
+        const double* alpha_t = alpha + t * n;
+        const double* b_next = b + (t + 1) * n;
+        const double* beta_next = beta + (t + 1) * n;
         double xi_norm = 0.0;
-        std::vector<std::vector<double>> xi(n, std::vector<double>(n));
         for (size_t i = 0; i < n; ++i) {
+          const double* a_row = a + i * n;
+          double* xi_row = xi.data() + i * n;
           for (size_t j = 0; j < n; ++j) {
-            xi[i][j] = alpha[t][i] * result.model.transition[i][j] *
-                       RowEmission(emissions[t + 1], j) * beta[t + 1][j];
-            xi_norm += xi[i][j];
+            xi_row[j] = alpha_t[i] * a_row[j] * b_next[j] * beta_next[j];
+            xi_norm += xi_row[j];
           }
         }
         if (xi_norm <= 0.0) continue;
-        for (size_t i = 0; i < n; ++i) {
-          for (size_t j = 0; j < n; ++j) {
-            transition_counts[i][j] += xi[i][j] / xi_norm;
-          }
+        for (size_t k = 0; k < n * n; ++k) {
+          transition_counts[k] += xi[k] / xi_norm;
         }
       }
     }
@@ -355,14 +443,15 @@ common::Result<BaumWelchResult> BaumWelch(
       }
     }
     for (size_t i = 0; i < n; ++i) {
+      const double* counts_row = transition_counts.data() + i * n;
       double row_sum = 0.0;
-      for (double c : transition_counts[i]) row_sum += c;
+      for (size_t j = 0; j < n; ++j) row_sum += counts_row[j];
       SEMITRI_DCHECK(row_sum > 0.0)
           << "transition row " << i << " has zero expected count; "
           << "BaumWelchOptions::smoothing must be > 0 when a state can "
           << "go unobserved";
       for (size_t j = 0; j < n; ++j) {
-        result.model.transition[i][j] = transition_counts[i][j] / row_sum;
+        result.model.transition[i][j] = counts_row[j] / row_sum;
       }
     }
     result.log_likelihood = total_ll;

@@ -5,17 +5,22 @@
 // Rabiner [25], Forney [7]).
 //
 // λ = (π, A, B). π and A live in HmmModel; emission probabilities B are
-// supplied per observation as a T×N matrix (the Semantic Point layer
-// computes them from the POI observation model), which keeps this module
-// independent of the observation space.
+// supplied per observation as a flat row-major T×N EmissionMatrix (the
+// Semantic Point layer computes them from the POI observation model),
+// which keeps this module independent of the observation space.
 //
 // Decoding runs in log space so long stop sequences do not underflow.
+// The sweeps are written as contiguous flat-array loops (log-transition
+// matrix precomputed once per decode, rolling delta rows) — see
+// DESIGN.md "Data plane layout" for the kernel-writing rules.
 
 #include <cstddef>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/exec_control.h"
 #include "common/status.h"
+#include "hmm/emission_matrix.h"
 
 namespace semitri::hmm {
 
@@ -41,30 +46,30 @@ struct ViterbiResult {
 };
 
 // Most likely hidden state sequence for `emissions`, where
-// emissions[t][i] = Pr(o_t | state i) (any nonnegative, relative scale
-// per row is sufficient). Rows with all-zero emissions are treated as
-// uninformative (uniform). The grid sweep consults `exec` (when
+// emissions.At(t, i) = Pr(o_t | state i) (any nonnegative, relative
+// scale per row is sufficient). Rows with all-zero emissions are
+// treated as uninformative (uniform). The sweep consults `exec` (when
 // non-null) every exec->check_interval observation rows and aborts with
 // DeadlineExceeded, so a pathological stop sequence cannot pin the
-// point-annotation stage past its deadline.
+// point-annotation stage past its deadline. `scratch` (when non-null)
+// provides the decode working set — backpointers, rolling delta rows,
+// the log-transition matrix — so repeated decodes allocate nothing.
 [[nodiscard]] common::Result<ViterbiResult> Viterbi(
-    const HmmModel& model,
-    const std::vector<std::vector<double>>& emissions,
-    const common::ExecControl* exec = nullptr);
+    const HmmModel& model, const EmissionMatrix& emissions,
+    const common::ExecControl* exec = nullptr,
+    common::Arena* scratch = nullptr);
 
 // Total observation likelihood log Pr(O | λ) via the forward algorithm
 // (used by tests: Viterbi path probability never exceeds it).
 [[nodiscard]] common::Result<double> ForwardLogLikelihood(
-    const HmmModel& model,
-    const std::vector<std::vector<double>>& emissions);
+    const HmmModel& model, const EmissionMatrix& emissions);
 
-// Posterior state probabilities gamma[t][i] = Pr(state i at t | O, λ)
+// Posterior state probabilities gamma.At(t, i) = Pr(state i at t | O, λ)
 // via forward-backward — the paper's "activity likelihoods and
 // probabilistic estimates of the purpose behind that stop" (§3.3).
 // Rows sum to 1.
-[[nodiscard]] common::Result<std::vector<std::vector<double>>> PosteriorDecode(
-    const HmmModel& model,
-    const std::vector<std::vector<double>>& emissions);
+[[nodiscard]] common::Result<EmissionMatrix> PosteriorDecode(
+    const HmmModel& model, const EmissionMatrix& emissions);
 
 // --- Baum-Welch -------------------------------------------------------
 //
@@ -95,7 +100,7 @@ struct BaumWelchResult {
 // sequence (e.g. one per daily trajectory). Empty sequences are skipped.
 [[nodiscard]] common::Result<BaumWelchResult> BaumWelch(
     const HmmModel& initial_model,
-    const std::vector<std::vector<std::vector<double>>>& sequences,
+    const std::vector<EmissionMatrix>& sequences,
     const BaumWelchOptions& options = {});
 
 }  // namespace semitri::hmm

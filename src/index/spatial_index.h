@@ -96,6 +96,17 @@ class SpatialIndex {
   virtual std::vector<T> QueryRadius(const geo::Point& p,
                                      double radius) const = 0;
 
+  // Appending form of QueryRadius: pushes matches onto `out` without
+  // clearing it, so a caller-owned buffer is reused across queries (the
+  // annotation hot loops run one query per GPS point). Same values in
+  // the same order as QueryRadius.
+  virtual void QueryRadiusInto(const geo::Point& p, double radius,
+                               std::vector<T>* out) const {
+    for (T& value : QueryRadius(p, radius)) {
+      out->push_back(std::move(value));
+    }
+  }
+
   // k nearest entries to `p` by box distance, nondecreasing.
   virtual std::vector<Entry> NearestNeighbors(const geo::Point& p,
                                               size_t k) const = 0;
@@ -135,6 +146,14 @@ class RStarSpatialIndex final : public SpatialIndex<T> {
   std::vector<T> QueryRadius(const geo::Point& p,
                              double radius) const override {
     return tree_.QueryRadius(p, radius);
+  }
+
+  void QueryRadiusInto(const geo::Point& p, double radius,
+                       std::vector<T>* out) const override {
+    geo::BoundingBox window = geo::BoundingBox::FromPoint(p).Inflated(radius);
+    tree_.QueryVisit(window, [&](const typename RStarTree<T>::Entry& e) {
+      if (e.box.DistanceTo(p) <= radius) out->push_back(e.value);
+    });
   }
 
   std::vector<Entry> NearestNeighbors(const geo::Point& p,

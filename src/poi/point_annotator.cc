@@ -1,9 +1,12 @@
 #include "poi/point_annotator.h"
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace semitri::poi {
 
+// semitri-lint: allow(hot-path-alloc) — model-construction API: the
+// nested shape is the HmmModel::transition contract, built once.
 std::vector<std::vector<double>> Fig6TransitionMatrix() {
   return {{0.80, 0.05, 0.05, 0.05, 0.05},
           {0.05, 0.80, 0.05, 0.05, 0.05},
@@ -30,58 +33,68 @@ PointAnnotator::PointAnnotator(const PoiSet* pois,
   }
 }
 
-std::vector<double> PointAnnotator::EmissionsForEpisode(
-    const core::Episode& ep) const {
+void PointAnnotator::EmissionsForEpisodeInto(const core::Episode& ep,
+                                             std::span<double> out) const {
   if (!config_.use_discretization) {
-    return observation_model_.EmissionsExact(ep.center);
+    observation_model_.EmissionsExactInto(ep.center, out);
+    return;
   }
   if (config_.use_bounding_rectangle) {
-    return observation_model_.EmissionsFor(ep.bounds);
+    observation_model_.EmissionsForInto(ep.bounds, out);
+    return;
   }
-  return observation_model_.EmissionsAt(ep.center);
+  observation_model_.EmissionsAtInto(ep.center, out);
+}
+
+common::Status PointAnnotator::BuildEmissions(
+    const std::vector<core::Episode>& episodes,
+    const common::ExecControl* exec, hmm::EmissionMatrix* out) const {
+  common::ExecCheckpoint checkpoint(exec);
+  out->Reset(pois_->num_categories());
+  for (const core::Episode& ep : episodes) {
+    if (ep.kind != core::EpisodeKind::kStop) continue;
+    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("poi_emissions"));
+    EmissionsForEpisodeInto(ep, out->AppendRow());
+  }
+  return common::Status::OK();
 }
 
 common::Result<std::vector<int>> PointAnnotator::InferStopCategories(
     const std::vector<core::Episode>& episodes,
-    const common::ExecControl* exec) const {
-  common::ExecCheckpoint checkpoint(exec);
-  std::vector<std::vector<double>> emissions;
-  for (const core::Episode& ep : episodes) {
-    if (ep.kind != core::EpisodeKind::kStop) continue;
-    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("poi_emissions"));
-    emissions.push_back(EmissionsForEpisode(ep));
-  }
-  if (emissions.empty()) return std::vector<int>{};
+    const common::ExecControl* exec, PointScratch* scratch) const {
+  PointScratch local;
+  PointScratch& s = scratch != nullptr ? *scratch : local;
+  s.arena.Reset();
+  SEMITRI_RETURN_IF_ERROR(BuildEmissions(episodes, exec, &s.emissions));
+  if (s.emissions.rows() == 0) return std::vector<int>{};
   common::Result<hmm::ViterbiResult> decoded =
-      hmm::Viterbi(model_, emissions, exec);
+      hmm::Viterbi(model_, s.emissions, exec, &s.arena);
   if (!decoded.ok()) return decoded.status();
   std::vector<int> categories;
   categories.reserve(decoded->states.size());
-  for (size_t s : decoded->states) categories.push_back(static_cast<int>(s));
+  for (size_t state : decoded->states) {
+    categories.push_back(static_cast<int>(state));
+  }
   return categories;
 }
 
 common::Result<core::StructuredSemanticTrajectory> PointAnnotator::Annotate(
     const core::RawTrajectory& trajectory,
     const std::vector<core::Episode>& episodes,
-    const common::ExecControl* exec) const {
-  common::Result<std::vector<int>> categories =
-      InferStopCategories(episodes, exec);
-  if (!categories.ok()) return categories.status();
+    const common::ExecControl* exec, PointScratch* scratch) const {
+  PointScratch local;
+  PointScratch& s = scratch != nullptr ? *scratch : local;
 
-  // Posterior confidence per stop (the paper's "probabilistic estimates
-  // of the purpose behind that stop").
-  common::ExecCheckpoint checkpoint(exec);
-  std::vector<std::vector<double>> emissions;
-  for (const core::Episode& ep : episodes) {
-    if (ep.kind != core::EpisodeKind::kStop) continue;
-    SEMITRI_RETURN_IF_ERROR(checkpoint.Check("poi_posterior_emissions"));
-    emissions.push_back(EmissionsForEpisode(ep));
-  }
-  std::vector<std::vector<double>> posterior;
-  if (!emissions.empty()) {
-    common::Result<std::vector<std::vector<double>>> decoded =
-        hmm::PosteriorDecode(model_, emissions);
+  // One emission build feeds both the Viterbi decode and the posterior
+  // confidence pass (the paper's "probabilistic estimates of the purpose
+  // behind that stop").
+  common::Result<std::vector<int>> categories =
+      InferStopCategories(episodes, exec, &s);
+  if (!categories.ok()) return categories.status();
+  hmm::EmissionMatrix posterior;
+  if (s.emissions.rows() > 0) {
+    common::Result<hmm::EmissionMatrix> decoded =
+        hmm::PosteriorDecode(model_, s.emissions);
     if (!decoded.ok()) return decoded.status();
     posterior = std::move(*decoded);
   }
@@ -107,12 +120,12 @@ common::Result<core::StructuredSemanticTrajectory> PointAnnotator::Annotate(
     ep.AddAnnotation("poi_category",
                      pois_->category_names()[static_cast<size_t>(category)]);
     ep.AddAnnotation("poi_category_id", common::StrFormat("%d", category));
-    if (stop_index - 1 < posterior.size()) {
+    if (stop_index - 1 < posterior.rows()) {
       ep.AddAnnotation(
           "poi_category_confidence",
           common::StrFormat(
               "%.3f",
-              posterior[stop_index - 1][static_cast<size_t>(category)]));
+              posterior.At(stop_index - 1, static_cast<size_t>(category))));
     }
 
     ep.place = {core::PlaceKind::kPoint, core::kInvalidPlaceId};
@@ -136,16 +149,13 @@ common::Result<core::StructuredSemanticTrajectory> PointAnnotator::Annotate(
 common::Result<hmm::BaumWelchResult> PointAnnotator::FitTransitions(
     const std::vector<std::vector<core::Episode>>& episode_sequences,
     const hmm::BaumWelchOptions& options) {
-  std::vector<std::vector<std::vector<double>>> sequences;
+  std::vector<hmm::EmissionMatrix> sequences;
   // semitri-lint: allow(exec-checkpoint-coverage) — offline training
   // marshalling, linear in episodes; no deadline governs model fitting.
   for (const std::vector<core::Episode>& episodes : episode_sequences) {
-    std::vector<std::vector<double>> emissions;
-    for (const core::Episode& ep : episodes) {
-      if (ep.kind != core::EpisodeKind::kStop) continue;
-      emissions.push_back(EmissionsForEpisode(ep));
-    }
-    if (!emissions.empty()) sequences.push_back(std::move(emissions));
+    hmm::EmissionMatrix emissions;
+    SEMITRI_CHECK_OK(BuildEmissions(episodes, /*exec=*/nullptr, &emissions));
+    if (emissions.rows() > 0) sequences.push_back(std::move(emissions));
   }
   if (sequences.empty()) {
     return common::Status::InvalidArgument(

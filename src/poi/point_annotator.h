@@ -11,15 +11,21 @@
 // yields the most likely category ("the purpose behind the stop") per
 // stop episode.
 //
+// Data plane: emission probabilities are built row-by-row into a flat
+// hmm::EmissionMatrix (one build shared by decoding and the posterior
+// pass) and the Viterbi grid runs out of the caller's arena; both live
+// in PointScratch so repeated annotation runs reuse their capacity.
+//
 // NearestPoiAnnotator is the traditional one-to-one baseline ([28]) used
 // in the ablation bench.
 
-#include <optional>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/exec_control.h"
 #include "common/status.h"
 #include "core/types.h"
+#include "hmm/emission_matrix.h"
 #include "hmm/hmm.h"
 #include "poi/observation_model.h"
 #include "poi/poi_set.h"
@@ -42,6 +48,20 @@ struct PointAnnotatorConfig {
   double place_link_radius_meters = 150.0;
 };
 
+// Reusable working set of one point-annotation pass, owned by the caller
+// (one per annotation run/session — see core::AnnotationScratch). The
+// arena backs the Viterbi grid and is Reset (capacity retained) on every
+// pass.
+struct PointScratch {
+  hmm::EmissionMatrix emissions;
+  common::Arena arena;
+
+  size_t capacity_bytes() const {
+    return emissions.data().capacity() * sizeof(double) +
+           arena.capacity_bytes();
+  }
+};
+
 class PointAnnotator {
  public:
   // `pois` must outlive the annotator.
@@ -50,18 +70,21 @@ class PointAnnotator {
   // Decoded POI category per stop episode (kStop entries of `episodes`,
   // in order). Error if the model is malformed. When `exec` is non-null
   // the emissions loop and the Viterbi grid sweep consult it and abort
-  // with DeadlineExceeded.
+  // with DeadlineExceeded. `scratch` (when non-null) supplies the
+  // emission matrix and Viterbi working memory.
   [[nodiscard]] common::Result<std::vector<int>> InferStopCategories(
       const std::vector<core::Episode>& episodes,
-      const common::ExecControl* exec = nullptr) const;
+      const common::ExecControl* exec = nullptr,
+      PointScratch* scratch = nullptr) const;
 
   // Full Algorithm 3: emits one semantic episode per stop, annotated
   // with the decoded category and linked to a concrete POI when one is
-  // close enough; interpretation "point". `exec` as above.
+  // close enough; interpretation "point". `exec` and `scratch` as above.
   [[nodiscard]] common::Result<core::StructuredSemanticTrajectory> Annotate(
       const core::RawTrajectory& trajectory,
       const std::vector<core::Episode>& episodes,
-      const common::ExecControl* exec = nullptr) const;
+      const common::ExecControl* exec = nullptr,
+      PointScratch* scratch = nullptr) const;
 
   // Learns a personalized transition matrix (and initial distribution)
   // from an object's stop history via Baum-Welch — the paper's §4.3
@@ -78,7 +101,13 @@ class PointAnnotator {
   }
 
  private:
-  std::vector<double> EmissionsForEpisode(const core::Episode& ep) const;
+  void EmissionsForEpisodeInto(const core::Episode& ep,
+                               std::span<double> out) const;
+  // Fills `out` with one emission row per stop episode, consulting the
+  // "poi_emissions" checkpoint between stops.
+  [[nodiscard]] common::Status BuildEmissions(
+      const std::vector<core::Episode>& episodes,
+      const common::ExecControl* exec, hmm::EmissionMatrix* out) const;
 
   const PoiSet* pois_;
   PointAnnotatorConfig config_;

@@ -6,48 +6,47 @@
 namespace semitri::road {
 
 std::vector<core::SemanticEpisode> LineAnnotator::AnnotateMove(
-    std::span<const core::GpsPoint> points, size_t source_episode) const {
-  common::Result<std::vector<core::SemanticEpisode>> result =
-      AnnotateMove(points, source_episode, /*exec=*/nullptr);
+    const traj::PointView& pts, size_t source_episode) const {
+  std::vector<core::SemanticEpisode> out;
+  common::Status status = AnnotateMove(pts, source_episode, /*exec=*/nullptr,
+                                       /*scratch=*/nullptr, &out);
   // Unbounded runs cannot hit the only error path (DeadlineExceeded).
-  SEMITRI_CHECK(result.ok()) << result.status().message();
-  return std::move(result).value();
+  SEMITRI_CHECK(status.ok()) << status.message();
+  return out;
 }
 
-common::Result<std::vector<core::SemanticEpisode>> LineAnnotator::AnnotateMove(
-    std::span<const core::GpsPoint> points, size_t source_episode,
-    const common::ExecControl* exec) const {
-  std::vector<core::SemanticEpisode> out;
-  if (points.empty()) return out;
+common::Status LineAnnotator::AnnotateMove(
+    const traj::PointView& pts, size_t source_episode,
+    const common::ExecControl* exec, LineScratch* scratch,
+    std::vector<core::SemanticEpisode>* out) const {
+  if (pts.size == 0) return common::Status::OK();
 
-  common::Result<std::vector<MatchedPoint>> matched =
-      matcher_.MatchPoints(points, exec);
-  if (!matched.ok()) return matched.status();
-  std::vector<MatchedPoint> matches = std::move(matched).value();
+  LineScratch local;
+  LineScratch& s = scratch != nullptr ? *scratch : local;
+
+  SEMITRI_RETURN_IF_ERROR(
+      matcher_.MatchPoints(pts, exec, &s.match, &s.matches));
 
   // Build runs of consecutive points matched to the same segment
   // (Algorithm 2's preSeg grouping). Unmatched points form their own
   // runs with an invalid place.
-  struct Run {
-    core::PlaceId segment;
-    size_t begin;
-    size_t end;  // exclusive
-  };
-  std::vector<Run> runs;
-  for (size_t i = 0; i < matches.size();) {
+  s.runs.clear();
+  for (size_t i = 0; i < s.matches.size();) {
     size_t j = i + 1;
-    while (j < matches.size() && matches[j].segment == matches[i].segment) {
+    while (j < s.matches.size() &&
+           s.matches[j].segment == s.matches[i].segment) {
       ++j;
     }
-    runs.push_back({matches[i].segment, i, j});
+    s.runs.push_back({s.matches[i].segment, i, j});
     i = j;
   }
   // Absorb sub-minimum runs into the longer neighbor (match flicker at
   // crossings produces 1-point runs).
-  if (config_.min_run_points > 1 && runs.size() > 1) {
-    std::vector<Run> filtered;
-    for (const Run& r : runs) {
-      if (r.end - r.begin >= config_.min_run_points || runs.size() == 1) {
+  if (config_.min_run_points > 1 && s.runs.size() > 1) {
+    std::vector<MatchRun>& filtered = s.runs_tmp;
+    filtered.clear();
+    for (const MatchRun& r : s.runs) {
+      if (r.end - r.begin >= config_.min_run_points) {
         filtered.push_back(r);
       } else if (!filtered.empty()) {
         filtered.back().end = r.end;
@@ -55,73 +54,69 @@ common::Result<std::vector<core::SemanticEpisode>> LineAnnotator::AnnotateMove(
         filtered.push_back(r);
       }
     }
-    // Re-merge neighbors that became equal after absorption.
-    std::vector<Run> merged;
-    for (const Run& r : filtered) {
-      if (!merged.empty() && merged.back().segment == r.segment) {
-        merged.back().end = r.end;
+    // Re-merge neighbors that became equal after absorption, back into
+    // the (now free) runs buffer.
+    s.runs.clear();
+    for (const MatchRun& r : filtered) {
+      if (!s.runs.empty() && s.runs.back().segment == r.segment) {
+        s.runs.back().end = r.end;
       } else {
-        merged.push_back(r);
+        s.runs.push_back(r);
       }
     }
-    runs.swap(merged);
   }
 
-  for (const Run& r : runs) {
+  for (const MatchRun& r : s.runs) {
     core::SemanticEpisode ep;
     ep.kind = core::EpisodeKind::kMove;
-    ep.time_in = points[r.begin].time;
-    ep.time_out = points[r.end - 1].time;
+    ep.time_in = pts.ts[r.begin];
+    ep.time_out = pts.ts[r.end - 1];
     ep.source_episode = source_episode;
     ep.place = {core::PlaceKind::kLine, r.segment};
     if (r.segment != core::kInvalidPlaceId) {
       const RoadSegment& seg = network_->segment(r.segment);
-      std::span<const core::GpsPoint> run_points =
-          points.subspan(r.begin, r.end - r.begin);
-      TransportMode mode = classifier_.Classify(run_points, seg.type);
+      TransportMode mode = classifier_.Classify(
+          pts.Slice(r.begin, r.end - r.begin), seg.type, &s.motion);
       ep.AddAnnotation("transport_mode", TransportModeName(mode));
       ep.AddAnnotation("road_type", RoadTypeName(seg.type));
       if (!seg.name.empty()) ep.AddAnnotation("road_name", seg.name);
       double mean_score = 0.0;
-      for (size_t i = r.begin; i < r.end; ++i) mean_score += matches[i].score;
+      for (size_t i = r.begin; i < r.end; ++i) mean_score += s.matches[i].score;
       mean_score /= static_cast<double>(r.end - r.begin);
       ep.AddAnnotation("match_score",
                        common::StrFormat("%.3f", mean_score));
     }
-    out.push_back(std::move(ep));
+    out->push_back(std::move(ep));
   }
-  return out;
+  return common::Status::OK();
 }
 
 core::StructuredSemanticTrajectory LineAnnotator::Annotate(
-    const core::RawTrajectory& trajectory,
+    const traj::PointBatch& batch,
     const std::vector<core::Episode>& episodes) const {
   common::Result<core::StructuredSemanticTrajectory> result =
-      Annotate(trajectory, episodes, /*exec=*/nullptr);
+      Annotate(batch, episodes, /*exec=*/nullptr);
   SEMITRI_CHECK(result.ok()) << result.status().message();
   return std::move(result).value();
 }
 
 common::Result<core::StructuredSemanticTrajectory> LineAnnotator::Annotate(
-    const core::RawTrajectory& trajectory,
-    const std::vector<core::Episode>& episodes,
-    const common::ExecControl* exec) const {
+    const traj::PointBatch& batch, const std::vector<core::Episode>& episodes,
+    const common::ExecControl* exec, LineScratch* scratch) const {
   core::StructuredSemanticTrajectory out;
-  out.trajectory_id = trajectory.id;
-  out.object_id = trajectory.object_id;
+  out.trajectory_id = batch.id();
+  out.object_id = batch.object_id();
   out.interpretation = "line";
+  LineScratch local;
+  LineScratch& s = scratch != nullptr ? *scratch : local;
   for (size_t e = 0; e < episodes.size(); ++e) {
     if (episodes[e].kind != core::EpisodeKind::kMove) continue;
     if (exec != nullptr) {
       SEMITRI_RETURN_IF_ERROR(exec->Check("line_annotate"));
     }
-    std::span<const core::GpsPoint> points(
-        trajectory.points.data() + episodes[e].begin,
-        episodes[e].num_points());
-    common::Result<std::vector<core::SemanticEpisode>> annotated =
-        AnnotateMove(points, e, exec);
-    if (!annotated.ok()) return annotated.status();
-    for (auto& ep : annotated.value()) out.episodes.push_back(std::move(ep));
+    SEMITRI_RETURN_IF_ERROR(
+        AnnotateMove(batch.View(episodes[e].begin, episodes[e].num_points()),
+                     e, exec, &s, &out.episodes));
   }
   return out;
 }

@@ -8,8 +8,13 @@
 // semantic episodes (segmentId, time_in, time_out, mode), and infers
 // the transportation mode of each run from motion features and the
 // matched road type.
+//
+// Data plane: the trajectory arrives as a traj::PointBatch; each move
+// episode is a zero-copy PointView slice of it. All working memory
+// (map-matching CSR table, matched points, run grouping, motion
+// features) lives in the caller's LineScratch so repeated annotation
+// runs allocate nothing in steady state.
 
-#include <span>
 #include <vector>
 
 #include "common/exec_control.h"
@@ -18,6 +23,7 @@
 #include "road/map_matcher.h"
 #include "road/road_network.h"
 #include "road/transport_mode.h"
+#include "traj/point_batch.h"
 
 namespace semitri::road {
 
@@ -27,6 +33,30 @@ struct LineAnnotatorConfig {
   // Runs shorter than this many points are merged into their successor
   // run (suppresses single-point match flicker). 1 keeps all runs.
   size_t min_run_points = 2;
+};
+
+// A run of consecutive points matched to the same road segment
+// (Algorithm 2's preSeg grouping); `end` is exclusive.
+struct MatchRun {
+  core::PlaceId segment;
+  size_t begin;
+  size_t end;
+};
+
+// Reusable working set of one line-annotation pass, owned by the caller
+// (one per annotation run/session — see core::AnnotationScratch).
+struct LineScratch {
+  MatchScratch match;
+  MotionScratch motion;
+  std::vector<MatchedPoint> matches;
+  std::vector<MatchRun> runs;
+  std::vector<MatchRun> runs_tmp;
+
+  size_t capacity_bytes() const {
+    return match.capacity_bytes() + motion.capacity_bytes() +
+           matches.capacity() * sizeof(MatchedPoint) +
+           (runs.capacity() + runs_tmp.capacity()) * sizeof(MatchRun);
+  }
 };
 
 class LineAnnotator {
@@ -39,29 +69,32 @@ class LineAnnotator {
         classifier_(config.mode),
         config_(config) {}
 
-  // Annotates one move episode's points. `source_episode` tags the
-  // emitted episodes with their origin. Returns one semantic episode per
-  // matched road-segment run (Algorithm 2 lines 18–24).
-  std::vector<core::SemanticEpisode> AnnotateMove(
-      std::span<const core::GpsPoint> points, size_t source_episode) const;
+  // Annotates one move episode's points, appending one semantic episode
+  // per matched road-segment run (Algorithm 2 lines 18–24) to `out`.
+  // `source_episode` tags the emitted episodes with their origin. The
+  // map-matching passes consult `exec` (when non-null) and the whole
+  // episode aborts with DeadlineExceeded once it expires, leaving `out`
+  // unchanged. `scratch` (when non-null) supplies all working memory.
+  [[nodiscard]] common::Status AnnotateMove(
+      const traj::PointView& pts, size_t source_episode,
+      const common::ExecControl* exec, LineScratch* scratch,
+      std::vector<core::SemanticEpisode>* out) const;
 
-  // Deadline-aware variant: the map-matching passes consult `exec` and
-  // the whole episode aborts with DeadlineExceeded once it expires.
-  [[nodiscard]] common::Result<std::vector<core::SemanticEpisode>> AnnotateMove(
-      std::span<const core::GpsPoint> points, size_t source_episode,
-      const common::ExecControl* exec) const;
+  // Convenience: unbounded run with local scratch.
+  std::vector<core::SemanticEpisode> AnnotateMove(const traj::PointView& pts,
+                                                  size_t source_episode) const;
 
-  // Annotates every kMove episode; interpretation "line".
-  core::StructuredSemanticTrajectory Annotate(
-      const core::RawTrajectory& trajectory,
-      const std::vector<core::Episode>& episodes) const;
-
-  // Deadline-aware variant of Annotate (checks between episodes and
-  // inside the per-episode matching loops).
+  // Annotates every kMove episode of the batch; interpretation "line".
+  // Checks `exec` between episodes and inside the per-episode matching
+  // loops.
   [[nodiscard]] common::Result<core::StructuredSemanticTrajectory> Annotate(
-      const core::RawTrajectory& trajectory,
-      const std::vector<core::Episode>& episodes,
-      const common::ExecControl* exec) const;
+      const traj::PointBatch& batch, const std::vector<core::Episode>& episodes,
+      const common::ExecControl* exec, LineScratch* scratch = nullptr) const;
+
+  // Convenience: unbounded run with local scratch.
+  core::StructuredSemanticTrajectory Annotate(
+      const traj::PointBatch& batch,
+      const std::vector<core::Episode>& episodes) const;
 
   const GlobalMapMatcher& matcher() const { return matcher_; }
   const TransportModeClassifier& classifier() const { return classifier_; }

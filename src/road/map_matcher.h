@@ -16,16 +16,24 @@
 // the sweep R ∈ {1..5}, σ ∈ {0.5R .. 2R} of paper Fig. 10 transfers
 // across sampling rates (the paper tunes them per input source).
 //
+// Data plane: points arrive as a traj::PointView (SoA), candidate
+// distances run through the batched geo::DistancesToSegments kernel over
+// endpoints gathered from the network's segment SoA, and the per-point
+// candidate sets live in one flat CSR table (MatchScratch) with rows
+// sorted by segment id — the Eq. 3 neighbor lookup is a binary search
+// instead of a per-point hash map. All working memory comes from the
+// caller's MatchScratch, so steady-state matching allocates nothing.
+//
 // GeometricMapMatcher is the classical point-to-curve baseline
 // (Bernstein & Kornhauser, [3]) used in the ablation bench.
 
-#include <span>
 #include <vector>
 
 #include "common/exec_control.h"
 #include "common/status.h"
 #include "core/types.h"
 #include "road/road_network.h"
+#include "traj/point_batch.h"
 
 namespace semitri::road {
 
@@ -46,6 +54,44 @@ struct GlobalMatchConfig {
   size_t max_window_points = 64;
 };
 
+// Reusable working set of one matching pass. Owned by the caller (one
+// per annotation run/session — see core::AnnotationScratch) so repeated
+// passes reuse capacity instead of reallocating per trajectory.
+struct MatchScratch {
+  // Per-point candidate query buffer (sorted by segment id before use).
+  std::vector<core::PlaceId> candidates;
+  // CSR candidate table over all points of the pass: row i is
+  // cand_ids[row_begin[i] .. row_begin[i+1]), ascending, with the Eq. 2
+  // localScore alongside.
+  std::vector<size_t> row_begin;
+  std::vector<core::PlaceId> cand_ids;
+  std::vector<double> cand_scores;
+  // Batched-kernel staging: gathered candidate endpoints + distances.
+  std::vector<double> ax, ay, bx, by, dists;
+  // Eq. 3 context window (point index + Gaussian weight).
+  std::vector<size_t> window_index;
+  std::vector<double> window_weight;
+  // Per-candidate Eq. 3 numerators of the point being scored.
+  std::vector<double> num;
+  // MedianSpacing working set.
+  std::vector<double> spacings;
+
+  // Total reserved capacity in bytes across all buffers — the
+  // steady-state allocation contract is asserted on this (see
+  // tests/stream_scratch_test.cc).
+  size_t capacity_bytes() const {
+    return candidates.capacity() * sizeof(core::PlaceId) +
+           row_begin.capacity() * sizeof(size_t) +
+           cand_ids.capacity() * sizeof(core::PlaceId) +
+           (cand_scores.capacity() + ax.capacity() + ay.capacity() +
+            bx.capacity() + by.capacity() + dists.capacity() +
+            window_weight.capacity() + spacings.capacity() +
+            num.capacity()) *
+               sizeof(double) +
+           window_index.capacity() * sizeof(size_t);
+  }
+};
+
 class GlobalMapMatcher {
  public:
   // `network` must outlive the matcher.
@@ -53,21 +99,24 @@ class GlobalMapMatcher {
                             GlobalMatchConfig config = {})
       : network_(network), config_(config) {}
 
-  // Matches every GPS point (Algorithm 2 steps 1–5). Points with no
-  // candidate segment get segment == kInvalidPlaceId and keep their raw
-  // position.
-  std::vector<MatchedPoint> MatchPoints(
-      std::span<const core::GpsPoint> points) const;
+  // Matches every point of `pts` (Algorithm 2 steps 1–5) into `out`
+  // (cleared and resized). Points with no candidate segment get
+  // segment == kInvalidPlaceId and keep their raw position. Both passes
+  // consult `exec` (when non-null) every exec->check_interval points and
+  // abort with DeadlineExceeded, discarding partial matches. `scratch`
+  // (when non-null) supplies all working memory.
+  [[nodiscard]] common::Status MatchPoints(const traj::PointView& pts,
+                                           const common::ExecControl* exec,
+                                           MatchScratch* scratch,
+                                           std::vector<MatchedPoint>* out) const;
 
-  // Deadline-aware variant: both passes (candidate scan and global-score
-  // sweep) consult `exec` every exec->check_interval points and abort
-  // with DeadlineExceeded, discarding partial matches.
-  [[nodiscard]] common::Result<std::vector<MatchedPoint>> MatchPoints(
-      std::span<const core::GpsPoint> points,
-      const common::ExecControl* exec) const;
+  // Convenience: unbounded run with local scratch.
+  std::vector<MatchedPoint> MatchPoints(const traj::PointView& pts) const;
 
   // Median spacing (m) between consecutive points; the unit behind R/σ.
-  static double MedianSpacing(std::span<const core::GpsPoint> points);
+  // `scratch` (when non-null) holds the spacing working set.
+  static double MedianSpacing(const traj::PointView& pts,
+                              std::vector<double>* scratch = nullptr);
 
   const GlobalMatchConfig& config() const { return config_; }
 
@@ -83,8 +132,7 @@ class GeometricMapMatcher {
   explicit GeometricMapMatcher(const RoadNetwork* network)
       : network_(network) {}
 
-  std::vector<MatchedPoint> MatchPoints(
-      std::span<const core::GpsPoint> points) const;
+  std::vector<MatchedPoint> MatchPoints(const traj::PointView& pts) const;
 
  private:
   const RoadNetwork* network_;

@@ -40,6 +40,10 @@ core::PlaceId RoadNetwork::AddSegment(NodeId from, NodeId to, RoadType type,
   seg.shape = geo::Segment(node(from), node(to));
   segments_.push_back(std::move(seg));
   const RoadSegment& stored = segments_.back();
+  seg_ax_.push_back(stored.shape.a.x);
+  seg_ay_.push_back(stored.shape.a.y);
+  seg_bx_.push_back(stored.shape.b.x);
+  seg_by_.push_back(stored.shape.b.y);
   index_->Insert(stored.shape.Bounds(), stored.id);
   node_segments_[static_cast<size_t>(from)].push_back(stored.id);
   node_segments_[static_cast<size_t>(to)].push_back(stored.id);
@@ -55,10 +59,21 @@ double RoadNetwork::TotalLengthMeters() const {
 std::vector<core::PlaceId> RoadNetwork::CandidateSegments(
     const geo::Point& p, double radius) const {
   std::vector<core::PlaceId> out;
-  for (core::PlaceId id : index_->QueryRadius(p, radius)) {
-    if (segment(id).shape.DistanceTo(p) <= radius) out.push_back(id);
-  }
+  CandidateSegments(p, radius, &out);
   return out;
+}
+
+void RoadNetwork::CandidateSegments(const geo::Point& p, double radius,
+                                    std::vector<core::PlaceId>* out) const {
+  out->clear();
+  index_->QueryRadiusInto(p, radius, out);
+  // Refine the box-distance prefilter by exact segment distance, in
+  // place (Algorithm 2's candidateSegs keeps only true neighbors).
+  size_t kept = 0;
+  for (core::PlaceId id : *out) {
+    if (segment(id).shape.DistanceTo(p) <= radius) (*out)[kept++] = id;
+  }
+  out->resize(kept);
 }
 
 core::PlaceId RoadNetwork::NearestSegmentLinear(const geo::Point& p) const {

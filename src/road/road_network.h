@@ -6,6 +6,7 @@
 // global map matcher (Algorithm 2 selects only neighboring segments).
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,20 @@ class RoadNetwork {
   std::vector<core::PlaceId> CandidateSegments(const geo::Point& p,
                                                double radius) const;
 
+  // Allocation-free form: clears and refills `out`, reusing its
+  // capacity (the map-matcher hot loop calls this once per point).
+  void CandidateSegments(const geo::Point& p, double radius,
+                         std::vector<core::PlaceId>* out) const;
+
+  // Flat endpoint arrays (SoA mirror of segments()[id].shape), indexed
+  // by segment id: segment id runs (seg_ax()[id], seg_ay()[id]) to
+  // (seg_bx()[id], seg_by()[id]). The batched distance kernel
+  // (geo::DistancesToSegments) gathers from these.
+  std::span<const double> seg_ax() const { return seg_ax_; }
+  std::span<const double> seg_ay() const { return seg_ay_; }
+  std::span<const double> seg_bx() const { return seg_bx_; }
+  std::span<const double> seg_by() const { return seg_by_; }
+
   // Exhaustive nearest segment (linear scan; baseline & tests).
   core::PlaceId NearestSegmentLinear(const geo::Point& p) const;
 
@@ -92,6 +107,8 @@ class RoadNetwork {
  private:
   std::vector<geo::Point> nodes_;
   std::vector<RoadSegment> segments_;
+  // Endpoint SoA kept in lockstep with segments_ (see seg_ax()).
+  std::vector<double> seg_ax_, seg_ay_, seg_bx_, seg_by_;
   std::vector<std::vector<core::PlaceId>> node_segments_;
   std::unique_ptr<index::SpatialIndex<core::PlaceId>> index_;
 };

@@ -16,26 +16,32 @@ const char* TransportModeName(TransportMode mode) {
   return "unknown";
 }
 
-MotionFeatures ComputeMotionFeatures(std::span<const core::GpsPoint> points) {
+MotionFeatures ComputeMotionFeatures(const traj::PointView& pts,
+                                     MotionScratch* scratch) {
   MotionFeatures f;
-  if (points.size() < 2) return f;
+  if (pts.size < 2) return f;
   // Windowed displacement speeds: |p[i+k] - p[i-k]| over the elapsed
   // time, with k up to 2. GPS noise between *consecutive* fixes inflates
   // apparent speed (≈ sigma·sqrt(2)/dt) enough to push walking into the
   // vehicle band; net displacement over a wider window cancels it.
-  const size_t n = points.size();
+  const size_t n = pts.size;
   const size_t half = n >= 5 ? 2 : 1;
-  std::vector<double> speeds;
-  std::vector<double> times;
+  MotionScratch local;
+  MotionScratch& s = scratch != nullptr ? *scratch : local;
+  std::vector<double>& speeds = s.speeds;
+  std::vector<double>& times = s.times;
+  speeds.clear();
+  times.clear();
   speeds.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     size_t lo = i >= half ? i - half : 0;
     size_t hi = std::min(n - 1, i + half);
-    double dt = points[hi].time - points[lo].time;
+    double dt = pts.ts[hi] - pts.ts[lo];
     if (dt <= 0.0) continue;
-    speeds.push_back(points[hi].position.DistanceTo(points[lo].position) /
+    speeds.push_back(std::hypot(pts.xs[hi] - pts.xs[lo],
+                                pts.ys[hi] - pts.ys[lo]) /
                      dt);
-    times.push_back(points[i].time);
+    times.push_back(pts.ts[i]);
   }
   if (speeds.empty()) return f;
   double sum = 0.0;
@@ -60,7 +66,7 @@ MotionFeatures ComputeMotionFeatures(std::span<const core::GpsPoint> points) {
   if (acc_count > 0) {
     f.mean_abs_acceleration = acc_sum / static_cast<double>(acc_count);
   }
-  f.duration_seconds = points.back().time - points.front().time;
+  f.duration_seconds = pts.ts[n - 1] - pts.ts[0];
   return f;
 }
 

@@ -6,11 +6,11 @@
 // bicycle, bus, metro — per matched road run, from "average velocity,
 // average acceleration, road type etc.".
 
-#include <span>
 #include <vector>
 
 #include "core/types.h"
 #include "road/road_network.h"
+#include "traj/point_batch.h"
 
 namespace semitri::road {
 
@@ -32,7 +32,20 @@ struct MotionFeatures {
   double duration_seconds = 0.0;
 };
 
-MotionFeatures ComputeMotionFeatures(std::span<const core::GpsPoint> points);
+// Reusable working set for ComputeMotionFeatures (windowed speeds and
+// their timestamps), caller-owned so per-run feature extraction
+// allocates nothing in steady state.
+struct MotionScratch {
+  std::vector<double> speeds;
+  std::vector<double> times;
+
+  size_t capacity_bytes() const {
+    return (speeds.capacity() + times.capacity()) * sizeof(double);
+  }
+};
+
+MotionFeatures ComputeMotionFeatures(const traj::PointView& pts,
+                                     MotionScratch* scratch = nullptr);
 
 struct ModeInferenceConfig {
   // Speed below which a run is walking.
@@ -58,9 +71,9 @@ class TransportModeClassifier {
                          RoadType road_type) const;
 
   // Convenience: features computed from the points.
-  TransportMode Classify(std::span<const core::GpsPoint> points,
-                         RoadType road_type) const {
-    return Classify(ComputeMotionFeatures(points), road_type);
+  TransportMode Classify(const traj::PointView& pts, RoadType road_type,
+                         MotionScratch* scratch = nullptr) const {
+    return Classify(ComputeMotionFeatures(pts, scratch), road_type);
   }
 
   const ModeInferenceConfig& config() const { return config_; }

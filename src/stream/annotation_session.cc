@@ -92,6 +92,7 @@ common::Status AnnotationSession::AnnotatePrefix(size_t episodes_closed) {
   core::AnnotationContext context;
   context.result = std::move(partial_);
   context.store = pipeline_->store();
+  context.scratch = &scratch_;
   for (const std::string& name : pipeline_->graph().ExecutionOrder()) {
     if (name == core::kStageComputeEpisode) continue;
     SEMITRI_RETURN_IF_ERROR(pipeline_->graph().RunStage(name, context));
@@ -118,8 +119,10 @@ common::Status AnnotationSession::FinalizeClosed(ClosedTrajectory closed) {
   if (pipeline_->profiler() != nullptr) {
     scope.emplace(pipeline_->profiler(), kStreamStageFinalizeTrajectory);
   }
+  core::RunControls controls;
+  controls.scratch = &scratch_;
   common::Result<core::PipelineResult> annotated =
-      pipeline_->AnnotateComputed(std::move(computed));
+      pipeline_->AnnotateComputed(std::move(computed), controls);
   if (!annotated.ok()) return annotated.status();
   if (config_.keep_results) results_.push_back(std::move(*annotated));
   partial_ = core::PipelineResult();

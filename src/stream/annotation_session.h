@@ -25,6 +25,7 @@
 #include "common/serial.h"
 #include "common/status.h"
 #include "core/annotation_context.h"
+#include "core/annotation_scratch.h"
 #include "core/pipeline.h"
 #include "core/types.h"
 #include "stream/episode_detector.h"
@@ -115,6 +116,12 @@ class AnnotationSession {
   // SessionManager charges against its global buffered-fix budget).
   size_t buffered_points() const { return detector_.buffered_points(); }
 
+  // The session's reusable data-plane working memory: every provisional
+  // and finalization annotation pass runs out of it, so per-fix work
+  // stops allocating once buffers reach the workload's high-water mark
+  // (asserted by tests/stream_scratch_test.cc).
+  const core::AnnotationScratch& scratch() const { return scratch_; }
+
   // --- checkpoint support ---------------------------------------------
   // Serializes the live session (detector state, partial result,
   // retained results, counters) so a session constructed against the
@@ -140,6 +147,7 @@ class AnnotationSession {
   EpisodeDetector detector_;
   core::PipelineResult partial_;
   std::vector<core::PipelineResult> results_;
+  core::AnnotationScratch scratch_;
   size_t annotation_passes_ = 0;
 };
 

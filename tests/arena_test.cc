@@ -1,0 +1,99 @@
+// Tests for the bump allocator behind the annotation scratch: block
+// growth, Reset() recycling, alignment, and the monotonic block-count
+// stat the steady-state-allocation contract is asserted with.
+
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace semitri::common {
+namespace {
+
+TEST(ArenaTest, StartsEmpty) {
+  Arena arena;
+  EXPECT_EQ(arena.num_block_allocations(), 0u);
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+TEST(ArenaTest, AllocSpanIsWritableAndCounted) {
+  Arena arena;
+  std::span<double> a = arena.AllocSpan<double>(100);
+  ASSERT_EQ(a.size(), 100u);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(a[99], 99.0);
+  EXPECT_EQ(arena.num_block_allocations(), 1u);
+  EXPECT_GE(arena.capacity_bytes(), Arena::kInitialBlockBytes);
+  EXPECT_GE(arena.used_bytes(), 100 * sizeof(double));
+}
+
+TEST(ArenaTest, DistinctAllocationsDoNotOverlap) {
+  Arena arena;
+  std::span<uint64_t> a = arena.AllocSpan<uint64_t>(16);
+  std::span<uint64_t> b = arena.AllocSpan<uint64_t>(16);
+  std::memset(a.data(), 0xaa, a.size_bytes());
+  std::memset(b.data(), 0x55, b.size_bytes());
+  EXPECT_EQ(a[0], 0xaaaaaaaaaaaaaaaaULL);
+  EXPECT_EQ(b[0], 0x5555555555555555ULL);
+}
+
+TEST(ArenaTest, AlignmentIsHonored) {
+  Arena arena;
+  // Interleave odd-sized char allocations with aligned types.
+  for (int i = 0; i < 8; ++i) {
+    arena.AllocSpan<char>(3);
+    std::span<double> d = arena.AllocSpan<double>(1);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(d.data()) % alignof(double), 0u);
+    void* p16 = arena.AllocBytes(16, 16);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p16) % 16, 0u);
+  }
+}
+
+TEST(ArenaTest, ResetKeepsCapacityAndBlocks) {
+  Arena arena;
+  arena.AllocSpan<double>(10000);
+  size_t blocks = arena.num_block_allocations();
+  size_t capacity = arena.capacity_bytes();
+  arena.Reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.num_block_allocations(), blocks);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+  // A warm arena serves the same working set with no fresh blocks.
+  arena.AllocSpan<double>(10000);
+  EXPECT_EQ(arena.num_block_allocations(), blocks);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+}
+
+TEST(ArenaTest, GrowsBeyondInitialBlock) {
+  Arena arena;
+  // More than kInitialBlockBytes in one go forces a larger block.
+  size_t big = (Arena::kInitialBlockBytes / sizeof(double)) * 4;
+  std::span<double> a = arena.AllocSpan<double>(big);
+  ASSERT_EQ(a.size(), big);
+  a[big - 1] = 1.0;
+  EXPECT_GE(arena.capacity_bytes(), big * sizeof(double));
+}
+
+TEST(ArenaTest, ManySmallAllocationsReachSteadyState) {
+  Arena arena;
+  // Warm up with two identical passes; afterwards, repeated passes must
+  // not fetch any new blocks (the streaming steady-state contract).
+  auto pass = [&] {
+    arena.Reset();
+    for (int i = 0; i < 200; ++i) {
+      arena.AllocSpan<double>(64);
+      arena.AllocSpan<int32_t>(33);
+    }
+  };
+  pass();
+  pass();
+  size_t blocks = arena.num_block_allocations();
+  for (int run = 0; run < 5; ++run) pass();
+  EXPECT_EQ(arena.num_block_allocations(), blocks);
+}
+
+}  // namespace
+}  // namespace semitri::common

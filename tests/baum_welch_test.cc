@@ -2,6 +2,8 @@
 // transition matrix" extension) and its integration with the point
 // annotator.
 
+#include <span>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -13,18 +15,17 @@ namespace {
 
 // Samples hidden states and soft emissions from a known model. Emission
 // rows favor the true state with the given strength.
-std::vector<std::vector<double>> SampleSequence(const HmmModel& truth,
-                                                size_t length,
-                                                double emission_strength,
-                                                common::Rng& rng) {
+EmissionMatrix SampleSequence(const HmmModel& truth, size_t length,
+                              double emission_strength, common::Rng& rng) {
   const size_t n = truth.num_states();
-  std::vector<std::vector<double>> emissions;
+  EmissionMatrix emissions;
+  emissions.Reset(n);
   size_t state = rng.Discrete(truth.initial);
   for (size_t t = 0; t < length; ++t) {
-    std::vector<double> row(n, (1.0 - emission_strength) /
-                                   static_cast<double>(n - 1));
+    std::span<double> row = emissions.AppendRow();
+    double off = (1.0 - emission_strength) / static_cast<double>(n - 1);
+    for (double& e : row) e = off;
     row[state] = emission_strength;
-    emissions.push_back(std::move(row));
     state = rng.Discrete(truth.transition[state]);
   }
   return emissions;
@@ -40,7 +41,7 @@ HmmModel StickyTruth() {
 TEST(BaumWelchTest, RecoversStickyTransitions) {
   common::Rng rng(5);
   HmmModel truth = StickyTruth();
-  std::vector<std::vector<std::vector<double>>> sequences;
+  std::vector<EmissionMatrix> sequences;
   for (int s = 0; s < 60; ++s) {
     sequences.push_back(SampleSequence(truth, 40, 0.9, rng));
   }
@@ -56,7 +57,7 @@ TEST(BaumWelchTest, RecoversStickyTransitions) {
 TEST(BaumWelchTest, LikelihoodMonotonicallyImproves) {
   common::Rng rng(7);
   HmmModel truth = StickyTruth();
-  std::vector<std::vector<std::vector<double>>> sequences;
+  std::vector<EmissionMatrix> sequences;
   for (int s = 0; s < 10; ++s) {
     sequences.push_back(SampleSequence(truth, 25, 0.85, rng));
   }
@@ -82,7 +83,7 @@ TEST(BaumWelchTest, LikelihoodMonotonicallyImproves) {
 TEST(BaumWelchTest, LearnedModelIsStochastic) {
   common::Rng rng(9);
   HmmModel truth = StickyTruth();
-  std::vector<std::vector<std::vector<double>>> sequences = {
+  std::vector<EmissionMatrix> sequences = {
       SampleSequence(truth, 30, 0.9, rng)};
   HmmModel start;
   start.initial = {0.5, 0.5};
@@ -97,14 +98,14 @@ TEST(BaumWelchTest, RejectsEmptyInput) {
   start.initial = {0.5, 0.5};
   start.transition = MakeDefaultTransition(2, 0.5);
   EXPECT_FALSE(BaumWelch(start, {}).ok());
-  std::vector<std::vector<std::vector<double>>> only_empty = {{}};
+  std::vector<EmissionMatrix> only_empty = {EmissionMatrix()};
   EXPECT_FALSE(BaumWelch(start, only_empty).ok());
 }
 
 TEST(BaumWelchTest, KeepsInitialWhenAsked) {
   common::Rng rng(11);
   HmmModel truth = StickyTruth();
-  std::vector<std::vector<std::vector<double>>> sequences = {
+  std::vector<EmissionMatrix> sequences = {
       SampleSequence(truth, 30, 0.9, rng)};
   HmmModel start;
   start.initial = {0.25, 0.75};

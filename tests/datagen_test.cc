@@ -7,6 +7,7 @@
 #include "datagen/movement.h"
 #include "datagen/presets.h"
 #include "datagen/world.h"
+#include "traj/point_batch.h"
 
 namespace semitri::datagen {
 namespace {
@@ -236,7 +237,9 @@ TEST_F(SimulatorFixture, ModeSpeedsAreDistinct) {
     SimulatedTrack track;
     auto r = sim_->AppendTrip(&track, from, to, mode, 0.0, sensor);
     EXPECT_TRUE(r.ok());
-    auto f = road::ComputeMotionFeatures(track.points);
+    traj::PointBatch batch;
+    batch.BuildFrom(track.points);
+    auto f = road::ComputeMotionFeatures(batch.View());
     return f.mean_speed_mps;
   };
   double walk = mean_speed(road::TransportMode::kWalk);

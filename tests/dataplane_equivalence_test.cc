@@ -1,0 +1,141 @@
+// Bit-identical equivalence of the SoA data plane against the seed
+// scalar implementation.
+//
+// The golden CRC-32 fingerprints below were captured from the
+// pre-refactor (AoS / nested-vector) pipeline over every datagen
+// preset, offline and streaming. The SoA batches, flat EmissionMatrix,
+// and batched geo/poi kernels must reproduce every annotation bit for
+// bit: the fingerprint covers the full serialized PipelineResult
+// (cleaned trace, episodes, all three annotation layers, every score
+// and confidence string), so a single ULP of drift anywhere in the
+// data plane fails the suite.
+
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+#include "core/pipeline.h"
+#include "core/state_serialization.h"
+#include "datagen/presets.h"
+#include "datagen/world.h"
+#include "stream/annotation_session.h"
+
+namespace semitri {
+namespace {
+
+datagen::World MakeWorld() {
+  datagen::WorldConfig config;
+  config.seed = 9001;
+  config.extent_meters = 4000.0;
+  config.num_pois = 600;
+  return datagen::WorldGenerator(config).Generate();
+}
+
+uint32_t Fingerprint(const std::vector<core::PipelineResult>& results,
+                     uint32_t seed) {
+  common::StateWriter w;
+  for (const core::PipelineResult& result : results) {
+    core::SaveState(result, &w);
+  }
+  return common::Crc32(w.data(), seed);
+}
+
+// Offline fingerprint: ProcessStream over every track of the dataset.
+uint32_t OfflineFingerprint(const core::SemiTriPipeline& pipeline,
+                            const datagen::Dataset& data) {
+  uint32_t crc = 0;
+  for (const datagen::SimulatedTrack& track : data.tracks) {
+    auto results = pipeline.ProcessStream(
+        track.object_id, track.points,
+        static_cast<core::TrajectoryId>(track.object_id) * 1000);
+    EXPECT_TRUE(results.ok()) << results.status().ToString();
+    if (!results.ok()) return 0;
+    crc = Fingerprint(*results, crc);
+  }
+  return crc;
+}
+
+// Streaming fingerprint: the same corpus fed fix-by-fix through
+// AnnotationSessions (keep_results), fingerprinting the finalized
+// results in arrival order.
+uint32_t StreamingFingerprint(const core::SemiTriPipeline& pipeline,
+                              const datagen::Dataset& data) {
+  uint32_t crc = 0;
+  for (const datagen::SimulatedTrack& track : data.tracks) {
+    stream::SessionConfig config;
+    config.keep_results = true;
+    stream::AnnotationSession session(
+        &pipeline, track.object_id, config,
+        static_cast<core::TrajectoryId>(track.object_id) * 1000);
+    for (const core::GpsPoint& fix : track.points) {
+      auto fed = session.Feed(fix);
+      EXPECT_TRUE(fed.ok()) << fed.status().ToString();
+      if (!fed.ok()) return 0;
+    }
+    EXPECT_TRUE(session.Flush().ok());
+    crc = Fingerprint(session.results(), crc);
+  }
+  return crc;
+}
+
+class DataplaneEquivalenceTest : public ::testing::Test {
+ protected:
+  DataplaneEquivalenceTest()
+      : world_(MakeWorld()),
+        factory_(&world_, /*seed=*/9002),
+        pipeline_(&world_.regions, &world_.roads, &world_.pois) {}
+
+  datagen::World world_;
+  datagen::DatasetFactory factory_;
+  core::SemiTriPipeline pipeline_;
+};
+
+// Golden CRCs captured from the seed (pre-SoA) implementation. Do NOT
+// regenerate these to make a failing refactor pass: a mismatch means
+// the data plane changed observable output.
+constexpr uint32_t kGoldenLausanneTaxis = 2829730864u;
+constexpr uint32_t kGoldenMilanCars = 3820830064u;
+constexpr uint32_t kGoldenSeattleDrive = 830526352u;
+constexpr uint32_t kGoldenNokiaPeople = 3846160842u;
+constexpr uint32_t kGoldenNokiaStreaming = 3846160842u;
+
+TEST_F(DataplaneEquivalenceTest, LausanneTaxisOffline) {
+  uint32_t crc = OfflineFingerprint(
+      pipeline_, factory_.LausanneTaxis(/*num_taxis=*/2, /*num_days=*/3));
+  std::printf("GOLDEN LausanneTaxis %uu\n", crc);
+  EXPECT_EQ(crc, kGoldenLausanneTaxis);
+}
+
+TEST_F(DataplaneEquivalenceTest, MilanPrivateCarsOffline) {
+  uint32_t crc = OfflineFingerprint(
+      pipeline_, factory_.MilanPrivateCars(/*num_cars=*/20, /*num_days=*/3));
+  std::printf("GOLDEN MilanCars %uu\n", crc);
+  EXPECT_EQ(crc, kGoldenMilanCars);
+}
+
+TEST_F(DataplaneEquivalenceTest, SeattleDriveOffline) {
+  uint32_t crc = OfflineFingerprint(
+      pipeline_,
+      factory_.SeattleDrive(/*hours=*/1.0, /*gps_sigma_meters=*/8.0));
+  std::printf("GOLDEN SeattleDrive %uu\n", crc);
+  EXPECT_EQ(crc, kGoldenSeattleDrive);
+}
+
+TEST_F(DataplaneEquivalenceTest, NokiaPeopleOffline) {
+  uint32_t crc = OfflineFingerprint(
+      pipeline_, factory_.NokiaPeople(/*num_users=*/3, /*num_days=*/3));
+  std::printf("GOLDEN NokiaPeople %uu\n", crc);
+  EXPECT_EQ(crc, kGoldenNokiaPeople);
+}
+
+TEST_F(DataplaneEquivalenceTest, NokiaPeopleStreaming) {
+  uint32_t crc = StreamingFingerprint(
+      pipeline_, factory_.NokiaPeople(/*num_users=*/3, /*num_days=*/3));
+  std::printf("GOLDEN NokiaStreaming %uu\n", crc);
+  EXPECT_EQ(crc, kGoldenNokiaStreaming);
+}
+
+}  // namespace
+}  // namespace semitri

@@ -31,6 +31,7 @@
 #include "poi/point_annotator.h"
 #include "region/region_annotator.h"
 #include "road/map_matcher.h"
+#include "traj/point_batch.h"
 
 namespace semitri {
 namespace {
@@ -532,10 +533,13 @@ TEST_F(DeadlineFixture, AnnotatorLoopsNoticeMidLoopExpiry) {
   {
     common::ExecControl exec = make_exec();
     road::GlobalMapMatcher matcher(&world_->roads);
-    common::Result<std::vector<road::MatchedPoint>> matched =
-        matcher.MatchPoints(computed_.cleaned.points, &exec);
-    EXPECT_FALSE(matched.ok());
-    EXPECT_EQ(matched.status().code(), StatusCode::kDeadlineExceeded);
+    traj::PointBatch batch;
+    batch.BuildFrom(computed_.cleaned.points);
+    std::vector<road::MatchedPoint> matched;
+    common::Status status =
+        matcher.MatchPoints(batch.View(), &exec, nullptr, &matched);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   }
   {
     common::ExecControl exec = make_exec();
@@ -567,7 +571,11 @@ TEST(ViterbiDeadlineTest, GridSweepNoticesExpiry) {
   hmm::HmmModel model;
   model.initial = {0.5, 0.5};
   model.transition = {{0.5, 0.5}, {0.5, 0.5}};
-  std::vector<std::vector<double>> emissions(100, {0.5, 0.5});
+  hmm::EmissionMatrix emissions;
+  emissions.Reset(2);
+  for (int t = 0; t < 100; ++t) {
+    for (double& e : emissions.AppendRow()) e = 0.5;
+  }
   common::Result<hmm::ViterbiResult> result =
       hmm::Viterbi(model, emissions, &exec);
   EXPECT_FALSE(result.ok());

@@ -4,6 +4,7 @@
 #include "hmm/hmm.h"
 
 #include <cmath>
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -17,6 +18,13 @@ HmmModel TwoStateModel() {
   m.initial = {0.6, 0.4};
   m.transition = {{0.7, 0.3}, {0.4, 0.6}};
   return m;
+}
+
+// Builds the flat emission matrix from well-formed nested rows.
+EmissionMatrix Em(const std::vector<std::vector<double>>& rows) {
+  auto matrix = EmissionMatrix::FromRows(rows);
+  EXPECT_TRUE(matrix.ok()) << matrix.status().message();
+  return std::move(matrix).value();
 }
 
 TEST(HmmModelTest, ValidatesShapes) {
@@ -57,7 +65,7 @@ TEST(HmmModelTest, DefaultTransitionIsStochastic) {
 }
 
 TEST(ViterbiTest, EmptyObservationSequence) {
-  auto result = Viterbi(TwoStateModel(), {});
+  auto result = Viterbi(TwoStateModel(), EmissionMatrix());
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->states.empty());
 }
@@ -65,7 +73,7 @@ TEST(ViterbiTest, EmptyObservationSequence) {
 TEST(ViterbiTest, SingleObservationPicksMaxPosterior) {
   HmmModel m = TwoStateModel();
   // Emission strongly favors state 1.
-  auto result = Viterbi(m, {{0.1, 0.9}});
+  auto result = Viterbi(m, Em({{0.1, 0.9}}));
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->states.size(), 1u);
   EXPECT_EQ(result->states[0], 1u);
@@ -79,8 +87,7 @@ TEST(ViterbiTest, HandComputedThreeSteps) {
   m.initial = {0.5, 0.5};
   m.transition = {{0.9, 0.1}, {0.1, 0.9}};
   // Observations favor state 0, then 0, then 1.
-  std::vector<std::vector<double>> emissions = {
-      {0.8, 0.2}, {0.8, 0.2}, {0.2, 0.8}};
+  EmissionMatrix emissions = Em({{0.8, 0.2}, {0.8, 0.2}, {0.2, 0.8}});
   auto result = Viterbi(m, emissions);
   ASSERT_TRUE(result.ok());
   // delta1 = {.4, .1}; delta2 = {.4*.9*.8=.288, .4*.1*.2=.008};
@@ -97,8 +104,8 @@ TEST(ViterbiTest, StickyTransitionsSmoothNoisyEmissions) {
   HmmModel m;
   m.initial = {0.5, 0.5};
   m.transition = {{0.95, 0.05}, {0.05, 0.95}};
-  std::vector<std::vector<double>> emissions = {
-      {0.9, 0.1}, {0.9, 0.1}, {0.45, 0.55}, {0.9, 0.1}, {0.9, 0.1}};
+  EmissionMatrix emissions =
+      Em({{0.9, 0.1}, {0.9, 0.1}, {0.45, 0.55}, {0.9, 0.1}, {0.9, 0.1}});
   auto result = Viterbi(m, emissions);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->states, (std::vector<size_t>{0, 0, 0, 0, 0}));
@@ -106,28 +113,30 @@ TEST(ViterbiTest, StickyTransitionsSmoothNoisyEmissions) {
 
 TEST(ViterbiTest, AllZeroEmissionRowTreatedUniform) {
   HmmModel m = TwoStateModel();
-  auto result = Viterbi(m, {{0.9, 0.1}, {0.0, 0.0}, {0.9, 0.1}});
+  auto result = Viterbi(m, Em({{0.9, 0.1}, {0.0, 0.0}, {0.9, 0.1}}));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->states.size(), 3u);
   EXPECT_EQ(result->states[1], 0u);  // carried by transitions
 }
 
 TEST(ViterbiTest, RejectsBadEmissionShape) {
-  auto result = Viterbi(TwoStateModel(), {{0.5, 0.4, 0.1}});
+  auto result = Viterbi(TwoStateModel(), Em({{0.5, 0.4, 0.1}}));
   EXPECT_FALSE(result.ok());
-  auto neg = Viterbi(TwoStateModel(), {{0.5, -0.1}});
+  auto neg = Viterbi(TwoStateModel(), Em({{0.5, -0.1}}));
   EXPECT_FALSE(neg.ok());
+  // Ragged nested rows are rejected at conversion time.
+  EXPECT_FALSE(EmissionMatrix::FromRows({{0.5, 0.5}, {0.1}}).ok());
 }
 
 TEST(ForwardTest, MatchesDirectEnumerationSmallCase) {
   HmmModel m = TwoStateModel();
-  std::vector<std::vector<double>> emissions = {{0.8, 0.2}, {0.3, 0.7}};
+  EmissionMatrix emissions = Em({{0.8, 0.2}, {0.3, 0.7}});
   // Direct: sum over 4 paths.
   double total = 0.0;
   for (int s0 = 0; s0 < 2; ++s0) {
     for (int s1 = 0; s1 < 2; ++s1) {
-      total += m.initial[s0] * emissions[0][s0] * m.transition[s0][s1] *
-               emissions[1][s1];
+      total += m.initial[s0] * emissions.At(0, s0) * m.transition[s0][s1] *
+               emissions.At(1, s1);
     }
   }
   auto ll = ForwardLogLikelihood(m, emissions);
@@ -158,10 +167,10 @@ TEST(ForwardTest, ViterbiPathNeverBeatsTotalLikelihood) {
       for (double& p : row) p /= row_sum;
     }
     size_t t_len = static_cast<size_t>(rng.UniformInt(1, 12));
-    std::vector<std::vector<double>> emissions(
-        t_len, std::vector<double>(num_states));
-    for (auto& row : emissions) {
-      for (double& e : row) e = rng.Uniform(0.0, 1.0);
+    EmissionMatrix emissions;
+    emissions.Reset(num_states);
+    for (size_t t = 0; t < t_len; ++t) {
+      for (double& e : emissions.AppendRow()) e = rng.Uniform(0.0, 1.0);
     }
     auto viterbi = Viterbi(m, emissions);
     auto forward = ForwardLogLikelihood(m, emissions);
@@ -176,7 +185,13 @@ TEST(ViterbiTest, LongSequenceNoUnderflow) {
   // 5,000 observations would underflow a probability-space
   // implementation; log space must survive.
   HmmModel m = TwoStateModel();
-  std::vector<std::vector<double>> emissions(5000, {1e-5, 2e-5});
+  EmissionMatrix emissions;
+  emissions.Reset(2);
+  for (int t = 0; t < 5000; ++t) {
+    std::span<double> row = emissions.AppendRow();
+    row[0] = 1e-5;
+    row[1] = 2e-5;
+  }
   auto result = Viterbi(m, emissions);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(std::isfinite(result->log_probability));
@@ -186,12 +201,12 @@ TEST(ViterbiTest, LongSequenceNoUnderflow) {
 
 TEST(PosteriorTest, RowsAreDistributions) {
   HmmModel m = TwoStateModel();
-  auto gamma = PosteriorDecode(m, {{0.8, 0.2}, {0.1, 0.9}, {0.5, 0.5}});
+  auto gamma = PosteriorDecode(m, Em({{0.8, 0.2}, {0.1, 0.9}, {0.5, 0.5}}));
   ASSERT_TRUE(gamma.ok());
-  ASSERT_EQ(gamma->size(), 3u);
-  for (const auto& row : *gamma) {
+  ASSERT_EQ(gamma->rows(), 3u);
+  for (size_t t = 0; t < gamma->rows(); ++t) {
     double sum = 0.0;
-    for (double g : row) {
+    for (double g : gamma->Row(t)) {
       EXPECT_GE(g, 0.0);
       sum += g;
     }
@@ -201,14 +216,14 @@ TEST(PosteriorTest, RowsAreDistributions) {
 
 TEST(PosteriorTest, MatchesDirectEnumerationSmallCase) {
   HmmModel m = TwoStateModel();
-  std::vector<std::vector<double>> emissions = {{0.8, 0.2}, {0.3, 0.7}};
+  EmissionMatrix emissions = Em({{0.8, 0.2}, {0.3, 0.7}});
   // gamma_0(i) = sum_j pi_i b_i(0) A_ij b_j(1) / Z.
   double z = 0.0;
   double g00 = 0.0, g01 = 0.0;
   for (int s0 = 0; s0 < 2; ++s0) {
     for (int s1 = 0; s1 < 2; ++s1) {
-      double p = m.initial[s0] * emissions[0][s0] * m.transition[s0][s1] *
-                 emissions[1][s1];
+      double p = m.initial[s0] * emissions.At(0, s0) * m.transition[s0][s1] *
+                 emissions.At(1, s1);
       z += p;
       if (s0 == 0) g00 += p;
       if (s1 == 0) g01 += p;
@@ -216,12 +231,12 @@ TEST(PosteriorTest, MatchesDirectEnumerationSmallCase) {
   }
   auto gamma = PosteriorDecode(m, emissions);
   ASSERT_TRUE(gamma.ok());
-  EXPECT_NEAR((*gamma)[0][0], g00 / z, 1e-12);
-  EXPECT_NEAR((*gamma)[1][0], g01 / z, 1e-12);
+  EXPECT_NEAR(gamma->At(0, 0), g00 / z, 1e-12);
+  EXPECT_NEAR(gamma->At(1, 0), g01 / z, 1e-12);
 }
 
 TEST(PosteriorTest, EmptySequence) {
-  auto gamma = PosteriorDecode(TwoStateModel(), {});
+  auto gamma = PosteriorDecode(TwoStateModel(), EmissionMatrix());
   ASSERT_TRUE(gamma.ok());
   EXPECT_TRUE(gamma->empty());
 }

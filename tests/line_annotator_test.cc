@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "traj/point_batch.h"
+
 #include "common/rng.h"
 #include "datagen/movement.h"
 #include "datagen/world.h"
@@ -12,6 +14,13 @@
 
 namespace semitri::road {
 namespace {
+
+// Adapts AoS test fixtures to the SoA data plane.
+traj::PointBatch Batch(const std::vector<core::GpsPoint>& points) {
+  traj::PointBatch batch;
+  batch.BuildFrom(points);
+  return batch;
+}
 
 // A straight two-segment street; trace walks segment 0 then rides
 // segment 1 (faster).
@@ -46,7 +55,8 @@ TEST(LineAnnotatorTest, GroupsRunsAndInfersModes) {
   RoadNetwork net = TwoSegmentStreet();
   LineAnnotator annotator(&net);
   auto points = WalkThenRide(3);
-  auto episodes = annotator.AnnotateMove(points, /*source_episode=*/7);
+  auto episodes =
+      annotator.AnnotateMove(Batch(points).View(), /*source_episode=*/7);
   ASSERT_EQ(episodes.size(), 2u);
   EXPECT_EQ(episodes[0].place.id, 0);
   EXPECT_EQ(episodes[0].FindAnnotation("transport_mode"), "walk");
@@ -77,7 +87,9 @@ TEST(LineAnnotatorTest, AnnotateProcessesOnlyMoveEpisodes) {
   move.end = t.size();
   traj::FinalizeEpisode(t, &stop);
   traj::FinalizeEpisode(t, &move);
-  auto out = annotator.Annotate(t, {stop, move});
+  traj::PointBatch batch;
+  batch.BuildFrom(t);
+  auto out = annotator.Annotate(batch, {stop, move});
   EXPECT_EQ(out.interpretation, "line");
   EXPECT_EQ(out.trajectory_id, 9);
   for (const auto& ep : out.episodes) {
@@ -89,7 +101,7 @@ TEST(LineAnnotatorTest, AnnotateProcessesOnlyMoveEpisodes) {
 TEST(LineAnnotatorTest, MatchScoreAnnotationPresent) {
   RoadNetwork net = TwoSegmentStreet();
   LineAnnotator annotator(&net);
-  auto episodes = annotator.AnnotateMove(WalkThenRide(7), 0);
+  auto episodes = annotator.AnnotateMove(Batch(WalkThenRide(7)).View(), 0);
   for (const auto& ep : episodes) {
     if (!ep.place.valid()) continue;
     double score = std::stod(ep.FindAnnotation("match_score"));
@@ -101,7 +113,7 @@ TEST(LineAnnotatorTest, MatchScoreAnnotationPresent) {
 TEST(LineAnnotatorTest, EmptyMove) {
   RoadNetwork net = TwoSegmentStreet();
   LineAnnotator annotator(&net);
-  EXPECT_TRUE(annotator.AnnotateMove({}, 0).empty());
+  EXPECT_TRUE(annotator.AnnotateMove(traj::PointView{}, 0).empty());
 }
 
 TEST(LineAnnotatorTest, MinRunFilterSuppressesFlicker) {
@@ -109,7 +121,7 @@ TEST(LineAnnotatorTest, MinRunFilterSuppressesFlicker) {
   LineAnnotatorConfig config;
   config.min_run_points = 3;
   LineAnnotator annotator(&net, config);
-  auto episodes = annotator.AnnotateMove(WalkThenRide(11), 0);
+  auto episodes = annotator.AnnotateMove(Batch(WalkThenRide(11)).View(), 0);
   for (const auto& ep : episodes) {
     // After absorption no episode should span fewer than ~2 samples.
     EXPECT_GE(ep.time_out - ep.time_in, 5.0 - 1e-9);
@@ -137,7 +149,7 @@ TEST(LineAnnotatorTest, SimulatedMetroCommuteRecovered) {
   ASSERT_GT(track.points.size(), 30u);
 
   LineAnnotator annotator(&world.roads);
-  auto episodes = annotator.AnnotateMove(track.points, 0);
+  auto episodes = annotator.AnnotateMove(Batch(track.points).View(), 0);
   ASSERT_FALSE(episodes.empty());
   bool has_metro = false, has_walk = false;
   for (const auto& ep : episodes) {

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "traj/point_batch.h"
+
 #include "common/rng.h"
 #include "datagen/movement.h"
 #include "datagen/presets.h"
@@ -16,6 +18,13 @@ namespace semitri::road {
 namespace {
 
 using geo::Point;
+
+// Adapts AoS test fixtures to the SoA data plane.
+traj::PointBatch Batch(const std::vector<core::GpsPoint>& points) {
+  traj::PointBatch batch;
+  batch.BuildFrom(points);
+  return batch;
+}
 
 // A long straight street with a parallel street 20 m away.
 RoadNetwork ParallelStreets() {
@@ -49,7 +58,7 @@ TEST(GlobalMapMatcherTest, CleanTraceMatchesPerfectly) {
   RoadNetwork net = ParallelStreets();
   GlobalMapMatcher matcher(&net);
   auto points = DriveAlongY(0.0, 0.0, 1);
-  auto matches = matcher.MatchPoints(points);
+  auto matches = matcher.MatchPoints(Batch(points).View());
   for (size_t i = 0; i < matches.size(); ++i) {
     double x = points[i].position.x;
     core::PlaceId expected = x <= 500.0 ? 0 : 1;
@@ -68,7 +77,7 @@ TEST(GlobalMapMatcherTest, NoisyTraceStaysOnCorrectParallelRoad) {
   // Drive on the main road (y=0) with 6 m noise: individual points may
   // be closer to the parallel road, but context should keep the match.
   auto points = DriveAlongY(0.0, 6.0, 7);
-  auto matches = matcher.MatchPoints(points);
+  auto matches = matcher.MatchPoints(Batch(points).View());
   size_t on_main = 0;
   for (const auto& m : matches) {
     if (m.segment == 0 || m.segment == 1) ++on_main;
@@ -91,8 +100,10 @@ TEST(GlobalMapMatcherTest, BeatsGeometricBaselineUnderNoise) {
                       static_cast<double>(i)});
     truth.push_back(x <= 500.0 ? 0 : 1);
   }
-  double acc_global = MatchingAccuracy(global.MatchPoints(points), truth);
-  double acc_baseline = MatchingAccuracy(baseline.MatchPoints(points), truth);
+  traj::PointBatch batch = Batch(points);
+  double acc_global = MatchingAccuracy(global.MatchPoints(batch.View()), truth);
+  double acc_baseline =
+      MatchingAccuracy(baseline.MatchPoints(batch.View()), truth);
   EXPECT_GE(acc_global, acc_baseline);
 }
 
@@ -100,7 +111,7 @@ TEST(GlobalMapMatcherTest, PointsFarFromAnyRoadUnmatched) {
   RoadNetwork net = ParallelStreets();
   GlobalMapMatcher matcher(&net);
   std::vector<core::GpsPoint> points = {{{5000, 5000}, 0.0}};
-  auto matches = matcher.MatchPoints(points);
+  auto matches = matcher.MatchPoints(Batch(points).View());
   EXPECT_EQ(matches[0].segment, core::kInvalidPlaceId);
   EXPECT_EQ(matches[0].snapped, Point(5000, 5000));
 }
@@ -109,7 +120,7 @@ TEST(GlobalMapMatcherTest, SnappedPositionLiesOnMatchedSegment) {
   RoadNetwork net = ParallelStreets();
   GlobalMapMatcher matcher(&net);
   auto points = DriveAlongY(2.0, 1.0, 13);
-  auto matches = matcher.MatchPoints(points);
+  auto matches = matcher.MatchPoints(Batch(points).View());
   for (const auto& m : matches) {
     if (m.segment == core::kInvalidPlaceId) continue;
     EXPECT_LT(net.segment(m.segment).shape.DistanceTo(m.snapped), 1e-9);
@@ -119,15 +130,17 @@ TEST(GlobalMapMatcherTest, SnappedPositionLiesOnMatchedSegment) {
 TEST(GlobalMapMatcherTest, MedianSpacing) {
   std::vector<core::GpsPoint> points = {
       {{0, 0}, 0}, {{10, 0}, 1}, {{20, 0}, 2}, {{35, 0}, 3}};
-  EXPECT_DOUBLE_EQ(GlobalMapMatcher::MedianSpacing(points), 10.0);
+  EXPECT_DOUBLE_EQ(GlobalMapMatcher::MedianSpacing(Batch(points).View()),
+                   10.0);
   std::vector<core::GpsPoint> single = {{{0, 0}, 0}};
-  EXPECT_DOUBLE_EQ(GlobalMapMatcher::MedianSpacing(single), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalMapMatcher::MedianSpacing(Batch(single).View()),
+                   1.0);
 }
 
 TEST(GlobalMapMatcherTest, EmptyInput) {
   RoadNetwork net = ParallelStreets();
   GlobalMapMatcher matcher(&net);
-  EXPECT_TRUE(matcher.MatchPoints({}).empty());
+  EXPECT_TRUE(matcher.MatchPoints(traj::PointView{}).empty());
 }
 
 TEST(MatchingAccuracyTest, SkipsInvalidTruth) {
@@ -160,7 +173,7 @@ TEST(GlobalMapMatcherTest, HighAccuracyOnSimulatedDrive) {
   config.view_radius = 2.0;
   config.sigma_ratio = 0.5;
   GlobalMapMatcher matcher(&world.roads, config);
-  auto matches = matcher.MatchPoints(track.points);
+  auto matches = matcher.MatchPoints(Batch(track.points).View());
   std::vector<core::PlaceId> truth;
   for (const auto& s : track.truth) truth.push_back(s.segment);
   double accuracy = MatchingAccuracy(matches, truth);

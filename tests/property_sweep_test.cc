@@ -9,6 +9,7 @@
 #include "core/pipeline.h"
 #include "datagen/presets.h"
 #include "road/map_matcher.h"
+#include "traj/point_batch.h"
 #include "traj/segmentation.h"
 
 namespace semitri {
@@ -74,10 +75,12 @@ TEST_P(MatcherSeedSweep, GlobalNeverWorseThanBaseline) {
 
   road::GlobalMapMatcher global(&world.roads);
   road::GeometricMapMatcher baseline(&world.roads);
+  traj::PointBatch batch;
+  batch.BuildFrom(track.points);
   double acc_global =
-      road::MatchingAccuracy(global.MatchPoints(track.points), truth);
+      road::MatchingAccuracy(global.MatchPoints(batch.View()), truth);
   double acc_baseline =
-      road::MatchingAccuracy(baseline.MatchPoints(track.points), truth);
+      road::MatchingAccuracy(baseline.MatchPoints(batch.View()), truth);
   EXPECT_GE(acc_global, acc_baseline - 0.01) << "seed " << GetParam();
   EXPECT_GT(acc_global, 0.6) << "seed " << GetParam();
 }

@@ -1,0 +1,99 @@
+// Steady-state allocation contract of the streaming data plane: once
+// an AnnotationSession has annotated a workload, re-annotating the
+// same workload allocates nothing — every per-run buffer (the SoA
+// point batch, CSR candidate tables, the emission arena) has grown to
+// its high-water mark and is only reused. bench_stream_throughput
+// gates the same property in CI (gated_zeros); this test pins it at
+// the unit level with a real datagen corpus.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+#include "datagen/world.h"
+#include "stream/annotation_session.h"
+
+namespace semitri {
+namespace {
+
+class StreamScratchTest : public ::testing::Test {
+ protected:
+  StreamScratchTest()
+      : world_(MakeWorld()),
+        factory_(&world_, /*seed=*/515),
+        pipeline_(&world_.regions, &world_.roads, &world_.pois) {}
+
+  static datagen::World MakeWorld() {
+    datagen::WorldConfig config;
+    config.seed = 514;
+    config.extent_meters = 4000.0;
+    config.num_pois = 600;
+    return datagen::WorldGenerator(config).Generate();
+  }
+
+  // Feeds every fix of `track` and flushes; the session annotates each
+  // closed episode and finalizes each closed trajectory along the way.
+  static void FeedTrack(stream::AnnotationSession* session,
+                        const datagen::SimulatedTrack& track) {
+    for (const core::GpsPoint& fix : track.points) {
+      auto fed = session->Feed(fix);
+      ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+    }
+    ASSERT_TRUE(session->Flush().ok());
+  }
+
+  datagen::World world_;
+  datagen::DatasetFactory factory_;
+  core::SemiTriPipeline pipeline_;
+};
+
+TEST_F(StreamScratchTest, SteadyStateMakesNoArenaAllocations) {
+  datagen::Dataset people = factory_.NokiaPeople(/*num_users=*/1,
+                                                 /*num_days=*/2);
+  ASSERT_FALSE(people.tracks.empty());
+  const datagen::SimulatedTrack& track = people.tracks.front();
+  stream::AnnotationSession session(&pipeline_, track.object_id);
+
+  // Warm-up pass: the scratch grows to the workload's high-water mark.
+  FeedTrack(&session, track);
+  const size_t warm_blocks =
+      session.scratch().point.arena.num_block_allocations();
+  const size_t warm_capacity = session.scratch().capacity_bytes();
+  EXPECT_GT(warm_capacity, 0u);
+
+  // Steady state: the same workload again, five times over. No new
+  // arena blocks, no scratch buffer growth.
+  for (int run = 0; run < 5; ++run) {
+    FeedTrack(&session, track);
+    EXPECT_EQ(session.scratch().point.arena.num_block_allocations(),
+              warm_blocks)
+        << "arena fetched a fresh block on steady-state run " << run;
+    EXPECT_EQ(session.scratch().capacity_bytes(), warm_capacity)
+        << "scratch buffers grew on steady-state run " << run;
+  }
+}
+
+TEST_F(StreamScratchTest, CapacityStabilizesAcrossHeterogeneousTracks) {
+  // A mixed corpus: after one full pass over every track, a second
+  // pass must run entirely within the reserved capacity — the scratch
+  // is sized by the largest run, not the most recent one.
+  datagen::Dataset people = factory_.NokiaPeople(/*num_users=*/2,
+                                                 /*num_days=*/2);
+  ASSERT_GE(people.tracks.size(), 2u);
+  stream::AnnotationSession session(&pipeline_, people.tracks[0].object_id);
+  for (const datagen::SimulatedTrack& track : people.tracks) {
+    FeedTrack(&session, track);
+  }
+  const size_t warm_blocks =
+      session.scratch().point.arena.num_block_allocations();
+  const size_t warm_capacity = session.scratch().capacity_bytes();
+  for (const datagen::SimulatedTrack& track : people.tracks) {
+    FeedTrack(&session, track);
+  }
+  EXPECT_EQ(session.scratch().point.arena.num_block_allocations(),
+            warm_blocks);
+  EXPECT_EQ(session.scratch().capacity_bytes(), warm_capacity);
+}
+
+}  // namespace
+}  // namespace semitri

@@ -4,10 +4,19 @@
 
 #include <gtest/gtest.h>
 
+#include "traj/point_batch.h"
+
 #include "common/rng.h"
 
 namespace semitri::road {
 namespace {
+
+// Adapts AoS test fixtures to the SoA data plane.
+traj::PointBatch Batch(const std::vector<core::GpsPoint>& points) {
+  traj::PointBatch batch;
+  batch.BuildFrom(points);
+  return batch;
+}
 
 // Constant-speed straight run sampled at 1 Hz.
 std::vector<core::GpsPoint> MakeRun(double speed, double seconds,
@@ -26,7 +35,7 @@ std::vector<core::GpsPoint> MakeRun(double speed, double seconds,
 }
 
 TEST(MotionFeaturesTest, ConstantSpeed) {
-  auto f = ComputeMotionFeatures(MakeRun(10.0, 60.0));
+  auto f = ComputeMotionFeatures(Batch(MakeRun(10.0, 60.0)).View());
   EXPECT_NEAR(f.mean_speed_mps, 10.0, 1e-9);
   EXPECT_NEAR(f.speed_stddev, 0.0, 1e-9);
   EXPECT_NEAR(f.mean_abs_acceleration, 0.0, 1e-9);
@@ -34,17 +43,19 @@ TEST(MotionFeaturesTest, ConstantSpeed) {
 }
 
 TEST(MotionFeaturesTest, WobbleRaisesAcceleration) {
-  auto smooth = ComputeMotionFeatures(MakeRun(8.0, 120.0, 0.0));
-  auto jerky = ComputeMotionFeatures(MakeRun(8.0, 120.0, 3.0, 5));
+  auto smooth = ComputeMotionFeatures(Batch(MakeRun(8.0, 120.0, 0.0)).View());
+  auto jerky =
+      ComputeMotionFeatures(Batch(MakeRun(8.0, 120.0, 3.0, 5)).View());
   EXPECT_GT(jerky.mean_abs_acceleration, smooth.mean_abs_acceleration);
   EXPECT_GT(jerky.speed_stddev, smooth.speed_stddev);
 }
 
 TEST(MotionFeaturesTest, DegenerateInputs) {
-  MotionFeatures empty = ComputeMotionFeatures({});
+  MotionFeatures empty = ComputeMotionFeatures(traj::PointView{});
   EXPECT_DOUBLE_EQ(empty.mean_speed_mps, 0.0);
   std::vector<core::GpsPoint> one = {{{0, 0}, 0}};
-  EXPECT_DOUBLE_EQ(ComputeMotionFeatures(one).mean_speed_mps, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeMotionFeatures(Batch(one).View()).mean_speed_mps,
+                   0.0);
 }
 
 TEST(ClassifierTest, RailAlwaysMetro) {
@@ -97,10 +108,10 @@ TEST(ClassifierTest, FastOnRoadIsBus) {
 
 TEST(ClassifierTest, EndToEndFromPoints) {
   TransportModeClassifier classifier;
-  EXPECT_EQ(classifier.Classify(MakeRun(1.3, 120.0, 0.1, 3),
+  EXPECT_EQ(classifier.Classify(Batch(MakeRun(1.3, 120.0, 0.1, 3)).View(),
                                 RoadType::kFootway),
             TransportMode::kWalk);
-  EXPECT_EQ(classifier.Classify(MakeRun(12.0, 120.0, 1.0, 3),
+  EXPECT_EQ(classifier.Classify(Batch(MakeRun(12.0, 120.0, 1.0, 3)).View(),
                                 RoadType::kRailMetro),
             TransportMode::kMetro);
 }

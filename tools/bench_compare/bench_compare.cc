@@ -1,0 +1,245 @@
+#include "bench_compare.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace semitri::benchcompare {
+
+namespace {
+
+void SkipWhitespace(const std::string& text, size_t* i) {
+  while (*i < text.size() &&
+         (text[*i] == ' ' || text[*i] == '\n' || text[*i] == '\t' ||
+          text[*i] == '\r')) {
+    ++(*i);
+  }
+}
+
+// Reads a quoted string starting at text[*i] == '"'; unescapes \" and
+// \\ (the only escapes JsonWriter emits).
+bool ReadQuoted(const std::string& text, size_t* i, std::string* out) {
+  if (*i >= text.size() || text[*i] != '"') return false;
+  ++(*i);
+  out->clear();
+  while (*i < text.size() && text[*i] != '"') {
+    if (text[*i] == '\\' && *i + 1 < text.size()) ++(*i);
+    *out += text[(*i)++];
+  }
+  if (*i >= text.size()) return false;
+  ++(*i);  // closing quote
+  return true;
+}
+
+}  // namespace
+
+bool ParseFlatJson(const std::string& text, FlatJson* out) {
+  out->clear();
+  size_t i = 0;
+  SkipWhitespace(text, &i);
+  if (i >= text.size() || text[i] != '{') return false;
+  ++i;
+  SkipWhitespace(text, &i);
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  while (true) {
+    SkipWhitespace(text, &i);
+    std::string key;
+    if (!ReadQuoted(text, &i, &key)) return false;
+    SkipWhitespace(text, &i);
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    SkipWhitespace(text, &i);
+    std::string value;
+    if (i < text.size() && text[i] == '"') {
+      if (!ReadQuoted(text, &i, &value)) return false;
+    } else {
+      size_t start = i;
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             text[i] != ' ' && text[i] != '\n') {
+        ++i;
+      }
+      value = text.substr(start, i - start);
+      if (value.empty()) return false;
+    }
+    (*out)[key] = value;
+    SkipWhitespace(text, &i);
+    if (i >= text.size()) return false;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') return true;
+    return false;
+  }
+}
+
+std::vector<std::string> SplitKeys(const std::string& list) {
+  std::vector<std::string> keys;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) keys.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return keys;
+}
+
+namespace {
+
+bool GetDouble(const FlatJson& record, const std::string& key, double* out) {
+  auto it = record.find(key);
+  if (it == record.end()) return false;
+  char* end = nullptr;
+  *out = std::strtod(it->second.c_str(), &end);
+  return end != it->second.c_str();
+}
+
+std::string GetString(const FlatJson& record, const std::string& key) {
+  auto it = record.find(key);
+  return it == record.end() ? std::string() : it->second;
+}
+
+}  // namespace
+
+int CompareRecords(const std::string& bench, const FlatJson& baseline,
+                   const FlatJson& candidate, double threshold,
+                   std::vector<Finding>* findings) {
+  int regressions = 0;
+  auto add = [&](const std::string& key, double base, double cand,
+                 bool regression, std::string detail) {
+    Finding f;
+    f.bench = bench;
+    f.key = key;
+    f.baseline = base;
+    f.candidate = cand;
+    f.regression = regression;
+    f.detail = std::move(detail);
+    findings->push_back(std::move(f));
+    if (regression) ++regressions;
+  };
+  for (const std::string& key : SplitKeys(GetString(baseline, "gated_ratios"))) {
+    double base = 0.0;
+    double cand = 0.0;
+    if (!GetDouble(baseline, key, &base)) {
+      add(key, 0.0, 0.0, true, "baseline value missing or not numeric");
+      continue;
+    }
+    if (!GetDouble(candidate, key, &cand)) {
+      add(key, base, 0.0, true, "candidate value missing or not numeric");
+      continue;
+    }
+    double floor = base * (1.0 - threshold);
+    if (cand < floor) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "below %.4g (baseline - %.0f%%)",
+                    floor, threshold * 100.0);
+      add(key, base, cand, true, buf);
+    } else {
+      add(key, base, cand, false, "ok");
+    }
+  }
+  for (const std::string& key : SplitKeys(GetString(baseline, "gated_zeros"))) {
+    double cand = 0.0;
+    if (!GetDouble(candidate, key, &cand)) {
+      add(key, 0.0, 0.0, true, "candidate value missing or not numeric");
+      continue;
+    }
+    if (cand != 0.0) {
+      add(key, 0.0, cand, true, "must be exactly 0");
+    } else {
+      add(key, 0.0, cand, false, "ok");
+    }
+  }
+  return regressions;
+}
+
+namespace {
+
+bool ReadFile(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int RunBenchCompare(const std::string& baseline_dir,
+                    const std::string& candidate_dir, double threshold) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> baselines;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(baseline_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      baselines.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read baseline dir %s: %s\n",
+                 baseline_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (baselines.empty()) {
+    std::fprintf(stderr, "no BENCH_*.json records under %s\n",
+                 baseline_dir.c_str());
+    return 1;
+  }
+  std::sort(baselines.begin(), baselines.end());
+
+  int regressions = 0;
+  std::vector<Finding> findings;
+  for (const fs::path& base_path : baselines) {
+    const std::string file = base_path.filename().string();
+    std::string base_text;
+    FlatJson base_record;
+    if (!ReadFile(base_path, &base_text) ||
+        !ParseFlatJson(base_text, &base_record)) {
+      std::fprintf(stderr, "FAIL %s: unreadable or malformed baseline\n",
+                   file.c_str());
+      ++regressions;
+      continue;
+    }
+    // Records with no gated metrics are informational-only; a missing
+    // candidate for them is not a regression.
+    bool has_gates = base_record.count("gated_ratios") > 0 ||
+                     base_record.count("gated_zeros") > 0;
+    std::string cand_text;
+    FlatJson cand_record;
+    fs::path cand_path = fs::path(candidate_dir) / file;
+    if (!ReadFile(cand_path, &cand_text) ||
+        !ParseFlatJson(cand_text, &cand_record)) {
+      if (has_gates) {
+        std::fprintf(stderr, "FAIL %s: candidate missing or malformed (%s)\n",
+                     file.c_str(), cand_path.string().c_str());
+        ++regressions;
+      }
+      continue;
+    }
+    regressions += CompareRecords(base_record.count("bench") > 0
+                                      ? cand_record["bench"]
+                                      : file,
+                                  base_record, cand_record, threshold,
+                                  &findings);
+  }
+
+  std::printf("%-28s %-28s %12s %12s  %s\n", "bench", "metric", "baseline",
+              "candidate", "verdict");
+  for (const Finding& f : findings) {
+    std::printf("%-28s %-28s %12.4g %12.4g  %s%s\n", f.bench.c_str(),
+                f.key.c_str(), f.baseline, f.candidate,
+                f.regression ? "REGRESSION: " : "", f.detail.c_str());
+  }
+  std::printf("%d gated metric(s) checked, %d regression(s)\n",
+              static_cast<int>(findings.size()), regressions);
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace semitri::benchcompare

@@ -1,0 +1,63 @@
+#ifndef SEMITRI_TOOLS_BENCH_COMPARE_BENCH_COMPARE_H_
+#define SEMITRI_TOOLS_BENCH_COMPARE_BENCH_COMPARE_H_
+
+// bench_compare: diffs two sets of BENCH_<name>.json run records (the
+// flat-JSON files BenchReporter writes) and fails on perf regressions.
+//
+// Only *gated* metrics are compared — the keys each record names in its
+// `gated_ratios` / `gated_zeros` lists:
+//   gated_ratios  higher-is-better, machine-relative ratios (batched
+//                 kernel vs. in-process scalar reference). A candidate
+//                 regresses when it drops more than `threshold` (default
+//                 5%) below the committed baseline value.
+//   gated_zeros   counters that must be exactly zero in the candidate
+//                 (the steady-state-allocation contract); the baseline
+//                 value is irrelevant.
+// Wall-clock sections are recorded for humans but never gated: absolute
+// times do not transfer between the machine that committed the baseline
+// and the machine running CI.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace semitri::benchcompare {
+
+// One flat JSON object: key -> raw value text ("1.77", "\"abc\"").
+using FlatJson = std::map<std::string, std::string>;
+
+// Parses the single flat object emitted by benchutil::JsonWriter
+// (string or numeric values, no nesting). Returns false on malformed
+// input; *out holds the pairs parsed so far.
+bool ParseFlatJson(const std::string& text, FlatJson* out);
+
+// Splits a comma-joined key list ("a,b,c"); empty string -> empty list.
+std::vector<std::string> SplitKeys(const std::string& list);
+
+struct Finding {
+  std::string bench;
+  std::string key;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  bool regression = false;  // vs. informational pass line
+  std::string detail;
+};
+
+// Compares one baseline record against its candidate. Appends one
+// Finding per gated key (pass or fail). Returns the number of
+// regressions found; missing keys and unparsable values count as
+// regressions.
+int CompareRecords(const std::string& bench, const FlatJson& baseline,
+                   const FlatJson& candidate, double threshold,
+                   std::vector<Finding>* findings);
+
+// Scans `baseline_dir` for BENCH_*.json, pairs each with the same file
+// name under `candidate_dir`, compares, and prints a table to stdout.
+// Returns the process exit code: 0 when every gate holds, 1 on any
+// regression, missing candidate file, or parse failure.
+int RunBenchCompare(const std::string& baseline_dir,
+                    const std::string& candidate_dir, double threshold);
+
+}  // namespace semitri::benchcompare
+
+#endif  // SEMITRI_TOOLS_BENCH_COMPARE_BENCH_COMPARE_H_

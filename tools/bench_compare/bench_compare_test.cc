@@ -1,0 +1,114 @@
+// Tests for the bench_compare gating logic: flat-JSON parsing, gated
+// ratio thresholds, and the exactly-zero contract.
+
+#include "bench_compare.h"
+
+#include <gtest/gtest.h>
+
+namespace semitri::benchcompare {
+namespace {
+
+TEST(ParseFlatJsonTest, ParsesReporterOutput) {
+  FlatJson record;
+  ASSERT_TRUE(ParseFlatJson(
+      "{\n  \"schema_version\": 1,\n  \"bench\": \"fig10\",\n"
+      "  \"kernel_speedup\": 1.77,\n  \"gated_ratios\": \"kernel_speedup\"\n}\n",
+      &record));
+  EXPECT_EQ(record.at("schema_version"), "1");
+  EXPECT_EQ(record.at("bench"), "fig10");
+  EXPECT_EQ(record.at("kernel_speedup"), "1.77");
+  EXPECT_EQ(record.at("gated_ratios"), "kernel_speedup");
+}
+
+TEST(ParseFlatJsonTest, HandlesEscapesAndEmptyObject) {
+  FlatJson record;
+  ASSERT_TRUE(ParseFlatJson("{\"k\": \"a\\\"b\\\\c\"}", &record));
+  EXPECT_EQ(record.at("k"), "a\"b\\c");
+  ASSERT_TRUE(ParseFlatJson("{ }", &record));
+  EXPECT_TRUE(record.empty());
+}
+
+TEST(ParseFlatJsonTest, RejectsMalformed) {
+  FlatJson record;
+  EXPECT_FALSE(ParseFlatJson("", &record));
+  EXPECT_FALSE(ParseFlatJson("[1, 2]", &record));
+  EXPECT_FALSE(ParseFlatJson("{\"k\": }", &record));
+  EXPECT_FALSE(ParseFlatJson("{\"k\" 1}", &record));
+  EXPECT_FALSE(ParseFlatJson("{\"k\": 1", &record));
+}
+
+TEST(SplitKeysTest, SplitsCommaLists) {
+  EXPECT_TRUE(SplitKeys("").empty());
+  EXPECT_EQ(SplitKeys("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(SplitKeys("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+FlatJson Record(double speedup, double zeros) {
+  FlatJson record;
+  record["bench"] = "demo";
+  record["kernel_speedup"] = std::to_string(speedup);
+  record["steady_allocs"] = std::to_string(zeros);
+  record["gated_ratios"] = "kernel_speedup";
+  record["gated_zeros"] = "steady_allocs";
+  return record;
+}
+
+TEST(CompareRecordsTest, PassesWithinThreshold) {
+  std::vector<Finding> findings;
+  // 4% below baseline is within the 5% gate.
+  EXPECT_EQ(CompareRecords("demo", Record(2.0, 0), Record(1.92, 0), 0.05,
+                           &findings),
+            0);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_FALSE(findings[0].regression);
+  EXPECT_FALSE(findings[1].regression);
+}
+
+TEST(CompareRecordsTest, FailsBelowThreshold) {
+  std::vector<Finding> findings;
+  EXPECT_EQ(CompareRecords("demo", Record(2.0, 0), Record(1.8, 0), 0.05,
+                           &findings),
+            1);
+  EXPECT_TRUE(findings[0].regression);
+}
+
+TEST(CompareRecordsTest, ImprovementAlwaysPasses) {
+  std::vector<Finding> findings;
+  EXPECT_EQ(CompareRecords("demo", Record(2.0, 0), Record(3.5, 0), 0.05,
+                           &findings),
+            0);
+}
+
+TEST(CompareRecordsTest, NonZeroCounterFails) {
+  std::vector<Finding> findings;
+  EXPECT_EQ(CompareRecords("demo", Record(2.0, 0), Record(2.0, 1), 0.05,
+                           &findings),
+            1);
+  EXPECT_TRUE(findings[1].regression);
+  // The baseline's own value is irrelevant: zero is an absolute gate.
+  findings.clear();
+  EXPECT_EQ(CompareRecords("demo", Record(2.0, 7), Record(2.0, 0), 0.05,
+                           &findings),
+            0);
+}
+
+TEST(CompareRecordsTest, MissingCandidateKeyFails) {
+  FlatJson candidate = Record(2.0, 0);
+  candidate.erase("kernel_speedup");
+  std::vector<Finding> findings;
+  EXPECT_EQ(CompareRecords("demo", Record(2.0, 0), candidate, 0.05,
+                           &findings),
+            1);
+}
+
+TEST(CompareRecordsTest, UngatedRecordComparesNothing) {
+  FlatJson baseline;
+  baseline["bench"] = "plain";
+  baseline["wall_ns"] = "123";
+  std::vector<Finding> findings;
+  EXPECT_EQ(CompareRecords("plain", baseline, baseline, 0.05, &findings), 0);
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace semitri::benchcompare

@@ -1,0 +1,41 @@
+// CLI: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.05]
+//
+// Exit 0 when every gated metric in the baseline's BENCH_*.json records
+// holds in the candidate set, 1 otherwise. CI's perf-gate job runs this
+// with the repo root (committed baselines) against a fresh bench run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_compare.h"
+
+int main(int argc, char** argv) {
+  const char* baseline = nullptr;
+  const char* candidate = nullptr;
+  double threshold = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+      if (threshold <= 0.0 || threshold >= 1.0) {
+        std::fprintf(stderr, "--threshold must be in (0, 1)\n");
+        return 2;
+      }
+    } else if (baseline == nullptr) {
+      baseline = argv[i];
+    } else if (candidate == nullptr) {
+      candidate = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline == nullptr || candidate == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline_dir> <candidate_dir> "
+                 "[--threshold 0.05]\n");
+    return 2;
+  }
+  return semitri::benchcompare::RunBenchCompare(baseline, candidate,
+                                                threshold);
+}

@@ -754,6 +754,91 @@ std::vector<Finding> FaultSitesImpl(const Corpus& corpus) {
   return findings;
 }
 
+// ---------------------------------------------------------------------
+// hot-path-alloc
+// ---------------------------------------------------------------------
+
+constexpr char kHotPathAlloc[] = "hot-path-alloc";
+
+// The data-plane TUs whose steady state must not allocate (DESIGN.md
+// "Data plane layout"): the three hot loops (map matching, POI
+// emission/decode, move annotation) plus the observation-model
+// precompute they share. Nested vector-of-vectors layouts and
+// per-iteration container construction are findings here; everything
+// transient comes from the run's AnnotationScratch/Arena instead.
+bool InHotPathAllocScope(const std::string& path) {
+  if (!StartsWith(path, "src/")) return false;
+  static const char* kBasenames[] = {
+      "/hmm.cc", "/map_matcher.cc", "/line_annotator.cc",
+      "/point_annotator.cc", "/observation_model.cc"};
+  for (const char* base : kBasenames) {
+    if (EndsWith(path, base)) return true;
+  }
+  return false;
+}
+
+// A by-value container declaration at the start of a statement.
+// Reference bindings (`const std::vector<T>& row = ...`) alias
+// existing storage and are fine.
+bool IsContainerDeclaration(const std::string& code) {
+  static const std::regex kDecl(
+      R"(^\s*(const\s+)?(std::)?(vector|unordered_map|unordered_set|map|set|deque)\s*<)");
+  if (!std::regex_search(code, kDecl)) return false;
+  return code.find(">&") == std::string::npos &&
+         code.find("> &") == std::string::npos;
+}
+
+std::vector<Finding> HotPathAllocImpl(const Corpus& corpus) {
+  std::vector<Finding> findings;
+  for (const SourceFile& f : corpus.files) {
+    if (!InHotPathAllocScope(f.path())) continue;
+
+    // Rule 1: no vector-of-vectors layouts anywhere in the TU. The
+    // data plane stores matrices flat (EmissionMatrix, the CSR
+    // candidate table); a nested layout re-introduces one allocation
+    // and one pointer chase per row.
+    for (size_t li = 1; li <= f.line_count(); ++li) {
+      const std::string& code = f.code_line(li);
+      size_t at = code.find("std::vector<std::vector<");
+      if (at == std::string::npos) continue;
+      if (code.find(">&", at) != std::string::npos ||
+          code.find("> &", at) != std::string::npos) {
+        continue;  // reference to a caller-owned nested shape
+      }
+      if (f.IsSuppressed(kHotPathAlloc, li)) continue;
+      findings.push_back(
+          {kHotPathAlloc, f.path(), li,
+           "vector-of-vectors in a data-plane TU — store the matrix "
+           "flat (row-major + stride, like EmissionMatrix), or "
+           "suppress with a reason if this is a boundary API shape"});
+    }
+
+    // Rule 2: no container constructed inside a loop body — that is
+    // one allocation per iteration. Hoist the declaration and
+    // clear()/reuse its capacity, or take storage from the Arena.
+    std::vector<size_t> flagged;
+    for (const Loop& loop : CollectLoops(f, kHotPathAlloc)) {
+      if (loop.suppressed) continue;
+      for (size_t li = loop.body_first; li <= loop.body_last; ++li) {
+        if (li == loop.header_line) continue;
+        if (!IsContainerDeclaration(f.code_line(li))) continue;
+        if (f.IsSuppressed(kHotPathAlloc, li)) continue;
+        if (std::find(flagged.begin(), flagged.end(), li) !=
+            flagged.end()) {
+          continue;  // already reported via an enclosing loop
+        }
+        flagged.push_back(li);
+        findings.push_back(
+            {kHotPathAlloc, f.path(), li,
+             "container constructed inside a loop in a data-plane TU — "
+             "hoist it out of the loop and reuse its capacity "
+             "(clear()/assign()), or allocate from the run's Arena"});
+      }
+    }
+  }
+  return findings;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -761,7 +846,8 @@ std::vector<Finding> FaultSitesImpl(const Corpus& corpus) {
 // ---------------------------------------------------------------------
 
 std::vector<std::string> AllCheckNames() {
-  return {kUncheckedStatus, kExecCheckpoint, kGuardedBy, kFaultSites};
+  return {kUncheckedStatus, kExecCheckpoint, kGuardedBy, kFaultSites,
+          kHotPathAlloc};
 }
 
 std::vector<Finding> CheckUncheckedStatus(const Corpus& corpus) {
@@ -788,6 +874,12 @@ std::vector<Finding> CheckFaultSiteRegistry(const Corpus& corpus) {
   return findings;
 }
 
+std::vector<Finding> CheckHotPathAlloc(const Corpus& corpus) {
+  std::vector<Finding> findings = HotPathAllocImpl(corpus);
+  SortFindings(&findings);
+  return findings;
+}
+
 std::vector<Finding> RunChecks(const Corpus& corpus,
                                const std::vector<std::string>& checks) {
   std::vector<std::string> selected = checks;
@@ -804,6 +896,8 @@ std::vector<Finding> RunChecks(const Corpus& corpus,
       batch = GuardedByImpl(corpus);
     } else if (check == kFaultSites) {
       batch = FaultSitesImpl(corpus);
+    } else if (check == kHotPathAlloc) {
+      batch = HotPathAllocImpl(corpus);
     } else {
       batch.push_back({"driver", "<args>", 0,
                        "unknown check `" + check + "`; known: " +

@@ -62,6 +62,7 @@ std::vector<Finding> CheckUncheckedStatus(const Corpus& corpus);
 std::vector<Finding> CheckExecCheckpointCoverage(const Corpus& corpus);
 std::vector<Finding> CheckGuardedByCompleteness(const Corpus& corpus);
 std::vector<Finding> CheckFaultSiteRegistry(const Corpus& corpus);
+std::vector<Finding> CheckHotPathAlloc(const Corpus& corpus);
 
 }  // namespace semitri::lint
 

@@ -224,6 +224,50 @@ TEST(RunChecksTest, DeterministicOrder) {
   }
 }
 
+TEST(HotPathAllocTest, FlagsNestedVectorsAndPerIterationContainers) {
+  Corpus corpus;
+  corpus.files.push_back(
+      LoadFixture("hot_path_alloc_bad.cc", "src/hmm/hmm.cc"));
+  const SourceFile& f = corpus.files[0];
+  std::vector<Finding> findings = CheckHotPathAlloc(corpus);
+
+  // Two nested-vector lines, two per-iteration constructions.
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: nested return type")),
+            1u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: nested local")),
+            1u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: constructed every")),
+            1u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: per-iteration map")),
+            1u);
+}
+
+TEST(HotPathAllocTest, OutOfScopePathIsIgnored) {
+  // The check governs the data-plane TUs only; the same content in a
+  // non-hot file (or under tests/) is not audited.
+  Corpus corpus;
+  corpus.files.push_back(
+      LoadFixture("hot_path_alloc_bad.cc", "src/traj/segmentation.cc"));
+  EXPECT_TRUE(CheckHotPathAlloc(corpus).empty());
+  corpus.files.clear();
+  corpus.files.push_back(
+      LoadFixture("hot_path_alloc_bad.cc", "tests/some_test.cc"));
+  EXPECT_TRUE(CheckHotPathAlloc(corpus).empty());
+}
+
+TEST(HotPathAllocTest, PassesHoistedReferenceAndSuppressed) {
+  Corpus corpus;
+  corpus.files.push_back(
+      LoadFixture("hot_path_alloc_good.cc", "src/road/map_matcher.cc"));
+  std::vector<Finding> findings = CheckHotPathAlloc(corpus);
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
 TEST(SuppressionTest, MultiLineReasonBlockStaysAttached) {
   SourceFile f("src/fixture/inline.cc",
                "// semitri-lint: allow(unchecked-status) — the reason\n"

@@ -1,0 +1,21 @@
+// Fixture: hot-path-alloc must-flag cases (loaded as a data-plane TU).
+
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::vector<double>> BuildTable() {  // FLAG: nested return type
+  std::vector<std::vector<double>> table;  // FLAG: nested local
+  return table;
+}
+
+void PerIteration(const std::vector<int>& items) {
+  for (int item : items) {
+    std::vector<double> row(8);  // FLAG: constructed every iteration
+    std::unordered_map<int, double> scores;  // FLAG: per-iteration map
+    row[0] = scores[item];
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: hot-path-alloc must-pass and suppression cases.
+
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+void Hoisted(const std::vector<int>& items) {
+  std::vector<double> row;  // hoisted: reused across iterations
+  for (int item : items) {
+    row.clear();
+    row.push_back(static_cast<double>(item));
+  }
+}
+
+void ReferenceBinding(const std::vector<std::vector<double>>& table) {
+  for (const std::vector<double>& row : table) {
+    (void)row;
+  }
+}
+
+// semitri-lint: allow(hot-path-alloc) — boundary API shape: callers
+// hand in nested rows, converted to a flat matrix immediately.
+std::vector<std::vector<double>> SuppressedBoundary() {
+  // semitri-lint: allow(hot-path-alloc) — one-time construction at
+  // model-build time, not on the annotation path.
+  std::vector<std::vector<double>> rows;
+  return rows;
+}
+
+void SuppressedPerIteration(const std::vector<int>& items) {
+  for (int item : items) {
+    // semitri-lint: allow(hot-path-alloc) — tiny bounded map, N <= 3.
+    std::unordered_map<int, double> scores;
+    scores[item] = 1.0;
+  }
+}
+
+}  // namespace fixture
