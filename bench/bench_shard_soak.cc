@@ -1,0 +1,391 @@
+// Sharded serving soak: many-object churn against an in-process
+// shard::ShardCluster — connect/disconnect, live migration waves, ring
+// rebalance (AddShard), and a mid-run shard kill/restart — while an
+// uninterrupted single-manager run of the same streams serves as the
+// convergence reference.
+//
+// Reported:
+//   * live migration latency p50/p99 (pack -> drain -> handoff ->
+//     adopt, per object, mid-stream);
+//   * recovery time for a killed shard (store WAL replay + manager
+//     checkpoint restore) and the cost of the at-least-once re-feed;
+//   * rebalance volume when a shard joins the ring;
+//   * shed rate under deliberately tight per-shard admission budgets
+//     (separate overload pass, not convergence-gated);
+//   * the per-shard health rollup (core::HealthSnapshot::shards).
+//
+// The gate: after all of the above, MergeStores must ContentEquals the
+// uninterrupted reference — zero lost acknowledged fixes
+// (lost_acknowledged_fixes, a GateZero; CI's shard-soak-smoke leg runs
+// `bench_shard_soak smoke` and fails the moment it leaves 0).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+#include "shard/cluster.h"
+#include "store/semantic_trajectory_store.h"
+#include "stream/session_manager.h"
+
+using namespace semitri;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples->size() - 1));
+  std::nth_element(samples->begin(), samples->begin() + static_cast<long>(idx),
+                   samples->end());
+  return (*samples)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  benchutil::PrintHeader(
+      "Shard soak: churn, migration, rebalance, kill/restart",
+      "sharded serving runtime (DESIGN.md: shard deployment model)");
+
+  datagen::World world = benchutil::MakeCity(/*seed=*/801,
+                                             smoke ? 3000.0 : 6000.0,
+                                             smoke ? 500 : 2000);
+  datagen::DatasetFactory factory(&world, /*seed=*/802);
+  const int kObjects = smoke ? 12 : 32;
+  const int kDays = smoke ? 1 : 2;
+  datagen::Dataset dataset = factory.MilanPrivateCars(kObjects, kDays);
+  const size_t total_points = dataset.TotalRecords();
+  size_t longest = 0;
+  for (const datagen::SimulatedTrack& t : dataset.tracks) {
+    longest = std::max(longest, t.points.size());
+  }
+  std::printf("corpus: %d cars x %d days, %zu gps records%s\n\n", kObjects,
+              kDays, total_points, smoke ? " (smoke)" : "");
+
+  // Both runs execute the identical logical stream: chunked round-robin
+  // feeds with a flushing Close for every 3rd object at the
+  // disconnect barrier (reconnect = the next feed). Everything the
+  // cluster layer adds on top — migration, rebalance, kill/restart,
+  // at-least-once re-feeds — must be invisible in the merged stores.
+  const size_t kDisconnectAt = longest / 4;
+  const size_t kMigrateAt = longest / 2;
+  const size_t kKillAt = 3 * longest / 4;
+  auto disconnects = [&](size_t object_index) {
+    return object_index % 3 == 0;
+  };
+
+  // --- uninterrupted reference -----------------------------------------
+  store::SemanticTrajectoryStore reference;
+  {
+    core::SemiTriPipeline pipeline(&world.regions, &world.roads, &world.pois,
+                                   core::PipelineConfig{}, &reference);
+    stream::SessionManager manager(&pipeline);
+    for (size_t k = 0; k < longest; ++k) {
+      for (size_t i = 0; i < dataset.tracks.size(); ++i) {
+        const datagen::SimulatedTrack& track = dataset.tracks[i];
+        if (k < track.points.size()) {
+          auto fed = manager.Feed(track.object_id, track.points[k]);
+          if (!fed.ok()) {
+            std::fprintf(stderr, "reference feed failed: %s\n",
+                         fed.status().ToString().c_str());
+            return 1;
+          }
+        }
+        if (k + 1 == kDisconnectAt && disconnects(i)) {
+          if (auto status = manager.Close(track.object_id); !status.ok()) {
+            std::fprintf(stderr, "reference close failed: %s\n",
+                         status.ToString().c_str());
+            return 1;
+          }
+        }
+      }
+    }
+    if (!manager.CloseAll().ok()) return 1;
+  }
+
+  // --- the soak --------------------------------------------------------
+  std::filesystem::path base_dir =
+      std::filesystem::temp_directory_path() /
+      ("semitri_bench_shard_soak_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(base_dir);
+  shard::ShardClusterConfig cluster_config;
+  cluster_config.num_shards = smoke ? 3 : 4;
+  cluster_config.base_dir = base_dir.string();
+  auto opened = shard::ShardCluster::Open(&world.regions, &world.roads,
+                                          &world.pois, cluster_config);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cluster open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<shard::ShardCluster> cluster = std::move(opened.value());
+
+  std::vector<double> migration_ms;
+  double rebalance_ms = 0.0;
+  size_t rebalanced_objects = 0;
+  double recovery_ms = 0.0;
+  double refeed_ms = 0.0;
+  size_t refed_fixes = 0;
+
+  auto feed_one = [&](const datagen::SimulatedTrack& track,
+                      size_t k) -> bool {
+    auto fed = cluster->Feed(track.object_id, track.points[k]);
+    if (!fed.ok()) {
+      std::fprintf(stderr, "soak feed failed (object %ld, k %zu): %s\n",
+                   track.object_id, k, fed.status().ToString().c_str());
+      return false;
+    }
+    return true;
+  };
+
+  auto soak_start = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < longest; ++k) {
+    for (size_t i = 0; i < dataset.tracks.size(); ++i) {
+      const datagen::SimulatedTrack& track = dataset.tracks[i];
+      if (k < track.points.size() && !feed_one(track, k)) return 1;
+      if (k + 1 == kDisconnectAt && disconnects(i)) {
+        if (auto status = cluster->CloseObject(track.object_id);
+            !status.ok()) {
+          std::fprintf(stderr, "soak close failed: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+
+    if (k + 1 == kMigrateAt) {
+      // Migration wave: every object still mid-stream hops one shard
+      // over — each hop is the full pack/drain/handoff/adopt protocol.
+      for (const datagen::SimulatedTrack& track : dataset.tracks) {
+        if (track.points.size() <= k + 1) continue;
+        shard::ShardId src = cluster->OwnerOf(track.object_id);
+        shard::ShardId dest = (src + 1) % cluster->num_shards();
+        auto t0 = std::chrono::steady_clock::now();
+        if (auto status = cluster->MigrateObject(track.object_id, dest);
+            !status.ok()) {
+          std::fprintf(stderr, "migration failed: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+        migration_ms.push_back(MsSince(t0));
+      }
+      // A shard joins the ring; everything whose placement moved
+      // follows it.
+      auto t0 = std::chrono::steady_clock::now();
+      auto added = cluster->AddShard();
+      if (!added.ok()) {
+        std::fprintf(stderr, "add shard failed: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+      rebalance_ms = MsSince(t0);
+      rebalanced_objects = *added;
+    }
+
+    if (k + 1 == kKillAt) {
+      // Ack everything, SIGKILL the busiest shard, and recover it. The
+      // driver then re-feeds the victim's objects from the start of
+      // their streams — the restored sessions reject the already-
+      // consumed prefix per-fix (at-least-once redelivery is
+      // idempotent) and resume exactly at their checkpointed cursors.
+      if (auto status = cluster->CheckpointAll(); !status.ok()) {
+        std::fprintf(stderr, "checkpoint failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::vector<size_t> owned(cluster->num_shards(), 0);
+      for (const datagen::SimulatedTrack& track : dataset.tracks) {
+        ++owned[cluster->OwnerOf(track.object_id)];
+      }
+      shard::ShardId victim = 0;
+      for (size_t s = 1; s < owned.size(); ++s) {
+        if (owned[s] > owned[victim]) victim = s;
+      }
+      if (auto status = cluster->KillShard(victim); !status.ok()) {
+        std::fprintf(stderr, "kill failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      if (auto status = cluster->RestartShard(victim); !status.ok()) {
+        std::fprintf(stderr, "restart failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      recovery_ms = MsSince(t0);
+      auto t1 = std::chrono::steady_clock::now();
+      for (const datagen::SimulatedTrack& track : dataset.tracks) {
+        if (cluster->OwnerOf(track.object_id) != victim) continue;
+        for (size_t r = 0; r <= std::min(k, track.points.size() - 1); ++r) {
+          if (!feed_one(track, r)) return 1;
+          ++refed_fixes;
+        }
+      }
+      refeed_ms = MsSince(t1);
+    }
+  }
+  if (auto status = cluster->CloseAll(); !status.ok()) {
+    std::fprintf(stderr, "soak close-all failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  double soak_seconds = MsSince(soak_start) / 1e3;
+
+  // Residual replication lag after a final seal+ship should be zero.
+  auto shipped = cluster->SealAndShipAll();
+  if (!shipped.ok()) {
+    std::fprintf(stderr, "seal+ship failed: %s\n",
+                 shipped.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- convergence gate -------------------------------------------------
+  store::SemanticTrajectoryStore merged;
+  if (auto status = cluster->MergeStores(&merged); !status.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const bool converged = merged.ContentEquals(reference);
+  shard::ShardCluster::Stats stats = cluster->stats();
+  core::HealthSnapshot health = cluster->Health();
+
+  double migration_p50 = Percentile(&migration_ms, 0.50);
+  double migration_p99 = Percentile(&migration_ms, 0.99);
+  std::printf("soak:            %9.0f points/s  (%.3f s total)\n",
+              static_cast<double>(total_points) / soak_seconds, soak_seconds);
+  std::printf("migrations:      %zu completed, %zu aborted   "
+              "p50 %8.3f ms   p99 %8.3f ms\n",
+              stats.migrations_completed, stats.migrations_aborted,
+              migration_p50, migration_p99);
+  std::printf("rebalance:       %zu objects followed the new shard "
+              "(%.3f ms)\n",
+              rebalanced_objects, rebalance_ms);
+  std::printf("kill/restart:    recovery %8.3f ms, re-feed of %zu fixes "
+              "%8.3f ms\n",
+              recovery_ms, refed_fixes, refeed_ms);
+  std::printf("wal shipping:    %zu segments / %zu bytes shipped\n",
+              shipped->segments_shipped, shipped->bytes_shipped);
+  std::printf("convergence:     %s\n\n",
+              converged ? "merged == uninterrupted reference"
+                        : "DIVERGED (lost acknowledged fixes)");
+  std::printf("per-shard rollup:\n");
+  for (const core::ShardHealth& shard : health.shards) {
+    std::printf("  shard %zu: %s, %zu live sessions, %zu buffered bytes, "
+                "ship lag %zu segments\n",
+                shard.shard_id, shard.alive ? "alive" : "DEAD",
+                shard.live_sessions, shard.buffered_bytes,
+                shard.wal_ship_lag_segments);
+  }
+
+  // --- overload pass (not convergence-gated) ----------------------------
+  // The same corpus against deliberately tight per-shard admission
+  // budgets: how often the cluster sheds, and what survives. Shedding
+  // changes trajectory segmentation, so this pass uses its own
+  // directories and no reference comparison.
+  size_t overload_shed = 0;
+  size_t overload_rejected = 0;
+  double overload_seconds = 0.0;
+  {
+    std::filesystem::path overload_dir =
+        std::filesystem::temp_directory_path() /
+        ("semitri_bench_shard_overload_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(overload_dir);
+    shard::ShardClusterConfig config;
+    config.num_shards = smoke ? 3 : 4;
+    config.base_dir = overload_dir.string();
+    config.ship_wal = false;
+    config.manager.admission.max_sessions =
+        std::max<size_t>(1, static_cast<size_t>(kObjects) /
+                                (config.num_shards * 3));
+    config.manager.admission.overload_policy =
+        stream::OverloadPolicy::kShedOldestIdle;
+    auto overload_opened = shard::ShardCluster::Open(
+        &world.regions, &world.roads, &world.pois, config);
+    if (!overload_opened.ok()) return 1;
+    std::unique_ptr<shard::ShardCluster> overloaded =
+        std::move(overload_opened.value());
+    const size_t kChunk = 200;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t base = 0; base < longest; base += kChunk) {
+      for (const datagen::SimulatedTrack& track : dataset.tracks) {
+        for (size_t k = base;
+             k < std::min(base + kChunk, track.points.size()); ++k) {
+          auto fed = overloaded->Feed(track.object_id, track.points[k]);
+          if (!fed.ok()) ++overload_rejected;  // shed/reject is the point
+        }
+      }
+    }
+    if (!overloaded->CloseAll().ok()) return 1;
+    overload_seconds = MsSince(start) / 1e3;
+    core::HealthSnapshot overload_health = overloaded->Health();
+    overload_shed = overload_health.sessions_shed;
+    overloaded.reset();
+    std::filesystem::remove_all(overload_dir);
+  }
+  double shed_per_1k =
+      static_cast<double>(overload_shed) * 1000.0 /
+      static_cast<double>(total_points);
+  std::printf("\noverloaded:      %9.0f points/s  (%zu sheds = %.2f per 1k "
+              "fixes, %zu rejected feeds)\n",
+              static_cast<double>(total_points) / overload_seconds,
+              overload_shed, shed_per_1k, overload_rejected);
+
+  // --- machine-readable record ------------------------------------------
+  benchutil::BenchReporter reporter("shard_soak");
+  reporter.Metric("smoke", static_cast<size_t>(smoke ? 1 : 0));
+  reporter.Metric("gps_records", total_points);
+  reporter.Metric("num_shards", cluster_config.num_shards);
+  reporter.Metric("soak_points_per_s",
+                  static_cast<double>(total_points) / soak_seconds);
+  reporter.Metric("migrations_completed", stats.migrations_completed);
+  reporter.Metric("migrations_aborted", stats.migrations_aborted);
+  reporter.Metric("migration_p50_ms", migration_p50);
+  reporter.Metric("migration_p99_ms", migration_p99);
+  reporter.Metric("rebalanced_objects", rebalanced_objects);
+  reporter.Metric("rebalance_ms", rebalance_ms);
+  reporter.Metric("recovery_ms", recovery_ms);
+  reporter.Metric("refed_fixes", refed_fixes);
+  reporter.Metric("refeed_ms", refeed_ms);
+  reporter.Metric("shipped_segments", shipped->segments_shipped);
+  reporter.Metric("shipped_bytes", shipped->bytes_shipped);
+  reporter.Metric("overload_sessions_shed", overload_shed);
+  reporter.Metric("overload_shed_per_1k_fixes", shed_per_1k);
+  reporter.Metric("overload_rejected_feeds", overload_rejected);
+  for (const core::ShardHealth& shard : health.shards) {
+    std::string prefix = "shard" + std::to_string(shard.shard_id) + "_";
+    reporter.Metric(prefix + "alive", static_cast<size_t>(shard.alive));
+    reporter.Metric(prefix + "live_sessions", shard.live_sessions);
+    reporter.Metric(prefix + "ship_lag_segments",
+                    shard.wal_ship_lag_segments);
+  }
+  // The invariants that must hold in every run, smoke or full: nothing
+  // acknowledged may be lost, and every sealed segment must have
+  // shipped by the end.
+  reporter.GateZero("lost_acknowledged_fixes",
+                    static_cast<size_t>(converged ? 0 : 1));
+  size_t residual_lag = 0;
+  for (const core::ShardHealth& shard : cluster->Health().shards) {
+    residual_lag += shard.wal_ship_lag_segments;
+  }
+  reporter.GateZero("residual_ship_lag_segments", residual_lag);
+
+  cluster.reset();
+  std::filesystem::remove_all(base_dir);
+  return (reporter.Write() && converged) ? 0 : 1;
+}

@@ -32,11 +32,15 @@ struct FaultSiteInfo {
 
 inline constexpr FaultSiteInfo kFaultSites[] = {
     {"admission_reject", false},  // session_manager: refused admissions
+    {"migration_handoff", false},    // shard: packed-session transfer
+    {"migration_pack", false},       // shard: source-side session pack
+    {"migration_unpack", false},     // shard: destination-side adopt
     {"stage:", true},             // stage graph: per-stage failure
     {"stage_slow:", true},        // stage graph: per-stage stall
     {"store_write_through", false},  // store: durable csv append
     {"wal_append", false},           // wal: frame write
     {"wal_checkpoint", false},       // wal: checkpoint + truncate
+    {"wal_ship", false},             // shard: sealed-segment copy to standby
     {"wal_sync", false},             // wal: fsync
     {"world_load", false},           // io: world snapshot read
     {"world_save", false},           // io: world snapshot write

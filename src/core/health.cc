@@ -30,6 +30,9 @@ bool HealthSnapshot::degraded() const {
   for (const BudgetGauge* g : {&sessions, &buffered_fixes, &buffered_bytes}) {
     if (g->limit != 0 && g->utilization() >= 0.9) return true;
   }
+  for (const ShardHealth& s : shards) {
+    if (!s.alive || s.degraded) return true;
+  }
   return false;
 }
 
@@ -53,6 +56,20 @@ std::string HealthSnapshot::ToString() const {
                     s.latency.count);
     }
     out += line;
+  }
+  if (!shards.empty()) {
+    out += "shards:\n";
+    for (const ShardHealth& s : shards) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  shard %-4zu %-5s sessions=%zu buffered_bytes=%zu "
+                    "ship_lag=%zu seg (%zu B) breakers_open=%zu%s\n",
+                    s.shard_id, s.alive ? "up" : "DOWN", s.live_sessions,
+                    s.buffered_bytes, s.wal_ship_lag_segments,
+                    s.wal_ship_lag_bytes, s.breakers_open,
+                    s.degraded ? " DEGRADED" : "");
+      out += line;
+    }
   }
   out += "budgets:\n";
   AppendGauge(&out, "sessions", sessions);

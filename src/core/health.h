@@ -36,9 +36,31 @@ struct StageHealth {
   analytics::LatencyProfiler::StageSummary latency;
 };
 
+// One shard's contribution to a cluster-level snapshot (filled by
+// shard::ShardRuntime::Health / shard::ShardCluster::Health).
+struct ShardHealth {
+  size_t shard_id = 0;
+  // False after a kill and before the replacement runtime recovers.
+  bool alive = true;
+  size_t live_sessions = 0;
+  size_t buffered_bytes = 0;
+  // Sealed WAL segments (and their bytes) not yet shipped to the
+  // standby directory — the replication lag a failover would lose.
+  size_t wal_ship_lag_segments = 0;
+  size_t wal_ship_lag_bytes = 0;
+  // Circuit breakers currently not closed on this shard's pipeline.
+  size_t breakers_open = 0;
+  // The shard's own snapshot reported degraded().
+  bool degraded = false;
+};
+
 struct HealthSnapshot {
   // One entry per stage, in execution order.
   std::vector<StageHealth> stages;
+
+  // Per-shard rollup (cluster-level snapshots only; empty for a single
+  // pipeline or manager).
+  std::vector<ShardHealth> shards;
 
   // Admission budgets (filled by stream::SessionManager::Health; zeros
   // for a bare pipeline snapshot).
@@ -58,8 +80,9 @@ struct HealthSnapshot {
   // Watchdog force-cancels (when a watchdog is attached).
   size_t watchdog_force_cancels = 0;
 
-  // True when any breaker is open/half-open or any budget is >= 90%
-  // utilized — the cheap "should I stop sending traffic here" bit.
+  // True when any breaker is open/half-open, any budget is >= 90%
+  // utilized, or any shard in the rollup is dead or degraded — the
+  // cheap "should I stop sending traffic here" bit.
   bool degraded() const;
 
   // Multi-line human-readable rendering.

@@ -1,0 +1,435 @@
+#include "shard/cluster.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/serial.h"
+
+namespace semitri::shard {
+
+namespace {
+
+ShardRuntimeConfig MakeShardConfig(const ShardClusterConfig& cluster,
+                                   ShardId shard) {
+  ShardRuntimeConfig config;
+  config.shard_id = shard;
+  config.durable_dir = cluster.base_dir + "/shard-" + std::to_string(shard);
+  if (cluster.ship_wal) {
+    config.standby_dir =
+        cluster.base_dir + "/standby-" + std::to_string(shard);
+  }
+  config.manager = cluster.manager;
+  config.pipeline = cluster.pipeline;
+  config.sync_every_put = cluster.sync_every_put;
+  return config;
+}
+
+}  // namespace
+
+ShardCluster::ShardCluster(const region::RegionSet* regions,
+                           const road::RoadNetwork* roads,
+                           const poi::PoiSet* pois, ShardClusterConfig config,
+                           const common::Clock* clock)
+    : regions_(regions),
+      roads_(roads),
+      pois_(pois),
+      clock_(clock),
+      config_(std::move(config)),
+      ring_(config_.ring) {}
+
+common::Result<std::unique_ptr<ShardCluster>> ShardCluster::Open(
+    const region::RegionSet* regions, const road::RoadNetwork* roads,
+    const poi::PoiSet* pois, ShardClusterConfig config,
+    const common::Clock* clock) {
+  SEMITRI_CHECK(config.num_shards > 0) << "a cluster needs at least one shard";
+  SEMITRI_CHECK(!config.base_dir.empty()) << "a cluster needs a base_dir";
+  std::unique_ptr<ShardCluster> cluster(
+      new ShardCluster(regions, roads, pois, std::move(config), clock));
+  std::lock_guard<std::mutex> lock(cluster->mutex_);
+  for (size_t i = 0; i < cluster->config_.num_shards; ++i) {
+    ShardRuntimeConfig shard_config = MakeShardConfig(cluster->config_, i);
+    auto runtime =
+        ShardRuntime::Open(regions, roads, pois, shard_config, clock);
+    SEMITRI_RETURN_IF_ERROR(runtime.status());
+    cluster->shard_configs_.push_back(std::move(shard_config));
+    cluster->runtimes_.emplace_back(std::move(runtime.value()));
+    cluster->ring_.AddShard(i);
+  }
+  return cluster;
+}
+
+ShardId ShardCluster::OwnerLocked(core::ObjectId object_id) const {
+  auto it = placement_.find(object_id);
+  if (it != placement_.end()) return it->second;
+  return ring_.ShardForObject(object_id);
+}
+
+std::shared_ptr<ShardRuntime> ShardCluster::RouteLocked(
+    core::ObjectId object_id) {
+  ShardId owner = OwnerLocked(object_id);
+  auto [it, inserted] = placement_.try_emplace(object_id, owner);
+  if (inserted) history_[object_id].push_back(owner);
+  return runtimes_[it->second];
+}
+
+common::Result<stream::AnnotationSession::FeedResult> ShardCluster::Feed(
+    core::ObjectId object_id, const core::GpsPoint& fix) {
+  std::shared_ptr<ShardRuntime> runtime;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    runtime = RouteLocked(object_id);
+    if (runtime == nullptr) {
+      ++feeds_rejected_dead_shard_;
+      return common::Status::Unavailable("owning shard is down");
+    }
+  }
+  // Outside the cluster lock: feeds for objects on other shards (and
+  // other objects of this shard) proceed in parallel; the runtime's
+  // own manager/store synchronize internally. An in-flight feed keeps
+  // the runtime alive across a concurrent KillShard via the shared_ptr.
+  return runtime->Feed(object_id, fix);
+}
+
+common::Status ShardCluster::CloseObject(core::ObjectId object_id) {
+  std::shared_ptr<ShardRuntime> runtime;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    runtime = runtimes_[OwnerLocked(object_id)];
+    if (runtime == nullptr) {
+      return common::Status::Unavailable("owning shard is down");
+    }
+  }
+  return runtime->CloseObject(object_id);
+}
+
+common::Status ShardCluster::CloseAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  common::Status first = common::Status::OK();
+  for (const std::shared_ptr<ShardRuntime>& runtime : runtimes_) {
+    if (runtime == nullptr) continue;
+    common::Status status = runtime->CloseAll();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+ShardId ShardCluster::OwnerOf(core::ObjectId object_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return OwnerLocked(object_id);
+}
+
+common::Status ShardCluster::MigrateObject(core::ObjectId object_id,
+                                           ShardId dest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MigrateLocked(object_id, dest);
+}
+
+common::Status ShardCluster::MigrateLocked(core::ObjectId object_id,
+                                           ShardId dest) {
+  if (dest >= runtimes_.size()) {
+    return common::Status::InvalidArgument("no such destination shard");
+  }
+  ShardId src_id = OwnerLocked(object_id);
+  if (src_id == dest) return common::Status::OK();
+  std::shared_ptr<ShardRuntime> src = runtimes_[src_id];
+  std::shared_ptr<ShardRuntime> dst = runtimes_[dest];
+  if (src == nullptr || dst == nullptr) {
+    ++migrations_aborted_;
+    return common::Status::Unavailable(
+        "source or destination shard is down");
+  }
+
+  // 1. pack — on failure the source still owns the session, untouched.
+  common::Result<std::string> packed = src->PackForMigration(object_id);
+  if (!packed.ok()) {
+    if (packed.status().code() == common::StatusCode::kNotFound) {
+      // The object has no state on the source (never fed or fully
+      // merged away): a pure routing flip.
+      placement_[object_id] = dest;
+      history_[object_id].push_back(dest);
+      ++migrations_completed_;
+      return common::Status::OK();
+    }
+    ++migrations_aborted_;
+    return packed.status();
+  }
+
+  // 2. drain: the source finalizes its open trajectory into its own
+  // durable store (truncated rows the destination's completed
+  // trajectory overwrites at merge time) and advances its resume
+  // cursor. From here the packed bytes are the only live copy; the
+  // routing still points at the source, and rollback re-adopts there.
+  // Even a failed flush retires the session (counted on the source as
+  // a data-loss eviction) and the packed copy supersedes it either
+  // way, so the drain status is deliberately dropped.
+  (void)src->CloseObject(object_id);
+
+  // Rollback bypasses the migration_unpack fault site: undoing an
+  // injected handoff failure must not cascade through a second
+  // injection. If the re-adopt itself fails the object is still
+  // recoverable on the source alone — the drain landed its rows
+  // durably and left a resume cursor there.
+  auto rollback = [&]() {
+    common::StateReader reader(*packed);
+    // semitri-lint: allow(unchecked-status) — best-effort rollback;
+    // the source's durable rows + resume cursor already guarantee
+    // single-shard recoverability.
+    (void)src->manager()->AdoptSession(object_id, &reader);
+  };
+
+  // 3. handoff — the packed bytes cross shard boundaries.
+  if (SEMITRI_FAULT_FIRE("migration_handoff") != common::FaultAction::kNone) {
+    rollback();
+    ++migrations_aborted_;
+    return common::Status::Unavailable("injected migration handoff failure");
+  }
+
+  // 4. adopt — on failure nothing was installed on the destination.
+  common::Status adopted = dst->AdoptFromMigration(object_id, *packed);
+  if (!adopted.ok()) {
+    rollback();
+    ++migrations_aborted_;
+    return adopted;
+  }
+
+  // Commit: the destination owns; reconnects route there.
+  placement_[object_id] = dest;
+  history_[object_id].push_back(dest);
+  ++migrations_completed_;
+  return common::Status::OK();
+}
+
+common::Result<size_t> ShardCluster::AddShard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ShardId id = shard_configs_.size();
+  ShardRuntimeConfig shard_config = MakeShardConfig(config_, id);
+  auto runtime =
+      ShardRuntime::Open(regions_, roads_, pois_, shard_config, clock_);
+  SEMITRI_RETURN_IF_ERROR(runtime.status());
+  shard_configs_.push_back(std::move(shard_config));
+  runtimes_.emplace_back(std::move(runtime.value()));
+  ring_.AddShard(id);
+  return RebalanceLocked();
+}
+
+common::Result<size_t> ShardCluster::RemoveShard(ShardId shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= runtimes_.size()) {
+    return common::Status::InvalidArgument("no such shard");
+  }
+  if (!ring_.Contains(shard)) {
+    return common::Status::FailedPrecondition("shard already removed");
+  }
+  if (ring_.num_shards() <= 1) {
+    return common::Status::FailedPrecondition("cannot remove the last shard");
+  }
+  if (runtimes_[shard] == nullptr) {
+    return common::Status::Unavailable(
+        "shard is down; restart it before draining");
+  }
+  ring_.RemoveShard(shard);
+  // The drained runtime stays open: its store keeps the rows earlier
+  // ownership stints produced, which MergeStores still needs.
+  return RebalanceLocked();
+}
+
+common::Result<size_t> ShardCluster::Rebalance() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RebalanceLocked();
+}
+
+common::Result<size_t> ShardCluster::RebalanceLocked() {
+  // Snapshot the disagreement set first: migrations mutate placement_.
+  std::vector<std::pair<core::ObjectId, ShardId>> moves;
+  for (const auto& [object, owner] : placement_) {
+    ShardId want = ring_.ShardForObject(object);
+    if (want != owner) moves.emplace_back(object, want);
+  }
+  size_t moved = 0;
+  for (const auto& [object, want] : moves) {
+    SEMITRI_RETURN_IF_ERROR(MigrateLocked(object, want));
+    ++moved;
+  }
+  return moved;
+}
+
+common::Status ShardCluster::KillShard(ShardId shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= runtimes_.size()) {
+    return common::Status::InvalidArgument("no such shard");
+  }
+  if (runtimes_[shard] == nullptr) {
+    return common::Status::FailedPrecondition("shard already down");
+  }
+  // No flush, no close: dropping the runtime is the in-process SIGKILL.
+  // In-flight feeds holding the shared_ptr complete against the dying
+  // instance; new feeds route Unavailable.
+  runtimes_[shard].reset();
+  ++shard_kills_;
+  return common::Status::OK();
+}
+
+common::Status ShardCluster::RestartShard(ShardId shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= runtimes_.size()) {
+    return common::Status::InvalidArgument("no such shard");
+  }
+  if (runtimes_[shard] != nullptr) {
+    return common::Status::FailedPrecondition("shard is not down");
+  }
+  auto runtime = ShardRuntime::Open(regions_, roads_, pois_,
+                                    shard_configs_[shard], clock_);
+  SEMITRI_RETURN_IF_ERROR(runtime.status());
+  runtimes_[shard] = std::move(runtime.value());
+  ++shard_restarts_;
+  return common::Status::OK();
+}
+
+common::Status ShardCluster::CheckpointShard(ShardId shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= runtimes_.size() || runtimes_[shard] == nullptr) {
+    return common::Status::Unavailable("shard is down");
+  }
+  return runtimes_[shard]->Checkpoint();
+}
+
+common::Status ShardCluster::CheckpointAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  common::Status first = common::Status::OK();
+  for (const std::shared_ptr<ShardRuntime>& runtime : runtimes_) {
+    if (runtime == nullptr) continue;
+    common::Status status = runtime->Checkpoint();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+common::Result<WalShipper::ShipStats> ShardCluster::SealAndShipAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WalShipper::ShipStats total;
+  for (const std::shared_ptr<ShardRuntime>& runtime : runtimes_) {
+    if (runtime == nullptr) continue;
+    auto shipped = runtime->SealAndShip();
+    SEMITRI_RETURN_IF_ERROR(shipped.status());
+    total.segments_shipped += shipped->segments_shipped;
+    total.bytes_shipped += shipped->bytes_shipped;
+  }
+  return total;
+}
+
+core::HealthSnapshot ShardCluster::Health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  core::HealthSnapshot out;
+  for (ShardId id = 0; id < runtimes_.size(); ++id) {
+    if (runtimes_[id] == nullptr) {
+      core::ShardHealth dead;
+      dead.shard_id = id;
+      dead.alive = false;
+      out.shards.push_back(dead);
+      continue;
+    }
+    out.shards.push_back(runtimes_[id]->ShardHealthInfo());
+    core::HealthSnapshot shard = runtimes_[id]->Health();
+    out.sessions.used += shard.sessions.used;
+    out.sessions.limit += shard.sessions.limit;
+    out.buffered_fixes.used += shard.buffered_fixes.used;
+    out.buffered_fixes.limit += shard.buffered_fixes.limit;
+    out.buffered_bytes.used += shard.buffered_bytes.used;
+    out.buffered_bytes.limit += shard.buffered_bytes.limit;
+    out.sessions_shed += shard.sessions_shed;
+    out.admission_rejected_sessions += shard.admission_rejected_sessions;
+    out.rate_limited_fixes += shard.rate_limited_fixes;
+    out.overload_rejected_fixes += shard.overload_rejected_fixes;
+    out.admission_deferred += shard.admission_deferred;
+    out.admission_timeouts += shard.admission_timeouts;
+    out.evictions_with_data_loss += shard.evictions_with_data_loss;
+    out.watchdog_force_cancels += shard.watchdog_force_cancels;
+  }
+  return out;
+}
+
+ShardCluster::Stats ShardCluster::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.migrations_completed = migrations_completed_;
+  out.migrations_aborted = migrations_aborted_;
+  out.shard_kills = shard_kills_;
+  out.shard_restarts = shard_restarts_;
+  out.feeds_rejected_dead_shard = feeds_rejected_dead_shard_;
+  return out;
+}
+
+std::vector<ShardId> ShardCluster::LiveSessionShards(
+    core::ObjectId object_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ShardId> owners;
+  for (ShardId id = 0; id < runtimes_.size(); ++id) {
+    if (runtimes_[id] != nullptr &&
+        runtimes_[id]->manager()->HasLiveSession(object_id)) {
+      owners.push_back(id);
+    }
+  }
+  return owners;
+}
+
+common::Status ShardCluster::MergeStores(
+    store::SemanticTrajectoryStore* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const core::TrajectoryId block = config_.manager.ids_per_object;
+  // Killed shards are read by recovering scratch stores from their
+  // durable directories (read-only: no Put ever touches them).
+  std::map<ShardId, std::unique_ptr<store::SemanticTrajectoryStore>> scratch;
+  for (const auto& [object, owners] : history_) {
+    for (ShardId owner : owners) {
+      const store::SemanticTrajectoryStore* src = nullptr;
+      if (runtimes_[owner] != nullptr) {
+        src = runtimes_[owner]->store();
+      } else {
+        auto it = scratch.find(owner);
+        if (it == scratch.end()) {
+          auto recovered_store =
+              std::make_unique<store::SemanticTrajectoryStore>();
+          auto recovered =
+              recovered_store->Recover(shard_configs_[owner].durable_dir);
+          SEMITRI_RETURN_IF_ERROR(recovered.status());
+          it = scratch.emplace(owner, std::move(recovered_store)).first;
+        }
+        src = it->second.get();
+      }
+      // Copy this object's id-block rows; keyed overwrites make later
+      // owners authoritative for trajectories both touched.
+      for (core::TrajectoryId id : src->ListTrajectories()) {
+        if (id / block != object) continue;
+        auto raw = src->GetRawTrajectory(id);
+        if (raw.ok()) {
+          SEMITRI_RETURN_IF_ERROR(out->PutRawTrajectory(*raw));
+        }
+        auto episodes = src->GetEpisodes(id);
+        if (episodes.ok()) {
+          SEMITRI_RETURN_IF_ERROR(out->PutEpisodes(id, *episodes));
+        }
+        for (const std::string& interp : src->ListInterpretations(id)) {
+          auto annotated = src->GetInterpretation(id, interp);
+          if (annotated.ok()) {
+            SEMITRI_RETURN_IF_ERROR(out->PutInterpretation(*annotated));
+          }
+        }
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+size_t ShardCluster::num_shards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return runtimes_.size();
+}
+
+std::shared_ptr<ShardRuntime> ShardCluster::runtime(ShardId shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shard < runtimes_.size() ? runtimes_[shard] : nullptr;
+}
+
+}  // namespace semitri::shard

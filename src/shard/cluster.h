@@ -1,0 +1,241 @@
+#ifndef SEMITRI_SHARD_CLUSTER_H_
+#define SEMITRI_SHARD_CLUSTER_H_
+
+// In-process N-shard deployment harness: ShardRuntimes behind a
+// consistent-hash router, with live session migration, ring
+// rebalancing, and kill/restart — the deterministic (FakeClock-driven,
+// TSan-able) twin of the tools/shardd process supervisor. Tests and
+// the shard soak bench drive this façade; production-shaped process
+// isolation is shardd's job.
+//
+// --- routing ----------------------------------------------------------
+// An object's first feed pins it to its ring placement; afterwards the
+// recorded placement is authoritative (migrations move it, ring
+// changes alone do not — Rebalance() reconciles the two by migrating).
+//
+// --- live migration protocol -----------------------------------------
+// MigrateObject(o, dest) runs a four-step handoff; ownership ( = who
+// has the live session / who a reconnect must reach) at each step:
+//
+//   1. pack     (site migration_pack)    source serializes the session
+//                                        mid-stream; SOURCE owns.
+//   2. drain    (flushing Close)         source finalizes its open
+//                                        trajectory into its own
+//                                        durable store (truncated rows
+//                                        — superseded later); the
+//                                        packed bytes are now the only
+//                                        live copy, held by the
+//                                        router, which still routes to
+//                                        SOURCE.
+//   3. handoff  (site migration_handoff) bytes travel; on failure the
+//                                        router re-adopts them into
+//                                        SOURCE (rollback) — exactly
+//                                        one owner either way.
+//   4. adopt    (site migration_unpack)  destination installs the
+//                                        session; on success the
+//                                        routing flips and DEST owns;
+//                                        on failure rollback to SOURCE.
+//
+// A fault fired at any site aborts the migration with the session
+// recoverable on exactly one shard, and the convergence proof
+// (MergeStores vs. the uninterrupted single-shard run, ContentEquals)
+// still holds: the destination's completed trajectory rows overwrite
+// the source's drain-truncated rows for the same trajectory ids.
+//
+// --- convergence accounting ------------------------------------------
+// Each shard writes to its own store, so the cluster-wide state is the
+// per-object merge of every owner's id-block rows in chronological
+// ownership order (later owners hold the more complete version of the
+// trajectory that was open at handoff). MergeStores materializes that
+// merge; tests compare it ContentEquals against an uninterrupted
+// single-process run.
+//
+// Thread safety: Feed() may be called from many threads (objects on
+// different shards proceed in parallel; the cluster lock is held only
+// to route). Control-plane calls (migrate, rebalance, kill, restart,
+// checkpoint) serialize on the cluster lock. Feeds for an object must
+// be quiesced while that object migrates — the standard drain
+// contract, enforced by callers.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/health.h"
+#include "core/types.h"
+#include "shard/ring.h"
+#include "shard/shard_runtime.h"
+
+namespace semitri::shard {
+
+struct ShardClusterConfig {
+  size_t num_shards = 4;
+  // Per-shard directories live under here: <base_dir>/shard-<i> and
+  // (when ship_wal) <base_dir>/standby-<i>.
+  std::string base_dir;
+  bool ship_wal = true;
+  RingConfig ring;
+  // Applied to every shard's SessionManager (admission budgets are
+  // per-shard).
+  stream::SessionManagerConfig manager;
+  core::PipelineConfig pipeline;
+  bool sync_every_put = false;
+};
+
+class ShardCluster {
+ public:
+  // Opens num_shards runtimes (recovering any pre-existing durable
+  // state under base_dir). Pointers must outlive the cluster; `clock`
+  // drives every shard's idle/eviction time (null = real clock).
+  [[nodiscard]] static common::Result<std::unique_ptr<ShardCluster>> Open(
+      const region::RegionSet* regions, const road::RoadNetwork* roads,
+      const poi::PoiSet* pois, ShardClusterConfig config,
+      const common::Clock* clock = nullptr);
+
+  // --- data plane -----------------------------------------------------
+
+  // Routes one fix to the owning shard. Unavailable when that shard is
+  // killed and not yet restarted (counted in stats).
+  [[nodiscard]] common::Result<stream::AnnotationSession::FeedResult> Feed(
+      core::ObjectId object_id, const core::GpsPoint& fix);
+
+  // Flushing close on the owning shard (stream end for one object).
+  [[nodiscard]] common::Status CloseObject(core::ObjectId object_id);
+
+  // Closes every session on every live shard.
+  [[nodiscard]] common::Status CloseAll();
+
+  // --- placement & migration ------------------------------------------
+
+  // Where the object is (or would be) served.
+  ShardId OwnerOf(core::ObjectId object_id) const SEMITRI_EXCLUDES(mutex_);
+
+  // Live session migration (see protocol above). OK and a routing flip
+  // on success; on any failure the object stays recoverable on exactly
+  // one shard (the source) and the routing is unchanged.
+  [[nodiscard]] common::Status MigrateObject(core::ObjectId object_id,
+                                             ShardId dest)
+      SEMITRI_EXCLUDES(mutex_);
+
+  // Adds a new shard to the ring and migrates every object whose ring
+  // placement moved onto it. Returns the number migrated.
+  [[nodiscard]] common::Result<size_t> AddShard() SEMITRI_EXCLUDES(mutex_);
+
+  // Removes the shard from the ring and migrates everything it owns to
+  // the survivors. The drained runtime stays open (its store still
+  // holds rows that MergeStores needs). Returns the number migrated.
+  [[nodiscard]] common::Result<size_t> RemoveShard(ShardId shard)
+      SEMITRI_EXCLUDES(mutex_);
+
+  // Migrates every object whose recorded placement disagrees with the
+  // current ring (after AddShard this is a no-op; exposed for churn
+  // tests). Returns the number migrated.
+  [[nodiscard]] common::Result<size_t> Rebalance() SEMITRI_EXCLUDES(mutex_);
+
+  // --- failure injection (process-level) ------------------------------
+
+  // Drops the runtime without any flush — sessions, admission state
+  // and un-checkpointed progress vanish, exactly like SIGKILL. The
+  // durable directory survives; feeds route Unavailable until restart.
+  [[nodiscard]] common::Status KillShard(ShardId shard)
+      SEMITRI_EXCLUDES(mutex_);
+
+  // Re-opens the killed shard from its durable directory (store
+  // recovery + manager checkpoint restore). Sessions resume from the
+  // shard's last Checkpoint(); the driver re-feeds from its last acked
+  // position, as any client of an at-least-once ingest would.
+  [[nodiscard]] common::Status RestartShard(ShardId shard)
+      SEMITRI_EXCLUDES(mutex_);
+
+  // --- durability -----------------------------------------------------
+
+  [[nodiscard]] common::Status CheckpointShard(ShardId shard)
+      SEMITRI_EXCLUDES(mutex_);
+  [[nodiscard]] common::Status CheckpointAll() SEMITRI_EXCLUDES(mutex_);
+  // Seal + ship every live shard's WAL; returns totals.
+  [[nodiscard]] common::Result<WalShipper::ShipStats> SealAndShipAll()
+      SEMITRI_EXCLUDES(mutex_);
+
+  // --- observability --------------------------------------------------
+
+  // Cluster snapshot: per-shard rollup (core::HealthSnapshot::shards)
+  // plus summed budget gauges; dead shards report alive=false.
+  core::HealthSnapshot Health() const SEMITRI_EXCLUDES(mutex_);
+
+  struct Stats {
+    size_t migrations_completed = 0;
+    size_t migrations_aborted = 0;
+    size_t shard_kills = 0;
+    size_t shard_restarts = 0;
+    // Feeds turned away because the owning shard was down.
+    size_t feeds_rejected_dead_shard = 0;
+  };
+  Stats stats() const SEMITRI_EXCLUDES(mutex_);
+
+  // Shards that currently hold a LIVE session for the object (the
+  // exactly-one-owner invariant check for migration fault tests).
+  std::vector<ShardId> LiveSessionShards(core::ObjectId object_id) const
+      SEMITRI_EXCLUDES(mutex_);
+
+  // Materializes the cluster-wide store state: every owner's id-block
+  // rows per object, merged in chronological ownership order (see
+  // convergence accounting above). Killed shards are read by
+  // recovering a scratch store from their durable directory.
+  [[nodiscard]] common::Status MergeStores(
+      store::SemanticTrajectoryStore* out) const SEMITRI_EXCLUDES(mutex_);
+
+  size_t num_shards() const SEMITRI_EXCLUDES(mutex_);
+  // The runtime slot (null while killed).
+  std::shared_ptr<ShardRuntime> runtime(ShardId shard) const
+      SEMITRI_EXCLUDES(mutex_);
+
+ private:
+  ShardCluster(const region::RegionSet* regions,
+               const road::RoadNetwork* roads, const poi::PoiSet* pois,
+               ShardClusterConfig config, const common::Clock* clock);
+
+  ShardId OwnerLocked(core::ObjectId object_id) const
+      SEMITRI_REQUIRES(mutex_);
+  // Records first-touch placement; returns the owning runtime (null =
+  // dead shard).
+  std::shared_ptr<ShardRuntime> RouteLocked(core::ObjectId object_id)
+      SEMITRI_REQUIRES(mutex_);
+  [[nodiscard]] common::Status MigrateLocked(core::ObjectId object_id,
+                                             ShardId dest)
+      SEMITRI_REQUIRES(mutex_);
+  [[nodiscard]] common::Result<size_t> RebalanceLocked()
+      SEMITRI_REQUIRES(mutex_);
+
+  const region::RegionSet* regions_;
+  const road::RoadNetwork* roads_;
+  const poi::PoiSet* pois_;
+  const common::Clock* clock_;
+
+  mutable std::mutex mutex_;
+  ShardClusterConfig config_ SEMITRI_GUARDED_BY(mutex_);
+  ConsistentHashRing ring_ SEMITRI_GUARDED_BY(mutex_);
+  std::vector<ShardRuntimeConfig> shard_configs_ SEMITRI_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<ShardRuntime>> runtimes_
+      SEMITRI_GUARDED_BY(mutex_);
+  // Authoritative placement of every object ever fed (ring placement
+  // at first touch, then wherever migrations moved it).
+  std::map<core::ObjectId, ShardId> placement_ SEMITRI_GUARDED_BY(mutex_);
+  // Chronological owners per object — the MergeStores merge order.
+  std::map<core::ObjectId, std::vector<ShardId>> history_
+      SEMITRI_GUARDED_BY(mutex_);
+  size_t migrations_completed_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t migrations_aborted_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t shard_kills_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t shard_restarts_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t feeds_rejected_dead_shard_ SEMITRI_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace semitri::shard
+
+#endif  // SEMITRI_SHARD_CLUSTER_H_

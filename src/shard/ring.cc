@@ -1,0 +1,71 @@
+#include "shard/ring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace semitri::shard {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing so consecutive shard ids
+// and replica indices land uniformly on the ring.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t VnodePosition(uint64_t seed, ShardId shard, size_t replica) {
+  uint64_t h = Mix64(seed ^ Mix64(static_cast<uint64_t>(shard)));
+  return Mix64(h ^ Mix64(static_cast<uint64_t>(replica)));
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(RingConfig config) : config_(config) {
+  SEMITRI_CHECK(config_.vnodes_per_shard > 0)
+      << "vnodes_per_shard must be positive";
+}
+
+void ConsistentHashRing::AddShard(ShardId shard) {
+  if (!members_.insert(shard).second) return;
+  for (size_t replica = 0; replica < config_.vnodes_per_shard; ++replica) {
+    points_.emplace_back(VnodePosition(config_.seed, shard, replica), shard);
+  }
+  // Position ties (vanishingly rare) break on shard id, so every
+  // process sorts the ring identically.
+  std::sort(points_.begin(), points_.end());
+}
+
+void ConsistentHashRing::RemoveShard(ShardId shard) {
+  if (members_.erase(shard) == 0) return;
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [shard](const std::pair<uint64_t, ShardId>& p) {
+                                 return p.second == shard;
+                               }),
+                points_.end());
+}
+
+std::vector<ShardId> ConsistentHashRing::Shards() const {
+  return std::vector<ShardId>(members_.begin(), members_.end());
+}
+
+ShardId ConsistentHashRing::ShardForKey(uint64_t key) const {
+  SEMITRI_CHECK(!points_.empty()) << "lookup on an empty ring";
+  // First ring point clockwise of the key, wrapping at the top.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), key,
+      [](uint64_t k, const std::pair<uint64_t, ShardId>& p) {
+        return k < p.first;
+      });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+ShardId ConsistentHashRing::ShardForObject(core::ObjectId object_id) const {
+  return ShardForKey(Mix64(static_cast<uint64_t>(object_id)));
+}
+
+}  // namespace semitri::shard

@@ -1,0 +1,67 @@
+#ifndef SEMITRI_SHARD_RING_H_
+#define SEMITRI_SHARD_RING_H_
+
+// Consistent-hash ring with virtual nodes: the object -> shard
+// placement function of the sharded serving runtime (shard/cluster.h).
+//
+// Each member shard contributes `vnodes_per_shard` points on a 64-bit
+// ring; an object hashes to a ring position and is owned by the shard
+// of the next point clockwise. Placement is a pure function of
+// (seed, member set) — two processes configured identically route
+// identically without coordination, which is what lets tools/shardd
+// partition a feed among worker processes up front. Adding or removing
+// one shard only moves the keys whose successor point changed
+// (~1/num_shards of them); everything else stays put, which is what
+// keeps rebalancing migrations proportional instead of total.
+//
+// Not internally synchronized: shard::ShardCluster mutates the ring
+// under its own lock, and read-only concurrent use is safe.
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace semitri::shard {
+
+// Index into ShardCluster's runtime table (dense, small).
+using ShardId = size_t;
+
+struct RingConfig {
+  // Ring points per member. More points -> smoother balance, slower
+  // membership changes (lookup stays O(log points)).
+  size_t vnodes_per_shard = 64;
+  // Placement seed; every process of one deployment must agree on it.
+  uint64_t seed = 0x5EED1E55u;
+};
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(RingConfig config = {});
+
+  // Idempotent membership changes.
+  void AddShard(ShardId shard);
+  void RemoveShard(ShardId shard);
+
+  bool empty() const { return members_.empty(); }
+  size_t num_shards() const { return members_.size(); }
+  bool Contains(ShardId shard) const { return members_.count(shard) > 0; }
+  // Ascending member list.
+  std::vector<ShardId> Shards() const;
+
+  // The owning shard. The ring must be non-empty (checked).
+  ShardId ShardForKey(uint64_t key) const;
+  ShardId ShardForObject(core::ObjectId object_id) const;
+
+ private:
+  RingConfig config_;
+  std::set<ShardId> members_;
+  // (ring position, shard), sorted; rebuilt on membership change.
+  std::vector<std::pair<uint64_t, ShardId>> points_;
+};
+
+}  // namespace semitri::shard
+
+#endif  // SEMITRI_SHARD_RING_H_

@@ -1,0 +1,126 @@
+#include "shard/shard_runtime.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/serial.h"
+
+namespace semitri::shard {
+
+ShardRuntime::ShardRuntime(const region::RegionSet* regions,
+                           const road::RoadNetwork* roads,
+                           const poi::PoiSet* pois, ShardRuntimeConfig config,
+                           const common::Clock* clock)
+    : config_(std::move(config)) {
+  store::StoreConfig store_config;
+  store_config.sync_every_put = config_.sync_every_put;
+  store_ = std::make_unique<store::SemanticTrajectoryStore>(store_config);
+  pipeline_ = std::make_unique<core::SemiTriPipeline>(
+      regions, roads, pois, config_.pipeline, store_.get());
+  manager_ = std::make_unique<stream::SessionManager>(pipeline_.get(),
+                                                      config_.manager, clock);
+  if (!config_.standby_dir.empty()) {
+    shipper_ =
+        std::make_unique<WalShipper>(config_.durable_dir, config_.standby_dir);
+  }
+}
+
+common::Result<std::unique_ptr<ShardRuntime>> ShardRuntime::Open(
+    const region::RegionSet* regions, const road::RoadNetwork* roads,
+    const poi::PoiSet* pois, ShardRuntimeConfig config,
+    const common::Clock* clock) {
+  SEMITRI_CHECK(!config.durable_dir.empty()) << "a shard needs a durable_dir";
+  std::unique_ptr<ShardRuntime> runtime(
+      new ShardRuntime(regions, roads, pois, std::move(config), clock));
+  // Recover switches the store into durable mode on the shard's
+  // directory — a fresh directory recovers to empty, a re-opened one
+  // to the pre-crash tables.
+  auto recovered = runtime->store_->Recover(runtime->config_.durable_dir);
+  SEMITRI_RETURN_IF_ERROR(recovered.status());
+  runtime->recovery_stats_ = *recovered;
+  std::string ckpt = ManagerCheckpointPath(runtime->config_.durable_dir);
+  std::error_code ec;
+  if (std::filesystem::exists(ckpt, ec)) {
+    SEMITRI_RETURN_IF_ERROR(runtime->manager_->Restore(ckpt));
+    runtime->manager_restored_ = true;
+  }
+  return runtime;
+}
+
+common::Status ShardRuntime::Checkpoint() {
+  if (shipper_ != nullptr) {
+    // Seal + ship before a later CompactStore() garbage-collects the
+    // segments. A ship failure is replication lag (surfaced via
+    // ShardHealthInfo), not a failed ack — the primary's own
+    // durability does not depend on the standby.
+    auto sealed = store_->SealWalSegment();
+    SEMITRI_RETURN_IF_ERROR(sealed.status());
+    if (auto shipped = shipper_->ShipSealedSegments(); !shipped.ok()) {
+      // Lag reported by CurrentLag(); the segments stay for retry.
+    }
+  }
+  SEMITRI_RETURN_IF_ERROR(
+      manager_->Checkpoint(ManagerCheckpointPath(config_.durable_dir)));
+  return store_->Sync();
+}
+
+common::Result<WalShipper::ShipStats> ShardRuntime::SealAndShip() {
+  auto sealed = store_->SealWalSegment();
+  SEMITRI_RETURN_IF_ERROR(sealed.status());
+  if (shipper_ == nullptr) return WalShipper::ShipStats{};
+  return shipper_->ShipSealedSegments();
+}
+
+common::Result<std::string> ShardRuntime::PackForMigration(
+    core::ObjectId object_id) const {
+  common::FaultAction action = SEMITRI_FAULT_FIRE("migration_pack");
+  if (action != common::FaultAction::kNone) {
+    // Nothing was serialized or removed: the source still owns the
+    // session, untouched.
+    return common::Status::Unavailable("injected migration pack failure");
+  }
+  common::StateWriter packed;
+  SEMITRI_RETURN_IF_ERROR(manager_->PackSession(object_id, &packed));
+  return packed.Release();
+}
+
+common::Status ShardRuntime::AdoptFromMigration(core::ObjectId object_id,
+                                                const std::string& packed) {
+  common::FaultAction action = SEMITRI_FAULT_FIRE("migration_unpack");
+  if (action != common::FaultAction::kNone) {
+    // Nothing was installed: the destination does not own the session.
+    return common::Status::Unavailable("injected migration unpack failure");
+  }
+  common::StateReader reader(packed);
+  SEMITRI_RETURN_IF_ERROR(manager_->AdoptSession(object_id, &reader));
+  if (!reader.AtEnd()) {
+    return common::Status::Corruption("trailing bytes in packed session");
+  }
+  return common::Status::OK();
+}
+
+core::ShardHealth ShardRuntime::ShardHealthInfo() const {
+  core::HealthSnapshot snapshot = manager_->Health();
+  core::ShardHealth info;
+  info.shard_id = config_.shard_id;
+  info.alive = true;
+  info.live_sessions = snapshot.sessions.used;
+  info.buffered_bytes = snapshot.buffered_bytes.used;
+  if (shipper_ != nullptr) {
+    WalShipper::Lag lag = shipper_->CurrentLag();
+    info.wal_ship_lag_segments = lag.segments;
+    info.wal_ship_lag_bytes = lag.bytes;
+  }
+  for (const core::StageHealth& stage : snapshot.stages) {
+    if (stage.breaker_present &&
+        stage.breaker.state != core::BreakerState::kClosed) {
+      ++info.breakers_open;
+    }
+  }
+  info.degraded = snapshot.degraded();
+  return info;
+}
+
+}  // namespace semitri::shard

@@ -1,0 +1,76 @@
+#ifndef SEMITRI_SHARD_WAL_SHIPPER_H_
+#define SEMITRI_SHARD_WAL_SHIPPER_H_
+
+// Log shipping for a shard's private durable directory: copies sealed
+// WAL segments (SemanticTrajectoryStore::SealWalSegment) to a standby
+// directory. A standby rebuilt purely from shipped segments via
+// SemanticTrajectoryStore::Recover converges to the primary's state as
+// of the last shipped seal — the replication point a failover restores
+// from. Shipping is pull-free and idempotent: a segment already
+// present in the standby (same name, same size) is skipped, and each
+// copy lands via write-to-tmp + fsync + rename, so a crash mid-ship
+// never leaves a torn segment under a sealed name.
+//
+// What the standby can lose: the active (unsealed) log tail and any
+// sealed-but-unshipped segments — exactly what CurrentLag() reports
+// and core::ShardHealth surfaces as WAL-ship lag. The primary's
+// Checkpoint() garbage-collects sealed segments, so runtimes ship
+// *before* checkpointing (shard::ShardRuntime does) or accept the gap.
+//
+// Fault site (SEMITRI_FAULT_INJECTION=ON): `wal_ship` — kFail: the
+// ship reports an error and no segment is renamed into place (retry
+// later); kCrash: the shipper goes dead like a crashed process.
+//
+// Not internally synchronized; the owning ShardRuntime serializes
+// control-plane calls.
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace semitri::shard {
+
+class WalShipper {
+ public:
+  // Neither directory needs to exist yet; the standby is created on
+  // first ship.
+  WalShipper(std::string source_dir, std::string standby_dir);
+
+  struct ShipStats {
+    size_t segments_shipped = 0;
+    size_t bytes_shipped = 0;
+  };
+
+  // Copies every sealed segment the standby is missing, ascending by
+  // sequence. On error, segments already renamed into place stay —
+  // re-shipping resumes where it stopped.
+  [[nodiscard]] common::Result<ShipStats> ShipSealedSegments();
+
+  struct Lag {
+    size_t segments = 0;
+    size_t bytes = 0;
+  };
+  // Sealed segments (and bytes) present at the source but absent from
+  // the standby.
+  Lag CurrentLag() const;
+
+  size_t total_segments_shipped() const { return total_segments_; }
+  size_t total_bytes_shipped() const { return total_bytes_; }
+  // True after an injected crash; later ships fail like writes to a
+  // dead process.
+  bool dead() const { return dead_; }
+
+  const std::string& standby_dir() const { return standby_dir_; }
+
+ private:
+  std::string source_dir_;
+  std::string standby_dir_;
+  size_t total_segments_ = 0;
+  size_t total_bytes_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace semitri::shard
+
+#endif  // SEMITRI_SHARD_WAL_SHIPPER_H_

@@ -4,10 +4,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -26,6 +28,27 @@ namespace fs = std::filesystem;
 constexpr char kCurrentFile[] = "CURRENT";
 constexpr char kWalFile[] = "wal.log";
 constexpr char kCheckpointPrefix[] = "checkpoint-";
+constexpr char kSealedWalPrefix[] = "wal-";
+constexpr char kSealedWalSuffix[] = ".log";
+
+// "wal-000012.log" -> 12. False for the active "wal.log" and anything
+// else that is not a sealed segment name.
+bool ParseSealedWalSeq(const std::string& name, size_t* seq) {
+  size_t prefix = std::strlen(kSealedWalPrefix);
+  size_t suffix = std::strlen(kSealedWalSuffix);
+  if (name.size() <= prefix + suffix) return false;
+  if (name.rfind(kSealedWalPrefix, 0) != 0) return false;
+  if (name.compare(name.size() - suffix, suffix, kSealedWalSuffix) != 0) {
+    return false;
+  }
+  std::string digits = name.substr(prefix, name.size() - prefix - suffix);
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  *seq = 0;
+  for (char c : digits) *seq = *seq * 10 + static_cast<size_t>(c - '0');
+  return true;
+}
 
 // Doubles are written with %.17g so text round-trips to the identical
 // bit pattern — ContentEquals between a recovered store and the
@@ -743,6 +766,26 @@ SemanticTrajectoryStore::Recover(const std::string& dir) {
     stats.checkpoint_loaded = true;
   }
 
+  // Sealed segments replay before the active log — they hold strictly
+  // older records. A sealed segment was fsynced before the rename
+  // published it, so a torn frame there is genuine corruption rather
+  // than a crash tail, and replay fails instead of truncating.
+  for (const std::string& name : ListSealedWalSegments(dir)) {
+    auto sealed = ReplayWal(
+        dir + "/" + name,
+        [this](WalRecordType type, std::string_view payload) {
+          return ApplyWalRecord(type, payload);
+        },
+        /*truncate_torn_tail=*/false);
+    SEMITRI_RETURN_IF_ERROR(sealed.status());
+    if (sealed->torn_bytes_truncated > 0) {
+      return common::Status::Corruption("torn frame in sealed wal segment " +
+                                        dir + "/" + name);
+    }
+    stats.wal_records_replayed += sealed->records_applied;
+    ++stats.wal_segments_replayed;
+  }
+
   // Replay the log over the checkpoint. Records that predate the
   // checkpoint may still be in the log (crash between the CURRENT flip
   // and the log truncation); replaying them is safe because every Put
@@ -765,6 +808,58 @@ common::Status SemanticTrajectoryStore::Sync() {
     return common::Status::OK();  // nothing appended yet
   }
   return wal_->Sync();
+}
+
+std::vector<std::string> SemanticTrajectoryStore::ListSealedWalSegments(
+    const std::string& dir) {
+  std::vector<std::pair<size_t, std::string>> found;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    std::string base = entry.path().filename().string();
+    size_t seq = 0;
+    if (ParseSealedWalSeq(base, &seq)) found.emplace_back(seq, base);
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> names;
+  names.reserve(found.size());
+  for (auto& [seq, name] : found) names.push_back(std::move(name));
+  return names;
+}
+
+common::Result<std::string> SemanticTrajectoryStore::SealWalSegment() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.durable_dir.empty()) return std::string();
+  std::string active = config_.durable_dir + "/" + kWalFile;
+  std::error_code ec;
+  uintmax_t size = fs::file_size(active, ec);
+  if (ec || size == 0) return std::string();  // nothing to seal
+  // fsync before the rename publishes the sealed name: once visible,
+  // a segment is complete, so replay and shipping never see a tail in
+  // flight.
+  if (wal_ != nullptr) {
+    SEMITRI_RETURN_IF_ERROR(wal_->Sync());
+  }
+  wal_.reset();
+  size_t seq = 1;
+  for (const std::string& existing :
+       ListSealedWalSegments(config_.durable_dir)) {
+    size_t existing_seq = 0;
+    if (ParseSealedWalSeq(existing, &existing_seq) && existing_seq >= seq) {
+      seq = existing_seq + 1;
+    }
+  }
+  std::string name = common::StrFormat("%s%06zu%s", kSealedWalPrefix, seq,
+                                       kSealedWalSuffix);
+  fs::rename(active, config_.durable_dir + "/" + name, ec);
+  if (ec) {
+    return common::Status::IoError("cannot seal wal segment " +
+                                   config_.durable_dir + "/" + name);
+  }
+  SyncDir(config_.durable_dir);
+  // The next Put's EnsureWal() reopens a fresh active log.
+  return name;
 }
 
 common::Status SemanticTrajectoryStore::Checkpoint() {
@@ -824,6 +919,11 @@ common::Status SemanticTrajectoryStore::Checkpoint() {
     if (base.rfind(kCheckpointPrefix, 0) == 0 && base != name) {
       fs::remove_all(entry.path(), ec);
     }
+  }
+  // The checkpoint compacted everything the sealed segments held.
+  for (const std::string& sealed :
+       ListSealedWalSegments(config_.durable_dir)) {
+    fs::remove(config_.durable_dir + "/" + sealed, ec);
   }
   return common::Status::OK();
 }

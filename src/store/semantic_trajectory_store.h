@@ -154,6 +154,8 @@ class SemanticTrajectoryStore {
     bool checkpoint_loaded = false;
     size_t wal_records_replayed = 0;
     size_t wal_torn_bytes_truncated = 0;
+    // Sealed `wal-<seq>.log` segments replayed before the active log.
+    size_t wal_segments_replayed = 0;
   };
 
   // Rebuilds the in-memory tables from `dir` (checkpoint + WAL replay,
@@ -171,8 +173,28 @@ class SemanticTrajectoryStore {
   // `checkpoint-<n>/` directory, the CURRENT pointer file is flipped
   // via rename, the WAL is emptied, and stale generations are removed.
   // A crash at any point leaves either the old or the new generation
-  // fully intact. No-op outside durable mode.
+  // fully intact. No-op outside durable mode. Sealed WAL segments are
+  // garbage-collected along with stale generations (the new checkpoint
+  // holds everything they held) — callers shipping segments to a
+  // standby must ship before checkpointing or accept the lag.
   [[nodiscard]] common::Status Checkpoint() SEMITRI_EXCLUDES(mutex_);
+
+  // Seals the active WAL into an immutable `wal-<seq>.log` segment
+  // under durable_dir: fsync, close, rename — the segment is complete
+  // and torn-tail-free once visible under its sealed name — then the
+  // next Put reopens a fresh empty active log. Returns the sealed
+  // segment's filename, or "" when there was nothing to seal (empty /
+  // absent log, or not in durable mode). Sealed segments are what
+  // shard::WalShipper copies to a standby directory; Recover() replays
+  // them in ascending sequence order before the active log.
+  [[nodiscard]] common::Result<std::string> SealWalSegment()
+      SEMITRI_EXCLUDES(mutex_);
+
+  // Sealed (`wal-<seq>.log`) segment filenames under `dir`, ascending
+  // by sequence number. Static so a shipper can inspect a standby
+  // directory no store has open.
+  static std::vector<std::string> ListSealedWalSegments(
+      const std::string& dir);
 
  private:
   [[nodiscard]] common::Status AppendWriteThrough(const std::string& file,

@@ -23,7 +23,10 @@ namespace {
 // serialized payload, all wrapped as u32 payload size + u32 crc32 so a
 // torn or bit-flipped file is rejected as Corruption, never half-read.
 constexpr uint32_t kCheckpointMagic = 0x534D434Bu;  // "SMCK"
-constexpr uint32_t kCheckpointVersion = 1;
+// v2 adds the trajectory-id resume cursors of retired objects (the
+// eviction × reconnect seam must survive a restart too). v1 files
+// (no cursor map) are still readable.
+constexpr uint32_t kCheckpointVersion = 2;
 
 void Accumulate(const AnnotationSession::Stats& from,
                 SessionManager::Stats* to) {
@@ -276,9 +279,14 @@ common::Result<AnnotationSession::FeedResult> SessionManager::Feed(
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto [it, inserted] = shard.sessions.try_emplace(object_id);
     if (inserted) {
+      // A reconnecting object resumes its trajectory-id cursor where
+      // the retired session stopped; only a genuinely new object
+      // starts at the base of its id block.
+      core::TrajectoryId first_id = object_id * config_.ids_per_object;
+      auto resume = shard.resume_ids.find(object_id);
+      if (resume != shard.resume_ids.end()) first_id = resume->second;
       it->second.session = std::make_unique<AnnotationSession>(
-          pipeline_, object_id, config_.session,
-          object_id * config_.ids_per_object);
+          pipeline_, object_id, config_.session, first_id);
       ++shard.opened;
       if (!claimed_session) {
         // The session vanished between the existence check and now
@@ -340,6 +348,10 @@ common::Status SessionManager::RetireLocked(
   if (!status.ok() && had_open) ++shard.evicted_with_data_loss;
   Accumulate(it->second.session->stats(), &shard.retired);
   ++shard.evicted;
+  // Post-flush cursor (the flush may have consumed an id finalizing
+  // the open trajectory): where a reconnecting session resumes.
+  shard.resume_ids[it->first] =
+      it->second.session->detector().next_trajectory_id();
   // Release the session's global budget charges and drop it from the
   // activity heap (shard -> tracker lock order, same as Feed).
   buffered_fixes_.fetch_sub(static_cast<int64_t>(it->second.charged_fixes),
@@ -402,6 +414,12 @@ common::Result<size_t> SessionManager::EvictIdle(double max_idle_seconds) {
   return evicted;
 }
 
+bool SessionManager::HasLiveSession(core::ObjectId object_id) const {
+  Shard& shard = ShardFor(object_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.sessions.find(object_id) != shard.sessions.end();
+}
+
 size_t SessionManager::ActiveSessions() const {
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
@@ -424,6 +442,7 @@ common::Status SessionManager::Checkpoint(const std::string& path) const {
   size_t data_loss = 0;
   AnnotationSession::Stats retired;
   size_t live = 0;
+  std::map<core::ObjectId, core::TrajectoryId> resume;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     opened += shard->opened;
@@ -431,6 +450,9 @@ common::Status SessionManager::Checkpoint(const std::string& path) const {
     data_loss += shard->evicted_with_data_loss;
     Accumulate(shard->retired, &retired);
     live += shard->sessions.size();
+    for (const auto& [object_id, next_id] : shard->resume_ids) {
+      resume[object_id] = next_id;
+    }
   }
   payload.PutU64(opened);
   payload.PutU64(evicted);
@@ -442,6 +464,12 @@ common::Status SessionManager::Checkpoint(const std::string& path) const {
   payload.PutU64(retired.detector.trajectories_discarded);
   payload.PutU64(retired.detector.forced_splits);
   payload.PutU64(retired.annotation_passes);
+
+  payload.PutU64(resume.size());
+  for (const auto& [object_id, next_id] : resume) {
+    payload.PutI64(object_id);
+    payload.PutI64(next_id);
+  }
 
   payload.PutU64(live);
   for (const std::unique_ptr<Shard>& shard : shards_) {
@@ -518,7 +546,7 @@ common::Status SessionManager::Restore(const std::string& path) {
   if (magic != kCheckpointMagic) {
     return common::Status::Corruption("not a session checkpoint file");
   }
-  if (version != kCheckpointVersion) {
+  if (version < 1 || version > kCheckpointVersion) {
     return common::Status::Corruption("unsupported checkpoint version");
   }
 
@@ -538,6 +566,22 @@ common::Status SessionManager::Restore(const std::string& path) {
   SEMITRI_RETURN_IF_ERROR(r.GetU64(&retired.detector.forced_splits));
   SEMITRI_RETURN_IF_ERROR(r.GetU64(&retired.annotation_passes));
 
+  std::map<core::ObjectId, core::TrajectoryId> resume;
+  if (version >= 2) {
+    uint64_t resume_count = 0;
+    SEMITRI_RETURN_IF_ERROR(r.GetU64(&resume_count));
+    if (resume_count > r.remaining()) {
+      return common::Status::Corruption("resume cursor count exceeds data");
+    }
+    for (uint64_t i = 0; i < resume_count; ++i) {
+      int64_t object_id = 0;
+      int64_t next_id = 0;
+      SEMITRI_RETURN_IF_ERROR(r.GetI64(&object_id));
+      SEMITRI_RETURN_IF_ERROR(r.GetI64(&next_id));
+      resume[object_id] = next_id;
+    }
+  }
+
   uint64_t live = 0;
   SEMITRI_RETURN_IF_ERROR(r.GetU64(&live));
   if (live > r.remaining()) {
@@ -552,6 +596,12 @@ common::Status SessionManager::Restore(const std::string& path) {
     shard->evicted = 0;
     shard->evicted_with_data_loss = 0;
     shard->retired = {};
+    shard->resume_ids.clear();
+  }
+  for (const auto& [object_id, next_id] : resume) {
+    Shard& shard = ShardFor(object_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.resume_ids[object_id] = next_id;
   }
   // Budget accounting and the activity heap restart from the restored
   // population (recharged below, per session).
@@ -589,6 +639,82 @@ common::Status SessionManager::Restore(const std::string& path) {
   if (!r.AtEnd()) {
     return common::Status::Corruption("trailing bytes in checkpoint");
   }
+  return common::Status::OK();
+}
+
+common::Status SessionManager::PackSession(core::ObjectId object_id,
+                                           common::StateWriter* out) const {
+  Shard& shard = ShardFor(object_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(object_id);
+  auto resume = shard.resume_ids.find(object_id);
+  if (it == shard.sessions.end() && resume == shard.resume_ids.end()) {
+    return common::Status::NotFound(
+        "no live session or resume cursor for this object");
+  }
+  out->PutI64(object_id);
+  if (it != shard.sessions.end()) {
+    out->PutU8(1);
+    it->second.session->SaveState(out);
+  } else {
+    // Idle object: only the trajectory-id cursor moves — the
+    // destination must keep ascending through the id block when the
+    // object reconnects there.
+    out->PutU8(0);
+    out->PutI64(resume->second);
+  }
+  return common::Status::OK();
+}
+
+common::Status SessionManager::AdoptSession(core::ObjectId object_id,
+                                            common::StateReader* in) {
+  int64_t packed_object = 0;
+  SEMITRI_RETURN_IF_ERROR(in->GetI64(&packed_object));
+  if (packed_object != object_id) {
+    return common::Status::Corruption(
+        "packed session belongs to a different object");
+  }
+  uint8_t has_session = 0;
+  SEMITRI_RETURN_IF_ERROR(in->GetU8(&has_session));
+  Shard& shard = ShardFor(object_id);
+
+  if (has_session == 0) {
+    int64_t resume_id = 0;
+    SEMITRI_RETURN_IF_ERROR(in->GetI64(&resume_id));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.sessions.find(object_id) != shard.sessions.end()) {
+      return common::Status::AlreadyExists(
+          "a live session already exists for this object");
+    }
+    shard.resume_ids[object_id] = resume_id;
+    return common::Status::OK();
+  }
+
+  auto session = std::make_unique<AnnotationSession>(
+      pipeline_, object_id, config_.session,
+      object_id * config_.ids_per_object);
+  SEMITRI_RETURN_IF_ERROR(session->RestoreState(in));
+  size_t buffered = session->buffered_points();
+  const int64_t now = clock_->NowNanos();
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.sessions.find(object_id) != shard.sessions.end()) {
+      return common::Status::AlreadyExists(
+          "a live session already exists for this object");
+    }
+    Entry& entry = shard.sessions[object_id];
+    entry.session = std::move(session);
+    entry.last_feed_nanos = now;
+    entry.charged_fixes = buffered;
+    ++shard.opened;
+    // The adopted state is authoritative; a stale cursor from a prior
+    // ownership stint here must not shadow it.
+    shard.resume_ids.erase(object_id);
+  }
+  live_sessions_.fetch_add(1, std::memory_order_relaxed);
+  buffered_fixes_.fetch_add(static_cast<int64_t>(buffered),
+                            std::memory_order_relaxed);
+  activity_.Touch(object_id, now);
   return common::Status::OK();
 }
 

@@ -159,6 +159,9 @@ class SessionManager {
 
   size_t ActiveSessions() const;
 
+  // True when a live (unretired) session exists for the object.
+  bool HasLiveSession(core::ObjectId object_id) const;
+
   struct Stats {
     size_t active_sessions = 0;
     size_t sessions_opened = 0;
@@ -215,6 +218,30 @@ class SessionManager {
   // converges the store to the exact state an uninterrupted run would
   // have produced. Corruption on a CRC mismatch or malformed state.
   [[nodiscard]] common::Status Restore(const std::string& path);
+
+  // --- live migration hooks (shard::ShardCluster) ----------------------
+
+  // Serializes `object_id`'s state for a migration handoff: the live
+  // session mid-stream (open trajectory included) when one exists,
+  // otherwise just the trajectory-id resume cursor a previous
+  // eviction/close left behind. The session is NOT removed or flushed
+  // here — the source drains afterwards through the flushing Close(),
+  // whose truncated rows the destination's completed trajectory
+  // overwrites at merge time (keyed-overwrite store semantics). The
+  // caller must quiesce feeds for the object from pack to handoff.
+  // NotFound when the manager knows nothing about the object.
+  [[nodiscard]] common::Status PackSession(core::ObjectId object_id,
+                                           common::StateWriter* out) const;
+
+  // Installs state packed by PackSession on another manager: the
+  // session resumes mid-stream exactly where the source stopped
+  // (trajectory ids continue, the open trajectory keeps buffering).
+  // Budgets are charged unconditionally — migration admission is the
+  // router's decision, not this manager's. AlreadyExists when the
+  // object already has a live session here (state unchanged);
+  // Corruption when the bytes are not a pack of `object_id`.
+  [[nodiscard]] common::Status AdoptSession(core::ObjectId object_id,
+                                            common::StateReader* in);
 
  private:
   // Global least-recently-fed index: a min-heap of (tick, object) with
@@ -275,6 +302,13 @@ class SessionManager {
     size_t evicted SEMITRI_GUARDED_BY(mutex) = 0;
     size_t evicted_with_data_loss SEMITRI_GUARDED_BY(mutex) = 0;
     AnnotationSession::Stats retired SEMITRI_GUARDED_BY(mutex) = {};
+    // Next trajectory id for objects whose session was retired
+    // (eviction / Close / shed): a reconnecting object must keep
+    // ascending through its id block, or the fresh session would
+    // restart at object_id * ids_per_object and overwrite the durable
+    // rows its predecessor already finalized.
+    std::map<core::ObjectId, core::TrajectoryId> resume_ids
+        SEMITRI_GUARDED_BY(mutex);
   };
 
   Shard& ShardFor(core::ObjectId object_id) const;

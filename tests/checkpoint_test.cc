@@ -350,5 +350,110 @@ TEST_F(CheckpointFixture, EvictionWithFailingFlushCountsDataLoss) {
   EXPECT_EQ(manager.ActiveSessions(), 0u);
 }
 
+// Regression: an idle-evicted object that reconnects must RESUME its
+// trajectory-id block past the rows its retired session already
+// finalized — not restart at object_id * ids_per_object and overwrite
+// them. The reference is the same stream with an explicit flushing
+// Close at the cut, which is exactly what an eviction does.
+TEST_F(CheckpointFixture, EvictedObjectReconnectsWithoutOverwriting) {
+  std::vector<core::GpsPoint> s = PersonStream(0, 2);
+  size_t cut = s.size() / 2;
+
+  store::SemanticTrajectoryStore reference_store;
+  {
+    core::SemiTriPipeline pipeline(&world_->regions, &world_->roads,
+                                   &world_->pois, core::PipelineConfig{},
+                                   &reference_store);
+    SessionManager manager(&pipeline);
+    for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(manager.Feed(0, s[i]).ok());
+    ASSERT_TRUE(manager.Close(0).ok());
+    for (size_t i = cut; i < s.size(); ++i) {
+      ASSERT_TRUE(manager.Feed(0, s[i]).ok());
+    }
+    ASSERT_TRUE(manager.CloseAll().ok());
+  }
+
+  store::SemanticTrajectoryStore store;
+  core::SemiTriPipeline pipeline(&world_->regions, &world_->roads,
+                                 &world_->pois, core::PipelineConfig{},
+                                 &store);
+  SessionManager manager(&pipeline);
+  for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(manager.Feed(0, s[i]).ok());
+  auto evicted = manager.EvictIdle(0.0);
+  ASSERT_TRUE(evicted.ok());
+  ASSERT_EQ(*evicted, 1u);
+  std::vector<core::TrajectoryId> durable_before = store.ListTrajectories();
+  ASSERT_FALSE(durable_before.empty());
+
+  // Reconnect: the fresh session must continue past the durable rows.
+  for (size_t i = cut; i < s.size(); ++i) {
+    ASSERT_TRUE(manager.Feed(0, s[i]).ok());
+  }
+  ASSERT_TRUE(manager.CloseAll().ok());
+
+  // Every pre-eviction trajectory survived the reconnect untouched.
+  std::vector<core::TrajectoryId> durable_after = store.ListTrajectories();
+  for (core::TrajectoryId id : durable_before) {
+    EXPECT_TRUE(std::find(durable_after.begin(), durable_after.end(), id) !=
+                durable_after.end())
+        << "reconnect overwrote trajectory " << id;
+  }
+  EXPECT_GT(durable_after.size(), durable_before.size());
+  EXPECT_TRUE(store.ContentEquals(reference_store));
+}
+
+// The same regression across a checkpoint/restore boundary: the resume
+// cursor a previous eviction left behind must survive the manager
+// checkpoint, or a restored-then-reconnected object overwrites its own
+// durable rows.
+TEST_F(CheckpointFixture, EvictedObjectResumesAcrossCheckpointRestore) {
+  std::vector<core::GpsPoint> s = PersonStream(0, 2);
+  size_t cut = s.size() / 2;
+
+  store::SemanticTrajectoryStore reference_store;
+  {
+    core::SemiTriPipeline pipeline(&world_->regions, &world_->roads,
+                                   &world_->pois, core::PipelineConfig{},
+                                   &reference_store);
+    SessionManager manager(&pipeline);
+    for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(manager.Feed(0, s[i]).ok());
+    ASSERT_TRUE(manager.Close(0).ok());
+    for (size_t i = cut; i < s.size(); ++i) {
+      ASSERT_TRUE(manager.Feed(0, s[i]).ok());
+    }
+    ASSERT_TRUE(manager.CloseAll().ok());
+  }
+
+  std::string ckpt =
+      (fs::temp_directory_path() / "semitri_evict_restore_ckpt.bin").string();
+  fs::remove(ckpt);
+  store::SemanticTrajectoryStore store;
+  {
+    core::SemiTriPipeline pipeline(&world_->regions, &world_->roads,
+                                   &world_->pois, core::PipelineConfig{},
+                                   &store);
+    SessionManager manager(&pipeline);
+    for (size_t i = 0; i < cut; ++i) ASSERT_TRUE(manager.Feed(0, s[i]).ok());
+    auto evicted = manager.EvictIdle(0.0);
+    ASSERT_TRUE(evicted.ok());
+    ASSERT_EQ(*evicted, 1u);
+    ASSERT_TRUE(manager.Checkpoint(ckpt).ok());
+  }  // process "exits" with the object evicted
+  {
+    core::SemiTriPipeline pipeline(&world_->regions, &world_->roads,
+                                   &world_->pois, core::PipelineConfig{},
+                                   &store);
+    SessionManager manager(&pipeline);
+    ASSERT_TRUE(manager.Restore(ckpt).ok());
+    EXPECT_EQ(manager.ActiveSessions(), 0u);
+    for (size_t i = cut; i < s.size(); ++i) {
+      ASSERT_TRUE(manager.Feed(0, s[i]).ok());
+    }
+    ASSERT_TRUE(manager.CloseAll().ok());
+  }
+  EXPECT_TRUE(store.ContentEquals(reference_store));
+  fs::remove(ckpt);
+}
+
 }  // namespace
 }  // namespace semitri::stream

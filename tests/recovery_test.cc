@@ -27,6 +27,7 @@
 #include "core/pipeline.h"
 #include "datagen/presets.h"
 #include "datagen/world.h"
+#include "shard/cluster.h"
 #include "store/semantic_trajectory_store.h"
 #include "stream/session_manager.h"
 
@@ -460,6 +461,145 @@ TEST_F(RecoveryFixture, TransientStoreFaultIsRetried) {
   EXPECT_EQ(it->second.attempts, 2u);
   EXPECT_TRUE(it->second.status.ok());
   EXPECT_FALSE(it->second.skipped);
+}
+
+// The migration leg of the kill-at-every-site sweep: a live session
+// migration killed at any of its fault sites must abort with the
+// session recoverable on exactly one shard — and the interrupted run,
+// once the driver retries and finishes the streams, must converge
+// ContentEquals to an uninterrupted single-process run.
+TEST_F(RecoveryFixture, MigrationKilledAtEverySiteLeavesOneOwner) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  common::FaultInjector& fi = common::FaultInjector::Global();
+
+  // Uninterrupted reference.
+  store::SemanticTrajectoryStore reference;
+  {
+    core::SemiTriPipeline pipeline(&world_->regions, &world_->roads,
+                                   &world_->pois, core::PipelineConfig{},
+                                   &reference);
+    stream::SessionManager manager(&pipeline);
+    for (const datagen::SimulatedTrack& track : dataset_.tracks) {
+      for (const core::GpsPoint& fix : track.points) {
+        ASSERT_TRUE(manager.Feed(track.object_id, fix).ok());
+      }
+    }
+    ASSERT_TRUE(manager.CloseAll().ok());
+  }
+
+  for (const char* site :
+       {"migration_pack", "migration_handoff", "migration_unpack"}) {
+    SCOPED_TRACE(site);
+    fi.Reset();
+    shard::ShardClusterConfig config;
+    config.num_shards = 2;
+    config.base_dir = TempDir(std::string("semitri_migration_kill_") + site);
+    auto opened = shard::ShardCluster::Open(&world_->regions, &world_->roads,
+                                            &world_->pois, config);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<shard::ShardCluster> cluster = std::move(opened.value());
+
+    // Feed the first half of every track, then kill the migration of
+    // each object at `site`.
+    size_t longest = 0;
+    for (const datagen::SimulatedTrack& t : dataset_.tracks) {
+      longest = std::max(longest, t.points.size());
+    }
+    for (size_t k = 0; k < longest / 2; ++k) {
+      for (const datagen::SimulatedTrack& track : dataset_.tracks) {
+        if (k >= track.points.size()) continue;
+        ASSERT_TRUE(cluster->Feed(track.object_id, track.points[k]).ok());
+      }
+    }
+    for (const datagen::SimulatedTrack& track : dataset_.tracks) {
+      shard::ShardId src = cluster->OwnerOf(track.object_id);
+      shard::ShardId dest = (src + 1) % 2;
+      fi.Arm(site, common::FaultPolicy::CrashNth(1));
+      EXPECT_FALSE(cluster->MigrateObject(track.object_id, dest).ok());
+      fi.Disarm(site);
+      // Killed mid-migration: the session lives on exactly one shard,
+      // the source, and the routing still points there.
+      std::vector<shard::ShardId> owners =
+          cluster->LiveSessionShards(track.object_id);
+      ASSERT_EQ(owners.size(), 1u)
+          << "session lost or duplicated after kill at " << site;
+      EXPECT_EQ(owners[0], src);
+      EXPECT_EQ(cluster->OwnerOf(track.object_id), src);
+      // The driver retries once the fault clears.
+      ASSERT_TRUE(cluster->MigrateObject(track.object_id, dest).ok());
+    }
+    for (size_t k = longest / 2; k < longest; ++k) {
+      for (const datagen::SimulatedTrack& track : dataset_.tracks) {
+        if (k >= track.points.size()) continue;
+        ASSERT_TRUE(cluster->Feed(track.object_id, track.points[k]).ok());
+      }
+    }
+    ASSERT_TRUE(cluster->CloseAll().ok());
+    store::SemanticTrajectoryStore merged;
+    ASSERT_TRUE(cluster->MergeStores(&merged).ok());
+    EXPECT_TRUE(merged.ContentEquals(reference))
+        << "cluster diverged after migration killed at " << site;
+    fs::remove_all(config.base_dir);
+  }
+  fi.Reset();
+}
+
+// WAL shipping killed mid-ship: the primary's durability is untouched
+// (shipping is replication, not the ack path), the lag is visible, and
+// a restarted shard ships the backlog so a standby rebuild converges.
+TEST_F(RecoveryFixture, WalShipKilledMidShipRecoversAfterRestart) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  common::FaultInjector& fi = common::FaultInjector::Global();
+  fi.Reset();
+  shard::ShardClusterConfig config;
+  config.num_shards = 1;
+  config.base_dir = TempDir("semitri_wal_ship_kill");
+  auto opened = shard::ShardCluster::Open(&world_->regions, &world_->roads,
+                                          &world_->pois, config);
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<shard::ShardCluster> cluster = std::move(opened.value());
+  for (const datagen::SimulatedTrack& track : dataset_.tracks) {
+    for (const core::GpsPoint& fix : track.points) {
+      ASSERT_TRUE(cluster->Feed(track.object_id, fix).ok());
+    }
+  }
+  ASSERT_TRUE(cluster->CloseAll().ok());
+
+  // The ship is killed mid-flight: the seal lands, the copy does not.
+  fi.Arm("wal_ship", common::FaultPolicy::CrashNth(1));
+  EXPECT_FALSE(cluster->SealAndShipAll().ok());
+  fi.Disarm("wal_ship");
+  std::shared_ptr<shard::ShardRuntime> runtime = cluster->runtime(0);
+  ASSERT_NE(runtime, nullptr);
+  EXPECT_GT(runtime->ShardHealthInfo().wal_ship_lag_segments, 0u);
+  // The crashed shipper stays dead, like the sidecar process it
+  // models...
+  EXPECT_FALSE(cluster->SealAndShipAll().ok());
+  // ...but the primary's own ack path does not depend on it.
+  ASSERT_TRUE(cluster->CheckpointAll().ok());
+
+  // Restarting the shard brings a fresh shipper that drains the
+  // backlog.
+  ASSERT_TRUE(cluster->KillShard(0).ok());
+  ASSERT_TRUE(cluster->RestartShard(0).ok());
+  auto shipped = cluster->SealAndShipAll();
+  ASSERT_TRUE(shipped.ok()) << shipped.status().ToString();
+  EXPECT_GT(shipped->segments_shipped, 0u);
+  runtime = cluster->runtime(0);
+  ASSERT_NE(runtime, nullptr);
+  EXPECT_EQ(runtime->ShardHealthInfo().wal_ship_lag_segments, 0u);
+
+  // A standby rebuilt purely from shipped segments has everything.
+  store::SemanticTrajectoryStore standby;
+  ASSERT_TRUE(standby.Recover(runtime->config().standby_dir).ok());
+  EXPECT_TRUE(standby.ContentEquals(*runtime->store()))
+      << "standby diverged after the shipping crash + restart";
+  fs::remove_all(config.base_dir);
+  fi.Reset();
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy at the repo root) over every
-# translation unit in src/, tests/, and bench/, using the compilation
-# database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+# translation unit in src/, tests/, bench/, and tools/shardd/, using the
+# compilation database exported by CMake
+# (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
 #
 # Usage: tools/lint.sh [--require] [build-dir]
 #   build-dir defaults to ./build; it must contain compile_commands.json.
@@ -52,7 +53,7 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
 fi
 
 cd "${repo_root}"
-mapfile -t sources < <(find src tests bench -name '*.cc' | sort)
+mapfile -t sources < <(find src tests bench tools/shardd -name '*.cc' | sort)
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 outdir="$(mktemp -d)"

@@ -4,9 +4,9 @@
 //   semitri_lint --repo <dir> [--compile-commands <file>]
 //                [--check <name>]... [--output <file>] [--list-checks]
 //
-// Walks src/, tests/, and bench/ under --repo for .h/.cc files, runs
-// the selected checks (default: all; see checks.h), and prints one
-// finding per line as `file:line: [check] message`.
+// Walks src/, tests/, bench/, and tools/shardd/ under --repo for
+// .h/.cc files, runs the selected checks (default: all; see checks.h),
+// and prints one finding per line as `file:line: [check] message`.
 //
 // --compile-commands points at the build tree's compile_commands.json;
 // the driver verifies it exists and covers the tests/ and bench/
@@ -82,7 +82,7 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
 // Collects repo-relative paths of every .h/.cc under the scanned roots,
 // sorted so findings are deterministic.
 std::vector<std::string> CollectPaths(const fs::path& repo) {
-  static const char* kRoots[] = {"src", "tests", "bench"};
+  static const char* kRoots[] = {"src", "tests", "bench", "tools/shardd"};
   std::vector<std::string> paths;
   for (const char* root : kRoots) {
     fs::path dir = repo / root;
