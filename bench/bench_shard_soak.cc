@@ -18,12 +18,27 @@
 // uninterrupted reference — zero lost acknowledged fixes
 // (lost_acknowledged_fixes, a GateZero; CI's shard-soak-smoke leg runs
 // `bench_shard_soak smoke` and fails the moment it leaves 0).
+//
+// A second, chaos pass then replays the identical stream against a
+// self-healing cluster (auto_failover + retry_feeds) while a seeded
+// shard::ChaosSchedule storms it with kills, extra migrations,
+// seal+ship waves and (fault-injection builds) injected wal_ship
+// failures. Kills heal without driver intervention — detection,
+// standby promotion, retrying feeds — and the pass has its own
+// convergence gate plus time-to-detect / time-to-failover percentiles.
+//
+// Scale knobs (CI's chaos-soak-smoke leg sets these):
+//   SEMITRI_SOAK_OBJECTS      cars in the corpus
+//   SEMITRI_SOAK_DAYS         days of stream per car
+//   SEMITRI_SOAK_CHAOS_SEED   chaos schedule seed
+//   SEMITRI_SOAK_CHAOS_KILLS  shard kills in the storm
 
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -31,8 +46,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/fault_injection.h"
 #include "core/pipeline.h"
 #include "datagen/presets.h"
+#include "shard/chaos.h"
 #include "shard/cluster.h"
 #include "store/semantic_trajectory_store.h"
 #include "stream/session_manager.h"
@@ -45,6 +62,12 @@ double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
 }
 
 double Percentile(std::vector<double>* samples, double p) {
@@ -68,8 +91,10 @@ int main(int argc, char** argv) {
                                              smoke ? 3000.0 : 6000.0,
                                              smoke ? 500 : 2000);
   datagen::DatasetFactory factory(&world, /*seed=*/802);
-  const int kObjects = smoke ? 12 : 32;
-  const int kDays = smoke ? 1 : 2;
+  const int kObjects = static_cast<int>(
+      EnvSize("SEMITRI_SOAK_OBJECTS", smoke ? 12 : 32));
+  const int kDays =
+      static_cast<int>(EnvSize("SEMITRI_SOAK_DAYS", smoke ? 1 : 2));
   datagen::Dataset dataset = factory.MilanPrivateCars(kObjects, kDays);
   const size_t total_points = dataset.TotalRecords();
   size_t longest = 0;
@@ -346,6 +371,284 @@ int main(int argc, char** argv) {
               static_cast<double>(total_points) / overload_seconds,
               overload_shed, shed_per_1k, overload_rejected);
 
+  // --- chaos pass (convergence-gated) -----------------------------------
+  // The identical logical stream against a self-healing cluster while a
+  // seeded ChaosSchedule storms it. Kills are healed entirely by the
+  // cluster — detection walks the dead slot to kDead, auto failover
+  // promotes the standby, and retrying feeds ride the outage out — the
+  // driver only acks (drain + checkpoint) right before each kill and
+  // re-delivers the victim's prefix afterwards, which the restored
+  // sessions must reject per-fix (at-least-once idempotence). Because
+  // replication is drained at the ack, the promoted standby resumes
+  // exactly there and the convergence gate stays exact: zero lost
+  // acknowledged fixes, not "zero beyond lag".
+  shard::ChaosScheduleConfig chaos_config;
+  chaos_config.seed = EnvSize("SEMITRI_SOAK_CHAOS_SEED", 1234);
+  chaos_config.num_steps = longest;
+  chaos_config.num_shards = cluster_config.num_shards;
+  chaos_config.num_objects = dataset.tracks.size();
+  chaos_config.kills =
+      EnvSize("SEMITRI_SOAK_CHAOS_KILLS", smoke ? 2 : 3);
+  chaos_config.migrations = smoke ? 2 : 4;
+  chaos_config.seal_ships = 2;
+  chaos_config.ship_faults = common::FaultInjector::enabled() ? 1 : 0;
+  chaos_config.min_kill_spacing = std::max<size_t>(8, longest / 8);
+  shard::ChaosSchedule storm = shard::ChaosSchedule::Generate(chaos_config);
+
+  bool chaos_converged = false;
+  size_t chaos_kills_executed = 0;
+  size_t chaos_migrations_requested = 0;
+  size_t chaos_refed_fixes = 0;
+  size_t chaos_refed_accepted = 0;
+  size_t chaos_reshipped_corrupt = 0;
+  double chaos_seconds = 0.0;
+  shard::ShardCluster::Stats chaos_stats;
+  {
+    std::filesystem::path chaos_dir =
+        std::filesystem::temp_directory_path() /
+        ("semitri_bench_shard_chaos_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(chaos_dir);
+    shard::ShardClusterConfig config;
+    config.num_shards = chaos_config.num_shards;
+    config.base_dir = chaos_dir.string();
+    config.auto_failover = true;
+    config.retry_feeds = true;
+    // Probe on every tick; three straight failures declare death. The
+    // retry budget covers the whole detect -> promote walk (each
+    // backoff ticks the detector once) with room to spare.
+    config.detector.probe_interval_seconds = 0.0;
+    config.detector.suspect_after = 1;
+    config.detector.dead_after = 3;
+    config.feed_retry.max_attempts = 8;
+    config.feed_retry.initial_backoff_seconds = 0.001;
+    config.feed_retry.max_backoff_seconds = 0.01;
+    auto chaos_opened = shard::ShardCluster::Open(&world.regions,
+                                                  &world.roads, &world.pois,
+                                                  config);
+    if (!chaos_opened.ok()) {
+      std::fprintf(stderr, "chaos cluster open failed: %s\n",
+                   chaos_opened.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<shard::ShardCluster> chaos =
+        std::move(chaos_opened.value());
+
+    std::printf("\nchaos schedule (seed %llu):\n%s",
+                static_cast<unsigned long long>(chaos_config.seed),
+                storm.ToString().c_str());
+
+    // Drains replication to zero lag; retried because an armed
+    // wal_ship fault may eat the first attempt, and a fresh
+    // CheckpointAll afterwards re-ships the manager sidecar so the
+    // standby pair (ckpt, WAL) sits exactly at the ack.
+    auto ack_all = [&]() -> bool {
+      for (int round = 0; round < 3; ++round) {
+        auto drained = chaos->SealAndShipAll();
+        if (!drained.ok()) continue;  // injected ship fault: retry
+        if (auto status = chaos->CheckpointAll(); !status.ok()) {
+          std::fprintf(stderr, "chaos checkpoint failed: %s\n",
+                       status.ToString().c_str());
+          return false;
+        }
+        size_t lag = 0;
+        for (const core::ShardHealth& shard : chaos->Health().shards) {
+          lag += shard.wal_ship_lag_segments;
+        }
+        if (lag == 0) return true;
+      }
+      std::fprintf(stderr, "chaos ack could not drain replication lag\n");
+      return false;
+    };
+
+    // Victims awaiting their post-heal at-least-once re-delivery:
+    // (object index, ack step) pairs recorded at kill time.
+    std::vector<std::pair<size_t, size_t>> pending_refeed;
+    auto chaos_feed = [&](const datagen::SimulatedTrack& track,
+                          size_t k) -> bool {
+      auto fed = chaos->Feed(track.object_id, track.points[k]);
+      if (!fed.ok()) {
+        std::fprintf(stderr, "chaos feed failed (object %ld, k %zu): %s\n",
+                     track.object_id, k, fed.status().ToString().c_str());
+        return false;
+      }
+      return true;
+    };
+
+    auto chaos_start = std::chrono::steady_clock::now();
+    for (size_t k = 0; k < longest; ++k) {
+      for (const shard::ChaosEvent& event : storm.EventsAt(k)) {
+        switch (event.kind) {
+          case shard::ChaosKind::kKill: {
+            shard::ShardId victim = event.shard;
+            if (chaos->runtime(victim) == nullptr) break;  // still healing
+            if (!ack_all()) return 1;
+            for (size_t i = 0; i < dataset.tracks.size(); ++i) {
+              if (chaos->OwnerOf(dataset.tracks[i].object_id) == victim) {
+                pending_refeed.emplace_back(i, k);
+              }
+            }
+            if (auto status = chaos->KillShard(victim); !status.ok()) {
+              std::fprintf(stderr, "chaos kill failed: %s\n",
+                           status.ToString().c_str());
+              return 1;
+            }
+            ++chaos_kills_executed;
+            break;
+          }
+          case shard::ChaosKind::kMigrate: {
+            const datagen::SimulatedTrack& track =
+                dataset.tracks[event.object_index % dataset.tracks.size()];
+            if (k >= track.points.size()) break;  // stream already over
+            shard::ShardId src = chaos->OwnerOf(track.object_id);
+            shard::ShardId dest = (src + 1) % chaos->num_shards();
+            if (chaos->runtime(src) == nullptr ||
+                chaos->runtime(dest) == nullptr) {
+              break;  // an endpoint is mid-failover; skip this one
+            }
+            ++chaos_migrations_requested;
+            if (auto status = chaos->MigrateObject(track.object_id, dest);
+                !status.ok()) {
+              std::fprintf(stderr, "chaos migration aborted: %s\n",
+                           status.ToString().c_str());
+            }
+            break;
+          }
+          case shard::ChaosKind::kSealShip: {
+            // May fail if a ship fault is armed; the lag drains later.
+            if (auto drained = chaos->SealAndShipAll(); !drained.ok()) {
+              std::fprintf(stderr, "chaos seal+ship deferred: %s\n",
+                           drained.status().ToString().c_str());
+            }
+            break;
+          }
+          case shard::ChaosKind::kShipFault: {
+            if (common::FaultInjector::enabled()) {
+              common::FaultInjector::Global().Arm(
+                  "wal_ship", common::FaultPolicy::FailOnce());
+            }
+            break;
+          }
+        }
+      }
+
+      for (size_t i = 0; i < dataset.tracks.size(); ++i) {
+        const datagen::SimulatedTrack& track = dataset.tracks[i];
+        if (k < track.points.size() && !chaos_feed(track, k)) return 1;
+        if (k + 1 == kDisconnectAt && disconnects(i)) {
+          if (auto status = chaos->CloseObject(track.object_id);
+              !status.ok()) {
+            std::fprintf(stderr, "chaos close failed: %s\n",
+                         status.ToString().c_str());
+            return 1;
+          }
+        }
+      }
+
+      // One external detector pass per step: a victim no feed touched
+      // this step still walks alive -> suspect -> dead -> promoted.
+      if (auto ticked = chaos->Tick(); !ticked.ok()) {
+        std::fprintf(stderr, "chaos tick failed: %s\n",
+                     ticked.status().ToString().c_str());
+        return 1;
+      }
+
+      // Once a victim's slot is live again (auto failover completed),
+      // re-deliver its owners' acked prefixes. The promoted sessions
+      // sit exactly at the ack, so every one of these fixes must come
+      // back rejected — divergence here would fail the gate below.
+      if (!pending_refeed.empty()) {
+        std::vector<std::pair<size_t, size_t>> still_pending;
+        for (const auto& [object_index, ack_step] : pending_refeed) {
+          const datagen::SimulatedTrack& track =
+              dataset.tracks[object_index];
+          if (chaos->runtime(chaos->OwnerOf(track.object_id)) == nullptr) {
+            still_pending.emplace_back(object_index, ack_step);
+            continue;
+          }
+          size_t upto = std::min(ack_step, track.points.size());
+          for (size_t r = 0; r < upto; ++r) {
+            auto fed = chaos->Feed(track.object_id, track.points[r]);
+            if (!fed.ok()) {
+              std::fprintf(stderr, "chaos re-feed failed: %s\n",
+                           fed.status().ToString().c_str());
+              return 1;
+            }
+            ++chaos_refed_fixes;
+            if (fed->accepted) ++chaos_refed_accepted;
+          }
+        }
+        pending_refeed = std::move(still_pending);
+      }
+    }
+    if (!pending_refeed.empty()) {
+      std::fprintf(stderr, "chaos storm left a shard unhealed\n");
+      return 1;
+    }
+    if (auto status = chaos->CloseAll(); !status.ok()) {
+      std::fprintf(stderr, "chaos close-all failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (!ack_all()) return 1;  // final drain (eats any armed ship fault)
+    chaos_seconds = MsSince(chaos_start) / 1e3;
+
+    store::SemanticTrajectoryStore chaos_merged;
+    if (auto status = chaos->MergeStores(&chaos_merged); !status.ok()) {
+      std::fprintf(stderr, "chaos merge failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    chaos_converged = chaos_merged.ContentEquals(reference);
+    chaos_stats = chaos->stats();
+    for (size_t s = 0; s < chaos->num_shards(); ++s) {
+      if (auto runtime = chaos->runtime(static_cast<shard::ShardId>(s));
+          runtime != nullptr && runtime->shipper() != nullptr) {
+        chaos_reshipped_corrupt +=
+            runtime->shipper()->total_reshipped_corrupt();
+      }
+    }
+    chaos.reset();
+    std::filesystem::remove_all(chaos_dir);
+  }
+
+  std::vector<double> ttd_ms, ttf_ms;
+  for (double s : chaos_stats.time_to_detect_seconds) {
+    ttd_ms.push_back(s * 1e3);
+  }
+  for (double s : chaos_stats.time_to_failover_seconds) {
+    ttf_ms.push_back(s * 1e3);
+  }
+  double ttd_p50 = Percentile(&ttd_ms, 0.50);
+  double ttd_p99 = Percentile(&ttd_ms, 0.99);
+  double ttf_p50 = Percentile(&ttf_ms, 0.50);
+  double ttf_p99 = Percentile(&ttf_ms, 0.99);
+  std::printf("chaos:           %9.0f points/s  (%.3f s total)\n",
+              static_cast<double>(total_points) / chaos_seconds,
+              chaos_seconds);
+  std::printf("chaos kills:     %zu executed -> %zu failovers completed, "
+              "%zu aborted, %zu deaths declared\n",
+              chaos_kills_executed, chaos_stats.failovers_completed,
+              chaos_stats.failovers_aborted,
+              chaos_stats.detector_deaths_declared);
+  std::printf("time to detect:  p50 %8.3f ms   p99 %8.3f ms\n", ttd_p50,
+              ttd_p99);
+  std::printf("time to failover:p50 %8.3f ms   p99 %8.3f ms\n", ttf_p50,
+              ttf_p99);
+  std::printf("chaos feeds:     %zu retried, %zu recovered, %zu rejected "
+              "attempts\n",
+              chaos_stats.feeds_retried, chaos_stats.feeds_recovered,
+              chaos_stats.feeds_rejected_dead_shard);
+  std::printf("chaos re-feeds:  %zu delivered, %zu accepted (0 = promoted "
+              "standbys sat exactly at the ack)\n",
+              chaos_refed_fixes, chaos_refed_accepted);
+  std::printf("chaos loss:      %zu unshipped segments, %zu tail bytes "
+              "abandoned; %zu corrupt standby copies re-shipped\n",
+              chaos_stats.failover_lost_segments,
+              chaos_stats.failover_lost_tail_bytes, chaos_reshipped_corrupt);
+  std::printf("chaos converge:  %s\n",
+              chaos_converged ? "merged == uninterrupted reference"
+                              : "DIVERGED (lost acknowledged fixes)");
+
   // --- machine-readable record ------------------------------------------
   benchutil::BenchReporter reporter("shard_soak");
   reporter.Metric("smoke", static_cast<size_t>(smoke ? 1 : 0));
@@ -374,9 +677,33 @@ int main(int argc, char** argv) {
     reporter.Metric(prefix + "ship_lag_segments",
                     shard.wal_ship_lag_segments);
   }
+  reporter.Metric("chaos_seed", chaos_config.seed);
+  reporter.Metric("chaos_points_per_s",
+                  static_cast<double>(total_points) / chaos_seconds);
+  reporter.Metric("chaos_kills_executed", chaos_kills_executed);
+  reporter.Metric("chaos_migrations_requested", chaos_migrations_requested);
+  reporter.Metric("chaos_failovers_completed",
+                  chaos_stats.failovers_completed);
+  reporter.Metric("chaos_failovers_aborted", chaos_stats.failovers_aborted);
+  reporter.Metric("chaos_deaths_declared",
+                  chaos_stats.detector_deaths_declared);
+  reporter.Metric("time_to_detect_p50_ms", ttd_p50);
+  reporter.Metric("time_to_detect_p99_ms", ttd_p99);
+  reporter.Metric("time_to_failover_p50_ms", ttf_p50);
+  reporter.Metric("time_to_failover_p99_ms", ttf_p99);
+  reporter.Metric("chaos_feeds_retried", chaos_stats.feeds_retried);
+  reporter.Metric("chaos_feeds_recovered", chaos_stats.feeds_recovered);
+  reporter.Metric("chaos_refed_fixes", chaos_refed_fixes);
+  reporter.Metric("chaos_refed_accepted", chaos_refed_accepted);
+  reporter.Metric("chaos_failover_lost_segments",
+                  chaos_stats.failover_lost_segments);
+  reporter.Metric("chaos_failover_lost_tail_bytes",
+                  chaos_stats.failover_lost_tail_bytes);
+  reporter.Metric("chaos_reshipped_corrupt_segments", chaos_reshipped_corrupt);
   // The invariants that must hold in every run, smoke or full: nothing
-  // acknowledged may be lost, and every sealed segment must have
-  // shipped by the end.
+  // acknowledged may be lost (in either pass), every sealed segment
+  // must have shipped by the end, and a storm with kills must have
+  // healed through actual failovers (not silently skipped them).
   reporter.GateZero("lost_acknowledged_fixes",
                     static_cast<size_t>(converged ? 0 : 1));
   size_t residual_lag = 0;
@@ -384,8 +711,16 @@ int main(int argc, char** argv) {
     residual_lag += shard.wal_ship_lag_segments;
   }
   reporter.GateZero("residual_ship_lag_segments", residual_lag);
+  reporter.GateZero("chaos_lost_acknowledged_fixes",
+                    static_cast<size_t>(chaos_converged ? 0 : 1));
+  reporter.GateZero(
+      "chaos_failovers_missing",
+      static_cast<size_t>(
+          (chaos_kills_executed > 0 && chaos_stats.failovers_completed == 0)
+              ? 1
+              : 0));
 
   cluster.reset();
   std::filesystem::remove_all(base_dir);
-  return (reporter.Write() && converged) ? 0 : 1;
+  return (reporter.Write() && converged && chaos_converged) ? 0 : 1;
 }

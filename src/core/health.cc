@@ -31,7 +31,7 @@ bool HealthSnapshot::degraded() const {
     if (g->limit != 0 && g->utilization() >= 0.9) return true;
   }
   for (const ShardHealth& s : shards) {
-    if (!s.alive || s.degraded) return true;
+    if (!s.alive || s.suspect || s.degraded) return true;
   }
   return false;
 }
@@ -63,13 +63,21 @@ std::string HealthSnapshot::ToString() const {
       char line[256];
       std::snprintf(line, sizeof(line),
                     "  shard %-4zu %-5s sessions=%zu buffered_bytes=%zu "
-                    "ship_lag=%zu seg (%zu B) breakers_open=%zu%s\n",
+                    "ship_lag=%zu seg (%zu B) breakers_open=%zu epoch=%zu%s%s\n",
                     s.shard_id, s.alive ? "up" : "DOWN", s.live_sessions,
                     s.buffered_bytes, s.wal_ship_lag_segments,
-                    s.wal_ship_lag_bytes, s.breakers_open,
+                    s.wal_ship_lag_bytes, s.breakers_open, s.failover_epoch,
+                    s.suspect ? " SUSPECT" : "",
                     s.degraded ? " DEGRADED" : "");
       out += line;
     }
+    char heal[192];
+    std::snprintf(heal, sizeof(heal),
+                  "failover: completed=%zu aborted=%zu feeds_retried=%zu "
+                  "feeds_recovered=%zu\n",
+                  failovers_completed, failovers_aborted, feeds_retried,
+                  feeds_recovered);
+    out += heal;
   }
   out += "budgets:\n";
   AppendGauge(&out, "sessions", sessions);

@@ -48,6 +48,14 @@ struct ShardHealth {
   // standby directory — the replication lag a failover would lose.
   size_t wal_ship_lag_segments = 0;
   size_t wal_ship_lag_bytes = 0;
+  // Failure-detector view (filled by shard::ShardCluster::Health when
+  // a detector is running): the shard has missed enough consecutive
+  // probes to be suspect but not yet enough to be declared dead.
+  bool suspect = false;
+  size_t consecutive_probe_failures = 0;
+  // How many times this shard slot has been promoted onto its standby
+  // (0 = still serving from its original durable directory).
+  size_t failover_epoch = 0;
   // Circuit breakers currently not closed on this shard's pipeline.
   size_t breakers_open = 0;
   // The shard's own snapshot reported degraded().
@@ -80,9 +88,16 @@ struct HealthSnapshot {
   // Watchdog force-cancels (when a watchdog is attached).
   size_t watchdog_force_cancels = 0;
 
+  // Self-healing counters (cluster-level snapshots only): standby
+  // promotions and the retrying router's recovery ledger.
+  size_t failovers_completed = 0;
+  size_t failovers_aborted = 0;
+  size_t feeds_retried = 0;
+  size_t feeds_recovered = 0;
+
   // True when any breaker is open/half-open, any budget is >= 90%
-  // utilized, or any shard in the rollup is dead or degraded — the
-  // cheap "should I stop sending traffic here" bit.
+  // utilized, or any shard in the rollup is dead, suspect, or
+  // degraded — the cheap "should I stop sending traffic here" bit.
   bool degraded() const;
 
   // Multi-line human-readable rendering.

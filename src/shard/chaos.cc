@@ -1,0 +1,106 @@
+#include "shard/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace semitri::shard {
+
+const char* ChaosKindName(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kKill:
+      return "kill";
+    case ChaosKind::kMigrate:
+      return "migrate";
+    case ChaosKind::kSealShip:
+      return "seal_ship";
+    case ChaosKind::kShipFault:
+      return "ship_fault";
+  }
+  return "unknown";
+}
+
+ChaosSchedule ChaosSchedule::Generate(const ChaosScheduleConfig& config) {
+  ChaosSchedule schedule;
+  if (config.num_steps < 4 || config.num_shards == 0 ||
+      config.num_objects == 0) {
+    return schedule;
+  }
+  common::Rng rng(config.seed);
+  // Kills live in the middle 80% of the run, spaced so each incident
+  // heals before the next begins.
+  size_t lo = std::max<size_t>(1, config.num_steps / 10);
+  size_t hi = config.num_steps - std::max<size_t>(1, config.num_steps / 10);
+  size_t spacing = std::max<size_t>(1, config.min_kill_spacing);
+  size_t step = lo;
+  for (size_t k = 0; k < config.kills && step < hi; ++k) {
+    // Jitter within the slot keeps different seeds genuinely different
+    // while preserving the spacing guarantee.
+    size_t jitter =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                  spacing / 2)));
+    size_t at = std::min(step + jitter, hi - 1);
+    ChaosEvent event;
+    event.kind = ChaosKind::kKill;
+    event.at_step = at;
+    event.shard = static_cast<ShardId>(
+        rng.UniformInt(0, static_cast<int64_t>(config.num_shards) - 1));
+    schedule.events_.push_back(event);
+    step = at + spacing;
+  }
+  auto sprinkle = [&](ChaosKind kind, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      ChaosEvent event;
+      event.kind = kind;
+      event.at_step = static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(lo),
+                         static_cast<int64_t>(hi) - 1));
+      event.shard = static_cast<ShardId>(
+          rng.UniformInt(0, static_cast<int64_t>(config.num_shards) - 1));
+      event.object_index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(config.num_objects) - 1));
+      schedule.events_.push_back(event);
+    }
+  };
+  sprinkle(ChaosKind::kMigrate, config.migrations);
+  sprinkle(ChaosKind::kSealShip, config.seal_ships);
+  sprinkle(ChaosKind::kShipFault, config.ship_faults);
+  std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at_step < b.at_step;
+                   });
+  return schedule;
+}
+
+std::vector<ChaosEvent> ChaosSchedule::EventsAt(size_t step) const {
+  std::vector<ChaosEvent> due;
+  for (const ChaosEvent& event : events_) {
+    if (event.at_step == step) due.push_back(event);
+    if (event.at_step > step) break;
+  }
+  return due;
+}
+
+size_t ChaosSchedule::CountOf(ChaosKind kind) const {
+  size_t n = 0;
+  for (const ChaosEvent& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string ChaosSchedule::ToString() const {
+  std::string out;
+  for (const ChaosEvent& event : events_) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "  step %-5zu %-10s shard=%zu object_index=%zu\n",
+                  event.at_step, ChaosKindName(event.kind), event.shard,
+                  event.object_index);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace semitri::shard

@@ -1,5 +1,6 @@
 #include "shard/cluster.h"
 
+#include <filesystem>
 #include <string>
 #include <utility>
 
@@ -10,6 +11,36 @@
 namespace semitri::shard {
 
 namespace {
+
+// What a promotion abandons with the old primary directory: sealed
+// segments the standby never (fully) received, and the active WAL
+// tail. This is the bounded loss the self-healing ledger reports.
+struct AbandonedLoss {
+  size_t segments = 0;
+  size_t tail_bytes = 0;
+};
+
+AbandonedLoss ScanAbandonedLoss(const std::string& primary_dir,
+                                const std::string& standby_dir) {
+  namespace fs = std::filesystem;
+  AbandonedLoss loss;
+  std::error_code ec;
+  for (const std::string& name :
+       store::SemanticTrajectoryStore::ListSealedWalSegments(primary_dir)) {
+    uintmax_t src_size = fs::file_size(primary_dir + "/" + name, ec);
+    if (ec) {
+      ec.clear();
+      src_size = 0;
+    }
+    uintmax_t dst_size = fs::file_size(standby_dir + "/" + name, ec);
+    bool shipped = !ec && dst_size == src_size;
+    ec.clear();
+    if (!shipped) ++loss.segments;
+  }
+  uintmax_t tail = fs::file_size(primary_dir + "/wal.log", ec);
+  if (!ec) loss.tail_bytes = static_cast<size_t>(tail);
+  return loss;
+}
 
 ShardRuntimeConfig MakeShardConfig(const ShardClusterConfig& cluster,
                                    ShardId shard) {
@@ -37,7 +68,11 @@ ShardCluster::ShardCluster(const region::RegionSet* regions,
       pois_(pois),
       clock_(clock),
       config_(std::move(config)),
-      ring_(config_.ring) {}
+      ring_(config_.ring) {
+  detector_ = std::make_unique<FailureDetector>(config_.detector, clock_);
+  feed_retry_policy_ = common::RetryPolicy(config_.feed_retry, clock_);
+  retry_feeds_enabled_ = config_.retry_feeds;
+}
 
 common::Result<std::unique_ptr<ShardCluster>> ShardCluster::Open(
     const region::RegionSet* regions, const road::RoadNetwork* roads,
@@ -55,6 +90,7 @@ common::Result<std::unique_ptr<ShardCluster>> ShardCluster::Open(
     SEMITRI_RETURN_IF_ERROR(runtime.status());
     cluster->shard_configs_.push_back(std::move(shard_config));
     cluster->runtimes_.emplace_back(std::move(runtime.value()));
+    cluster->failover_epochs_.push_back(0);
     cluster->ring_.AddShard(i);
   }
   return cluster;
@@ -75,21 +111,55 @@ std::shared_ptr<ShardRuntime> ShardCluster::RouteLocked(
 }
 
 common::Result<stream::AnnotationSession::FeedResult> ShardCluster::Feed(
-    core::ObjectId object_id, const core::GpsPoint& fix) {
-  std::shared_ptr<ShardRuntime> runtime;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    runtime = RouteLocked(object_id);
-    if (runtime == nullptr) {
-      ++feeds_rejected_dead_shard_;
-      return common::Status::Unavailable("owning shard is down");
+    core::ObjectId object_id, const core::GpsPoint& fix,
+    const common::ExecControl* exec) {
+  common::Result<stream::AnnotationSession::FeedResult> result =
+      common::Status::Unavailable("feed not attempted");
+  auto attempt = [&]() -> common::Status {
+    std::shared_ptr<ShardRuntime> runtime;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      runtime = RouteLocked(object_id);
+      if (runtime == nullptr) {
+        ++feeds_rejected_dead_shard_;
+        result = common::Status::Unavailable("owning shard is down");
+        return result.status();
+      }
     }
+    // Outside the cluster lock: feeds for objects on other shards (and
+    // other objects of this shard) proceed in parallel; the runtime's
+    // own manager/store synchronize internally. An in-flight feed
+    // keeps the runtime alive across a concurrent KillShard/Failover
+    // via the shared_ptr.
+    result = runtime->Feed(object_id, fix);
+    return result.status();
+  };
+  if (!retry_feeds_enabled_) {
+    // semitri-lint: allow(unchecked-status) — `result` carries the
+    // attempt's status to the caller.
+    (void)attempt();
+    return result;
   }
-  // Outside the cluster lock: feeds for objects on other shards (and
-  // other objects of this shard) proceed in parallel; the runtime's
-  // own manager/store synchronize internally. An in-flight feed keeps
-  // the runtime alive across a concurrent KillShard via the shared_ptr.
-  return runtime->Feed(object_id, fix);
+  common::RetryPolicy::Outcome outcome = feed_retry_policy_.Run(
+      attempt, exec, static_cast<uint64_t>(object_id),
+      // A feed waiting out a backoff is the cluster's idle moment:
+      // drive detection (and auto-failover) forward so the next
+      // attempt has a promoted runtime to land on. Under a FakeClock
+      // the backoff sleep advances time, which is what schedules the
+      // next probe — one retrying feed walks the whole
+      // detect -> declare -> promote -> recover chain.
+      [this]() {
+        // semitri-lint: allow(unchecked-status) — best-effort tick;
+        // the retry outcome carries the feed's own status.
+        (void)Tick();
+      });
+  if (outcome.attempts > 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++feeds_retried_;
+    if (outcome.recovered) ++feeds_recovered_;
+  }
+  SEMITRI_RETURN_IF_ERROR(outcome.status);
+  return result;
 }
 
 common::Status ShardCluster::CloseObject(core::ObjectId object_id) {
@@ -210,6 +280,7 @@ common::Result<size_t> ShardCluster::AddShard() {
   SEMITRI_RETURN_IF_ERROR(runtime.status());
   shard_configs_.push_back(std::move(shard_config));
   runtimes_.emplace_back(std::move(runtime.value()));
+  failover_epochs_.push_back(0);
   ring_.AddShard(id);
   return RebalanceLocked();
 }
@@ -284,7 +355,129 @@ common::Status ShardCluster::RestartShard(ShardId shard) {
   SEMITRI_RETURN_IF_ERROR(runtime.status());
   runtimes_[shard] = std::move(runtime.value());
   ++shard_restarts_;
+  // The replacement starts with a clean probe streak: a restart is an
+  // operator-visible recovery just like a promotion.
+  detector_->Forget(shard);
   return common::Status::OK();
+}
+
+common::Result<size_t> ShardCluster::Tick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<bool> probe_ok(runtimes_.size(), false);
+  for (ShardId id = 0; id < runtimes_.size(); ++id) {
+    // The in-process probe: is the runtime slot occupied? (Process
+    // isolation makes this "did the worker answer" in tools/shardd;
+    // richer signals arrive via ObserveHealth.)
+    probe_ok[id] = runtimes_[id] != nullptr;
+  }
+  return TickLocked(probe_ok);
+}
+
+common::Result<size_t> ShardCluster::ObserveHealth(
+    const core::HealthSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<bool> probe_ok(runtimes_.size(), false);
+  for (const core::ShardHealth& s : snapshot.shards) {
+    if (s.shard_id < probe_ok.size()) probe_ok[s.shard_id] = s.alive;
+  }
+  return TickLocked(probe_ok);
+}
+
+common::Result<size_t> ShardCluster::TickLocked(
+    const std::vector<bool>& probe_ok) {
+  size_t failovers = 0;
+  common::Status first = common::Status::OK();
+  for (ShardId id = 0; id < runtimes_.size(); ++id) {
+    if (!detector_->ProbeDue(id)) continue;
+    bool ok = id < probe_ok.size() && probe_ok[id];
+    bool was_dead = detector_->StateOf(id) == Liveness::kDead;
+    Liveness state = detector_->Observe(id, ok);
+    if (state != Liveness::kDead) continue;
+    bool newly_dead = !was_dead;
+    if (newly_dead) {
+      time_to_detect_seconds_.push_back(
+          detector_->observation(id).last_time_to_detect_seconds);
+    }
+    if (!config_.auto_failover) continue;
+    // Promote on the declaration edge, and keep re-trying on later
+    // ticks while the shard stays declared dead with no runtime (a
+    // failed promotion must not wedge the slot forever).
+    if (!newly_dead && runtimes_[id] != nullptr) continue;
+    common::Status promoted = FailoverLocked(id);
+    if (promoted.ok()) {
+      ++failovers;
+    } else if (first.ok()) {
+      first = promoted;
+    }
+  }
+  SEMITRI_RETURN_IF_ERROR(first);
+  return failovers;
+}
+
+common::Status ShardCluster::FailoverShard(ShardId shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FailoverLocked(shard);
+}
+
+common::Status ShardCluster::FailoverLocked(ShardId shard) {
+  if (shard >= runtimes_.size()) {
+    return common::Status::InvalidArgument("no such shard");
+  }
+  const ShardRuntimeConfig& current = shard_configs_[shard];
+  if (current.standby_dir.empty()) {
+    return common::Status::FailedPrecondition(
+        "shard has no standby to promote (ship_wal disabled)");
+  }
+  int64_t started_nanos = cluster_clock()->NowNanos();
+  if (runtimes_[shard] != nullptr) {
+    // Fence: a promotion must never leave two writers for one
+    // placement. A false-positive detection drops a live runtime here
+    // — its unflushed work joins the ledgered loss, and the durable
+    // directory it abandons stays on disk untouched.
+    runtimes_[shard].reset();
+    ++shards_fenced_;
+  }
+  if (SEMITRI_FAULT_FIRE("failover_promote") != common::FaultAction::kNone) {
+    // Crash between fence and promote: the shard is down with both
+    // directories intact — retry the failover, or RestartShard from
+    // the old primary. Either path leaves exactly one recoverable
+    // owner per object.
+    ++failovers_aborted_;
+    return common::Status::Unavailable("injected failover promote failure");
+  }
+  AbandonedLoss loss =
+      ScanAbandonedLoss(current.durable_dir, current.standby_dir);
+  ShardRuntimeConfig promoted = current;
+  promoted.durable_dir = current.standby_dir;
+  size_t epoch = failover_epochs_[shard] + 1;
+  promoted.standby_dir = config_.base_dir + "/standby-" +
+                         std::to_string(shard) + "-e" + std::to_string(epoch);
+  // Opening the promoted runtime recovers the shipped segments and
+  // restores the shipped manager checkpoint: sessions resume
+  // mid-stream at the replication point, rejecting re-fed fixes they
+  // already consumed.
+  auto runtime = ShardRuntime::Open(regions_, roads_, pois_, promoted, clock_);
+  if (!runtime.ok()) {
+    // Directories unchanged; the failover can be retried.
+    ++failovers_aborted_;
+    return runtime.status();
+  }
+  shard_configs_[shard] = std::move(promoted);
+  runtimes_[shard] = std::move(runtime.value());
+  failover_epochs_[shard] = epoch;
+  ++failovers_completed_;
+  failover_lost_segments_ += loss.segments;
+  failover_lost_tail_bytes_ += loss.tail_bytes;
+  time_to_failover_seconds_.push_back(
+      static_cast<double>(cluster_clock()->NowNanos() - started_nanos) *
+      1e-9);
+  detector_->Forget(shard);
+  return common::Status::OK();
+}
+
+Liveness ShardCluster::ShardLiveness(ShardId shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return detector_->StateOf(shard);
 }
 
 common::Status ShardCluster::CheckpointShard(ShardId shard) {
@@ -315,6 +508,7 @@ common::Result<WalShipper::ShipStats> ShardCluster::SealAndShipAll() {
     SEMITRI_RETURN_IF_ERROR(shipped.status());
     total.segments_shipped += shipped->segments_shipped;
     total.bytes_shipped += shipped->bytes_shipped;
+    total.reshipped_corrupt_segments += shipped->reshipped_corrupt_segments;
   }
   return total;
 }
@@ -322,15 +516,21 @@ common::Result<WalShipper::ShipStats> ShardCluster::SealAndShipAll() {
 core::HealthSnapshot ShardCluster::Health() const {
   std::lock_guard<std::mutex> lock(mutex_);
   core::HealthSnapshot out;
+  out.failovers_completed = failovers_completed_;
+  out.failovers_aborted = failovers_aborted_;
+  out.feeds_retried = feeds_retried_;
+  out.feeds_recovered = feeds_recovered_;
   for (ShardId id = 0; id < runtimes_.size(); ++id) {
     if (runtimes_[id] == nullptr) {
       core::ShardHealth dead;
       dead.shard_id = id;
       dead.alive = false;
+      FillDetectorHealth(id, &dead);
       out.shards.push_back(dead);
       continue;
     }
     out.shards.push_back(runtimes_[id]->ShardHealthInfo());
+    FillDetectorHealth(id, &out.shards.back());
     core::HealthSnapshot shard = runtimes_[id]->Health();
     out.sessions.used += shard.sessions.used;
     out.sessions.limit += shard.sessions.limit;
@@ -350,6 +550,15 @@ core::HealthSnapshot ShardCluster::Health() const {
   return out;
 }
 
+void ShardCluster::FillDetectorHealth(ShardId shard,
+                                      core::ShardHealth* health) const {
+  FailureDetector::ShardObservation obs = detector_->observation(shard);
+  health->suspect = obs.state == Liveness::kSuspect;
+  health->consecutive_probe_failures = obs.consecutive_failures;
+  health->failover_epoch =
+      shard < failover_epochs_.size() ? failover_epochs_[shard] : 0;
+}
+
 ShardCluster::Stats ShardCluster::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats out;
@@ -358,6 +567,16 @@ ShardCluster::Stats ShardCluster::stats() const {
   out.shard_kills = shard_kills_;
   out.shard_restarts = shard_restarts_;
   out.feeds_rejected_dead_shard = feeds_rejected_dead_shard_;
+  out.failovers_completed = failovers_completed_;
+  out.failovers_aborted = failovers_aborted_;
+  out.shards_fenced = shards_fenced_;
+  out.detector_deaths_declared = detector_->deaths_declared();
+  out.feeds_retried = feeds_retried_;
+  out.feeds_recovered = feeds_recovered_;
+  out.failover_lost_segments = failover_lost_segments_;
+  out.failover_lost_tail_bytes = failover_lost_tail_bytes_;
+  out.time_to_detect_seconds = time_to_detect_seconds_;
+  out.time_to_failover_seconds = time_to_failover_seconds_;
   return out;
 }
 

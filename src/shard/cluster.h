@@ -50,12 +50,36 @@
 // merge; tests compare it ContentEquals against an uninterrupted
 // single-process run.
 //
+// --- self-healing -----------------------------------------------------
+// A FailureDetector (probed from Tick() or an external HealthSnapshot
+// via ObserveHealth) walks dead runtime slots through alive -> suspect
+// -> dead; with auto_failover, a death declaration triggers
+// FailoverShard: the standby directory — shipped sealed segments plus
+// the shipped manager-checkpoint sidecar — is promoted to the shard's
+// new durable directory, a replacement runtime opens on it (sessions
+// resume mid-stream from the shipped checkpoint), and the old primary
+// directory is abandoned. Placements are untouched (the same ShardId
+// keeps serving), so routing heals the moment promotion completes.
+// What promotion loses is bounded and ledgered in stats(): sealed-but-
+// unshipped segments and the active WAL tail, i.e. everything after
+// the last successful Checkpoint() ship. Drivers recover it exactly
+// like after RestartShard — re-feed from the last acked checkpoint;
+// restored sessions reject the already-consumed prefix per-fix, so
+// at-least-once re-delivery is idempotent.
+//
+// With retry_feeds, Feed() consults a common::RetryPolicy instead of
+// hard-failing on a dead shard: each backoff first drives Tick() (the
+// waiting feed is the cluster's idle moment), so under a FakeClock a
+// single retrying Feed deterministically advances detection, triggers
+// the auto-failover, and recovers — the rejected-vs-retried-vs-
+// recovered split lands in stats().
+//
 // Thread safety: Feed() may be called from many threads (objects on
 // different shards proceed in parallel; the cluster lock is held only
 // to route). Control-plane calls (migrate, rebalance, kill, restart,
-// checkpoint) serialize on the cluster lock. Feeds for an object must
-// be quiesced while that object migrates — the standard drain
-// contract, enforced by callers.
+// failover, tick, checkpoint) serialize on the cluster lock. Feeds for
+// an object must be quiesced while that object migrates — the standard
+// drain contract, enforced by callers.
 
 #include <cstddef>
 #include <map>
@@ -65,10 +89,12 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/health.h"
 #include "core/types.h"
+#include "shard/failure_detector.h"
 #include "shard/ring.h"
 #include "shard/shard_runtime.h"
 
@@ -86,6 +112,18 @@ struct ShardClusterConfig {
   stream::SessionManagerConfig manager;
   core::PipelineConfig pipeline;
   bool sync_every_put = false;
+
+  // --- self-healing ---------------------------------------------------
+  FailureDetectorConfig detector;
+  // Tick() / ObserveHealth promote the standby automatically once the
+  // detector declares a shard dead (requires ship_wal for a standby to
+  // exist). Off by default: tests of manual kill/restart semantics
+  // keep their dead shards dead.
+  bool auto_failover = false;
+  // Feed() retries transient failures per feed_retry (ticking the
+  // detector before each backoff) instead of failing fast.
+  bool retry_feeds = false;
+  common::RetryPolicyConfig feed_retry;
 };
 
 class ShardCluster {
@@ -100,10 +138,15 @@ class ShardCluster {
 
   // --- data plane -----------------------------------------------------
 
-  // Routes one fix to the owning shard. Unavailable when that shard is
-  // killed and not yet restarted (counted in stats).
+  // Routes one fix to the owning shard. Without retry_feeds:
+  // Unavailable when that shard is killed and not yet restarted
+  // (counted in stats). With retry_feeds: transient failures back off
+  // and retry per feed_retry — each backoff ticks the detector, so a
+  // feed caught in a failover rides it out and recovers. `exec` bounds
+  // the retries (deadline/cancel); null = unbounded.
   [[nodiscard]] common::Result<stream::AnnotationSession::FeedResult> Feed(
-      core::ObjectId object_id, const core::GpsPoint& fix);
+      core::ObjectId object_id, const core::GpsPoint& fix,
+      const common::ExecControl* exec = nullptr);
 
   // Flushing close on the owning shard (stream end for one object).
   [[nodiscard]] common::Status CloseObject(core::ObjectId object_id);
@@ -153,6 +196,38 @@ class ShardCluster {
   [[nodiscard]] common::Status RestartShard(ShardId shard)
       SEMITRI_EXCLUDES(mutex_);
 
+  // --- self-healing ---------------------------------------------------
+
+  // One detector pass: probes every shard slot that is due
+  // (FailureDetectorConfig::probe_interval_seconds), walks suspicion
+  // state, and — with auto_failover — promotes the standby of every
+  // shard newly declared dead. Returns failovers performed this tick.
+  [[nodiscard]] common::Result<size_t> Tick() SEMITRI_EXCLUDES(mutex_);
+
+  // Same pass, but probe results come from an externally produced
+  // rollup (e.g. a supervisor probing worker processes): each
+  // ShardHealth row's alive bit is one observation for that shard.
+  [[nodiscard]] common::Result<size_t> ObserveHealth(
+      const core::HealthSnapshot& snapshot) SEMITRI_EXCLUDES(mutex_);
+
+  // Promotes the shard's standby directory (shipped sealed segments +
+  // shipped manager checkpoint) to its new durable directory and opens
+  // a replacement runtime on it; a fresh epoch-suffixed standby
+  // directory takes over as the ship target. Any still-live runtime is
+  // fenced first (a false-positive detection must not leave two
+  // writers). The loss is bounded by replication lag — sealed-but-
+  // unshipped segments plus the active WAL tail — and ledgered in
+  // stats(); drivers re-feed from their last acked checkpoint exactly
+  // as after RestartShard. FailedPrecondition without a standby
+  // (ship_wal=false). Fault site `failover_promote`; on any failure
+  // the shard stays down with its pre-failover directories intact, so
+  // the failover (or a restart) can be retried.
+  [[nodiscard]] common::Status FailoverShard(ShardId shard)
+      SEMITRI_EXCLUDES(mutex_);
+
+  // Detector state for one shard (kAlive for unknown ids).
+  Liveness ShardLiveness(ShardId shard) const SEMITRI_EXCLUDES(mutex_);
+
   // --- durability -----------------------------------------------------
 
   [[nodiscard]] common::Status CheckpointShard(ShardId shard)
@@ -173,8 +248,31 @@ class ShardCluster {
     size_t migrations_aborted = 0;
     size_t shard_kills = 0;
     size_t shard_restarts = 0;
-    // Feeds turned away because the owning shard was down.
+    // Feed attempts turned away because the owning shard was down.
+    // With retry_feeds every failed attempt counts, so this reads as
+    // attempt pressure; feeds_recovered below says how many of those
+    // feeds ultimately landed anyway.
     size_t feeds_rejected_dead_shard = 0;
+    // --- self-healing ledger ------------------------------------------
+    size_t failovers_completed = 0;
+    size_t failovers_aborted = 0;
+    // Live runtimes dropped by a (false-positive) failover's fence.
+    size_t shards_fenced = 0;
+    size_t detector_deaths_declared = 0;
+    // Feeds that performed at least one retry / that then succeeded.
+    size_t feeds_retried = 0;
+    size_t feeds_recovered = 0;
+    // Bounded loss accepted by promotions: sealed-but-unshipped
+    // segments and active-tail bytes abandoned with the old primary
+    // directory — the replication-lag budget that
+    // `lost_acknowledged_fixes` convergence accounting charges re-fed
+    // drivers against.
+    size_t failover_lost_segments = 0;
+    size_t failover_lost_tail_bytes = 0;
+    // Per-event latency samples (seconds): first failed probe ->
+    // death declaration, and failover start -> promoted runtime open.
+    std::vector<double> time_to_detect_seconds;
+    std::vector<double> time_to_failover_seconds;
   };
   Stats stats() const SEMITRI_EXCLUDES(mutex_);
 
@@ -211,6 +309,18 @@ class ShardCluster {
       SEMITRI_REQUIRES(mutex_);
   [[nodiscard]] common::Result<size_t> RebalanceLocked()
       SEMITRI_REQUIRES(mutex_);
+  [[nodiscard]] common::Status FailoverLocked(ShardId shard)
+      SEMITRI_REQUIRES(mutex_);
+  // Observes one probe result per due shard (probe_ok[i] for shard i;
+  // ids beyond the vector probe as dead) and auto-fails-over newly
+  // declared deaths. Returns failovers performed.
+  [[nodiscard]] common::Result<size_t> TickLocked(
+      const std::vector<bool>& probe_ok) SEMITRI_REQUIRES(mutex_);
+  const common::Clock* cluster_clock() const {
+    return clock_ != nullptr ? clock_ : common::Clock::Real();
+  }
+  void FillDetectorHealth(ShardId shard, core::ShardHealth* health) const
+      SEMITRI_REQUIRES(mutex_);
 
   const region::RegionSet* regions_;
   const road::RoadNetwork* roads_;
@@ -234,6 +344,30 @@ class ShardCluster {
   size_t shard_kills_ SEMITRI_GUARDED_BY(mutex_) = 0;
   size_t shard_restarts_ SEMITRI_GUARDED_BY(mutex_) = 0;
   size_t feeds_rejected_dead_shard_ SEMITRI_GUARDED_BY(mutex_) = 0;
+
+  // --- self-healing state ---------------------------------------------
+  std::unique_ptr<FailureDetector> detector_ SEMITRI_GUARDED_BY(mutex_);
+  // Promotions per shard slot — names each epoch's standby directory.
+  std::vector<size_t> failover_epochs_ SEMITRI_GUARDED_BY(mutex_);
+  size_t failovers_completed_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t failovers_aborted_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t shards_fenced_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t feeds_retried_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t feeds_recovered_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t failover_lost_segments_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  size_t failover_lost_tail_bytes_ SEMITRI_GUARDED_BY(mutex_) = 0;
+  std::vector<double> time_to_detect_seconds_ SEMITRI_GUARDED_BY(mutex_);
+  std::vector<double> time_to_failover_seconds_ SEMITRI_GUARDED_BY(mutex_);
+  // Immutable after construction: the retrying Feed path reads it
+  // without the cluster lock because backoff sleeps must not hold it.
+  // semitri-lint: allow(guarded-by-completeness) — written only in the
+  // constructor, then read-only; Run() sleeps outside the lock.
+  common::RetryPolicy feed_retry_policy_;
+  // Also immutable after construction; the lock-free Feed fast path
+  // branches on it before deciding whether to take the retry loop.
+  // semitri-lint: allow(guarded-by-completeness) — set once in the
+  // constructor from config_, never written again.
+  bool retry_feeds_enabled_ = false;
 };
 
 }  // namespace semitri::shard

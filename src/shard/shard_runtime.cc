@@ -50,6 +50,13 @@ common::Result<std::unique_ptr<ShardRuntime>> ShardRuntime::Open(
 }
 
 common::Status ShardRuntime::Checkpoint() {
+  // The manager checkpoint lands before the seal so that what ships is
+  // ordered "ckpt <= WAL": the standby's store always holds at least
+  // every row the shipped session state says was consumed. (The
+  // reverse order could ship cursors pointing past rows stranded in
+  // the unsealed tail — a silent loss a promotion would inherit.)
+  SEMITRI_RETURN_IF_ERROR(
+      manager_->Checkpoint(ManagerCheckpointPath(config_.durable_dir)));
   if (shipper_ != nullptr) {
     // Seal + ship before a later CompactStore() garbage-collects the
     // segments. A ship failure is replication lag (surfaced via
@@ -57,12 +64,15 @@ common::Status ShardRuntime::Checkpoint() {
     // durability does not depend on the standby.
     auto sealed = store_->SealWalSegment();
     SEMITRI_RETURN_IF_ERROR(sealed.status());
-    if (auto shipped = shipper_->ShipSealedSegments(); !shipped.ok()) {
-      // Lag reported by CurrentLag(); the segments stay for retry.
+    if (auto shipped = shipper_->ShipSealedSegments(); shipped.ok()) {
+      // Replicate the session/resume-cursor sidecar so a promoted
+      // standby resumes its streams mid-flight. Same contract as
+      // segments: failure is lag, not a failed ack.
+      // semitri-lint: allow(unchecked-status) — sidecar ship failure
+      // is replication lag by design; the primary's ack stands.
+      (void)shipper_->ShipSidecarFile(kManagerCheckpointFile);
     }
   }
-  SEMITRI_RETURN_IF_ERROR(
-      manager_->Checkpoint(ManagerCheckpointPath(config_.durable_dir)));
   return store_->Sync();
 }
 

@@ -125,6 +125,8 @@ class ShardRuntime {
   store::SemanticTrajectoryStore* store() { return store_.get(); }
   const store::SemanticTrajectoryStore* store() const { return store_.get(); }
   stream::SessionManager* manager() { return manager_.get(); }
+  // Null when the shard runs without a standby (ship_wal=false).
+  const WalShipper* shipper() const { return shipper_.get(); }
   // What Open() found on disk.
   const store::SemanticTrajectoryStore::RecoveryStats& recovery_stats()
       const {
@@ -132,8 +134,9 @@ class ShardRuntime {
   }
   bool manager_restored() const { return manager_restored_; }
 
+  static constexpr const char* kManagerCheckpointFile = "manager.ckpt";
   static std::string ManagerCheckpointPath(const std::string& durable_dir) {
-    return durable_dir + "/manager.ckpt";
+    return durable_dir + "/" + kManagerCheckpointFile;
   }
 
  private:

@@ -12,6 +12,7 @@
 
 #include "common/fault_injection.h"
 #include "store/semantic_trajectory_store.h"
+#include "store/wal.h"
 
 namespace semitri::shard {
 
@@ -61,6 +62,19 @@ size_t FileSize(const std::string& path) {
   return ec ? 0 : static_cast<size_t>(size);
 }
 
+// CRC frame scan: true iff every frame in the copy is intact to the
+// end of the file. A sealed segment is a cleanly closed WAL, so any
+// torn tail in the *copy* means the copy is corrupt.
+bool SegmentIntact(const std::string& path) {
+  auto scanned = store::ReplayWal(
+      path,
+      [](store::WalRecordType, std::string_view) {
+        return common::Status::OK();
+      },
+      /*truncate_torn_tail=*/false);
+  return scanned.ok() && scanned->torn_bytes_truncated == 0;
+}
+
 }  // namespace
 
 WalShipper::WalShipper(std::string source_dir, std::string standby_dir)
@@ -93,15 +107,46 @@ common::Result<WalShipper::ShipStats> WalShipper::ShipSealedSegments() {
     std::string dst = standby_dir_ + "/" + name;
     size_t size = FileSize(src);
     // Sealed segments are immutable, so same-name-same-size means
-    // already shipped.
-    if (fs::exists(dst, ec) && FileSize(dst) == size) continue;
+    // already shipped — but only once the copy's CRC frames check out
+    // (a prior crash or bit rot can leave a same-size corrupt copy).
+    if (fs::exists(dst, ec) && FileSize(dst) == size) {
+      if (verified_.count(name) != 0) continue;
+      if (SegmentIntact(dst)) {
+        verified_.insert(name);
+        continue;
+      }
+      ++stats.reshipped_corrupt_segments;
+      // Fall through and ship over the corrupt copy.
+    }
     SEMITRI_RETURN_IF_ERROR(CopyAtomic(src, dst));
+    verified_.insert(name);
     ++stats.segments_shipped;
     stats.bytes_shipped += size;
   }
   total_segments_ += stats.segments_shipped;
   total_bytes_ += stats.bytes_shipped;
+  total_reshipped_ += stats.reshipped_corrupt_segments;
   return stats;
+}
+
+common::Status WalShipper::ShipSidecarFile(const std::string& filename) {
+  if (dead_) {
+    return common::Status::IoError("wal shipper dead after simulated crash");
+  }
+  std::string src = source_dir_ + "/" + filename;
+  std::error_code ec;
+  if (!fs::exists(src, ec)) {
+    return common::Status::NotFound("no sidecar " + src);
+  }
+  fs::create_directories(standby_dir_, ec);
+  if (ec) {
+    return common::Status::IoError("cannot create standby " + standby_dir_);
+  }
+  // Sidecars mutate in place (the manager checkpoint is rewritten every
+  // Checkpoint()), so no skip check: always copy.
+  SEMITRI_RETURN_IF_ERROR(CopyAtomic(src, standby_dir_ + "/" + filename));
+  ++total_sidecars_;
+  return common::Status::OK();
 }
 
 WalShipper::Lag WalShipper::CurrentLag() const {

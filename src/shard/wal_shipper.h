@@ -5,26 +5,45 @@
 // WAL segments (SemanticTrajectoryStore::SealWalSegment) to a standby
 // directory. A standby rebuilt purely from shipped segments via
 // SemanticTrajectoryStore::Recover converges to the primary's state as
-// of the last shipped seal — the replication point a failover restores
-// from. Shipping is pull-free and idempotent: a segment already
-// present in the standby (same name, same size) is skipped, and each
-// copy lands via write-to-tmp + fsync + rename, so a crash mid-ship
-// never leaves a torn segment under a sealed name.
+// of the last shipped seal — the replication point
+// ShardCluster::FailoverShard promotes. Shipping is pull-free and
+// idempotent: a segment already present in the standby (same name,
+// same size, CRC frame scan intact) is skipped, and each copy lands
+// via write-to-tmp + fsync + rename, so a crash mid-ship never leaves
+// a torn segment under a sealed name.
 //
-// What the standby can lose: the active (unsealed) log tail and any
-// sealed-but-unshipped segments — exactly what CurrentLag() reports
-// and core::ShardHealth surfaces as WAL-ship lag. The primary's
+// Same-name-same-size alone is not proof of a good copy — a prior ship
+// interrupted after rename, bit rot, or a hostile test can leave a
+// same-size corrupt standby file that a pure metadata check would
+// accept forever. Every standby segment is therefore verified once per
+// shipper lifetime by replaying its CRC frames (store::ReplayWal with
+// a no-op apply); a corrupt copy is re-shipped and counted in
+// reshipped_corrupt_segments. Verified names are cached in memory, so
+// steady-state re-ships stay metadata-cheap; a re-opened shipper
+// (post-crash) re-verifies once.
+//
+// Beyond segments, the shipper also replicates the manager checkpoint
+// sidecar (ShipManagerCheckpoint): the session/resume-cursor state a
+// promoted standby needs to resume streams mid-flight. The sidecar
+// mutates in place, so it is always copied, never skip-checked.
+//
+// What the standby can lose: the active (unsealed) log tail, any
+// sealed-but-unshipped segments, and manager state newer than the last
+// shipped checkpoint — exactly what CurrentLag() reports and
+// core::ShardHealth surfaces as WAL-ship lag. The primary's
 // Checkpoint() garbage-collects sealed segments, so runtimes ship
-// *before* checkpointing (shard::ShardRuntime does) or accept the gap.
+// *before* compacting (shard::ShardRuntime does) or accept the gap.
 //
 // Fault site (SEMITRI_FAULT_INJECTION=ON): `wal_ship` — kFail: the
 // ship reports an error and no segment is renamed into place (retry
-// later); kCrash: the shipper goes dead like a crashed process.
+// later); kCrash: the shipper goes dead like a crashed process (the
+// sidecar ship shares the dead state).
 //
 // Not internally synchronized; the owning ShardRuntime serializes
 // control-plane calls.
 
 #include <cstddef>
+#include <set>
 #include <string>
 
 #include "common/status.h"
@@ -40,12 +59,21 @@ class WalShipper {
   struct ShipStats {
     size_t segments_shipped = 0;
     size_t bytes_shipped = 0;
+    // Standby copies that matched by name+size but failed the CRC
+    // frame scan and were shipped again.
+    size_t reshipped_corrupt_segments = 0;
   };
 
-  // Copies every sealed segment the standby is missing, ascending by
-  // sequence. On error, segments already renamed into place stay —
-  // re-shipping resumes where it stopped.
+  // Copies every sealed segment the standby is missing (or holds a
+  // corrupt copy of), ascending by sequence. On error, segments
+  // already renamed into place stay — re-shipping resumes where it
+  // stopped.
   [[nodiscard]] common::Result<ShipStats> ShipSealedSegments();
+
+  // Copies `filename` (relative to the source dir, e.g. the manager
+  // checkpoint) into the standby atomically. NotFound when the source
+  // file does not exist yet.
+  [[nodiscard]] common::Status ShipSidecarFile(const std::string& filename);
 
   struct Lag {
     size_t segments = 0;
@@ -57,6 +85,8 @@ class WalShipper {
 
   size_t total_segments_shipped() const { return total_segments_; }
   size_t total_bytes_shipped() const { return total_bytes_; }
+  size_t total_reshipped_corrupt() const { return total_reshipped_; }
+  size_t total_sidecars_shipped() const { return total_sidecars_; }
   // True after an injected crash; later ships fail like writes to a
   // dead process.
   bool dead() const { return dead_; }
@@ -68,6 +98,11 @@ class WalShipper {
   std::string standby_dir_;
   size_t total_segments_ = 0;
   size_t total_bytes_ = 0;
+  size_t total_reshipped_ = 0;
+  size_t total_sidecars_ = 0;
+  // Standby segment names whose CRC scan passed (or that this shipper
+  // itself wrote) — immutable once verified.
+  std::set<std::string> verified_;
   bool dead_ = false;
 };
 

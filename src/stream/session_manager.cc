@@ -636,6 +636,9 @@ common::Status SessionManager::Restore(const std::string& path) {
                               std::memory_order_relaxed);
     activity_.Touch(object_id, now);
   }
+  sessions_restored_.store(static_cast<size_t>(live),
+                           std::memory_order_relaxed);
+  resume_cursors_restored_.store(resume.size(), std::memory_order_relaxed);
   if (!r.AtEnd()) {
     return common::Status::Corruption("trailing bytes in checkpoint");
   }
@@ -744,6 +747,9 @@ SessionManager::Stats SessionManager::stats() const {
       admission_deferred_.load(std::memory_order_relaxed);
   out.admission_timeouts =
       admission_timeouts_.load(std::memory_order_relaxed);
+  out.sessions_restored = sessions_restored_.load(std::memory_order_relaxed);
+  out.resume_cursors_restored =
+      resume_cursors_restored_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -193,6 +193,13 @@ class SessionManager {
     size_t admission_deferred = 0;
     // ...and how many of those gave up at the deadline.
     size_t admission_timeouts = 0;
+    // --- checkpoint restore (re-adoption after restart/failover) ------
+    // What the most recent Restore() rebuilt: live sessions resumed
+    // mid-stream, and idle objects whose trajectory-id cursors came
+    // back (both reject already-consumed re-fed fixes per-fix). Zero
+    // until a Restore runs.
+    size_t sessions_restored = 0;
+    size_t resume_cursors_restored = 0;
   };
   // Aggregated over live and evicted sessions.
   Stats stats() const;
@@ -347,6 +354,9 @@ class SessionManager {
   // the session consumed the fix, and rolls back on rejection).
   std::atomic<size_t> live_sessions_{0};
   std::atomic<int64_t> buffered_fixes_{0};
+  // What the most recent Restore() rebuilt (see Stats).
+  std::atomic<size_t> sessions_restored_{0};
+  std::atomic<size_t> resume_cursors_restored_{0};
 
   // Overload decision counters (monotonic).
   std::atomic<size_t> sessions_shed_{0};

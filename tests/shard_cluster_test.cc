@@ -15,12 +15,15 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/fault_injection.h"
 #include "core/pipeline.h"
 #include "datagen/presets.h"
@@ -187,6 +190,49 @@ class ShardClusterFixture : public ::testing::Test {
       longest = std::max(longest, t.points.size());
     }
     return longest;
+  }
+
+  static size_t ShortestTrack(const datagen::Dataset& dataset) {
+    size_t shortest = dataset.tracks.front().points.size();
+    for (const datagen::SimulatedTrack& t : dataset.tracks) {
+      shortest = std::min(shortest, t.points.size());
+    }
+    return shortest;
+  }
+
+  // Drives the cluster to a clean replication point: checkpoint (which
+  // seals, ships, and replicates the manager sidecar), ship any
+  // residue, then assert zero lag — a standby promoted after this ack
+  // sits exactly at it, so re-fed prefixes are rejected per-fix.
+  void AckAll(ShardCluster* cluster) {
+    ASSERT_TRUE(cluster->CheckpointAll().ok());
+    auto shipped = cluster->SealAndShipAll();
+    ASSERT_TRUE(shipped.ok()) << shipped.status().ToString();
+    for (size_t i = 0; i < cluster->num_shards(); ++i) {
+      std::shared_ptr<ShardRuntime> runtime = cluster->runtime(i);
+      if (runtime == nullptr) continue;
+      EXPECT_EQ(runtime->ShardHealthInfo().wal_ship_lag_segments, 0u)
+          << "shard " << i << " still lagging after the ack";
+    }
+  }
+
+  // Two shards, probe every tick, dead after three consecutive
+  // failures, automatic standby promotion.
+  ShardClusterConfig SelfHealingConfig(const std::string& name) {
+    ShardClusterConfig config = ClusterConfig(name, 2);
+    config.detector.probe_interval_seconds = 0.0;
+    config.detector.suspect_after = 1;
+    config.detector.dead_after = 3;
+    config.auto_failover = true;
+    return config;
+  }
+
+  std::unique_ptr<ShardCluster> OpenWith(ShardClusterConfig config,
+                                         const common::Clock* clock) {
+    auto cluster = ShardCluster::Open(&world_->regions, &world_->roads,
+                                      &world_->pois, std::move(config), clock);
+    EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+    return std::move(cluster.value());
   }
 
   void ExpectConverged(const ShardCluster& cluster,
@@ -520,6 +566,472 @@ TEST_F(ShardClusterFixture, ReopenedClusterRecoversAllShards) {
   FeedRange(cluster.get(), dataset, longest / 2, longest);
   ASSERT_TRUE(cluster->CloseAll().ok());
   ExpectConverged(*cluster, *reference, "reopen");
+}
+
+// --- failure detection -----------------------------------------------
+
+TEST(FailureDetectorTest, WalksSuspectToDeadAndMeasuresTimeToDetect) {
+  common::FakeClock clock;
+  FailureDetectorConfig config;
+  config.probe_interval_seconds = 0.0;
+  config.suspect_after = 1;
+  config.dead_after = 3;
+  FailureDetector detector(config, &clock);
+
+  EXPECT_EQ(detector.StateOf(7), Liveness::kAlive);  // never probed
+  EXPECT_EQ(detector.Observe(0, true), Liveness::kAlive);
+  EXPECT_EQ(detector.Observe(0, false), Liveness::kSuspect);
+  clock.Advance(0.25);
+  EXPECT_EQ(detector.Observe(0, false), Liveness::kSuspect);
+  clock.Advance(0.25);
+  EXPECT_EQ(detector.Observe(0, false), Liveness::kDead);
+  EXPECT_EQ(detector.deaths_declared(), 1u);
+
+  FailureDetector::ShardObservation obs = detector.observation(0);
+  EXPECT_EQ(obs.consecutive_failures, 3u);
+  EXPECT_EQ(obs.deaths_declared, 1u);
+  // First failed probe to declaration: the two 0.25 s advances.
+  EXPECT_NEAR(obs.last_time_to_detect_seconds, 0.5, 1e-9);
+}
+
+TEST(FailureDetectorTest, SuccessResetsTheStreakBeforeDeath) {
+  FailureDetectorConfig config;
+  config.suspect_after = 1;
+  config.dead_after = 3;
+  FailureDetector detector(config);
+  EXPECT_EQ(detector.Observe(0, false), Liveness::kSuspect);
+  EXPECT_EQ(detector.Observe(0, false), Liveness::kSuspect);
+  // A flap short of dead_after clears everything.
+  EXPECT_EQ(detector.Observe(0, true), Liveness::kAlive);
+  EXPECT_EQ(detector.observation(0).consecutive_failures, 0u);
+  EXPECT_EQ(detector.Observe(0, false), Liveness::kSuspect);
+  EXPECT_EQ(detector.deaths_declared(), 0u);
+}
+
+TEST(FailureDetectorTest, DeadIsStickyUntilForgotten) {
+  FailureDetectorConfig config;
+  config.suspect_after = 1;
+  config.dead_after = 2;
+  FailureDetector detector(config);
+  EXPECT_EQ(detector.Observe(3, false), Liveness::kSuspect);
+  EXPECT_EQ(detector.Observe(3, false), Liveness::kDead);
+  // One good probe must not cancel a failover already in flight.
+  EXPECT_EQ(detector.Observe(3, true), Liveness::kDead);
+  EXPECT_EQ(detector.deaths_declared(), 1u);
+
+  detector.Forget(3);
+  EXPECT_EQ(detector.StateOf(3), Liveness::kAlive);
+  EXPECT_EQ(detector.observation(3).consecutive_failures, 0u);
+  // Lifetime counters survive the reset, and a fresh walk re-declares.
+  EXPECT_EQ(detector.observation(3).deaths_declared, 1u);
+  EXPECT_EQ(detector.Observe(3, false), Liveness::kSuspect);
+  EXPECT_EQ(detector.Observe(3, false), Liveness::kDead);
+  EXPECT_EQ(detector.deaths_declared(), 2u);
+}
+
+TEST(FailureDetectorTest, ProbePacingHonorsTheInterval) {
+  common::FakeClock clock;
+  FailureDetectorConfig config;
+  config.probe_interval_seconds = 0.5;
+  FailureDetector detector(config, &clock);
+
+  EXPECT_TRUE(detector.ProbeDue(0));  // never probed: always due
+  (void)detector.Observe(0, true);
+  EXPECT_FALSE(detector.ProbeDue(0));
+  clock.Advance(0.3);
+  EXPECT_FALSE(detector.ProbeDue(0));
+  clock.Advance(0.3);
+  EXPECT_TRUE(detector.ProbeDue(0));
+}
+
+// --- failover ---------------------------------------------------------
+
+// The headline self-healing contract: kill a shard, let the detector
+// walk it to dead, and the automatic promotion brings the standby up
+// at the last ack — after re-feeding from that ack the cluster still
+// converges to the uninterrupted run.
+TEST_F(ShardClusterFixture, FailoverPromotesStandbyAndConverges) {
+  datagen::Dataset dataset = factory_->NokiaPeople(2, 1);
+  auto reference = ReferenceStore(dataset);
+  common::FakeClock clock;
+  auto cluster = OpenWith(SelfHealingConfig("semitri_shard_failover"), &clock);
+  size_t shortest = ShortestTrack(dataset);
+  size_t acked = shortest / 2;
+  size_t killed_at = shortest * 3 / 4;
+
+  FeedRange(cluster.get(), dataset, 0, acked);
+  AckAll(cluster.get());
+  // Unacked tail: everything past the ack is the replication lag a
+  // promotion is allowed to lose.
+  FeedRange(cluster.get(), dataset, acked, killed_at);
+
+  ShardId victim = cluster->OwnerOf(dataset.tracks.front().object_id);
+  ASSERT_TRUE(cluster->KillShard(victim).ok());
+
+  // Three failed probes walk the slot through suspect to dead; the
+  // declaring tick promotes in the same pass.
+  auto tick1 = cluster->Tick();
+  ASSERT_TRUE(tick1.ok()) << tick1.status().ToString();
+  EXPECT_EQ(*tick1, 0u);
+  EXPECT_EQ(cluster->ShardLiveness(victim), Liveness::kSuspect);
+  clock.Advance(0.1);
+  auto tick2 = cluster->Tick();
+  ASSERT_TRUE(tick2.ok());
+  EXPECT_EQ(*tick2, 0u);
+  clock.Advance(0.1);
+  auto tick3 = cluster->Tick();
+  ASSERT_TRUE(tick3.ok());
+  EXPECT_EQ(*tick3, 1u);
+  // Forget() after promotion: the replacement starts with a clean
+  // streak.
+  EXPECT_EQ(cluster->ShardLiveness(victim), Liveness::kAlive);
+
+  ShardCluster::Stats stats = cluster->stats();
+  EXPECT_EQ(stats.failovers_completed, 1u);
+  EXPECT_EQ(stats.detector_deaths_declared, 1u);
+  ASSERT_EQ(stats.time_to_detect_seconds.size(), 1u);
+  EXPECT_NEAR(stats.time_to_detect_seconds[0], 0.2, 1e-9);
+  EXPECT_EQ(stats.time_to_failover_seconds.size(), 1u);
+
+  // The promoted runtime restored the shipped manager checkpoint, and
+  // routing is untouched: the same shard id serves.
+  std::shared_ptr<ShardRuntime> promoted = cluster->runtime(victim);
+  ASSERT_NE(promoted, nullptr);
+  EXPECT_TRUE(promoted->manager_restored());
+  EXPECT_EQ(cluster->OwnerOf(dataset.tracks.front().object_id), victim);
+  std::vector<ShardId> owners =
+      cluster->LiveSessionShards(dataset.tracks.front().object_id);
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(owners[0], victim);
+
+  // Re-feed the victims from the ack (the restored sessions reject the
+  // consumed prefix per-fix); survivors continue where they stopped.
+  for (const datagen::SimulatedTrack& track : dataset.tracks) {
+    size_t from =
+        cluster->OwnerOf(track.object_id) == victim ? acked : killed_at;
+    for (size_t k = from; k < track.points.size(); ++k) {
+      auto fed = cluster->Feed(track.object_id, track.points[k]);
+      ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+    }
+  }
+  ASSERT_TRUE(cluster->CloseAll().ok());
+  ExpectConverged(*cluster, *reference, "failover");
+}
+
+TEST_F(ShardClusterFixture, FailoverWithoutStandbyIsFailedPrecondition) {
+  ShardClusterConfig config = ClusterConfig("semitri_shard_nostandby", 2);
+  config.ship_wal = false;
+  auto cluster = OpenWith(std::move(config), nullptr);
+  common::Status status = cluster->FailoverShard(0);
+  EXPECT_EQ(status.code(), common::StatusCode::kFailedPrecondition);
+  // The precondition is checked before the fence: the live runtime
+  // survives the refused promotion.
+  EXPECT_NE(cluster->runtime(0), nullptr);
+  EXPECT_EQ(cluster->stats().shards_fenced, 0u);
+  ASSERT_TRUE(cluster->CloseAll().ok());
+}
+
+// --- retrying data plane ---------------------------------------------
+
+// A single retrying Feed to a dead shard rides out the whole detect ->
+// declare -> promote -> recover arc: each backoff ticks the detector,
+// so the waiting feed is what drives its own healing.
+TEST_F(ShardClusterFixture, RetryingFeedRidesOutAutoFailover) {
+  datagen::Dataset dataset = factory_->NokiaPeople(2, 1);
+  auto reference = ReferenceStore(dataset);
+  common::FakeClock clock;
+  ShardClusterConfig config = SelfHealingConfig("semitri_shard_retryfeed");
+  config.retry_feeds = true;
+  config.feed_retry.max_attempts = 8;
+  config.feed_retry.initial_backoff_seconds = 0.001;
+  config.feed_retry.jitter_fraction = 0.0;
+  auto cluster = OpenWith(std::move(config), &clock);
+  size_t acked = ShortestTrack(dataset) / 2;
+
+  FeedRange(cluster.get(), dataset, 0, acked);
+  AckAll(cluster.get());
+  const datagen::SimulatedTrack& victim_track = dataset.tracks.front();
+  ShardId victim = cluster->OwnerOf(victim_track.object_id);
+  ASSERT_TRUE(cluster->KillShard(victim).ok());
+
+  // No manual Tick(): the feed's own backoffs advance detection until
+  // the promotion lands, then the next attempt succeeds.
+  auto fed = cluster->Feed(victim_track.object_id, victim_track.points[acked]);
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+  EXPECT_TRUE(fed->accepted) << "first fix past the ack must be fresh";
+
+  ShardCluster::Stats stats = cluster->stats();
+  EXPECT_EQ(stats.failovers_completed, 1u);
+  EXPECT_GE(stats.feeds_retried, 1u);
+  EXPECT_GE(stats.feeds_recovered, 1u);
+  // Every failed attempt counted: three probes' worth before death.
+  EXPECT_GE(stats.feeds_rejected_dead_shard, 3u);
+
+  for (const datagen::SimulatedTrack& track : dataset.tracks) {
+    size_t from =
+        track.object_id == victim_track.object_id ? acked + 1 : acked;
+    for (size_t k = from; k < track.points.size(); ++k) {
+      auto rest = cluster->Feed(track.object_id, track.points[k]);
+      ASSERT_TRUE(rest.ok()) << rest.status().ToString();
+    }
+  }
+  ASSERT_TRUE(cluster->CloseAll().ok());
+  ExpectConverged(*cluster, *reference, "retrying feed");
+}
+
+// TSan target: concurrent feeds during a kill-plus-auto-failover either
+// retry to success or fail cleanly — no feed ever touches a dead
+// runtime, and the merged state still converges.
+TEST_F(ShardClusterFixture, ConcurrentFeedsSurviveKillAndAutoFailover) {
+  datagen::Dataset dataset = factory_->MilanPrivateCars(3, 1);
+  auto reference = ReferenceStore(dataset);
+  common::FakeClock clock;
+  ShardClusterConfig config = SelfHealingConfig("semitri_shard_feedrace");
+  config.retry_feeds = true;
+  config.feed_retry.max_attempts = 10;
+  config.feed_retry.initial_backoff_seconds = 0.001;
+  auto cluster = OpenWith(std::move(config), &clock);
+  size_t acked = ShortestTrack(dataset) / 2;
+
+  FeedRange(cluster.get(), dataset, 0, acked);
+  AckAll(cluster.get());
+  ShardId victim = cluster->OwnerOf(dataset.tracks.front().object_id);
+  // Kill before the feeders start: a feed acknowledged past the ack
+  // and then lost would otherwise let a later fix slip in after a gap,
+  // which restored sessions accept (divergent segmentation).
+  ASSERT_TRUE(cluster->KillShard(victim).ok());
+
+  // One feeder per object streams the remainder in order. Feeders
+  // whose object sits on the dead shard block inside the retry loop —
+  // and their backoff ticks are exactly what detects the death and
+  // promotes the standby, while the other feeders stream on.
+  std::vector<std::thread> feeders;
+  feeders.reserve(dataset.tracks.size());
+  for (const datagen::SimulatedTrack& track : dataset.tracks) {
+    feeders.emplace_back([&cluster, &track, acked]() {
+      for (size_t k = acked; k < track.points.size(); ++k) {
+        auto fed = cluster->Feed(track.object_id, track.points[k]);
+        EXPECT_TRUE(fed.ok()) << "object " << track.object_id << " fix " << k
+                              << ": " << fed.status().ToString();
+        if (!fed.ok()) return;
+      }
+    });
+  }
+  for (std::thread& feeder : feeders) feeder.join();
+
+  ShardCluster::Stats stats = cluster->stats();
+  EXPECT_EQ(stats.failovers_completed, 1u);
+  EXPECT_GE(stats.feeds_recovered, 1u);
+  ASSERT_TRUE(cluster->CloseAll().ok());
+  ExpectConverged(*cluster, *reference, "concurrent feeds over failover");
+}
+
+// --- standby corruption ----------------------------------------------
+
+// Same-name-same-size is not proof of a good copy: a corrupted standby
+// segment must fail the CRC frame scan of a freshly opened shipper and
+// be shipped again.
+TEST_F(ShardClusterFixture, CorruptStandbySegmentIsReshippedAfterReopen) {
+  datagen::Dataset dataset = factory_->NokiaPeople(1, 1);
+  auto cluster = OpenCluster("semitri_shard_corrupt", 1);
+  FeedRange(cluster.get(), dataset, 0, LongestTrack(dataset));
+  ASSERT_TRUE(cluster->CloseAll().ok());
+  auto shipped = cluster->SealAndShipAll();
+  ASSERT_TRUE(shipped.ok()) << shipped.status().ToString();
+  ASSERT_GT(shipped->segments_shipped, 0u);
+  EXPECT_EQ(shipped->reshipped_corrupt_segments, 0u);
+
+  // Flip one byte in the middle of a shipped standby segment — the
+  // size (and name) stay identical, so a metadata-only skip check
+  // would accept the corrupt copy forever.
+  std::string standby = cluster->runtime(0)->config().standby_dir;
+  std::string segment;
+  for (const auto& entry : fs::directory_iterator(standby)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0) {
+      segment = entry.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(segment.empty()) << "no shipped segment under " << standby;
+  const auto original_size = fs::file_size(segment);
+  {
+    std::fstream file(segment,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(static_cast<std::streamoff>(original_size / 2));
+    char byte = 0;
+    file.get(byte);
+    file.seekp(static_cast<std::streamoff>(original_size / 2));
+    file.put(static_cast<char>(byte ^ 0x5a));
+  }
+  ASSERT_EQ(fs::file_size(segment), original_size);
+
+  // Kill/restart gives the shard a fresh shipper whose verified-names
+  // cache is empty — the next ship re-scans every standby segment.
+  ASSERT_TRUE(cluster->KillShard(0).ok());
+  ASSERT_TRUE(cluster->RestartShard(0).ok());
+  std::shared_ptr<ShardRuntime> runtime = cluster->runtime(0);
+  ASSERT_NE(runtime, nullptr);
+
+  // New writes so the re-ship pass has fresh work alongside the repair.
+  auto existing = runtime->store()->ListTrajectories();
+  ASSERT_FALSE(existing.empty());
+  auto raw = runtime->store()->GetRawTrajectory(existing.front());
+  ASSERT_TRUE(raw.ok());
+  core::RawTrajectory extra = *raw;
+  extra.id = existing.back() + 1;
+  ASSERT_TRUE(runtime->store()->PutRawTrajectory(extra).ok());
+
+  auto reshipped = cluster->SealAndShipAll();
+  ASSERT_TRUE(reshipped.ok()) << reshipped.status().ToString();
+  EXPECT_GE(reshipped->reshipped_corrupt_segments, 1u);
+  ASSERT_NE(runtime->shipper(), nullptr);
+  EXPECT_GE(runtime->shipper()->total_reshipped_corrupt(), 1u);
+
+  // The healed standby rebuilds to the primary's state.
+  store::SemanticTrajectoryStore standby_store;
+  auto recovered = standby_store.Recover(standby);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(standby_store.ContentEquals(*runtime->store()))
+      << "standby diverged after the corrupt segment was re-shipped";
+}
+
+// --- failover fault sites --------------------------------------------
+
+// A fault at failover_promote lands after the fence: the shard stays
+// down with both directories intact, and the retried failover heals it.
+TEST_F(ShardClusterFixture, FailoverPromoteFaultAbortsCleanlyAndRetries) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  datagen::Dataset dataset = factory_->NokiaPeople(2, 1);
+  auto reference = ReferenceStore(dataset);
+  auto cluster = OpenCluster("semitri_shard_failover_fault", 2);
+  size_t acked = ShortestTrack(dataset) / 2;
+  FeedRange(cluster.get(), dataset, 0, acked);
+  AckAll(cluster.get());
+  ShardId victim = cluster->OwnerOf(dataset.tracks.front().object_id);
+  ASSERT_TRUE(cluster->KillShard(victim).ok());
+
+  common::FaultInjector& fi = common::FaultInjector::Global();
+  fi.Arm("failover_promote", common::FaultPolicy::FailOnce());
+  EXPECT_FALSE(cluster->FailoverShard(victim).ok());
+  fi.Disarm("failover_promote");
+  EXPECT_GE(cluster->stats().failovers_aborted, 1u);
+  EXPECT_EQ(cluster->runtime(victim), nullptr) << "half-promoted runtime";
+
+  // Both directories are untouched, so the retry promotes cleanly.
+  ASSERT_TRUE(cluster->FailoverShard(victim).ok());
+  EXPECT_EQ(cluster->stats().failovers_completed, 1u);
+  ASSERT_NE(cluster->runtime(victim), nullptr);
+
+  for (const datagen::SimulatedTrack& track : dataset.tracks) {
+    for (size_t k = acked; k < track.points.size(); ++k) {
+      auto fed = cluster->Feed(track.object_id, track.points[k]);
+      ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+    }
+  }
+  ASSERT_TRUE(cluster->CloseAll().ok());
+  ExpectConverged(*cluster, *reference, "failover_promote fault");
+}
+
+// A detector driven to a false positive (probes of healthy shards made
+// to fail) must fence the live runtime before promoting — one writer
+// per placement, exactly one live session owner, and convergence from
+// the ack afterwards.
+TEST_F(ShardClusterFixture, FalsePositiveDetectionFencesLiveRuntimes) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  datagen::Dataset dataset = factory_->NokiaPeople(2, 1);
+  auto reference = ReferenceStore(dataset);
+  common::FakeClock clock;
+  auto cluster = OpenWith(SelfHealingConfig("semitri_shard_falsepos"), &clock);
+  size_t acked = ShortestTrack(dataset) / 2;
+  FeedRange(cluster.get(), dataset, 0, acked);
+  AckAll(cluster.get());
+
+  common::FaultInjector& fi = common::FaultInjector::Global();
+  fi.Arm("detector_probe", common::FaultPolicy::FailAlways());
+  size_t failovers = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto ticked = cluster->Tick();
+    ASSERT_TRUE(ticked.ok()) << ticked.status().ToString();
+    failovers += *ticked;
+    clock.Advance(0.05);
+  }
+  fi.Disarm("detector_probe");
+
+  // Every (healthy) shard was declared dead and promoted; each
+  // promotion dropped a live runtime behind the fence.
+  EXPECT_EQ(failovers, 2u);
+  ShardCluster::Stats stats = cluster->stats();
+  EXPECT_EQ(stats.failovers_completed, 2u);
+  EXPECT_EQ(stats.shards_fenced, 2u);
+  EXPECT_EQ(stats.detector_deaths_declared, 2u);
+  for (size_t i = 0; i < cluster->num_shards(); ++i) {
+    std::shared_ptr<ShardRuntime> runtime = cluster->runtime(i);
+    ASSERT_NE(runtime, nullptr);
+    EXPECT_TRUE(runtime->manager_restored());
+  }
+  for (const datagen::SimulatedTrack& track : dataset.tracks) {
+    EXPECT_EQ(cluster->LiveSessionShards(track.object_id).size(), 1u)
+        << "object " << track.object_id;
+  }
+
+  // All promoted standbys sit at the ack: re-feed everyone from there.
+  for (const datagen::SimulatedTrack& track : dataset.tracks) {
+    for (size_t k = acked; k < track.points.size(); ++k) {
+      auto fed = cluster->Feed(track.object_id, track.points[k]);
+      ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+    }
+  }
+  ASSERT_TRUE(cluster->CloseAll().ok());
+  ExpectConverged(*cluster, *reference, "false-positive failover");
+}
+
+// Failover racing an aborted in-flight migration: after a handoff
+// fault rolls the session back to the source and the source then dies
+// and fails over, exactly one shard holds the recoverable session.
+TEST_F(ShardClusterFixture, FailoverAfterAbortedHandoffLeavesOneOwner) {
+  if (!common::FaultInjector::enabled()) {
+    GTEST_SKIP() << "built without SEMITRI_FAULT_INJECTION";
+  }
+  datagen::Dataset dataset = factory_->NokiaPeople(2, 1);
+  auto reference = ReferenceStore(dataset);
+  auto cluster = OpenCluster("semitri_shard_handoff_failover", 2);
+  size_t acked = ShortestTrack(dataset) / 2;
+  FeedRange(cluster.get(), dataset, 0, acked);
+  AckAll(cluster.get());
+
+  const datagen::SimulatedTrack& victim = dataset.tracks.front();
+  ShardId src = cluster->OwnerOf(victim.object_id);
+  ShardId dest = (src + 1) % 2;
+  common::FaultInjector& fi = common::FaultInjector::Global();
+  fi.Arm("migration_handoff", common::FaultPolicy::FailOnce());
+  EXPECT_FALSE(cluster->MigrateObject(victim.object_id, dest).ok());
+  fi.Disarm("migration_handoff");
+  std::vector<ShardId> owners = cluster->LiveSessionShards(victim.object_id);
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_EQ(owners[0], src);
+
+  // The rolled-back source dies and its standby is promoted: the
+  // restored session (from the pre-migration ack) is the one owner.
+  ASSERT_TRUE(cluster->KillShard(src).ok());
+  ASSERT_TRUE(cluster->FailoverShard(src).ok());
+  owners = cluster->LiveSessionShards(victim.object_id);
+  ASSERT_EQ(owners.size(), 1u) << "session lost or duplicated";
+  EXPECT_EQ(owners[0], src);
+
+  for (const datagen::SimulatedTrack& track : dataset.tracks) {
+    for (size_t k = acked; k < track.points.size(); ++k) {
+      auto fed = cluster->Feed(track.object_id, track.points[k]);
+      ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+    }
+  }
+  ASSERT_TRUE(cluster->CloseAll().ok());
+  ExpectConverged(*cluster, *reference, "failover after aborted handoff");
 }
 
 }  // namespace

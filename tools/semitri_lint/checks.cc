@@ -751,6 +751,31 @@ std::vector<Finding> FaultSitesImpl(const Corpus& corpus) {
            "registration implies kill-at-site coverage"});
     }
   }
+
+  // 5. Self-healing coverage is mandatory: while the failover/detector
+  // machinery exists, its fault sites must stay registered — even if a
+  // refactor routes the FIRE call through a computed name, which the
+  // literal extraction in step 1 cannot see. Each required site is
+  // tied to the file that owns it; the requirement applies while that
+  // file is in the corpus.
+  struct RequiredSite {
+    const char* site;
+    const char* owner;
+  };
+  static constexpr RequiredSite kRequiredSites[] = {
+      {"detector_probe", "src/shard/failure_detector.cc"},
+      {"failover_promote", "src/shard/cluster.cc"},
+  };
+  for (const RequiredSite& required : kRequiredSites) {
+    if (corpus.Find(required.owner) == nullptr) continue;
+    if (registry.find(required.site) == registry.end()) {
+      findings.push_back(
+          {kFaultSites, std::string(kRegistryPath), 1,
+           "required fault site `" + std::string(required.site) + "` (" +
+               required.owner + ") is missing from the registry — the "
+               "self-healing path must stay in the kill-at-site sweep"});
+    }
+  }
   return findings;
 }
 

@@ -34,8 +34,11 @@
 //                             registered in src/common/fault_sites.h,
 //                             which tests/recovery_test.cc asserts
 //                             against at runtime — so a new site cannot
-//                             land without kill-at-site coverage.
-//                             (PR 4)
+//                             land without kill-at-site coverage. The
+//                             self-healing sites (detector_probe,
+//                             failover_promote) are additionally
+//                             required entries while their owning
+//                             files exist. (PR 4, PR 9)
 //
 // Every finding honors the `// semitri-lint: allow(<check>) — reason`
 // suppression protocol (see lint_util.h).

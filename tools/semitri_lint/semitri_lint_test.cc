@@ -200,6 +200,20 @@ TEST(FaultSiteTest, PassesRegisteredPrefixAndSuppressed) {
   EXPECT_TRUE(CheckFaultSiteRegistry(corpus).empty());
 }
 
+TEST(FaultSiteTest, RequiresSelfHealingSitesWhileOwnerExists) {
+  // The owning file is present but fires nothing the extractor can see
+  // (the refactored-to-computed-name hazard); the registry lacks the
+  // required failover_promote entry, which must be a finding anyway.
+  Corpus corpus =
+      FaultCorpus("fault_sites_good.cc", "fault_sites_registry.h");
+  corpus.files.push_back(
+      LoadFixture("unchecked_status_good.cc", "src/shard/cluster.cc"));
+  std::vector<Finding> findings = CheckFaultSiteRegistry(corpus);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/common/fault_sites.h");
+  EXPECT_NE(findings[0].message.find("failover_promote"), std::string::npos);
+}
+
 TEST(RunChecksTest, UnknownCheckNameIsReported) {
   Corpus corpus;
   corpus.files.push_back(

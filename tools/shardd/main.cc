@@ -4,30 +4,45 @@
 //
 //   shardd --mode=supervise [--shards N] [--base-dir DIR]
 //          [--kill-shard K] [--checkpoint-every M] [--no-kill]
+//          [--max-restarts R] [--failover]
 //
 //     Generates a deterministic multi-object GPS workload, partitions
 //     it per shard with the same consistent-hash ring every worker
 //     would compute (shard/ring.h), writes one feed file per shard,
 //     and fork/execs one `--mode=worker` process per shard. Mid-run it
-//     SIGKILLs one worker after its first checkpoint and respawns it
-//     with --resume, exactly the crash the in-process
-//     ShardCluster::KillShard models. When every worker has exited it
-//     recovers each shard's durable directory into a scratch store,
-//     merges them, and compares ContentEquals against an uninterrupted
-//     in-process reference run of the same streams. Exit 0 = zero lost
-//     acknowledged fixes (and nothing extra); exit 1 = divergence.
+//     SIGKILLs one worker after its first checkpoint, exactly the
+//     crash the in-process ShardCluster::KillShard models.
+//
+//     Every abnormal worker exit — the scripted kill included — is
+//     healed by the supervision loop: the worker is respawned with
+//     --resume after a capped-exponential backoff (the
+//     common::RetryPolicy curve), at most --max-restarts times per
+//     shard. With --failover the scripted victim's primary directory
+//     is treated as lost instead: the supervisor promotes the standby
+//     (shipped sealed WAL segments + manager-checkpoint sidecar) to be
+//     the new durable directory, exactly like
+//     ShardCluster::FailoverShard, and the respawned worker re-feeds
+//     from the start of its feed — the promoted sessions reject the
+//     already-consumed prefix per-fix, so the at-least-once
+//     re-delivery converges.
+//
+//     When every worker has exited it recovers each shard's durable
+//     directory into a scratch store, merges them, and compares
+//     ContentEquals against an uninterrupted in-process reference run
+//     of the same streams. Exit 0 = zero lost acknowledged fixes (and
+//     nothing extra); exit 1 = divergence.
 //
 //   shardd --mode=worker --shard I --base-dir DIR --feed FILE
-//          [--checkpoint-every M] [--resume]
+//          [--checkpoint-every M] [--resume] [--standby-epoch E]
 //
 //     One shard: opens shard::ShardRuntime on DIR/shard-I (standby at
-//     DIR/standby-I), feeds the CSV fix stream ("object,time,x,y"),
-//     checkpoints every M feeds and then atomically records its
-//     progress (DIR/shard-I.progress) — the ack point a supervisor may
-//     re-feed from. With --resume it recovers the durable directory
-//     and skips the acked prefix; re-fed fixes the restored sessions
-//     already consumed are rejected as stale per-fix, so at-least-once
-//     redelivery is idempotent.
+//     DIR/standby-I, or DIR/standby-I-eE after E failovers), feeds the
+//     CSV fix stream ("object,time,x,y"), checkpoints every M feeds
+//     and then atomically records its progress (DIR/shard-I.progress)
+//     — the ack point a supervisor may re-feed from. With --resume it
+//     recovers the durable directory and skips the acked prefix;
+//     re-fed fixes the restored sessions already consumed are rejected
+//     as stale per-fix, so at-least-once redelivery is idempotent.
 //
 // The workload, world seed, and ring seed are compiled in: every
 // process derives the identical placement without coordination.
@@ -47,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/pipeline.h"
 #include "core/types.h"
@@ -84,6 +100,15 @@ struct Options {
   bool kill_shard_set = false;
   bool kill = true;
   int days = 4;
+  // Supervisor: respawn budget per shard for abnormal exits (the
+  // scripted kill spends one).
+  size_t max_restarts = 3;
+  // Supervisor: heal the scripted kill by promoting the victim's
+  // standby directory instead of restarting on the primary.
+  bool failover = false;
+  // Worker: failovers this shard has been through — names the standby
+  // directory, mirroring the cluster's standby-<i>-e<N> scheme.
+  size_t standby_epoch = 0;
 };
 
 datagen::World BuildWorld() {
@@ -155,6 +180,9 @@ int RunWorker(const Options& options) {
       options.base_dir + "/shard-" + std::to_string(options.shard);
   config.standby_dir =
       options.base_dir + "/standby-" + std::to_string(options.shard);
+  if (options.standby_epoch > 0) {
+    config.standby_dir += "-e" + std::to_string(options.standby_epoch);
+  }
   auto runtime = shard::ShardRuntime::Open(&world.regions, &world.roads,
                                            &world.pois, config);
   if (!runtime.ok()) {
@@ -199,11 +227,12 @@ int RunWorker(const Options& options) {
 // --- supervisor ------------------------------------------------------
 
 pid_t SpawnWorker(const char* self, const Options& options, size_t shard,
-                  bool resume) {
+                  bool resume, size_t standby_epoch) {
   pid_t pid = ::fork();
   if (pid != 0) return pid;
   std::string shard_arg = std::to_string(shard);
   std::string every_arg = std::to_string(options.checkpoint_every);
+  std::string epoch_arg = std::to_string(standby_epoch);
   std::string feed = FeedPath(options, shard);
   std::vector<const char*> argv = {self,
                                    "--mode=worker",
@@ -214,12 +243,42 @@ pid_t SpawnWorker(const char* self, const Options& options, size_t shard,
                                    "--feed",
                                    feed.c_str(),
                                    "--checkpoint-every",
-                                   every_arg.c_str()};
+                                   every_arg.c_str(),
+                                   "--standby-epoch",
+                                   epoch_arg.c_str()};
   if (resume) argv.push_back("--resume");
   argv.push_back(nullptr);
   ::execv(self, const_cast<char* const*>(argv.data()));
   std::perror("shardd: execv");
   std::_Exit(127);
+}
+
+// ShardCluster::FailoverShard at the directory level: the primary is
+// abandoned (renamed aside so post-mortems can read it) and the
+// shipped standby becomes the durable directory. The progress marker
+// is dropped with the primary — it may ack fixes the standby never
+// received, and at-least-once re-delivery from zero is always safe.
+bool PromoteStandby(const Options& options, size_t shard) {
+  fs::path primary =
+      fs::path(options.base_dir) / ("shard-" + std::to_string(shard));
+  fs::path standby =
+      fs::path(options.base_dir) / ("standby-" + std::to_string(shard));
+  std::error_code ec;
+  fs::rename(primary, fs::path(primary.string() + ".lost"), ec);
+  if (ec) {
+    std::fprintf(stderr, "shardd: cannot abandon %s: %s\n",
+                 primary.c_str(), ec.message().c_str());
+    return false;
+  }
+  fs::create_directories(standby, ec);  // an empty standby promotes too
+  fs::rename(standby, primary, ec);
+  if (ec) {
+    std::fprintf(stderr, "shardd: cannot promote %s: %s\n", standby.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  fs::remove(ProgressPath(options, shard), ec);
+  return true;
 }
 
 common::Status CopyAllRows(const store::SemanticTrajectoryStore& from,
@@ -312,35 +371,51 @@ int RunSupervisor(const char* self, const Options& options) {
 
   std::fprintf(stderr, "shardd: spawning %zu workers...\n", options.shards);
   std::vector<pid_t> workers(options.shards, -1);
+  std::vector<size_t> restarts(options.shards, 0);
+  std::vector<size_t> epochs(options.shards, 0);
   for (size_t s = 0; s < options.shards; ++s) {
-    workers[s] = SpawnWorker(self, options, s, /*resume=*/false);
+    workers[s] = SpawnWorker(self, options, s, /*resume=*/false,
+                             /*standby_epoch=*/0);
   }
+  size_t running = options.shards;
 
   bool killed = false;
+  bool workers_ok = true;
+  // Which shard the supervision loop should heal by standby promotion
+  // (rather than an in-place restart) when it dies.
+  size_t failover_shard = options.shards;
   if (options.kill && kill_shard < options.shards) {
     // Wait for the victim's first checkpointed ack, then SIGKILL it —
-    // everything acked by then must survive.
+    // everything acked by then must survive. The supervision loop
+    // below reaps the corpse and respawns it.
     std::string progress = ProgressPath(options, kill_shard);
     for (int spin = 0; spin < 20000; ++spin) {
       if (fs::exists(progress, ec)) break;
       int status = 0;
-      if (::waitpid(workers[kill_shard], &status, WNOHANG) != 0) {
-        break;  // finished before we could kill it
+      pid_t reaped = ::waitpid(workers[kill_shard], &status, WNOHANG);
+      if (reaped != 0) {
+        // Finished before we could kill it.
+        workers[kill_shard] = -1;
+        --running;
+        if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+          std::fprintf(stderr, "shardd: worker %zu failed (status %d)\n",
+                       kill_shard, status);
+          workers_ok = false;
+        }
+        break;
       }
       ::usleep(1000);
     }
-    int status = 0;
-    if (::waitpid(workers[kill_shard], &status, WNOHANG) == 0) {
+    if (workers[kill_shard] != -1) {
       ::kill(workers[kill_shard], SIGKILL);
-      ::waitpid(workers[kill_shard], &status, 0);
-      size_t acked = ReadProgress(progress);
-      std::fprintf(stderr,
-                   "shardd: killed worker %zu at acked progress %zu; "
-                   "respawning with --resume\n",
-                   kill_shard, acked);
       killed = true;
-      workers[kill_shard] =
-          SpawnWorker(self, options, kill_shard, /*resume=*/true);
+      if (options.failover) failover_shard = kill_shard;
+      std::fprintf(stderr,
+                   "shardd: killed worker %zu at acked progress %zu (%s "
+                   "will heal it)\n",
+                   kill_shard, ReadProgress(progress),
+                   options.failover ? "standby promotion"
+                                    : "restart with --resume");
     } else {
       std::fprintf(stderr,
                    "shardd: worker %zu finished before the kill window\n",
@@ -348,16 +423,60 @@ int RunSupervisor(const char* self, const Options& options) {
     }
   }
 
-  bool workers_ok = true;
-  for (size_t s = 0; s < options.shards; ++s) {
+  // Supervision loop: reap exits; clean ones retire the shard, crashes
+  // are healed — restart with --resume (or standby promotion for the
+  // scripted failover victim) after a capped-exponential backoff, at
+  // most max_restarts times per shard.
+  common::RetryPolicyConfig backoff_config;
+  backoff_config.max_attempts = options.max_restarts + 1;
+  backoff_config.initial_backoff_seconds = 0.05;
+  backoff_config.max_backoff_seconds = 1.0;
+  common::RetryPolicy backoff(backoff_config);
+  while (running > 0) {
     int status = 0;
-    ::waitpid(workers[s], &status, 0);
-    bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
-    if (!ok) {
-      std::fprintf(stderr, "shardd: worker %zu failed (status %d)\n", s,
-                   status);
-      workers_ok = false;
+    pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid <= 0) break;
+    size_t s = options.shards;
+    for (size_t i = 0; i < options.shards; ++i) {
+      if (workers[i] == pid) s = i;
     }
+    if (s == options.shards) continue;  // not one of ours
+    workers[s] = -1;
+    --running;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+    if (restarts[s] >= options.max_restarts) {
+      std::fprintf(stderr,
+                   "shardd: worker %zu failed (status %d), restart budget "
+                   "exhausted\n",
+                   s, status);
+      workers_ok = false;
+      continue;
+    }
+    double pause = backoff.BackoffSeconds(restarts[s], s);
+    ++restarts[s];
+    ::usleep(static_cast<useconds_t>(pause * 1e6));
+    bool promote = s == failover_shard;
+    if (promote) {
+      failover_shard = options.shards;  // promote once
+      if (!PromoteStandby(options, s)) {
+        workers_ok = false;
+        continue;
+      }
+      ++epochs[s];
+    }
+    std::fprintf(stderr,
+                 "shardd: worker %zu died (status %d); %s after %.0f ms "
+                 "backoff (restart %zu/%zu)\n",
+                 s, status,
+                 promote ? "promoting standby and re-feeding from zero"
+                         : "restarting with --resume",
+                 pause * 1e3, restarts[s], options.max_restarts);
+    // A promoted standby may predate the progress marker, so the
+    // failover respawn replays its whole feed; restored sessions
+    // reject the consumed prefix either way.
+    workers[s] = SpawnWorker(self, options, s, /*resume=*/!promote,
+                             /*standby_epoch=*/epochs[s]);
+    ++running;
   }
   if (!workers_ok) return 1;
 
@@ -415,6 +534,12 @@ int Run(int argc, char** argv) {
       options.kill_shard_set = true;
     } else if (arg == "--days") {
       options.days = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+    } else if (arg == "--max-restarts") {
+      options.max_restarts = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--standby-epoch") {
+      options.standby_epoch = std::strtoul(next().c_str(), nullptr, 10);
+    } else if (arg == "--failover") {
+      options.failover = true;
     } else if (arg == "--no-kill") {
       options.kill = false;
     } else if (arg == "--resume") {
