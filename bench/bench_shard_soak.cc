@@ -46,11 +46,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/env.h"
 #include "common/fault_injection.h"
 #include "core/pipeline.h"
 #include "datagen/presets.h"
 #include "shard/chaos.h"
 #include "shard/cluster.h"
+#include "store/integrity_scrubber.h"
 #include "store/semantic_trajectory_store.h"
 #include "stream/session_manager.h"
 
@@ -77,6 +79,18 @@ double Percentile(std::vector<double>* samples, double p) {
   std::nth_element(samples->begin(), samples->begin() + static_cast<long>(idx),
                    samples->end());
   return (*samples)[idx];
+}
+
+// Flips one byte in the middle of `path` in place (size unchanged) —
+// the silent bit-rot shape only a CRC walk can see.
+bool CorruptMiddleByte(const std::string& path) {
+  common::Env* env = common::Env::Default();
+  std::string data;
+  if (!env->ReadFileToString(path, &data).ok() || data.size() < 3) {
+    return false;
+  }
+  data[data.size() / 2] ^= 0x5A;
+  return env->WriteStringToFile(path, data, /*sync=*/true).ok();
 }
 
 }  // namespace
@@ -403,6 +417,15 @@ int main(int argc, char** argv) {
   size_t chaos_reshipped_corrupt = 0;
   double chaos_seconds = 0.0;
   shard::ShardCluster::Stats chaos_stats;
+  // Scrub-chaos leg: one shipped sealed segment gets a mid-soak bit
+  // flip; the shard's integrity scrubber must detect it and repair it
+  // from the standby copy without quarantining anything — and without
+  // disturbing the convergence gate.
+  bool scrub_planted = false;
+  size_t scrub_ticks_to_repair = 0;
+  size_t scrub_detected_delta = 0;
+  size_t scrub_repaired_delta = 0;
+  core::HealthSnapshot chaos_health;
   {
     std::filesystem::path chaos_dir =
         std::filesystem::temp_directory_path() /
@@ -518,6 +541,56 @@ int main(int argc, char** argv) {
             if (auto drained = chaos->SealAndShipAll(); !drained.ok()) {
               std::fprintf(stderr, "chaos seal+ship deferred: %s\n",
                            drained.status().ToString().c_str());
+              break;
+            }
+            if (scrub_planted) break;
+            // Bit-rot storm: flip a byte in the first sealed segment
+            // that has a shipped standby copy, then drive that shard's
+            // scrubber through one full walk. Detection + repair must
+            // land within the cycle; the repaired bytes keep the later
+            // failovers (and the convergence gate) exact.
+            for (size_t s = 0; s < chaos->num_shards() && !scrub_planted;
+                 ++s) {
+              auto runtime = chaos->runtime(static_cast<shard::ShardId>(s));
+              if (runtime == nullptr || runtime->scrubber() == nullptr) {
+                continue;
+              }
+              const std::string& durable = runtime->config().durable_dir;
+              const std::string& standby = runtime->config().standby_dir;
+              for (const std::string& name :
+                   store::SemanticTrajectoryStore::ListSealedWalSegments(
+                       durable)) {
+                if (!common::Env::Default()->FileExists(standby + "/" +
+                                                        name)) {
+                  continue;
+                }
+                if (!CorruptMiddleByte(durable + "/" + name)) continue;
+                scrub_planted = true;
+                const store::IntegrityScrubber::Counters before =
+                    runtime->scrubber()->counters();
+                // Two completed cycles bound "one full scrub cycle
+                // after the corruption": the walk in progress may have
+                // already passed the file.
+                while (runtime->scrubber()->counters().cycles_completed <
+                           before.cycles_completed + 2 &&
+                       scrub_ticks_to_repair < 64) {
+                  if (auto st = runtime->ScrubTick(); !st.ok()) {
+                    std::fprintf(stderr, "scrub tick failed: %s\n",
+                                 st.ToString().c_str());
+                    return 1;
+                  }
+                  ++scrub_ticks_to_repair;
+                  const store::IntegrityScrubber::Counters& now =
+                      runtime->scrubber()->counters();
+                  if (now.repaired > before.repaired) break;
+                }
+                const store::IntegrityScrubber::Counters after =
+                    runtime->scrubber()->counters();
+                scrub_detected_delta =
+                    after.corrupt_detected - before.corrupt_detected;
+                scrub_repaired_delta = after.repaired - before.repaired;
+                break;
+              }
             }
             break;
           }
@@ -600,6 +673,7 @@ int main(int argc, char** argv) {
     }
     chaos_converged = chaos_merged.ContentEquals(reference);
     chaos_stats = chaos->stats();
+    chaos_health = chaos->Health();
     for (size_t s = 0; s < chaos->num_shards(); ++s) {
       if (auto runtime = chaos->runtime(static_cast<shard::ShardId>(s));
           runtime != nullptr && runtime->shipper() != nullptr) {
@@ -645,6 +719,14 @@ int main(int argc, char** argv) {
               "abandoned; %zu corrupt standby copies re-shipped\n",
               chaos_stats.failover_lost_segments,
               chaos_stats.failover_lost_tail_bytes, chaos_reshipped_corrupt);
+  std::printf("chaos scrub:     %s; %zu scanned, %zu corrupt, %zu repaired, "
+              "%zu quarantined (%zu ticks to repair the planted rot)\n",
+              scrub_planted ? "1 sealed segment bit-flipped mid-soak"
+                            : "no shipped segment to corrupt",
+              chaos_health.scrub_files_scanned,
+              chaos_health.scrub_corrupt_detected,
+              chaos_health.scrub_repaired, chaos_health.scrub_quarantined,
+              scrub_ticks_to_repair);
   std::printf("chaos converge:  %s\n",
               chaos_converged ? "merged == uninterrupted reference"
                               : "DIVERGED (lost acknowledged fixes)");
@@ -700,6 +782,13 @@ int main(int argc, char** argv) {
   reporter.Metric("chaos_failover_lost_tail_bytes",
                   chaos_stats.failover_lost_tail_bytes);
   reporter.Metric("chaos_reshipped_corrupt_segments", chaos_reshipped_corrupt);
+  reporter.Metric("scrub_files_scanned", chaos_health.scrub_files_scanned);
+  reporter.Metric("scrub_corrupt_detected",
+                  chaos_health.scrub_corrupt_detected);
+  reporter.Metric("scrub_repaired", chaos_health.scrub_repaired);
+  reporter.Metric("scrub_cycles_completed",
+                  chaos_health.scrub_cycles_completed);
+  reporter.Metric("scrub_ticks_to_repair", scrub_ticks_to_repair);
   // The invariants that must hold in every run, smoke or full: nothing
   // acknowledged may be lost (in either pass), every sealed segment
   // must have shipped by the end, and a storm with kills must have
@@ -719,6 +808,20 @@ int main(int argc, char** argv) {
           (chaos_kills_executed > 0 && chaos_stats.failovers_completed == 0)
               ? 1
               : 0));
+  // Scrub-chaos gates: the bit flip must have been planted (a storm
+  // that never had a shipped segment to rot would quietly skip the
+  // whole leg), detected AND repaired within the driven cycle, with
+  // nothing quarantined — a quarantine here means the standby copy
+  // could not repair what it verifiably held.
+  reporter.GateZero("scrub_corruption_not_planted",
+                    static_cast<size_t>(scrub_planted ? 0 : 1));
+  reporter.GateZero("scrub_corruption_missed",
+                    static_cast<size_t>(
+                        (scrub_planted && scrub_detected_delta == 0) ? 1 : 0));
+  reporter.GateZero("scrub_corruption_unrepaired",
+                    static_cast<size_t>(
+                        (scrub_planted && scrub_repaired_delta == 0) ? 1 : 0));
+  reporter.GateZero("scrub_quarantined", chaos_health.scrub_quarantined);
 
   cluster.reset();
   std::filesystem::remove_all(base_dir);

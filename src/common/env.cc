@@ -1,0 +1,212 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace semitri::common {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// EINTR-looping full write.
+Status WriteAllFd(int fd, const char* data, size_t size,
+                  const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed:", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IoError("append on closed file " + path_);
+    return WriteAllFd(fd_, data.data(), data.size(), path_);
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IoError("sync on closed file " + path_);
+    if (::fsync(fd_) != 0) return Errno("fsync failed:", path_);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (fd_ < 0) return Status::IoError("truncate on closed file " + path_);
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("ftruncate failed:", path_);
+    }
+    if (::fsync(fd_) != 0) return Errno("fsync failed:", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close failed:", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    int flags = O_WRONLY | O_CREAT |
+                (mode == WriteMode::kTruncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("cannot open for write:", path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    out->clear();
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Errno("cannot open for read:", path);
+    }
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status st = Errno("read failed:", path);
+        ::close(fd);
+        return st;
+      }
+      if (n == 0) break;
+      out->append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status WriteStringToFile(const std::string& path, std::string_view data,
+                           bool sync) override {
+    auto file = NewWritableFile(path, WriteMode::kTruncate);
+    if (!file.ok()) return file.status();
+    SEMITRI_RETURN_IF_ERROR((*file)->Append(data));
+    if (sync) SEMITRI_RETURN_IF_ERROR((*file)->Sync());
+    return (*file)->Close();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename failed:", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Errno("cannot open dir for sync:", dir);
+    Status st;
+    if (::fsync(fd) != 0) st = Errno("dir fsync failed:", dir);
+    ::close(fd);
+    return st;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("unlink failed:", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create dir " + dir + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDirRecursive(const std::string& dir) override {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    if (ec) {
+      return Status::IoError("cannot remove dir " + dir + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      if (ec == std::errc::no_such_file_or_directory) return names;
+      return Status::IoError("cannot list dir " + dir + ": " + ec.message());
+    }
+    for (const auto& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  bool IsDirectory(const std::string& path) override {
+    std::error_code ec;
+    return fs::is_directory(path, ec);
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    uint64_t size = fs::file_size(path, ec);
+    if (ec) {
+      return Status::IoError("cannot stat " + path + ": " + ec.message());
+    }
+    return size;
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate failed:", path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // leaked singleton, never torn down
+  return env;
+}
+
+}  // namespace semitri::common

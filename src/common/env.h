@@ -1,0 +1,130 @@
+#ifndef SEMITRI_COMMON_ENV_H_
+#define SEMITRI_COMMON_ENV_H_
+
+// Filesystem abstraction for every durable-path file operation in the
+// library (the LevelDB/RocksDB Env idiom). All file I/O in src/ —
+// store WAL + checkpoints, shard segment shipping, streaming
+// checkpoints, world snapshots, export writers — goes through an Env
+// so that disk faults (ENOSPC, EIO, short writes, fsync failures, torn
+// renames) can be injected deterministically with the FaultFs
+// decorator (common/fault_fs.h) and every caller's error path is
+// testable without a real failing disk. tools/semitri_lint's
+// raw-filesystem check forbids raw ::open/std::ofstream/::fsync in
+// src/ outside common/env*.
+//
+// Error contract: every fallible operation returns Status (kIoError
+// for OS-level failures, kNotFound where the caller may legitimately
+// probe for absence). A WritableFile that has reported any Append /
+// Sync / Truncate failure makes NO durability promise about prior
+// writes: after a failed fsync the kernel may have dropped dirty pages
+// (fsyncgate), so callers must treat the file as suspect and recover
+// from the log, never retry-and-trust. The WAL writer enforces this by
+// poisoning itself (store/wal.h).
+//
+// Env::Default() returns a process-wide POSIX implementation; pass
+// null Env* config pointers to mean "the real filesystem".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace semitri::common {
+
+// A sequentially writable file. Not thread-safe; callers serialize.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  WritableFile() = default;
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  // Appends bytes at the current end of file.
+  [[nodiscard]] virtual Status Append(std::string_view data) = 0;
+
+  // Flushes everything appended so far to stable storage (fsync).
+  [[nodiscard]] virtual Status Sync() = 0;
+
+  // Truncates the file to `size` bytes and syncs the truncation
+  // (checkpoint compaction empties the WAL this way).
+  [[nodiscard]] virtual Status Truncate(uint64_t size) = 0;
+
+  // Closes the descriptor; idempotent. The destructor closes too, but
+  // silently — call Close() where the close error matters.
+  [[nodiscard]] virtual Status Close() = 0;
+};
+
+enum class WriteMode {
+  kTruncate,  // create or truncate to empty
+  kAppend,    // create if absent, append at end
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+  Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  // The process-wide POSIX filesystem.
+  static Env* Default();
+
+  [[nodiscard]] virtual Result<std::unique_ptr<WritableFile>>
+  NewWritableFile(const std::string& path, WriteMode mode) = 0;
+
+  // Reads the whole file into *out (replacing its contents). NotFound
+  // when the file does not exist — callers that treat a missing file
+  // as empty (WAL replay) branch on the code.
+  [[nodiscard]] virtual Status ReadFileToString(const std::string& path,
+                                                std::string* out) = 0;
+
+  // Writes `data` as the entire file contents (truncating), fsyncing
+  // before close when `sync` is set.
+  [[nodiscard]] virtual Status WriteStringToFile(const std::string& path,
+                                                 std::string_view data,
+                                                 bool sync) = 0;
+
+  // Atomically renames `from` to `to` (same filesystem).
+  [[nodiscard]] virtual Status RenameFile(const std::string& from,
+                                          const std::string& to) = 0;
+
+  // fsyncs the directory itself so renames/creates within it are
+  // durable.
+  [[nodiscard]] virtual Status SyncDir(const std::string& dir) = 0;
+
+  // Removes a file; removing an already-absent path is OK (idempotent
+  // cleanup).
+  [[nodiscard]] virtual Status RemoveFile(const std::string& path) = 0;
+
+  // mkdir -p; an existing directory is OK.
+  [[nodiscard]] virtual Status CreateDirs(const std::string& dir) = 0;
+
+  // rm -rf; an absent path is OK.
+  [[nodiscard]] virtual Status RemoveDirRecursive(const std::string& dir) = 0;
+
+  // Names (not paths) of the entries in `dir`, sorted; a missing
+  // directory lists as empty.
+  [[nodiscard]] virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual bool IsDirectory(const std::string& path) = 0;
+
+  [[nodiscard]] virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  // Truncates a closed file by path and syncs the result (WAL
+  // torn-tail trimming).
+  [[nodiscard]] virtual Status TruncateFile(const std::string& path,
+                                            uint64_t size) = 0;
+};
+
+// Config structs carry a nullable Env*; null means the real
+// filesystem.
+inline Env* ResolveEnv(Env* env) { return env != nullptr ? env : Env::Default(); }
+
+}  // namespace semitri::common
+
+#endif  // SEMITRI_COMMON_ENV_H_

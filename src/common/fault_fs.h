@@ -1,0 +1,113 @@
+#ifndef SEMITRI_COMMON_FAULT_FS_H_
+#define SEMITRI_COMMON_FAULT_FS_H_
+
+// FaultFs — a deterministic disk-fault-injecting Env decorator.
+//
+// Wraps a base Env (usually Env::Default()) and fires a registered
+// fault site at every operation, named "env:" + the operation
+// ("env:append", "env:sync", "env:rename", ...). WHEN a fault fires is
+// decided by the process FaultInjector (arm a site with FailNth /
+// FailOnce / FailAlways exactly like the crash sites); WHAT the
+// failure looks like is decided by the per-site FaultKind:
+//
+//   kEio        the operation fails with an EIO-flavored IoError and
+//               has no effect (the default).
+//   kEnospc     as kEio but ENOSPC-flavored — "disk full".
+//   kShortWrite (append only) half the bytes reach the base file,
+//               then IoError; models a partial write() under pressure.
+//   kFsyncFail  (sync only) the data already reached the base file
+//               but the sync reports IoError — the fsyncgate shape:
+//               the write may or may not be durable, and the caller
+//               must not retry-and-trust.
+//   kTornRename (rename only) the source is left in place, the
+//               destination untouched, IoError returned — the tmp
+//               file survives for orphan-sweep coverage.
+//
+// A kCrash action from the injector applies the kind's partial effect
+// and then marks the whole FaultFs dead: every subsequent operation
+// fails, simulating a power cut. The underlying files keep whatever
+// bytes reached the base Env — recovery tests reopen them through a
+// fresh (non-faulting) Env.
+//
+// Fault sites fire ONLY in this decorator, never in the production
+// PosixEnv, so the hot path stays clean and recovery_test's
+// discovered-site closure is unaffected; tests/env_fault_test.cc does
+// its own discovery + registry-closure pass over the "env:" family.
+//
+// The registry entry is the prefix {"env:", true} in
+// src/common/fault_sites.h.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injection.h"
+#include "common/thread_annotations.h"
+
+namespace semitri::common {
+
+enum class FaultKind {
+  kEio,
+  kEnospc,
+  kShortWrite,
+  kFsyncFail,
+  kTornRename,
+};
+
+class FaultFs final : public Env {
+ public:
+  explicit FaultFs(Env* base) : base_(ResolveEnv(base)) {}
+
+  // Chooses what a kFail at `site` ("env:append", ...) looks like; the
+  // default for unconfigured sites is kEio.
+  void SetFaultKind(const std::string& site, FaultKind kind);
+
+  // When set, only operations whose path contains `substr` fire fault
+  // sites; everything else passes straight through (lets one store in
+  // a multi-store test take the faults).
+  void SetPathFilter(std::string substr);
+
+  // True after an injected kCrash: the simulated machine lost power
+  // and every operation fails until the test builds a fresh Env.
+  bool dead() const;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status WriteStringToFile(const std::string& path, std::string_view data,
+                           bool sync) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& dir) override;
+  Status RemoveDirRecursive(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  bool IsDirectory(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  // Consults the injector for `op` on `path`; returns the action to
+  // apply (kNone when the path filter excludes the operation).
+  FaultAction FireOp(const char* op, const std::string& path);
+  FaultKind KindFor(const char* op) const;
+  void MarkDead();
+  [[nodiscard]] Status DeadStatus(const std::string& path) const;
+
+  Env* const base_;
+  mutable std::mutex mu_;
+  bool dead_ SEMITRI_GUARDED_BY(mu_) = false;
+  std::string path_filter_ SEMITRI_GUARDED_BY(mu_);
+  std::map<std::string, FaultKind> kinds_ SEMITRI_GUARDED_BY(mu_);
+};
+
+}  // namespace semitri::common
+
+#endif  // SEMITRI_COMMON_FAULT_FS_H_

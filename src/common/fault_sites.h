@@ -33,6 +33,7 @@ struct FaultSiteInfo {
 inline constexpr FaultSiteInfo kFaultSites[] = {
     {"admission_reject", false},  // session_manager: refused admissions
     {"detector_probe", false},       // shard: liveness probe observation
+    {"env:", true},               // FaultFs: per-op disk faults (env:append…)
     {"failover_promote", false},     // shard: standby promotion
     {"migration_handoff", false},    // shard: packed-session transfer
     {"migration_pack", false},       // shard: source-side session pack

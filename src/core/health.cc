@@ -31,8 +31,11 @@ bool HealthSnapshot::degraded() const {
     if (g->limit != 0 && g->utilization() >= 0.9) return true;
   }
   for (const ShardHealth& s : shards) {
-    if (!s.alive || s.suspect || s.degraded) return true;
+    if (!s.alive || s.suspect || s.degraded || s.storage_degraded) {
+      return true;
+    }
   }
+  if (storage_degraded || scrub_quarantined > 0) return true;
   return false;
 }
 
@@ -70,6 +73,19 @@ std::string HealthSnapshot::ToString() const {
                     s.suspect ? " SUSPECT" : "",
                     s.degraded ? " DEGRADED" : "");
       out += line;
+      if (s.storage_degraded) {
+        out += "    storage: READ-ONLY (" + s.storage_fault + ")\n";
+      }
+      if (s.scrub_files_scanned > 0 || s.scrub_corrupt_detected > 0) {
+        char scrub[192];
+        std::snprintf(scrub, sizeof(scrub),
+                      "    scrub: scanned=%zu corrupt=%zu repaired=%zu "
+                      "quarantined=%zu cycles=%zu\n",
+                      s.scrub_files_scanned, s.scrub_corrupt_detected,
+                      s.scrub_repaired, s.scrub_quarantined,
+                      s.scrub_cycles_completed);
+        out += scrub;
+      }
     }
     char heal[192];
     std::snprintf(heal, sizeof(heal),
@@ -93,6 +109,18 @@ std::string HealthSnapshot::ToString() const {
                 admission_deferred, admission_timeouts,
                 evictions_with_data_loss, watchdog_force_cancels);
   out += line;
+  if (storage_degraded) {
+    out += "storage: READ-ONLY DEGRADED (" + storage_fault + ")\n";
+  }
+  if (scrub_files_scanned > 0 || scrub_corrupt_detected > 0) {
+    char scrub[192];
+    std::snprintf(scrub, sizeof(scrub),
+                  "scrub: scanned=%zu corrupt=%zu repaired=%zu "
+                  "quarantined=%zu cycles=%zu\n",
+                  scrub_files_scanned, scrub_corrupt_detected, scrub_repaired,
+                  scrub_quarantined, scrub_cycles_completed);
+    out += scrub;
+  }
   return out;
 }
 

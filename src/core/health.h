@@ -60,6 +60,17 @@ struct ShardHealth {
   size_t breakers_open = 0;
   // The shard's own snapshot reported degraded().
   bool degraded = false;
+  // The shard's store refused writes after a disk fault (read-only
+  // degraded mode) — `storage_fault` carries the triggering failure.
+  bool storage_degraded = false;
+  std::string storage_fault;
+  // Integrity-scrubber counters (store/integrity_scrubber.h); zeros
+  // when the shard runs without a scrubber.
+  size_t scrub_files_scanned = 0;
+  size_t scrub_corrupt_detected = 0;
+  size_t scrub_repaired = 0;
+  size_t scrub_quarantined = 0;
+  size_t scrub_cycles_completed = 0;
 };
 
 struct HealthSnapshot {
@@ -95,9 +106,24 @@ struct HealthSnapshot {
   size_t feeds_retried = 0;
   size_t feeds_recovered = 0;
 
+  // Storage-fault view (filled by shard::ShardRuntime::Health): the
+  // backing store entered read-only degraded mode after a disk fault,
+  // and `storage_fault` names the failure that tripped it.
+  bool storage_degraded = false;
+  std::string storage_fault;
+  // Aggregate integrity-scrubber counters across the snapshot's scope
+  // (one shard for a runtime snapshot, all live shards for a cluster).
+  size_t scrub_files_scanned = 0;
+  size_t scrub_corrupt_detected = 0;
+  size_t scrub_repaired = 0;
+  size_t scrub_quarantined = 0;
+  size_t scrub_cycles_completed = 0;
+
   // True when any breaker is open/half-open, any budget is >= 90%
-  // utilized, or any shard in the rollup is dead, suspect, or
-  // degraded — the cheap "should I stop sending traffic here" bit.
+  // utilized, storage is in read-only degraded mode, a scrub
+  // quarantined a file it could not repair, or any shard in the
+  // rollup is dead, suspect, or degraded — the cheap "should I stop
+  // sending traffic here" bit.
   bool degraded() const;
 
   // Multi-line human-readable rendering.

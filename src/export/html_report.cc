@@ -1,7 +1,6 @@
 #include "export/html_report.h"
 
 #include <algorithm>
-#include <fstream>
 
 #include "common/strings.h"
 
@@ -185,12 +184,14 @@ std::string HtmlReportWriter::ToString() const {
   return out;
 }
 
-common::Status HtmlReportWriter::WriteFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return common::Status::IoError("cannot open " + path);
-  out << ToString();
-  out.flush();
-  if (!out) return common::Status::IoError("write failed for " + path);
+common::Status HtmlReportWriter::WriteFile(const std::string& path,
+                                           common::Env* env) const {
+  common::Status wrote = common::ResolveEnv(env)->WriteStringToFile(
+      path, ToString(), /*sync=*/false);
+  if (!wrote.ok()) {
+    return common::Status::IoError("write failed for " + path + ": " +
+                                   wrote.message());
+  }
   return common::Status::OK();
 }
 

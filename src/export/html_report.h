@@ -12,6 +12,7 @@
 
 #include "analytics/distribution.h"
 #include "analytics/timeline.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "core/pipeline.h"
 #include "core/types.h"
@@ -37,7 +38,10 @@ class HtmlReportWriter {
                             const std::string& caption);
 
   std::string ToString() const;
-  [[nodiscard]] common::Status WriteFile(const std::string& path) const;
+  // Write errors (ENOSPC included) surface as IoError. `env` null =
+  // the real filesystem.
+  [[nodiscard]] common::Status WriteFile(const std::string& path,
+                                         common::Env* env = nullptr) const;
 
  private:
   std::string title_;

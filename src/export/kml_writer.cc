@@ -1,7 +1,6 @@
 #include "export/kml_writer.h"
 
 #include <cmath>
-#include <fstream>
 
 #include "common/strings.h"
 #include "geo/simplify.h"
@@ -140,13 +139,15 @@ void KmlWriter::NoteError(common::Status status) {
   if (first_error_.ok()) first_error_ = std::move(status);
 }
 
-common::Status KmlWriter::WriteFile(const std::string& path) const {
+common::Status KmlWriter::WriteFile(const std::string& path,
+                                    common::Env* env) const {
   if (!first_error_.ok()) return first_error_;
-  std::ofstream out(path);
-  if (!out) return common::Status::IoError("cannot open " + path);
-  out << ToString();
-  out.flush();
-  if (!out) return common::Status::IoError("write failed for " + path);
+  common::Status wrote = common::ResolveEnv(env)->WriteStringToFile(
+      path, ToString(), /*sync=*/false);
+  if (!wrote.ok()) {
+    return common::Status::IoError("write failed for " + path + ": " +
+                                   wrote.message());
+  }
   return common::Status::OK();
 }
 

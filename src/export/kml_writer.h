@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "core/types.h"
 #include "geo/latlon.h"
@@ -44,8 +45,11 @@ class KmlWriter {
 
   // Fails with the first accumulated error (e.g. a placemark rejected
   // for non-finite coordinates) before touching the filesystem, so a
-  // bad geometry can never produce a silently corrupt KML file.
-  [[nodiscard]] common::Status WriteFile(const std::string& path) const;
+  // bad geometry can never produce a silently corrupt KML file. Write
+  // errors (ENOSPC included) surface as IoError. `env` null = the
+  // real filesystem.
+  [[nodiscard]] common::Status WriteFile(const std::string& path,
+                                         common::Env* env = nullptr) const;
 
   // First error noted by any Add* call (OK when the document is clean).
   // Add* methods skip offending placemarks instead of emitting

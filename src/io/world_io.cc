@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <cstdint>
-#include <fstream>
 #include <map>
+#include <vector>
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
@@ -26,22 +26,35 @@ common::Status CheckFinitePoint(const geo::Point& p, const char* what) {
   return common::Status::OK();
 }
 
-common::Status OpenForWrite(const std::string& path, std::ofstream* out) {
+// Whole-file write through Env: the content is composed in memory and
+// lands in one WriteStringToFile, so an ENOSPC/EIO partial write is
+// reported instead of leaving a silently truncated world file behind.
+common::Status WriteWorldFile(common::Env* env, const std::string& path,
+                              const std::string& content) {
   if (SEMITRI_FAULT_FIRE("world_save") != common::FaultAction::kNone) {
     return common::Status::IoError("injected fault: world_save " + path);
   }
-  out->open(path, std::ios::trunc);
-  if (!*out) return common::Status::IoError("cannot open " + path);
+  common::Status wrote =
+      env->WriteStringToFile(path, content, /*sync=*/false);
+  if (!wrote.ok()) {
+    return common::Status::IoError("write failed for " + path + ": " +
+                                   wrote.message());
+  }
   return common::Status::OK();
 }
 
-common::Status OpenForRead(const std::string& path, std::ifstream* in) {
+common::Result<std::vector<std::string>> ReadWorldLines(
+    common::Env* env, const std::string& path) {
   if (SEMITRI_FAULT_FIRE("world_load") != common::FaultAction::kNone) {
     return common::Status::IoError("injected fault: world_load " + path);
   }
-  in->open(path);
-  if (!*in) return common::Status::IoError("cannot open " + path);
-  return common::Status::OK();
+  std::string data;
+  common::Status read = env->ReadFileToString(path, &data);
+  if (!read.ok()) {
+    return common::Status::IoError("cannot open " + path + ": " +
+                                   read.message());
+  }
+  return common::Split(data, '\n');
 }
 
 std::string EncodeRing(const geo::Polygon& polygon) {
@@ -69,16 +82,14 @@ common::Result<geo::Polygon> DecodeRing(const std::string& encoded) {
 }  // namespace
 
 common::Status SaveRegions(const region::RegionSet& regions,
-                           const std::string& path) {
-  std::ofstream out;
-  SEMITRI_RETURN_IF_ERROR(OpenForWrite(path, &out));
-  out << "id,category,name,min_x,min_y,max_x,max_y,ring\n";
+                           const std::string& path, common::Env* env) {
+  std::string out = "id,category,name,min_x,min_y,max_x,max_y,ring\n";
   for (size_t i = 0; i < regions.size(); ++i) {
     const region::SemanticRegion& r =
         regions.Get(static_cast<core::PlaceId>(i));
     SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(r.bounds.min, "region bounds"));
     SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(r.bounds.max, "region bounds"));
-    out << common::StrFormat(
+    out += common::StrFormat(
         "%lld,%d,%s,%.6f,%.6f,%.6f,%.6f,%s\n",
         static_cast<long long>(r.id), static_cast<int>(r.category),
         common::CsvEscape(r.name).c_str(), r.bounds.min.x, r.bounds.min.y,
@@ -87,18 +98,16 @@ common::Status SaveRegions(const region::RegionSet& regions,
             ? common::CsvEscape(EncodeRing(*r.polygon)).c_str()
             : "");
   }
-  out.flush();
-  if (!out) return common::Status::IoError("write failed for " + path);
-  return common::Status::OK();
+  return WriteWorldFile(common::ResolveEnv(env), path, out);
 }
 
-common::Result<region::RegionSet> LoadRegions(const std::string& path) {
-  std::ifstream in;
-  SEMITRI_RETURN_IF_ERROR(OpenForRead(path, &in));
+common::Result<region::RegionSet> LoadRegions(const std::string& path,
+                                              common::Env* env) {
+  auto lines = ReadWorldLines(common::ResolveEnv(env), path);
+  SEMITRI_RETURN_IF_ERROR(lines.status());
   region::RegionSet regions;
-  std::string line;
-  std::getline(in, line);  // header
-  while (std::getline(in, line)) {
+  for (size_t i = 1; i < lines->size(); ++i) {  // lines[0] is the header
+    const std::string& line = (*lines)[i];
     if (line.empty()) continue;
     std::vector<std::string> f = common::CsvParseLine(line);
     int64_t category_raw = 0;
@@ -125,28 +134,25 @@ common::Result<region::RegionSet> LoadRegions(const std::string& path) {
 }
 
 common::Status SaveRoadNetwork(const road::RoadNetwork& roads,
-                               const std::string& path) {
-  std::ofstream out;
-  SEMITRI_RETURN_IF_ERROR(OpenForWrite(path, &out));
-  out << "id,from,to,type,name,ax,ay,bx,by\n";
+                               const std::string& path, common::Env* env) {
+  std::string out = "id,from,to,type,name,ax,ay,bx,by\n";
   for (const road::RoadSegment& s : roads.segments()) {
     SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(s.shape.a, "road endpoint"));
     SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(s.shape.b, "road endpoint"));
-    out << common::StrFormat(
+    out += common::StrFormat(
         "%lld,%lld,%lld,%d,%s,%.6f,%.6f,%.6f,%.6f\n",
         static_cast<long long>(s.id), static_cast<long long>(s.from),
         static_cast<long long>(s.to), static_cast<int>(s.type),
         common::CsvEscape(s.name).c_str(), s.shape.a.x, s.shape.a.y,
         s.shape.b.x, s.shape.b.y);
   }
-  out.flush();
-  if (!out) return common::Status::IoError("write failed for " + path);
-  return common::Status::OK();
+  return WriteWorldFile(common::ResolveEnv(env), path, out);
 }
 
-common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path) {
-  std::ifstream in;
-  SEMITRI_RETURN_IF_ERROR(OpenForRead(path, &in));
+common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path,
+                                                  common::Env* env) {
+  auto lines = ReadWorldLines(common::ResolveEnv(env), path);
+  SEMITRI_RETURN_IF_ERROR(lines.status());
   road::RoadNetwork roads;
   // Node ids in the file are dense but may appear in any order; map
   // original id -> created id (positions come with each segment row).
@@ -159,9 +165,8 @@ common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path) {
     node_map.emplace(original, created);
     return created;
   };
-  std::string line;
-  std::getline(in, line);  // header
-  while (std::getline(in, line)) {
+  for (size_t i = 1; i < lines->size(); ++i) {  // lines[0] is the header
+    const std::string& line = (*lines)[i];
     if (line.empty()) continue;
     std::vector<std::string> f = common::CsvParseLine(line);
     int64_t from_raw = 0;
@@ -187,44 +192,38 @@ common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path) {
 }
 
 common::Status SavePois(const poi::PoiSet& pois, const std::string& path,
-                        const std::string& categories_path) {
+                        const std::string& categories_path,
+                        common::Env* env) {
+  common::Env* e = common::ResolveEnv(env);
   {
-    std::ofstream out;
-    SEMITRI_RETURN_IF_ERROR(OpenForWrite(categories_path, &out));
-    out << "id,name\n";
+    std::string out = "id,name\n";
     for (size_t c = 0; c < pois.num_categories(); ++c) {
-      out << common::StrFormat(
+      out += common::StrFormat(
           "%zu,%s\n", c, common::CsvEscape(pois.category_names()[c]).c_str());
     }
-    out.flush();
-    if (!out) {
-      return common::Status::IoError("write failed for " + categories_path);
-    }
+    SEMITRI_RETURN_IF_ERROR(WriteWorldFile(e, categories_path, out));
   }
-  std::ofstream out;
-  SEMITRI_RETURN_IF_ERROR(OpenForWrite(path, &out));
-  out << "id,category,name,x,y\n";
+  std::string out = "id,category,name,x,y\n";
   for (const poi::Poi& p : pois.pois()) {
     SEMITRI_RETURN_IF_ERROR(CheckFinitePoint(p.position, "POI position"));
-    out << common::StrFormat("%lld,%d,%s,%.6f,%.6f\n",
+    out += common::StrFormat("%lld,%d,%s,%.6f,%.6f\n",
                              static_cast<long long>(p.id), p.category,
                              common::CsvEscape(p.name).c_str(),
                              p.position.x, p.position.y);
   }
-  out.flush();
-  if (!out) return common::Status::IoError("write failed for " + path);
-  return common::Status::OK();
+  return WriteWorldFile(e, path, out);
 }
 
 common::Result<poi::PoiSet> LoadPois(const std::string& path,
-                                     const std::string& categories_path) {
+                                     const std::string& categories_path,
+                                     common::Env* env) {
+  common::Env* e = common::ResolveEnv(env);
   std::vector<std::string> names;
   {
-    std::ifstream in;
-    SEMITRI_RETURN_IF_ERROR(OpenForRead(categories_path, &in));
-    std::string line;
-    std::getline(in, line);
-    while (std::getline(in, line)) {
+    auto lines = ReadWorldLines(e, categories_path);
+    SEMITRI_RETURN_IF_ERROR(lines.status());
+    for (size_t i = 1; i < lines->size(); ++i) {  // lines[0] is the header
+      const std::string& line = (*lines)[i];
       if (line.empty()) continue;
       std::vector<std::string> f = common::CsvParseLine(line);
       if (f.size() != 2) {
@@ -238,11 +237,10 @@ common::Result<poi::PoiSet> LoadPois(const std::string& path,
                                       categories_path);
   }
   poi::PoiSet pois(std::move(names));
-  std::ifstream in;
-  SEMITRI_RETURN_IF_ERROR(OpenForRead(path, &in));
-  std::string line;
-  std::getline(in, line);
-  while (std::getline(in, line)) {
+  auto lines = ReadWorldLines(e, path);
+  SEMITRI_RETURN_IF_ERROR(lines.status());
+  for (size_t i = 1; i < lines->size(); ++i) {  // lines[0] is the header
+    const std::string& line = (*lines)[i];
     if (line.empty()) continue;
     std::vector<std::string> f = common::CsvParseLine(line);
     int64_t category = 0;

@@ -13,9 +13,14 @@
 //                 (node positions embedded; node ids are dense ints)
 //   pois.csv    : id,category,name,x,y
 //   poi_categories.csv : id,name
+//
+// All file I/O goes through common::Env (`env` null = the real
+// filesystem); write errors — including ENOSPC on the final flush —
+// surface as IoError, never silently.
 
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "poi/poi_set.h"
 #include "region/region_set.h"
@@ -24,19 +29,25 @@
 namespace semitri::io {
 
 [[nodiscard]] common::Status SaveRegions(const region::RegionSet& regions,
-                           const std::string& path);
-[[nodiscard]] common::Result<region::RegionSet> LoadRegions(const std::string& path);
+                           const std::string& path,
+                           common::Env* env = nullptr);
+[[nodiscard]] common::Result<region::RegionSet> LoadRegions(
+    const std::string& path, common::Env* env = nullptr);
 
 [[nodiscard]] common::Status SaveRoadNetwork(const road::RoadNetwork& roads,
-                               const std::string& path);
-[[nodiscard]] common::Result<road::RoadNetwork> LoadRoadNetwork(const std::string& path);
+                               const std::string& path,
+                               common::Env* env = nullptr);
+[[nodiscard]] common::Result<road::RoadNetwork> LoadRoadNetwork(
+    const std::string& path, common::Env* env = nullptr);
 
 // POIs serialize as two files: `path` (the POIs) and the category list
 // at `categories_path`.
 [[nodiscard]] common::Status SavePois(const poi::PoiSet& pois, const std::string& path,
-                        const std::string& categories_path);
+                        const std::string& categories_path,
+                        common::Env* env = nullptr);
 [[nodiscard]] common::Result<poi::PoiSet> LoadPois(const std::string& path,
-                                     const std::string& categories_path);
+                                     const std::string& categories_path,
+                                     common::Env* env = nullptr);
 
 }  // namespace semitri::io
 

@@ -1,10 +1,10 @@
 #include "shard/cluster.h"
 
-#include <filesystem>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/serial.h"
 
@@ -20,25 +20,20 @@ struct AbandonedLoss {
   size_t tail_bytes = 0;
 };
 
-AbandonedLoss ScanAbandonedLoss(const std::string& primary_dir,
+AbandonedLoss ScanAbandonedLoss(common::Env* env,
+                                const std::string& primary_dir,
                                 const std::string& standby_dir) {
-  namespace fs = std::filesystem;
   AbandonedLoss loss;
-  std::error_code ec;
   for (const std::string& name :
-       store::SemanticTrajectoryStore::ListSealedWalSegments(primary_dir)) {
-    uintmax_t src_size = fs::file_size(primary_dir + "/" + name, ec);
-    if (ec) {
-      ec.clear();
-      src_size = 0;
-    }
-    uintmax_t dst_size = fs::file_size(standby_dir + "/" + name, ec);
-    bool shipped = !ec && dst_size == src_size;
-    ec.clear();
+       store::SemanticTrajectoryStore::ListSealedWalSegments(primary_dir,
+                                                             env)) {
+    auto src_size = env->FileSize(primary_dir + "/" + name);
+    auto dst_size = env->FileSize(standby_dir + "/" + name);
+    bool shipped = src_size.ok() && dst_size.ok() && *dst_size == *src_size;
     if (!shipped) ++loss.segments;
   }
-  uintmax_t tail = fs::file_size(primary_dir + "/wal.log", ec);
-  if (!ec) loss.tail_bytes = static_cast<size_t>(tail);
+  auto tail = env->FileSize(primary_dir + "/wal.log");
+  if (tail.ok()) loss.tail_bytes = static_cast<size_t>(*tail);
   return loss;
 }
 
@@ -54,6 +49,8 @@ ShardRuntimeConfig MakeShardConfig(const ShardClusterConfig& cluster,
   config.manager = cluster.manager;
   config.pipeline = cluster.pipeline;
   config.sync_every_put = cluster.sync_every_put;
+  config.env = cluster.env;
+  config.scrub_files_per_cycle = cluster.scrub_files_per_cycle;
   return config;
 }
 
@@ -387,6 +384,13 @@ common::Result<size_t> ShardCluster::TickLocked(
     const std::vector<bool>& probe_ok) {
   size_t failovers = 0;
   common::Status first = common::Status::OK();
+  // One integrity-scrub increment per live shard per tick: the tick
+  // loop is the cluster's idle heartbeat, so corruption is found in
+  // steady state, not at the next failover. Scrub I/O trouble is
+  // best-effort — it never blocks failure detection.
+  for (const std::shared_ptr<ShardRuntime>& runtime : runtimes_) {
+    if (runtime != nullptr) (void)runtime->ScrubTick();
+  }
   for (ShardId id = 0; id < runtimes_.size(); ++id) {
     if (!detector_->ProbeDue(id)) continue;
     bool ok = id < probe_ok.size() && probe_ok[id];
@@ -445,8 +449,9 @@ common::Status ShardCluster::FailoverLocked(ShardId shard) {
     ++failovers_aborted_;
     return common::Status::Unavailable("injected failover promote failure");
   }
-  AbandonedLoss loss =
-      ScanAbandonedLoss(current.durable_dir, current.standby_dir);
+  AbandonedLoss loss = ScanAbandonedLoss(common::ResolveEnv(config_.env),
+                                         current.durable_dir,
+                                         current.standby_dir);
   ShardRuntimeConfig promoted = current;
   promoted.durable_dir = current.standby_dir;
   size_t epoch = failover_epochs_[shard] + 1;
@@ -546,6 +551,15 @@ core::HealthSnapshot ShardCluster::Health() const {
     out.admission_timeouts += shard.admission_timeouts;
     out.evictions_with_data_loss += shard.evictions_with_data_loss;
     out.watchdog_force_cancels += shard.watchdog_force_cancels;
+    if (shard.storage_degraded && !out.storage_degraded) {
+      out.storage_degraded = true;
+      out.storage_fault = shard.storage_fault;
+    }
+    out.scrub_files_scanned += shard.scrub_files_scanned;
+    out.scrub_corrupt_detected += shard.scrub_corrupt_detected;
+    out.scrub_repaired += shard.scrub_repaired;
+    out.scrub_quarantined += shard.scrub_quarantined;
+    out.scrub_cycles_completed += shard.scrub_cycles_completed;
   }
   return out;
 }

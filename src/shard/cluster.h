@@ -89,6 +89,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/env.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -112,6 +113,12 @@ struct ShardClusterConfig {
   stream::SessionManagerConfig manager;
   core::PipelineConfig pipeline;
   bool sync_every_put = false;
+  // Filesystem for every shard's durable paths (null = the real one);
+  // tests pass a common::FaultFs to inject disk faults cluster-wide.
+  common::Env* env = nullptr;
+  // Per-shard integrity-scrubber increment driven from Tick(); 0
+  // disables scrubbing (shard/shard_runtime.h).
+  size_t scrub_files_per_cycle = 4;
 
   // --- self-healing ---------------------------------------------------
   FailureDetectorConfig detector;

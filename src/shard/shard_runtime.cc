@@ -1,6 +1,5 @@
 #include "shard/shard_runtime.h"
 
-#include <filesystem>
 #include <utility>
 
 #include "common/check.h"
@@ -13,17 +12,29 @@ ShardRuntime::ShardRuntime(const region::RegionSet* regions,
                            const road::RoadNetwork* roads,
                            const poi::PoiSet* pois, ShardRuntimeConfig config,
                            const common::Clock* clock)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), env_(common::ResolveEnv(config_.env)) {
   store::StoreConfig store_config;
   store_config.sync_every_put = config_.sync_every_put;
+  store_config.env = env_;
   store_ = std::make_unique<store::SemanticTrajectoryStore>(store_config);
   pipeline_ = std::make_unique<core::SemiTriPipeline>(
       regions, roads, pois, config_.pipeline, store_.get());
+  config_.manager.env = env_;
   manager_ = std::make_unique<stream::SessionManager>(pipeline_.get(),
                                                       config_.manager, clock);
   if (!config_.standby_dir.empty()) {
-    shipper_ =
-        std::make_unique<WalShipper>(config_.durable_dir, config_.standby_dir);
+    shipper_ = std::make_unique<WalShipper>(config_.durable_dir,
+                                            config_.standby_dir, env_);
+  }
+  if (config_.scrub_files_per_cycle > 0) {
+    store::ScrubberConfig scrub;
+    scrub.dir = config_.durable_dir;
+    // The standby's shipped copies are the repair source; without a
+    // standby corrupt files can only be quarantined.
+    scrub.repair_dir = config_.standby_dir;
+    scrub.files_per_cycle = config_.scrub_files_per_cycle;
+    scrub.env = env_;
+    scrubber_ = std::make_unique<store::IntegrityScrubber>(std::move(scrub));
   }
 }
 
@@ -41,12 +52,16 @@ common::Result<std::unique_ptr<ShardRuntime>> ShardRuntime::Open(
   SEMITRI_RETURN_IF_ERROR(recovered.status());
   runtime->recovery_stats_ = *recovered;
   std::string ckpt = ManagerCheckpointPath(runtime->config_.durable_dir);
-  std::error_code ec;
-  if (std::filesystem::exists(ckpt, ec)) {
+  if (runtime->env_->FileExists(ckpt)) {
     SEMITRI_RETURN_IF_ERROR(runtime->manager_->Restore(ckpt));
     runtime->manager_restored_ = true;
   }
   return runtime;
+}
+
+common::Status ShardRuntime::ScrubTick() {
+  if (scrubber_ == nullptr) return common::Status::OK();
+  return scrubber_->Tick();
 }
 
 common::Status ShardRuntime::Checkpoint() {
@@ -111,8 +126,25 @@ common::Status ShardRuntime::AdoptFromMigration(core::ObjectId object_id,
   return common::Status::OK();
 }
 
-core::ShardHealth ShardRuntime::ShardHealthInfo() const {
+core::HealthSnapshot ShardRuntime::Health() const {
   core::HealthSnapshot snapshot = manager_->Health();
+  if (store_->storage_degraded()) {
+    snapshot.storage_degraded = true;
+    snapshot.storage_fault = store_->degraded_reason();
+  }
+  if (scrubber_ != nullptr) {
+    const store::IntegrityScrubber::Counters& c = scrubber_->counters();
+    snapshot.scrub_files_scanned = c.files_scanned;
+    snapshot.scrub_corrupt_detected = c.corrupt_detected;
+    snapshot.scrub_repaired = c.repaired;
+    snapshot.scrub_quarantined = c.quarantined;
+    snapshot.scrub_cycles_completed = c.cycles_completed;
+  }
+  return snapshot;
+}
+
+core::ShardHealth ShardRuntime::ShardHealthInfo() const {
+  core::HealthSnapshot snapshot = Health();
   core::ShardHealth info;
   info.shard_id = config_.shard_id;
   info.alive = true;
@@ -129,6 +161,13 @@ core::ShardHealth ShardRuntime::ShardHealthInfo() const {
       ++info.breakers_open;
     }
   }
+  info.storage_degraded = snapshot.storage_degraded;
+  info.storage_fault = snapshot.storage_fault;
+  info.scrub_files_scanned = snapshot.scrub_files_scanned;
+  info.scrub_corrupt_detected = snapshot.scrub_corrupt_detected;
+  info.scrub_repaired = snapshot.scrub_repaired;
+  info.scrub_quarantined = snapshot.scrub_quarantined;
+  info.scrub_cycles_completed = snapshot.scrub_cycles_completed;
   info.degraded = snapshot.degraded();
   return info;
 }

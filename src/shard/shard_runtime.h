@@ -33,12 +33,14 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "core/health.h"
 #include "core/pipeline.h"
 #include "core/types.h"
 #include "shard/ring.h"
 #include "shard/wal_shipper.h"
+#include "store/integrity_scrubber.h"
 #include "store/semantic_trajectory_store.h"
 #include "stream/session_manager.h"
 
@@ -55,6 +57,13 @@ struct ShardRuntimeConfig {
   core::PipelineConfig pipeline;
   // fsync the shard WAL on every Put (store::StoreConfig).
   bool sync_every_put = false;
+  // Filesystem for every durable-path component (store, shipper,
+  // scrubber, manager checkpoints); null = the real filesystem. Tests
+  // pass a common::FaultFs to inject disk faults shard-wide.
+  common::Env* env = nullptr;
+  // Files the integrity scrubber verifies per ScrubTick(); 0 disables
+  // the scrubber.
+  size_t scrub_files_per_cycle = 4;
 };
 
 class ShardRuntime {
@@ -99,6 +108,12 @@ class ShardRuntime {
   // shipped-or-not sealed segments — call SealAndShip first).
   [[nodiscard]] common::Status CompactStore() { return store_->Checkpoint(); }
 
+  // One increment of background integrity scrubbing: re-verifies a few
+  // sealed segments / checkpoint CSVs against their CRCs, repairing
+  // from the standby or quarantining (store/integrity_scrubber.h).
+  // No-op without a scrubber (scrub_files_per_cycle == 0).
+  [[nodiscard]] common::Status ScrubTick();
+
   // --- migration hooks ------------------------------------------------
 
   // Source side: serializes the object's session (or idle resume
@@ -115,7 +130,10 @@ class ShardRuntime {
 
   // --- observability --------------------------------------------------
 
-  core::HealthSnapshot Health() const { return manager_->Health(); }
+  // The manager's snapshot overlaid with this shard's storage view:
+  // read-only degraded state + triggering fault and the scrubber's
+  // counters.
+  core::HealthSnapshot Health() const;
   // This shard's row of the cluster rollup (core::HealthSnapshot::
   // shards).
   core::ShardHealth ShardHealthInfo() const;
@@ -127,6 +145,8 @@ class ShardRuntime {
   stream::SessionManager* manager() { return manager_.get(); }
   // Null when the shard runs without a standby (ship_wal=false).
   const WalShipper* shipper() const { return shipper_.get(); }
+  // Null when scrubbing is disabled (scrub_files_per_cycle == 0).
+  const store::IntegrityScrubber* scrubber() const { return scrubber_.get(); }
   // What Open() found on disk.
   const store::SemanticTrajectoryStore::RecoveryStats& recovery_stats()
       const {
@@ -145,10 +165,12 @@ class ShardRuntime {
                ShardRuntimeConfig config, const common::Clock* clock);
 
   ShardRuntimeConfig config_;
+  common::Env* env_ = nullptr;  // resolved from config_.env, never null
   std::unique_ptr<store::SemanticTrajectoryStore> store_;
   std::unique_ptr<core::SemiTriPipeline> pipeline_;
   std::unique_ptr<stream::SessionManager> manager_;
   std::unique_ptr<WalShipper> shipper_;
+  std::unique_ptr<store::IntegrityScrubber> scrubber_;
   store::SemanticTrajectoryStore::RecoveryStats recovery_stats_;
   bool manager_restored_ = false;
 };

@@ -1,13 +1,5 @@
 #include "shard/wal_shipper.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -18,68 +10,84 @@ namespace semitri::shard {
 
 namespace {
 
-namespace fs = std::filesystem;
+constexpr char kTmpSuffix[] = ".tmp";
 
-common::Status CopyAtomic(const std::string& from, const std::string& to) {
-  std::string data;
-  {
-    std::ifstream in(from, std::ios::binary);
-    if (!in) return common::Status::IoError("cannot read " + from);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    data = buffer.str();
-  }
-  std::string tmp = to + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return common::Status::IoError("cannot open " + tmp + ": " +
-                                   std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < data.size()) {
-    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return common::Status::IoError("write failed for " + tmp);
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return common::Status::IoError("fsync failed for " + tmp);
-  }
-  ::close(fd);
-  std::error_code ec;
-  fs::rename(tmp, to, ec);
-  if (ec) return common::Status::IoError("cannot commit " + to);
-  return common::Status::OK();
+bool HasTmpSuffix(const std::string& name) {
+  constexpr size_t kLen = sizeof(kTmpSuffix) - 1;
+  return name.size() > kLen &&
+         name.compare(name.size() - kLen, kLen, kTmpSuffix) == 0;
 }
 
-size_t FileSize(const std::string& path) {
-  std::error_code ec;
-  uintmax_t size = fs::file_size(path, ec);
-  return ec ? 0 : static_cast<size_t>(size);
+size_t FileSizeOrZero(common::Env* env, const std::string& path) {
+  auto size = env->FileSize(path);
+  return size.ok() ? static_cast<size_t>(*size) : 0;
 }
 
 // CRC frame scan: true iff every frame in the copy is intact to the
 // end of the file. A sealed segment is a cleanly closed WAL, so any
 // torn tail in the *copy* means the copy is corrupt.
-bool SegmentIntact(const std::string& path) {
+bool SegmentIntact(common::Env* env, const std::string& path) {
   auto scanned = store::ReplayWal(
       path,
       [](store::WalRecordType, std::string_view) {
         return common::Status::OK();
       },
-      /*truncate_torn_tail=*/false);
+      /*truncate_torn_tail=*/false, env);
   return scanned.ok() && scanned->torn_bytes_truncated == 0;
 }
 
 }  // namespace
 
-WalShipper::WalShipper(std::string source_dir, std::string standby_dir)
-    : source_dir_(std::move(source_dir)),
+WalShipper::WalShipper(std::string source_dir, std::string standby_dir,
+                       common::Env* env)
+    : env_(common::ResolveEnv(env)),
+      source_dir_(std::move(source_dir)),
       standby_dir_(std::move(standby_dir)) {}
+
+void WalShipper::SweepTmpOrphans() {
+  if (swept_orphans_) return;
+  swept_orphans_ = true;
+  auto names = env_->ListDir(standby_dir_);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    if (!HasTmpSuffix(name)) continue;
+    if (env_->RemoveFile(standby_dir_ + "/" + name).ok()) {
+      ++total_tmp_orphans_;
+    }
+  }
+}
+
+common::Status WalShipper::CopyAtomic(const std::string& from,
+                                      const std::string& to) {
+  std::string data;
+  {
+    common::Status read = env_->ReadFileToString(from, &data);
+    if (!read.ok()) {
+      return common::Status::IoError("cannot read " + from + ": " +
+                                     read.message());
+    }
+  }
+  std::string tmp = to + kTmpSuffix;
+  common::Status wrote = env_->WriteStringToFile(tmp, data, /*sync=*/true);
+  if (wrote.ok()) {
+    wrote = env_->RenameFile(tmp, to);
+    if (!wrote.ok()) {
+      wrote = common::Status::IoError("cannot commit " + to + ": " +
+                                      wrote.message());
+    }
+  }
+  if (!wrote.ok()) {
+    // A failed copy must not leave its staging file behind — an
+    // accumulation of orphaned tmps under ENOSPC makes the full disk
+    // worse, and a later same-name ship must start clean. Best-effort:
+    // a failed remove is caught by the next startup sweep.
+    if (env_->FileExists(tmp) && env_->RemoveFile(tmp).ok()) {
+      ++total_tmp_orphans_;
+    }
+    return wrote;
+  }
+  return common::Status::OK();
+}
 
 common::Result<WalShipper::ShipStats> WalShipper::ShipSealedSegments() {
   if (dead_) {
@@ -94,24 +102,25 @@ common::Result<WalShipper::ShipStats> WalShipper::ShipSealedSegments() {
     return common::Status::IoError("injected wal ship failure");
   }
 
-  std::error_code ec;
-  fs::create_directories(standby_dir_, ec);
-  if (ec) {
+  common::Status created = env_->CreateDirs(standby_dir_);
+  if (!created.ok()) {
     return common::Status::IoError("cannot create standby " + standby_dir_);
   }
+  SweepTmpOrphans();
 
   ShipStats stats;
   for (const std::string& name :
-       store::SemanticTrajectoryStore::ListSealedWalSegments(source_dir_)) {
+       store::SemanticTrajectoryStore::ListSealedWalSegments(source_dir_,
+                                                             env_)) {
     std::string src = source_dir_ + "/" + name;
     std::string dst = standby_dir_ + "/" + name;
-    size_t size = FileSize(src);
+    size_t size = FileSizeOrZero(env_, src);
     // Sealed segments are immutable, so same-name-same-size means
     // already shipped — but only once the copy's CRC frames check out
     // (a prior crash or bit rot can leave a same-size corrupt copy).
-    if (fs::exists(dst, ec) && FileSize(dst) == size) {
+    if (env_->FileExists(dst) && FileSizeOrZero(env_, dst) == size) {
       if (verified_.count(name) != 0) continue;
-      if (SegmentIntact(dst)) {
+      if (SegmentIntact(env_, dst)) {
         verified_.insert(name);
         continue;
       }
@@ -134,14 +143,14 @@ common::Status WalShipper::ShipSidecarFile(const std::string& filename) {
     return common::Status::IoError("wal shipper dead after simulated crash");
   }
   std::string src = source_dir_ + "/" + filename;
-  std::error_code ec;
-  if (!fs::exists(src, ec)) {
+  if (!env_->FileExists(src)) {
     return common::Status::NotFound("no sidecar " + src);
   }
-  fs::create_directories(standby_dir_, ec);
-  if (ec) {
+  common::Status created = env_->CreateDirs(standby_dir_);
+  if (!created.ok()) {
     return common::Status::IoError("cannot create standby " + standby_dir_);
   }
+  SweepTmpOrphans();
   // Sidecars mutate in place (the manager checkpoint is rewritten every
   // Checkpoint()), so no skip check: always copy.
   SEMITRI_RETURN_IF_ERROR(CopyAtomic(src, standby_dir_ + "/" + filename));
@@ -151,13 +160,13 @@ common::Status WalShipper::ShipSidecarFile(const std::string& filename) {
 
 WalShipper::Lag WalShipper::CurrentLag() const {
   Lag lag;
-  std::error_code ec;
   for (const std::string& name :
-       store::SemanticTrajectoryStore::ListSealedWalSegments(source_dir_)) {
+       store::SemanticTrajectoryStore::ListSealedWalSegments(source_dir_,
+                                                             env_)) {
     std::string src = source_dir_ + "/" + name;
     std::string dst = standby_dir_ + "/" + name;
-    size_t size = FileSize(src);
-    if (fs::exists(dst, ec) && FileSize(dst) == size) continue;
+    size_t size = FileSizeOrZero(env_, src);
+    if (env_->FileExists(dst) && FileSizeOrZero(env_, dst) == size) continue;
     ++lag.segments;
     lag.bytes += size;
   }

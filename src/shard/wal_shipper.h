@@ -27,12 +27,21 @@
 // promoted standby needs to resume streams mid-flight. The sidecar
 // mutates in place, so it is always copied, never skip-checked.
 //
+// Failed ships clean up after themselves: a fsync or rename failure
+// removes the `.tmp` staging file (best-effort), and any orphaned
+// `.tmp` from a *crashed* prior shipper is swept on the first ship and
+// counted in tmp_orphans_removed — a tmp is never promoted, so
+// sweeping is always safe.
+//
 // What the standby can lose: the active (unsealed) log tail, any
 // sealed-but-unshipped segments, and manager state newer than the last
 // shipped checkpoint — exactly what CurrentLag() reports and
 // core::ShardHealth surfaces as WAL-ship lag. The primary's
 // Checkpoint() garbage-collects sealed segments, so runtimes ship
 // *before* compacting (shard::ShardRuntime does) or accept the gap.
+//
+// All file I/O goes through common::Env; pass a FaultFs to exercise
+// the cleanup paths with injected fsync/rename faults.
 //
 // Fault site (SEMITRI_FAULT_INJECTION=ON): `wal_ship` — kFail: the
 // ship reports an error and no segment is renamed into place (retry
@@ -46,6 +55,7 @@
 #include <set>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 
 namespace semitri::shard {
@@ -53,8 +63,9 @@ namespace semitri::shard {
 class WalShipper {
  public:
   // Neither directory needs to exist yet; the standby is created on
-  // first ship.
-  WalShipper(std::string source_dir, std::string standby_dir);
+  // first ship. `env` null means the real filesystem.
+  WalShipper(std::string source_dir, std::string standby_dir,
+             common::Env* env = nullptr);
 
   struct ShipStats {
     size_t segments_shipped = 0;
@@ -67,7 +78,7 @@ class WalShipper {
   // Copies every sealed segment the standby is missing (or holds a
   // corrupt copy of), ascending by sequence. On error, segments
   // already renamed into place stay — re-shipping resumes where it
-  // stopped.
+  // stopped — and the failed copy's `.tmp` is removed.
   [[nodiscard]] common::Result<ShipStats> ShipSealedSegments();
 
   // Copies `filename` (relative to the source dir, e.g. the manager
@@ -87,6 +98,10 @@ class WalShipper {
   size_t total_bytes_shipped() const { return total_bytes_; }
   size_t total_reshipped_corrupt() const { return total_reshipped_; }
   size_t total_sidecars_shipped() const { return total_sidecars_; }
+  // Orphaned `.tmp` staging files removed from the standby — left by a
+  // prior shipper that crashed mid-copy (swept once, on the first
+  // ship) or by this shipper's own failed copies.
+  size_t tmp_orphans_removed() const { return total_tmp_orphans_; }
   // True after an injected crash; later ships fail like writes to a
   // dead process.
   bool dead() const { return dead_; }
@@ -94,12 +109,24 @@ class WalShipper {
   const std::string& standby_dir() const { return standby_dir_; }
 
  private:
+  // Removes every `*.tmp` under the standby dir (once per shipper):
+  // staging leftovers from a crashed predecessor. Never fails the
+  // ship — a missing or sweep-resistant tmp only wastes space.
+  void SweepTmpOrphans();
+
+  // write-to-tmp + fsync + rename; removes the tmp on any failure.
+  [[nodiscard]] common::Status CopyAtomic(const std::string& from,
+                                          const std::string& to);
+
+  common::Env* const env_;
   std::string source_dir_;
   std::string standby_dir_;
   size_t total_segments_ = 0;
   size_t total_bytes_ = 0;
   size_t total_reshipped_ = 0;
   size_t total_sidecars_ = 0;
+  size_t total_tmp_orphans_ = 0;
+  bool swept_orphans_ = false;
   // Standby segment names whose CRC scan passed (or that this shipper
   // itself wrote) — immutable once verified.
   std::set<std::string> verified_;

@@ -1,18 +1,10 @@
 #include "store/semantic_trajectory_store.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <cstdint>
 #include <cstring>
-#include <filesystem>
 #include <utility>
-#include <fstream>
 #include <functional>
-#include <sstream>
 
 #include "common/fault_injection.h"
 #include "common/serial.h"
@@ -23,13 +15,12 @@ namespace semitri::store {
 
 namespace {
 
-namespace fs = std::filesystem;
-
 constexpr char kCurrentFile[] = "CURRENT";
 constexpr char kWalFile[] = "wal.log";
 constexpr char kCheckpointPrefix[] = "checkpoint-";
 constexpr char kSealedWalPrefix[] = "wal-";
 constexpr char kSealedWalSuffix[] = ".log";
+constexpr char kChecksumsFile[] = "checksums.csv";
 
 // "wal-000012.log" -> 12. False for the active "wal.log" and anything
 // else that is not a sealed segment name.
@@ -109,6 +100,7 @@ std::string EmptyEntityRow(const char* table, core::ObjectId object_id,
 constexpr char kGpsHeader[] = "object_id,trajectory_id,x,y,t";
 constexpr char kManifestHeader[] =
     "table,object_id,trajectory_id,interpretation";
+constexpr char kChecksumsHeader[] = "file,crc32,size";
 constexpr char kEpisodeHeader[] =
     "trajectory_id,index,kind,begin,end,time_in,time_out,center_x,center_y,"
     "min_x,min_y,max_x,max_y";
@@ -116,44 +108,24 @@ constexpr char kSemanticHeader[] =
     "object_id,trajectory_id,interpretation,index,kind,place_kind,place_id,"
     "time_in,time_out,annotations,source_episode";
 
-common::Status WriteAllFd(int fd, const char* data, size_t size,
-                          const std::string& path) {
-  size_t written = 0;
-  while (written < size) {
-    ssize_t n = ::write(fd, data + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return common::Status::IoError("write failed for " + path + ": " +
-                                     std::strerror(errno));
-    }
-    written += static_cast<size_t>(n);
-  }
-  return common::Status::OK();
-}
-
-// Writes header (for a fresh/empty file) + rows in ONE write() call, so
+// Writes header (for a fresh/empty file) + rows in ONE Append call, so
 // a crash between Puts never leaves a half-batch: either the whole
 // batch landed or at most the final line is torn mid-row (which LoadCsv
 // tolerates). `fault_site`, when set, is a fault-injection hook: kFail
 // drops the batch, kCrash tears it halfway through like a power cut.
-common::Status WriteLines(const std::string& path, const std::string& header,
+// For truncating (checkpoint) writes, `crc_out`/`size_out` report the
+// CRC-32 and byte size of the full file content for checksums.csv.
+common::Status WriteLines(common::Env* env, const std::string& path,
+                          const std::string& header,
                           const std::vector<std::string>& rows, bool append,
                           bool sync = false,
-                          const char* fault_site = nullptr) {
-  int flags = O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
-  int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) {
-    return common::Status::IoError("cannot open " + path + ": " +
-                                   std::strerror(errno));
-  }
+                          const char* fault_site = nullptr,
+                          uint32_t* crc_out = nullptr,
+                          uint64_t* size_out = nullptr) {
   bool need_header = !append;
   if (append) {
-    struct stat st {};
-    if (::fstat(fd, &st) != 0) {
-      ::close(fd);
-      return common::Status::IoError("cannot stat " + path);
-    }
-    need_header = st.st_size == 0;
+    auto size = env->FileSize(path);
+    need_header = !size.ok() || *size == 0;
   }
   std::string buffer;
   size_t bytes = need_header ? header.size() + 1 : 0;
@@ -168,61 +140,43 @@ common::Status WriteLines(const std::string& path, const std::string& header,
     buffer += '\n';
   }
 
+  auto file = env->NewWritableFile(
+      path, append ? common::WriteMode::kAppend : common::WriteMode::kTruncate);
+  if (!file.ok()) {
+    return common::Status::IoError("cannot open " + path + ": " +
+                                   file.status().message());
+  }
+
   common::FaultAction action = common::FaultAction::kNone;
   // semitri-lint: allow(fault-site-registry) — the name is forwarded
   // from AppendWriteThrough's caller; the only value passed,
   // "store_write_through", is a registered exact entry.
   if (fault_site != nullptr) action = SEMITRI_FAULT_FIRE(fault_site);
   if (action == common::FaultAction::kFail) {
-    ::close(fd);
     return common::Status::IoError("injected write failure for " + path);
   }
   if (action == common::FaultAction::kCrash) {
     // Simulated power cut mid-append: half the batch reaches the file,
     // tearing the final line. LoadCsv must tolerate exactly this. The
     // partial write's own status is irrelevant — we report the crash.
-    (void)WriteAllFd(fd, buffer.data(), buffer.size() / 2, path);
-    ::close(fd);
+    (void)(*file)->Append(
+        std::string_view(buffer.data(), buffer.size() / 2));
     return common::Status::IoError("simulated crash during csv append");
   }
 
-  common::Status status = WriteAllFd(fd, buffer.data(), buffer.size(), path);
-  if (status.ok() && sync && ::fsync(fd) != 0) {
-    status = common::Status::IoError("fsync failed for " + path);
-  }
-  ::close(fd);
-  return status;
+  SEMITRI_RETURN_IF_ERROR((*file)->Append(buffer));
+  if (sync) SEMITRI_RETURN_IF_ERROR((*file)->Sync());
+  SEMITRI_RETURN_IF_ERROR((*file)->Close());
+  if (crc_out != nullptr) *crc_out = common::Crc32(buffer);
+  if (size_out != nullptr) *size_out = buffer.size();
+  return common::Status::OK();
 }
 
-common::Status WriteFileSync(const std::string& path,
-                             const std::string& content) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return common::Status::IoError("cannot open " + path + ": " +
-                                   std::strerror(errno));
-  }
-  common::Status status = WriteAllFd(fd, content.data(), content.size(), path);
-  if (status.ok() && ::fsync(fd) != 0) {
-    status = common::Status::IoError("fsync failed for " + path);
-  }
-  ::close(fd);
-  return status;
-}
-
-void SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
-
-std::string ReadFirstLine(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return {};
-  std::string line;
-  std::getline(in, line);
-  return line;
+std::string ReadFirstLine(common::Env* env, const std::string& path) {
+  std::string data;
+  if (!env->ReadFileToString(path, &data).ok()) return {};
+  size_t eol = data.find('\n');
+  return eol == std::string::npos ? data : data.substr(0, eol);
 }
 
 // Field accessors for LoadCsv: untrusted CSV must produce Corruption
@@ -249,16 +203,16 @@ bool ParseField(const std::string& field, size_t* out) {
 // crash mid-append (WriteLines emits one batch per write, newline
 // last); that torn row is dropped and counted instead.
 common::Status ForEachRow(
-    const std::string& path,
+    common::Env* env, const std::string& path,
     const std::function<common::Status(const std::string&)>& row,
     size_t* torn_rows_tolerated) {
   std::string data;
   {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return common::Status::IoError("cannot open " + path);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    data = buffer.str();
+    common::Status read = env->ReadFileToString(path, &data);
+    if (!read.ok()) {
+      return common::Status::IoError("cannot open " + path + ": " +
+                                     read.message());
+    }
   }
   bool last_terminated = data.empty() || data.back() == '\n';
   std::vector<std::string> lines = common::Split(data, '\n');
@@ -298,33 +252,40 @@ common::Status ParseEpisodeKind(const std::string& kind,
 }  // namespace
 
 SemanticTrajectoryStore::SemanticTrajectoryStore(StoreConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)), env_(common::ResolveEnv(config_.env)) {}
+
+common::Status SemanticTrajectoryStore::EnterDegradedLocked(
+    common::Status cause) {
+  if (!degraded_) {
+    degraded_ = true;
+    degraded_reason_ = cause.ToString();
+  }
+  return cause;
+}
 
 common::Status SemanticTrajectoryStore::AppendWriteThrough(
     const std::string& file, const std::string& header,
     const std::vector<std::string>& rows) {
   if (config_.write_through_dir.empty()) return common::Status::OK();
-  std::error_code ec;
-  fs::create_directories(config_.write_through_dir, ec);
-  if (ec) {
-    return common::Status::IoError("cannot create " +
-                                   config_.write_through_dir);
+  common::Status created = env_->CreateDirs(config_.write_through_dir);
+  if (!created.ok()) {
+    return EnterDegradedLocked(common::Status::IoError(
+        "cannot create " + config_.write_through_dir));
   }
   std::string path = config_.write_through_dir + "/" + file;
-  return WriteLines(path, header, rows, /*append=*/true, /*sync=*/false,
-                    /*fault_site=*/"store_write_through");
+  common::Status status =
+      WriteLines(env_, path, header, rows, /*append=*/true, /*sync=*/false,
+                 /*fault_site=*/"store_write_through");
+  if (!status.ok()) return EnterDegradedLocked(std::move(status));
+  return status;
 }
 
 common::Status SemanticTrajectoryStore::EnsureWal() {
   if (config_.durable_dir.empty() || wal_ != nullptr) {
     return common::Status::OK();
   }
-  std::error_code ec;
-  fs::create_directories(config_.durable_dir, ec);
-  if (ec) {
-    return common::Status::IoError("cannot create " + config_.durable_dir);
-  }
-  auto writer = WalWriter::Open(config_.durable_dir + "/" + kWalFile);
+  SEMITRI_RETURN_IF_ERROR(env_->CreateDirs(config_.durable_dir));
+  auto writer = WalWriter::Open(config_.durable_dir + "/" + kWalFile, env_);
   SEMITRI_RETURN_IF_ERROR(writer.status());
   wal_ = std::move(writer.value());
   return common::Status::OK();
@@ -333,10 +294,14 @@ common::Status SemanticTrajectoryStore::EnsureWal() {
 common::Status SemanticTrajectoryStore::LogToWal(WalRecordType type,
                                                  const std::string& payload) {
   if (config_.durable_dir.empty()) return common::Status::OK();
-  SEMITRI_RETURN_IF_ERROR(EnsureWal());
-  SEMITRI_RETURN_IF_ERROR(wal_->Append(type, payload));
-  if (config_.sync_every_put) return wal_->Sync();
-  return common::Status::OK();
+  common::Status status = EnsureWal();
+  if (status.ok()) status = wal_->Append(type, payload);
+  if (status.ok() && config_.sync_every_put) status = wal_->Sync();
+  // Any WAL write/sync failure poisons the writer (store/wal.h) and
+  // flips the store into read-only degraded mode: accepting more
+  // writes after a disk fault would be a durability lie.
+  if (!status.ok()) return EnterDegradedLocked(std::move(status));
+  return status;
 }
 
 void SemanticTrajectoryStore::ApplyRawTrajectory(
@@ -405,6 +370,10 @@ common::Status SemanticTrajectoryStore::ApplyWalRecord(
 common::Status SemanticTrajectoryStore::PutRawTrajectory(
     const core::RawTrajectory& trajectory) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (degraded_) {
+    return common::Status::Unavailable(
+        "store is in read-only degraded mode: " + degraded_reason_);
+  }
   if (!config_.durable_dir.empty()) {
     common::StateWriter payload;
     core::SaveState(trajectory, &payload);
@@ -423,6 +392,10 @@ common::Status SemanticTrajectoryStore::PutRawTrajectory(
 common::Status SemanticTrajectoryStore::PutEpisodes(
     core::TrajectoryId id, const std::vector<core::Episode>& episodes) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (degraded_) {
+    return common::Status::Unavailable(
+        "store is in read-only degraded mode: " + degraded_reason_);
+  }
   if (!config_.durable_dir.empty()) {
     common::StateWriter payload;
     payload.PutI64(id);
@@ -446,6 +419,10 @@ common::Status SemanticTrajectoryStore::PutInterpretation(
         "interpretation name must be set");
   }
   std::lock_guard<std::mutex> lock(mutex_);
+  if (degraded_) {
+    return common::Status::Unavailable(
+        "store is in read-only degraded mode: " + degraded_reason_);
+  }
   if (!config_.durable_dir.empty()) {
     common::StateWriter payload;
     core::SaveState(trajectory, &payload);
@@ -459,6 +436,30 @@ common::Status SemanticTrajectoryStore::PutInterpretation(
     rows.push_back(SemanticEpisodeRow(trajectory, i, trajectory.episodes[i]));
   }
   return AppendWriteThrough("semantic_episodes.csv", kSemanticHeader, rows);
+}
+
+common::Status SemanticTrajectoryStore::ExitDegradedMode() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!degraded_) return common::Status::OK();
+  if (!config_.durable_dir.empty()) {
+    // Rotate past the poisoned writer: trim any torn tail the failed
+    // write left (so appends resume on a frame boundary), reopen, and
+    // prove the disk writes again with an fsync probe. An ambiguous
+    // failed-sync frame that did reach the disk survives the trim and
+    // replays on recovery — at-least-once for unacknowledged writes,
+    // never a silent loss of acknowledged ones.
+    wal_.reset();
+    auto trimmed = ReplayWal(
+        config_.durable_dir + "/" + kWalFile,
+        [](WalRecordType, std::string_view) { return common::Status::OK(); },
+        /*truncate_torn_tail=*/true, env_);
+    SEMITRI_RETURN_IF_ERROR(trimmed.status());
+    SEMITRI_RETURN_IF_ERROR(EnsureWal());
+    SEMITRI_RETURN_IF_ERROR(wal_->Sync());
+  }
+  degraded_ = false;
+  degraded_reason_.clear();
+  return common::Status::OK();
 }
 
 bool SemanticTrajectoryStore::ContentEquals(
@@ -536,16 +537,25 @@ common::Status SemanticTrajectoryStore::SaveCsv(const std::string& dir) const {
 
 common::Status SemanticTrajectoryStore::SaveCsvLocked(
     const std::string& dir) const {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) return common::Status::IoError("cannot create " + dir);
+  SEMITRI_RETURN_IF_ERROR(env_->CreateDirs(dir));
+
+  // Per-file CRCs, recorded into checksums.csv last so the integrity
+  // scrubber (store/integrity_scrubber.h) can re-verify a cold
+  // generation without re-parsing it.
+  std::vector<std::string> checksum_rows;
+  uint32_t crc = 0;
+  uint64_t size = 0;
 
   std::vector<std::string> gps_rows;
   for (const auto& [id, t] : raw_) {
     for (const core::GpsPoint& p : t.points) gps_rows.push_back(GpsRow(t, p));
   }
-  SEMITRI_RETURN_IF_ERROR(WriteLines(dir + "/gps.csv", kGpsHeader, gps_rows,
-                                     /*append=*/false, /*sync=*/true));
+  SEMITRI_RETURN_IF_ERROR(WriteLines(env_, dir + "/gps.csv", kGpsHeader,
+                                     gps_rows, /*append=*/false,
+                                     /*sync=*/true, nullptr, &crc, &size));
+  checksum_rows.push_back(
+      common::StrFormat("gps.csv,%u,%llu", crc,
+                        static_cast<unsigned long long>(size)));
 
   std::vector<std::string> episode_rows;
   for (const auto& [id, eps] : episodes_) {
@@ -553,9 +563,13 @@ common::Status SemanticTrajectoryStore::SaveCsvLocked(
       episode_rows.push_back(EpisodeRow(id, i, eps[i]));
     }
   }
-  SEMITRI_RETURN_IF_ERROR(WriteLines(dir + "/episodes.csv", kEpisodeHeader,
-                                     episode_rows, /*append=*/false,
-                                     /*sync=*/true));
+  SEMITRI_RETURN_IF_ERROR(WriteLines(env_, dir + "/episodes.csv",
+                                     kEpisodeHeader, episode_rows,
+                                     /*append=*/false, /*sync=*/true, nullptr,
+                                     &crc, &size));
+  checksum_rows.push_back(
+      common::StrFormat("episodes.csv,%u,%llu", crc,
+                        static_cast<unsigned long long>(size)));
 
   std::vector<std::string> semantic_rows;
   for (const auto& [key, t] : interpretations_) {
@@ -563,9 +577,13 @@ common::Status SemanticTrajectoryStore::SaveCsvLocked(
       semantic_rows.push_back(SemanticEpisodeRow(t, i, t.episodes[i]));
     }
   }
-  SEMITRI_RETURN_IF_ERROR(WriteLines(dir + "/semantic_episodes.csv",
+  SEMITRI_RETURN_IF_ERROR(WriteLines(env_, dir + "/semantic_episodes.csv",
                                      kSemanticHeader, semantic_rows,
-                                     /*append=*/false, /*sync=*/true));
+                                     /*append=*/false, /*sync=*/true, nullptr,
+                                     &crc, &size));
+  checksum_rows.push_back(
+      common::StrFormat("semantic_episodes.csv,%u,%llu", crc,
+                        static_cast<unsigned long long>(size)));
 
   std::vector<std::string> manifest_rows;
   for (const auto& [id, t] : raw_) {
@@ -585,8 +603,16 @@ common::Status SemanticTrajectoryStore::SaveCsvLocked(
                                              t.interpretation));
     }
   }
-  return WriteLines(dir + "/manifest.csv", kManifestHeader, manifest_rows,
-                    /*append=*/false, /*sync=*/true);
+  SEMITRI_RETURN_IF_ERROR(WriteLines(env_, dir + "/manifest.csv",
+                                     kManifestHeader, manifest_rows,
+                                     /*append=*/false, /*sync=*/true, nullptr,
+                                     &crc, &size));
+  checksum_rows.push_back(
+      common::StrFormat("manifest.csv,%u,%llu", crc,
+                        static_cast<unsigned long long>(size)));
+
+  return WriteLines(env_, dir + "/" + kChecksumsFile, kChecksumsHeader,
+                    checksum_rows, /*append=*/false, /*sync=*/true);
 }
 
 void SemanticTrajectoryStore::ClearLocked() {
@@ -618,7 +644,7 @@ common::Status SemanticTrajectoryStore::LoadCsvLocked(const std::string& dir) {
   size_t torn_rows = 0;
 
   SEMITRI_RETURN_IF_ERROR(ForEachRow(
-      dir + "/gps.csv",
+      env_, dir + "/gps.csv",
       [&](const std::string& line) {
         std::vector<std::string> f = common::CsvParseLine(line);
         int64_t object_id = 0;
@@ -639,7 +665,7 @@ common::Status SemanticTrajectoryStore::LoadCsvLocked(const std::string& dir) {
       &torn_rows));
 
   SEMITRI_RETURN_IF_ERROR(ForEachRow(
-      dir + "/episodes.csv",
+      env_, dir + "/episodes.csv",
       [&](const std::string& line) {
         std::vector<std::string> f = common::CsvParseLine(line);
         core::Episode e;
@@ -662,7 +688,7 @@ common::Status SemanticTrajectoryStore::LoadCsvLocked(const std::string& dir) {
       &torn_rows));
 
   SEMITRI_RETURN_IF_ERROR(ForEachRow(
-      dir + "/semantic_episodes.csv",
+      env_, dir + "/semantic_episodes.csv",
       [&](const std::string& line) {
         std::vector<std::string> f = common::CsvParseLine(line);
         int64_t object_id = 0;
@@ -706,9 +732,9 @@ common::Status SemanticTrajectoryStore::LoadCsvLocked(const std::string& dir) {
 
   // Empty entities recorded by SaveCsvLocked (absent in checkpoints
   // written before manifest.csv existed — those simply list no empties).
-  if (fs::exists(dir + "/manifest.csv")) {
+  if (env_->FileExists(dir + "/manifest.csv")) {
     SEMITRI_RETURN_IF_ERROR(ForEachRow(
-        dir + "/manifest.csv",
+        env_, dir + "/manifest.csv",
         [&](const std::string& line) {
           std::vector<std::string> f = common::CsvParseLine(line);
           int64_t object_id = 0;
@@ -755,12 +781,14 @@ SemanticTrajectoryStore::Recover(const std::string& dir) {
   ClearLocked();
   wal_.reset();
   config_.durable_dir = dir;
+  // A fresh process on a healthy disk starts healthy; if the disk is
+  // still failing the first write re-degrades immediately.
+  degraded_ = false;
+  degraded_reason_.clear();
 
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) return common::Status::IoError("cannot create " + dir);
+  SEMITRI_RETURN_IF_ERROR(env_->CreateDirs(dir));
 
-  std::string current = ReadFirstLine(dir + "/" + kCurrentFile);
+  std::string current = ReadFirstLine(env_, dir + "/" + kCurrentFile);
   if (!current.empty()) {
     SEMITRI_RETURN_IF_ERROR(LoadCsvLocked(dir + "/" + current));
     stats.checkpoint_loaded = true;
@@ -770,13 +798,13 @@ SemanticTrajectoryStore::Recover(const std::string& dir) {
   // older records. A sealed segment was fsynced before the rename
   // published it, so a torn frame there is genuine corruption rather
   // than a crash tail, and replay fails instead of truncating.
-  for (const std::string& name : ListSealedWalSegments(dir)) {
+  for (const std::string& name : ListSealedWalSegments(dir, env_)) {
     auto sealed = ReplayWal(
         dir + "/" + name,
         [this](WalRecordType type, std::string_view payload) {
           return ApplyWalRecord(type, payload);
         },
-        /*truncate_torn_tail=*/false);
+        /*truncate_torn_tail=*/false, env_);
     SEMITRI_RETURN_IF_ERROR(sealed.status());
     if (sealed->torn_bytes_truncated > 0) {
       return common::Status::Corruption("torn frame in sealed wal segment " +
@@ -795,7 +823,7 @@ SemanticTrajectoryStore::Recover(const std::string& dir) {
       [this](WalRecordType type, std::string_view payload) {
         return ApplyWalRecord(type, payload);
       },
-      /*truncate_torn_tail=*/true);
+      /*truncate_torn_tail=*/true, env_);
   SEMITRI_RETURN_IF_ERROR(replayed.status());
   stats.wal_records_replayed = replayed->records_applied;
   stats.wal_torn_bytes_truncated = replayed->torn_bytes_truncated;
@@ -804,47 +832,55 @@ SemanticTrajectoryStore::Recover(const std::string& dir) {
 
 common::Status SemanticTrajectoryStore::Sync() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (degraded_) {
+    return common::Status::Unavailable(
+        "store is in read-only degraded mode: " + degraded_reason_);
+  }
   if (config_.durable_dir.empty() || wal_ == nullptr) {
     return common::Status::OK();  // nothing appended yet
   }
-  return wal_->Sync();
+  common::Status status = wal_->Sync();
+  if (!status.ok()) return EnterDegradedLocked(std::move(status));
+  return status;
 }
 
 std::vector<std::string> SemanticTrajectoryStore::ListSealedWalSegments(
-    const std::string& dir) {
+    const std::string& dir, common::Env* env) {
   std::vector<std::pair<size_t, std::string>> found;
-  std::error_code ec;
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
-    if (ec) break;
-    if (!entry.is_regular_file()) continue;
-    std::string base = entry.path().filename().string();
+  auto names = common::ResolveEnv(env)->ListDir(dir);
+  if (!names.ok()) return {};
+  for (const std::string& base : *names) {
     size_t seq = 0;
     if (ParseSealedWalSeq(base, &seq)) found.emplace_back(seq, base);
   }
   std::sort(found.begin(), found.end());
-  std::vector<std::string> names;
-  names.reserve(found.size());
-  for (auto& [seq, name] : found) names.push_back(std::move(name));
-  return names;
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (auto& [seq, name] : found) out.push_back(std::move(name));
+  return out;
 }
 
 common::Result<std::string> SemanticTrajectoryStore::SealWalSegment() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (config_.durable_dir.empty()) return std::string();
+  if (degraded_) {
+    return common::Status::Unavailable(
+        "store is in read-only degraded mode: " + degraded_reason_);
+  }
   std::string active = config_.durable_dir + "/" + kWalFile;
-  std::error_code ec;
-  uintmax_t size = fs::file_size(active, ec);
-  if (ec || size == 0) return std::string();  // nothing to seal
+  auto size = env_->FileSize(active);
+  if (!size.ok() || *size == 0) return std::string();  // nothing to seal
   // fsync before the rename publishes the sealed name: once visible,
   // a segment is complete, so replay and shipping never see a tail in
   // flight.
   if (wal_ != nullptr) {
-    SEMITRI_RETURN_IF_ERROR(wal_->Sync());
+    common::Status synced = wal_->Sync();
+    if (!synced.ok()) return EnterDegradedLocked(std::move(synced));
   }
   wal_.reset();
   size_t seq = 1;
   for (const std::string& existing :
-       ListSealedWalSegments(config_.durable_dir)) {
+       ListSealedWalSegments(config_.durable_dir, env_)) {
     size_t existing_seq = 0;
     if (ParseSealedWalSeq(existing, &existing_seq) && existing_seq >= seq) {
       seq = existing_seq + 1;
@@ -852,12 +888,14 @@ common::Result<std::string> SemanticTrajectoryStore::SealWalSegment() {
   }
   std::string name = common::StrFormat("%s%06zu%s", kSealedWalPrefix, seq,
                                        kSealedWalSuffix);
-  fs::rename(active, config_.durable_dir + "/" + name, ec);
-  if (ec) {
+  common::Status renamed =
+      env_->RenameFile(active, config_.durable_dir + "/" + name);
+  if (!renamed.ok()) {
     return common::Status::IoError("cannot seal wal segment " +
-                                   config_.durable_dir + "/" + name);
+                                   config_.durable_dir + "/" + name + ": " +
+                                   renamed.message());
   }
-  SyncDir(config_.durable_dir);
+  (void)env_->SyncDir(config_.durable_dir);  // best-effort, like before
   // The next Put's EnsureWal() reopens a fresh active log.
   return name;
 }
@@ -865,6 +903,10 @@ common::Result<std::string> SemanticTrajectoryStore::SealWalSegment() {
 common::Status SemanticTrajectoryStore::Checkpoint() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (config_.durable_dir.empty()) return common::Status::OK();
+  if (degraded_) {
+    return common::Status::Unavailable(
+        "store is in read-only degraded mode: " + degraded_reason_);
+  }
 
   common::FaultAction action = SEMITRI_FAULT_FIRE("wal_checkpoint");
   if (action == common::FaultAction::kFail) {
@@ -874,7 +916,8 @@ common::Status SemanticTrajectoryStore::Checkpoint() {
   }
 
   // Next generation number: one past what CURRENT points at.
-  std::string current = ReadFirstLine(config_.durable_dir + "/" + kCurrentFile);
+  std::string current =
+      ReadFirstLine(env_, config_.durable_dir + "/" + kCurrentFile);
   size_t generation = 1;
   if (current.rfind(kCheckpointPrefix, 0) == 0) {
     size_t previous = 0;
@@ -898,32 +941,40 @@ common::Status SemanticTrajectoryStore::Checkpoint() {
   // checkpoint. Before it the old generation is authoritative, after
   // it the new one is; there is no intermediate state.
   std::string current_path = config_.durable_dir + "/" + kCurrentFile;
-  SEMITRI_RETURN_IF_ERROR(WriteFileSync(current_path + ".tmp", name + "\n"));
-  std::error_code ec;
-  fs::rename(current_path + ".tmp", current_path, ec);
-  if (ec) {
-    return common::Status::IoError("cannot commit " + current_path);
+  SEMITRI_RETURN_IF_ERROR(
+      env_->WriteStringToFile(current_path + ".tmp", name + "\n",
+                              /*sync=*/true));
+  common::Status flipped =
+      env_->RenameFile(current_path + ".tmp", current_path);
+  if (!flipped.ok()) {
+    // The flip never happened: the old generation stays authoritative.
+    // Sweep the tmp so a later retry starts clean.
+    (void)env_->RemoveFile(current_path + ".tmp");
+    return common::Status::IoError("cannot commit " + current_path + ": " +
+                                   flipped.message());
   }
-  SyncDir(config_.durable_dir);
+  (void)env_->SyncDir(config_.durable_dir);  // best-effort, like before
 
   // The checkpoint holds everything the log held; empty it.
   SEMITRI_RETURN_IF_ERROR(EnsureWal());
   SEMITRI_RETURN_IF_ERROR(wal_->Truncate());
 
   // GC stale generations (including orphans from crashed checkpoints).
-  for (const fs::directory_entry& entry :
-       fs::directory_iterator(config_.durable_dir, ec)) {
-    if (ec) break;
-    if (!entry.is_directory()) continue;
-    std::string base = entry.path().filename().string();
-    if (base.rfind(kCheckpointPrefix, 0) == 0 && base != name) {
-      fs::remove_all(entry.path(), ec);
+  // GC failures leave garbage behind but never unsound state; the next
+  // checkpoint retries.
+  auto entries = env_->ListDir(config_.durable_dir);
+  if (entries.ok()) {
+    for (const std::string& base : *entries) {
+      if (base.rfind(kCheckpointPrefix, 0) == 0 && base != name &&
+          env_->IsDirectory(config_.durable_dir + "/" + base)) {
+        (void)env_->RemoveDirRecursive(config_.durable_dir + "/" + base);
+      }
     }
   }
   // The checkpoint compacted everything the sealed segments held.
   for (const std::string& sealed :
-       ListSealedWalSegments(config_.durable_dir)) {
-    fs::remove(config_.durable_dir + "/" + sealed, ec);
+       ListSealedWalSegments(config_.durable_dir, env_)) {
+    (void)env_->RemoveFile(config_.durable_dir + "/" + sealed);
   }
   return common::Status::OK();
 }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/types.h"
@@ -37,6 +38,11 @@
 namespace semitri::store {
 
 struct StoreConfig {
+  // Filesystem to run all file I/O through; null means the real
+  // filesystem (common::Env::Default()). Tests inject a
+  // common::FaultFs here to exercise ENOSPC/EIO/fsync-failure paths.
+  common::Env* env = nullptr;
+
   // When nonempty, every Put* call appends to CSV files under this
   // directory (created on demand) in addition to the in-memory tables.
   // Appends are single buffered write() calls, so a crash leaves at
@@ -133,6 +139,39 @@ class SemanticTrajectoryStore {
     return torn_rows_tolerated_;
   }
 
+  // --- read-only degraded mode ----------------------------------------
+  //
+  // A persistent write fault (WAL append/sync failure, write-through
+  // append failure) flips the store into read-only degraded mode:
+  // reads and already-durable data stay served, every subsequent
+  // write-path call (Put*, Sync, Checkpoint, SealWalSegment) returns
+  // Unavailable, and the triggering fault is kept for HealthSnapshot
+  // to surface. This is the no-durability-lies stance: once a write
+  // fault happened, accepting more writes would acknowledge data the
+  // disk may never hold.
+
+  // True when the store has entered read-only degraded mode.
+  bool storage_degraded() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degraded_;
+  }
+
+  // Human-readable cause of the degradation ("" when healthy).
+  std::string degraded_reason() const SEMITRI_EXCLUDES(mutex_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degraded_reason_;
+  }
+
+  // Attempts to leave degraded mode: discards the poisoned WAL writer,
+  // truncates any torn tail the failed write left (so appends resume
+  // on a frame boundary), reopens a fresh writer and probes it with an
+  // fsync. Returns OK and clears the degraded flag only when the probe
+  // succeeds; a still-bad disk keeps the store degraded. A failed-sync
+  // record may already be durable in the log even though its Put
+  // returned an error — recovery replays it (at-least-once for
+  // unacknowledged writes; see DESIGN.md "Failure model & durability").
+  [[nodiscard]] common::Status ExitDegradedMode() SEMITRI_EXCLUDES(mutex_);
+
   // --- persistence ----------------------------------------------------
 
   // Writes all tables as CSV files (gps.csv, episodes.csv,
@@ -192,9 +231,9 @@ class SemanticTrajectoryStore {
 
   // Sealed (`wal-<seq>.log`) segment filenames under `dir`, ascending
   // by sequence number. Static so a shipper can inspect a standby
-  // directory no store has open.
+  // directory no store has open. Null `env` means the real filesystem.
   static std::vector<std::string> ListSealedWalSegments(
-      const std::string& dir);
+      const std::string& dir, common::Env* env = nullptr);
 
  private:
   [[nodiscard]] common::Status AppendWriteThrough(const std::string& file,
@@ -231,8 +270,16 @@ class SemanticTrajectoryStore {
       SEMITRI_REQUIRES(mutex_);
   void ClearLocked() SEMITRI_REQUIRES(mutex_);
 
+  // Flips the store into read-only degraded mode (recording `cause`)
+  // and returns `cause` so write paths can `return EnterDegraded...`.
+  [[nodiscard]] common::Status EnterDegradedLocked(common::Status cause)
+      SEMITRI_REQUIRES(mutex_);
+
   StoreConfig config_ SEMITRI_GUARDED_BY(mutex_);
+  common::Env* const env_;
   mutable std::mutex mutex_;
+  bool degraded_ SEMITRI_GUARDED_BY(mutex_) = false;
+  std::string degraded_reason_ SEMITRI_GUARDED_BY(mutex_);
   std::unique_ptr<WalWriter> wal_ SEMITRI_GUARDED_BY(mutex_);
   std::map<core::TrajectoryId, core::RawTrajectory> raw_
       SEMITRI_GUARDED_BY(mutex_);

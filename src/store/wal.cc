@@ -1,13 +1,5 @@
 #include "store/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <fstream>
-#include <sstream>
-
 #include "common/fault_injection.h"
 #include "common/serial.h"
 
@@ -16,20 +8,6 @@ namespace semitri::store {
 namespace {
 
 constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc32
-
-common::Status WriteAll(int fd, const char* data, size_t size) {
-  size_t written = 0;
-  while (written < size) {
-    ssize_t n = ::write(fd, data + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return common::Status::IoError(std::string("wal write failed: ") +
-                                     std::strerror(errno));
-    }
-    written += static_cast<size_t>(n);
-  }
-  return common::Status::OK();
-}
 
 std::string Frame(WalRecordType type, std::string_view payload) {
   common::StateWriter frame;
@@ -55,17 +33,20 @@ uint32_t ReadU32(const char* p) {
 }  // namespace
 
 common::Result<std::unique_ptr<WalWriter>> WalWriter::Open(
-    const std::string& path) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) {
+    const std::string& path, common::Env* env) {
+  auto file = common::ResolveEnv(env)->NewWritableFile(
+      path, common::WriteMode::kAppend);
+  if (!file.ok()) {
     return common::Status::IoError("cannot open wal " + path + ": " +
-                                   std::strerror(errno));
+                                   file.status().message());
   }
-  return std::unique_ptr<WalWriter>(new WalWriter(fd));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(*file)));
 }
 
-WalWriter::~WalWriter() {
-  if (fd_ >= 0) ::close(fd_);
+common::Status WalWriter::Poison(common::Status st) {
+  poisoned_ = true;
+  poison_cause_ = st;
+  return st;
 }
 
 common::Status WalWriter::Append(WalRecordType type,
@@ -73,69 +54,82 @@ common::Status WalWriter::Append(WalRecordType type,
   if (dead_) {
     return common::Status::IoError("wal writer dead after simulated crash");
   }
+  if (poisoned_) {
+    return common::Status::IoError(
+        "wal writer poisoned by earlier failure, rotate the log (cause: " +
+        poison_cause_.ToString() + ")");
+  }
   std::string frame = Frame(type, payload);
   common::FaultAction action = SEMITRI_FAULT_FIRE("wal_append");
   if (action == common::FaultAction::kCrash) {
     // Simulated power cut mid-write: half the frame reaches the disk,
     // then the process is gone. Recovery must truncate this torn tail.
     // The partial write's own status is irrelevant — we report the crash.
-    (void)WriteAll(fd_, frame.data(), frame.size() / 2);
+    (void)file_->Append(
+        std::string_view(frame.data(), frame.size() / 2));
     dead_ = true;
+    poisoned_ = true;
     return common::Status::IoError("simulated crash during wal append");
   }
   if (action == common::FaultAction::kFail) {
-    return common::Status::IoError("injected wal append failure");
+    return Poison(common::Status::IoError("injected wal append failure"));
   }
-  return WriteAll(fd_, frame.data(), frame.size());
+  common::Status st = file_->Append(frame);
+  if (!st.ok()) return Poison(std::move(st));
+  return st;
 }
 
 common::Status WalWriter::Sync() {
   if (dead_) {
     return common::Status::IoError("wal writer dead after simulated crash");
   }
+  if (poisoned_) {
+    return common::Status::IoError(
+        "wal writer poisoned by earlier failure, rotate the log (cause: " +
+        poison_cause_.ToString() + ")");
+  }
   common::FaultAction action = SEMITRI_FAULT_FIRE("wal_sync");
   if (action == common::FaultAction::kCrash) {
     dead_ = true;
+    poisoned_ = true;
     return common::Status::IoError("simulated crash during wal sync");
   }
   if (action == common::FaultAction::kFail) {
-    return common::Status::IoError("injected wal sync failure");
+    return Poison(common::Status::IoError("injected wal sync failure"));
   }
-  if (::fsync(fd_) != 0) {
-    return common::Status::IoError(std::string("wal fsync failed: ") +
-                                   std::strerror(errno));
-  }
-  return common::Status::OK();
+  common::Status st = file_->Sync();
+  if (!st.ok()) return Poison(std::move(st));
+  return st;
 }
 
 common::Status WalWriter::Truncate() {
   if (dead_) {
     return common::Status::IoError("wal writer dead after simulated crash");
   }
-  if (::ftruncate(fd_, 0) != 0) {
-    return common::Status::IoError(std::string("wal truncate failed: ") +
-                                   std::strerror(errno));
+  if (poisoned_) {
+    return common::Status::IoError(
+        "wal writer poisoned by earlier failure, rotate the log (cause: " +
+        poison_cause_.ToString() + ")");
   }
-  if (::fsync(fd_) != 0) {
-    return common::Status::IoError(std::string("wal fsync failed: ") +
-                                   std::strerror(errno));
-  }
-  return common::Status::OK();
+  common::Status st = file_->Truncate(0);
+  if (!st.ok()) return Poison(std::move(st));
+  return st;
 }
 
 common::Result<WalReplayStats> ReplayWal(
     const std::string& path,
     const std::function<common::Status(WalRecordType, std::string_view)>&
         apply,
-    bool truncate_torn_tail) {
+    bool truncate_torn_tail, common::Env* env) {
+  common::Env* e = common::ResolveEnv(env);
   WalReplayStats stats;
   std::string data;
   {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return stats;  // no log yet — empty
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    data = buffer.str();
+    common::Status read = e->ReadFileToString(path, &data);
+    if (read.code() == common::StatusCode::kNotFound) {
+      return stats;  // no log yet — empty
+    }
+    if (!read.ok()) return read;
   }
 
   size_t pos = 0;
@@ -156,10 +150,10 @@ common::Result<WalReplayStats> ReplayWal(
 
   stats.torn_bytes_truncated = data.size() - pos;
   if (stats.torn_bytes_truncated > 0 && truncate_torn_tail) {
-    if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
-      return common::Status::IoError(std::string("cannot truncate torn wal "
-                                                 "tail: ") +
-                                     std::strerror(errno));
+    common::Status st = e->TruncateFile(path, pos);
+    if (!st.ok()) {
+      return common::Status::IoError("cannot truncate torn wal tail: " +
+                                     st.message());
     }
   }
   return stats;

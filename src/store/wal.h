@@ -24,6 +24,17 @@
 // Sync() fsyncs the descriptor. The store decides the sync policy
 // (StoreConfig::sync_every_put or explicit Sync()).
 //
+// Poisoning: after ANY write/sync/truncate failure — real disk error
+// or injected — the writer is poisoned and every later operation
+// fails. A failed fsync may have dropped dirty pages the kernel will
+// never retry (the PostgreSQL fsyncgate lesson), so a later Sync()
+// succeeding must not be read as "the earlier appends are durable".
+// The only way forward is rotation: discard the writer, truncate the
+// torn tail via replay, and open a fresh one.
+//
+// All file I/O goes through common::Env; pass a FaultFs to inject
+// ENOSPC/EIO/short-write/fsync faults (tests/env_fault_test.cc).
+//
 // Fault sites (active only with SEMITRI_FAULT_INJECTION=ON):
 //   wal_append — kFail: append reports an error and is not written;
 //                kCrash: half the frame is written, then the writer
@@ -37,6 +48,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/env.h"
 #include "common/status.h"
 
 namespace semitri::store {
@@ -49,23 +61,28 @@ enum class WalRecordType : uint8_t {
 
 class WalWriter {
  public:
-  // Opens `path` for appending (created if absent). The caller must
-  // have truncated any torn tail first (ReplayWal does) — appending
-  // after a torn frame would make every subsequent record unreachable.
+  // Opens `path` for appending (created if absent) through `env` (null
+  // = the real filesystem). The caller must have truncated any torn
+  // tail first (ReplayWal does) — appending after a torn frame would
+  // make every subsequent record unreachable.
   [[nodiscard]] static common::Result<std::unique_ptr<WalWriter>> Open(
-      const std::string& path);
+      const std::string& path, common::Env* env = nullptr);
 
-  ~WalWriter();
+  ~WalWriter() = default;
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  // Appends one framed record via a single write() call.
+  // Appends one framed record via a single write call. Poisons the
+  // writer on failure.
   [[nodiscard]] common::Status Append(WalRecordType type, std::string_view payload);
 
-  // fsyncs everything appended so far.
+  // fsyncs everything appended so far. Poisons the writer on failure:
+  // after a failed fsync the earlier appends' durability is unknown
+  // and a retry succeeding would be a durability lie.
   [[nodiscard]] common::Status Sync();
 
   // Empties the log (checkpoint compaction) and syncs the truncation.
+  // Poisons the writer on failure.
   [[nodiscard]] common::Status Truncate();
 
   // True after a simulated crash (injected at wal_append/wal_sync);
@@ -73,11 +90,21 @@ class WalWriter {
   // process would.
   bool dead() const { return dead_; }
 
- private:
-  explicit WalWriter(int fd) : fd_(fd) {}
+  // True after any failed append/sync/truncate; every later operation
+  // fails until the caller rotates to a fresh writer.
+  bool poisoned() const { return poisoned_; }
 
-  int fd_ = -1;
+ private:
+  explicit WalWriter(std::unique_ptr<common::WritableFile> file)
+      : file_(std::move(file)) {}
+
+  // Records the failure that poisoned the writer and returns `st`.
+  [[nodiscard]] common::Status Poison(common::Status st);
+
+  std::unique_ptr<common::WritableFile> file_;
   bool dead_ = false;
+  bool poisoned_ = false;
+  common::Status poison_cause_;
 };
 
 struct WalReplayStats {
@@ -86,16 +113,17 @@ struct WalReplayStats {
   size_t torn_bytes_truncated = 0;
 };
 
-// Reads `path` frame by frame, calling `apply` for each intact record
-// in order. A missing file is an empty log (0 records). The first torn
-// or corrupt frame ends the replay; when `truncate_torn_tail` is set
-// the file is truncated to the last intact frame so a writer can
-// safely append. `apply` errors abort the replay and are returned.
+// Reads `path` frame by frame through `env` (null = the real
+// filesystem), calling `apply` for each intact record in order. A
+// missing file is an empty log (0 records). The first torn or corrupt
+// frame ends the replay; when `truncate_torn_tail` is set the file is
+// truncated to the last intact frame so a writer can safely append.
+// `apply` errors abort the replay and are returned.
 [[nodiscard]] common::Result<WalReplayStats> ReplayWal(
     const std::string& path,
     const std::function<common::Status(WalRecordType, std::string_view)>&
         apply,
-    bool truncate_torn_tail);
+    bool truncate_torn_tail, common::Env* env = nullptr);
 
 }  // namespace semitri::store
 

@@ -1,14 +1,6 @@
 #include "stream/session_manager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "common/check.h"
@@ -110,6 +102,7 @@ SessionManager::SessionManager(const core::SemiTriPipeline* pipeline,
                                const common::Clock* clock)
     : pipeline_(pipeline),
       config_(config),
+      env_(common::ResolveEnv(config_.env)),
       clock_(clock != nullptr ? clock : common::Clock::Real()) {
   SEMITRI_CHECK(config_.num_shards > 0) << "num_shards must be positive";
   shards_.reserve(config_.num_shards);
@@ -486,32 +479,21 @@ common::Status SessionManager::Checkpoint(const std::string& path) const {
   std::string bytes = framed.Release() + payload.Release();
 
   // tmp + fsync + rename: the previous checkpoint stays intact until
-  // the new one is fully on disk.
+  // the new one is fully on disk. A failed write or flip sweeps its
+  // own tmp so retries start clean (and a full disk is not made worse
+  // by staging garbage).
   std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return common::Status::IoError("cannot open " + tmp + ": " +
-                                   std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return common::Status::IoError("write failed for " + tmp);
+  common::Status wrote = env_->WriteStringToFile(tmp, bytes, /*sync=*/true);
+  if (wrote.ok()) {
+    wrote = env_->RenameFile(tmp, path);
+    if (!wrote.ok()) {
+      wrote = common::Status::IoError("cannot commit checkpoint " + path +
+                                      ": " + wrote.message());
     }
-    written += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return common::Status::IoError("fsync failed for " + tmp);
-  }
-  ::close(fd);
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return common::Status::IoError("cannot commit checkpoint " + path);
+  if (!wrote.ok()) {
+    (void)env_->RemoveFile(tmp);
+    return wrote;
   }
   return common::Status::OK();
 }
@@ -519,11 +501,11 @@ common::Status SessionManager::Checkpoint(const std::string& path) const {
 common::Status SessionManager::Restore(const std::string& path) {
   std::string bytes;
   {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return common::Status::IoError("cannot open " + path);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    bytes = buffer.str();
+    common::Status read = env_->ReadFileToString(path, &bytes);
+    if (!read.ok()) {
+      return common::Status::IoError("cannot open " + path + ": " +
+                                     read.message());
+    }
   }
   common::StateReader frame(bytes);
   uint32_t size = 0;

@@ -65,6 +65,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/health.h"
@@ -114,6 +115,9 @@ struct SessionManagerConfig {
   core::TrajectoryId ids_per_object = 1000;
   // Global overload budgets & policies (default: everything unbounded).
   AdmissionConfig admission;
+  // Filesystem for Checkpoint()/Restore(); null = the real filesystem.
+  // Tests pass a common::FaultFs to inject disk faults.
+  common::Env* env = nullptr;
 };
 
 class SessionManager {
@@ -345,6 +349,7 @@ class SessionManager {
 
   const core::SemiTriPipeline* pipeline_;
   SessionManagerConfig config_;
+  common::Env* const env_;  // resolved from config_.env, never null
   const common::Clock* clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ActivityTracker activity_;

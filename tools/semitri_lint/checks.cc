@@ -864,6 +864,60 @@ std::vector<Finding> HotPathAllocImpl(const Corpus& corpus) {
   return findings;
 }
 
+// ---------------------------------------------------------------------
+// raw-filesystem
+// ---------------------------------------------------------------------
+
+constexpr char kRawFilesystem[] = "raw-filesystem";
+
+// Everything under src/ except the Env implementation itself must
+// route file I/O through common::Env — that is what makes disk faults
+// injectable (common::FaultFs) and keeps ENOSPC/EIO/fsync failures
+// surfacing as Status instead of being swallowed by an unchecked
+// stream state. The Env implementation (src/common/env.*) is the one
+// sanctioned home for raw syscalls.
+bool InRawFilesystemScope(const std::string& path) {
+  if (!StartsWith(path, "src/")) return false;
+  if (StartsWith(path, "src/common/env")) return false;
+  return true;
+}
+
+std::vector<Finding> RawFilesystemImpl(const Corpus& corpus) {
+  struct Token {
+    const char* text;
+    const char* what;
+  };
+  // Matched on the comment/string-blanked code view, so mentions in
+  // doc comments and error messages never trip the check.
+  static const Token kTokens[] = {
+      {"::open(", "raw ::open()"},
+      {"::fsync(", "raw ::fsync()"},
+      {"std::ofstream", "std::ofstream"},
+      {"std::ifstream", "std::ifstream"},
+      {"std::fstream", "std::fstream"},
+      {"std::filesystem", "std::filesystem"},
+  };
+  std::vector<Finding> findings;
+  for (const SourceFile& f : corpus.files) {
+    if (!InRawFilesystemScope(f.path())) continue;
+    for (size_t li = 1; li <= f.line_count(); ++li) {
+      const std::string& code = f.code_line(li);
+      for (const Token& t : kTokens) {
+        if (code.find(t.text) == std::string::npos) continue;
+        if (f.IsSuppressed(kRawFilesystem, li)) break;
+        findings.push_back(
+            {kRawFilesystem, f.path(), li,
+             std::string(t.what) +
+                 " in src/ — route file I/O through common::Env "
+                 "(src/common/env.h) so disk faults stay injectable and "
+                 "write/fsync failures surface as Status"});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+  return findings;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -872,7 +926,7 @@ std::vector<Finding> HotPathAllocImpl(const Corpus& corpus) {
 
 std::vector<std::string> AllCheckNames() {
   return {kUncheckedStatus, kExecCheckpoint, kGuardedBy, kFaultSites,
-          kHotPathAlloc};
+          kHotPathAlloc, kRawFilesystem};
 }
 
 std::vector<Finding> CheckUncheckedStatus(const Corpus& corpus) {
@@ -905,6 +959,12 @@ std::vector<Finding> CheckHotPathAlloc(const Corpus& corpus) {
   return findings;
 }
 
+std::vector<Finding> CheckRawFilesystem(const Corpus& corpus) {
+  std::vector<Finding> findings = RawFilesystemImpl(corpus);
+  SortFindings(&findings);
+  return findings;
+}
+
 std::vector<Finding> RunChecks(const Corpus& corpus,
                                const std::vector<std::string>& checks) {
   std::vector<std::string> selected = checks;
@@ -923,6 +983,8 @@ std::vector<Finding> RunChecks(const Corpus& corpus,
       batch = FaultSitesImpl(corpus);
     } else if (check == kHotPathAlloc) {
       batch = HotPathAllocImpl(corpus);
+    } else if (check == kRawFilesystem) {
+      batch = RawFilesystemImpl(corpus);
     } else {
       batch.push_back({"driver", "<args>", 0,
                        "unknown check `" + check + "`; known: " +

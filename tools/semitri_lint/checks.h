@@ -40,6 +40,14 @@
 //                             required entries while their owning
 //                             files exist. (PR 4, PR 9)
 //
+//   raw-filesystem            src/ outside src/common/env* must not
+//                             touch the filesystem directly (::open,
+//                             ::fsync, std::[io]fstream,
+//                             std::filesystem) — all file I/O routes
+//                             through common::Env so disk faults are
+//                             injectable and write errors surface as
+//                             Status. (PR 10)
+//
 // Every finding honors the `// semitri-lint: allow(<check>) — reason`
 // suppression protocol (see lint_util.h).
 
@@ -66,6 +74,7 @@ std::vector<Finding> CheckExecCheckpointCoverage(const Corpus& corpus);
 std::vector<Finding> CheckGuardedByCompleteness(const Corpus& corpus);
 std::vector<Finding> CheckFaultSiteRegistry(const Corpus& corpus);
 std::vector<Finding> CheckHotPathAlloc(const Corpus& corpus);
+std::vector<Finding> CheckRawFilesystem(const Corpus& corpus);
 
 }  // namespace semitri::lint
 

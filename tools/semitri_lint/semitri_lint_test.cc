@@ -282,6 +282,63 @@ TEST(HotPathAllocTest, PassesHoistedReferenceAndSuppressed) {
   EXPECT_TRUE(findings.empty()) << findings[0].message;
 }
 
+TEST(RawFilesystemTest, FlagsSyscallsStreamsAndFilesystemNamespace) {
+  Corpus corpus;
+  corpus.files.push_back(
+      LoadFixture("raw_filesystem_bad.cc", "src/store/some_store.cc"));
+  const SourceFile& f = corpus.files[0];
+  std::vector<Finding> findings = CheckRawFilesystem(corpus);
+
+  // ::open, ::fsync, each stream class, and std::filesystem.
+  EXPECT_EQ(findings.size(), 6u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: raw open")),
+            1u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: raw fsync")),
+            1u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: ofstream")),
+            1u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: ifstream")),
+            1u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: fstream")),
+            1u);
+  EXPECT_EQ(CountOnLine(findings, f.path(),
+                        LineOfMarker(f, "FLAG: std::filesystem")),
+            1u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.check, "raw-filesystem");
+  }
+}
+
+TEST(RawFilesystemTest, EnvImplementationAndTestsAreOutOfScope) {
+  // The Env implementation is the sanctioned home for raw syscalls,
+  // and the check governs src/ only.
+  Corpus corpus;
+  corpus.files.push_back(
+      LoadFixture("raw_filesystem_bad.cc", "src/common/env.cc"));
+  EXPECT_TRUE(CheckRawFilesystem(corpus).empty());
+  corpus.files.clear();
+  corpus.files.push_back(
+      LoadFixture("raw_filesystem_bad.cc", "src/common/env_posix.cc"));
+  EXPECT_TRUE(CheckRawFilesystem(corpus).empty());
+  corpus.files.clear();
+  corpus.files.push_back(
+      LoadFixture("raw_filesystem_bad.cc", "tests/some_test.cc"));
+  EXPECT_TRUE(CheckRawFilesystem(corpus).empty());
+}
+
+TEST(RawFilesystemTest, PassesEnvRoutedCommentsStringsAndSuppressed) {
+  Corpus corpus;
+  corpus.files.push_back(
+      LoadFixture("raw_filesystem_good.cc", "src/store/some_store.cc"));
+  std::vector<Finding> findings = CheckRawFilesystem(corpus);
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
 TEST(SuppressionTest, MultiLineReasonBlockStaysAttached) {
   SourceFile f("src/fixture/inline.cc",
                "// semitri-lint: allow(unchecked-status) — the reason\n"

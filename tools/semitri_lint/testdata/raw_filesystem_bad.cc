@@ -1,0 +1,31 @@
+// Fixture: raw-filesystem must-flag cases (loaded under src/).
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+void RawSyscalls(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY);  // FLAG: raw open
+  ::fsync(fd);                              // FLAG: raw fsync
+  ::close(fd);
+}
+
+void RawStreams(const std::string& path) {
+  std::ofstream out(path);  // FLAG: ofstream
+  std::ifstream in(path);   // FLAG: ifstream
+  std::fstream both(path);  // FLAG: fstream
+  out << "x";
+  (void)in;
+  (void)both;
+}
+
+bool RawFilesystemNamespace(const std::string& path) {
+  return std::filesystem::exists(path);  // FLAG: std::filesystem
+}
+
+}  // namespace fixture

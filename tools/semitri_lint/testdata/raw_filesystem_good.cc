@@ -1,0 +1,30 @@
+// Fixture: raw-filesystem must-pass and suppression cases. Mentions of
+// std::ofstream or ::fsync() in comments and string literals are not
+// code and must never trip the check.
+
+#include <string>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace fixture {
+
+// All file I/O goes through common::Env, as the check demands. A doc
+// comment may freely discuss why std::filesystem is forbidden here.
+common::Status EnvRouted(common::Env* env, const std::string& path) {
+  return env->WriteStringToFile(path, "payload", /*sync=*/true);
+}
+
+const char* ErrorMessage() {
+  // Token inside a string literal: blanked before matching.
+  return "do not use std::ofstream or ::open() outside common::Env";
+}
+
+void SuppressedRawUse(const std::string& path) {
+  // semitri-lint: allow(raw-filesystem) — process-global lock file;
+  // O_EXCL semantics are not expressible through Env (yet).
+  int fd = ::open(path.c_str(), 0);
+  (void)fd;
+}
+
+}  // namespace fixture
